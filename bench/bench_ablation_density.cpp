@@ -1,0 +1,62 @@
+/// \file bench_ablation_density.cpp
+/// Quantifies the paper's motivating claim: dense tensors deserve dense
+/// kernels. A SPLATT-style COO sparse MTTKRP processes only the nonzeros
+/// but pays per-nonzero indexing and scatter costs; the paper's dense
+/// kernels stream contiguous memory through BLAS. This ablation sweeps the
+/// density of a fixed-shape tensor and reports the crossover where the
+/// dense 2-step/1-step MTTKRP overtakes the sparse kernel.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mttkrp.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmtk;
+  const bench::Args args = bench::Args::parse(argc, argv, /*scale=*/0.002);
+  bench::banner("Ablation: dense vs sparse MTTKRP across density", args);
+
+  const index_t d = bench::cube_dim(3, args.scale);
+  Rng rng(23);
+  const index_t C = 25;
+  std::vector<Matrix> fs;
+  for (int n = 0; n < 3; ++n) fs.push_back(Matrix::random_uniform(d, C, rng));
+  const int t = args.threads.back();
+
+  std::printf("tensor %lld^3, C = %lld, threads = %d\n",
+              static_cast<long long>(d), static_cast<long long>(C), t);
+  std::printf("%-10s %-12s %-14s %-14s %-10s\n", "density", "nnz",
+              "dense-2step(s)", "sparse-coo(s)", "dense-wins");
+  bench::print_rule(64);
+
+  for (double density : {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    // Dense tensor with the requested fill; the dense kernel's cost is
+    // density-independent, the sparse kernel's is linear in nnz.
+    Tensor X({d, d, d});
+    Rng fill = rng.split();
+    for (index_t l = 0; l < X.numel(); ++l) {
+      if (fill.uniform() < density) X[l] = fill.uniform(-1.0, 1.0);
+    }
+    const sparse::SparseTensor S = sparse::SparseTensor::from_dense(X);
+
+    Matrix M;
+    const double dense_s = time_median(args.trials, [&] {
+      mttkrp(X, fs, 1, M, MttkrpMethod::TwoStep, t);
+    });
+    const double sparse_s = time_median(args.trials, [&] {
+      sparse::mttkrp(S, fs, 1, M, t);
+    });
+    std::printf("%-10.3f %-12lld %-14.4f %-14.4f %-10s\n", density,
+                static_cast<long long>(S.nnz()), dense_s, sparse_s,
+                dense_s < sparse_s ? "yes" : "no");
+  }
+  std::printf(
+      "\nexpected: sparse wins at very low density, dense takes over well "
+      "below\nfull density — the regime the paper targets (dense data, e.g. "
+      "fMRI\ncorrelations, has density 1.0).\n");
+  return 0;
+}

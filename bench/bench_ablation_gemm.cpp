@@ -1,0 +1,64 @@
+/// \file bench_ablation_gemm.cpp
+/// Ablation for the Section 5.3.1 discussion: GEMM performance depends
+/// strongly on operand shape. The MTTKRP baseline multiplies an extremely
+/// wide matrix (I_n x I/I_n) by a skinny KRP (I/I_n x C) — an inner-product
+/// shape that threaded BLAS handles poorly — while the 2-step algorithm's
+/// partial MTTKRP is closer to square. This google-benchmark binary
+/// measures our mini-BLAS GEMM across those shapes so the effect can be
+/// quantified on the machine at hand.
+
+#include <benchmark/benchmark.h>
+
+#include "blas/gemm.hpp"
+#include "core/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dmtk;
+
+void gemm_shape(benchmark::State& state, index_t m, index_t n, index_t k,
+                int threads) {
+  Rng rng(1);
+  Matrix A = Matrix::random_uniform(m, k, rng);
+  Matrix B = Matrix::random_uniform(k, n, rng);
+  Matrix C(m, n);
+  for (auto _ : state) {
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+               blas::Trans::NoTrans, m, n, k, 1.0, A.data(), A.ld(), B.data(),
+               B.ld(), 0.0, C.data(), C.ld(), threads);
+    benchmark::DoNotOptimize(C.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(m) * static_cast<double>(n) *
+          static_cast<double>(k) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+
+// Square reference shape (BLAS-friendly).
+void BM_GemmSquare(benchmark::State& s) {
+  gemm_shape(s, 256, 256, 256, static_cast<int>(s.range(0)));
+}
+// External-mode MTTKRP shape: tall-skinny output, long k (inner-product).
+void BM_GemmMttkrpExternal(benchmark::State& s) {
+  gemm_shape(s, 128, 25, 128 * 128, static_cast<int>(s.range(0)));
+}
+// 2-step partial MTTKRP shape: much more balanced.
+void BM_GemmTwoStepPartial(benchmark::State& s) {
+  gemm_shape(s, 128 * 128, 25, 128, static_cast<int>(s.range(0)));
+}
+// Small-block shape used by the 1-step internal-mode loop.
+void BM_GemmOneStepBlock(benchmark::State& s) {
+  gemm_shape(s, 128, 25, 128, static_cast<int>(s.range(0)));
+}
+
+BENCHMARK(BM_GemmSquare)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_GemmMttkrpExternal)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_GemmTwoStepPartial)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_GemmOneStepBlock)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

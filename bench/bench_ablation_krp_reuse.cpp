@@ -1,0 +1,68 @@
+/// \file bench_ablation_krp_reuse.cpp
+/// Ablation of Algorithm 1's design choice: reusing the Z-2 intermediate
+/// Hadamard products. google-benchmark microbenchmark sweeping Z and C,
+/// reporting rows/second for the Naive and Reuse variants. The flop model
+/// predicts Naive does (Z-1) Hadamard products per row vs ~1 for Reuse, so
+/// the gap should widen with Z (paper Section 5.2: 1.5-2.5x for Z in 3..4).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/krp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dmtk;
+
+struct KrpFixture {
+  std::vector<Matrix> fs;
+  FactorList fl;
+  index_t J = 1;
+
+  KrpFixture(int Z, index_t C, index_t target_rows) {
+    Rng rng(static_cast<std::uint64_t>(Z * 100 + C));
+    const index_t Jz = std::max<index_t>(
+        2, static_cast<index_t>(std::llround(
+               std::pow(static_cast<double>(target_rows), 1.0 / Z))));
+    for (int z = 0; z < Z; ++z) {
+      fs.push_back(Matrix::random_uniform(Jz, C, rng));
+      J *= Jz;
+    }
+    for (const Matrix& f : fs) fl.push_back(&f);
+  }
+};
+
+void run_variant(benchmark::State& state, KrpVariant v) {
+  const int Z = static_cast<int>(state.range(0));
+  const index_t C = state.range(1);
+  KrpFixture fx(Z, C, /*target_rows=*/1 << 18);
+  Matrix Kt(C, fx.J);
+  for (auto _ : state) {
+    if (v == KrpVariant::Reuse) {
+      krp_rows_reuse(fx.fl, 0, fx.J, Kt.data(), C);
+    } else {
+      krp_rows_naive(fx.fl, 0, fx.J, Kt.data(), C);
+    }
+    benchmark::DoNotOptimize(Kt.data());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(fx.J) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_KrpNaive(benchmark::State& s) { run_variant(s, KrpVariant::Naive); }
+void BM_KrpReuse(benchmark::State& s) { run_variant(s, KrpVariant::Reuse); }
+
+BENCHMARK(BM_KrpNaive)
+    ->ArgsProduct({{2, 3, 4, 5}, {25, 50}})
+    ->UseRealTime();
+BENCHMARK(BM_KrpReuse)
+    ->ArgsProduct({{2, 3, 4, 5}, {25, 50}})
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/// \file bench_fig5_scaling.cpp
+/// Reproduces Figure 5 (a-d): MTTKRP time for the 1-step and 2-step
+/// algorithms and the DGEMM baseline, for every mode of N-way cubic tensors
+/// (N = 3..6), over a thread sweep. C = 25 columns throughout.
+///
+/// The baseline follows the paper exactly: it is the time of ONE GEMM
+/// between column-major matrices of the same dimensions as X(n) and the KRP
+/// — a lower bound on the reorder-based approach that ignores reordering
+/// and KRP formation costs.
+///
+/// Paper findings this harness checks (Section 5.3.1):
+///  - sequential: 2-step >= baseline >= 1-step (1-step within 2x of
+///    baseline; baseline within -25%/+3% of 2-step);
+///  - 1-step and 2-step scale better than the baseline with threads.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "blas/gemm.hpp"
+#include "core/mttkrp.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dmtk;
+
+/// Time of one DGEMM with the MTTKRP's dimensions on plain column-major
+/// operands (the paper's baseline).
+double baseline_gemm_seconds(index_t In, index_t cols, index_t C, int threads,
+                             int trials, Rng& rng) {
+  Matrix A = Matrix::random_uniform(In, cols, rng);
+  Matrix B = Matrix::random_uniform(cols, C, rng);
+  Matrix M(In, C);
+  return time_median(trials, [&] {
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+               blas::Trans::NoTrans, In, C, cols, 1.0, A.data(), A.ld(),
+               B.data(), B.ld(), 0.0, M.data(), M.ld(), threads);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmtk;
+  const bench::Args args = bench::Args::parse(argc, argv, /*scale=*/0.005);
+  bench::banner("Figure 5: MTTKRP scaling — 1-step vs 2-step vs DGEMM",
+                args);
+  const index_t C = 25;
+  Rng rng(99);
+
+  for (index_t N = 3; N <= 6; ++N) {
+    const index_t d = bench::cube_dim(N, args.scale);
+    std::vector<index_t> dims(static_cast<std::size_t>(N), d);
+    Tensor X = Tensor::random_uniform(dims, rng);
+    std::vector<Matrix> fs;
+    for (index_t n = 0; n < N; ++n) {
+      fs.push_back(Matrix::random_uniform(d, C, rng));
+    }
+    std::printf("\n--- N = %lld: %lld^%lld = %lld entries ---\n",
+                static_cast<long long>(N), static_cast<long long>(d),
+                static_cast<long long>(N),
+                static_cast<long long>(X.numel()));
+    std::printf("%-12s %-6s %-9s %-12s\n", "method", "mode", "threads",
+                "seconds");
+    bench::print_rule(48);
+
+    for (int t : args.threads) {
+      const double base =
+          baseline_gemm_seconds(d, X.cosize(0), C, t, args.trials, rng);
+      std::printf("%-12s %-6s %-9d %-12.4f\n", "baseline", "-", t, base);
+      Matrix M;
+      for (index_t mode = 0; mode < N; ++mode) {
+        const double s1 = time_median(args.trials, [&] {
+          mttkrp(X, fs, mode, M, MttkrpMethod::OneStep, t);
+        });
+        std::printf("%-12s %-6lld %-9d %-12.4f\n", "1-step",
+                    static_cast<long long>(mode), t, s1);
+        if (twostep_is_defined(N, mode)) {
+          const double s2 = time_median(args.trials, [&] {
+            mttkrp(X, fs, mode, M, MttkrpMethod::TwoStep, t);
+          });
+          std::printf("%-12s %-6lld %-9d %-12.4f\n", "2-step",
+                      static_cast<long long>(mode), t, s2);
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper 5.3.1): sequentially 2-step <= baseline <= "
+      "1-step\n(1-step <= 2x baseline); 1-step/2-step scale better than "
+      "baseline.\n");
+  return 0;
+}

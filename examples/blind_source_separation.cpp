@@ -1,0 +1,99 @@
+/// \file blind_source_separation.cpp
+/// Second application from the paper's introduction: blind source
+/// separation — "interpreting each component as a source signal". We mix
+/// three known source signals (sine, square, chirp) across channels and
+/// trials with random gains, form a channels x time x trials tensor, and
+/// use CP to un-mix them. Correlation of the recovered time courses with
+/// the ground-truth sources demonstrates the separation; unlike matrix
+/// factorization, the CP decomposition is unique under mild conditions, so
+/// no extra constraints are needed.
+///
+/// Build & run:  ./examples/blind_source_separation
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "dmtk.hpp"
+
+namespace {
+
+using namespace dmtk;
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  const auto n = a.size();
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double sab = 0, saa = 0, sbb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmtk;
+  const index_t channels = 16, samples = 256, trials = 12, sources = 3;
+
+  // Ground-truth source time courses.
+  Matrix S(samples, sources);
+  for (index_t t = 0; t < samples; ++t) {
+    const double x = static_cast<double>(t) / samples;
+    S(t, 0) = std::sin(2 * std::numbers::pi * 5 * x);             // sine
+    S(t, 1) = std::sin(2 * std::numbers::pi * 3 * x) > 0 ? 1 : -1;  // square
+    S(t, 2) = std::sin(2 * std::numbers::pi * (2 + 10 * x) * x);  // chirp
+  }
+
+  // Random positive mixing gains per channel and per trial.
+  Rng rng(11);
+  Matrix A = Matrix::random_uniform(channels, sources, rng);  // channel gains
+  Matrix B = Matrix::random_uniform(trials, sources, rng);    // trial gains
+
+  // Observed tensor: X(c, t, r) = sum_s A(c,s) S(t,s) B(r,s) + noise.
+  Ktensor mix;
+  mix.factors = {A, S, B};
+  Tensor X = mix.full();
+  Rng noise(13);
+  for (index_t l = 0; l < X.numel(); ++l) X[l] += 0.02 * noise.normal();
+
+  // Un-mix with CP.
+  CpAlsOptions opts;
+  opts.rank = sources;
+  opts.max_iters = 200;
+  opts.tol = 1e-8;
+  const CpAlsResult r = cp_als(X, opts);
+  std::printf("fit %.4f in %d sweeps\n", r.final_fit, r.iterations);
+
+  // Match each recovered time-course component to its best source.
+  const Matrix& St = r.model.factors[1];
+  int separated = 0;
+  for (index_t c = 0; c < sources; ++c) {
+    double best = 0;
+    index_t best_s = 0;
+    for (index_t s = 0; s < sources; ++s) {
+      const double corr = std::abs(correlation(St.col(c), S.col(s)));
+      if (corr > best) {
+        best = corr;
+        best_s = s;
+      }
+    }
+    const char* names[] = {"sine", "square", "chirp"};
+    std::printf("component %lld  <->  %-6s  |corr| = %.4f %s\n",
+                static_cast<long long>(c), names[best_s], best,
+                best > 0.95 ? "(separated)" : "");
+    if (best > 0.95) ++separated;
+  }
+  std::printf("%d / %lld sources cleanly separated\n", separated,
+              static_cast<long long>(sources));
+  return separated == sources ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+/// \file tensor_compression.cpp
+/// Tucker compression of simulation-style data — the use case of the
+/// related work the paper builds on (Austin, Ballard & Kolda, "Parallel
+/// Tensor Compression for Large-Scale Scientific Data"). A smooth 3-way
+/// field is compressed with ST-HOSVD at several multilinear ranks; the
+/// example reports compression ratio vs reconstruction error, persists the
+/// compressed model with the io module, and verifies a lossless reload.
+///
+/// Build & run:  ./examples/tensor_compression
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <numbers>
+
+#include "dmtk.hpp"
+
+int main() {
+  using namespace dmtk;
+
+  // A smooth separable-ish field sampled on a 48^3 grid: sum of a few
+  // smooth modes plus mild noise — the structure Tucker compresses well.
+  const index_t n = 48;
+  Tensor X({n, n, n});
+  Rng rng(5);
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i) / n;
+        const double y = static_cast<double>(j) / n;
+        const double z = static_cast<double>(k) / n;
+        const std::vector<index_t> idx{i, j, k};
+        X(idx) = std::sin(2 * std::numbers::pi * x) * std::cos(std::numbers::pi * y) *
+                     std::exp(-z) +
+                 0.5 * std::cos(3 * std::numbers::pi * (x + y)) * z +
+                 0.01 * rng.normal();
+      }
+    }
+  }
+  std::printf("input: %lld^3 grid = %lld doubles (%.1f MB)\n",
+              static_cast<long long>(n), static_cast<long long>(X.numel()),
+              static_cast<double>(X.numel()) * 8 / 1e6);
+
+  std::printf("%-14s %-16s %-14s\n", "ranks", "compression", "rel-error");
+  for (index_t r : {index_t{2}, index_t{4}, index_t{8}, index_t{16}}) {
+    const std::vector<index_t> ranks{r, r, r};
+    const TuckerModel m = st_hosvd(X, ranks);
+    index_t model_size = m.core.numel();
+    for (const Matrix& U : m.factors) model_size += U.size();
+    std::printf("(%2lld,%2lld,%2lld)   %8.1fx        %.2e\n",
+                static_cast<long long>(r), static_cast<long long>(r),
+                static_cast<long long>(r),
+                static_cast<double>(X.numel()) / static_cast<double>(model_size),
+                tucker_relative_error(X, m));
+  }
+
+  // Persist the rank-8 model and verify the reload is bit-exact.
+  const TuckerModel m = st_hosvd(X, std::vector<index_t>{8, 8, 8});
+  const auto dir = std::filesystem::temp_directory_path() / "dmtk_compress";
+  std::filesystem::create_directories(dir);
+  io::write_tensor(dir / "core.dten", m.core);
+  for (std::size_t k = 0; k < m.factors.size(); ++k) {
+    io::write_matrix(dir / ("factor" + std::to_string(k) + ".dmat"),
+                     m.factors[k]);
+  }
+  TuckerModel back;
+  back.core = io::read_tensor(dir / "core.dten");
+  for (std::size_t k = 0; k < 3; ++k) {
+    back.factors.push_back(
+        io::read_matrix(dir / ("factor" + std::to_string(k) + ".dmat")));
+  }
+  const double reload_diff = back.full().max_abs_diff(m.full());
+  std::printf("\nsaved + reloaded rank-8 model: max reconstruction "
+              "difference %.1e %s\n",
+              reload_diff, reload_diff == 0.0 ? "(bit-exact)" : "");
+  std::filesystem::remove_all(dir);
+  return reload_diff == 0.0 ? 0 : 1;
+}

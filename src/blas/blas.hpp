@@ -1,0 +1,15 @@
+#pragma once
+/// \file blas.hpp
+/// \brief Umbrella header for the dmtk mini-BLAS substrate.
+///
+/// The paper's algorithms cast almost all their work as BLAS calls (MKL in
+/// the original evaluation). This environment has no vendor BLAS, so dmtk
+/// ships its own: level-1 vector kernels, GEMV, a packed cache-blocked GEMM,
+/// and SYRK — all with cblas-like signatures and internal OpenMP parallelism
+/// controlled per-call or via dmtk::set_num_threads().
+
+#include "blas/gemm.hpp"    // IWYU pragma: export
+#include "blas/gemv.hpp"    // IWYU pragma: export
+#include "blas/level1.hpp"  // IWYU pragma: export
+#include "blas/syrk.hpp"    // IWYU pragma: export
+#include "blas/types.hpp"   // IWYU pragma: export

@@ -1,0 +1,216 @@
+#include "blas/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/aligned_alloc.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk::blas {
+
+namespace {
+
+// Register-tile shape. The micro-kernel accumulates an MR x NR tile of C in
+// local variables; NR is the vectorized direction (contiguous in the packed
+// B panel), so 8 doubles = two AVX2 vectors per row of the tile.
+constexpr int kMR = 4;
+constexpr int kNR = 8;
+
+// Cache-blocking parameters (elements, not bytes): KC x NR B-strips should
+// sit in L1 during the micro-kernel, MC x KC packed A in L2, KC x NC packed
+// B in L3. Values tuned for typical 32K/256K/several-MB hierarchies.
+constexpr index_t kMC = 96;
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 1024;
+
+/// Element of op(M) at (r, c) for a column-major matrix M.
+template <typename T>
+inline T op_at(const T* M, index_t ld, Trans t, index_t r, index_t c) {
+  return t == Trans::NoTrans ? M[r + c * ld] : M[c + r * ld];
+}
+
+/// Pack op(A)(i0:i0+mc, p0:p0+kc) into MR-row strips, zero-padding the last
+/// partial strip so the micro-kernel never branches on the m edge.
+template <typename T>
+void pack_a(index_t mc, index_t kc, const T* A, index_t lda, Trans ta,
+            index_t i0, index_t p0, T* Ap) {
+  for (index_t i = 0; i < mc; i += kMR) {
+    const index_t mr = std::min<index_t>(kMR, mc - i);
+    if (ta == Trans::NoTrans) {
+      const T* src = A + (i0 + i) + p0 * lda;
+      for (index_t p = 0; p < kc; ++p) {
+        const T* col = src + p * lda;
+        for (index_t ii = 0; ii < mr; ++ii) Ap[p * kMR + ii] = col[ii];
+        for (index_t ii = mr; ii < kMR; ++ii) Ap[p * kMR + ii] = T{0};
+      }
+    } else {
+      for (index_t p = 0; p < kc; ++p) {
+        for (index_t ii = 0; ii < mr; ++ii) {
+          Ap[p * kMR + ii] = A[(p0 + p) + (i0 + i + ii) * lda];
+        }
+        for (index_t ii = mr; ii < kMR; ++ii) Ap[p * kMR + ii] = T{0};
+      }
+    }
+    Ap += kMR * kc;
+  }
+}
+
+/// Pack op(B)(p0:p0+kc, j0:j0+nc) into NR-column strips, zero-padded on the
+/// n edge.
+template <typename T>
+void pack_b(index_t kc, index_t nc, const T* B, index_t ldb, Trans tb,
+            index_t p0, index_t j0, T* Bp) {
+  for (index_t j = 0; j < nc; j += kNR) {
+    const index_t nr = std::min<index_t>(kNR, nc - j);
+    if (tb == Trans::NoTrans) {
+      for (index_t p = 0; p < kc; ++p) {
+        const T* row = B + (p0 + p);
+        for (index_t jj = 0; jj < nr; ++jj) {
+          Bp[p * kNR + jj] = row[(j0 + j + jj) * ldb];
+        }
+        for (index_t jj = nr; jj < kNR; ++jj) Bp[p * kNR + jj] = T{0};
+      }
+    } else {
+      for (index_t p = 0; p < kc; ++p) {
+        const T* col = B + (p0 + p) * ldb;
+        for (index_t jj = 0; jj < nr; ++jj) {
+          Bp[p * kNR + jj] = col[j0 + j + jj];
+        }
+        for (index_t jj = nr; jj < kNR; ++jj) Bp[p * kNR + jj] = T{0};
+      }
+    }
+    Bp += kNR * kc;
+  }
+}
+
+/// MR x NR micro-kernel: C(0:mr, 0:nr) += alpha * Ap . Bp over kc terms.
+/// The accumulator lives in registers; the packed panels are contiguous.
+template <typename T>
+void micro_kernel(index_t kc, T alpha, const T* Ap, const T* Bp, T* C,
+                  index_t ldc, index_t mr, index_t nr) {
+  T acc[kMR][kNR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* a = Ap + p * kMR;
+    const T* b = Bp + p * kNR;
+    for (int i = 0; i < kMR; ++i) {
+      const T ai = a[i];
+      for (int j = 0; j < kNR; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (index_t j = 0; j < nr; ++j) {
+    T* col = C + j * ldc;
+    for (index_t i = 0; i < mr; ++i) col[i] += alpha * acc[i][j];
+  }
+}
+
+/// Sequential blocked GEMM on a column-major slice:
+/// C(m x n) <- alpha * op(A) * op(B) + beta * C.
+template <typename T>
+void gemm_seq(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
+              const T* A, index_t lda, const T* B, index_t ldb, T beta, T* C,
+              index_t ldc) {
+  // Fold beta into C up front so the pc loop can accumulate unconditionally.
+  if (beta != T{1}) {
+    for (index_t j = 0; j < n; ++j) {
+      T* col = C + j * ldc;
+      if (beta == T{0}) {
+        std::fill(col, col + m, T{0});
+      } else {
+        for (index_t i = 0; i < m; ++i) col[i] *= beta;
+      }
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == T{0}) return;
+
+  // Size the packing buffers to the actual panel extents: small GEMMs (the
+  // per-block multiplies of the 1-step internal-mode MTTKRP) must not pay
+  // for full MC*KC / KC*NC allocations every call.
+  const index_t kc_cap = std::min(kKC, k);
+  const index_t a_strips = (std::min(kMC, m) + kMR - 1) / kMR;
+  const index_t b_strips = (std::min(kNC, n) + kNR - 1) / kNR;
+  std::vector<T, AlignedAllocator<T>> Ap(
+      static_cast<std::size_t>(a_strips * kMR * kc_cap));
+  std::vector<T, AlignedAllocator<T>> Bp(
+      static_cast<std::size_t>(b_strips * kNR * kc_cap));
+
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min<index_t>(kNC, n - jc);
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min<index_t>(kKC, k - pc);
+      pack_b(kc, nc, B, ldb, tb, pc, jc, Bp.data());
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mc = std::min<index_t>(kMC, m - ic);
+        pack_a(mc, kc, A, lda, ta, ic, pc, Ap.data());
+        for (index_t jr = 0; jr < nc; jr += kNR) {
+          const index_t nr = std::min<index_t>(kNR, nc - jr);
+          const T* bp = Bp.data() + (jr / kNR) * (kNR * kc);
+          for (index_t ir = 0; ir < mc; ir += kMR) {
+            const index_t mr = std::min<index_t>(kMR, mc - ir);
+            const T* ap = Ap.data() + (ir / kMR) * (kMR * kc);
+            micro_kernel(kc, alpha, ap, bp, C + (ic + ir) + (jc + jr) * ldc,
+                         ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
+          T alpha, const T* A, index_t lda, const T* B, index_t ldb, T beta,
+          T* C, index_t ldc, int threads) {
+  DMTK_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  // Row-major C = op(A)op(B) is column-major C^T = op(B)^T op(A)^T: swap the
+  // operand roles and output dimensions and recurse into the col-major path.
+  if (layout == Layout::RowMajor) {
+    gemm(Layout::ColMajor, tb, ta, n, m, k, alpha, B, ldb, A, lda, beta, C,
+         ldc, threads);
+    return;
+  }
+  DMTK_CHECK(ldc >= std::max<index_t>(1, m), "gemm: ldc too small");
+  DMTK_CHECK(lda >= std::max<index_t>(1, ta == Trans::NoTrans ? m : k),
+             "gemm: lda too small");
+  DMTK_CHECK(ldb >= std::max<index_t>(1, tb == Trans::NoTrans ? k : n),
+             "gemm: ldb too small");
+  if (m == 0 || n == 0) return;
+
+  const int nt = resolve_threads(threads);
+  // One thread, or too little work to amortize a team: sequential kernel.
+  if (nt <= 1 || m * n < 4096) {
+    gemm_seq(ta, tb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc);
+    return;
+  }
+
+  if (n >= m) {
+    // Wide output: split columns of C (and the matching slice of op(B)).
+    parallel_region(nt, [&](int t, int nteam) {
+      const Range r = block_range(n, nteam, t);
+      if (r.empty()) return;
+      const T* Bs = (tb == Trans::NoTrans) ? B + r.begin * ldb : B + r.begin;
+      gemm_seq(ta, tb, m, r.size(), k, alpha, A, lda, Bs, ldb, beta,
+               C + r.begin * ldc, ldc);
+    });
+  } else {
+    // Tall output: split rows of C (and the matching slice of op(A)).
+    parallel_region(nt, [&](int t, int nteam) {
+      const Range r = block_range(m, nteam, t);
+      if (r.empty()) return;
+      const T* As = (ta == Trans::NoTrans) ? A + r.begin : A + r.begin * lda;
+      gemm_seq(ta, tb, r.size(), n, k, alpha, As, lda, B, ldb, beta,
+               C + r.begin, ldc);
+    });
+  }
+}
+
+template void gemm<float>(Layout, Trans, Trans, index_t, index_t, index_t,
+                          float, const float*, index_t, const float*, index_t,
+                          float, float*, index_t, int);
+template void gemm<double>(Layout, Trans, Trans, index_t, index_t, index_t,
+                           double, const double*, index_t, const double*,
+                           index_t, double, double*, index_t, int);
+
+}  // namespace dmtk::blas

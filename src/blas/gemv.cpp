@@ -1,0 +1,89 @@
+#include "blas/gemv.hpp"
+
+#include "blas/level1.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk::blas {
+
+namespace {
+
+/// Column-major, no-transpose kernel: y(m) += alpha * A(m x n) * x(n).
+/// Parallelized by splitting the rows of y: each thread owns a contiguous
+/// row block and walks all columns, so no write conflicts arise.
+template <typename T>
+void gemv_n(index_t m, index_t n, T alpha, const T* A, index_t lda, const T* x,
+            index_t incx, T* y, index_t incy, int threads) {
+  parallel_region(threads, [&](int t, int nt) {
+    const Range r = block_range(m, nt, t);
+    if (r.empty()) return;
+    for (index_t j = 0; j < n; ++j) {
+      const T xj = alpha * x[j * incx];
+      const T* col = A + j * lda;
+      if (incy == 1) {
+        for (index_t i = r.begin; i < r.end; ++i) y[i] += xj * col[i];
+      } else {
+        for (index_t i = r.begin; i < r.end; ++i) y[i * incy] += xj * col[i];
+      }
+    }
+  });
+}
+
+/// Column-major, transpose kernel: y(n) += alpha * A^T * x(m). Each output
+/// element is a dot product with one column of A; parallelized over columns.
+template <typename T>
+void gemv_t(index_t m, index_t n, T alpha, const T* A, index_t lda, const T* x,
+            index_t incx, T* y, index_t incy, int threads) {
+  parallel_region(threads, [&](int t, int nt) {
+    const Range r = block_range(n, nt, t);
+    for (index_t j = r.begin; j < r.end; ++j) {
+      y[j * incy] += alpha * dot(m, A + j * lda, index_t{1}, x, incx);
+    }
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void gemv(Layout layout, Trans trans, index_t m, index_t n, T alpha,
+          const T* A, index_t lda, const T* x, index_t incx, T beta, T* y,
+          index_t incy, int threads) {
+  DMTK_CHECK(m >= 0 && n >= 0, "gemv: negative dimension");
+  // A row-major matrix is the transpose of a column-major one; fold the
+  // layout into the transposition flag.
+  if (layout == Layout::RowMajor) {
+    gemv(Layout::ColMajor, trans == Trans::NoTrans ? Trans::Trans
+                                                   : Trans::NoTrans,
+         n, m, alpha, A, lda, x, incx, beta, y, incy, threads);
+    return;
+  }
+  DMTK_CHECK(lda >= std::max<index_t>(1, m), "gemv: lda too small");
+  const index_t ylen = (trans == Trans::NoTrans) ? m : n;
+  if (ylen == 0) return;
+
+  const int nt = resolve_threads(threads);
+  if (beta != T{1}) {
+    if (beta == T{0}) {
+      for (index_t i = 0; i < ylen; ++i) y[i * incy] = T{0};
+    } else {
+      scal(ylen, beta, y, incy);
+    }
+  }
+  const index_t klen = (trans == Trans::NoTrans) ? n : m;
+  if (klen == 0 || alpha == T{0}) return;
+
+  if (trans == Trans::NoTrans) {
+    gemv_n(m, n, alpha, A, lda, x, incx, y, incy, nt);
+  } else {
+    gemv_t(m, n, alpha, A, lda, x, incx, y, incy, nt);
+  }
+}
+
+template void gemv<float>(Layout, Trans, index_t, index_t, float, const float*,
+                          index_t, const float*, index_t, float, float*,
+                          index_t, int);
+template void gemv<double>(Layout, Trans, index_t, index_t, double,
+                           const double*, index_t, const double*, index_t,
+                           double, double*, index_t, int);
+
+}  // namespace dmtk::blas

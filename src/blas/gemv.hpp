@@ -1,0 +1,33 @@
+#pragma once
+/// \file gemv.hpp
+/// \brief Level-2 mini-BLAS: general matrix-vector multiply with internal
+/// OpenMP parallelism. The 2-step MTTKRP's multi-TTV phase is a sequence of
+/// GEMV calls (Algorithm 4, lines 8 and 14), so this routine is on the
+/// critical path of the paper's fastest algorithm.
+
+#include "blas/types.hpp"
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+/// y <- alpha * op(A) * x + beta * y.
+///
+/// \param layout  storage order of A
+/// \param trans   op(A) = A or A^T
+/// \param m,n     dimensions of A (before transposition)
+/// \param lda     leading dimension of A (>= rows for ColMajor, >= cols for
+///                RowMajor)
+/// \param threads OpenMP threads (<=0 selects the library default)
+template <typename T>
+void gemv(Layout layout, Trans trans, index_t m, index_t n, T alpha,
+          const T* A, index_t lda, const T* x, index_t incx, T beta, T* y,
+          index_t incy, int threads = 0);
+
+extern template void gemv<float>(Layout, Trans, index_t, index_t, float,
+                                 const float*, index_t, const float*, index_t,
+                                 float, float*, index_t, int);
+extern template void gemv<double>(Layout, Trans, index_t, index_t, double,
+                                  const double*, index_t, const double*,
+                                  index_t, double, double*, index_t, int);
+
+}  // namespace dmtk::blas

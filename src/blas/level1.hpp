@@ -1,0 +1,107 @@
+#pragma once
+/// \file level1.hpp
+/// \brief Level-1 mini-BLAS: vector-vector operations. Header-only templates;
+/// these are memory-bound loops the compiler vectorizes directly.
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+/// dot <- x . y
+template <typename T>
+T dot(index_t n, const T* x, index_t incx, const T* y, index_t incy) {
+  T s{};
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  }
+  return s;
+}
+
+/// y <- alpha*x + y
+template <typename T>
+void axpy(index_t n, T alpha, const T* x, index_t incx, T* y, index_t incy) {
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+  }
+}
+
+/// x <- alpha*x
+template <typename T>
+void scal(index_t n, T alpha, T* x, index_t incx) {
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+  } else {
+    for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+  }
+}
+
+/// y <- x
+template <typename T>
+void copy(index_t n, const T* x, index_t incx, T* y, index_t incy) {
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] = x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+  }
+}
+
+/// Euclidean norm of x. Naive accumulation: operands in this library are
+/// O(1)-scaled, so overflow-safe scaling (as in reference dnrm2) is not
+/// needed; documented trade-off.
+template <typename T>
+T nrm2(index_t n, const T* x, index_t incx) {
+  T s{};
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) s += x[i] * x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) s += x[i * incx] * x[i * incx];
+  }
+  return std::sqrt(s);
+}
+
+/// Sum of absolute values.
+template <typename T>
+T asum(index_t n, const T* x, index_t incx) {
+  T s{};
+  for (index_t i = 0; i < n; ++i) s += std::abs(x[i * incx]);
+  return s;
+}
+
+/// Index of the element with the largest absolute value (first on ties);
+/// -1 for empty input.
+template <typename T>
+index_t iamax(index_t n, const T* x, index_t incx) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  T bestv = std::abs(x[0]);
+  for (index_t i = 1; i < n; ++i) {
+    const T v = std::abs(x[i * incx]);
+    if (v > bestv) {
+      bestv = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// z <- x * y elementwise (Hadamard). Not a classic BLAS routine but the
+/// primitive of the row-wise Khatri-Rao product (Section 4.1 of the paper).
+template <typename T>
+void hadamard(index_t n, const T* x, const T* y, T* z) {
+  for (index_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+}
+
+/// z <- z * x elementwise in place.
+template <typename T>
+void hadamard_inplace(index_t n, const T* x, T* z) {
+  for (index_t i = 0; i < n; ++i) z[i] *= x[i];
+}
+
+}  // namespace dmtk::blas

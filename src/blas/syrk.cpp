@@ -1,0 +1,57 @@
+#include "blas/syrk.hpp"
+
+#include <algorithm>
+
+#include "blas/level1.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk::blas {
+
+template <typename T>
+void syrk(Trans trans, index_t n, index_t k, T alpha, const T* A, index_t lda,
+          T beta, T* C, index_t ldc, int threads) {
+  DMTK_CHECK(n >= 0 && k >= 0, "syrk: negative dimension");
+  DMTK_CHECK(ldc >= std::max<index_t>(1, n), "syrk: ldc too small");
+  const int nt = resolve_threads(threads);
+
+  // Compute the upper triangle (including diagonal), then mirror. Pairs
+  // (i, j) with i <= j are flattened and block-partitioned across threads;
+  // in the Gram-matrix use case n = C <= 50, so work per pair (a length-k
+  // dot product over tall factor matrices) dominates and balance is fine.
+  const index_t npairs = n * (n + 1) / 2;
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(npairs, nteam, t);
+    for (index_t idx = r.begin; idx < r.end; ++idx) {
+      // Unflatten idx -> (i, j), i <= j, column-by-column ordering:
+      // pairs of column j occupy [j(j+1)/2, (j+1)(j+2)/2).
+      index_t j = static_cast<index_t>(
+          (std::sqrt(8.0 * static_cast<double>(idx) + 1.0) - 1.0) / 2.0);
+      while ((j + 1) * (j + 2) / 2 <= idx) ++j;
+      while (j * (j + 1) / 2 > idx) --j;
+      const index_t i = idx - j * (j + 1) / 2;
+      T s;
+      if (trans == Trans::Trans) {
+        // A is k x n; entry (i,j) of A^T A is column_i . column_j.
+        s = dot(k, A + i * lda, index_t{1}, A + j * lda, index_t{1});
+      } else {
+        // A is n x k; entry (i,j) of A A^T is row_i . row_j.
+        s = dot(k, A + i, lda, A + j, lda);
+      }
+      T& cij = C[i + j * ldc];
+      cij = alpha * s + beta * cij;
+    }
+  });
+
+  // Mirror the strictly-upper triangle into the lower one.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) C[j + i * ldc] = C[i + j * ldc];
+  }
+}
+
+template void syrk<float>(Trans, index_t, index_t, float, const float*,
+                          index_t, float, float*, index_t, int);
+template void syrk<double>(Trans, index_t, index_t, double, const double*,
+                           index_t, double, double*, index_t, int);
+
+}  // namespace dmtk::blas

@@ -1,0 +1,26 @@
+#pragma once
+/// \file syrk.hpp
+/// \brief Symmetric rank-k update, used to form the Gram matrices U^T U that
+/// CP-ALS combines into the Hadamard system matrix H (Section 2.2).
+
+#include "blas/types.hpp"
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+/// C <- alpha * op(A)^T op(A) ... specifically, for column-major A:
+///   trans == Trans::Trans:   C(n x n) <- alpha * A^T A + beta * C, A is k x n
+///   trans == Trans::NoTrans: C(n x n) <- alpha * A A^T + beta * C, A is n x k
+/// Both triangles of C are written (full symmetric output), which is what the
+/// Gram/Hadamard pipeline consumes.
+template <typename T>
+void syrk(Trans trans, index_t n, index_t k, T alpha, const T* A, index_t lda,
+          T beta, T* C, index_t ldc, int threads = 0);
+
+extern template void syrk<float>(Trans, index_t, index_t, float, const float*,
+                                 index_t, float, float*, index_t, int);
+extern template void syrk<double>(Trans, index_t, index_t, double,
+                                  const double*, index_t, double, double*,
+                                  index_t, int);
+
+}  // namespace dmtk::blas

@@ -1,0 +1,16 @@
+#pragma once
+/// \file types.hpp
+/// \brief Enumerations shared by the mini-BLAS routines (cblas-style).
+
+namespace dmtk::blas {
+
+/// Memory layout of a matrix argument.
+enum class Layout { ColMajor, RowMajor };
+
+/// Transposition applied to a matrix argument before the operation.
+enum class Trans { NoTrans, Trans };
+
+/// Which triangle of a symmetric matrix is referenced/updated.
+enum class Uplo { Upper, Lower };
+
+}  // namespace dmtk::blas

@@ -1,0 +1,109 @@
+#include "core/cp_als.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "core/cp_als_detail.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace dmtk {
+
+Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip) {
+  DMTK_CHECK(!grams.empty(), "hadamard_of_grams: empty input");
+  const index_t C = grams[0].rows();
+  Matrix H(C, C);
+  H.fill(1.0);
+  for (index_t k = 0; k < static_cast<index_t>(grams.size()); ++k) {
+    if (k == skip) continue;
+    const Matrix& G = grams[static_cast<std::size_t>(k)];
+    DMTK_CHECK(G.rows() == C && G.cols() == C,
+               "hadamard_of_grams: non-conforming Gram matrix");
+    blas::hadamard_inplace(C * C, G.data(), H.data());
+  }
+  return H;
+}
+
+CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
+  const index_t N = X.order();
+  const index_t C = opts.rank;
+  DMTK_CHECK(N >= 2, "cp_als: tensor must have at least 2 modes");
+  DMTK_CHECK(C >= 1, "cp_als: rank must be positive");
+  const int nt = resolve_threads(opts.threads);
+
+  CpAlsResult result;
+  Ktensor& model = result.model;
+
+  // Initialization: warm start or uniform random (Tensor Toolbox default).
+  if (opts.initial_guess != nullptr) {
+    model = *opts.initial_guess;
+    model.validate();
+    DMTK_CHECK(model.rank() == C && model.order() == N,
+               "cp_als: initial guess shape mismatch");
+    if (model.lambda.empty()) {
+      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
+    }
+  } else {
+    Rng rng(opts.seed);
+    model = Ktensor::random(X.dims(), C, rng);
+  }
+
+  const double normX2 = X.norm_squared(nt);
+
+  std::vector<Matrix> grams(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
+    detail::gram(model.factors[static_cast<std::size_t>(n)],
+                 grams[static_cast<std::size_t>(n)], nt);
+  }
+
+  Matrix M;      // MTTKRP output, reused across modes
+  Matrix Mlast;  // copy of the final-mode MTTKRP, needed for the fit
+  double fit_old = 0.0;
+
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    CpAlsIterStats stats;
+    WallTimer sweep;
+
+    for (index_t n = 0; n < N; ++n) {
+      {
+        WallTimer t;
+        if (opts.mttkrp_override) {
+          opts.mttkrp_override(X, model.factors, n, M, nt);
+        } else {
+          mttkrp(X, model.factors, n, M, opts.method, nt);
+        }
+        stats.mttkrp_seconds += t.seconds();
+      }
+      WallTimer t;
+      if (opts.compute_fit && n == N - 1) Mlast = M;
+      Matrix H = hadamard_of_grams(grams, n);
+      detail::factor_solve(H, M, nt);
+      Matrix& U = model.factors[static_cast<std::size_t>(n)];
+      std::swap(U, M);
+      detail::normalize_update(U, model.lambda, iter == 0);
+      detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
+      stats.solve_seconds += t.seconds();
+    }
+
+    result.iterations = iter + 1;
+    if (opts.compute_fit) {
+      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
+      stats.fit = fit;
+      result.final_fit = fit;
+      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
+        stats.seconds = sweep.seconds();
+        result.iters.push_back(stats);
+        result.converged = true;
+        break;
+      }
+      fit_old = fit;
+    }
+    stats.seconds = sweep.seconds();
+    result.iters.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace dmtk

@@ -1,0 +1,73 @@
+#pragma once
+/// \file cp_als_detail.hpp
+/// \brief Helpers shared by the CP-ALS drivers (standard, dimension-tree,
+/// and the Tensor-Toolbox-style baseline): Gram computation, the TTB column
+/// normalization convention, the factor-update solve, and the fit formula.
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "core/cp_model.hpp"
+#include "core/matrix.hpp"
+#include "linalg/spd_solve.hpp"
+
+namespace dmtk::detail {
+
+/// G = U^T U.
+inline void gram(const Matrix& U, Matrix& G, int threads) {
+  blas::syrk(blas::Trans::Trans, U.cols(), U.rows(), 1.0, U.data(), U.ld(),
+             0.0, G.data(), G.ld(), threads);
+}
+
+/// Normalize columns of U into lambda. First sweep uses the 2-norm;
+/// subsequent sweeps use max(max_abs, 1) so established components stop
+/// shrinking — the Tensor Toolbox convention.
+inline void normalize_update(Matrix& U, std::vector<double>& lambda,
+                             bool first) {
+  const index_t C = U.cols();
+  for (index_t c = 0; c < C; ++c) {
+    double nrm;
+    if (first) {
+      nrm = blas::nrm2(U.rows(), U.col(c).data(), index_t{1});
+    } else {
+      const index_t im = blas::iamax(U.rows(), U.col(c).data(), index_t{1});
+      nrm = im >= 0 ? std::abs(U(im, c)) : 0.0;
+      nrm = std::max(nrm, 1.0);
+    }
+    lambda[static_cast<std::size_t>(c)] = nrm;
+    if (nrm > 0.0) {
+      blas::scal(U.rows(), 1.0 / nrm, U.col(c).data(), index_t{1});
+    }
+  }
+}
+
+/// Solve U = M H^dagger in place on M, where H is the Hadamard product of
+/// the Gram matrices of all factors except the one being updated.
+inline void factor_solve(Matrix& H, Matrix& M, int threads) {
+  linalg::spd_solve_right(H.cols(), H.data(), H.ld(), M.rows(), M.data(),
+                          M.ld(), threads);
+}
+
+/// CP fit 1 - ||X - Y||_F / ||X||_F evaluated without materializing Y:
+/// ||X - Y||^2 = ||X||^2 + ||Y||^2 - 2 <X, Y>, where <X, Y> =
+/// sum_c lambda_c <Mlast(:, c), Ulast(:, c)> because Mlast is the final-mode
+/// MTTKRP of X against the current factors. Accuracy is limited to ~sqrt(eps)
+/// by the cancellation of the O(||X||^2) terms.
+inline double cp_fit(double normX2, const Ktensor& model, const Matrix& Mlast,
+                     int threads) {
+  const index_t C = model.rank();
+  const Matrix& Ulast = model.factors.back();
+  double inner = 0.0;
+  for (index_t c = 0; c < C; ++c) {
+    inner += model.lambda_or_one(c) *
+             blas::dot(Ulast.rows(), Mlast.col(c).data(), index_t{1},
+                       Ulast.col(c).data(), index_t{1});
+  }
+  const double normY2 = model.norm_squared(threads);
+  const double residual2 = std::max(0.0, normX2 + normY2 - 2.0 * inner);
+  const double normX = std::sqrt(normX2);
+  return normX > 0.0 ? 1.0 - std::sqrt(residual2) / normX : 1.0;
+}
+
+}  // namespace dmtk::detail

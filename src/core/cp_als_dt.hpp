@@ -1,0 +1,39 @@
+#pragma once
+/// \file cp_als_dt.hpp
+/// \brief Dimension-tree CP-ALS: the paper's stated "natural next step"
+/// (Section 6), following Phan, Tichavsky & Cichocki [19, Section III.C].
+///
+/// Standard CP-ALS touches all I tensor entries once per MODE (N full-
+/// tensor passes per sweep). The dimension-tree scheme splits the modes
+/// into a left group [0, s) and a right group [s, N) and computes only TWO
+/// full-tensor partial MTTKRPs per sweep:
+///
+///   G_R = X(0:s-1) * KRP(U_{N-1}, ..., U_s)   (contracts the right group)
+///   G_L = X(0:s-1)^T * KRP(U_{s-1}, ..., U_0) (contracts the left group)
+///
+/// Every mode's MTTKRP is then recovered from its group's intermediate by
+/// cheap per-component tensor-times-vector chains over the (small) group
+/// tensor. The update ORDER makes this exact ALS: G_R is formed before any
+/// left-group update (right factors still old), the within-group TTV chains
+/// always read current factors, and G_L is formed after the left group has
+/// been updated. Expected per-sweep savings: ~N/2x of the MTTKRP cost
+/// (paper Section 6 projects ~1.5x for N=3, ~2x for N=4, growing with N).
+///
+/// The intermediates cost O(max(I_L, I_R) * C) extra memory, where
+/// I_L = prod of left-group sizes and I_R = prod right-group sizes; the
+/// split is chosen to balance the two.
+
+#include "core/cp_als.hpp"
+
+namespace dmtk {
+
+/// Split point s in [1, N) that balances the two group sizes (minimizes
+/// max(I_0..I_{s-1}, I_s..I_{N-1})). Exposed for tests and benchmarks.
+index_t dimtree_split(const Tensor& X);
+
+/// CP-ALS with one-level dimension-tree MTTKRP reuse. Produces the same
+/// iterates as cp_als (up to roundoff); `opts.method` and
+/// `opts.mttkrp_override` are ignored.
+CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts);
+
+}  // namespace dmtk

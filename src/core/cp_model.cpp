@@ -1,0 +1,157 @@
+#include "core/cp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "core/multi_index.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk {
+
+std::vector<index_t> Ktensor::dims() const {
+  std::vector<index_t> d(factors.size());
+  for (std::size_t n = 0; n < factors.size(); ++n) d[n] = factors[n].rows();
+  return d;
+}
+
+void Ktensor::validate() const {
+  DMTK_CHECK(!factors.empty(), "Ktensor: no factors");
+  const index_t C = rank();
+  for (const Matrix& U : factors) {
+    DMTK_CHECK(U.cols() == C, "Ktensor: inconsistent rank across factors");
+  }
+  DMTK_CHECK(lambda.empty() || static_cast<index_t>(lambda.size()) == C,
+             "Ktensor: lambda size mismatch");
+}
+
+Tensor Ktensor::full(int threads) const {
+  validate();
+  const index_t N = order();
+  const index_t C = rank();
+  Tensor X(dims());
+  const index_t I0 = factors[0].rows();
+  const index_t nslabs = X.numel() / I0;  // linearization of modes 1..N-1
+
+  // For each component, walk the mode-(1..N-1) odometer and axpy the scaled
+  // mode-0 column into each length-I0 slab. Slabs are independent, so the
+  // parallel split is over slabs.
+  const int nt = resolve_threads(threads);
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(nslabs, nteam, t);
+    if (r.empty()) return;
+    std::vector<index_t> extents(static_cast<std::size_t>(N - 1));
+    for (index_t n = 1; n < N; ++n) {
+      extents[static_cast<std::size_t>(n - 1)] = factors[n].rows();
+    }
+    std::vector<index_t> idx(extents.size());
+    for (index_t c = 0; c < C; ++c) {
+      const double lc = lambda_or_one(c);
+      const double* u0 = factors[0].col(c).data();
+      for (index_t s = r.begin; s < r.end; ++s) {
+        decompose_first_fastest(s, extents, idx);
+        double w = lc;
+        for (index_t n = 1; n < N; ++n) {
+          w *= factors[static_cast<std::size_t>(n)](
+              idx[static_cast<std::size_t>(n - 1)], c);
+        }
+        blas::axpy(I0, w, u0, index_t{1}, X.data() + s * I0, index_t{1});
+      }
+    }
+  });
+  return X;
+}
+
+double Ktensor::norm_squared(int threads) const {
+  validate();
+  const index_t C = rank();
+  if (C == 0) return 0.0;
+  Matrix H(C, C);
+  H.fill(1.0);
+  Matrix G(C, C);
+  for (const Matrix& U : factors) {
+    blas::syrk(blas::Trans::Trans, C, U.rows(), 1.0, U.data(), U.ld(), 0.0,
+               G.data(), G.ld(), threads);
+    blas::hadamard_inplace(C * C, G.data(), H.data());
+  }
+  double s = 0.0;
+  for (index_t i = 0; i < C; ++i) {
+    for (index_t j = 0; j < C; ++j) {
+      s += lambda_or_one(i) * lambda_or_one(j) * H(i, j);
+    }
+  }
+  // Guard tiny negative values from roundoff; the quantity is a norm.
+  return std::max(0.0, s);
+}
+
+void Ktensor::normalize_columns() {
+  validate();
+  const index_t C = rank();
+  if (lambda.empty()) lambda.assign(static_cast<std::size_t>(C), 1.0);
+  for (Matrix& U : factors) {
+    for (index_t c = 0; c < C; ++c) {
+      const double nrm = blas::nrm2(U.rows(), U.col(c).data(), index_t{1});
+      if (nrm > 0.0) {
+        blas::scal(U.rows(), 1.0 / nrm, U.col(c).data(), index_t{1});
+        lambda[static_cast<std::size_t>(c)] *= nrm;
+      }
+    }
+  }
+}
+
+Ktensor Ktensor::random(std::span<const index_t> dims, index_t rank,
+                        Rng& rng) {
+  Ktensor K;
+  K.factors.reserve(dims.size());
+  for (index_t d : dims) {
+    K.factors.push_back(Matrix::random_uniform(d, rank, rng));
+  }
+  K.lambda.assign(static_cast<std::size_t>(rank), 1.0);
+  return K;
+}
+
+double factor_match_score(const Ktensor& a, const Ktensor& b) {
+  DMTK_CHECK(a.order() == b.order() && a.rank() == b.rank(),
+             "factor_match_score: shape mismatch");
+  const index_t N = a.order();
+  const index_t C = a.rank();
+  if (C == 0) return 1.0;
+
+  // Pairwise congruence: product over modes of |cos(U_a(:,i), U_b(:,j))|.
+  Matrix congruence(C, C);
+  congruence.fill(1.0);
+  for (index_t n = 0; n < N; ++n) {
+    const Matrix& Ua = a.factors[static_cast<std::size_t>(n)];
+    const Matrix& Ub = b.factors[static_cast<std::size_t>(n)];
+    DMTK_CHECK(Ua.rows() == Ub.rows(), "factor_match_score: dim mismatch");
+    for (index_t i = 0; i < C; ++i) {
+      const double na = blas::nrm2(Ua.rows(), Ua.col(i).data(), index_t{1});
+      for (index_t j = 0; j < C; ++j) {
+        const double nb = blas::nrm2(Ub.rows(), Ub.col(j).data(), index_t{1});
+        const double d =
+            blas::dot(Ua.rows(), Ua.col(i).data(), index_t{1},
+                      Ub.col(j).data(), index_t{1});
+        congruence(i, j) *= (na > 0 && nb > 0) ? std::abs(d) / (na * nb) : 0.0;
+      }
+    }
+  }
+  // Greedy assignment (adequate for well-separated components).
+  std::vector<bool> used(static_cast<std::size_t>(C), false);
+  double total = 0.0;
+  for (index_t i = 0; i < C; ++i) {
+    double best = 0.0;
+    index_t bestj = -1;
+    for (index_t j = 0; j < C; ++j) {
+      if (!used[static_cast<std::size_t>(j)] && congruence(i, j) >= best) {
+        best = congruence(i, j);
+        bestj = j;
+      }
+    }
+    if (bestj >= 0) used[static_cast<std::size_t>(bestj)] = true;
+    total += best;
+  }
+  return total / static_cast<double>(C);
+}
+
+}  // namespace dmtk

@@ -1,0 +1,60 @@
+#pragma once
+/// \file cp_model.hpp
+/// \brief Ktensor: a rank-C CP model Y = [lambda; U_0, ..., U_{N-1}]
+/// (Section 2.2). Factor matrices are I_n x C column-major; lambda holds the
+/// per-component scales pulled out by column normalization.
+
+#include <span>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk {
+
+struct Ktensor {
+  std::vector<Matrix> factors;  ///< factors[n] is I_n x C
+  std::vector<double> lambda;   ///< size C; empty means all-ones
+
+  [[nodiscard]] index_t order() const {
+    return static_cast<index_t>(factors.size());
+  }
+
+  [[nodiscard]] index_t rank() const {
+    return factors.empty() ? 0 : factors.front().cols();
+  }
+
+  [[nodiscard]] std::vector<index_t> dims() const;
+
+  /// Effective lambda value for component c (1 when lambda is empty).
+  [[nodiscard]] double lambda_or_one(index_t c) const {
+    return lambda.empty() ? 1.0 : lambda[static_cast<std::size_t>(c)];
+  }
+
+  /// Materialize the dense tensor Y(i_0,...,i_{N-1}) =
+  /// sum_c lambda_c prod_n U_n(i_n, c). Cost O(I * C).
+  [[nodiscard]] Tensor full(int threads = 0) const;
+
+  /// ||Y||_F^2 = lambda^T (Hadamard_n U_n^T U_n) lambda, computed without
+  /// materializing the tensor.
+  [[nodiscard]] double norm_squared(int threads = 0) const;
+
+  /// Pull column 2-norms of every factor into lambda (multiplicatively).
+  void normalize_columns();
+
+  /// Model with i.i.d. uniform [0,1) factors and unit lambda.
+  static Ktensor random(std::span<const index_t> dims, index_t rank, Rng& rng);
+
+  /// Validate internal consistency (matching ranks, lambda size); throws
+  /// DimensionError on violation.
+  void validate() const;
+};
+
+/// Relative factor-match score in [0,1] between two CP models of equal shape
+/// and rank: the best average absolute cosine similarity over component
+/// permutations is approximated greedily. Used to verify planted-factor
+/// recovery in tests and the fMRI example.
+double factor_match_score(const Ktensor& a, const Ktensor& b);
+
+}  // namespace dmtk

@@ -1,0 +1,127 @@
+#include "core/cp_nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "core/cp_als_detail.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace dmtk {
+
+namespace {
+
+/// One HALS pass over the columns of U (exact coordinate descent):
+/// U(:, c) <- max(0, U(:, c) + (M(:, c) - U H(:, c)) / H(c, c)).
+void hals_update(Matrix& U, const Matrix& M, const Matrix& H) {
+  const index_t rows = U.rows();
+  const index_t C = U.cols();
+  std::vector<double> g(static_cast<std::size_t>(rows));
+  for (index_t c = 0; c < C; ++c) {
+    // g = M(:,c) - U H(:,c), using the CURRENT U (columns < c already new).
+    blas::copy(rows, M.col(c).data(), index_t{1}, g.data(), index_t{1});
+    blas::gemv(blas::Layout::ColMajor, blas::Trans::NoTrans, rows, C, -1.0,
+               U.data(), U.ld(), H.col(c).data(), index_t{1}, 1.0, g.data(),
+               index_t{1}, /*threads=*/1);
+    const double hcc = std::max(H(c, c), 1e-12);
+    double* u = U.col(c).data();
+    bool all_zero = true;
+    for (index_t i = 0; i < rows; ++i) {
+      u[i] = std::max(0.0, u[i] + g[static_cast<std::size_t>(i)] / hcc);
+      if (u[i] != 0.0) all_zero = false;
+    }
+    // A dead component would zero its Gram row and stall every later
+    // update; revive it with a tiny uniform value (standard HALS guard).
+    if (all_zero) {
+      for (index_t i = 0; i < rows; ++i) u[i] = 1e-10;
+    }
+  }
+}
+
+}  // namespace
+
+CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
+  const index_t N = X.order();
+  const index_t C = opts.rank;
+  DMTK_CHECK(N >= 2, "cp_nnhals: tensor must have at least 2 modes");
+  DMTK_CHECK(C >= 1, "cp_nnhals: rank must be positive");
+  const int nt = resolve_threads(opts.threads);
+
+  CpAlsResult result;
+  Ktensor& model = result.model;
+  if (opts.initial_guess != nullptr) {
+    model = *opts.initial_guess;
+    model.validate();
+    DMTK_CHECK(model.rank() == C && model.order() == N,
+               "cp_nnhals: initial guess shape mismatch");
+    for (const Matrix& U : model.factors) {
+      for (double v : U.span()) {
+        DMTK_CHECK(v >= 0.0, "cp_nnhals: initial guess must be nonnegative");
+      }
+    }
+    // HALS keeps the component scale inside the factors (the incremental
+    // column updates are not scale-invariant the way the exact ALS solve
+    // is): fold any lambda of the warm start into the last factor.
+    if (!model.lambda.empty()) {
+      Matrix& Ulast = model.factors.back();
+      for (index_t c = 0; c < C; ++c) {
+        blas::scal(Ulast.rows(), model.lambda[static_cast<std::size_t>(c)],
+                   Ulast.col(c).data(), index_t{1});
+      }
+    }
+    model.lambda.assign(static_cast<std::size_t>(C), 1.0);
+  } else {
+    Rng rng(opts.seed);
+    model = Ktensor::random(X.dims(), C, rng);  // uniform [0,1): nonnegative
+  }
+
+  const double normX2 = X.norm_squared(nt);
+  std::vector<Matrix> grams(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
+    detail::gram(model.factors[static_cast<std::size_t>(n)],
+                 grams[static_cast<std::size_t>(n)], nt);
+  }
+
+  Matrix M;
+  Matrix Mlast;
+  double fit_old = 0.0;
+
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    CpAlsIterStats stats;
+    WallTimer sweep;
+    for (index_t n = 0; n < N; ++n) {
+      {
+        WallTimer t;
+        mttkrp(X, model.factors, n, M, opts.method, nt);
+        stats.mttkrp_seconds += t.seconds();
+      }
+      WallTimer t;
+      if (opts.compute_fit && n == N - 1) Mlast = M;
+      const Matrix H = hadamard_of_grams(grams, n);
+      Matrix& U = model.factors[static_cast<std::size_t>(n)];
+      hals_update(U, M, H);
+      detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
+      stats.solve_seconds += t.seconds();
+    }
+    result.iterations = iter + 1;
+    if (opts.compute_fit) {
+      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
+      stats.fit = fit;
+      result.final_fit = fit;
+      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
+        stats.seconds = sweep.seconds();
+        result.iters.push_back(stats);
+        result.converged = true;
+        break;
+      }
+      fit_old = fit;
+    }
+    stats.seconds = sweep.seconds();
+    result.iters.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace dmtk

@@ -1,0 +1,242 @@
+#include "core/krp.hpp"
+
+#include <algorithm>
+
+#include "blas/level1.hpp"
+#include "core/multi_index.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk {
+
+namespace {
+
+/// out[c] = F(l, c) for c in [0, C): read one (strided) row of a factor.
+inline void load_row(const Matrix& F, index_t l, index_t C, double* out) {
+  const double* base = F.data() + l;
+  const index_t ld = F.ld();
+  for (index_t c = 0; c < C; ++c) out[c] = base[c * ld];
+}
+
+/// out[c] = a[c] * F(l, c): Hadamard of a contiguous vector with a factor row.
+inline void hadamard_row(const double* a, const Matrix& F, index_t l,
+                         index_t C, double* out) {
+  const double* base = F.data() + l;
+  const index_t ld = F.ld();
+  for (index_t c = 0; c < C; ++c) out[c] = a[c] * base[c * ld];
+}
+
+std::vector<index_t> extents_of(const FactorList& factors) {
+  std::vector<index_t> e(factors.size());
+  for (std::size_t z = 0; z < factors.size(); ++z) e[z] = factors[z]->rows();
+  return e;
+}
+
+/// Transposed copies of the factors (C x J_z each), so that factor ROWS are
+/// contiguous during row-wise generation. The KRP output is O(prod J_z * C)
+/// while packing costs O(sum J_z * C) — negligible — and it turns the inner
+/// Hadamard loops into vectorizable unit-stride code, which is what makes
+/// the kernel run at STREAM-like bandwidth (Section 5.2).
+std::vector<Matrix> pack_transposed(const FactorList& factors, index_t C) {
+  std::vector<Matrix> packed;
+  packed.reserve(factors.size());
+  for (const Matrix* F : factors) {
+    Matrix& P = packed.emplace_back(C, F->rows());
+    for (index_t c = 0; c < C; ++c) {
+      const double* col = F->col(c).data();
+      double* out = P.data() + c;
+      for (index_t r = 0; r < F->rows(); ++r) out[r * C] = col[r];
+    }
+  }
+  return packed;
+}
+
+/// Contiguous row pointer into a packed factor.
+inline const double* packed_row(const Matrix& P, index_t l) {
+  return P.data() + l * P.ld();
+}
+
+}  // namespace
+
+index_t krp_rows(const FactorList& factors) {
+  index_t r = 1;
+  for (const Matrix* F : factors) r *= F->rows();
+  return r;
+}
+
+index_t krp_cols(const FactorList& factors, index_t expected) {
+  if (factors.empty()) return expected;
+  const index_t C = factors.front()->cols();
+  for (const Matrix* F : factors) {
+    DMTK_CHECK(F->cols() == C, "krp: factors disagree on column count");
+  }
+  return C;
+}
+
+void krp_row(const FactorList& factors, index_t r, double* out) {
+  const index_t C = krp_cols(factors);
+  const std::size_t Z = factors.size();
+  DMTK_CHECK(Z >= 1, "krp_row: empty factor list");
+  std::vector<index_t> l(Z);
+  decompose_last_fastest(r, extents_of(factors), l);
+  load_row(*factors[0], l[0], C, out);
+  for (std::size_t z = 1; z < Z; ++z) {
+    hadamard_row(out, *factors[z], l[z], C, out);
+  }
+}
+
+void krp_rows_naive(const FactorList& factors, index_t r0, index_t r1,
+                    double* Kt, index_t ldkt) {
+  const index_t C = krp_cols(factors);
+  DMTK_CHECK(ldkt >= C, "krp: ldkt too small");
+  const std::size_t Z = factors.size();
+  DMTK_CHECK(Z >= 1, "krp_rows_naive: empty factor list");
+  if (r0 >= r1) return;
+  const std::vector<Matrix> packed = pack_transposed(factors, C);
+  Odometer odo(extents_of(factors), Odometer::Order::LastFastest);
+  odo.seek(r0);
+  for (index_t r = r0; r < r1; ++r) {
+    double* out = Kt + (r - r0) * ldkt;
+    blas::copy(C, packed_row(packed[0], odo[0]), index_t{1}, out, index_t{1});
+    for (std::size_t z = 1; z < Z; ++z) {
+      blas::hadamard_inplace(C, packed_row(packed[z], odo[z]), out);
+    }
+    odo.increment();
+  }
+}
+
+void krp_rows_reuse(const FactorList& factors, index_t r0, index_t r1,
+                    double* Kt, index_t ldkt) {
+  const index_t C = krp_cols(factors);
+  DMTK_CHECK(ldkt >= C, "krp: ldkt too small");
+  const std::size_t Z = factors.size();
+  if (r0 >= r1) return;
+  if (Z <= 2) {
+    // No partial products to reuse; the naive kernel is already optimal.
+    krp_rows_naive(factors, r0, r1, Kt, ldkt);
+    return;
+  }
+
+  const std::vector<index_t> extents = extents_of(factors);
+  const std::vector<Matrix> packed = pack_transposed(factors, C);
+  Odometer odo(extents, Odometer::Order::LastFastest);
+  odo.seek(r0);
+
+  // P holds the Z-2 partial Hadamard products: P(0) = F0(l0)*F1(l1),
+  // P(z) = P(z-1)*F_{z+1}(l_{z+1}) for z in [1, Z-2). Each product is one
+  // contiguous column of length C.
+  Matrix P(C, static_cast<index_t>(Z) - 2);
+  auto refresh_partials = [&](std::size_t from_z) {
+    for (std::size_t z = from_z; z + 2 < Z; ++z) {
+      double* pz = P.col(static_cast<index_t>(z)).data();
+      if (z == 0) {
+        blas::hadamard(C, packed_row(packed[0], odo[0]),
+                       packed_row(packed[1], odo[1]), pz);
+      } else {
+        blas::hadamard(C, P.col(static_cast<index_t>(z) - 1).data(),
+                       packed_row(packed[z + 1], odo[z + 1]), pz);
+      }
+    }
+  };
+  refresh_partials(0);
+
+  for (index_t r = r0; r < r1; ++r) {
+    // Output row = deepest partial product * last factor row.
+    blas::hadamard(C, P.col(static_cast<index_t>(Z) - 3).data(),
+                   packed_row(packed[Z - 1], odo[Z - 1]),
+                   Kt + (r - r0) * ldkt);
+    const int changed = odo.increment();
+    // `changed` digits from the fast end moved. Digit Z-1 (the fastest)
+    // does not participate in P; if any slower digit moved, partial
+    // products depending on it must be recomputed: P(z) depends on
+    // l_0..l_{z+1}, so the first stale one is z = Z-1-changed.
+    if (changed > 1 && r + 1 < r1) {
+      const std::size_t first_stale =
+          static_cast<std::size_t>(std::max<index_t>(
+              0, static_cast<index_t>(Z) - 1 - changed));
+      refresh_partials(first_stale);
+    }
+  }
+}
+
+Matrix krp_transposed(const FactorList& factors, KrpVariant variant,
+                      int threads) {
+  Matrix Kt;
+  krp_transposed_into(factors, Kt, variant, threads);
+  return Kt;
+}
+
+void krp_transposed_into(const FactorList& factors, Matrix& Kt,
+                         KrpVariant variant, int threads) {
+  const index_t C = krp_cols(factors);
+  const index_t J = krp_rows(factors);
+  DMTK_CHECK(!factors.empty(), "krp_transposed: empty factor list");
+  if (Kt.rows() != C || Kt.cols() != J) Kt = Matrix(C, J);
+  const int nt = resolve_threads(threads);
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(J, nteam, t);
+    if (r.empty()) return;
+    double* out = Kt.data() + r.begin * C;
+    if (variant == KrpVariant::Reuse) {
+      krp_rows_reuse(factors, r.begin, r.end, out, C);
+    } else {
+      krp_rows_naive(factors, r.begin, r.end, out, C);
+    }
+  });
+}
+
+Matrix krp_columnwise(const FactorList& factors) {
+  const index_t C = krp_cols(factors);
+  DMTK_CHECK(!factors.empty(), "krp_columnwise: empty factor list");
+  const index_t J = krp_rows(factors);
+  Matrix K(J, C);
+  // Column c of K is the Kronecker product of the factor columns, built by
+  // repeated expansion exactly like Tensor Toolbox's khatrirao: start with
+  // F_0(:, c) and replace the accumulator A (length La) by
+  // kron(A, F_z(:, c)) at each step (last factor fastest).
+  std::vector<double> acc;
+  std::vector<double> next;
+  for (index_t c = 0; c < C; ++c) {
+    acc.assign(1, 1.0);
+    for (const Matrix* F : factors) {
+      const index_t Jz = F->rows();
+      next.resize(acc.size() * static_cast<std::size_t>(Jz));
+      std::size_t o = 0;
+      for (double a : acc) {
+        const double* col = F->col(c).data();
+        for (index_t i = 0; i < Jz; ++i) next[o++] = a * col[i];
+      }
+      acc.swap(next);
+    }
+    std::copy(acc.begin(), acc.end(), K.col(c).data());
+  }
+  return K;
+}
+
+FactorList mttkrp_krp_factors(std::span<const Matrix> factors, index_t mode) {
+  FactorList out;
+  out.reserve(factors.size() - 1);
+  for (index_t n = static_cast<index_t>(factors.size()) - 1; n >= 0; --n) {
+    if (n != mode) out.push_back(&factors[static_cast<std::size_t>(n)]);
+  }
+  return out;
+}
+
+FactorList left_krp_factors(std::span<const Matrix> factors, index_t mode) {
+  FactorList out;
+  out.reserve(static_cast<std::size_t>(mode));
+  for (index_t n = mode - 1; n >= 0; --n) {
+    out.push_back(&factors[static_cast<std::size_t>(n)]);
+  }
+  return out;
+}
+
+FactorList right_krp_factors(std::span<const Matrix> factors, index_t mode) {
+  FactorList out;
+  for (index_t n = static_cast<index_t>(factors.size()) - 1; n > mode; --n) {
+    out.push_back(&factors[static_cast<std::size_t>(n)]);
+  }
+  return out;
+}
+
+}  // namespace dmtk

@@ -1,0 +1,50 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmtk {
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(cols_, rows_);
+  for (index_t j = 0; j < cols_; ++j) {
+    for (index_t i = 0; i < rows_; ++i) T(j, i) = (*this)(i, j);
+  }
+  return T;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  DMTK_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+Matrix Matrix::random_uniform(index_t rows, index_t cols, Rng& rng) {
+  Matrix M(rows, cols);
+  fill_uniform(M.span(), rng);
+  return M;
+}
+
+Matrix Matrix::random_normal(index_t rows, index_t cols, Rng& rng) {
+  Matrix M(rows, cols);
+  fill_normal(M.span(), rng);
+  return M;
+}
+
+Matrix Matrix::identity(index_t n) {
+  Matrix M(n, n);
+  for (index_t i = 0; i < n; ++i) M(i, i) = 1.0;
+  return M;
+}
+
+}  // namespace dmtk

@@ -1,0 +1,95 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Dense column-major matrix of doubles. Factor matrices, MTTKRP
+/// outputs, and Gram matrices are all Matrix instances.
+///
+/// Layout convention used throughout dmtk: Matrix is ALWAYS column-major
+/// with leading dimension == rows(). Khatri-Rao products are stored
+/// *transposed* (C x J) so that each KRP row is a contiguous column — see
+/// krp.hpp for why this matches the paper's row-wise generation and the
+/// layouts in Figure 2.
+
+#include <span>
+#include <vector>
+
+#include "util/aligned_alloc.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk {
+
+class Matrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), 0.0) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t size() const { return rows_ * cols_; }
+  /// Leading dimension (always rows(): storage is never padded).
+  [[nodiscard]] index_t ld() const { return rows_; }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  double& operator()(index_t i, index_t j) { return data_[at(i, j)]; }
+  double operator()(index_t i, index_t j) const { return data_[at(i, j)]; }
+
+  /// Contiguous column j.
+  [[nodiscard]] std::span<double> col(index_t j) {
+    return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const double> col(index_t j) const {
+    return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
+  }
+
+  /// Whole buffer as a span.
+  [[nodiscard]] std::span<double> span() {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const double> span() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  /// Explicit transpose (cols x rows copy).
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Max absolute entrywise difference; matrices must be conformant.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  /// rows x cols matrix with i.i.d. uniform [0,1) entries (the paper's
+  /// factor-matrix initialization).
+  static Matrix random_uniform(index_t rows, index_t cols, Rng& rng);
+
+  /// rows x cols matrix with i.i.d. standard normal entries.
+  static Matrix random_normal(index_t rows, index_t cols, Rng& rng);
+
+  /// Identity-like matrix (ones on the main diagonal).
+  static Matrix identity(index_t n);
+
+ private:
+  static std::size_t checked_size(index_t rows, index_t cols) {
+    DMTK_CHECK(rows >= 0 && cols >= 0, "Matrix: negative dimension");
+    return static_cast<std::size_t>(rows * cols);
+  }
+
+  [[nodiscard]] std::size_t at(index_t i, index_t j) const {
+    return static_cast<std::size_t>(i + j * rows_);
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double, AlignedAllocator<double>> data_;
+};
+
+}  // namespace dmtk

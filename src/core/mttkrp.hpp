@@ -1,0 +1,87 @@
+#pragma once
+/// \file mttkrp.hpp
+/// \brief The matricized-tensor times Khatri-Rao product:
+///   M = X(n) * (U_{N-1} (.) ... (.) U_{n+1} (.) U_{n-1} (.) ... (.) U_0),
+/// the computational bottleneck of CP decompositions (Section 2.3).
+///
+/// Five implementations are provided:
+///  - Reference: element-wise loops, O(I*N*C). Testing oracle only.
+///  - Reorder:   explicit matricization (tensor permute) + explicit
+///               column-wise KRP + one GEMM — the straightforward approach
+///               of Bader & Kolda that the paper's algorithms aim to beat;
+///               also the kernel inside the Tensor-Toolbox-style baseline.
+///  - OneStepSeq: Algorithm 2 — full KRP, then a block inner product over
+///               the natural row-major blocks of X(n); no reordering.
+///  - OneStep:   Algorithm 3 — parallel 1-step; external modes split the
+///               columns of X(n) across threads (each thread forms its own
+///               KRP rows), internal modes split the I_Rn natural blocks
+///               (left KRP precomputed, right KRP formed row-by-row);
+///               thread-private outputs + parallel reduction.
+///  - TwoStep:   Algorithm 4 (Phan et al.) — one large GEMM (partial MTTKRP
+///               with the left or right partial KRP, whichever minimizes
+///               second-step work) followed by a multi-TTV. Parallelism
+///               lives inside the BLAS calls.
+///  - Auto:      the paper's CP-ALS policy — 1-step for external modes
+///               (where 2-step degenerates to it anyway) and 2-step for
+///               internal modes.
+
+#include <span>
+#include <string_view>
+
+#include "core/matrix.hpp"
+#include "core/tensor.hpp"
+#include "util/common.hpp"
+
+namespace dmtk {
+
+enum class MttkrpMethod {
+  Reference,
+  Reorder,
+  OneStepSeq,
+  OneStep,
+  TwoStep,
+  Auto,
+};
+
+/// Human-readable method name (for logs and benchmark tables).
+std::string_view to_string(MttkrpMethod m);
+
+/// Wall-clock breakdown of one MTTKRP call, mirroring the categories of
+/// Figures 6 and 8. Phases that a method does not have stay zero. For
+/// phases executed inside a parallel region the MAX across threads is
+/// recorded (the quantity that determines the critical path).
+struct MttkrpTimings {
+  double krp = 0.0;      ///< full-KRP formation (1-step external; Alg 2)
+  double krp_lr = 0.0;   ///< left/right partial KRP work (1-step internal,
+                         ///< 2-step line 2-3, per-block K tiles)
+  double gemm = 0.0;     ///< matrix-matrix multiply time
+  double gemv = 0.0;     ///< multi-TTV matrix-vector time (2-step)
+  double reduce = 0.0;   ///< parallel reduction of thread-private outputs
+  double reorder = 0.0;  ///< explicit tensor permute (Reorder method only)
+  double total = 0.0;    ///< whole-call wall time
+
+  MttkrpTimings& operator+=(const MttkrpTimings& o);
+};
+
+/// Compute the mode-n MTTKRP of X against the factor matrices. `factors`
+/// must hold one matrix per mode (factors[mode] is ignored but must have
+/// conforming column count). M is resized/overwritten to I_n x C.
+void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
+            Matrix& M, MttkrpMethod method = MttkrpMethod::Auto,
+            int threads = 0, MttkrpTimings* timings = nullptr);
+
+/// Convenience overload returning the result.
+Matrix mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
+              MttkrpMethod method = MttkrpMethod::Auto, int threads = 0,
+              MttkrpTimings* timings = nullptr);
+
+/// True when the 2-step algorithm is distinct from the 1-step one for this
+/// mode (internal modes of tensors with N >= 3).
+bool twostep_is_defined(index_t order, index_t mode);
+
+/// The side the 2-step algorithm will use for a given shape: true = left
+/// partial MTTKRP first (I_Ln > I_Rn), false = right first. Exposed for the
+/// ablation benchmark of the side-selection heuristic.
+bool twostep_uses_left(const Tensor& X, index_t mode);
+
+}  // namespace dmtk

@@ -1,0 +1,110 @@
+#pragma once
+/// \file multi_index.hpp
+/// \brief Mixed-radix multi-index ("odometer") arithmetic. Two orders appear
+/// in the paper:
+///  - tensor linearization: mode 0 varies FASTEST (generalized column-major,
+///    Section 2.1: l = sum_n i_n * I_<n);
+///  - Khatri-Rao row indexing: the LAST factor in the product varies fastest
+///    (row-wise definition K(rB + rA*IB, :) = A(rA,:) * B(rB,:)).
+/// Odometer supports both via explicit increment direction.
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dmtk {
+
+/// Decompose linear index `r` over `extents` with the LAST position varying
+/// fastest (row-major / KRP order) into `out`.
+inline void decompose_last_fastest(index_t r, std::span<const index_t> extents,
+                                   std::span<index_t> out) {
+  DMTK_CHECK(extents.size() == out.size(), "decompose: size mismatch");
+  for (std::size_t z = extents.size(); z-- > 0;) {
+    out[z] = r % extents[z];
+    r /= extents[z];
+  }
+}
+
+/// Decompose linear index `r` over `extents` with the FIRST position varying
+/// fastest (column-major / tensor-linearization order) into `out`.
+inline void decompose_first_fastest(index_t r,
+                                    std::span<const index_t> extents,
+                                    std::span<index_t> out) {
+  DMTK_CHECK(extents.size() == out.size(), "decompose: size mismatch");
+  for (std::size_t z = 0; z < extents.size(); ++z) {
+    out[z] = r % extents[z];
+    r /= extents[z];
+  }
+}
+
+/// Compose a multi-index back into a linear index, last position fastest.
+inline index_t compose_last_fastest(std::span<const index_t> extents,
+                                    std::span<const index_t> idx) {
+  index_t r = 0;
+  for (std::size_t z = 0; z < extents.size(); ++z) {
+    r = r * extents[z] + idx[z];
+  }
+  return r;
+}
+
+/// Compose a multi-index back into a linear index, first position fastest.
+inline index_t compose_first_fastest(std::span<const index_t> extents,
+                                     std::span<const index_t> idx) {
+  index_t r = 0;
+  for (std::size_t z = extents.size(); z-- > 0;) {
+    r = r * extents[z] + idx[z];
+  }
+  return r;
+}
+
+/// Mixed-radix counter. increment() advances the configured fastest digit
+/// and reports the deepest (slowest) digit position that changed, which is
+/// exactly what Algorithm 1 needs to know to refresh its table of partial
+/// Hadamard products.
+class Odometer {
+ public:
+  enum class Order { LastFastest, FirstFastest };
+
+  Odometer(std::vector<index_t> extents, Order order)
+      : extents_(std::move(extents)),
+        idx_(extents_.size(), 0),
+        order_(order) {}
+
+  /// Position the counter at linear index r.
+  void seek(index_t r) {
+    if (order_ == Order::LastFastest) {
+      decompose_last_fastest(r, extents_, idx_);
+    } else {
+      decompose_first_fastest(r, extents_, idx_);
+    }
+  }
+
+  /// Advance by one. Returns the smallest z such that digits z..end (in
+  /// fastest-to-slowest order, i.e. counting from the fastest digit = 0)
+  /// remained unchanged... concretely: the number of digits that CHANGED.
+  /// 1 means only the fastest digit moved (the common case); Z means a full
+  /// wraparound. Returns 0 when the counter overflows past the end.
+  int increment() {
+    const int z = static_cast<int>(extents_.size());
+    for (int d = 0; d < z; ++d) {
+      const std::size_t pos = (order_ == Order::LastFastest)
+                                  ? static_cast<std::size_t>(z - 1 - d)
+                                  : static_cast<std::size_t>(d);
+      if (++idx_[pos] < extents_[pos]) return d + 1;
+      idx_[pos] = 0;
+    }
+    return 0;  // wrapped past the last multi-index
+  }
+
+  [[nodiscard]] std::span<const index_t> index() const { return idx_; }
+  [[nodiscard]] index_t operator[](std::size_t z) const { return idx_[z]; }
+  [[nodiscard]] std::size_t size() const { return extents_.size(); }
+
+ private:
+  std::vector<index_t> extents_;
+  std::vector<index_t> idx_;
+  Order order_;
+};
+
+}  // namespace dmtk

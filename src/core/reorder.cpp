@@ -1,0 +1,131 @@
+#include "core/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/multi_index.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk {
+
+namespace {
+
+/// Copy `total` elements from src to dst where dst is walked linearly
+/// (mode-0 fastest over `out_dims`) and src is addressed through
+/// `src_strides` (src stride of output mode k). The inner mode-0 run is
+/// strided in src by src_strides[0].
+void gather(const double* src, double* dst, index_t begin, index_t end,
+            std::span<const index_t> out_dims,
+            std::span<const index_t> src_strides) {
+  const std::size_t N = out_dims.size();
+  std::vector<index_t> idx(N);
+  decompose_first_fastest(begin, out_dims, idx);
+  index_t src_off = 0;
+  for (std::size_t k = 0; k < N; ++k) src_off += idx[k] * src_strides[k];
+
+  const index_t d0 = out_dims[0];
+  const index_t s0 = src_strides[0];
+  index_t out = begin;
+  while (out < end) {
+    // Run along output mode 0 (contiguous in dst) until its edge or `end`.
+    const index_t run = std::min(d0 - idx[0], end - out);
+    const double* s = src + src_off;
+    if (s0 == 1) {
+      std::copy(s, s + run, dst + out);
+    } else {
+      for (index_t i = 0; i < run; ++i) dst[out + i] = s[i * s0];
+    }
+    out += run;
+    if (out >= end) break;
+    // Mode 0 wrapped: carry into the higher digits. A full recompute keeps
+    // this simple; it happens once per d0 contiguous elements, so the cost
+    // is amortized away.
+    decompose_first_fastest(out, out_dims, idx);
+    src_off = 0;
+    for (std::size_t k = 0; k < N; ++k) src_off += idx[k] * src_strides[k];
+  }
+}
+
+}  // namespace
+
+Tensor permute(const Tensor& X, std::span<const index_t> perm, int threads) {
+  const index_t N = X.order();
+  DMTK_CHECK(static_cast<index_t>(perm.size()) == N,
+             "permute: perm order mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(N), false);
+  for (index_t p : perm) {
+    DMTK_CHECK(p >= 0 && p < N && !seen[static_cast<std::size_t>(p)],
+               "permute: invalid permutation");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+
+  std::vector<index_t> out_dims(static_cast<std::size_t>(N));
+  std::vector<index_t> src_strides(static_cast<std::size_t>(N));
+  for (index_t k = 0; k < N; ++k) {
+    out_dims[static_cast<std::size_t>(k)] =
+        X.dim(perm[static_cast<std::size_t>(k)]);
+    src_strides[static_cast<std::size_t>(k)] =
+        X.left_size(perm[static_cast<std::size_t>(k)]);
+  }
+
+  Tensor Y(out_dims);
+  const index_t total = Y.numel();
+  const int nt = resolve_threads(threads);
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(total, nteam, t);
+    if (!r.empty()) {
+      gather(X.data(), Y.data(), r.begin, r.end, out_dims, src_strides);
+    }
+  });
+  return Y;
+}
+
+Matrix matricize(const Tensor& X, index_t mode, int threads) {
+  const index_t N = X.order();
+  DMTK_CHECK(mode >= 0 && mode < N, "matricize: bad mode");
+  std::vector<index_t> perm;
+  perm.reserve(static_cast<std::size_t>(N));
+  perm.push_back(mode);
+  for (index_t k = 0; k < N; ++k) {
+    if (k != mode) perm.push_back(k);
+  }
+  const Tensor Y = permute(X, perm, threads);
+  Matrix M(X.dim(mode), X.cosize(mode));
+  std::copy(Y.data(), Y.data() + Y.numel(), M.data());
+  return M;
+}
+
+Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims, index_t mode,
+                 int threads) {
+  const index_t N = static_cast<index_t>(dims.size());
+  DMTK_CHECK(mode >= 0 && mode < N, "tensorize: bad mode");
+  DMTK_CHECK(Xn.rows() == dims[static_cast<std::size_t>(mode)],
+             "tensorize: row count != mode size");
+
+  // Build a tensor whose layout equals Xn (mode first), then permute back.
+  std::vector<index_t> permuted_dims;
+  permuted_dims.reserve(static_cast<std::size_t>(N));
+  permuted_dims.push_back(dims[static_cast<std::size_t>(mode)]);
+  for (index_t k = 0; k < N; ++k) {
+    if (k != mode) permuted_dims.push_back(dims[static_cast<std::size_t>(k)]);
+  }
+  Tensor T(permuted_dims);
+  DMTK_CHECK(Xn.size() == T.numel(), "tensorize: element count mismatch");
+  std::copy(Xn.data(), Xn.data() + Xn.size(), T.data());
+
+  // Inverse permutation: mode -> position 0, others keep relative order.
+  std::vector<index_t> inv(static_cast<std::size_t>(N));
+  index_t pos = 1;
+  for (index_t k = 0; k < N; ++k) {
+    if (k == mode) {
+      inv[static_cast<std::size_t>(k)] = 0;
+    } else {
+      inv[static_cast<std::size_t>(k)] = pos++;
+    }
+  }
+  return permute(T, inv, threads);
+}
+
+}  // namespace dmtk

@@ -1,0 +1,33 @@
+#pragma once
+/// \file reorder.hpp
+/// \brief Explicit tensor reordering: generalized transpose (permute) and
+/// explicit matricization. These are the memory-bound operations the paper's
+/// 1-step/2-step algorithms are designed to AVOID; they are provided (a) as
+/// the substrate of the Tensor-Toolbox-style baseline, (b) for tests, and
+/// (c) so users migrating from Matlab have the familiar primitives.
+
+#include <span>
+
+#include "core/matrix.hpp"
+#include "core/tensor.hpp"
+
+namespace dmtk {
+
+/// Generalized transpose, semantics of Matlab's permute: the result Y has
+/// Y.dim(k) == X.dim(perm[k]) and Y(j_0,...,j_{N-1}) == X(i) with
+/// i_{perm[k]} = j_k. perm must be a permutation of [0, N).
+Tensor permute(const Tensor& X, std::span<const index_t> perm,
+               int threads = 0);
+
+/// Explicit mode-n matricization X(n): an I_n x I_{!=n} column-major matrix
+/// whose columns are mode-n fibers ordered by the linearization of the
+/// remaining modes. Requires a full copy of the tensor (the cost the 1-step
+/// and 2-step algorithms avoid).
+Matrix matricize(const Tensor& X, index_t mode, int threads = 0);
+
+/// Inverse of matricize: fold an I_n x I_{!=n} matrix back into a tensor
+/// with the given dimensions.
+Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims,
+                 index_t mode, int threads = 0);
+
+}  // namespace dmtk

@@ -1,0 +1,117 @@
+#include "core/tucker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "linalg/jacobi_eig.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk {
+
+std::vector<index_t> TuckerModel::ranks() const {
+  return {core.dims().begin(), core.dims().end()};
+}
+
+Tensor TuckerModel::full(int threads) const {
+  DMTK_CHECK(static_cast<index_t>(factors.size()) == core.order(),
+             "TuckerModel: factor count != core order");
+  Tensor Y = core;
+  for (index_t n = 0; n < core.order(); ++n) {
+    const Matrix& U = factors[static_cast<std::size_t>(n)];
+    DMTK_CHECK(U.cols() == core.dim(n),
+               "TuckerModel: factor cols != core dim");
+    // ttm contracts with M^T (M rows must match Y.dim(n)); expanding the
+    // core needs Y x_n U, i.e. contraction with U^T transposed back.
+    Y = ttm(Y, U.transposed(), n, threads);
+  }
+  return Y;
+}
+
+Matrix gram_matricized(const Tensor& X, index_t mode, int threads) {
+  const index_t N = X.order();
+  DMTK_CHECK(mode >= 0 && mode < N, "gram_matricized: bad mode");
+  const index_t In = X.dim(mode);
+  const index_t ILn = X.left_size(mode);
+  const index_t IRn = X.right_size(mode);
+  const int nt = resolve_threads(threads);
+  Matrix G(In, In);
+
+  if (mode == 0) {
+    // X(0) is column-major In x cosize: one SYRK.
+    blas::syrk(blas::Trans::NoTrans, In, X.cosize(0), 1.0, X.data(), In, 0.0,
+               G.data(), G.ld(), nt);
+    return G;
+  }
+  // G = sum_j B_j B_j^T over the I_Rn natural blocks; each block is
+  // In x ILn row-major, i.e. a column-major ILn x In matrix A with
+  // B_j B_j^T = A^T A. Threads accumulate into private Grams, reduced at
+  // the end (same pattern as the 1-step MTTKRP).
+  std::vector<Matrix> partials(static_cast<std::size_t>(nt));
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(IRn, nteam, t);
+    Matrix& Gt = partials[static_cast<std::size_t>(t)];
+    Gt = Matrix(In, In);
+    for (index_t j = r.begin; j < r.end; ++j) {
+      blas::syrk(blas::Trans::Trans, In, ILn, 1.0, X.mode_block(mode, j),
+                 ILn, 1.0, Gt.data(), Gt.ld(), /*threads=*/1);
+    }
+  });
+  for (const Matrix& Gt : partials) {
+    for (index_t i = 0; i < In * In; ++i) G.data()[i] += Gt.data()[i];
+  }
+  return G;
+}
+
+TuckerModel st_hosvd(const Tensor& X, std::span<const index_t> ranks,
+                     int threads) {
+  const index_t N = X.order();
+  DMTK_CHECK(static_cast<index_t>(ranks.size()) == N,
+             "st_hosvd: need one rank per mode");
+  for (index_t n = 0; n < N; ++n) {
+    DMTK_CHECK(ranks[static_cast<std::size_t>(n)] >= 1 &&
+                   ranks[static_cast<std::size_t>(n)] <= X.dim(n),
+               "st_hosvd: rank out of range");
+  }
+  const int nt = resolve_threads(threads);
+
+  TuckerModel model;
+  model.factors.reserve(static_cast<std::size_t>(N));
+  Tensor Y = X;  // progressively truncated partial core
+  for (index_t n = 0; n < N; ++n) {
+    const index_t In = Y.dim(n);
+    const index_t Rn = ranks[static_cast<std::size_t>(n)];
+    const Matrix G = gram_matricized(Y, n, nt);
+    const linalg::SymmetricEig eig = linalg::jacobi_eig(In, G.data(), G.ld());
+    // Leading Rn eigenvectors (eigenvalues ascend; take the tail).
+    Matrix U(In, Rn);
+    for (index_t r = 0; r < Rn; ++r) {
+      const index_t src = In - Rn + r;
+      for (index_t i = 0; i < In; ++i) {
+        U(i, r) = eig.eigenvectors[static_cast<std::size_t>(i + src * In)];
+      }
+    }
+    // Shrink mode n: Y <- Y x_n U^T (ttm contracts with its argument's
+    // transpose, so passing U directly yields dim R_n).
+    Y = ttm(Y, U, n, nt);
+    model.factors.push_back(std::move(U));
+  }
+  model.core = std::move(Y);
+  return model;
+}
+
+double tucker_relative_error(const Tensor& X, const TuckerModel& model,
+                             int threads) {
+  const Tensor R = model.full(threads);
+  DMTK_CHECK(R.order() == X.order(), "tucker_relative_error: order mismatch");
+  double diff2 = 0.0;
+  for (index_t l = 0; l < X.numel(); ++l) {
+    const double d = X[l] - R[l];
+    diff2 += d * d;
+  }
+  const double nx = X.norm(threads);
+  return nx > 0.0 ? std::sqrt(diff2) / nx : 0.0;
+}
+
+}  // namespace dmtk

@@ -1,0 +1,52 @@
+#pragma once
+/// \file tucker.hpp
+/// \brief Tucker decomposition via sequentially-truncated HOSVD (ST-HOSVD).
+///
+/// The paper's 1-step MTTKRP borrows its central trick — treating the
+/// naturally-linearized tensor's matricization as a sequence of row-major
+/// blocks — from dense TTM/Tucker work (Austin, Ballard & Kolda [5]; Li et
+/// al. [14]). This module closes the loop by providing that Tucker
+/// computation on the same layout machinery: per mode, the Gram matrix of
+/// the matricization is accumulated block-by-block WITHOUT reordering
+/// entries, its leading eigenvectors give the factor, and the tensor is
+/// shrunk by a TTM before the next mode is processed.
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/tensor.hpp"
+#include "core/ttv.hpp"
+
+namespace dmtk {
+
+/// Tucker model: X ~ core x_0 U_0 x_1 ... x_{N-1} U_{N-1}, with U_n of
+/// shape I_n x R_n (orthonormal columns) and an R_0 x ... x R_{N-1} core.
+struct TuckerModel {
+  Tensor core;
+  std::vector<Matrix> factors;
+
+  /// Materialize the full tensor (chained TTMs).
+  [[nodiscard]] Tensor full(int threads = 0) const;
+
+  /// Multilinear ranks (core dimensions).
+  [[nodiscard]] std::vector<index_t> ranks() const;
+};
+
+/// Gram matrix of the mode-n matricization, G = X(n) X(n)^T (I_n x I_n),
+/// accumulated over the natural row-major blocks of X(n) — no tensor
+/// reordering. Exposed for tests and for users building their own
+/// truncation rules.
+Matrix gram_matricized(const Tensor& X, index_t mode, int threads = 0);
+
+/// Sequentially-truncated HOSVD with prescribed multilinear ranks
+/// (ranks[n] <= I_n). Modes are processed in increasing order; each step
+/// truncates to the leading eigenvectors of the current partial core's
+/// Gram matrix, then shrinks the tensor with a TTM.
+TuckerModel st_hosvd(const Tensor& X, std::span<const index_t> ranks,
+                     int threads = 0);
+
+/// Relative reconstruction error ||X - model.full()|| / ||X||.
+double tucker_relative_error(const Tensor& X, const TuckerModel& model,
+                             int threads = 0);
+
+}  // namespace dmtk

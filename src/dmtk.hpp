@@ -1,0 +1,40 @@
+#pragma once
+/// \file dmtk.hpp
+/// \brief Umbrella header: the full public API of the Dense MTTKRP Toolkit.
+///
+/// Quick tour:
+///   dmtk::Tensor            dense N-way tensor, natural linearization
+///   dmtk::Matrix            column-major dense matrix
+///   dmtk::krp_transposed    parallel row-wise Khatri-Rao product (Alg. 1)
+///   dmtk::mttkrp            1-step / 2-step / baseline MTTKRP (Algs. 2-4)
+///   dmtk::cp_als            CP decomposition via alternating least squares
+///   dmtk::ttv, dmtk::ttm    tensor-times-vector / -matrix
+///   dmtk::sim::make_fmri_tensor   synthetic neuroimaging workload
+///   dmtk::baseline::ttb_cp_als    Tensor-Toolbox-style comparator
+///   dmtk::blas::*           the mini-BLAS substrate (gemm/gemv/syrk/level1)
+
+#include "baseline/ttb_cp_als.hpp"  // IWYU pragma: export
+#include "blas/blas.hpp"            // IWYU pragma: export
+#include "core/cp_als.hpp"          // IWYU pragma: export
+#include "core/cp_als_dt.hpp"       // IWYU pragma: export
+#include "core/cp_nn.hpp"           // IWYU pragma: export
+#include "core/cp_model.hpp"        // IWYU pragma: export
+#include "core/krp.hpp"             // IWYU pragma: export
+#include "core/matrix.hpp"          // IWYU pragma: export
+#include "core/mttkrp.hpp"          // IWYU pragma: export
+#include "core/multi_index.hpp"     // IWYU pragma: export
+#include "core/reorder.hpp"         // IWYU pragma: export
+#include "core/tensor.hpp"          // IWYU pragma: export
+#include "core/ttv.hpp"             // IWYU pragma: export
+#include "core/tucker.hpp"          // IWYU pragma: export
+#include "io/tensor_io.hpp"         // IWYU pragma: export
+#include "linalg/cholesky.hpp"      // IWYU pragma: export
+#include "linalg/jacobi_eig.hpp"    // IWYU pragma: export
+#include "linalg/spd_solve.hpp"     // IWYU pragma: export
+#include "sim/fmri.hpp"             // IWYU pragma: export
+#include "sparse/sparse_tensor.hpp" // IWYU pragma: export
+#include "util/env.hpp"             // IWYU pragma: export
+#include "util/rng.hpp"             // IWYU pragma: export
+#include "util/stats.hpp"           // IWYU pragma: export
+#include "util/stream.hpp"          // IWYU pragma: export
+#include "util/timer.hpp"           // IWYU pragma: export

@@ -1,0 +1,177 @@
+#include "io/tensor_io.hpp"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dmtk::io {
+
+namespace {
+
+constexpr std::array<char, 8> kTensorMagic{'D', 'M', 'T', 'K',
+                                           'T', 'E', 'N', '1'};
+constexpr std::array<char, 8> kMatrixMagic{'D', 'M', 'T', 'K',
+                                           'M', 'A', 'T', '1'};
+constexpr std::array<char, 8> kKtensorMagic{'D', 'M', 'T', 'K',
+                                            'K', 'T', 'N', '1'};
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw IoError("cannot open for writing: " + path.string());
+  return f;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("cannot open for reading: " + path.string());
+  return f;
+}
+
+void write_magic(std::ofstream& f, const std::array<char, 8>& magic) {
+  f.write(magic.data(), magic.size());
+}
+
+void check_magic(std::ifstream& f, const std::array<char, 8>& magic,
+                 const char* what) {
+  std::array<char, 8> got{};
+  f.read(got.data(), got.size());
+  if (!f || got != magic) {
+    throw IoError(std::string("bad magic: not a dmtk ") + what + " file");
+  }
+}
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!f) throw IoError("truncated file while reading extent");
+  return v;
+}
+
+void write_doubles(std::ofstream& f, const double* p, std::size_t n) {
+  f.write(reinterpret_cast<const char*>(p),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!f) throw IoError("write failed");
+}
+
+void read_doubles(std::ifstream& f, double* p, std::size_t n) {
+  f.read(reinterpret_cast<char*>(p),
+         static_cast<std::streamsize>(n * sizeof(double)));
+  if (!f) throw IoError("truncated file while reading data");
+}
+
+void write_matrix_body(std::ofstream& f, const Matrix& M) {
+  write_u64(f, static_cast<std::uint64_t>(M.rows()));
+  write_u64(f, static_cast<std::uint64_t>(M.cols()));
+  write_doubles(f, M.data(), static_cast<std::size_t>(M.size()));
+}
+
+Matrix read_matrix_body(std::ifstream& f) {
+  const auto rows = static_cast<index_t>(read_u64(f));
+  const auto cols = static_cast<index_t>(read_u64(f));
+  if (rows < 0 || cols < 0 || rows > (index_t{1} << 40) ||
+      cols > (index_t{1} << 40)) {
+    throw IoError("implausible matrix extents");
+  }
+  Matrix M(rows, cols);
+  read_doubles(f, M.data(), static_cast<std::size_t>(M.size()));
+  return M;
+}
+
+}  // namespace
+
+void write_tensor(const std::filesystem::path& path, const Tensor& X) {
+  std::ofstream f = open_out(path);
+  write_magic(f, kTensorMagic);
+  write_u64(f, static_cast<std::uint64_t>(X.order()));
+  for (index_t d : X.dims()) write_u64(f, static_cast<std::uint64_t>(d));
+  write_doubles(f, X.data(), static_cast<std::size_t>(X.numel()));
+  if (!f) throw IoError("write failed: " + path.string());
+}
+
+Tensor read_tensor(const std::filesystem::path& path) {
+  std::ifstream f = open_in(path);
+  check_magic(f, kTensorMagic, "tensor");
+  const auto order = static_cast<index_t>(read_u64(f));
+  if (order < 1 || order > 64) throw IoError("implausible tensor order");
+  std::vector<index_t> dims(static_cast<std::size_t>(order));
+  for (index_t& d : dims) {
+    d = static_cast<index_t>(read_u64(f));
+    if (d < 1 || d > (index_t{1} << 40)) {
+      throw IoError("implausible tensor extent");
+    }
+  }
+  Tensor X(dims);
+  read_doubles(f, X.data(), static_cast<std::size_t>(X.numel()));
+  return X;
+}
+
+void write_matrix(const std::filesystem::path& path, const Matrix& M) {
+  std::ofstream f = open_out(path);
+  write_magic(f, kMatrixMagic);
+  write_matrix_body(f, M);
+  if (!f) throw IoError("write failed: " + path.string());
+}
+
+Matrix read_matrix(const std::filesystem::path& path) {
+  std::ifstream f = open_in(path);
+  check_magic(f, kMatrixMagic, "matrix");
+  return read_matrix_body(f);
+}
+
+void write_ktensor(const std::filesystem::path& path, const Ktensor& K) {
+  K.validate();
+  std::ofstream f = open_out(path);
+  write_magic(f, kKtensorMagic);
+  write_u64(f, static_cast<std::uint64_t>(K.order()));
+  write_u64(f, static_cast<std::uint64_t>(K.rank()));
+  // Lambda (stored explicitly; all-ones if the model had none).
+  for (index_t c = 0; c < K.rank(); ++c) {
+    const double l = K.lambda_or_one(c);
+    f.write(reinterpret_cast<const char*>(&l), sizeof(l));
+  }
+  for (const Matrix& U : K.factors) write_matrix_body(f, U);
+  if (!f) throw IoError("write failed: " + path.string());
+}
+
+Ktensor read_ktensor(const std::filesystem::path& path) {
+  std::ifstream f = open_in(path);
+  check_magic(f, kKtensorMagic, "ktensor");
+  const auto order = static_cast<index_t>(read_u64(f));
+  const auto rank = static_cast<index_t>(read_u64(f));
+  if (order < 1 || order > 64 || rank < 1 || rank > (index_t{1} << 32)) {
+    throw IoError("implausible ktensor header");
+  }
+  Ktensor K;
+  K.lambda.resize(static_cast<std::size_t>(rank));
+  read_doubles(f, K.lambda.data(), K.lambda.size());
+  K.factors.reserve(static_cast<std::size_t>(order));
+  for (index_t n = 0; n < order; ++n) {
+    K.factors.push_back(read_matrix_body(f));
+    if (K.factors.back().cols() != rank) {
+      throw IoError("ktensor factor rank mismatch");
+    }
+  }
+  K.validate();
+  return K;
+}
+
+void export_csv(const std::filesystem::path& path, const Matrix& M) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open for writing: " + path.string());
+  for (index_t i = 0; i < M.rows(); ++i) {
+    for (index_t j = 0; j < M.cols(); ++j) {
+      std::fprintf(f, "%s%.17g", j == 0 ? "" : ",", M(i, j));
+    }
+    std::fprintf(f, "\n");
+  }
+  if (std::fclose(f) != 0) throw IoError("close failed: " + path.string());
+}
+
+}  // namespace dmtk::io

@@ -1,0 +1,50 @@
+#pragma once
+/// \file tensor_io.hpp
+/// \brief Binary serialization for tensors, matrices, and CP models, plus
+/// CSV export for factor matrices. A real analysis pipeline (the paper's
+/// Section 3 workflow) needs to persist decomposition results and load
+/// preprocessed tensors; Matlab users get .mat files from Tensor Toolbox,
+/// dmtk users get this module.
+///
+/// Format: little-endian, host doubles. Each file starts with an 8-byte
+/// magic identifying the payload kind and version, followed by 64-bit
+/// extents, followed by raw data in the container's natural layout.
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/cp_model.hpp"
+#include "core/matrix.hpp"
+#include "core/tensor.hpp"
+
+namespace dmtk::io {
+
+/// Thrown on malformed files, magic mismatches, or filesystem errors.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write a dense tensor (natural linearization) to `path`.
+void write_tensor(const std::filesystem::path& path, const Tensor& X);
+
+/// Read a tensor written by write_tensor.
+Tensor read_tensor(const std::filesystem::path& path);
+
+/// Write a column-major matrix to `path`.
+void write_matrix(const std::filesystem::path& path, const Matrix& M);
+
+/// Read a matrix written by write_matrix.
+Matrix read_matrix(const std::filesystem::path& path);
+
+/// Write a CP model (lambda + factors) to a single file.
+void write_ktensor(const std::filesystem::path& path, const Ktensor& K);
+
+/// Read a CP model written by write_ktensor.
+Ktensor read_ktensor(const std::filesystem::path& path);
+
+/// Export a matrix as CSV (one row per line, %.17g precision — lossless
+/// for doubles), e.g. for plotting factor time courses.
+void export_csv(const std::filesystem::path& path, const Matrix& M);
+
+}  // namespace dmtk::io

@@ -1,0 +1,29 @@
+#pragma once
+/// \file cholesky.hpp
+/// \brief Dense Cholesky factorization and triangular solves for the small
+/// (C x C) symmetric positive-definite systems arising in CP-ALS factor
+/// updates: U_n = M * H^-1 with H the Hadamard product of Gram matrices.
+
+#include "util/common.hpp"
+
+namespace dmtk::linalg {
+
+/// In-place lower-triangular Cholesky factorization A = L L^T of a
+/// column-major symmetric matrix (only the lower triangle is referenced and
+/// overwritten). Returns false if a non-positive pivot is met, i.e. A is not
+/// numerically positive definite; in that case A is left partially factored
+/// and the caller should fall back to the pseudo-inverse path.
+bool cholesky_factor(index_t n, double* A, index_t lda);
+
+/// Solve L L^T X = B in place for `nrhs` right-hand sides stored column-major
+/// in B (n x nrhs). L is the factor produced by cholesky_factor.
+void cholesky_solve(index_t n, const double* L, index_t lda, index_t nrhs,
+                    double* B, index_t ldb);
+
+/// Right-solve M <- M (L L^T)^-1 for a column-major M (m x n). This is the
+/// shape CP-ALS needs (factor matrices multiply H^-1 from the right) and
+/// avoids transposing the tall factor matrix.
+void cholesky_solve_right(index_t n, const double* L, index_t lda, index_t m,
+                          double* M, index_t ldm);
+
+}  // namespace dmtk::linalg

@@ -1,0 +1,111 @@
+#include "linalg/jacobi_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dmtk::linalg {
+
+namespace {
+
+/// Off-diagonal Frobenius norm of a column-major symmetric matrix.
+double offdiag_norm(index_t n, const std::vector<double>& A) {
+  double s = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      if (i != j) s += A[i + j * n] * A[i + j * n];
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+SymmetricEig jacobi_eig(index_t n, const double* Ain, index_t lda,
+                        int max_sweeps, double tol) {
+  DMTK_CHECK(n >= 0 && lda >= std::max<index_t>(1, n), "jacobi_eig: bad dims");
+  SymmetricEig out;
+  out.eigenvalues.assign(static_cast<std::size_t>(n), 0.0);
+  out.eigenvectors.assign(static_cast<std::size_t>(n * n), 0.0);
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  // Working copy (n x n, ld = n) and accumulated rotations V = I.
+  std::vector<double> A(static_cast<std::size_t>(n * n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) A[i + j * n] = Ain[i + j * lda];
+  }
+  std::vector<double>& V = out.eigenvectors;
+  for (index_t i = 0; i < n; ++i) V[i + i * n] = 1.0;
+
+  // Scale-aware stopping threshold.
+  double anorm = 0.0;
+  for (double x : A) anorm = std::max(anorm, std::abs(x));
+  const double stop = tol * std::max(1.0, anorm) * static_cast<double>(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm(n, A) <= stop) {
+      out.converged = true;
+      break;
+    }
+    out.sweeps = sweep + 1;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = A[p + q * n];
+        if (std::abs(apq) <= tol * anorm) continue;
+        const double app = A[p + p * n];
+        const double aqq = A[q + q * n];
+        // Stable rotation angle (Golub & Van Loan, Alg. 8.4.1).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply J^T A J on rows/columns p and q.
+        for (index_t i = 0; i < n; ++i) {
+          const double aip = A[i + p * n];
+          const double aiq = A[i + q * n];
+          A[i + p * n] = c * aip - s * aiq;
+          A[i + q * n] = s * aip + c * aiq;
+        }
+        for (index_t j = 0; j < n; ++j) {
+          const double apj = A[p + j * n];
+          const double aqj = A[q + j * n];
+          A[p + j * n] = c * apj - s * aqj;
+          A[q + j * n] = s * apj + c * aqj;
+        }
+        // Accumulate V <- V J.
+        for (index_t i = 0; i < n; ++i) {
+          const double vip = V[i + p * n];
+          const double viq = V[i + q * n];
+          V[i + p * n] = c * vip - s * viq;
+          V[i + q * n] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  if (!out.converged && offdiag_norm(n, A) <= stop) out.converged = true;
+
+  for (index_t i = 0; i < n; ++i) out.eigenvalues[i] = A[i + i * n];
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return out.eigenvalues[a] < out.eigenvalues[b];
+  });
+  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<double> Vs(static_cast<std::size_t>(n * n));
+  for (index_t k = 0; k < n; ++k) {
+    w[k] = out.eigenvalues[order[k]];
+    for (index_t i = 0; i < n; ++i) Vs[i + k * n] = V[i + order[k] * n];
+  }
+  out.eigenvalues = std::move(w);
+  out.eigenvectors = std::move(Vs);
+  return out;
+}
+
+}  // namespace dmtk::linalg

@@ -1,0 +1,28 @@
+#pragma once
+/// \file jacobi_eig.hpp
+/// \brief Cyclic Jacobi eigensolver for small dense symmetric matrices.
+/// Backs the pseudo-inverse fallback in spd_solve when the CP-ALS system
+/// matrix H is numerically rank-deficient (e.g. collinear factor columns).
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dmtk::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct SymmetricEig {
+  std::vector<double> eigenvalues;   ///< ascending order, size n
+  std::vector<double> eigenvectors;  ///< column-major n x n, V(:,i) <-> w[i]
+  int sweeps = 0;                    ///< Jacobi sweeps performed
+  bool converged = false;            ///< off-diagonal norm below tolerance
+};
+
+/// Compute all eigenpairs of the column-major symmetric matrix A (n x n).
+/// A is read from both triangles (assumed consistent). Classical cyclic
+/// Jacobi: O(n^3) per sweep, quadratic convergence; suited to the C <= ~200
+/// matrices this library produces.
+SymmetricEig jacobi_eig(index_t n, const double* A, index_t lda,
+                        int max_sweeps = 30, double tol = 1e-13);
+
+}  // namespace dmtk::linalg

@@ -1,0 +1,55 @@
+#include "linalg/spd_solve.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/jacobi_eig.hpp"
+
+namespace dmtk::linalg {
+
+SpdSolveInfo spd_solve_right(index_t n, double* H, index_t ldh, index_t m,
+                             double* M, index_t ldm, int threads) {
+  DMTK_CHECK(n >= 0 && m >= 0, "spd_solve_right: negative dims");
+  SpdSolveInfo info;
+  if (n == 0 || m == 0) return info;
+
+  // Keep a pristine copy for the fallback; cholesky_factor clobbers H.
+  std::vector<double> Hcopy(static_cast<std::size_t>(n * n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) Hcopy[i + j * n] = H[i + j * ldh];
+  }
+
+  if (cholesky_factor(n, H, ldh)) {
+    cholesky_solve_right(n, H, ldh, m, M, ldm);
+    info.used_cholesky = true;
+    info.rank = n;
+    return info;
+  }
+
+  // Pseudo-inverse fallback: H^dagger = V diag(1/w_i for w_i > cutoff) V^T.
+  info.used_cholesky = false;
+  const SymmetricEig eig = jacobi_eig(n, Hcopy.data(), n);
+  double wmax = 0.0;
+  for (double w : eig.eigenvalues) wmax = std::max(wmax, std::abs(w));
+  const double cutoff = wmax * static_cast<double>(n) * 1e-14;
+
+  // M H^dagger = ((M V) S) V^T with S the truncated inverse spectrum.
+  std::vector<double> MV(static_cast<std::size_t>(m * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans, blas::Trans::NoTrans,
+             m, n, n, 1.0, M, ldm, eig.eigenvectors.data(), n, 0.0, MV.data(),
+             m, threads);
+  for (index_t c = 0; c < n; ++c) {
+    const double w = eig.eigenvalues[c];
+    const double inv = (std::abs(w) > cutoff) ? 1.0 / w : 0.0;
+    if (inv != 0.0) ++info.rank;
+    for (index_t i = 0; i < m; ++i) MV[i + c * m] *= inv;
+  }
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans, blas::Trans::Trans,
+             m, n, n, 1.0, MV.data(), m, eig.eigenvectors.data(), n, 0.0, M,
+             ldm, threads);
+  return info;
+}
+
+}  // namespace dmtk::linalg

@@ -1,0 +1,25 @@
+#pragma once
+/// \file spd_solve.hpp
+/// \brief Right-solve against a symmetric positive (semi-)definite system:
+/// the exact operation CP-ALS performs per factor update, U_n = M H^dagger
+/// (Section 2.2 of the paper). Fast path is Cholesky; the fallback computes
+/// a truncated eigen pseudo-inverse so rank-deficient H (e.g. duplicate
+/// factor columns) is still handled, matching Matlab's pinv-based updates.
+
+#include "util/common.hpp"
+
+namespace dmtk::linalg {
+
+/// Diagnostics for a solve.
+struct SpdSolveInfo {
+  bool used_cholesky = true;  ///< false when the eigen pseudo-inverse ran
+  index_t rank = 0;           ///< numerical rank used (n for Cholesky)
+};
+
+/// M <- M * H^dagger, where H is a column-major symmetric PSD n x n matrix
+/// and M is column-major m x n. H is destroyed (used as factorization
+/// workspace). Returns diagnostics.
+SpdSolveInfo spd_solve_right(index_t n, double* H, index_t ldh, index_t m,
+                             double* M, index_t ldm, int threads = 0);
+
+}  // namespace dmtk::linalg

@@ -1,0 +1,143 @@
+#include "sim/fmri.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk::sim {
+
+namespace {
+
+/// Smooth time course: a Gaussian activation bump on top of a slow
+/// sinusoidal drift, mimicking task-locked BOLD dynamics.
+void fill_time_course(Matrix& T, Rng& rng) {
+  const index_t steps = T.rows();
+  for (index_t c = 0; c < T.cols(); ++c) {
+    const double center = rng.uniform(0.15, 0.85) * static_cast<double>(steps);
+    const double width = rng.uniform(0.05, 0.2) * static_cast<double>(steps);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double freq = rng.uniform(1.0, 3.0);
+    for (index_t t = 0; t < steps; ++t) {
+      const double x = static_cast<double>(t);
+      const double bump =
+          std::exp(-0.5 * ((x - center) / width) * ((x - center) / width));
+      const double drift =
+          0.3 * std::sin(freq * 2.0 * std::numbers::pi * x /
+                             static_cast<double>(steps) +
+                         phase);
+      T(t, c) = bump + drift + 0.5;
+    }
+  }
+}
+
+/// Positive, heterogeneous subject loadings (lognormal-ish).
+void fill_subject_loadings(Matrix& S, Rng& rng) {
+  for (index_t c = 0; c < S.cols(); ++c) {
+    for (index_t s = 0; s < S.rows(); ++s) {
+      S(s, c) = std::exp(0.5 * rng.normal());
+    }
+  }
+}
+
+/// Spatial network maps: each component activates a localized set of
+/// regions (contiguous window) with smooth weights, plus a weak global
+/// background so Gram matrices stay well-conditioned.
+void fill_network_maps(Matrix& W, Rng& rng) {
+  const index_t R = W.rows();
+  for (index_t c = 0; c < W.cols(); ++c) {
+    const index_t start = static_cast<index_t>(rng.below(
+        static_cast<std::uint64_t>(std::max<index_t>(1, R - R / 4))));
+    const index_t len = std::max<index_t>(2, R / 5);
+    for (index_t r = 0; r < R; ++r) {
+      double v = 0.05 * rng.uniform();
+      if (r >= start && r < std::min(R, start + len)) {
+        const double u =
+            static_cast<double>(r - start) / static_cast<double>(len);
+        v += std::sin(u * std::numbers::pi);  // smooth in-network profile
+      }
+      W(r, c) = v;
+    }
+  }
+}
+
+}  // namespace
+
+index_t pair_count(index_t regions) { return regions * (regions - 1) / 2; }
+
+FmriData make_fmri_tensor(const FmriOptions& opts) {
+  DMTK_CHECK(opts.time_steps > 0 && opts.subjects > 0 && opts.regions > 1,
+             "make_fmri_tensor: bad dimensions");
+  DMTK_CHECK(opts.components > 0, "make_fmri_tensor: bad rank");
+  Rng rng(opts.seed);
+
+  FmriData out;
+  Matrix T(opts.time_steps, opts.components);
+  Matrix S(opts.subjects, opts.components);
+  Matrix W(opts.regions, opts.components);
+  fill_time_course(T, rng);
+  fill_subject_loadings(S, rng);
+  fill_network_maps(W, rng);
+
+  out.truth.factors = {T, S, W, W};  // shared spatial factor => symmetry
+  out.truth.lambda.assign(static_cast<std::size_t>(opts.components), 1.0);
+  out.tensor = out.truth.full();
+
+  if (opts.noise_level > 0.0) {
+    // Additive i.i.d. Gaussian noise scaled to the requested relative
+    // Frobenius level. Symmetry of the region modes is broken only by the
+    // noise, as with real scan-to-scan measurement error.
+    const double signal = out.tensor.norm();
+    const double sigma =
+        opts.noise_level * signal /
+        std::sqrt(static_cast<double>(out.tensor.numel()));
+    Rng noise_rng = rng.split();
+    for (index_t i = 0; i < out.tensor.numel(); ++i) {
+      out.tensor[i] += sigma * noise_rng.normal();
+    }
+  }
+  return out;
+}
+
+Tensor symmetrize_linearize(const Tensor& X4, int threads) {
+  DMTK_CHECK(X4.order() == 4, "symmetrize_linearize: need a 4-way tensor");
+  DMTK_CHECK(X4.dim(2) == X4.dim(3),
+             "symmetrize_linearize: region modes differ");
+  const index_t T = X4.dim(0);
+  const index_t S = X4.dim(1);
+  const index_t R = X4.dim(2);
+  const index_t P = pair_count(R);
+  Tensor X3({T, S, P});
+
+  // Pair p = (i, j), i < j, enumerated j-slowest. Entry is the average of
+  // the two symmetric entries (identical in the noiseless case).
+  const index_t TS = T * S;
+  const int nt = resolve_threads(threads);
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range pr = block_range(P, nteam, t);
+    index_t p = 0;
+    index_t j0 = 1;  // find the (i, j) for pr.begin by scanning columns
+    index_t skipped = 0;
+    while (skipped + j0 <= pr.begin) {
+      skipped += j0;
+      ++j0;
+    }
+    index_t i0 = pr.begin - skipped;
+    p = pr.begin;
+    for (index_t j = j0; j < R && p < pr.end; ++j) {
+      for (index_t i = (j == j0 ? i0 : 0); i < j && p < pr.end; ++i, ++p) {
+        const double* slab_ij = X4.data() + (i + j * R) * TS;
+        const double* slab_ji = X4.data() + (j + i * R) * TS;
+        double* dst = X3.data() + p * TS;
+        for (index_t e = 0; e < TS; ++e) {
+          dst[e] = 0.5 * (slab_ij[e] + slab_ji[e]);
+        }
+      }
+    }
+  });
+  return X3;
+}
+
+}  // namespace dmtk::sim

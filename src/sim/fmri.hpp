@@ -1,0 +1,50 @@
+#pragma once
+/// \file fmri.hpp
+/// \brief Synthetic neuroimaging workload generator (Section 3 substitute).
+///
+/// The paper's application data is a 225 x 59 x 200 x 200 fMRI tensor of
+/// instantaneous correlations between brain regions per time step and
+/// subject, plus a 3-way 225 x 59 x 19900 variant obtained by linearizing
+/// the symmetric region-pair modes. Human data is not available here, so
+/// this module synthesizes a tensor with the same structure: planted CP
+/// components with smooth time courses (task-locked activations), positive
+/// subject loadings, and spatial network maps shared by the two region
+/// modes (which makes the tensor exactly symmetric in those modes before
+/// noise). The planted ground truth enables a recovery check the original
+/// study could not perform.
+
+#include <cstdint>
+
+#include "core/cp_model.hpp"
+#include "core/tensor.hpp"
+
+namespace dmtk::sim {
+
+struct FmriOptions {
+  index_t time_steps = 225;   ///< paper: 225
+  index_t subjects = 59;      ///< paper: 59
+  index_t regions = 200;      ///< paper: 200 (scaled down by benchmarks)
+  index_t components = 10;    ///< planted CP rank
+  double noise_level = 0.05;  ///< relative Frobenius noise (0 = exact CP)
+  std::uint64_t seed = 7;
+};
+
+struct FmriData {
+  Tensor tensor;  ///< time x subjects x regions x regions, symmetric in the
+                  ///< last two modes up to the additive noise
+  Ktensor truth;  ///< planted 4-way model (modes 2 and 3 share factors)
+};
+
+/// Build the synthetic 4-way correlation tensor.
+FmriData make_fmri_tensor(const FmriOptions& opts);
+
+/// Linearize the symmetric last two modes of a 4-way tensor (T x S x R x R)
+/// into the strict upper triangle, producing T x S x R(R-1)/2 — the paper's
+/// 3-way variant (225 x 59 x 19900 for R = 200). Pair p enumerates (i, j)
+/// with i < j, j varying slowest (column-by-column through the triangle).
+Tensor symmetrize_linearize(const Tensor& X4, int threads = 0);
+
+/// Number of strict-upper-triangle pairs for R regions: R(R-1)/2.
+index_t pair_count(index_t regions);
+
+}  // namespace dmtk::sim

@@ -1,0 +1,208 @@
+#include "sparse/sparse_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "core/cp_als_detail.hpp"
+#include "core/multi_index.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace dmtk::sparse {
+
+SparseTensor::SparseTensor(std::vector<index_t> dims)
+    : dims_(std::move(dims)), coords_(dims_.size()) {
+  for (index_t d : dims_) {
+    DMTK_CHECK(d > 0, "SparseTensor: nonpositive mode size");
+  }
+}
+
+index_t SparseTensor::numel() const {
+  index_t n = dims_.empty() ? 0 : 1;
+  for (index_t d : dims_) n *= d;
+  return n;
+}
+
+void SparseTensor::push_back(std::span<const index_t> idx, double value) {
+  DMTK_CHECK(idx.size() == dims_.size(), "SparseTensor: order mismatch");
+  for (std::size_t n = 0; n < dims_.size(); ++n) {
+    DMTK_CHECK(idx[n] >= 0 && idx[n] < dims_[n],
+               "SparseTensor: coordinate out of range");
+  }
+  for (std::size_t n = 0; n < dims_.size(); ++n) {
+    coords_[n].push_back(idx[n]);
+  }
+  values_.push_back(value);
+}
+
+double SparseTensor::norm_squared() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return s;
+}
+
+SparseTensor SparseTensor::from_dense(const Tensor& X, double threshold) {
+  SparseTensor S({X.dims().begin(), X.dims().end()});
+  const index_t N = X.order();
+  std::vector<index_t> idx(static_cast<std::size_t>(N), 0);
+  const std::vector<index_t> extents(X.dims().begin(), X.dims().end());
+  for (index_t l = 0; l < X.numel(); ++l) {
+    if (std::abs(X[l]) > threshold) {
+      decompose_first_fastest(l, extents, idx);
+      S.push_back(idx, X[l]);
+    }
+  }
+  return S;
+}
+
+Tensor SparseTensor::to_dense() const {
+  Tensor X({dims_.begin(), dims_.end()});
+  const index_t N = order();
+  for (index_t k = 0; k < nnz(); ++k) {
+    index_t l = 0;
+    for (index_t n = N; n-- > 0;) {
+      l = l * dim(n) + coord(n, k);
+    }
+    X[l] += value(k);
+  }
+  return X;
+}
+
+SparseTensor SparseTensor::random(std::vector<index_t> dims, index_t nnz,
+                                  Rng& rng) {
+  SparseTensor S(std::move(dims));
+  std::vector<index_t> idx(static_cast<std::size_t>(S.order()));
+  for (index_t k = 0; k < nnz; ++k) {
+    for (index_t n = 0; n < S.order(); ++n) {
+      idx[static_cast<std::size_t>(n)] = static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(S.dim(n))));
+    }
+    S.push_back(idx, rng.uniform());
+  }
+  return S;
+}
+
+void mttkrp(const SparseTensor& X, std::span<const Matrix> factors,
+            index_t mode, Matrix& M, int threads) {
+  const index_t N = X.order();
+  DMTK_CHECK(N >= 2, "sparse mttkrp: need at least 2 modes");
+  DMTK_CHECK(mode >= 0 && mode < N, "sparse mttkrp: bad mode");
+  DMTK_CHECK(static_cast<index_t>(factors.size()) == N,
+             "sparse mttkrp: need one factor per mode");
+  const index_t C = factors[0].cols();
+  for (index_t n = 0; n < N; ++n) {
+    DMTK_CHECK(factors[static_cast<std::size_t>(n)].cols() == C,
+               "sparse mttkrp: rank mismatch");
+    DMTK_CHECK(factors[static_cast<std::size_t>(n)].rows() == X.dim(n),
+               "sparse mttkrp: factor rows != mode size");
+  }
+  const index_t In = X.dim(mode);
+  if (M.rows() != In || M.cols() != C) M = Matrix(In, C);
+
+  const int nt = resolve_threads(threads);
+  const index_t nnz = X.nnz();
+  // Thread-private accumulators sized I_n x C, reduced afterwards — the
+  // same conflict-avoidance strategy as the dense 1-step algorithm.
+  std::vector<Matrix> partials(static_cast<std::size_t>(nt));
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(nnz, nteam, t);
+    Matrix& Mt = partials[static_cast<std::size_t>(t)];
+    Mt = Matrix(In, C);
+    std::vector<double> row(static_cast<std::size_t>(C));
+    for (index_t k = r.begin; k < r.end; ++k) {
+      // row = x * (*)_{n != mode} U_n(i_n, :), then scatter-add into Mt.
+      std::fill(row.begin(), row.end(), X.value(k));
+      for (index_t n = 0; n < N; ++n) {
+        if (n == mode) continue;
+        const Matrix& U = factors[static_cast<std::size_t>(n)];
+        const double* base = U.data() + X.coord(n, k);
+        for (index_t c = 0; c < C; ++c) {
+          row[static_cast<std::size_t>(c)] *= base[c * U.ld()];
+        }
+      }
+      const index_t i = X.coord(mode, k);
+      for (index_t c = 0; c < C; ++c) {
+        Mt(i, c) += row[static_cast<std::size_t>(c)];
+      }
+    }
+  });
+  M.set_zero();
+  for (const Matrix& Mt : partials) {
+    blas::axpy(M.size(), 1.0, Mt.data(), index_t{1}, M.data(), index_t{1});
+  }
+}
+
+CpAlsResult cp_als(const SparseTensor& X, const CpAlsOptions& opts) {
+  const index_t N = X.order();
+  const index_t C = opts.rank;
+  DMTK_CHECK(N >= 2, "sparse cp_als: tensor must have at least 2 modes");
+  DMTK_CHECK(C >= 1, "sparse cp_als: rank must be positive");
+  const int nt = resolve_threads(opts.threads);
+
+  CpAlsResult result;
+  Ktensor& model = result.model;
+  if (opts.initial_guess != nullptr) {
+    model = *opts.initial_guess;
+    model.validate();
+    DMTK_CHECK(model.rank() == C && model.order() == N,
+               "sparse cp_als: initial guess shape mismatch");
+    if (model.lambda.empty()) {
+      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
+    }
+  } else {
+    Rng rng(opts.seed);
+    model = Ktensor::random(X.dims(), C, rng);
+  }
+
+  const double normX2 = X.norm_squared();
+  std::vector<Matrix> grams(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
+    detail::gram(model.factors[static_cast<std::size_t>(n)],
+                 grams[static_cast<std::size_t>(n)], nt);
+  }
+
+  Matrix M;
+  Matrix Mlast;
+  double fit_old = 0.0;
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    CpAlsIterStats stats;
+    WallTimer sweep;
+    for (index_t n = 0; n < N; ++n) {
+      {
+        WallTimer t;
+        mttkrp(X, model.factors, n, M, nt);
+        stats.mttkrp_seconds += t.seconds();
+      }
+      WallTimer t;
+      if (opts.compute_fit && n == N - 1) Mlast = M;
+      Matrix H = hadamard_of_grams(grams, n);
+      detail::factor_solve(H, M, nt);
+      Matrix& U = model.factors[static_cast<std::size_t>(n)];
+      std::swap(U, M);
+      detail::normalize_update(U, model.lambda, iter == 0);
+      detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
+      stats.solve_seconds += t.seconds();
+    }
+    result.iterations = iter + 1;
+    if (opts.compute_fit) {
+      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
+      stats.fit = fit;
+      result.final_fit = fit;
+      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
+        stats.seconds = sweep.seconds();
+        result.iters.push_back(stats);
+        result.converged = true;
+        break;
+      }
+      fit_old = fit;
+    }
+    stats.seconds = sweep.seconds();
+    result.iters.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace dmtk::sparse

@@ -1,0 +1,44 @@
+#pragma once
+/// \file aligned_alloc.hpp
+/// \brief STL-compatible allocator with cache-line / SIMD-friendly alignment.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace dmtk {
+
+/// Default alignment for numeric buffers: one x86 cache line, which also
+/// satisfies AVX-512 load alignment.
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Minimal aligned allocator. Used by Matrix/Tensor storage so BLAS kernels
+/// may assume aligned, non-overlapping buffers.
+template <typename T, std::size_t Alignment = kDefaultAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace dmtk

@@ -1,0 +1,44 @@
+#pragma once
+/// \file common.hpp
+/// \brief Project-wide basic types and error-checking helpers.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmtk {
+
+/// Signed index type used for all dimensions, extents, and loop counters.
+/// Signed (rather than size_t) so that OpenMP canonical loops and backward
+/// iteration are natural and mixed arithmetic cannot wrap.
+using index_t = std::int64_t;
+
+/// Exception thrown on precondition violations in the public API.
+class DimensionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "dmtk check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw DimensionError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dmtk
+
+/// Precondition check that throws dmtk::DimensionError. Always enabled: the
+/// cost is negligible next to the O(IC) kernels it guards.
+#define DMTK_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::dmtk::detail::throw_check_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)

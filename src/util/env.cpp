@@ -1,0 +1,31 @@
+#include "util/env.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+
+namespace dmtk {
+
+namespace {
+std::atomic<int> g_threads{0};  // 0 = uninitialized, lazily set from OpenMP
+}  // namespace
+
+int hardware_threads() { return std::max(1, omp_get_max_threads()); }
+
+void set_num_threads(int n) { g_threads.store(std::max(1, n)); }
+
+int num_threads() {
+  int n = g_threads.load();
+  if (n == 0) {
+    n = hardware_threads();
+    g_threads.store(n);
+  }
+  return n;
+}
+
+int resolve_threads(int requested) {
+  return requested > 0 ? requested : num_threads();
+}
+
+}  // namespace dmtk

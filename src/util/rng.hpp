@@ -1,0 +1,68 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Small, fast, seedable random number generation. Deterministic
+/// across platforms so tests and benchmarks are reproducible.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace dmtk {
+
+/// SplitMix64 generator: tiny state, excellent statistical quality for the
+/// purpose of filling test/benchmark operands, trivially splittable so each
+/// OpenMP thread can own an independent stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (no cached second value: simplicity over
+  /// the factor-2 saving; RNG is never on a measured critical path).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Derive an independent stream (e.g. one per thread or per matrix).
+  [[nodiscard]] Rng split() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill a span with uniform values in [lo, hi).
+inline void fill_uniform(std::span<double> out, Rng& rng, double lo = 0.0,
+                         double hi = 1.0) {
+  for (double& x : out) x = rng.uniform(lo, hi);
+}
+
+/// Fill a span with N(0, sigma^2) values.
+inline void fill_normal(std::span<double> out, Rng& rng, double sigma = 1.0) {
+  for (double& x : out) x = sigma * rng.normal();
+}
+
+}  // namespace dmtk

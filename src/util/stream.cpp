@@ -1,0 +1,67 @@
+#include "util/stream.hpp"
+
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk::stream {
+
+namespace {
+
+/// Bytes moved by a kernel touching `n` doubles across `nbuf` buffers.
+double bytes_moved(std::size_t n, int nbuf) {
+  return static_cast<double>(n) * sizeof(double) * nbuf;
+}
+
+}  // namespace
+
+double copy(std::span<const double> a, std::span<double> b, int threads) {
+  DMTK_CHECK(a.size() == b.size(), "stream::copy size mismatch");
+  const index_t n = static_cast<index_t>(a.size());
+  parallel_region(resolve_threads(threads), [&](int t, int nt) {
+    const Range r = block_range(n, nt, t);
+    for (index_t i = r.begin; i < r.end; ++i) b[i] = a[i];
+  });
+  return bytes_moved(a.size(), 2);
+}
+
+double scale(std::span<const double> a, std::span<double> b, double alpha,
+             int threads) {
+  DMTK_CHECK(a.size() == b.size(), "stream::scale size mismatch");
+  const index_t n = static_cast<index_t>(a.size());
+  parallel_region(resolve_threads(threads), [&](int t, int nt) {
+    const Range r = block_range(n, nt, t);
+    for (index_t i = r.begin; i < r.end; ++i) b[i] = alpha * a[i];
+  });
+  return bytes_moved(a.size(), 2);
+}
+
+double add(std::span<const double> a, std::span<const double> b,
+           std::span<double> c, int threads) {
+  DMTK_CHECK(a.size() == b.size() && b.size() == c.size(),
+             "stream::add size mismatch");
+  const index_t n = static_cast<index_t>(a.size());
+  parallel_region(resolve_threads(threads), [&](int t, int nt) {
+    const Range r = block_range(n, nt, t);
+    for (index_t i = r.begin; i < r.end; ++i) c[i] = a[i] + b[i];
+  });
+  return bytes_moved(a.size(), 3);
+}
+
+double triad(std::span<const double> a, std::span<const double> b,
+             std::span<double> c, double alpha, int threads) {
+  DMTK_CHECK(a.size() == b.size() && b.size() == c.size(),
+             "stream::triad size mismatch");
+  const index_t n = static_cast<index_t>(a.size());
+  parallel_region(resolve_threads(threads), [&](int t, int nt) {
+    const Range r = block_range(n, nt, t);
+    for (index_t i = r.begin; i < r.end; ++i) c[i] = a[i] + alpha * b[i];
+  });
+  return bytes_moved(a.size(), 3);
+}
+
+double read_scale_write(std::span<const double> src, std::span<double> dst,
+                        double alpha, int threads) {
+  return scale(src, dst, alpha, threads);
+}
+
+}  // namespace dmtk::stream

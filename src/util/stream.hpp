@@ -1,0 +1,36 @@
+#pragma once
+/// \file stream.hpp
+/// \brief STREAM-style memory-bandwidth kernels (McCalpin). Figure 4 of the
+/// paper compares KRP performance against a STREAM benchmark "based on
+/// reading, scaling, and writing a matrix the same size as the output KRP
+/// matrix"; stream_read_scale_write() is exactly that kernel. The classic
+/// four STREAM kernels are also provided for bandwidth characterization.
+
+#include <span>
+
+#include "util/common.hpp"
+
+namespace dmtk::stream {
+
+/// b[i] = a[i] (classic STREAM Copy). Returns bytes moved (read + write).
+double copy(std::span<const double> a, std::span<double> b, int threads = 0);
+
+/// b[i] = alpha * a[i] (classic STREAM Scale). Returns bytes moved.
+double scale(std::span<const double> a, std::span<double> b, double alpha,
+             int threads = 0);
+
+/// c[i] = a[i] + b[i] (classic STREAM Add). Returns bytes moved.
+double add(std::span<const double> a, std::span<const double> b,
+           std::span<double> c, int threads = 0);
+
+/// c[i] = a[i] + alpha * b[i] (classic STREAM Triad). Returns bytes moved.
+double triad(std::span<const double> a, std::span<const double> b,
+             std::span<double> c, double alpha, int threads = 0);
+
+/// The paper's Figure-4 comparator: read a buffer, scale it, write it back
+/// to a distinct buffer of the same size. Identical traffic to Scale; named
+/// separately so benchmark output matches the paper's terminology.
+double read_scale_write(std::span<const double> src, std::span<double> dst,
+                        double alpha, int threads = 0);
+
+}  // namespace dmtk::stream

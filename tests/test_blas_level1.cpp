@@ -1,0 +1,118 @@
+// Tests for the level-1 mini-BLAS kernels, including stride handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+
+namespace dmtk::blas {
+namespace {
+
+TEST(Dot, Basic) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(index_t{3}, x.data(), index_t{1}, y.data(), index_t{1}),
+                   32.0);
+}
+
+TEST(Dot, Strided) {
+  // x = elements 0,2,4 of buffer; y = elements 0,3 stride... use stride 2/3.
+  const std::vector<double> x{1, 9, 2, 9, 3, 9};
+  const std::vector<double> y{4, 0, 0, 5, 0, 0, 6};
+  EXPECT_DOUBLE_EQ(dot(index_t{3}, x.data(), index_t{2}, y.data(), index_t{3}),
+                   32.0);
+}
+
+TEST(Dot, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(dot<double>(0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+TEST(Axpy, Basic) {
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  axpy(index_t{3}, 2.0, x.data(), index_t{1}, y.data(), index_t{1});
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Axpy, Strided) {
+  const std::vector<double> x{1, 0, 2};
+  std::vector<double> y{5, 5, 5, 5};
+  axpy(index_t{2}, 3.0, x.data(), index_t{2}, y.data(), index_t{3});
+  EXPECT_EQ(y, (std::vector<double>{8, 5, 5, 11}));
+}
+
+TEST(Scal, Basic) {
+  std::vector<double> x{1, -2, 3};
+  scal(index_t{3}, -2.0, x.data(), index_t{1});
+  EXPECT_EQ(x, (std::vector<double>{-2, 4, -6}));
+}
+
+TEST(Scal, ZeroAlphaClears) {
+  std::vector<double> x{1, 2};
+  scal(index_t{2}, 0.0, x.data(), index_t{1});
+  EXPECT_EQ(x, (std::vector<double>{0, 0}));
+}
+
+TEST(Copy, Basic) {
+  const std::vector<double> x{7, 8, 9};
+  std::vector<double> y(3, 0.0);
+  copy(index_t{3}, x.data(), index_t{1}, y.data(), index_t{1});
+  EXPECT_EQ(y, x);
+}
+
+TEST(Nrm2, Pythagorean) {
+  const std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(index_t{2}, x.data(), index_t{1}), 5.0);
+}
+
+TEST(Nrm2, SingleElement) {
+  const std::vector<double> x{-7};
+  EXPECT_DOUBLE_EQ(nrm2(index_t{1}, x.data(), index_t{1}), 7.0);
+}
+
+TEST(Asum, AbsoluteValues) {
+  const std::vector<double> x{1, -2, 3, -4};
+  EXPECT_DOUBLE_EQ(asum(index_t{4}, x.data(), index_t{1}), 10.0);
+}
+
+TEST(Iamax, FindsLargestMagnitude) {
+  const std::vector<double> x{1, -5, 3};
+  EXPECT_EQ(iamax(index_t{3}, x.data(), index_t{1}), 1);
+}
+
+TEST(Iamax, FirstOnTies) {
+  const std::vector<double> x{2, -2, 2};
+  EXPECT_EQ(iamax(index_t{3}, x.data(), index_t{1}), 0);
+}
+
+TEST(Iamax, EmptyReturnsMinusOne) {
+  EXPECT_EQ(iamax<double>(0, nullptr, 1), -1);
+}
+
+TEST(Hadamard, ElementwiseProduct) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 5, 6};
+  std::vector<double> z(3);
+  hadamard(index_t{3}, x.data(), y.data(), z.data());
+  EXPECT_EQ(z, (std::vector<double>{4, 10, 18}));
+}
+
+TEST(Hadamard, InPlace) {
+  const std::vector<double> x{2, 3};
+  std::vector<double> z{10, 10};
+  hadamard_inplace(index_t{2}, x.data(), z.data());
+  EXPECT_EQ(z, (std::vector<double>{20, 30}));
+}
+
+TEST(Level1Float, WorksForFloat) {
+  const std::vector<float> x{1.0f, 2.0f};
+  const std::vector<float> y{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(dot(index_t{2}, x.data(), index_t{1}, y.data(), index_t{1}),
+                  11.0f);
+  EXPECT_FLOAT_EQ(nrm2(index_t{2}, y.data(), index_t{1}), 5.0f);
+}
+
+}  // namespace
+}  // namespace dmtk::blas

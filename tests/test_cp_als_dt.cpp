@@ -1,0 +1,148 @@
+// Dimension-tree CP-ALS (the paper's Section 6 extension): must produce
+// the SAME iterates as the standard driver — it is an algebraic
+// rearrangement, not an approximation — while touching the full tensor only
+// twice per sweep.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/cp_als.hpp"
+#include "core/cp_als_dt.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+TEST(DimtreeSplit, BalancesGroups) {
+  // 4 x 4 x 4 x 4: the balanced split is s = 2 (16 | 16).
+  EXPECT_EQ(dimtree_split(Tensor({4, 4, 4, 4})), 2);
+  // 100 x 2 x 2: left = 100 at s=1 vs 200|2 at s=2 -> max(100,4)=... s=1
+  // gives max(100, 4) = 100; s = 2 gives max(200, 2) = 200.
+  EXPECT_EQ(dimtree_split(Tensor({100, 2, 2})), 1);
+  // 2 x 2 x 100: s = 2 gives max(4, 100) = 100; s = 1 gives max(2, 200).
+  EXPECT_EQ(dimtree_split(Tensor({2, 2, 100})), 2);
+  // Two-way tensors have only s = 1.
+  EXPECT_EQ(dimtree_split(Tensor({7, 9})), 1);
+}
+
+class DimtreeShapes
+    : public ::testing::TestWithParam<std::vector<index_t>> {};
+
+TEST_P(DimtreeShapes, MatchesStandardCpAlsTrajectory) {
+  const std::vector<index_t> dims = GetParam();
+  Rng rng(41);
+  Tensor X = Tensor::random_uniform(dims, rng);
+  CpAlsOptions opts;
+  opts.rank = 3;
+  opts.max_iters = 4;
+  opts.tol = 0.0;
+  opts.seed = 5;
+  const CpAlsResult std_r = cp_als(X, opts);
+  const CpAlsResult dt_r = cp_als_dimtree(X, opts);
+  ASSERT_EQ(std_r.iterations, dt_r.iterations);
+  EXPECT_NEAR(std_r.final_fit, dt_r.final_fit, 1e-9);
+  for (std::size_t n = 0; n < dims.size(); ++n) {
+    EXPECT_LT(std_r.model.factors[n].max_abs_diff(dt_r.model.factors[n]),
+              1e-7)
+        << "factor " << n;
+  }
+  for (index_t c = 0; c < opts.rank; ++c) {
+    EXPECT_NEAR(std_r.model.lambda[static_cast<std::size_t>(c)],
+                dt_r.model.lambda[static_cast<std::size_t>(c)], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DimtreeShapes,
+    ::testing::Values(std::vector<index_t>{6, 7},          // 2-way edge
+                      std::vector<index_t>{5, 6, 7},       // 3-way
+                      std::vector<index_t>{9, 2, 8},       // skewed 3-way
+                      std::vector<index_t>{4, 5, 3, 6},    // 4-way
+                      std::vector<index_t>{3, 4, 2, 3, 4}, // 5-way
+                      std::vector<index_t>{2, 3, 2, 2, 3, 2}));  // 6-way
+
+TEST(Dimtree, RecoversLowRankTensor) {
+  Rng rng(42);
+  Ktensor truth = Ktensor::random(std::array<index_t, 4>{7, 6, 5, 4}, 2, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 300;
+  opts.tol = 1e-10;
+  const CpAlsResult r = cp_als_dimtree(X, opts);
+  EXPECT_GT(r.final_fit, 0.999);
+  EXPECT_GT(factor_match_score(r.model, truth), 0.99);
+}
+
+TEST(Dimtree, ConvergenceFlagWorks) {
+  Rng rng(43);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{8, 8, 8}, 2, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 500;
+  opts.tol = 1e-7;
+  const CpAlsResult r = cp_als_dimtree(X, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 500);
+}
+
+TEST(Dimtree, ThreadInvariant) {
+  Rng rng(44);
+  Tensor X = Tensor::random_uniform({6, 7, 8}, rng);
+  CpAlsOptions o1;
+  o1.rank = 3;
+  o1.max_iters = 3;
+  o1.tol = 0.0;
+  CpAlsOptions o4 = o1;
+  o1.threads = 1;
+  o4.threads = 4;
+  const CpAlsResult r1 = cp_als_dimtree(X, o1);
+  const CpAlsResult r4 = cp_als_dimtree(X, o4);
+  EXPECT_NEAR(r1.final_fit, r4.final_fit, 1e-9);
+}
+
+TEST(Dimtree, WarmStartSupported) {
+  Rng rng(45);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{6, 6, 6}, 2, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 10;
+  opts.tol = 1e-9;
+  opts.initial_guess = &truth;
+  const CpAlsResult r = cp_als_dimtree(X, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.final_fit, 1.0 - 1e-6);
+}
+
+TEST(Dimtree, FewerFullTensorPassesReflectedInTime) {
+  // Not a strict timing test (CI noise), but on a clearly MTTKRP-bound
+  // problem the dimension-tree sweep should not be slower than standard.
+  Rng rng(46);
+  Tensor X = Tensor::random_uniform({40, 40, 40, 10}, rng);
+  CpAlsOptions opts;
+  opts.rank = 8;
+  opts.max_iters = 3;
+  opts.tol = 0.0;
+  opts.compute_fit = false;
+  const CpAlsResult std_r = cp_als(X, opts);
+  const CpAlsResult dt_r = cp_als_dimtree(X, opts);
+  double std_time = 0.0, dt_time = 0.0;
+  for (const auto& it : std_r.iters) std_time += it.mttkrp_seconds;
+  for (const auto& it : dt_r.iters) dt_time += it.mttkrp_seconds;
+  EXPECT_LT(dt_time, std_time * 1.5);  // generous bound; typically < 0.7x
+}
+
+TEST(Dimtree, RejectsBadOptions) {
+  Rng rng(47);
+  Tensor X = Tensor::random_uniform({4, 4, 4}, rng);
+  CpAlsOptions opts;
+  opts.rank = 0;
+  EXPECT_THROW(cp_als_dimtree(X, opts), DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk

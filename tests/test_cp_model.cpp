@@ -1,0 +1,151 @@
+// Ktensor semantics: full() materialization, norm identity, normalization,
+// and the factor-match score.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/cp_model.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+TEST(KtensorTest, FullMatchesElementwiseDefinition) {
+  Rng rng(1);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{3, 4, 5}, 2, rng);
+  K.lambda = {2.0, 0.5};
+  Tensor X = K.full();
+  std::array<index_t, 3> idx{};
+  for (idx[0] = 0; idx[0] < 3; ++idx[0]) {
+    for (idx[1] = 0; idx[1] < 4; ++idx[1]) {
+      for (idx[2] = 0; idx[2] < 5; ++idx[2]) {
+        double expect = 0.0;
+        for (index_t c = 0; c < 2; ++c) {
+          expect += K.lambda[static_cast<std::size_t>(c)] *
+                    K.factors[0](idx[0], c) * K.factors[1](idx[1], c) *
+                    K.factors[2](idx[2], c);
+        }
+        ASSERT_NEAR(X(idx), expect, 1e-13);
+      }
+    }
+  }
+}
+
+TEST(KtensorTest, FullThreadInvariant) {
+  Rng rng(2);
+  Ktensor K = Ktensor::random(std::array<index_t, 4>{3, 4, 2, 5}, 3, rng);
+  Tensor X1 = K.full(1);
+  Tensor X4 = K.full(4);
+  testing::expect_tensor_near(X1, X4, 1e-13);
+}
+
+TEST(KtensorTest, NormSquaredMatchesFullTensorNorm) {
+  Rng rng(3);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{4, 5, 6}, 3, rng);
+  K.lambda = {1.5, 0.7, 2.2};
+  const double direct = K.full().norm_squared();
+  EXPECT_NEAR(K.norm_squared(), direct, 1e-8 * direct);
+}
+
+TEST(KtensorTest, Rank1OuterProduct) {
+  // Rank-1 sanity: X(i,j) = u(i) v(j).
+  Ktensor K;
+  K.factors.emplace_back(2, 1);
+  K.factors.emplace_back(3, 1);
+  K.factors[0](0, 0) = 1.0;
+  K.factors[0](1, 0) = 2.0;
+  K.factors[1](0, 0) = 3.0;
+  K.factors[1](1, 0) = 4.0;
+  K.factors[1](2, 0) = 5.0;
+  Tensor X = K.full();
+  const std::array<index_t, 2> idx{1, 2};
+  EXPECT_DOUBLE_EQ(X(idx), 10.0);
+}
+
+TEST(KtensorTest, NormalizeColumnsPreservesModel) {
+  Rng rng(4);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{3, 4, 5}, 2, rng);
+  Tensor before = K.full();
+  K.normalize_columns();
+  Tensor after = K.full();
+  testing::expect_tensor_near(before, after, 1e-12);
+  // Columns are now unit length.
+  for (const Matrix& U : K.factors) {
+    for (index_t c = 0; c < U.cols(); ++c) {
+      double n2 = 0.0;
+      for (index_t i = 0; i < U.rows(); ++i) n2 += U(i, c) * U(i, c);
+      EXPECT_NEAR(std::sqrt(n2), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(KtensorTest, DimsReflectFactors) {
+  Rng rng(5);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{7, 8, 9}, 4, rng);
+  const std::vector<index_t> d = K.dims();
+  EXPECT_EQ(d, (std::vector<index_t>{7, 8, 9}));
+  EXPECT_EQ(K.order(), 3);
+  EXPECT_EQ(K.rank(), 4);
+}
+
+TEST(KtensorTest, ValidateCatchesRankMismatch) {
+  Ktensor K;
+  K.factors.emplace_back(3, 2);
+  K.factors.emplace_back(4, 3);  // different rank
+  EXPECT_THROW(K.validate(), DimensionError);
+}
+
+TEST(KtensorTest, ValidateCatchesLambdaSize) {
+  Ktensor K;
+  K.factors.emplace_back(3, 2);
+  K.lambda = {1.0};  // size 1 vs rank 2
+  EXPECT_THROW(K.validate(), DimensionError);
+}
+
+TEST(FactorMatchScore, IdenticalModelsScoreOne) {
+  Rng rng(6);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{5, 6, 7}, 3, rng);
+  EXPECT_NEAR(factor_match_score(K, K), 1.0, 1e-12);
+}
+
+TEST(FactorMatchScore, PermutedComponentsStillScoreOne) {
+  Rng rng(7);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{5, 6, 7}, 3, rng);
+  Ktensor P = K;
+  // Swap components 0 and 2 in every factor.
+  for (Matrix& U : P.factors) {
+    for (index_t i = 0; i < U.rows(); ++i) std::swap(U(i, 0), U(i, 2));
+  }
+  EXPECT_NEAR(factor_match_score(K, P), 1.0, 1e-12);
+}
+
+TEST(FactorMatchScore, SignFlipsIgnored) {
+  Rng rng(8);
+  Ktensor K = Ktensor::random(std::array<index_t, 2>{5, 6}, 2, rng);
+  Ktensor F = K;
+  for (index_t i = 0; i < F.factors[0].rows(); ++i) {
+    F.factors[0](i, 0) = -F.factors[0](i, 0);
+  }
+  EXPECT_NEAR(factor_match_score(K, F), 1.0, 1e-12);
+}
+
+TEST(FactorMatchScore, UnrelatedModelsScoreLow) {
+  Rng rng(9);
+  Ktensor A = Ktensor::random(std::array<index_t, 3>{40, 40, 40}, 2, rng);
+  Ktensor B = Ktensor::random(std::array<index_t, 3>{40, 40, 40}, 2, rng);
+  // Uniform [0,1) vectors are positively correlated (~0.75 cosine each
+  // mode); cubing drives unrelated models well below the ~1.0 of a match.
+  EXPECT_LT(factor_match_score(A, B), 0.85);
+}
+
+TEST(FactorMatchScore, ShapeMismatchThrows) {
+  Rng rng(10);
+  Ktensor A = Ktensor::random(std::array<index_t, 2>{3, 4}, 2, rng);
+  Ktensor B = Ktensor::random(std::array<index_t, 2>{3, 4}, 3, rng);
+  EXPECT_THROW((void)factor_match_score(A, B), DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,146 @@
+// Nonnegative CP via HALS: nonnegativity invariants, monotone fit, planted
+// nonnegative model recovery, warm starts.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/cp_nn.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+bool all_nonnegative(const Ktensor& K) {
+  for (const Matrix& U : K.factors) {
+    for (double v : U.span()) {
+      if (v < 0.0) return false;
+    }
+  }
+  return true;
+}
+
+TEST(CpNnHals, FactorsStayNonnegative) {
+  Rng rng(1);
+  // A tensor with NEGATIVE entries still yields nonnegative factors.
+  Tensor X = Tensor::random_normal({8, 7, 6}, rng);
+  CpAlsOptions opts;
+  opts.rank = 3;
+  opts.max_iters = 10;
+  opts.tol = 0.0;
+  const CpAlsResult r = cp_nnhals(X, opts);
+  EXPECT_TRUE(all_nonnegative(r.model));
+}
+
+TEST(CpNnHals, RecoversNonnegativeLowRankTensor) {
+  Rng rng(2);
+  Ktensor truth =
+      Ktensor::random(std::array<index_t, 3>{12, 10, 8}, 2, rng);
+  Tensor X = truth.full();  // uniform factors -> nonnegative tensor
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 300;
+  opts.tol = 1e-10;
+  const CpAlsResult r = cp_nnhals(X, opts);
+  EXPECT_GT(r.final_fit, 0.999);
+  EXPECT_TRUE(all_nonnegative(r.model));
+  EXPECT_GT(factor_match_score(r.model, truth), 0.98);
+}
+
+TEST(CpNnHals, FitNonDecreasing) {
+  Rng rng(3);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{9, 9, 9}, 3, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 3;
+  opts.max_iters = 25;
+  opts.tol = 0.0;
+  const CpAlsResult r = cp_nnhals(X, opts);
+  for (std::size_t i = 1; i < r.iters.size(); ++i) {
+    EXPECT_GE(r.iters[i].fit, r.iters[i - 1].fit - 1e-8) << "sweep " << i;
+  }
+}
+
+TEST(CpNnHals, BeatsUnconstrainedOnNonnegDataNever) {
+  // Sanity: the constrained fit can never exceed the unconstrained optimum
+  // by a meaningful margin on the same data/seed/sweeps.
+  Rng rng(4);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{8, 8, 8}, 2, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 60;
+  opts.tol = 1e-10;
+  const CpAlsResult nn = cp_nnhals(X, opts);
+  const CpAlsResult un = cp_als(X, opts);
+  EXPECT_LE(nn.final_fit, un.final_fit + 1e-3);
+}
+
+TEST(CpNnHals, WarmStartFoldsLambda) {
+  Rng rng(5);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{7, 6, 5}, 2, rng);
+  truth.lambda = {4.0, 0.5};
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 40;
+  opts.tol = 1e-9;
+  opts.initial_guess = &truth;
+  const CpAlsResult r = cp_nnhals(X, opts);
+  EXPECT_GT(r.final_fit, 0.9999);
+  EXPECT_TRUE(all_nonnegative(r.model));
+}
+
+TEST(CpNnHals, NegativeWarmStartRejected) {
+  Rng rng(6);
+  Tensor X = Tensor::random_uniform({5, 5, 5}, rng);
+  Ktensor bad = Ktensor::random(X.dims(), 2, rng);
+  bad.factors[0](0, 0) = -1.0;
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.initial_guess = &bad;
+  EXPECT_THROW(cp_nnhals(X, opts), DimensionError);
+}
+
+TEST(CpNnHals, DeadComponentRevived) {
+  // Rank far above the data's rank drives components to zero; the guard
+  // must keep everything finite.
+  Rng rng(7);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{6, 6, 6}, 1, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 4;
+  opts.max_iters = 50;
+  opts.tol = 0.0;
+  const CpAlsResult r = cp_nnhals(X, opts);
+  for (const Matrix& U : r.model.factors) {
+    for (double v : U.span()) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(r.final_fit, 0.99);
+}
+
+TEST(CpNnHals, FourWayWorks) {
+  Rng rng(8);
+  Ktensor truth =
+      Ktensor::random(std::array<index_t, 4>{6, 5, 4, 5}, 2, rng);
+  Tensor X = truth.full();
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 200;
+  opts.tol = 1e-9;
+  const CpAlsResult r = cp_nnhals(X, opts);
+  EXPECT_GT(r.final_fit, 0.995);
+  EXPECT_TRUE(all_nonnegative(r.model));
+}
+
+TEST(CpNnHals, RejectsBadRank) {
+  Rng rng(9);
+  Tensor X = Tensor::random_uniform({4, 4}, rng);
+  CpAlsOptions opts;
+  opts.rank = 0;
+  EXPECT_THROW(cp_nnhals(X, opts), DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,164 @@
+// Synthetic fMRI workload generator: shapes, symmetry, linearization, and
+// planted-structure properties.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sim/fmri.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk::sim {
+namespace {
+
+FmriOptions small_opts() {
+  FmriOptions o;
+  o.time_steps = 12;
+  o.subjects = 5;
+  o.regions = 8;
+  o.components = 3;
+  o.noise_level = 0.0;
+  o.seed = 11;
+  return o;
+}
+
+TEST(Fmri, TensorHasRequestedShape) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  ASSERT_EQ(d.tensor.order(), 4);
+  EXPECT_EQ(d.tensor.dim(0), 12);
+  EXPECT_EQ(d.tensor.dim(1), 5);
+  EXPECT_EQ(d.tensor.dim(2), 8);
+  EXPECT_EQ(d.tensor.dim(3), 8);
+}
+
+TEST(Fmri, NoiselessTensorIsSymmetricInRegionModes) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  std::array<index_t, 4> a{}, b{};
+  for (a[0] = 0; a[0] < 12; a[0] += 3) {
+    for (a[1] = 0; a[1] < 5; ++a[1]) {
+      for (a[2] = 0; a[2] < 8; ++a[2]) {
+        for (a[3] = 0; a[3] < 8; ++a[3]) {
+          b = {a[0], a[1], a[3], a[2]};
+          ASSERT_NEAR(d.tensor(a), d.tensor(b), 1e-13);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fmri, TruthReproducesNoiselessTensor) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  Tensor rebuilt = d.truth.full();
+  testing::expect_tensor_near(d.tensor, rebuilt, 1e-12);
+}
+
+TEST(Fmri, RegionFactorsShared) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  EXPECT_DOUBLE_EQ(d.truth.factors[2].max_abs_diff(d.truth.factors[3]), 0.0);
+}
+
+TEST(Fmri, NoiseLevelApproximatelyRespected) {
+  FmriOptions o = small_opts();
+  const FmriData clean = make_fmri_tensor(o);
+  o.noise_level = 0.1;
+  const FmriData noisy = make_fmri_tensor(o);
+  double diff2 = 0.0;
+  for (index_t l = 0; l < clean.tensor.numel(); ++l) {
+    const double dl = noisy.tensor[l] - clean.tensor[l];
+    diff2 += dl * dl;
+  }
+  const double rel = std::sqrt(diff2) / clean.tensor.norm();
+  EXPECT_NEAR(rel, 0.1, 0.03);
+}
+
+TEST(Fmri, SeedDeterminism) {
+  const FmriData a = make_fmri_tensor(small_opts());
+  const FmriData b = make_fmri_tensor(small_opts());
+  EXPECT_DOUBLE_EQ(a.tensor.max_abs_diff(b.tensor), 0.0);
+}
+
+TEST(Fmri, DifferentSeedsDiffer) {
+  FmriOptions o = small_opts();
+  const FmriData a = make_fmri_tensor(o);
+  o.seed = 12345;
+  const FmriData b = make_fmri_tensor(o);
+  EXPECT_GT(a.tensor.max_abs_diff(b.tensor), 1e-6);
+}
+
+TEST(Fmri, PairCount) {
+  EXPECT_EQ(pair_count(200), 19900);  // the paper's 3-way mode size
+  EXPECT_EQ(pair_count(2), 1);
+  EXPECT_EQ(pair_count(8), 28);
+}
+
+TEST(Fmri, LinearizationShape) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  Tensor X3 = symmetrize_linearize(d.tensor);
+  ASSERT_EQ(X3.order(), 3);
+  EXPECT_EQ(X3.dim(0), 12);
+  EXPECT_EQ(X3.dim(1), 5);
+  EXPECT_EQ(X3.dim(2), 28);
+}
+
+TEST(Fmri, LinearizationValuesMatchUpperTriangle) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  Tensor X3 = symmetrize_linearize(d.tensor);
+  // Pair p enumerates (i, j), i < j, j slowest.
+  index_t p = 0;
+  std::array<index_t, 4> xi{};
+  std::array<index_t, 3> yi{};
+  for (index_t j = 1; j < 8; ++j) {
+    for (index_t i = 0; i < j; ++i, ++p) {
+      for (xi[0] = 0; xi[0] < 12; xi[0] += 5) {
+        for (xi[1] = 0; xi[1] < 5; ++xi[1]) {
+          xi[2] = i;
+          xi[3] = j;
+          yi = {xi[0], xi[1], p};
+          ASSERT_NEAR(X3(yi), d.tensor(xi), 1e-13);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fmri, LinearizationAveragesAsymmetricNoise) {
+  FmriOptions o = small_opts();
+  o.noise_level = 0.2;
+  const FmriData d = make_fmri_tensor(o);
+  Tensor X3 = symmetrize_linearize(d.tensor);
+  // Entry (t, s, p) must equal the average of (i,j) and (j,i).
+  std::array<index_t, 4> a{3, 2, 1, 4};
+  std::array<index_t, 4> b{3, 2, 4, 1};
+  // p for (1, 4): pairs of j=1..3 sum to 1+2+3 = 6, then i=1 -> p = 7.
+  const std::array<index_t, 3> yi{3, 2, 7};
+  EXPECT_NEAR(X3(yi), 0.5 * (d.tensor(a) + d.tensor(b)), 1e-13);
+}
+
+TEST(Fmri, LinearizationThreadInvariant) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  Tensor a = symmetrize_linearize(d.tensor, 1);
+  Tensor b = symmetrize_linearize(d.tensor, 4);
+  testing::expect_tensor_near(a, b, 0.0);
+}
+
+TEST(Fmri, RequiresSquareRegionModes) {
+  Tensor bad({3, 4, 5, 6});
+  EXPECT_THROW(symmetrize_linearize(bad), DimensionError);
+  Tensor three({3, 4, 5});
+  EXPECT_THROW(symmetrize_linearize(three), DimensionError);
+}
+
+TEST(Fmri, RejectsBadOptions) {
+  FmriOptions o = small_opts();
+  o.regions = 1;  // need at least 2 for pairs
+  EXPECT_THROW(make_fmri_tensor(o), DimensionError);
+}
+
+TEST(Fmri, SubjectLoadingsPositive) {
+  const FmriData d = make_fmri_tensor(small_opts());
+  for (double x : d.truth.factors[1].span()) EXPECT_GT(x, 0.0);
+}
+
+}  // namespace
+}  // namespace dmtk::sim

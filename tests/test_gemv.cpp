@@ -1,0 +1,123 @@
+// GEMV correctness across transpositions, layouts, strides, scalars, and
+// thread counts, against a naive oracle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/gemv.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk::blas {
+namespace {
+
+void naive_gemv(bool trans, index_t m, index_t n, double alpha,
+                const double* A, index_t lda, const double* x, index_t incx,
+                double beta, double* y, index_t incy) {
+  const index_t ylen = trans ? n : m;
+  const index_t xlen = trans ? m : n;
+  for (index_t i = 0; i < ylen; ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < xlen; ++j) {
+      const double a = trans ? A[j + i * lda] : A[i + j * lda];
+      s += a * x[j * incx];
+    }
+    y[i * incy] = alpha * s + beta * y[i * incy];
+  }
+}
+
+struct GemvCase {
+  index_t m, n;
+  bool trans;
+  index_t incx, incy;
+  double alpha, beta;
+  int threads;
+};
+
+class GemvSweep : public ::testing::TestWithParam<GemvCase> {};
+
+TEST_P(GemvSweep, MatchesNaiveOracle) {
+  const GemvCase p = GetParam();
+  Rng rng(500 + p.m * 3 + p.n * 5);
+  std::vector<double> A(static_cast<std::size_t>(p.m * p.n));
+  const index_t xlen = p.trans ? p.m : p.n;
+  const index_t ylen = p.trans ? p.n : p.m;
+  std::vector<double> x(static_cast<std::size_t>(xlen * p.incx));
+  std::vector<double> y(static_cast<std::size_t>(ylen * p.incy));
+  fill_uniform(A, rng, -1, 1);
+  fill_uniform(x, rng, -1, 1);
+  fill_uniform(y, rng, -1, 1);
+  std::vector<double> yref = y;
+
+  gemv(Layout::ColMajor, p.trans ? Trans::Trans : Trans::NoTrans, p.m, p.n,
+       p.alpha, A.data(), p.m, x.data(), p.incx, p.beta, y.data(), p.incy,
+       p.threads);
+  naive_gemv(p.trans, p.m, p.n, p.alpha, A.data(), p.m, x.data(), p.incx,
+             p.beta, yref.data(), p.incy);
+
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], yref[i], 1e-11 * static_cast<double>(p.m + p.n));
+  }
+}
+
+std::vector<GemvCase> gemv_cases() {
+  std::vector<GemvCase> cases;
+  for (bool trans : {false, true}) {
+    cases.push_back({1, 1, trans, 1, 1, 1.0, 0.0, 1});
+    cases.push_back({7, 11, trans, 1, 1, 1.0, 0.0, 1});
+    cases.push_back({64, 40, trans, 1, 1, 2.0, -1.0, 1});
+    cases.push_back({33, 17, trans, 2, 3, -0.5, 0.5, 1});  // strided vectors
+    cases.push_back({200, 150, trans, 1, 1, 1.0, 0.0, 4});  // threaded
+    cases.push_back({9, 300, trans, 1, 1, 1.0, 1.0, 3});   // wide
+    cases.push_back({300, 9, trans, 1, 1, 1.0, 1.0, 3});   // tall
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemvSweep, ::testing::ValuesIn(gemv_cases()));
+
+TEST(Gemv, RowMajorFoldsIntoTranspose) {
+  Rng rng(21);
+  const index_t m = 6, n = 4;
+  std::vector<double> A(static_cast<std::size_t>(m * n));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  fill_uniform(A, rng);
+  fill_uniform(x, rng);
+  // Row-major A (m x n, lda = n), y = A x.
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  gemv(Layout::RowMajor, Trans::NoTrans, m, n, 1.0, A.data(), n, x.data(),
+       index_t{1}, 0.0, y.data(), index_t{1});
+  // Oracle: treat buffer as col-major n x m and transpose.
+  std::vector<double> yref(static_cast<std::size_t>(m), 0.0);
+  naive_gemv(true, n, m, 1.0, A.data(), n, x.data(), 1, 0.0, yref.data(), 1);
+  for (index_t i = 0; i < m; ++i) ASSERT_NEAR(y[i], yref[i], 1e-12);
+}
+
+TEST(Gemv, BetaZeroOverwritesStaleNaN) {
+  std::vector<double> A{1.0, 2.0};  // 2x1
+  std::vector<double> x{3.0};
+  std::vector<double> y{std::nan(""), std::nan("")};
+  gemv(Layout::ColMajor, Trans::NoTrans, index_t{2}, index_t{1}, 1.0, A.data(),
+       index_t{2}, x.data(), index_t{1}, 0.0, y.data(), index_t{1});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Gemv, ZeroInnerDimScalesY) {
+  std::vector<double> y{2.0, 4.0};
+  gemv<double>(Layout::ColMajor, Trans::NoTrans, 2, 0, 1.0, nullptr, 2,
+               nullptr, 1, 0.5, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(Gemv, NegativeDimensionThrows) {
+  std::vector<double> buf(4, 0.0);
+  EXPECT_THROW(gemv(Layout::ColMajor, Trans::NoTrans, index_t{-2}, index_t{2},
+                    1.0, buf.data(), index_t{1}, buf.data(), index_t{1}, 0.0,
+                    buf.data(), index_t{1}),
+               DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk::blas

@@ -1,0 +1,68 @@
+#pragma once
+/// Shared helpers for the dmtk test suite.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk::testing {
+
+/// Naive triple-loop GEMM oracle: C = alpha*op(A)*op(B) + beta*C, all
+/// column-major buffers with the given leading dimensions.
+inline void naive_gemm(bool ta, bool tb, index_t m, index_t n, index_t k,
+                       double alpha, const double* A, index_t lda,
+                       const double* B, index_t ldb, double beta, double* C,
+                       index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        const double a = ta ? A[p + i * lda] : A[i + p * lda];
+        const double b = tb ? B[j + p * ldb] : B[p + j * ldb];
+        s += a * b;
+      }
+      C[i + j * ldc] = alpha * s + beta * C[i + j * ldc];
+    }
+  }
+}
+
+/// Expect matrices equal within an absolute-plus-relative tolerance.
+inline void expect_matrix_near(const Matrix& a, const Matrix& b,
+                               double tol = 1e-10) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double scale = std::max({1.0, std::abs(a(i, j)),
+                                     std::abs(b(i, j))});
+      ASSERT_NEAR(a(i, j), b(i, j), tol * scale)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// Expect tensors equal within a tolerance.
+inline void expect_tensor_near(const Tensor& a, const Tensor& b,
+                               double tol = 1e-10) {
+  ASSERT_EQ(a.order(), b.order());
+  for (index_t n = 0; n < a.order(); ++n) ASSERT_EQ(a.dim(n), b.dim(n));
+  for (index_t l = 0; l < a.numel(); ++l) {
+    const double scale = std::max({1.0, std::abs(a[l]), std::abs(b[l])});
+    ASSERT_NEAR(a[l], b[l], tol * scale) << "at linear index " << l;
+  }
+}
+
+/// Random factor matrices for a tensor shape.
+inline std::vector<Matrix> random_factors(std::span<const index_t> dims,
+                                          index_t rank, Rng& rng) {
+  std::vector<Matrix> fs;
+  fs.reserve(dims.size());
+  for (index_t d : dims) fs.push_back(Matrix::random_uniform(d, rank, rng));
+  return fs;
+}
+
+}  // namespace dmtk::testing

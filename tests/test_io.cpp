@@ -1,0 +1,136 @@
+// Binary serialization round trips, format validation, and CSV export.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/tensor_io.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dmtk_io_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path path(const char* name) const { return dir_ / name; }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, TensorRoundTripBitExact) {
+  Rng rng(1);
+  Tensor X = Tensor::random_uniform({3, 5, 4}, rng);
+  write_tensor(path("x.dten"), X);
+  Tensor Y = read_tensor(path("x.dten"));
+  ASSERT_EQ(Y.order(), 3);
+  EXPECT_DOUBLE_EQ(X.max_abs_diff(Y), 0.0);
+}
+
+TEST_F(IoTest, MatrixRoundTripBitExact) {
+  Rng rng(2);
+  Matrix M = Matrix::random_normal(7, 3, rng);
+  write_matrix(path("m.dmat"), M);
+  Matrix R = read_matrix(path("m.dmat"));
+  EXPECT_DOUBLE_EQ(M.max_abs_diff(R), 0.0);
+}
+
+TEST_F(IoTest, KtensorRoundTrip) {
+  Rng rng(3);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{4, 5, 6}, 2, rng);
+  K.lambda = {3.5, 0.25};
+  write_ktensor(path("k.dktn"), K);
+  Ktensor R = read_ktensor(path("k.dktn"));
+  ASSERT_EQ(R.order(), 3);
+  ASSERT_EQ(R.rank(), 2);
+  EXPECT_DOUBLE_EQ(R.lambda[0], 3.5);
+  EXPECT_DOUBLE_EQ(R.lambda[1], 0.25);
+  for (index_t n = 0; n < 3; ++n) {
+    EXPECT_DOUBLE_EQ(K.factors[static_cast<std::size_t>(n)].max_abs_diff(
+                         R.factors[static_cast<std::size_t>(n)]),
+                     0.0);
+  }
+}
+
+TEST_F(IoTest, KtensorWithoutLambdaGetsOnes) {
+  Rng rng(4);
+  Ktensor K = Ktensor::random(std::array<index_t, 2>{3, 4}, 2, rng);
+  K.lambda.clear();
+  write_ktensor(path("k.dktn"), K);
+  Ktensor R = read_ktensor(path("k.dktn"));
+  ASSERT_EQ(R.lambda.size(), 2u);
+  EXPECT_DOUBLE_EQ(R.lambda[0], 1.0);
+}
+
+TEST_F(IoTest, WrongMagicRejected) {
+  Rng rng(5);
+  Matrix M = Matrix::random_uniform(2, 2, rng);
+  write_matrix(path("m.dmat"), M);
+  EXPECT_THROW(read_tensor(path("m.dmat")), IoError);
+  EXPECT_THROW(read_ktensor(path("m.dmat")), IoError);
+}
+
+TEST_F(IoTest, TruncatedFileRejected) {
+  Rng rng(6);
+  Tensor X = Tensor::random_uniform({10, 10}, rng);
+  write_tensor(path("x.dten"), X);
+  fs::resize_file(path("x.dten"), 64);  // chop the payload
+  EXPECT_THROW(read_tensor(path("x.dten")), IoError);
+}
+
+TEST_F(IoTest, GarbageFileRejected) {
+  std::ofstream f(path("junk.bin"), std::ios::binary);
+  f << "this is not a dmtk file at all";
+  f.close();
+  EXPECT_THROW(read_tensor(path("junk.bin")), IoError);
+}
+
+TEST_F(IoTest, MissingFileRejected) {
+  EXPECT_THROW(read_tensor(path("does_not_exist")), IoError);
+  EXPECT_THROW(read_matrix(path("does_not_exist")), IoError);
+}
+
+TEST_F(IoTest, CsvExportParsesBack) {
+  Matrix M(2, 3);
+  M(0, 0) = 1.5;
+  M(0, 1) = -2.0;
+  M(0, 2) = 0.125;
+  M(1, 0) = 1e-7;
+  M(1, 1) = 3.0;
+  M(1, 2) = -4.5;
+  export_csv(path("m.csv"), M);
+  std::ifstream f(path("m.csv"));
+  std::string line1, line2, extra;
+  ASSERT_TRUE(std::getline(f, line1));
+  ASSERT_TRUE(std::getline(f, line2));
+  EXPECT_FALSE(std::getline(f, extra));
+  double a, b, c;
+  ASSERT_EQ(std::sscanf(line1.c_str(), "%lf,%lf,%lf", &a, &b, &c), 3);
+  EXPECT_DOUBLE_EQ(a, 1.5);
+  EXPECT_DOUBLE_EQ(b, -2.0);
+  EXPECT_DOUBLE_EQ(c, 0.125);
+  ASSERT_EQ(std::sscanf(line2.c_str(), "%lf,%lf,%lf", &a, &b, &c), 3);
+  EXPECT_DOUBLE_EQ(a, 1e-7);
+}
+
+TEST_F(IoTest, LargeTensorRoundTrip) {
+  Rng rng(7);
+  Tensor X = Tensor::random_uniform({32, 32, 32}, rng);
+  write_tensor(path("big.dten"), X);
+  Tensor Y = read_tensor(path("big.dten"));
+  EXPECT_DOUBLE_EQ(X.max_abs_diff(Y), 0.0);
+}
+
+}  // namespace
+}  // namespace dmtk::io

@@ -1,0 +1,229 @@
+// Khatri-Rao product algorithms: the row-wise definition, equality of the
+// naive / reuse / parallel / column-wise variants, partial-KRP helpers, and
+// the flop-saving reuse property.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/krp.hpp"
+#include "core/multi_index.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+FactorList ptrs(const std::vector<Matrix>& ms) {
+  FactorList fl;
+  for (const Matrix& m : ms) fl.push_back(&m);
+  return fl;
+}
+
+TEST(KrpRows, ProductOfRowCounts) {
+  Rng rng(1);
+  std::vector<Matrix> fs;
+  fs.push_back(Matrix::random_uniform(3, 2, rng));
+  fs.push_back(Matrix::random_uniform(4, 2, rng));
+  fs.push_back(Matrix::random_uniform(5, 2, rng));
+  EXPECT_EQ(krp_rows(ptrs(fs)), 60);
+  EXPECT_EQ(krp_rows({}), 1);  // empty product convention
+}
+
+TEST(KrpCols, DetectsMismatch) {
+  Rng rng(2);
+  std::vector<Matrix> fs;
+  fs.push_back(Matrix::random_uniform(3, 2, rng));
+  fs.push_back(Matrix::random_uniform(4, 3, rng));
+  EXPECT_THROW(krp_cols(ptrs(fs)), DimensionError);
+}
+
+TEST(KrpRow, MatchesRowWiseDefinition) {
+  // K = A (.) B: K(rB + rA*IB, :) = A(rA,:) * B(rB,:) (Section 2.1).
+  Rng rng(3);
+  const Matrix A = Matrix::random_uniform(3, 4, rng);
+  const Matrix B = Matrix::random_uniform(5, 4, rng);
+  std::vector<double> row(4);
+  for (index_t ra = 0; ra < 3; ++ra) {
+    for (index_t rb = 0; rb < 5; ++rb) {
+      krp_row({&A, &B}, rb + ra * 5, row.data());
+      for (index_t c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(c)], A(ra, c) * B(rb, c));
+      }
+    }
+  }
+}
+
+TEST(KrpTransposed, MatchesColumnwiseKronecker) {
+  // The row-wise (transposed) KRP and the TTB-style column-wise KRP are the
+  // same mathematical object: Kt(c, r) == K(r, c).
+  Rng rng(4);
+  std::vector<Matrix> fs;
+  fs.push_back(Matrix::random_uniform(3, 5, rng));
+  fs.push_back(Matrix::random_uniform(2, 5, rng));
+  fs.push_back(Matrix::random_uniform(4, 5, rng));
+  const FactorList fl = ptrs(fs);
+  Matrix Kt = krp_transposed(fl, KrpVariant::Reuse, 1);
+  Matrix K = krp_columnwise(fl);
+  ASSERT_EQ(Kt.rows(), K.cols());
+  ASSERT_EQ(Kt.cols(), K.rows());
+  for (index_t r = 0; r < K.rows(); ++r) {
+    for (index_t c = 0; c < K.cols(); ++c) {
+      ASSERT_NEAR(Kt(c, r), K(r, c), 1e-14);
+    }
+  }
+}
+
+TEST(KrpColumnwise, KroneckerOfColumns) {
+  // For two factors, column c must be kron(A(:,c), B(:,c)).
+  Rng rng(5);
+  const Matrix A = Matrix::random_uniform(3, 2, rng);
+  const Matrix B = Matrix::random_uniform(4, 2, rng);
+  Matrix K = krp_columnwise({&A, &B});
+  for (index_t c = 0; c < 2; ++c) {
+    for (index_t a = 0; a < 3; ++a) {
+      for (index_t b = 0; b < 4; ++b) {
+        EXPECT_DOUBLE_EQ(K(b + a * 4, c), A(a, c) * B(b, c));
+      }
+    }
+  }
+}
+
+class KrpVariantSweep
+    : public ::testing::TestWithParam<std::tuple<int, index_t, int>> {};
+
+TEST_P(KrpVariantSweep, NaiveReuseParallelAgree) {
+  const auto [Z, C, threads] = GetParam();
+  Rng rng(100 + Z * 10 + C);
+  std::vector<Matrix> fs;
+  const std::array<index_t, 4> rows{4, 3, 5, 2};
+  for (int z = 0; z < Z; ++z) {
+    fs.push_back(
+        Matrix::random_uniform(rows[static_cast<std::size_t>(z)], C, rng));
+  }
+  const FactorList fl = ptrs(fs);
+  Matrix Knaive = krp_transposed(fl, KrpVariant::Naive, 1);
+  Matrix Kreuse = krp_transposed(fl, KrpVariant::Reuse, 1);
+  Matrix Kpar = krp_transposed(fl, KrpVariant::Reuse, threads);
+  testing::expect_matrix_near(Knaive, Kreuse, 1e-14);
+  testing::expect_matrix_near(Knaive, Kpar, 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KrpVariantSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<index_t>(1, 3, 25),
+                       ::testing::Values(2, 5)));
+
+TEST(KrpRowsRange, SubrangeMatchesFullComputation) {
+  // Starting mid-stream (the parallel decomposition) must agree with the
+  // full computation — exercises Odometer::seek and partial-product init.
+  Rng rng(6);
+  std::vector<Matrix> fs;
+  fs.push_back(Matrix::random_uniform(3, 4, rng));
+  fs.push_back(Matrix::random_uniform(4, 4, rng));
+  fs.push_back(Matrix::random_uniform(5, 4, rng));
+  const FactorList fl = ptrs(fs);
+  const index_t J = krp_rows(fl);
+  Matrix full(4, J);
+  krp_rows_reuse(fl, 0, J, full.data(), 4);
+  for (index_t r0 : {index_t{0}, index_t{7}, index_t{29}, index_t{59}}) {
+    const index_t r1 = std::min<index_t>(J, r0 + 13);
+    Matrix part(4, r1 - r0);
+    krp_rows_reuse(fl, r0, r1, part.data(), 4);
+    for (index_t r = r0; r < r1; ++r) {
+      for (index_t c = 0; c < 4; ++c) {
+        ASSERT_DOUBLE_EQ(part(c, r - r0), full(c, r)) << "row " << r;
+      }
+    }
+  }
+}
+
+TEST(KrpRowsRange, EmptyRangeIsNoop) {
+  Rng rng(7);
+  std::vector<Matrix> fs;
+  fs.push_back(Matrix::random_uniform(2, 3, rng));
+  fs.push_back(Matrix::random_uniform(2, 3, rng));
+  Matrix buf(3, 1);
+  buf.fill(-1.0);
+  krp_rows_reuse(ptrs(fs), 2, 2, buf.data(), 3);
+  EXPECT_EQ(buf(0, 0), -1.0);  // untouched
+}
+
+TEST(KrpSingleFactor, IsRowCopy) {
+  Rng rng(8);
+  const Matrix A = Matrix::random_uniform(5, 3, rng);
+  Matrix Kt = krp_transposed({&A}, KrpVariant::Reuse, 2);
+  for (index_t r = 0; r < 5; ++r) {
+    for (index_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(Kt(c, r), A(r, c));
+  }
+}
+
+TEST(KrpFactorHelpers, ModeOrderingForMttkrp) {
+  // For mode n the KRP is U_{N-1} (.) ... (.) U_{n+1} (.) U_{n-1} ... U_0;
+  // our lists are in product order, so the LAST entry is U_0 (fastest).
+  Rng rng(9);
+  std::vector<Matrix> fs;
+  for (index_t n = 0; n < 4; ++n) {
+    fs.push_back(Matrix::random_uniform(2 + n, 3, rng));
+  }
+  const FactorList k1 = mttkrp_krp_factors(fs, 1);
+  ASSERT_EQ(k1.size(), 3u);
+  EXPECT_EQ(k1[0], &fs[3]);
+  EXPECT_EQ(k1[1], &fs[2]);
+  EXPECT_EQ(k1[2], &fs[0]);
+
+  const FactorList left = left_krp_factors(fs, 2);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0], &fs[1]);
+  EXPECT_EQ(left[1], &fs[0]);
+
+  const FactorList right = right_krp_factors(fs, 2);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(right[0], &fs[3]);
+
+  EXPECT_TRUE(left_krp_factors(fs, 0).empty());
+  EXPECT_TRUE(right_krp_factors(fs, 3).empty());
+}
+
+TEST(KrpComposition, FullKrpEqualsRightTimesLeftBlocks) {
+  // Figure 2's conformal partition: row block j of the full mode-n KRP is
+  // KR(j, :) (.) KL. This identity is the core of the 1-step internal-mode
+  // algorithm.
+  Rng rng(10);
+  std::vector<Matrix> fs;
+  const std::array<index_t, 4> rows{3, 2, 4, 3};
+  for (index_t n = 0; n < 4; ++n) {
+    fs.push_back(
+        Matrix::random_uniform(rows[static_cast<std::size_t>(n)], 5, rng));
+  }
+  const index_t mode = 2;
+  Matrix Kfull = krp_transposed(mttkrp_krp_factors(fs, mode));
+  Matrix KLt = krp_transposed(left_krp_factors(fs, mode));
+  Matrix KRt = krp_transposed(right_krp_factors(fs, mode));
+  const index_t ILn = KLt.cols();  // 3*2 = 6
+  std::vector<double> krrow(5);
+  for (index_t j = 0; j < KRt.cols(); ++j) {
+    krp_row(right_krp_factors(fs, mode), j, krrow.data());
+    for (index_t rl = 0; rl < ILn; ++rl) {
+      for (index_t c = 0; c < 5; ++c) {
+        ASSERT_NEAR(Kfull(c, j * ILn + rl),
+                    krrow[static_cast<std::size_t>(c)] * KLt(c, rl), 1e-14);
+      }
+    }
+  }
+}
+
+TEST(KrpLayout, OutputColumnsAreContiguousRows) {
+  // Kt column r must be contiguous memory (the property that makes row-wise
+  // generation cache-friendly).
+  Rng rng(11);
+  std::vector<Matrix> fs;
+  fs.push_back(Matrix::random_uniform(2, 3, rng));
+  fs.push_back(Matrix::random_uniform(3, 3, rng));
+  Matrix Kt = krp_transposed(ptrs(fs));
+  EXPECT_EQ(Kt.ld(), 3);  // = C: consecutive rows of K are C apart
+}
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,259 @@
+// Tests for the linalg substrate: Cholesky factorization/solves, the Jacobi
+// symmetric eigensolver, and the SPD right-solve with pseudo-inverse
+// fallback (the CP-ALS factor-update solve).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/jacobi_eig.hpp"
+#include "linalg/spd_solve.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk::linalg {
+namespace {
+
+/// Build a random SPD matrix H = B^T B + ridge*I (col-major n x n).
+std::vector<double> random_spd(index_t n, Rng& rng, double ridge = 0.1) {
+  std::vector<double> B(static_cast<std::size_t>(n * n));
+  fill_uniform(B, rng, -1.0, 1.0);
+  std::vector<double> H(static_cast<std::size_t>(n * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::NoTrans,
+             n, n, n, 1.0, B.data(), n, B.data(), n, 0.0, H.data(), n);
+  for (index_t i = 0; i < n; ++i) H[i + i * n] += ridge;
+  return H;
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Rng rng(1);
+  const index_t n = 8;
+  std::vector<double> H = random_spd(n, rng);
+  std::vector<double> L = H;
+  ASSERT_TRUE(cholesky_factor(n, L.data(), n));
+  // Reconstruct LL^T from the lower triangle and compare to H.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k <= j; ++k) s += L[i + k * n] * L[j + k * n];
+      ASSERT_NEAR(s, H[i + j * n], 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(Cholesky, IdentityFactorsToIdentity) {
+  const index_t n = 4;
+  std::vector<double> I(static_cast<std::size_t>(n * n), 0.0);
+  for (index_t i = 0; i < n; ++i) I[i + i * n] = 1.0;
+  ASSERT_TRUE(cholesky_factor(n, I.data(), n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(I[i + j * n], i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  // [[1, 2], [2, 1]] has eigenvalues 3 and -1.
+  std::vector<double> A{1.0, 2.0, 2.0, 1.0};
+  EXPECT_FALSE(cholesky_factor(2, A.data(), 2));
+}
+
+TEST(Cholesky, RejectsSingular) {
+  // Rank-1 matrix.
+  std::vector<double> A{1.0, 1.0, 1.0, 1.0};
+  EXPECT_FALSE(cholesky_factor(2, A.data(), 2));
+}
+
+TEST(Cholesky, RejectsNaN) {
+  std::vector<double> A{std::nan(""), 0.0, 0.0, 1.0};
+  EXPECT_FALSE(cholesky_factor(2, A.data(), 2));
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  Rng rng(2);
+  const index_t n = 6, nrhs = 3;
+  std::vector<double> H = random_spd(n, rng);
+  std::vector<double> X(static_cast<std::size_t>(n * nrhs));
+  fill_uniform(X, rng, -2.0, 2.0);
+  // B = H X.
+  std::vector<double> B(static_cast<std::size_t>(n * nrhs), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+             blas::Trans::NoTrans, n, nrhs, n, 1.0, H.data(), n, X.data(), n,
+             0.0, B.data(), n);
+  ASSERT_TRUE(cholesky_factor(n, H.data(), n));
+  cholesky_solve(n, H.data(), n, nrhs, B.data(), n);
+  for (std::size_t i = 0; i < X.size(); ++i) ASSERT_NEAR(B[i], X[i], 1e-9);
+}
+
+TEST(Cholesky, RightSolveRecoversKnownSolution) {
+  Rng rng(3);
+  const index_t n = 5, m = 9;
+  std::vector<double> H = random_spd(n, rng);
+  std::vector<double> U(static_cast<std::size_t>(m * n));
+  fill_uniform(U, rng, -1.0, 1.0);
+  // M = U H, then right-solving M by H must return U.
+  std::vector<double> M(static_cast<std::size_t>(m * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+             blas::Trans::NoTrans, m, n, n, 1.0, U.data(), m, H.data(), n, 0.0,
+             M.data(), m);
+  ASSERT_TRUE(cholesky_factor(n, H.data(), n));
+  cholesky_solve_right(n, H.data(), n, m, M.data(), m);
+  for (std::size_t i = 0; i < U.size(); ++i) ASSERT_NEAR(M[i], U[i], 1e-9);
+}
+
+TEST(JacobiEig, DiagonalMatrix) {
+  const index_t n = 3;
+  std::vector<double> A{3.0, 0, 0, 0, 1.0, 0, 0, 0, 2.0};
+  const SymmetricEig e = jacobi_eig(n, A.data(), n);
+  ASSERT_TRUE(e.converged);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEig, Known2x2) {
+  // [[2, 1], [1, 2]]: eigenvalues 1 and 3.
+  std::vector<double> A{2.0, 1.0, 1.0, 2.0};
+  const SymmetricEig e = jacobi_eig(2, A.data(), 2);
+  ASSERT_TRUE(e.converged);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEig, ReconstructsMatrix) {
+  Rng rng(4);
+  const index_t n = 10;
+  std::vector<double> H = random_spd(n, rng);
+  const SymmetricEig e = jacobi_eig(n, H.data(), n);
+  ASSERT_TRUE(e.converged);
+  // A == V diag(w) V^T.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k < n; ++k) {
+        s += e.eigenvectors[i + k * n] * e.eigenvalues[static_cast<std::size_t>(k)] *
+             e.eigenvectors[j + k * n];
+      }
+      ASSERT_NEAR(s, H[i + j * n], 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEig, EigenvectorsOrthonormal) {
+  Rng rng(5);
+  const index_t n = 7;
+  std::vector<double> H = random_spd(n, rng);
+  const SymmetricEig e = jacobi_eig(n, H.data(), n);
+  for (index_t a = 0; a < n; ++a) {
+    for (index_t b = 0; b < n; ++b) {
+      double d = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        d += e.eigenvectors[i + a * n] * e.eigenvectors[i + b * n];
+      }
+      ASSERT_NEAR(d, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(JacobiEig, EigenvaluesAscending) {
+  Rng rng(6);
+  const index_t n = 12;
+  std::vector<double> H = random_spd(n, rng);
+  const SymmetricEig e = jacobi_eig(n, H.data(), n);
+  for (index_t i = 1; i < n; ++i) {
+    EXPECT_LE(e.eigenvalues[static_cast<std::size_t>(i - 1)],
+              e.eigenvalues[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(JacobiEig, EmptyMatrix) {
+  const SymmetricEig e = jacobi_eig(0, nullptr, 1);
+  EXPECT_TRUE(e.converged);
+  EXPECT_TRUE(e.eigenvalues.empty());
+}
+
+TEST(SpdSolve, UsesCholeskyOnWellConditioned) {
+  Rng rng(7);
+  const index_t n = 6, m = 10;
+  std::vector<double> H = random_spd(n, rng);
+  std::vector<double> Hcopy = H;
+  std::vector<double> U(static_cast<std::size_t>(m * n));
+  fill_uniform(U, rng, -1, 1);
+  std::vector<double> M(static_cast<std::size_t>(m * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+             blas::Trans::NoTrans, m, n, n, 1.0, U.data(), m, Hcopy.data(), n,
+             0.0, M.data(), m);
+  const SpdSolveInfo info = spd_solve_right(n, H.data(), n, m, M.data(), m);
+  EXPECT_TRUE(info.used_cholesky);
+  EXPECT_EQ(info.rank, n);
+  for (std::size_t i = 0; i < U.size(); ++i) ASSERT_NEAR(M[i], U[i], 1e-8);
+}
+
+TEST(SpdSolve, FallsBackToPinvOnSingular) {
+  // H = diag(1, 1, 0): singular; pseudo-inverse zeroes the null direction.
+  const index_t n = 3, m = 2;
+  std::vector<double> H{1, 0, 0, 0, 1, 0, 0, 0, 0};
+  std::vector<double> M{1, 2, 3, 4, 5, 6};  // 2x3 col-major
+  const SpdSolveInfo info = spd_solve_right(n, H.data(), n, m, M.data(), m);
+  EXPECT_FALSE(info.used_cholesky);
+  EXPECT_EQ(info.rank, 2);
+  // First two columns unchanged (H acts as identity there)...
+  EXPECT_NEAR(M[0], 1.0, 1e-10);
+  EXPECT_NEAR(M[1], 2.0, 1e-10);
+  EXPECT_NEAR(M[2], 3.0, 1e-10);
+  EXPECT_NEAR(M[3], 4.0, 1e-10);
+  // ...last column annihilated by the pseudo-inverse.
+  EXPECT_NEAR(M[4], 0.0, 1e-10);
+  EXPECT_NEAR(M[5], 0.0, 1e-10);
+}
+
+TEST(SpdSolve, PinvSatisfiesNormalEquations) {
+  // Rank-deficient H from duplicated columns; verify M H^dagger H == M when
+  // M lies in the row space of H.
+  Rng rng(8);
+  const index_t n = 4, m = 3;
+  // B has rank 2: columns 2,3 duplicate columns 0,1.
+  std::vector<double> B(static_cast<std::size_t>(n * n), 0.0);
+  for (index_t j = 0; j < 2; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      B[i + j * n] = rng.uniform(-1, 1);
+      B[i + (j + 2) * n] = B[i + j * n];
+    }
+  }
+  std::vector<double> H(static_cast<std::size_t>(n * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::NoTrans,
+             n, n, n, 1.0, B.data(), n, B.data(), n, 0.0, H.data(), n);
+  std::vector<double> Horig = H;
+
+  // M = W H for a random W, so M is in H's row space.
+  std::vector<double> W(static_cast<std::size_t>(m * n));
+  fill_uniform(W, rng, -1, 1);
+  std::vector<double> M(static_cast<std::size_t>(m * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+             blas::Trans::NoTrans, m, n, n, 1.0, W.data(), m, Horig.data(), n,
+             0.0, M.data(), m);
+  std::vector<double> Morig = M;
+
+  const SpdSolveInfo info = spd_solve_right(n, H.data(), n, m, M.data(), m);
+  EXPECT_FALSE(info.used_cholesky);
+  EXPECT_EQ(info.rank, 2);
+  // (M H^dagger) H must reproduce the original M.
+  std::vector<double> back(static_cast<std::size_t>(m * n), 0.0);
+  blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+             blas::Trans::NoTrans, m, n, n, 1.0, M.data(), m, Horig.data(), n,
+             0.0, back.data(), m);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    ASSERT_NEAR(back[i], Morig[i], 1e-8);
+  }
+}
+
+TEST(SpdSolve, EmptyDimensionsNoop) {
+  SpdSolveInfo info = spd_solve_right(0, nullptr, 1, 5, nullptr, 5);
+  EXPECT_EQ(info.rank, 0);
+}
+
+}  // namespace
+}  // namespace dmtk::linalg

@@ -1,0 +1,114 @@
+// Matrix container semantics: layout, views, factories, norms.
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.hpp"
+
+namespace dmtk {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix M;
+  EXPECT_EQ(M.rows(), 0);
+  EXPECT_EQ(M.cols(), 0);
+  EXPECT_EQ(M.size(), 0);
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix M(3, 4);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(M(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, ColumnMajorLayout) {
+  Matrix M(3, 2);
+  M(0, 0) = 1;
+  M(1, 0) = 2;
+  M(2, 0) = 3;
+  M(0, 1) = 4;
+  EXPECT_EQ(M.data()[0], 1);
+  EXPECT_EQ(M.data()[1], 2);
+  EXPECT_EQ(M.data()[2], 3);
+  EXPECT_EQ(M.data()[3], 4);  // column 1 starts at rows()
+  EXPECT_EQ(M.ld(), 3);
+}
+
+TEST(MatrixTest, ColSpanIsContiguousColumn) {
+  Matrix M(4, 3);
+  M(2, 1) = 7.5;
+  auto c = M.col(1);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[2], 7.5);
+  c[0] = -1.0;
+  EXPECT_EQ(M(0, 1), -1.0);
+}
+
+TEST(MatrixTest, FillAndSetZero) {
+  Matrix M(2, 2);
+  M.fill(3.0);
+  EXPECT_EQ(M(1, 1), 3.0);
+  M.set_zero();
+  EXPECT_EQ(M(1, 1), 0.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix M(2, 2);
+  M(0, 0) = 1;
+  M(1, 0) = 2;
+  M(0, 1) = 2;
+  M(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(M.norm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix A(2, 2), B(2, 2);
+  A(1, 0) = 1.0;
+  B(1, 0) = 3.5;
+  EXPECT_DOUBLE_EQ(A.max_abs_diff(B), 2.5);
+}
+
+TEST(MatrixTest, MaxAbsDiffShapeMismatchThrows) {
+  Matrix A(2, 2), B(2, 3);
+  EXPECT_THROW((void)A.max_abs_diff(B), DimensionError);
+}
+
+TEST(MatrixTest, RandomUniformInRange) {
+  Rng rng(1);
+  Matrix M = Matrix::random_uniform(20, 10, rng);
+  for (double x : M.span()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(MatrixTest, RandomIsSeedDeterministic) {
+  Rng a(5), b(5);
+  Matrix A = Matrix::random_uniform(7, 3, a);
+  Matrix B = Matrix::random_uniform(7, 3, b);
+  EXPECT_DOUBLE_EQ(A.max_abs_diff(B), 0.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix I = Matrix::identity(3);
+  for (index_t j = 0; j < 3; ++j) {
+    for (index_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(I(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, NegativeDimensionThrows) {
+  EXPECT_THROW(Matrix(-1, 2), DimensionError);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix A(2, 2);
+  A(0, 0) = 1.0;
+  Matrix B = A;
+  B(0, 0) = 9.0;
+  EXPECT_EQ(A(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,100 @@
+// Mixed-radix decompose/compose and the Odometer used by Algorithm 1.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/multi_index.hpp"
+
+namespace dmtk {
+namespace {
+
+TEST(Decompose, LastFastestMatchesKrpConvention) {
+  // K = A (.) B with IB = 4: row r maps to (rA, rB) = (r / 4, r % 4).
+  const std::array<index_t, 2> extents{3, 4};
+  std::array<index_t, 2> idx{};
+  decompose_last_fastest(index_t{6}, extents, idx);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 2);
+}
+
+TEST(Decompose, FirstFastestMatchesTensorLinearization) {
+  const std::array<index_t, 3> extents{2, 3, 2};
+  std::array<index_t, 3> idx{};
+  decompose_first_fastest(index_t{1 + 2 * 2 + 1 * 6}, extents, idx);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 2);
+  EXPECT_EQ(idx[2], 1);
+}
+
+TEST(Compose, InvertsDecomposeBothOrders) {
+  const std::array<index_t, 3> extents{3, 4, 5};
+  std::array<index_t, 3> idx{};
+  for (index_t r = 0; r < 60; ++r) {
+    decompose_last_fastest(r, extents, idx);
+    EXPECT_EQ(compose_last_fastest(extents, idx), r);
+    decompose_first_fastest(r, extents, idx);
+    EXPECT_EQ(compose_first_fastest(extents, idx), r);
+  }
+}
+
+TEST(Decompose, SizeMismatchThrows) {
+  const std::array<index_t, 2> extents{2, 2};
+  std::array<index_t, 3> idx{};
+  EXPECT_THROW(decompose_last_fastest(0, extents, idx), DimensionError);
+}
+
+TEST(OdometerTest, EnumeratesAllIndicesLastFastest) {
+  Odometer odo({2, 3, 2}, Odometer::Order::LastFastest);
+  odo.seek(0);
+  std::array<index_t, 3> expect_idx{};
+  const std::array<index_t, 3> extents{2, 3, 2};
+  for (index_t r = 0; r < 12; ++r) {
+    decompose_last_fastest(r, extents, expect_idx);
+    for (std::size_t z = 0; z < 3; ++z) EXPECT_EQ(odo[z], expect_idx[z]);
+    odo.increment();
+  }
+}
+
+TEST(OdometerTest, EnumeratesAllIndicesFirstFastest) {
+  Odometer odo({2, 3}, Odometer::Order::FirstFastest);
+  odo.seek(0);
+  const std::array<index_t, 2> extents{2, 3};
+  std::array<index_t, 2> expect_idx{};
+  for (index_t r = 0; r < 6; ++r) {
+    decompose_first_fastest(r, extents, expect_idx);
+    for (std::size_t z = 0; z < 2; ++z) EXPECT_EQ(odo[z], expect_idx[z]);
+    odo.increment();
+  }
+}
+
+TEST(OdometerTest, ChangedDigitCount) {
+  // Extents (2, 2, 3), last fastest: digit 2 rolls every step; digit 1
+  // changes when digit 2 wraps (every 3 steps); digit 0 when both wrap.
+  Odometer odo({2, 2, 3}, Odometer::Order::LastFastest);
+  odo.seek(0);
+  EXPECT_EQ(odo.increment(), 1);  // (0,0,0) -> (0,0,1)
+  EXPECT_EQ(odo.increment(), 1);  // -> (0,0,2)
+  EXPECT_EQ(odo.increment(), 2);  // -> (0,1,0): two digits changed
+  odo.seek(5);                    // (0,1,2)
+  EXPECT_EQ(odo.increment(), 3);  // -> (1,0,0): three digits changed
+}
+
+TEST(OdometerTest, FullWrapReturnsZero) {
+  Odometer odo({2, 2}, Odometer::Order::LastFastest);
+  odo.seek(3);  // last index (1,1)
+  EXPECT_EQ(odo.increment(), 0);
+}
+
+TEST(OdometerTest, SeekMidStream) {
+  Odometer odo({3, 4, 5}, Odometer::Order::LastFastest);
+  odo.seek(37);
+  const std::array<index_t, 3> extents{3, 4, 5};
+  std::array<index_t, 3> idx{};
+  decompose_last_fastest(37, extents, idx);
+  for (std::size_t z = 0; z < 3; ++z) EXPECT_EQ(odo[z], idx[z]);
+}
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,182 @@
+// Cross-module algebraic properties (property-based tests): identities that
+// tie KRP, MTTKRP, Gram matrices, TTV, and the CP machinery together. Each
+// is a mathematical invariant, so it must hold for every random instance.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "core/cp_als.hpp"
+#include "linalg/spd_solve.hpp"
+#include "core/krp.hpp"
+#include "core/mttkrp.hpp"
+#include "core/reorder.hpp"
+#include "core/ttv.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+using testing::random_factors;
+
+class PropertySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Gram identity: (A (.) B)^T (A (.) B) == (A^T A) * (B^T B) (Hadamard).
+// This is the identity CP-ALS exploits to avoid forming the KRP when
+// building its normal equations.
+TEST_P(PropertySeeds, KrpGramIsHadamardOfGrams) {
+  Rng rng(GetParam());
+  const index_t C = 4;
+  const Matrix A = Matrix::random_normal(7, C, rng);
+  const Matrix B = Matrix::random_normal(5, C, rng);
+  const Matrix K = krp_columnwise({&A, &B});
+
+  Matrix GK(C, C), GA(C, C), GB(C, C);
+  blas::syrk(blas::Trans::Trans, C, K.rows(), 1.0, K.data(), K.ld(), 0.0,
+             GK.data(), C);
+  blas::syrk(blas::Trans::Trans, C, A.rows(), 1.0, A.data(), A.ld(), 0.0,
+             GA.data(), C);
+  blas::syrk(blas::Trans::Trans, C, B.rows(), 1.0, B.data(), B.ld(), 0.0,
+             GB.data(), C);
+  for (index_t j = 0; j < C; ++j) {
+    for (index_t i = 0; i < C; ++i) {
+      ASSERT_NEAR(GK(i, j), GA(i, j) * GB(i, j), 1e-10);
+    }
+  }
+}
+
+// MTTKRP is linear in the tensor: M(aX + bY) == a M(X) + b M(Y).
+TEST_P(PropertySeeds, MttkrpLinearInTensor) {
+  Rng rng(GetParam() + 1);
+  const std::vector<index_t> dims{5, 4, 6};
+  Tensor X = Tensor::random_normal(dims, rng);
+  Tensor Y = Tensor::random_normal(dims, rng);
+  const std::vector<Matrix> fs = random_factors(dims, 3, rng);
+  Tensor Z(dims);
+  const double a = 2.5, b = -0.75;
+  for (index_t l = 0; l < Z.numel(); ++l) Z[l] = a * X[l] + b * Y[l];
+
+  for (index_t mode = 0; mode < 3; ++mode) {
+    Matrix MX = mttkrp(X, fs, mode, MttkrpMethod::OneStep);
+    Matrix MY = mttkrp(Y, fs, mode, MttkrpMethod::OneStep);
+    Matrix MZ = mttkrp(Z, fs, mode, MttkrpMethod::TwoStep);
+    for (index_t j = 0; j < MZ.cols(); ++j) {
+      for (index_t i = 0; i < MZ.rows(); ++i) {
+        ASSERT_NEAR(MZ(i, j), a * MX(i, j) + b * MY(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+// For a rank-1 model tensor X = u0 o u1 o u2, the mode-n MTTKRP against its
+// own factors is u_n scaled by the product of the other modes' Gram values:
+// M(:, 0) = u_n * prod_{k != n} (u_k . u_k).
+TEST_P(PropertySeeds, MttkrpOfRank1TensorIsScaledFactor) {
+  Rng rng(GetParam() + 2);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{6, 5, 4}, 1, rng);
+  Tensor X = K.full();
+  for (index_t mode = 0; mode < 3; ++mode) {
+    Matrix M = mttkrp(X, K.factors, mode, MttkrpMethod::Auto);
+    double scale = 1.0;
+    for (index_t k = 0; k < 3; ++k) {
+      if (k == mode) continue;
+      const Matrix& U = K.factors[static_cast<std::size_t>(k)];
+      scale *= blas::dot(U.rows(), U.col(0).data(), index_t{1},
+                         U.col(0).data(), index_t{1});
+    }
+    const Matrix& Un = K.factors[static_cast<std::size_t>(mode)];
+    for (index_t i = 0; i < M.rows(); ++i) {
+      ASSERT_NEAR(M(i, 0), scale * Un(i, 0),
+                  1e-10 * std::max(1.0, std::abs(scale)));
+    }
+  }
+}
+
+// MTTKRP with rank 1 equals a chain of TTVs over all other modes.
+TEST_P(PropertySeeds, MttkrpRank1EqualsTtvChain) {
+  Rng rng(GetParam() + 3);
+  const std::vector<index_t> dims{4, 5, 3, 4};
+  Tensor X = Tensor::random_normal(dims, rng);
+  const std::vector<Matrix> fs = random_factors(dims, 1, rng);
+  const index_t mode = 2;
+  Matrix M = mttkrp(X, fs, mode, MttkrpMethod::TwoStep);
+
+  // TTV chain contracting modes in DESCENDING order: positions of the
+  // not-yet-contracted (lower) modes are unaffected, so original mode ids
+  // remain valid positions.
+  Tensor Y = X;
+  for (index_t k = 4; k-- > 0;) {
+    if (k == mode) continue;
+    Y = ttv(Y, fs[static_cast<std::size_t>(k)].col(0), k);
+  }
+  ASSERT_EQ(Y.numel(), dims[static_cast<std::size_t>(mode)]);
+  for (index_t i = 0; i < Y.numel(); ++i) {
+    ASSERT_NEAR(M(i, 0), Y[i], 1e-10 * std::max(1.0, std::abs(Y[i])));
+  }
+}
+
+// Permutation covariance: permuting the tensor and the factor list permutes
+// the MTTKRP consistently.
+TEST_P(PropertySeeds, MttkrpCovariantUnderPermutation) {
+  Rng rng(GetParam() + 4);
+  const std::vector<index_t> dims{4, 6, 5};
+  Tensor X = Tensor::random_normal(dims, rng);
+  std::vector<Matrix> fs = random_factors(dims, 2, rng);
+  const std::array<index_t, 3> perm{2, 0, 1};
+  Tensor Xp = permute(X, perm);
+  std::vector<Matrix> fsp{fs[2], fs[0], fs[1]};
+  // Mode 1 of X is mode 2 of Xp (perm[2] == 1).
+  Matrix M = mttkrp(X, fs, 1, MttkrpMethod::OneStep);
+  Matrix Mp = mttkrp(Xp, fsp, 2, MttkrpMethod::OneStep);
+  testing::expect_matrix_near(M, Mp, 1e-10);
+}
+
+// Norm identity: ||X||^2 computed directly, via a Gram of any
+// matricization's trace, and via the Ktensor formula for a CP-built tensor,
+// all agree.
+TEST_P(PropertySeeds, NormIdentities) {
+  Rng rng(GetParam() + 5);
+  Ktensor K = Ktensor::random(std::array<index_t, 3>{5, 4, 6}, 3, rng);
+  Tensor X = K.full();
+  const double direct = X.norm_squared();
+  EXPECT_NEAR(K.norm_squared(), direct, 1e-8 * direct);
+  const Matrix Xn = matricize(X, 1);
+  double trace = 0.0;
+  for (index_t j = 0; j < Xn.cols(); ++j) {
+    trace += blas::dot(Xn.rows(), Xn.col(j).data(), index_t{1},
+                       Xn.col(j).data(), index_t{1});
+  }
+  EXPECT_NEAR(trace, direct, 1e-8 * direct);
+}
+
+// The CP-ALS normal-equations solution reproduces an exact factor when all
+// others are fixed at the truth: one targeted update is exact.
+TEST_P(PropertySeeds, SingleAlsUpdateIsExactLeastSquares) {
+  Rng rng(GetParam() + 6);
+  Ktensor truth = Ktensor::random(std::array<index_t, 3>{7, 6, 5}, 2, rng);
+  Tensor X = truth.full();
+  // Perturb factor 1 only; a single mode-1 update must restore it (up to
+  // the scale freedom absorbed by the other factors being exact).
+  std::vector<Matrix> fs = truth.factors;
+  fs[1] = Matrix::random_uniform(6, 2, rng);
+  Matrix M = mttkrp(X, fs, 1, MttkrpMethod::Auto);
+  std::vector<Matrix> grams(3, Matrix(2, 2));
+  for (index_t n = 0; n < 3; ++n) {
+    blas::syrk(blas::Trans::Trans, 2, fs[static_cast<std::size_t>(n)].rows(),
+               1.0, fs[static_cast<std::size_t>(n)].data(),
+               fs[static_cast<std::size_t>(n)].ld(), 0.0,
+               grams[static_cast<std::size_t>(n)].data(), 2);
+  }
+  Matrix H = hadamard_of_grams(grams, 1);
+  linalg::spd_solve_right(2, H.data(), H.ld(), M.rows(), M.data(), M.ld());
+  testing::expect_matrix_near(M, truth.factors[1], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds,
+                         ::testing::Values<std::uint64_t>(11, 223, 3181,
+                                                          40087, 500009));
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,144 @@
+// Explicit reordering: permute semantics, matricize layout, and the
+// matricize/tensorize round trip.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/reorder.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+TEST(Permute, IdentityIsNoop) {
+  Rng rng(1);
+  Tensor X = Tensor::random_uniform({3, 4, 5}, rng);
+  const std::array<index_t, 3> perm{0, 1, 2};
+  Tensor Y = permute(X, perm);
+  testing::expect_tensor_near(X, Y, 0.0);
+}
+
+TEST(Permute, SwapTwoModesMatchesElementwise) {
+  Rng rng(2);
+  Tensor X = Tensor::random_uniform({3, 5}, rng);
+  const std::array<index_t, 2> perm{1, 0};
+  Tensor Y = permute(X, perm);
+  ASSERT_EQ(Y.dim(0), 5);
+  ASSERT_EQ(Y.dim(1), 3);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 5; ++j) {
+      const std::array<index_t, 2> xi{i, j};
+      const std::array<index_t, 2> yi{j, i};
+      EXPECT_EQ(X(xi), Y(yi));
+    }
+  }
+}
+
+TEST(Permute, GeneralPermutationElementwise) {
+  Rng rng(3);
+  Tensor X = Tensor::random_uniform({2, 3, 4, 5}, rng);
+  const std::array<index_t, 4> perm{2, 0, 3, 1};
+  Tensor Y = permute(X, perm);
+  ASSERT_EQ(Y.dim(0), 4);
+  ASSERT_EQ(Y.dim(1), 2);
+  ASSERT_EQ(Y.dim(2), 5);
+  ASSERT_EQ(Y.dim(3), 3);
+  std::array<index_t, 4> xi{};
+  for (xi[0] = 0; xi[0] < 2; ++xi[0]) {
+    for (xi[1] = 0; xi[1] < 3; ++xi[1]) {
+      for (xi[2] = 0; xi[2] < 4; ++xi[2]) {
+        for (xi[3] = 0; xi[3] < 5; ++xi[3]) {
+          const std::array<index_t, 4> yi{xi[2], xi[0], xi[3], xi[1]};
+          ASSERT_EQ(X(xi), Y(yi));
+        }
+      }
+    }
+  }
+}
+
+TEST(Permute, InverseRoundTrips) {
+  Rng rng(4);
+  Tensor X = Tensor::random_uniform({4, 3, 6}, rng);
+  const std::array<index_t, 3> perm{2, 0, 1};
+  const std::array<index_t, 3> inv{1, 2, 0};  // inv[perm[k]] = k
+  Tensor Y = permute(permute(X, perm), inv);
+  testing::expect_tensor_near(X, Y, 0.0);
+}
+
+TEST(Permute, ThreadCountInvariant) {
+  Rng rng(5);
+  Tensor X = Tensor::random_uniform({6, 7, 8}, rng);
+  const std::array<index_t, 3> perm{1, 2, 0};
+  Tensor Y1 = permute(X, perm, 1);
+  Tensor Y4 = permute(X, perm, 4);
+  testing::expect_tensor_near(Y1, Y4, 0.0);
+}
+
+TEST(Permute, InvalidPermutationThrows) {
+  Tensor X({2, 2});
+  const std::array<index_t, 2> dup{0, 0};
+  EXPECT_THROW(permute(X, dup), DimensionError);
+  const std::array<index_t, 2> oob{0, 2};
+  EXPECT_THROW(permute(X, oob), DimensionError);
+}
+
+TEST(Matricize, Mode0EqualsRawBuffer) {
+  Rng rng(6);
+  Tensor X = Tensor::random_uniform({4, 3, 5}, rng);
+  Matrix M = matricize(X, 0);
+  ASSERT_EQ(M.rows(), 4);
+  ASSERT_EQ(M.cols(), 15);
+  for (index_t l = 0; l < X.numel(); ++l) EXPECT_EQ(M.data()[l], X[l]);
+}
+
+TEST(Matricize, FibersBecomeColumns) {
+  Rng rng(7);
+  Tensor X = Tensor::random_uniform({3, 4, 5}, rng);
+  const index_t n = 1;
+  Matrix M = matricize(X, n);
+  ASSERT_EQ(M.rows(), 4);
+  ASSERT_EQ(M.cols(), 15);
+  // Column index = i0 + i2 * 3 (remaining modes linearized, mode 0 fastest).
+  std::array<index_t, 3> idx{};
+  for (idx[0] = 0; idx[0] < 3; ++idx[0]) {
+    for (idx[1] = 0; idx[1] < 4; ++idx[1]) {
+      for (idx[2] = 0; idx[2] < 5; ++idx[2]) {
+        EXPECT_EQ(M(idx[1], idx[0] + idx[2] * 3), X(idx));
+      }
+    }
+  }
+}
+
+TEST(Matricize, LastModeMatchesRowMajorView) {
+  Rng rng(8);
+  Tensor X = Tensor::random_uniform({3, 4, 5}, rng);
+  Matrix M = matricize(X, 2);
+  // X(N-1) is row-major in the natural layout: M(i, c) == data[c + i*12].
+  for (index_t i = 0; i < 5; ++i) {
+    for (index_t c = 0; c < 12; ++c) {
+      EXPECT_EQ(M(i, c), X.data()[c + i * 12]);
+    }
+  }
+}
+
+TEST(Tensorize, RoundTripsEveryMode) {
+  Rng rng(9);
+  const std::vector<index_t> dims{3, 4, 2, 5};
+  Tensor X = Tensor::random_uniform(dims, rng);
+  for (index_t n = 0; n < 4; ++n) {
+    Matrix M = matricize(X, n);
+    Tensor Y = tensorize(M, dims, n);
+    testing::expect_tensor_near(X, Y, 0.0);
+  }
+}
+
+TEST(Tensorize, WrongRowCountThrows) {
+  Matrix M(3, 8);
+  const std::vector<index_t> dims{4, 3, 2};
+  EXPECT_THROW(tensorize(M, dims, 0), DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk

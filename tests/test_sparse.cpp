@@ -1,0 +1,188 @@
+// COO sparse tensor, SPLATT-style sparse MTTKRP, and sparse CP-ALS: all
+// validated against the dense machinery on sparsified dense tensors.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/mttkrp.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk::sparse {
+namespace {
+
+using dmtk::testing::random_factors;
+
+/// A dense tensor with ~`density` of its entries nonzero.
+Tensor sparse_dense(std::span<const index_t> dims, double density, Rng& rng) {
+  Tensor X({dims.begin(), dims.end()});
+  for (index_t l = 0; l < X.numel(); ++l) {
+    if (rng.uniform() < density) X[l] = rng.uniform(-1.0, 1.0);
+  }
+  return X;
+}
+
+TEST(SparseTensorTest, FromDenseToDenseRoundTrip) {
+  Rng rng(1);
+  Tensor X = sparse_dense(std::array<index_t, 3>{5, 6, 4}, 0.2, rng);
+  SparseTensor S = SparseTensor::from_dense(X);
+  Tensor Y = S.to_dense();
+  dmtk::testing::expect_tensor_near(X, Y, 0.0);
+}
+
+TEST(SparseTensorTest, NnzMatchesDensity) {
+  Rng rng(2);
+  Tensor X = sparse_dense(std::array<index_t, 3>{10, 10, 10}, 0.1, rng);
+  SparseTensor S = SparseTensor::from_dense(X);
+  index_t expect = 0;
+  for (index_t l = 0; l < X.numel(); ++l) {
+    if (X[l] != 0.0) ++expect;
+  }
+  EXPECT_EQ(S.nnz(), expect);
+  EXPECT_EQ(S.numel(), 1000);
+}
+
+TEST(SparseTensorTest, ThresholdDropsSmallEntries) {
+  Tensor X({2, 2});
+  X[0] = 0.05;
+  X[1] = 0.5;
+  X[2] = -0.04;
+  X[3] = -0.6;
+  SparseTensor S = SparseTensor::from_dense(X, 0.1);
+  EXPECT_EQ(S.nnz(), 2);
+}
+
+TEST(SparseTensorTest, NormSquaredMatchesDense) {
+  Rng rng(3);
+  Tensor X = sparse_dense(std::array<index_t, 3>{6, 5, 7}, 0.3, rng);
+  SparseTensor S = SparseTensor::from_dense(X);
+  EXPECT_NEAR(S.norm_squared(), X.norm_squared(), 1e-12);
+}
+
+TEST(SparseTensorTest, DuplicatesAccumulate) {
+  SparseTensor S({3, 3});
+  const std::array<index_t, 2> idx{1, 2};
+  S.push_back(idx, 2.0);
+  S.push_back(idx, 0.5);
+  Tensor X = S.to_dense();
+  EXPECT_DOUBLE_EQ(X(std::array<index_t, 2>{1, 2}), 2.5);
+}
+
+TEST(SparseTensorTest, OutOfRangeCoordinateThrows) {
+  SparseTensor S({2, 2});
+  const std::array<index_t, 2> bad{2, 0};
+  EXPECT_THROW(S.push_back(bad, 1.0), DimensionError);
+  const std::array<index_t, 3> wrong_order{0, 0, 0};
+  EXPECT_THROW(S.push_back(wrong_order, 1.0), DimensionError);
+}
+
+TEST(SparseTensorTest, RandomHasRequestedNnz) {
+  Rng rng(4);
+  SparseTensor S = SparseTensor::random({8, 8, 8}, 100, rng);
+  EXPECT_EQ(S.nnz(), 100);
+  for (index_t k = 0; k < S.nnz(); ++k) {
+    for (index_t n = 0; n < 3; ++n) {
+      EXPECT_GE(S.coord(n, k), 0);
+      EXPECT_LT(S.coord(n, k), 8);
+    }
+  }
+}
+
+class SparseMttkrpModes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SparseMttkrpModes, MatchesDenseReference) {
+  const index_t mode = GetParam();
+  Rng rng(10 + mode);
+  Tensor X = sparse_dense(std::array<index_t, 4>{5, 4, 6, 3}, 0.15, rng);
+  SparseTensor S = SparseTensor::from_dense(X);
+  const std::vector<Matrix> fs = random_factors(X.dims(), 3, rng);
+  Matrix ref = dmtk::mttkrp(X, fs, mode, MttkrpMethod::Reference);
+  Matrix got;
+  mttkrp(S, fs, mode, got, 2);
+  dmtk::testing::expect_matrix_near(ref, got, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SparseMttkrpModes,
+                         ::testing::Values<index_t>(0, 1, 2, 3));
+
+TEST(SparseMttkrp, EmptyTensorGivesZero) {
+  SparseTensor S({4, 5, 6});
+  Rng rng(11);
+  const std::vector<Matrix> fs =
+      random_factors(std::array<index_t, 3>{4, 5, 6}, 2, rng);
+  Matrix M;
+  mttkrp(S, fs, 1, M);
+  EXPECT_EQ(M.rows(), 5);
+  for (double v : M.span()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SparseMttkrp, ThreadInvariant) {
+  Rng rng(12);
+  SparseTensor S = SparseTensor::random({10, 12, 9}, 500, rng);
+  const std::vector<Matrix> fs =
+      random_factors(std::array<index_t, 3>{10, 12, 9}, 4, rng);
+  Matrix M1, M4;
+  mttkrp(S, fs, 1, M1, 1);
+  mttkrp(S, fs, 1, M4, 4);
+  dmtk::testing::expect_matrix_near(M1, M4, 1e-12);
+}
+
+TEST(SparseMttkrp, ValidatesInputs) {
+  Rng rng(13);
+  SparseTensor S = SparseTensor::random({4, 4, 4}, 10, rng);
+  std::vector<Matrix> fs = random_factors(std::array<index_t, 3>{4, 4, 4}, 2,
+                                          rng);
+  Matrix M;
+  EXPECT_THROW(mttkrp(S, fs, 3, M), DimensionError);
+  fs[1] = Matrix(5, 2);
+  EXPECT_THROW(mttkrp(S, fs, 0, M), DimensionError);
+}
+
+TEST(SparseCpAls, MatchesDenseCpAlsOnSameData) {
+  Rng rng(14);
+  Tensor X = sparse_dense(std::array<index_t, 3>{8, 7, 6}, 0.25, rng);
+  SparseTensor S = SparseTensor::from_dense(X);
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 4;
+  opts.tol = 0.0;
+  opts.seed = 3;
+  const CpAlsResult dense_r = dmtk::cp_als(X, opts);
+  const CpAlsResult sparse_r = cp_als(S, opts);
+  EXPECT_NEAR(dense_r.final_fit, sparse_r.final_fit, 1e-9);
+  for (index_t n = 0; n < 3; ++n) {
+    EXPECT_LT(dense_r.model.factors[static_cast<std::size_t>(n)].max_abs_diff(
+                  sparse_r.model.factors[static_cast<std::size_t>(n)]),
+              1e-7);
+  }
+}
+
+TEST(SparseCpAls, RecoversSparseLowRankStructure) {
+  // Low-rank with sparse factors -> sparse tensor with exact CP structure.
+  Rng rng(15);
+  Ktensor truth;
+  for (index_t d : {index_t{12}, index_t{10}, index_t{8}}) {
+    Matrix U(d, 2);
+    for (index_t c = 0; c < 2; ++c) {
+      for (index_t i = 0; i < d; ++i) {
+        U(i, c) = rng.uniform() < 0.4 ? rng.uniform(0.5, 1.5) : 0.0;
+      }
+    }
+    truth.factors.push_back(std::move(U));
+  }
+  truth.lambda = {1.0, 1.0};
+  SparseTensor S = SparseTensor::from_dense(truth.full());
+  ASSERT_GT(S.nnz(), 0);
+  ASSERT_LT(S.nnz(), S.numel());
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 200;
+  opts.tol = 1e-10;
+  const CpAlsResult r = cp_als(S, opts);
+  EXPECT_GT(r.final_fit, 0.999);
+}
+
+}  // namespace
+}  // namespace dmtk::sparse

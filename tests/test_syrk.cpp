@@ -1,0 +1,94 @@
+// SYRK correctness: Gram matrices (A^T A) and outer products (A A^T),
+// symmetry of the output, beta accumulation, and thread counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/syrk.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk::blas {
+namespace {
+
+struct SyrkCase {
+  index_t n, k;
+  bool trans;
+  int threads;
+};
+
+class SyrkSweep : public ::testing::TestWithParam<SyrkCase> {};
+
+TEST_P(SyrkSweep, MatchesNaiveGram) {
+  const SyrkCase p = GetParam();
+  Rng rng(42 + p.n + p.k);
+  // trans: A is k x n (Gram A^T A); !trans: A is n x k (A A^T).
+  const index_t arows = p.trans ? p.k : p.n;
+  const index_t acols = p.trans ? p.n : p.k;
+  std::vector<double> A(static_cast<std::size_t>(arows * acols));
+  fill_uniform(A, rng, -1, 1);
+  std::vector<double> C(static_cast<std::size_t>(p.n * p.n), 0.0);
+
+  syrk(p.trans ? Trans::Trans : Trans::NoTrans, p.n, p.k, 1.0, A.data(), arows,
+       0.0, C.data(), p.n, p.threads);
+
+  for (index_t j = 0; j < p.n; ++j) {
+    for (index_t i = 0; i < p.n; ++i) {
+      double expect = 0.0;
+      for (index_t t = 0; t < p.k; ++t) {
+        const double ai = p.trans ? A[t + i * arows] : A[i + t * arows];
+        const double aj = p.trans ? A[t + j * arows] : A[j + t * arows];
+        expect += ai * aj;
+      }
+      ASSERT_NEAR(C[i + j * p.n], expect, 1e-11 * static_cast<double>(p.k + 1))
+          << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SyrkSweep,
+    ::testing::Values(SyrkCase{1, 1, true, 1}, SyrkCase{5, 100, true, 1},
+                      SyrkCase{25, 900, true, 2}, SyrkCase{50, 64, true, 4},
+                      SyrkCase{8, 13, false, 1}, SyrkCase{30, 7, false, 3}));
+
+TEST(Syrk, OutputIsExactlySymmetric) {
+  Rng rng(9);
+  const index_t n = 17, k = 40;
+  std::vector<double> A(static_cast<std::size_t>(k * n));
+  fill_uniform(A, rng, -1, 1);
+  std::vector<double> C(static_cast<std::size_t>(n * n), 0.0);
+  syrk(Trans::Trans, n, k, 1.0, A.data(), k, 0.0, C.data(), n, 2);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(C[i + j * n], C[j + i * n]);  // bitwise: mirrored, not recomputed
+    }
+  }
+}
+
+TEST(Syrk, BetaAccumulates) {
+  const index_t n = 3, k = 2;
+  std::vector<double> A(static_cast<std::size_t>(k * n), 1.0);  // all-ones
+  std::vector<double> C(static_cast<std::size_t>(n * n), 10.0);
+  syrk(Trans::Trans, n, k, 2.0, A.data(), k, 0.5, C.data(), n, 1);
+  // Each Gram entry is k = 2; 2*2 + 0.5*10 = 9.
+  for (double c : C) EXPECT_DOUBLE_EQ(c, 9.0);
+}
+
+TEST(Syrk, DiagonalIsSumOfSquares) {
+  std::vector<double> A{3.0, 4.0};  // one column, k = 2
+  std::vector<double> C(1, 0.0);
+  syrk(Trans::Trans, index_t{1}, index_t{2}, 1.0, A.data(), index_t{2}, 0.0,
+       C.data(), index_t{1});
+  EXPECT_DOUBLE_EQ(C[0], 25.0);
+}
+
+TEST(Syrk, BadLdcThrows) {
+  std::vector<double> buf(16, 0.0);
+  EXPECT_THROW(syrk(Trans::Trans, index_t{4}, index_t{1}, 1.0, buf.data(),
+                    index_t{1}, 0.0, buf.data(), index_t{2}),
+               DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk::blas

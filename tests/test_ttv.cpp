@@ -1,0 +1,179 @@
+// TTV / TTM / multi-TTV kernels.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/krp.hpp"
+#include "core/ttv.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+/// Elementwise TTV oracle.
+Tensor naive_ttv(const Tensor& X, std::span<const double> v, index_t mode) {
+  std::vector<index_t> ydims;
+  for (index_t k = 0; k < X.order(); ++k) {
+    if (k != mode) ydims.push_back(X.dim(k));
+  }
+  Tensor Y(ydims);
+  std::vector<index_t> xi(static_cast<std::size_t>(X.order()));
+  std::vector<index_t> yi(ydims.size());
+  for (index_t l = 0; l < X.numel(); ++l) {
+    index_t rem = l;
+    for (index_t k = 0; k < X.order(); ++k) {
+      xi[static_cast<std::size_t>(k)] = rem % X.dim(k);
+      rem /= X.dim(k);
+    }
+    std::size_t o = 0;
+    for (index_t k = 0; k < X.order(); ++k) {
+      if (k != mode) yi[o++] = xi[static_cast<std::size_t>(k)];
+    }
+    Y(yi) += X[l] * v[static_cast<std::size_t>(
+                        xi[static_cast<std::size_t>(mode)])];
+  }
+  return Y;
+}
+
+class TtvModes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(TtvModes, MatchesNaiveOracle) {
+  const index_t mode = GetParam();
+  Rng rng(20 + mode);
+  Tensor X = Tensor::random_uniform({3, 4, 5, 2}, rng);
+  std::vector<double> v(static_cast<std::size_t>(X.dim(mode)));
+  fill_uniform(v, rng, -1.0, 1.0);
+  Tensor Y = ttv(X, v, mode);
+  Tensor Yref = naive_ttv(X, v, mode);
+  testing::expect_tensor_near(Y, Yref, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, TtvModes,
+                         ::testing::Values<index_t>(0, 1, 2, 3));
+
+TEST(Ttv, ThreadInvariant) {
+  Rng rng(21);
+  Tensor X = Tensor::random_uniform({4, 6, 5}, rng);
+  std::vector<double> v(6);
+  fill_uniform(v, rng);
+  Tensor Y1 = ttv(X, v, 1, 1);
+  Tensor Y4 = ttv(X, v, 1, 4);
+  testing::expect_tensor_near(Y1, Y4, 1e-13);
+}
+
+TEST(Ttv, WrongLengthThrows) {
+  Tensor X({3, 4});
+  std::vector<double> v(5);
+  EXPECT_THROW(ttv(X, v, 0), DimensionError);
+}
+
+TEST(Ttv, OneWayTensorThrows) {
+  Tensor X({4});
+  std::vector<double> v(4);
+  EXPECT_THROW(ttv(X, v, 0), DimensionError);
+}
+
+TEST(Ttm, MatchesIteratedTtv) {
+  // X x_n M: column r of the result's mode-n fibers equals ttv with M(:,r).
+  Rng rng(22);
+  Tensor X = Tensor::random_uniform({3, 4, 5}, rng);
+  const index_t mode = 1;
+  Matrix M = Matrix::random_uniform(4, 2, rng);
+  Tensor Y = ttm(X, M, mode);
+  ASSERT_EQ(Y.dim(0), 3);
+  ASSERT_EQ(Y.dim(mode), 2);
+  ASSERT_EQ(Y.dim(2), 5);
+  for (index_t r = 0; r < 2; ++r) {
+    Tensor Yr = ttv(X, M.col(r), mode);
+    std::array<index_t, 3> yi{};
+    for (yi[0] = 0; yi[0] < 3; ++yi[0]) {
+      for (yi[2] = 0; yi[2] < 5; ++yi[2]) {
+        yi[1] = r;
+        const std::array<index_t, 2> ri{yi[0], yi[2]};
+        ASSERT_NEAR(Y(yi), Yr(ri), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Ttm, IdentityIsNoop) {
+  Rng rng(23);
+  Tensor X = Tensor::random_uniform({3, 4, 2}, rng);
+  Tensor Y = ttm(X, Matrix::identity(4), 1);
+  testing::expect_tensor_near(X, Y, 1e-13);
+}
+
+TEST(Ttm, WrongRowsThrows) {
+  Tensor X({3, 4});
+  Matrix M(5, 2);
+  EXPECT_THROW(ttm(X, M, 1), DimensionError);
+}
+
+TEST(MultiTtv, RightVariantMatchesPerComponentTtv) {
+  // Construct R as C stacked (I_Ln x I_n) subtensors and verify each output
+  // column is the corresponding TTV against the left-KRP column.
+  Rng rng(24);
+  const index_t In = 4, ILn = 6, C = 3;
+  Matrix R(ILn * In, C);  // each column: subtensor (ILn x In col-major)
+  fill_uniform(R.span(), rng, -1.0, 1.0);
+  Matrix KLt(C, ILn);
+  fill_uniform(KLt.span(), rng, -1.0, 1.0);
+  Matrix M(In, C);
+  multi_ttv_right(R.data(), In, ILn, C, KLt.data(), KLt.ld(), M);
+  for (index_t c = 0; c < C; ++c) {
+    for (index_t i = 0; i < In; ++i) {
+      double expect = 0.0;
+      for (index_t rl = 0; rl < ILn; ++rl) {
+        expect += R(rl + i * ILn, c) * KLt(c, rl);
+      }
+      ASSERT_NEAR(M(i, c), expect, 1e-12);
+    }
+  }
+}
+
+TEST(MultiTtv, LeftVariantMatchesPerComponentTtv) {
+  Rng rng(25);
+  const index_t In = 5, IRn = 4, C = 3;
+  Matrix L(In * IRn, C);  // each column: subtensor (In x IRn col-major)
+  fill_uniform(L.span(), rng, -1.0, 1.0);
+  Matrix KRt(C, IRn);
+  fill_uniform(KRt.span(), rng, -1.0, 1.0);
+  Matrix M(In, C);
+  multi_ttv_left(L.data(), In, IRn, C, KRt.data(), KRt.ld(), M);
+  for (index_t c = 0; c < C; ++c) {
+    for (index_t i = 0; i < In; ++i) {
+      double expect = 0.0;
+      for (index_t rr = 0; rr < IRn; ++rr) {
+        expect += L(i + rr * In, c) * KRt(c, rr);
+      }
+      ASSERT_NEAR(M(i, c), expect, 1e-12);
+    }
+  }
+}
+
+TEST(MultiTtv, ThreadInvariantBothBranches) {
+  // C >= threads takes the per-component path, C < threads the internal-BLAS
+  // path; both must agree.
+  Rng rng(26);
+  const index_t In = 7, ILn = 9, C = 2;
+  Matrix R(ILn * In, C);
+  fill_uniform(R.span(), rng);
+  Matrix KLt(C, ILn);
+  fill_uniform(KLt.span(), rng);
+  Matrix M1(In, C), M4(In, C);
+  multi_ttv_right(R.data(), In, ILn, C, KLt.data(), KLt.ld(), M1, 1);
+  multi_ttv_right(R.data(), In, ILn, C, KLt.data(), KLt.ld(), M4, 4);
+  testing::expect_matrix_near(M1, M4, 1e-13);
+}
+
+TEST(MultiTtv, OutputShapeMismatchThrows) {
+  Matrix R(12, 2), KLt(2, 3), M(5, 2);  // In should be 4
+  EXPECT_THROW(
+      multi_ttv_right(R.data(), 4, 3, 2, KLt.data(), KLt.ld(), M),
+      DimensionError);
+}
+
+}  // namespace
+}  // namespace dmtk

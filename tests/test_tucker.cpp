@@ -1,0 +1,164 @@
+// ST-HOSVD Tucker decomposition: exact recovery at full multilinear rank,
+// truncation behaviour, orthonormal factors, and the reordering-free Gram
+// accumulation.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "core/reorder.hpp"
+#include "core/tucker.hpp"
+#include "test_helpers.hpp"
+
+namespace dmtk {
+namespace {
+
+/// Tensor with exact multilinear ranks: core x_n factors.
+Tensor low_multilinear_rank(std::span<const index_t> dims,
+                            std::span<const index_t> ranks, Rng& rng) {
+  Tensor core = Tensor::random_normal({ranks.begin(), ranks.end()}, rng);
+  TuckerModel m;
+  m.core = std::move(core);
+  for (std::size_t n = 0; n < dims.size(); ++n) {
+    // Orthonormalize a random matrix via Gram-Schmidt for a valid factor.
+    Matrix U = Matrix::random_normal(dims[n], ranks[n], rng);
+    for (index_t c = 0; c < U.cols(); ++c) {
+      for (index_t p = 0; p < c; ++p) {
+        const double d = blas::dot(U.rows(), U.col(c).data(), index_t{1},
+                                   U.col(p).data(), index_t{1});
+        blas::axpy(U.rows(), -d, U.col(p).data(), index_t{1},
+                   U.col(c).data(), index_t{1});
+      }
+      const double nrm = blas::nrm2(U.rows(), U.col(c).data(), index_t{1});
+      blas::scal(U.rows(), 1.0 / nrm, U.col(c).data(), index_t{1});
+    }
+    m.factors.push_back(std::move(U));
+  }
+  return m.full();
+}
+
+TEST(GramMatricized, MatchesExplicitMatricization) {
+  Rng rng(1);
+  Tensor X = Tensor::random_uniform({4, 5, 6}, rng);
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const Matrix G = gram_matricized(X, mode);
+    const Matrix Xn = matricize(X, mode);
+    // Reference: Xn Xn^T.
+    Matrix Gref(X.dim(mode), X.dim(mode));
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+               blas::Trans::Trans, Xn.rows(), Xn.rows(), Xn.cols(), 1.0,
+               Xn.data(), Xn.ld(), Xn.data(), Xn.ld(), 0.0, Gref.data(),
+               Gref.ld());
+    testing::expect_matrix_near(G, Gref, 1e-10);
+  }
+}
+
+TEST(GramMatricized, ThreadInvariant) {
+  Rng rng(2);
+  Tensor X = Tensor::random_uniform({6, 7, 8}, rng);
+  const Matrix G1 = gram_matricized(X, 1, 1);
+  const Matrix G4 = gram_matricized(X, 1, 4);
+  testing::expect_matrix_near(G1, G4, 1e-11);
+}
+
+TEST(StHosvd, ExactAtTrueMultilinearRank) {
+  Rng rng(3);
+  const std::array<index_t, 3> dims{10, 9, 8};
+  const std::array<index_t, 3> ranks{3, 4, 2};
+  Tensor X = low_multilinear_rank(dims, ranks, rng);
+  const TuckerModel m = st_hosvd(X, ranks);
+  EXPECT_LT(tucker_relative_error(X, m), 1e-10);
+  EXPECT_EQ(m.ranks(), (std::vector<index_t>{3, 4, 2}));
+}
+
+TEST(StHosvd, FullRankIsLossless) {
+  Rng rng(4);
+  Tensor X = Tensor::random_uniform({5, 6, 4}, rng);
+  const std::array<index_t, 3> ranks{5, 6, 4};
+  const TuckerModel m = st_hosvd(X, ranks);
+  EXPECT_LT(tucker_relative_error(X, m), 1e-10);
+}
+
+TEST(StHosvd, FactorsOrthonormal) {
+  Rng rng(5);
+  Tensor X = Tensor::random_uniform({8, 7, 6}, rng);
+  const std::array<index_t, 3> ranks{4, 3, 5};
+  const TuckerModel m = st_hosvd(X, ranks);
+  for (const Matrix& U : m.factors) {
+    for (index_t a = 0; a < U.cols(); ++a) {
+      for (index_t b = 0; b < U.cols(); ++b) {
+        const double d = blas::dot(U.rows(), U.col(a).data(), index_t{1},
+                                   U.col(b).data(), index_t{1});
+        ASSERT_NEAR(d, a == b ? 1.0 : 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(StHosvd, ErrorDecreasesWithRank) {
+  Rng rng(6);
+  Tensor X = Tensor::random_uniform({10, 10, 10}, rng);
+  double prev = 2.0;
+  for (index_t r : {2, 4, 6, 8, 10}) {
+    const std::array<index_t, 3> ranks{r, r, r};
+    const double err = tucker_relative_error(X, st_hosvd(X, ranks));
+    EXPECT_LE(err, prev + 1e-12) << "rank " << r;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-9);  // full rank exact
+}
+
+TEST(StHosvd, CorePreservesNorm) {
+  // With orthonormal factors and no truncation, ||core|| == ||X||.
+  Rng rng(7);
+  Tensor X = Tensor::random_uniform({6, 5, 7}, rng);
+  const std::array<index_t, 3> ranks{6, 5, 7};
+  const TuckerModel m = st_hosvd(X, ranks);
+  EXPECT_NEAR(m.core.norm(), X.norm(), 1e-9 * X.norm());
+}
+
+TEST(StHosvd, CompressionRatioSanity) {
+  // A genuinely low-rank tensor compresses hard: core + factors much
+  // smaller than the input.
+  Rng rng(8);
+  const std::array<index_t, 3> dims{20, 20, 20};
+  const std::array<index_t, 3> ranks{3, 3, 3};
+  Tensor X = low_multilinear_rank(dims, ranks, rng);
+  const TuckerModel m = st_hosvd(X, ranks);
+  index_t model_size = m.core.numel();
+  for (const Matrix& U : m.factors) model_size += U.size();
+  EXPECT_LT(model_size * 10, X.numel());
+  EXPECT_LT(tucker_relative_error(X, m), 1e-9);
+}
+
+TEST(StHosvd, FourWayTensor) {
+  Rng rng(9);
+  const std::array<index_t, 4> dims{6, 5, 4, 7};
+  const std::array<index_t, 4> ranks{2, 3, 2, 3};
+  Tensor X = low_multilinear_rank(dims, ranks, rng);
+  const TuckerModel m = st_hosvd(X, ranks);
+  EXPECT_LT(tucker_relative_error(X, m), 1e-9);
+}
+
+TEST(StHosvd, InvalidRanksThrow) {
+  Tensor X({4, 4, 4});
+  const std::array<index_t, 3> too_big{5, 4, 4};
+  EXPECT_THROW(st_hosvd(X, too_big), DimensionError);
+  const std::array<index_t, 3> zero{0, 4, 4};
+  EXPECT_THROW(st_hosvd(X, zero), DimensionError);
+  const std::array<index_t, 2> wrong_order{4, 4};
+  EXPECT_THROW(st_hosvd(X, wrong_order), DimensionError);
+}
+
+TEST(TuckerModelTest, FullValidatesShape) {
+  TuckerModel m;
+  m.core = Tensor({2, 2});
+  m.factors.push_back(Matrix(4, 2));
+  EXPECT_THROW(m.full(), DimensionError);  // one factor missing
+}
+
+}  // namespace
+}  // namespace dmtk

@@ -1,0 +1,309 @@
+// Tests for util/: block partitioning, stats, RNG, timers, STREAM kernels,
+// and the threading environment.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stream.hpp"
+#include "util/timer.hpp"
+
+namespace dmtk {
+namespace {
+
+// ---------------------------------------------------------------- block_range
+
+TEST(BlockRange, CoversAllElementsExactlyOnce) {
+  for (index_t total : {0, 1, 5, 12, 13, 100}) {
+    for (int nt : {1, 2, 3, 7, 12, 64}) {
+      std::vector<int> hits(static_cast<std::size_t>(total), 0);
+      for (int t = 0; t < nt; ++t) {
+        const Range r = block_range(total, nt, t);
+        for (index_t i = r.begin; i < r.end; ++i) {
+          ++hits[static_cast<std::size_t>(i)];
+        }
+      }
+      for (index_t i = 0; i < total; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1)
+            << "total=" << total << " nt=" << nt << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BlockRange, BlocksAreContiguousAndOrdered) {
+  const index_t total = 97;
+  const int nt = 8;
+  index_t expected_begin = 0;
+  for (int t = 0; t < nt; ++t) {
+    const Range r = block_range(total, nt, t);
+    EXPECT_EQ(r.begin, expected_begin);
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(expected_begin, total);
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  const index_t total = 103;
+  const int nt = 12;
+  index_t mn = total, mx = 0;
+  for (int t = 0; t < nt; ++t) {
+    const Range r = block_range(total, nt, t);
+    mn = std::min(mn, r.size());
+    mx = std::max(mx, r.size());
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(BlockRange, MoreThreadsThanWork) {
+  const index_t total = 3;
+  const int nt = 8;
+  index_t covered = 0;
+  for (int t = 0; t < nt; ++t) covered += block_range(total, nt, t).size();
+  EXPECT_EQ(covered, total);
+}
+
+// ------------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  const index_t n = 1000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  parallel_for_blocked(index_t{0}, n, 4,
+                       [&](index_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  index_t sum = 0;
+  parallel_for_blocked(index_t{0}, index_t{10}, 1, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelRegion, TeamSizeMatches) {
+  std::atomic<int> count{0};
+  parallel_region(3, [&](int, int nt) {
+    EXPECT_EQ(nt, 3);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(Stats, MeanMedianStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 3.5355339, 1e-6);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, EmptyInputs) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(median(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(11);
+  const int n = 20000;
+  double s = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.05);
+  EXPECT_NEAR(s2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng rng(13);
+  Rng s1 = rng.split();
+  Rng s2 = rng.split();
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, FillHelpers) {
+  Rng rng(17);
+  std::vector<double> v(64);
+  fill_uniform(v, rng, 2.0, 3.0);
+  for (double x : v) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+// -------------------------------------------------------------------- timer
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+}
+
+TEST(Timer, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, MedianOfTrialsRuns) {
+  int calls = 0;
+  const double med = time_median(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(med, 0.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesIntoSlot) {
+  double slot = 0.0;
+  {
+    PhaseTimer pt(&slot);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(slot, 0.0);
+}
+
+TEST(PhaseTimerTest, NullSlotIsNoop) {
+  PhaseTimer pt(nullptr);  // must not crash
+  pt.stop();
+}
+
+TEST(PhaseTimerTest, StopIsIdempotent) {
+  double slot = 0.0;
+  PhaseTimer pt(&slot);
+  pt.stop();
+  const double after_first = slot;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pt.stop();
+  EXPECT_EQ(slot, after_first);
+}
+
+// ------------------------------------------------------------------- stream
+
+TEST(Stream, CopyMovesData) {
+  std::vector<double> a(1000), b(1000, 0.0);
+  std::iota(a.begin(), a.end(), 0.0);
+  const double bytes = stream::copy(a, b, 2);
+  EXPECT_EQ(b, a);
+  EXPECT_DOUBLE_EQ(bytes, 2.0 * 1000 * sizeof(double));
+}
+
+TEST(Stream, ScaleAppliesAlpha) {
+  std::vector<double> a(100, 2.0), b(100, 0.0);
+  stream::scale(a, b, 3.0, 1);
+  for (double x : b) EXPECT_DOUBLE_EQ(x, 6.0);
+}
+
+TEST(Stream, AddSums) {
+  std::vector<double> a(100, 1.5), b(100, 2.5), c(100, 0.0);
+  const double bytes = stream::add(a, b, c, 2);
+  for (double x : c) EXPECT_DOUBLE_EQ(x, 4.0);
+  EXPECT_DOUBLE_EQ(bytes, 3.0 * 100 * sizeof(double));
+}
+
+TEST(Stream, TriadFma) {
+  std::vector<double> a(64, 1.0), b(64, 2.0), c(64, 0.0);
+  stream::triad(a, b, c, 10.0, 3);
+  for (double x : c) EXPECT_DOUBLE_EQ(x, 21.0);
+}
+
+TEST(Stream, ReadScaleWriteMatchesScale) {
+  std::vector<double> a(128, 4.0), b(128, 0.0);
+  stream::read_scale_write(a, b, 0.5, 2);
+  for (double x : b) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Stream, SizeMismatchThrows) {
+  std::vector<double> a(10), b(11);
+  EXPECT_THROW(stream::copy(a, b), DimensionError);
+}
+
+// ---------------------------------------------------------------------- env
+
+TEST(Env, ResolveThreadsUsesDefault) {
+  set_num_threads(5);
+  EXPECT_EQ(resolve_threads(0), 5);
+  EXPECT_EQ(resolve_threads(-1), 5);
+  EXPECT_EQ(resolve_threads(3), 3);
+  set_num_threads(hardware_threads());
+}
+
+TEST(Env, SetNumThreadsClampsToOne) {
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+  set_num_threads(hardware_threads());
+}
+
+TEST(Env, HardwareThreadsPositive) { EXPECT_GE(hardware_threads(), 1); }
+
+// ------------------------------------------------------------------- checks
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    DMTK_CHECK(false, "custom context");
+    FAIL() << "expected throw";
+  } catch (const DimensionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("custom context"), std::string::npos);
+    EXPECT_NE(msg.find("false"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { DMTK_CHECK(true, "never seen"); }
+
+}  // namespace
+}  // namespace dmtk

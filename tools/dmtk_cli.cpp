@@ -1,0 +1,252 @@
+/// \file dmtk_cli.cpp
+/// Command-line front end for the library, so a pipeline can use dmtk
+/// without writing C++:
+///
+///   dmtk generate  --dims 100x80x60 --rank 5 --noise 0.05 --out x.dten
+///   dmtk fmri      --time 225 --subjects 59 --regions 200 --out x.dten
+///   dmtk info      x.dten
+///   dmtk decompose x.dten --rank 10 [--nn] [--dimtree] --out model.dktn
+///   dmtk tucker    x.dten --ranks 8x8x8 --out-prefix model
+///   dmtk export    model.dktn --out-prefix factors   (CSV per factor)
+///
+/// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dmtk.hpp"
+
+namespace {
+
+using namespace dmtk;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dmtk <command> [args]\n"
+      "  generate  --dims AxBxC [--rank R] [--noise f] [--seed s] --out F\n"
+      "  fmri      [--time T] [--subjects S] [--regions R] [--rank C]\n"
+      "            [--noise f] [--seed s] [--linearize] --out F\n"
+      "  info      <tensor.dten>\n"
+      "  decompose <tensor.dten> --rank R [--nn] [--dimtree]\n"
+      "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
+      "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
+      "  export    <model.dktn> --out-prefix P\n");
+  std::exit(1);
+}
+
+/// Parse "4x5x6" into extents.
+std::vector<index_t> parse_dims(const std::string& s) {
+  std::vector<index_t> dims;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t x = s.find('x', pos);
+    if (x == std::string::npos) x = s.size();
+    dims.push_back(std::atoll(s.substr(pos, x - pos).c_str()));
+    pos = x + 1;
+  }
+  if (dims.empty()) usage();
+  for (index_t d : dims) {
+    if (d < 1) usage();
+  }
+  return dims;
+}
+
+/// Minimal --flag value parser; flags without '=' consume the next token.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first,
+                                               std::string* positional) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      // Boolean flags.
+      if (key == "nn" || key == "dimtree" || key == "linearize") {
+        flags[key] = "1";
+      } else if (i + 1 < argc) {
+        flags[key] = argv[++i];
+      } else {
+        usage();
+      }
+    } else if (positional != nullptr && positional->empty()) {
+      *positional = a;
+    } else {
+      usage();
+    }
+  }
+  return flags;
+}
+
+double flag_or(const std::map<std::string, std::string>& f, const char* k,
+               double def) {
+  auto it = f.find(k);
+  return it == f.end() ? def : std::atof(it->second.c_str());
+}
+
+std::string flag_str(const std::map<std::string, std::string>& f,
+                     const char* k, const char* def = "") {
+  auto it = f.find(k);
+  return it == f.end() ? def : it->second;
+}
+
+int cmd_generate(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  const std::string out = flag_str(flags, "out");
+  const std::string dims_s = flag_str(flags, "dims");
+  if (out.empty() || dims_s.empty()) usage();
+  const std::vector<index_t> dims = parse_dims(dims_s);
+  const auto rank = static_cast<index_t>(flag_or(flags, "rank", 5));
+  const double noise = flag_or(flags, "noise", 0.0);
+  Rng rng(static_cast<std::uint64_t>(flag_or(flags, "seed", 7)));
+
+  Ktensor truth = Ktensor::random(dims, rank, rng);
+  Tensor X = truth.full();
+  if (noise > 0.0) {
+    const double sigma =
+        noise * X.norm() / std::sqrt(static_cast<double>(X.numel()));
+    Rng nrng = rng.split();
+    for (index_t l = 0; l < X.numel(); ++l) X[l] += sigma * nrng.normal();
+  }
+  io::write_tensor(out, X);
+  std::printf("wrote %s: order %lld, %lld entries, rank-%lld signal\n",
+              out.c_str(), static_cast<long long>(X.order()),
+              static_cast<long long>(X.numel()),
+              static_cast<long long>(rank));
+  return 0;
+}
+
+int cmd_fmri(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  const std::string out = flag_str(flags, "out");
+  if (out.empty()) usage();
+  sim::FmriOptions fo;
+  fo.time_steps = static_cast<index_t>(flag_or(flags, "time", 225));
+  fo.subjects = static_cast<index_t>(flag_or(flags, "subjects", 59));
+  fo.regions = static_cast<index_t>(flag_or(flags, "regions", 200));
+  fo.components = static_cast<index_t>(flag_or(flags, "rank", 10));
+  fo.noise_level = flag_or(flags, "noise", 0.05);
+  fo.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 7));
+  const sim::FmriData data = sim::make_fmri_tensor(fo);
+  if (flags.count("linearize") != 0) {
+    io::write_tensor(out, sim::symmetrize_linearize(data.tensor));
+  } else {
+    io::write_tensor(out, data.tensor);
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  std::string pos;
+  parse_flags(argc, argv, 2, &pos);
+  if (pos.empty()) usage();
+  const Tensor X = io::read_tensor(pos);
+  std::printf("%s: order %lld, dims", pos.c_str(),
+              static_cast<long long>(X.order()));
+  for (index_t d : X.dims()) std::printf(" %lld", static_cast<long long>(d));
+  std::printf(", %lld entries (%.1f MB), ||X|| = %.6g\n",
+              static_cast<long long>(X.numel()),
+              static_cast<double>(X.numel()) * 8 / 1e6, X.norm());
+  return 0;
+}
+
+int cmd_decompose(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  if (pos.empty()) usage();
+  const Tensor X = io::read_tensor(pos);
+  CpAlsOptions opts;
+  opts.rank = static_cast<index_t>(flag_or(flags, "rank", 10));
+  opts.max_iters = static_cast<int>(flag_or(flags, "iters", 100));
+  opts.tol = flag_or(flags, "tol", 1e-6);
+  opts.threads = static_cast<int>(flag_or(flags, "threads", 0));
+  opts.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42));
+
+  WallTimer t;
+  CpAlsResult r;
+  const char* method = "cp_als";
+  if (flags.count("nn") != 0) {
+    r = cp_nnhals(X, opts);
+    method = "cp_nnhals";
+  } else if (flags.count("dimtree") != 0) {
+    r = cp_als_dimtree(X, opts);
+    method = "cp_als_dimtree";
+  } else {
+    r = cp_als(X, opts);
+  }
+  std::printf("%s: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n", method,
+              static_cast<long long>(opts.rank), r.final_fit, r.iterations,
+              r.converged ? "converged" : "max-iters", t.seconds());
+  const std::string out = flag_str(flags, "out");
+  if (!out.empty()) {
+    io::write_ktensor(out, r.model);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_tucker(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  const std::string ranks_s = flag_str(flags, "ranks");
+  if (pos.empty() || ranks_s.empty()) usage();
+  const Tensor X = io::read_tensor(pos);
+  const std::vector<index_t> ranks = parse_dims(ranks_s);
+  WallTimer t;
+  const TuckerModel m = st_hosvd(X, ranks);
+  std::printf("st_hosvd: rel-error %.3e, %.2f s\n",
+              tucker_relative_error(X, m), t.seconds());
+  const std::string prefix = flag_str(flags, "out-prefix");
+  if (!prefix.empty()) {
+    io::write_tensor(prefix + "_core.dten", m.core);
+    for (std::size_t k = 0; k < m.factors.size(); ++k) {
+      io::write_matrix(prefix + "_factor" + std::to_string(k) + ".dmat",
+                       m.factors[k]);
+    }
+    std::printf("wrote %s_core.dten + %zu factors\n", prefix.c_str(),
+                m.factors.size());
+  }
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  const std::string prefix = flag_str(flags, "out-prefix");
+  if (pos.empty() || prefix.empty()) usage();
+  const Ktensor K = io::read_ktensor(pos);
+  for (std::size_t n = 0; n < K.factors.size(); ++n) {
+    const std::string path = prefix + "_mode" + std::to_string(n) + ".csv";
+    io::export_csv(path, K.factors[n]);
+    std::printf("wrote %s (%lld x %lld)\n", path.c_str(),
+                static_cast<long long>(K.factors[n].rows()),
+                static_cast<long long>(K.factors[n].cols()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "fmri") return cmd_fmri(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "decompose") return cmd_decompose(argc, argv);
+    if (cmd == "tucker") return cmd_tucker(argc, argv);
+    if (cmd == "export") return cmd_export(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+}
