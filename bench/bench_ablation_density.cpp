@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "core/mttkrp.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -26,9 +27,17 @@ int main(int argc, char** argv) {
   std::vector<Matrix> fs;
   for (int n = 0; n < 3; ++n) fs.push_back(Matrix::random_uniform(d, C, rng));
   const int t = args.threads.back();
+  // Pinned dense kernel (override with --method); the shape is fixed, so
+  // one plan serves every density point.
+  const MttkrpMethod dense_m =
+      args.method_set ? args.method : MttkrpMethod::TwoStep;
+  ExecContext ctx(t);
+  const std::vector<index_t> dims{d, d, d};
+  MttkrpPlan dense_plan(ctx, dims, C, 1, dense_m);
 
-  std::printf("tensor %lld^3, C = %lld, threads = %d\n",
-              static_cast<long long>(d), static_cast<long long>(C), t);
+  std::printf("tensor %lld^3, C = %lld, threads = %d, dense method = %s\n",
+              static_cast<long long>(d), static_cast<long long>(C), t,
+              std::string(to_string(dense_plan.resolved_method())).c_str());
   std::printf("%-10s %-12s %-14s %-14s %-10s\n", "density", "nnz",
               "dense-2step(s)", "sparse-coo(s)", "dense-wins");
   bench::print_rule(64);
@@ -43,9 +52,9 @@ int main(int argc, char** argv) {
     }
     const sparse::SparseTensor S = sparse::SparseTensor::from_dense(X);
 
-    Matrix M;
+    Matrix M(d, C);
     const double dense_s = time_median(args.trials, [&] {
-      mttkrp(X, fs, 1, M, MttkrpMethod::TwoStep, t);
+      dense_plan.execute(X, fs, M);
     });
     const double sparse_s = time_median(args.trials, [&] {
       sparse::mttkrp(S, fs, 1, M, t);

@@ -21,12 +21,13 @@ using namespace dmtk;
 
 double mttkrp_seconds_per_sweep(const Tensor& X, index_t rank, int threads,
                                 bool dimtree, int sweeps) {
+  ExecContext ctx(threads);
   CpAlsOptions opts;
   opts.rank = rank;
   opts.max_iters = sweeps;
   opts.tol = 0.0;
   opts.compute_fit = false;
-  opts.threads = threads;
+  opts.exec = &ctx;
   const CpAlsResult r =
       dimtree ? cp_als_dimtree(X, opts) : cp_als(X, opts);
   std::vector<double> per_sweep;

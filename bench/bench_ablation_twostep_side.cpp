@@ -10,10 +10,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "blas/gemm.hpp"
-#include "core/krp.hpp"
 #include "core/mttkrp.hpp"
-#include "core/ttv.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -21,36 +19,16 @@ namespace {
 
 using namespace dmtk;
 
-/// 2-step with the side forced (bypasses the heuristic). Mirrors
-/// mttkrp_twostep's internal-mode paths.
-double forced_twostep_seconds(const Tensor& X, std::span<const Matrix> fs,
-                              index_t mode, bool left_first, int threads,
-                              int trials) {
-  const index_t In = X.dim(mode);
-  const index_t ILn = X.left_size(mode);
-  const index_t IRn = X.right_size(mode);
+/// 2-step with the side forced (bypasses the heuristic) via the plan API's
+/// TwoStepSide knob.
+double forced_twostep_seconds(const ExecContext& ctx, const Tensor& X,
+                              std::span<const Matrix> fs, index_t mode,
+                              bool left_first, int trials) {
   const index_t C = fs[0].cols();
-  Matrix M(In, C);
-  return time_median(trials, [&] {
-    Matrix KLt = krp_transposed(left_krp_factors(fs, mode),
-                                KrpVariant::Reuse, threads);
-    Matrix KRt = krp_transposed(right_krp_factors(fs, mode),
-                                KrpVariant::Reuse, threads);
-    if (left_first) {
-      Matrix L(In * IRn, C);
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, In * IRn, C, ILn, 1.0, X.data(), ILn,
-                 KLt.data(), KLt.ld(), 0.0, L.data(), L.ld(), threads);
-      multi_ttv_left(L.data(), In, IRn, C, KRt.data(), KRt.ld(), M, threads);
-    } else {
-      Matrix R(ILn * In, C);
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::Trans, ILn * In, C, IRn, 1.0, X.data(),
-                 ILn * In, KRt.data(), KRt.ld(), 0.0, R.data(), R.ld(),
-                 threads);
-      multi_ttv_right(R.data(), In, ILn, C, KLt.data(), KLt.ld(), M, threads);
-    }
-  });
+  MttkrpPlan plan(ctx, X.dims(), C, mode, MttkrpMethod::TwoStep,
+                  left_first ? TwoStepSide::Left : TwoStepSide::Right);
+  Matrix M(X.dim(mode), C);
+  return time_median(trials, [&] { plan.execute(X, fs, M); });
 }
 
 }  // namespace
@@ -82,10 +60,11 @@ int main(int argc, char** argv) {
     for (index_t n = 0; n < 3; ++n) {
       fs.push_back(Matrix::random_uniform(X.dim(n), C, rng));
     }
-    const int t = args.threads.back();
-    const double left = forced_twostep_seconds(X, fs, 1, true, t, args.trials);
+    const ExecContext ctx(args.threads.back());
+    const double left =
+        forced_twostep_seconds(ctx, X, fs, 1, true, args.trials);
     const double right =
-        forced_twostep_seconds(X, fs, 1, false, t, args.trials);
+        forced_twostep_seconds(ctx, X, fs, 1, false, args.trials);
     const bool heuristic_left = twostep_uses_left(X, 1);
     const bool left_won = left <= right;
     std::printf("%6lld x %-4lld x %-8lld %-8s %-12.4f %-12.4f %-10s %-10s%s\n",

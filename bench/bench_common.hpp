@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "core/mttkrp.hpp"
+#include "exec/exec_context.hpp"
 #include "util/common.hpp"
 #include "util/env.hpp"
 
@@ -29,6 +31,16 @@ struct Args {
   double scale = 0.01;              ///< fraction of the paper's entry count
   std::vector<int> threads{1, 2, 4};
   int trials = 3;
+  /// Optional --method override (parse_mttkrp_method names). Benches that
+  /// sweep several kernels restrict themselves to this one when set.
+  MttkrpMethod method = MttkrpMethod::Auto;
+  bool method_set = false;
+
+  /// True when the bench should run `m` given the --method restriction
+  /// (--method auto keeps the full sweep).
+  [[nodiscard]] bool runs(MttkrpMethod m) const {
+    return !method_set || method == MttkrpMethod::Auto || method == m;
+  }
 
   static Args parse(int argc, char** argv, double default_scale = 0.01) {
     Args a;
@@ -52,12 +64,24 @@ struct Args {
         }
       } else if (arg == "--trials") {
         a.trials = std::atoi(next());
+      } else if (arg == "--method") {
+        const char* name = next();
+        const auto m = parse_mttkrp_method(name);
+        if (!m) {
+          std::fprintf(stderr, "unknown MTTKRP method '%s'\n", name);
+          std::exit(1);
+        }
+        a.method = *m;
+        a.method_set = true;
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--scale f] [--threads csv] [--trials n]\n"
+            "usage: %s [--scale f] [--threads csv] [--trials n] "
+            "[--method m]\n"
             "  --scale   fraction of the paper's tensor size (1.0 = paper)\n"
             "  --threads comma-separated thread counts to sweep\n"
-            "  --trials  timing repetitions (median reported)\n",
+            "  --trials  timing repetitions (median reported)\n"
+            "  --method  restrict to one MTTKRP kernel (reference, reorder,\n"
+            "            1-step-seq, 1-step, 2-step, auto)\n",
             argv[0]);
         std::exit(0);
       }

@@ -19,6 +19,7 @@
 #include "bench_common.hpp"
 #include "blas/gemm.hpp"
 #include "core/mttkrp.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -70,17 +71,23 @@ int main(int argc, char** argv) {
       const double base =
           baseline_gemm_seconds(d, X.cosize(0), C, t, args.trials, rng);
       std::printf("%-12s %-6s %-9d %-12.4f\n", "baseline", "-", t, base);
-      Matrix M;
+      // One context per thread count; plans are built once per (mode,
+      // method) outside the timing loop — what the plan API is for.
+      ExecContext ctx(t);
+      Matrix M(d, C);
       for (index_t mode = 0; mode < N; ++mode) {
-        const double s1 = time_median(args.trials, [&] {
-          mttkrp(X, fs, mode, M, MttkrpMethod::OneStep, t);
-        });
-        std::printf("%-12s %-6lld %-9d %-12.4f\n", "1-step",
-                    static_cast<long long>(mode), t, s1);
-        if (twostep_is_defined(N, mode)) {
-          const double s2 = time_median(args.trials, [&] {
-            mttkrp(X, fs, mode, M, MttkrpMethod::TwoStep, t);
-          });
+        if (args.runs(MttkrpMethod::OneStep)) {
+          MttkrpPlan plan(ctx, X.dims(), C, mode, MttkrpMethod::OneStep);
+          const double s1 =
+              time_median(args.trials, [&] { plan.execute(X, fs, M); });
+          std::printf("%-12s %-6lld %-9d %-12.4f\n", "1-step",
+                      static_cast<long long>(mode), t, s1);
+        }
+        if (twostep_is_defined(N, mode) &&
+            args.runs(MttkrpMethod::TwoStep)) {
+          MttkrpPlan plan(ctx, X.dims(), C, mode, MttkrpMethod::TwoStep);
+          const double s2 =
+              time_median(args.trials, [&] { plan.execute(X, fs, M); });
           std::printf("%-12s %-6lld %-9d %-12.4f\n", "2-step",
                       static_cast<long long>(mode), t, s2);
         }

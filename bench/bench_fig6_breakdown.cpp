@@ -17,6 +17,7 @@
 #include "bench_common.hpp"
 #include "blas/gemm.hpp"
 #include "core/mttkrp.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -32,14 +33,17 @@ void print_breakdown(const char* label, index_t mode,
               t.gemv, t.reduce, t.total);
 }
 
-MttkrpTimings averaged(const Tensor& X, std::span<const Matrix> fs,
-                       index_t mode, MttkrpMethod m, int threads,
-                       int trials) {
-  MttkrpTimings sum;
-  Matrix M;
+MttkrpTimings averaged(const ExecContext& ctx, const Tensor& X,
+                       std::span<const Matrix> fs, index_t mode,
+                       MttkrpMethod m, int trials) {
+  // One plan, executed `trials` times: the plan accumulates its own phase
+  // breakdown, replacing the old MttkrpTimings out-pointer.
+  MttkrpPlan plan(ctx, X.dims(), fs[0].cols(), mode, m);
+  Matrix M(X.dim(mode), fs[0].cols());
   for (int i = 0; i < trials; ++i) {
-    mttkrp(X, fs, mode, M, m, threads, &sum);
+    plan.execute(X, fs, M);
   }
+  const MttkrpTimings& sum = plan.timings();
   MttkrpTimings avg;
   const double inv = 1.0 / trials;
   avg.krp = sum.krp * inv;
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
     }
 
     for (int t : {1, tmax}) {
+      ExecContext ctx(t);
       std::printf("\n--- N = %lld (%lld^%lld), T = %d (%s) ---\n",
                   static_cast<long long>(N), static_cast<long long>(d),
                   static_cast<long long>(N), t,
@@ -88,13 +93,16 @@ int main(int argc, char** argv) {
         std::printf("  B    (all modes equivalent)  gemm=%-8.4f\n", s);
       }
       for (index_t mode = 0; mode < N; ++mode) {
-        print_breakdown(
-            "1S", mode,
-            averaged(X, fs, mode, MttkrpMethod::OneStep, t, args.trials));
-        if (twostep_is_defined(N, mode)) {
+        if (args.runs(MttkrpMethod::OneStep)) {
+          print_breakdown(
+              "1S", mode,
+              averaged(ctx, X, fs, mode, MttkrpMethod::OneStep, args.trials));
+        }
+        if (twostep_is_defined(N, mode) &&
+            args.runs(MttkrpMethod::TwoStep)) {
           print_breakdown(
               "2S", mode,
-              averaged(X, fs, mode, MttkrpMethod::TwoStep, t, args.trials));
+              averaged(ctx, X, fs, mode, MttkrpMethod::TwoStep, args.trials));
         }
       }
     }

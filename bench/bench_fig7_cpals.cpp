@@ -33,12 +33,13 @@ using namespace dmtk;
 /// Median per-iteration seconds of a CP-ALS run with fixed sweep count.
 double per_iter_seconds(const Tensor& X, index_t rank, int threads,
                         bool ttb_style, int sweeps) {
+  ExecContext ctx(threads);
   CpAlsOptions opts;
   opts.rank = rank;
   opts.max_iters = sweeps;
   opts.tol = 0.0;          // run exactly `sweeps` iterations
   opts.compute_fit = false;  // timing-only, as in the paper's figure
-  opts.threads = threads;
+  opts.exec = &ctx;
   const CpAlsResult r =
       ttb_style ? baseline::ttb_cp_als(X, opts) : cp_als(X, opts);
   std::vector<double> secs;

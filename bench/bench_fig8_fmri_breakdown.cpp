@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "blas/gemm.hpp"
 #include "core/mttkrp.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "sim/fmri.hpp"
 #include "util/timer.hpp"
 
@@ -23,6 +24,7 @@ using namespace dmtk;
 void run_tensor(const char* name, const Tensor& X, index_t C, int threads,
                 int trials, Rng& rng) {
   std::printf("\n--- %s tensor, T = %d ---\n", name, threads);
+  ExecContext ctx(threads);
   std::vector<Matrix> fs;
   for (index_t n = 0; n < X.order(); ++n) {
     fs.push_back(Matrix::random_uniform(X.dim(n), C, rng));
@@ -41,20 +43,24 @@ void run_tensor(const char* name, const Tensor& X, index_t C, int threads,
     std::printf("  B  mode=%lld  gemm=%-8.4f\n",
                 static_cast<long long>(mode), base);
 
-    MttkrpTimings t1;
+    // One plan per (mode, method); the plan's own timings accumulate
+    // across the repeated executes.
+    MttkrpPlan p1(ctx, X.dims(), C, mode, MttkrpMethod::OneStep);
     for (int i = 0; i < trials; ++i) {
-      mttkrp(X, fs, mode, M, MttkrpMethod::OneStep, threads, &t1);
+      p1.execute(X, fs, M);
     }
+    const MttkrpTimings& t1 = p1.timings();
     std::printf("  1S mode=%lld  krp=%-8.4f lrkrp=%-8.4f gemm=%-8.4f "
                 "reduce=%-8.4f total=%-8.4f\n",
                 static_cast<long long>(mode), t1.krp / trials,
                 t1.krp_lr / trials, t1.gemm / trials, t1.reduce / trials,
                 t1.total / trials);
     if (twostep_is_defined(X.order(), mode)) {
-      MttkrpTimings t2;
+      MttkrpPlan p2(ctx, X.dims(), C, mode, MttkrpMethod::TwoStep);
       for (int i = 0; i < trials; ++i) {
-        mttkrp(X, fs, mode, M, MttkrpMethod::TwoStep, threads, &t2);
+        p2.execute(X, fs, M);
       }
+      const MttkrpTimings& t2 = p2.timings();
       std::printf("  2S mode=%lld  lrkrp=%-8.4f gemm=%-8.4f gemv=%-8.4f "
                   "total=%-8.4f\n",
                   static_cast<long long>(mode), t2.krp_lr / trials,

@@ -1,51 +1,24 @@
 #include "baseline/ttb_cp_als.hpp"
 
-#include "blas/gemm.hpp"
-#include "core/krp.hpp"
-#include "core/reorder.hpp"
-#include "util/env.hpp"
-#include "util/timer.hpp"
+#include "core/mttkrp.hpp"
 
 namespace dmtk::baseline {
 
 void ttb_mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
                 Matrix& M, int threads, MttkrpTimings* timings) {
-  const index_t In = X.dim(mode);
-  const index_t C = factors[0].cols();
-  if (M.rows() != In || M.cols() != C) M = Matrix(In, C);
-  const int nt = resolve_threads(threads);
-  WallTimer total;
-
-  // (1) Explicit matricization: physically reorders all I entries for every
-  // internal mode — the memory-bound cost the paper's algorithms eliminate.
-  Matrix Xn;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->reorder : nullptr);
-    Xn = matricize(X, mode, nt);
-  }
-  // (2) Explicit column-wise KRP (khatrirao.m builds it column by column).
-  Matrix K;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->krp : nullptr);
-    K = krp_columnwise(mttkrp_krp_factors(factors, mode));
-  }
-  // (3) One GEMM; parallelism only inside the BLAS call, as in Matlab.
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::NoTrans, Xn.rows(), C, Xn.cols(), 1.0, Xn.data(),
-               Xn.ld(), K.data(), K.ld(), 0.0, M.data(), M.ld(), nt);
-  }
-  if (timings != nullptr) timings->total += total.seconds();
+  // The Tensor-Toolbox kernel IS the library's Reorder method (explicit
+  // matricization + column-wise KRP + one GEMM, parallelism only inside
+  // the BLAS call); route through the shared one-shot wrapper.
+  mttkrp(X, factors, mode, M, MttkrpMethod::Reorder, threads, timings);
 }
 
 CpAlsResult ttb_cp_als(const Tensor& X, const CpAlsOptions& opts) {
+  // Same ALS driver (initialization, solve, stopping rule), with every
+  // per-mode plan pinned to the Reorder kernel — so per-iteration time
+  // differences against cp_als measure the MTTKRP kernels alone.
   CpAlsOptions baseline_opts = opts;
-  baseline_opts.mttkrp_override = [](const Tensor& T,
-                                     std::span<const Matrix> factors,
-                                     index_t mode, Matrix& M, int threads) {
-    ttb_mttkrp(T, factors, mode, M, threads);
-  };
+  baseline_opts.method = MttkrpMethod::Reorder;
+  baseline_opts.mttkrp_override = nullptr;
   return cp_als(X, baseline_opts);
 }
 

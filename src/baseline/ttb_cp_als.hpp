@@ -17,13 +17,15 @@ namespace dmtk::baseline {
 
 /// One Tensor-Toolbox-style MTTKRP: explicit matricization + explicit
 /// column-wise KRP + single GEMM. Timings (if given) fill the `reorder`,
-/// `krp`, and `gemm` phases.
+/// `krp`, and `gemm` phases. One-shot wrapper over an
+/// MttkrpMethod::Reorder plan (see exec/mttkrp_plan.hpp).
 void ttb_mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
                 Matrix& M, int threads = 0, MttkrpTimings* timings = nullptr);
 
-/// CP-ALS using ttb_mttkrp for every mode; otherwise identical to
-/// dmtk::cp_als (same initialization, normalization, solve, and stopping
-/// rule), so per-iteration time differences measure the MTTKRP kernels.
+/// CP-ALS with every per-mode MttkrpPlan pinned to the Reorder kernel;
+/// otherwise identical to dmtk::cp_als (same initialization, normalization,
+/// solve, and stopping rule), so per-iteration time differences measure the
+/// MTTKRP kernels. Honors opts.exec like cp_als.
 CpAlsResult ttb_cp_als(const Tensor& X, const CpAlsOptions& opts);
 
 }  // namespace dmtk::baseline

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "blas/blas.hpp"
 #include "core/cp_als_detail.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -30,7 +32,23 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
   const index_t C = opts.rank;
   DMTK_CHECK(N >= 2, "cp_als: tensor must have at least 2 modes");
   DMTK_CHECK(C >= 1, "cp_als: rank must be positive");
-  const int nt = resolve_threads(opts.threads);
+
+  // Execution context: caller-supplied (shared arena) or private.
+  std::optional<ExecContext> own_ctx;
+  const ExecContext& ctx =
+      opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
+  const int nt = ctx.threads();
+
+  // One MTTKRP plan per mode, built up front and reused every sweep: the
+  // dispatch decision, thread partitions, and workspace layout are paid
+  // once, and the sweeps below run without touching the heap.
+  std::vector<MttkrpPlan> plans;
+  if (!opts.mttkrp_override) {
+    plans.reserve(static_cast<std::size_t>(N));
+    for (index_t n = 0; n < N; ++n) {
+      plans.emplace_back(ctx, X.dims(), C, n, opts.method);
+    }
+  }
 
   CpAlsResult result;
   Ktensor& model = result.model;
@@ -58,7 +76,13 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
                  grams[static_cast<std::size_t>(n)], nt);
   }
 
-  Matrix M;      // MTTKRP output, reused across modes
+  // Per-mode MTTKRP outputs: the factor update swaps the solved output
+  // into the model and leaves the previous factor here, which has the SAME
+  // shape — so steady-state sweeps never reallocate.
+  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
+  }
   Matrix Mlast;  // copy of the final-mode MTTKRP, needed for the fit
   double fit_old = 0.0;
 
@@ -67,12 +91,13 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
     WallTimer sweep;
 
     for (index_t n = 0; n < N; ++n) {
+      Matrix& M = Ms[static_cast<std::size_t>(n)];
       {
         WallTimer t;
         if (opts.mttkrp_override) {
-          opts.mttkrp_override(X, model.factors, n, M, nt);
+          opts.mttkrp_override(X, model.factors, n, M, ctx);
         } else {
-          mttkrp(X, model.factors, n, M, opts.method, nt);
+          plans[static_cast<std::size_t>(n)].execute(X, model.factors, M);
         }
         stats.mttkrp_seconds += t.seconds();
       }
@@ -103,6 +128,7 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
     stats.seconds = sweep.seconds();
     result.iters.push_back(stats);
   }
+  for (const MttkrpPlan& p : plans) result.mttkrp_timings += p.timings();
   return result;
 }
 

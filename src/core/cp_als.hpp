@@ -14,6 +14,7 @@
 #include "core/matrix.hpp"
 #include "core/mttkrp.hpp"
 #include "core/tensor.hpp"
+#include "exec/exec_context.hpp"
 
 namespace dmtk {
 
@@ -22,17 +23,24 @@ struct CpAlsOptions {
   int max_iters = 50;       ///< maximum ALS sweeps
   double tol = 1e-4;        ///< stop when the fit improves by less than this
   MttkrpMethod method = MttkrpMethod::Auto;  ///< MTTKRP kernel selection
-  int threads = 0;          ///< <=0: library default
+  int threads = 0;          ///< <=0: library default (used when exec unset)
   std::uint64_t seed = 42;  ///< seed for random initialization
   bool compute_fit = true;  ///< fit costs one extra O(InC) pass per sweep
   const Ktensor* initial_guess = nullptr;  ///< optional warm start
 
-  /// Custom MTTKRP kernel. When set it replaces the built-in dispatch and
-  /// `method` is ignored — this is how the Tensor-Toolbox-style baseline
-  /// shares the exact ALS driver (initialization, solve, stopping rule)
-  /// while swapping only the bottleneck kernel.
+  /// Execution context (threads + workspace arena). When set, `threads` is
+  /// ignored and the driver builds its per-mode MttkrpPlans against this
+  /// context, sharing its arena with whatever else the caller runs. When
+  /// null the driver creates a private context from `threads` — same
+  /// result, but the workspace cannot be shared across drivers.
+  const ExecContext* exec = nullptr;
+
+  /// Custom MTTKRP kernel. When set it replaces the built-in plans and
+  /// `method` is ignored — the hook for experimenting with kernels that
+  /// share the exact ALS driver (initialization, solve, stopping rule)
+  /// while swapping only the bottleneck.
   using MttkrpFn = std::function<void(const Tensor&, std::span<const Matrix>,
-                                      index_t, Matrix&, int)>;
+                                      index_t, Matrix&, const ExecContext&)>;
   MttkrpFn mttkrp_override;
 };
 
@@ -50,6 +58,9 @@ struct CpAlsResult {
   double final_fit = 0.0;   ///< 1 - ||X - Y||_F / ||X||_F
   bool converged = false;   ///< tolerance met before max_iters
   std::vector<CpAlsIterStats> iters;  ///< one entry per sweep
+  /// Phase breakdown summed over the per-mode MttkrpPlans across all
+  /// sweeps (zero when a custom mttkrp_override ran instead).
+  MttkrpTimings mttkrp_timings;
 };
 
 /// Compute a rank-`opts.rank` CP decomposition of X. Follows the Tensor

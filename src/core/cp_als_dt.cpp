@@ -5,9 +5,12 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "blas/blas.hpp"
 #include "core/cp_als_detail.hpp"
 #include "core/krp.hpp"
+#include "exec/exec_context.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -111,7 +114,14 @@ CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts) {
   const index_t C = opts.rank;
   DMTK_CHECK(N >= 2, "cp_als_dimtree: tensor must have at least 2 modes");
   DMTK_CHECK(C >= 1, "cp_als_dimtree: rank must be positive");
-  const int nt = resolve_threads(opts.threads);
+
+  // Execution context (the dimension-tree driver's "plan" is the pair of
+  // pre-sized group intermediates below: everything shape-dependent is
+  // allocated here, before the first sweep).
+  std::optional<ExecContext> own_ctx;
+  const ExecContext& ctx =
+      opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
+  const int nt = ctx.threads();
 
   CpAlsResult result;
   Ktensor& model = result.model;
@@ -140,11 +150,17 @@ CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts) {
                  grams[static_cast<std::size_t>(n)], nt);
   }
 
-  Matrix GR(L, C);  // right-group contraction, reused across sweeps
-  Matrix GL(R, C);  // left-group contraction
-  Matrix KRt;       // transposed partial KRPs, reused
-  Matrix KLt;
-  Matrix M;
+  Matrix GR(L, C);   // right-group contraction, reused across sweeps
+  Matrix GL(R, C);   // left-group contraction
+  Matrix KRt(C, R);  // transposed partial KRPs, reused
+  Matrix KLt(C, L);
+  // Per-mode MTTKRP outputs: the factor update swaps the solved output
+  // into the model and leaves the previous factor here (same shape), so
+  // steady-state sweeps never reallocate.
+  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
+  }
   Matrix Mlast;
   double fit_old = 0.0;
 
@@ -168,6 +184,7 @@ CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts) {
 
   auto update_mode = [&](index_t n, CpAlsIterStats& stats, int iter) {
     WallTimer t;
+    Matrix& M = Ms[static_cast<std::size_t>(n)];
     if (opts.compute_fit && n == N - 1) Mlast = M;
     Matrix H = hadamard_of_grams(grams, n);
     detail::factor_solve(H, M, nt);
@@ -194,8 +211,8 @@ CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts) {
     for (index_t n = 0; n < s; ++n) {
       {
         WallTimer t;
-        if (M.rows() != X.dim(n) || M.cols() != C) M = Matrix(X.dim(n), C);
-        mttkrp_from_group(GR.data(), X, 0, s, n, model.factors, M, nt);
+        mttkrp_from_group(GR.data(), X, 0, s, n, model.factors,
+                          Ms[static_cast<std::size_t>(n)], nt);
         stats.mttkrp_seconds += t.seconds();
       }
       update_mode(n, stats, iter);
@@ -213,8 +230,8 @@ CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts) {
     for (index_t n = s; n < N; ++n) {
       {
         WallTimer t;
-        if (M.rows() != X.dim(n) || M.cols() != C) M = Matrix(X.dim(n), C);
-        mttkrp_from_group(GL.data(), X, s, N, n, model.factors, M, nt);
+        mttkrp_from_group(GL.data(), X, s, N, n, model.factors,
+                          Ms[static_cast<std::size_t>(n)], nt);
         stats.mttkrp_seconds += t.seconds();
       }
       update_mode(n, stats, iter);

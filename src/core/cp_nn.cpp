@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "blas/blas.hpp"
 #include "core/cp_als_detail.hpp"
+#include "exec/mttkrp_plan.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -46,7 +49,17 @@ CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
   const index_t C = opts.rank;
   DMTK_CHECK(N >= 2, "cp_nnhals: tensor must have at least 2 modes");
   DMTK_CHECK(C >= 1, "cp_nnhals: rank must be positive");
-  const int nt = resolve_threads(opts.threads);
+
+  // Execution context + one reusable MTTKRP plan per mode (see cp_als.cpp).
+  std::optional<ExecContext> own_ctx;
+  const ExecContext& ctx =
+      opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
+  const int nt = ctx.threads();
+  std::vector<MttkrpPlan> plans;
+  plans.reserve(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    plans.emplace_back(ctx, X.dims(), C, n, opts.method);
+  }
 
   CpAlsResult result;
   Ktensor& model = result.model;
@@ -84,7 +97,12 @@ CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
                  grams[static_cast<std::size_t>(n)], nt);
   }
 
-  Matrix M;
+  // Per-mode MTTKRP outputs, shape-stable across sweeps (HALS updates the
+  // factor in place, so these are plain reusable buffers).
+  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
+  }
   Matrix Mlast;
   double fit_old = 0.0;
 
@@ -92,9 +110,10 @@ CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
     CpAlsIterStats stats;
     WallTimer sweep;
     for (index_t n = 0; n < N; ++n) {
+      Matrix& M = Ms[static_cast<std::size_t>(n)];
       {
         WallTimer t;
-        mttkrp(X, model.factors, n, M, opts.method, nt);
+        plans[static_cast<std::size_t>(n)].execute(X, model.factors, M);
         stats.mttkrp_seconds += t.seconds();
       }
       WallTimer t;
@@ -121,6 +140,7 @@ CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
     stats.seconds = sweep.seconds();
     result.iters.push_back(stats);
   }
+  for (const MttkrpPlan& p : plans) result.mttkrp_timings += p.timings();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blas/level1.hpp"
+#include "core/krp_detail.hpp"
 #include "core/multi_index.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
@@ -111,52 +112,17 @@ void krp_rows_reuse(const FactorList& factors, index_t r0, index_t r1,
   DMTK_CHECK(ldkt >= C, "krp: ldkt too small");
   const std::size_t Z = factors.size();
   if (r0 >= r1) return;
-  if (Z <= 2) {
-    // No partial products to reuse; the naive kernel is already optimal.
-    krp_rows_naive(factors, r0, r1, Kt, ldkt);
-    return;
-  }
-
+  // Transient scratch around the shared allocation-free kernel (Algorithm 1
+  // lives in krp_detail.hpp; MttkrpPlan calls it with arena-backed scratch).
   const std::vector<index_t> extents = extents_of(factors);
   const std::vector<Matrix> packed = pack_transposed(factors, C);
-  Odometer odo(extents, Odometer::Order::LastFastest);
-  odo.seek(r0);
-
-  // P holds the Z-2 partial Hadamard products: P(0) = F0(l0)*F1(l1),
-  // P(z) = P(z-1)*F_{z+1}(l_{z+1}) for z in [1, Z-2). Each product is one
-  // contiguous column of length C.
-  Matrix P(C, static_cast<index_t>(Z) - 2);
-  auto refresh_partials = [&](std::size_t from_z) {
-    for (std::size_t z = from_z; z + 2 < Z; ++z) {
-      double* pz = P.col(static_cast<index_t>(z)).data();
-      if (z == 0) {
-        blas::hadamard(C, packed_row(packed[0], odo[0]),
-                       packed_row(packed[1], odo[1]), pz);
-      } else {
-        blas::hadamard(C, P.col(static_cast<index_t>(z) - 1).data(),
-                       packed_row(packed[z + 1], odo[z + 1]), pz);
-      }
-    }
-  };
-  refresh_partials(0);
-
-  for (index_t r = r0; r < r1; ++r) {
-    // Output row = deepest partial product * last factor row.
-    blas::hadamard(C, P.col(static_cast<index_t>(Z) - 3).data(),
-                   packed_row(packed[Z - 1], odo[Z - 1]),
-                   Kt + (r - r0) * ldkt);
-    const int changed = odo.increment();
-    // `changed` digits from the fast end moved. Digit Z-1 (the fastest)
-    // does not participate in P; if any slower digit moved, partial
-    // products depending on it must be recomputed: P(z) depends on
-    // l_0..l_{z+1}, so the first stale one is z = Z-1-changed.
-    if (changed > 1 && r + 1 < r1) {
-      const std::size_t first_stale =
-          static_cast<std::size_t>(std::max<index_t>(
-              0, static_cast<index_t>(Z) - 1 - changed));
-      refresh_partials(first_stale);
-    }
-  }
+  std::vector<const double*> panels(Z);
+  for (std::size_t z = 0; z < Z; ++z) panels[z] = packed[z].data();
+  std::vector<double> P(static_cast<std::size_t>(C) *
+                        (Z >= 3 ? Z - 2 : std::size_t{0}));
+  std::vector<index_t> dg(Z);
+  detail::krp_rows_ws(panels, extents, C, r0, r1, Kt, ldkt, P.data(),
+                      dg.data());
 }
 
 Matrix krp_transposed(const FactorList& factors, KrpVariant variant,

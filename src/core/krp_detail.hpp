@@ -1,0 +1,104 @@
+#pragma once
+/// \file krp_detail.hpp
+/// \brief The allocation-free core of the row-wise Khatri-Rao generation
+/// (Algorithm 1), shared by the legacy free functions in krp.cpp and the
+/// plan-based kernels in exec/mttkrp_plan.cpp. All scratch is caller-owned,
+/// so MttkrpPlan can point it at its workspace arena while krp.cpp wraps it
+/// with transient buffers.
+
+#include <algorithm>
+#include <span>
+
+#include "blas/level1.hpp"
+#include "core/matrix.hpp"
+#include "core/multi_index.hpp"
+#include "util/common.hpp"
+
+namespace dmtk::detail {
+
+/// out[c] = F(l, c) for c in [0, C): read one (strided) row of a factor.
+inline void load_row(const Matrix& F, index_t l, index_t C, double* out) {
+  const double* base = F.data() + l;
+  const index_t ld = F.ld();
+  for (index_t c = 0; c < C; ++c) out[c] = base[c * ld];
+}
+
+/// out[c] = a[c] * F(l, c): Hadamard of a contiguous vector with a factor
+/// row.
+inline void hadamard_row(const double* a, const Matrix& F, index_t l,
+                         index_t C, double* out) {
+  const double* base = F.data() + l;
+  const index_t ld = F.ld();
+  for (index_t c = 0; c < C; ++c) out[c] = a[c] * base[c * ld];
+}
+
+/// Advance a last-fastest mixed-radix counter by one; returns the number of
+/// digits that changed (0 on wraparound past the end) — the Odometer
+/// contract of multi_index.hpp, on caller-owned digit storage.
+inline int odo_increment(std::span<const index_t> extents, index_t* dg) {
+  const int Z = static_cast<int>(extents.size());
+  for (int d = 0; d < Z; ++d) {
+    const std::size_t pos = static_cast<std::size_t>(Z - 1 - d);
+    if (++dg[pos] < extents[pos]) return d + 1;
+    dg[pos] = 0;
+  }
+  return 0;
+}
+
+/// Rows [r0, r1) of the KRP of packed transposed factor panels (each
+/// packed[z] is a C x extents[z] column-major panel whose column l is row l
+/// of factor z), written as columns of Kt (ld = ldkt). Algorithm 1 with
+/// reuse of the Z-2 partial Hadamard products. Caller-owned scratch: `P`
+/// holds the partials (C doubles each, (Z-2) of them when Z >= 3), `dg` the
+/// Z mixed-radix digits. Nothing is allocated.
+inline void krp_rows_ws(std::span<const double* const> packed,
+                        std::span<const index_t> extents, index_t C,
+                        index_t r0, index_t r1, double* Kt, index_t ldkt,
+                        double* P, index_t* dg) {
+  const std::size_t Z = extents.size();
+  if (r0 >= r1 || Z == 0) return;
+  decompose_last_fastest(r0, extents, {dg, Z});
+
+  if (Z <= 2) {
+    // No partial products to reuse; one copy + (Z-1) Hadamards per row.
+    for (index_t r = r0; r < r1; ++r) {
+      double* out = Kt + (r - r0) * ldkt;
+      blas::copy(C, packed[0] + dg[0] * C, index_t{1}, out, index_t{1});
+      for (std::size_t z = 1; z < Z; ++z) {
+        blas::hadamard_inplace(C, packed[z] + dg[z] * C, out);
+      }
+      odo_increment(extents, dg);
+    }
+    return;
+  }
+
+  // Algorithm 1: P(0) = F0(l0)*F1(l1), P(z) = P(z-1)*F_{z+1}(l_{z+1}).
+  auto refresh_partials = [&](std::size_t from_z) {
+    for (std::size_t z = from_z; z + 2 < Z; ++z) {
+      double* pz = P + static_cast<index_t>(z) * C;
+      if (z == 0) {
+        blas::hadamard(C, packed[0] + dg[0] * C, packed[1] + dg[1] * C, pz);
+      } else {
+        blas::hadamard(C, P + static_cast<index_t>(z - 1) * C,
+                       packed[z + 1] + dg[z + 1] * C, pz);
+      }
+    }
+  };
+  refresh_partials(0);
+
+  for (index_t r = r0; r < r1; ++r) {
+    // Output row = deepest partial product * last factor row.
+    blas::hadamard(C, P + static_cast<index_t>(Z - 3) * C,
+                   packed[Z - 1] + dg[Z - 1] * C, Kt + (r - r0) * ldkt);
+    const int changed = odo_increment(extents, dg);
+    // Digit Z-1 (the fastest) does not participate in P; if any slower
+    // digit moved, partials from z = Z-1-changed on are stale.
+    if (changed > 1 && r + 1 < r1) {
+      const std::size_t first_stale = static_cast<std::size_t>(
+          std::max<index_t>(0, static_cast<index_t>(Z) - 1 - changed));
+      refresh_partials(first_stale);
+    }
+  }
+}
+
+}  // namespace dmtk::detail

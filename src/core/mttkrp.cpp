@@ -1,17 +1,8 @@
 #include "core/mttkrp.hpp"
 
-#include <algorithm>
-#include <vector>
-
-#include "blas/blas.hpp"
-#include "core/krp.hpp"
-#include "core/multi_index.hpp"
-#include "core/reorder.hpp"
-#include "core/ttv.hpp"
-#include "util/env.hpp"
-#include "util/parallel.hpp"
-#include "util/stats.hpp"
-#include "util/timer.hpp"
+#include "exec/exec_context.hpp"
+#include "exec/mttkrp_plan.hpp"
+#include "util/common.hpp"
 
 namespace dmtk {
 
@@ -27,6 +18,20 @@ std::string_view to_string(MttkrpMethod m) {
   return "?";
 }
 
+std::optional<MttkrpMethod> parse_mttkrp_method(std::string_view name) {
+  for (MttkrpMethod m :
+       {MttkrpMethod::Reference, MttkrpMethod::Reorder,
+        MttkrpMethod::OneStepSeq, MttkrpMethod::OneStep, MttkrpMethod::TwoStep,
+        MttkrpMethod::Auto}) {
+    if (name == to_string(m)) return m;
+  }
+  // Friendly aliases used in earlier CLIs and papers' prose.
+  if (name == "onestep" || name == "1step") return MttkrpMethod::OneStep;
+  if (name == "twostep" || name == "2step") return MttkrpMethod::TwoStep;
+  if (name == "onestep-seq" || name == "seq") return MttkrpMethod::OneStepSeq;
+  return std::nullopt;
+}
+
 MttkrpTimings& MttkrpTimings::operator+=(const MttkrpTimings& o) {
   krp += o.krp;
   krp_lr += o.krp_lr;
@@ -37,323 +42,6 @@ MttkrpTimings& MttkrpTimings::operator+=(const MttkrpTimings& o) {
   total += o.total;
   return *this;
 }
-
-namespace {
-
-/// Validate inputs and return the common column count C.
-index_t validate(const Tensor& X, std::span<const Matrix> factors,
-                 index_t mode) {
-  const index_t N = X.order();
-  DMTK_CHECK(N >= 2, "mttkrp: tensor must have at least 2 modes");
-  DMTK_CHECK(mode >= 0 && mode < N, "mttkrp: bad mode");
-  DMTK_CHECK(static_cast<index_t>(factors.size()) == N,
-             "mttkrp: need one factor matrix per mode");
-  const index_t C = factors[0].cols();
-  for (index_t n = 0; n < N; ++n) {
-    const Matrix& U = factors[static_cast<std::size_t>(n)];
-    DMTK_CHECK(U.cols() == C, "mttkrp: factors disagree on rank");
-    DMTK_CHECK(U.rows() == X.dim(n), "mttkrp: factor rows != mode size");
-  }
-  DMTK_CHECK(C >= 1, "mttkrp: rank must be positive");
-  return C;
-}
-
-/// Record the max over per-thread phase seconds into `slot`.
-void record_max(double* slot, std::span<const double> per_thread) {
-  if (slot != nullptr) *slot += max_of(per_thread);
-}
-
-/// M = sum_t Mt over the thread-private partials, parallelized by rows.
-void reduce_partials(std::span<const Matrix> partials, Matrix& M, int threads,
-                     double* reduce_time) {
-  PhaseTimer pt(reduce_time);
-  const index_t total = M.size();
-  double* out = M.data();
-  parallel_region(threads, [&](int t, int nteam) {
-    const Range r = block_range(total, nteam, t);
-    if (r.empty()) return;
-    std::fill(out + r.begin, out + r.end, 0.0);
-    for (const Matrix& Mt : partials) {
-      const double* src = Mt.data();
-      for (index_t i = r.begin; i < r.end; ++i) out[i] += src[i];
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Reference: element-wise oracle.
-// ---------------------------------------------------------------------------
-void mttkrp_reference(const Tensor& X, std::span<const Matrix> factors,
-                      index_t mode, Matrix& M) {
-  const index_t N = X.order();
-  const index_t C = M.cols();
-  std::vector<index_t> extents(X.dims().begin(), X.dims().end());
-  std::vector<index_t> idx(static_cast<std::size_t>(N), 0);
-  M.set_zero();
-  const index_t I = X.numel();
-  for (index_t l = 0; l < I; ++l) {
-    decompose_first_fastest(l, extents, idx);
-    const double x = X[l];
-    for (index_t c = 0; c < C; ++c) {
-      double w = x;
-      for (index_t n = 0; n < N; ++n) {
-        if (n != mode) {
-          w *= factors[static_cast<std::size_t>(n)](
-              idx[static_cast<std::size_t>(n)], c);
-        }
-      }
-      M(idx[static_cast<std::size_t>(mode)], c) += w;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Reorder: explicit matricization + explicit column-wise KRP + one GEMM
-// (Bader & Kolda; the Tensor-Toolbox kernel).
-// ---------------------------------------------------------------------------
-void mttkrp_reorder(const Tensor& X, std::span<const Matrix> factors,
-                    index_t mode, Matrix& M, int threads,
-                    MttkrpTimings* timings) {
-  Matrix Xn;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->reorder : nullptr);
-    Xn = matricize(X, mode, threads);
-  }
-  Matrix K;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->krp : nullptr);
-    K = krp_columnwise(mttkrp_krp_factors(factors, mode));
-  }
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::NoTrans, Xn.rows(), K.cols(), Xn.cols(), 1.0,
-               Xn.data(), Xn.ld(), K.data(), K.ld(), 0.0, M.data(), M.ld(),
-               threads);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Algorithm 2: sequential 1-step.
-// ---------------------------------------------------------------------------
-void mttkrp_onestep_seq(const Tensor& X, std::span<const Matrix> factors,
-                        index_t mode, Matrix& M, MttkrpTimings* timings) {
-  const index_t In = X.dim(mode);
-  const index_t C = M.cols();
-  Matrix Kt;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->krp : nullptr);
-    Kt = krp_transposed(mttkrp_krp_factors(factors, mode), KrpVariant::Reuse,
-                        /*threads=*/1);
-  }
-  PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-  if (mode == 0) {
-    // X(0) is column-major: a single BLAS call (Alg 2 line 4).
-    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::Trans, In, C, X.cosize(0), 1.0, X.data(), In,
-               Kt.data(), Kt.ld(), 0.0, M.data(), M.ld(), /*threads=*/1);
-    return;
-  }
-  // Block inner product over the I_Rn natural row-major blocks (lines 6-10).
-  // For mode N-1 this degenerates to a single block, which is exactly the
-  // row-major single-GEMM case.
-  const index_t ILn = X.left_size(mode);
-  const index_t IRn = X.right_size(mode);
-  M.set_zero();
-  for (index_t j = 0; j < IRn; ++j) {
-    // Block j is In x ILn row-major; its KRP partner is rows [j*ILn,
-    // (j+1)*ILn) of K, i.e. columns of Kt.
-    blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
-               In, C, ILn, 1.0, X.mode_block(mode, j), ILn,
-               Kt.data() + j * ILn * Kt.ld(), Kt.ld(), 1.0, M.data(), M.ld(),
-               /*threads=*/1);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Algorithm 3: parallel 1-step.
-// ---------------------------------------------------------------------------
-void mttkrp_onestep_external(const Tensor& X, std::span<const Matrix> factors,
-                             index_t mode, Matrix& M, int nt,
-                             MttkrpTimings* timings) {
-  const index_t In = X.dim(mode);
-  const index_t C = M.cols();
-  const index_t cols = X.cosize(mode);
-  const FactorList krp_factors = mttkrp_krp_factors(factors, mode);
-
-  std::vector<Matrix> partials(static_cast<std::size_t>(nt));
-  std::vector<double> t_krp(static_cast<std::size_t>(nt), 0.0);
-  std::vector<double> t_gemm(static_cast<std::size_t>(nt), 0.0);
-
-  parallel_region(nt, [&](int t, int nteam) {
-    const Range r = block_range(cols, nteam, t);
-    Matrix& Mt = partials[static_cast<std::size_t>(t)];
-    Mt = Matrix(In, C);
-    if (r.empty()) return;
-    // Thread-local KRP rows [r.begin, r.end) — Alg 3 line 7.
-    Matrix Kt(C, r.size());
-    {
-      PhaseTimer pt(&t_krp[static_cast<std::size_t>(t)]);
-      krp_rows_reuse(krp_factors, r.begin, r.end, Kt.data(), C);
-    }
-    // Local GEMM against the thread's column block of X(n) — line 8.
-    PhaseTimer pt(&t_gemm[static_cast<std::size_t>(t)]);
-    if (mode == 0) {
-      // Column block of the column-major X(0): contiguous panel.
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::Trans, In, C, r.size(), 1.0,
-                 X.data() + r.begin * In, In, Kt.data(), C, 0.0, Mt.data(),
-                 In, /*threads=*/1);
-    } else {
-      // mode == N-1: X(N-1) is In x cols row-major (ld = cols); a column
-      // block is a row block of its column-major transpose view.
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, In, C, r.size(), 1.0, X.data() + r.begin,
-                 cols, Kt.data(), C, 0.0, Mt.data(), In, /*threads=*/1);
-    }
-  });
-  if (timings != nullptr) {
-    record_max(&timings->krp, t_krp);
-    record_max(&timings->gemm, t_gemm);
-  }
-  reduce_partials(partials, M, nt,
-                  timings != nullptr ? &timings->reduce : nullptr);
-}
-
-void mttkrp_onestep_internal(const Tensor& X, std::span<const Matrix> factors,
-                             index_t mode, Matrix& M, int nt,
-                             MttkrpTimings* timings) {
-  const index_t In = X.dim(mode);
-  const index_t C = M.cols();
-  const index_t ILn = X.left_size(mode);
-  const index_t IRn = X.right_size(mode);
-
-  // Left KRP precomputed in parallel (Alg 3 line 11).
-  Matrix KLt;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->krp_lr : nullptr);
-    KLt = krp_transposed(left_krp_factors(factors, mode), KrpVariant::Reuse,
-                         nt);
-  }
-  const FactorList right = right_krp_factors(factors, mode);
-
-  std::vector<Matrix> partials(static_cast<std::size_t>(nt));
-  std::vector<double> t_krp(static_cast<std::size_t>(nt), 0.0);
-  std::vector<double> t_gemm(static_cast<std::size_t>(nt), 0.0);
-
-  parallel_region(nt, [&](int t, int nteam) {
-    const Range r = block_range(IRn, nteam, t);
-    Matrix& Mt = partials[static_cast<std::size_t>(t)];
-    Mt = Matrix(In, C);
-    if (r.empty()) return;
-    Matrix Ktile(C, ILn);           // K block for one j (transposed layout)
-    std::vector<double> krrow(static_cast<std::size_t>(C));
-    for (index_t j = r.begin; j < r.end; ++j) {
-      {
-        PhaseTimer pt(&t_krp[static_cast<std::size_t>(t)]);
-        // Row j of the right KRP (line 14), then the Khatri-Rao product
-        // KR(j,:) (.) KL realized as a column-wise Hadamard scale (line 15).
-        krp_row(right, j, krrow.data());
-        for (index_t rl = 0; rl < ILn; ++rl) {
-          blas::hadamard(C, krrow.data(), KLt.data() + rl * C,
-                         Ktile.data() + rl * C);
-        }
-      }
-      PhaseTimer pt(&t_gemm[static_cast<std::size_t>(t)]);
-      // Mt += X(n)[j] * K[j] (line 16); the block is In x ILn row-major.
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, In, C, ILn, 1.0, X.mode_block(mode, j),
-                 ILn, Ktile.data(), C, 1.0, Mt.data(), In, /*threads=*/1);
-    }
-  });
-  if (timings != nullptr) {
-    record_max(&timings->krp_lr, t_krp);
-    record_max(&timings->gemm, t_gemm);
-  }
-  reduce_partials(partials, M, nt,
-                  timings != nullptr ? &timings->reduce : nullptr);
-}
-
-void mttkrp_onestep(const Tensor& X, std::span<const Matrix> factors,
-                    index_t mode, Matrix& M, int nt, MttkrpTimings* timings) {
-  if (mode == 0 || mode == X.order() - 1) {
-    mttkrp_onestep_external(X, factors, mode, M, nt, timings);
-  } else {
-    mttkrp_onestep_internal(X, factors, mode, M, nt, timings);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Algorithm 4: 2-step (Phan et al.).
-// ---------------------------------------------------------------------------
-void mttkrp_twostep(const Tensor& X, std::span<const Matrix> factors,
-                    index_t mode, Matrix& M, int nt, MttkrpTimings* timings) {
-  const index_t N = X.order();
-  const index_t In = X.dim(mode);
-  const index_t C = M.cols();
-  const index_t ILn = X.left_size(mode);
-  const index_t IRn = X.right_size(mode);
-
-  // Partial KRPs (lines 2-3). External modes have one empty side.
-  Matrix KLt;
-  Matrix KRt;
-  {
-    PhaseTimer pt(timings != nullptr ? &timings->krp_lr : nullptr);
-    if (mode > 0) {
-      KLt = krp_transposed(left_krp_factors(factors, mode), KrpVariant::Reuse,
-                           nt);
-    }
-    if (mode < N - 1) {
-      KRt = krp_transposed(right_krp_factors(factors, mode),
-                           KrpVariant::Reuse, nt);
-    }
-  }
-
-  if (mode == 0) {
-    // Degenerate: the right partial MTTKRP IS the answer (full MTTKRP).
-    PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::Trans, In, C, IRn, 1.0, X.data(), In, KRt.data(),
-               KRt.ld(), 0.0, M.data(), M.ld(), nt);
-    return;
-  }
-  if (mode == N - 1) {
-    // Degenerate: the left partial MTTKRP is the answer.
-    PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-    blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
-               In, C, ILn, 1.0, X.data(), ILn, KLt.data(), KLt.ld(), 0.0,
-               M.data(), M.ld(), nt);
-    return;
-  }
-
-  if (twostep_uses_left(X, mode)) {
-    // L(0:N-n-1) = X(0:n-1)^T * K_L (line 5): X(0:n-1) is I_Ln x (I_n I_Rn)
-    // column-major, so the product is one GEMM with A transposed.
-    Matrix L(In * IRn, C);
-    {
-      PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, In * IRn, C, ILn, 1.0, X.data(), ILn,
-                 KLt.data(), KLt.ld(), 0.0, L.data(), L.ld(), nt);
-    }
-    PhaseTimer pt(timings != nullptr ? &timings->gemv : nullptr);
-    multi_ttv_left(L.data(), In, IRn, C, KRt.data(), KRt.ld(), M, nt);
-  } else {
-    // R(0:n) = X(0:n) * K_R (line 11): X(0:n) is (I_Ln I_n) x I_Rn
-    // column-major.
-    Matrix R(ILn * In, C);
-    {
-      PhaseTimer pt(timings != nullptr ? &timings->gemm : nullptr);
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::Trans, ILn * In, C, IRn, 1.0, X.data(),
-                 ILn * In, KRt.data(), KRt.ld(), 0.0, R.data(), R.ld(), nt);
-    }
-    PhaseTimer pt(timings != nullptr ? &timings->gemv : nullptr);
-    multi_ttv_right(R.data(), In, ILn, C, KLt.data(), KLt.ld(), M, nt);
-  }
-}
-
-}  // namespace
 
 bool twostep_is_defined(index_t order, index_t mode) {
   return mode > 0 && mode < order - 1;
@@ -366,39 +54,16 @@ bool twostep_uses_left(const Tensor& X, index_t mode) {
 void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
             Matrix& M, MttkrpMethod method, int threads,
             MttkrpTimings* timings) {
-  const index_t C = validate(X, factors, mode);
-  if (M.rows() != X.dim(mode) || M.cols() != C) {
-    M = Matrix(X.dim(mode), C);
-  }
-  const int nt = resolve_threads(threads);
-  WallTimer total;
-
-  MttkrpMethod m = method;
-  if (m == MttkrpMethod::Auto) {
-    // The paper's CP-ALS policy: 1-step for external modes, 2-step inside.
-    m = twostep_is_defined(X.order(), mode) ? MttkrpMethod::TwoStep
-                                            : MttkrpMethod::OneStep;
-  }
-  switch (m) {
-    case MttkrpMethod::Reference:
-      mttkrp_reference(X, factors, mode, M);
-      break;
-    case MttkrpMethod::Reorder:
-      mttkrp_reorder(X, factors, mode, M, nt, timings);
-      break;
-    case MttkrpMethod::OneStepSeq:
-      mttkrp_onestep_seq(X, factors, mode, M, timings);
-      break;
-    case MttkrpMethod::OneStep:
-      mttkrp_onestep(X, factors, mode, M, nt, timings);
-      break;
-    case MttkrpMethod::TwoStep:
-      mttkrp_twostep(X, factors, mode, M, nt, timings);
-      break;
-    case MttkrpMethod::Auto:
-      break;  // unreachable
-  }
-  if (timings != nullptr) timings->total += total.seconds();
+  // One-shot path: a transient context + plan. The plan validates shape,
+  // mode, and rank; it reads the rank off the first factor, so check the
+  // factor count here first.
+  DMTK_CHECK(static_cast<index_t>(factors.size()) == X.order(),
+             "mttkrp: need one factor matrix per mode");
+  DMTK_CHECK(!factors.empty(), "mttkrp: empty factor list");
+  ExecContext ctx(threads);
+  MttkrpPlan plan(ctx, X.dims(), factors[0].cols(), mode, method);
+  plan.execute(X, factors, M);
+  if (timings != nullptr) *timings += plan.timings();
 }
 
 Matrix mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,

@@ -24,7 +24,15 @@
 ///  - Auto:      the paper's CP-ALS policy — 1-step for external modes
 ///               (where 2-step degenerates to it anyway) and 2-step for
 ///               internal modes.
+///
+/// The kernels themselves live behind the plan API of exec/mttkrp_plan.hpp
+/// (dispatch, thread partitions, and workspace are precomputed once and
+/// reused across ALS sweeps). The free functions below are thin ONE-SHOT
+/// wrappers that build a transient plan per call — fine for tests and
+/// occasional calls; hot loops should hold an ExecContext and an
+/// MttkrpPlan per mode instead.
 
+#include <optional>
 #include <span>
 #include <string_view>
 
@@ -46,6 +54,11 @@ enum class MttkrpMethod {
 /// Human-readable method name (for logs and benchmark tables).
 std::string_view to_string(MttkrpMethod m);
 
+/// Inverse of to_string: parse a method name ("reference", "reorder",
+/// "1-step-seq", "1-step", "2-step", "auto"). Returns nullopt for unknown
+/// names — the single parser shared by the CLI and the benchmarks.
+std::optional<MttkrpMethod> parse_mttkrp_method(std::string_view name);
+
 /// Wall-clock breakdown of one MTTKRP call, mirroring the categories of
 /// Figures 6 and 8. Phases that a method does not have stay zero. For
 /// phases executed inside a parallel region the MAX across threads is
@@ -66,6 +79,9 @@ struct MttkrpTimings {
 /// Compute the mode-n MTTKRP of X against the factor matrices. `factors`
 /// must hold one matrix per mode (factors[mode] is ignored but must have
 /// conforming column count). M is resized/overwritten to I_n x C.
+///
+/// One-shot wrapper: builds a transient MttkrpPlan (allocating its
+/// workspace) per call. Loops should build the plan once and execute() it.
 void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
             Matrix& M, MttkrpMethod method = MttkrpMethod::Auto,
             int threads = 0, MttkrpTimings* timings = nullptr);

@@ -83,18 +83,36 @@ Tensor permute(const Tensor& X, std::span<const index_t> perm, int threads) {
 }
 
 Matrix matricize(const Tensor& X, index_t mode, int threads) {
+  Matrix M(X.dim(mode), X.cosize(mode));
+  matricize_into(X, mode, M.data(), threads);
+  return M;
+}
+
+void matricize_into(const Tensor& X, index_t mode, double* out, int threads) {
   const index_t N = X.order();
   DMTK_CHECK(mode >= 0 && mode < N, "matricize: bad mode");
-  std::vector<index_t> perm;
-  perm.reserve(static_cast<std::size_t>(N));
-  perm.push_back(mode);
+  // Gather directly into `out`, which is walked linearly as the permuted
+  // tensor (mode first, remaining modes in order) — no intermediate copy.
+  std::vector<index_t> out_dims;
+  std::vector<index_t> src_strides;
+  out_dims.reserve(static_cast<std::size_t>(N));
+  src_strides.reserve(static_cast<std::size_t>(N));
+  out_dims.push_back(X.dim(mode));
+  src_strides.push_back(X.left_size(mode));
   for (index_t k = 0; k < N; ++k) {
-    if (k != mode) perm.push_back(k);
+    if (k != mode) {
+      out_dims.push_back(X.dim(k));
+      src_strides.push_back(X.left_size(k));
+    }
   }
-  const Tensor Y = permute(X, perm, threads);
-  Matrix M(X.dim(mode), X.cosize(mode));
-  std::copy(Y.data(), Y.data() + Y.numel(), M.data());
-  return M;
+  const index_t total = X.numel();
+  const int nt = resolve_threads(threads);
+  parallel_region(nt, [&](int t, int nteam) {
+    const Range r = block_range(total, nteam, t);
+    if (!r.empty()) {
+      gather(X.data(), out, r.begin, r.end, out_dims, src_strides);
+    }
+  });
 }
 
 Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims, index_t mode,

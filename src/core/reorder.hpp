@@ -25,6 +25,13 @@ Tensor permute(const Tensor& X, std::span<const index_t> perm,
 /// and 2-step algorithms avoid).
 Matrix matricize(const Tensor& X, index_t mode, int threads = 0);
 
+/// As matricize, but gathering into a caller-owned buffer of I_n * I_{!=n}
+/// doubles (column-major, ld = I_n) — what MttkrpPlan uses so the Reorder
+/// baseline draws its scratch from the workspace arena instead of
+/// allocating a fresh matrix per call.
+void matricize_into(const Tensor& X, index_t mode, double* out,
+                    int threads = 0);
+
 /// Inverse of matricize: fold an I_n x I_{!=n} matrix back into a tensor
 /// with the given dimensions.
 Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims,

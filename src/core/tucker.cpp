@@ -101,6 +101,16 @@ TuckerModel st_hosvd(const Tensor& X, std::span<const index_t> ranks,
   return model;
 }
 
+TuckerModel st_hosvd(const Tensor& X, std::span<const index_t> ranks,
+                     const ExecContext& ctx) {
+  return st_hosvd(X, ranks, ctx.threads());
+}
+
+double tucker_relative_error(const Tensor& X, const TuckerModel& model,
+                             const ExecContext& ctx) {
+  return tucker_relative_error(X, model, ctx.threads());
+}
+
 double tucker_relative_error(const Tensor& X, const TuckerModel& model,
                              int threads) {
   const Tensor R = model.full(threads);

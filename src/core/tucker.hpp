@@ -16,6 +16,7 @@
 #include "core/matrix.hpp"
 #include "core/tensor.hpp"
 #include "core/ttv.hpp"
+#include "exec/exec_context.hpp"
 
 namespace dmtk {
 
@@ -45,8 +46,16 @@ Matrix gram_matricized(const Tensor& X, index_t mode, int threads = 0);
 TuckerModel st_hosvd(const Tensor& X, std::span<const index_t> ranks,
                      int threads = 0);
 
+/// ExecContext overload (preferred): threading comes from the context.
+TuckerModel st_hosvd(const Tensor& X, std::span<const index_t> ranks,
+                     const ExecContext& ctx);
+
 /// Relative reconstruction error ||X - model.full()|| / ||X||.
 double tucker_relative_error(const Tensor& X, const TuckerModel& model,
                              int threads = 0);
+
+/// ExecContext overload (preferred): threading comes from the context.
+double tucker_relative_error(const Tensor& X, const TuckerModel& model,
+                             const ExecContext& ctx);
 
 }  // namespace dmtk

@@ -2,16 +2,41 @@
 /// \file dmtk.hpp
 /// \brief Umbrella header: the full public API of the Dense MTTKRP Toolkit.
 ///
-/// Quick tour:
+/// Quick tour — plan-based execution (the primary API):
+///   dmtk::ExecContext       thread count + partition policy + workspace
+///                           arena; replaces bare `int threads` plumbing
+///   dmtk::MttkrpPlan        FFTW-style reusable plan: dispatch, thread
+///                           partitions, and workspace precomputed once per
+///                           (shape, rank, mode, method); execute() then
+///                           runs allocation-free across ALS sweeps and
+///                           accumulates its own MttkrpTimings
+///   dmtk::CpAlsOptions::exec  point drivers at a shared ExecContext
+///
+/// Decompositions and kernels:
+///   dmtk::cp_als            CP decomposition via alternating least squares
+///   dmtk::cp_als_dimtree    CP-ALS with dimension-tree MTTKRP reuse
+///   dmtk::cp_nnhals         nonnegative CP (HALS)
+///   dmtk::st_hosvd          Tucker via sequentially-truncated HOSVD
+///   dmtk::mttkrp            one-shot wrapper over a transient MttkrpPlan
+///                           (Algs. 2-4; use plans in loops)
+///   dmtk::krp_transposed    parallel row-wise Khatri-Rao product (Alg. 1)
+///   dmtk::ttv, dmtk::ttm    tensor-times-vector / -matrix
+///
+/// Data types and substrate:
 ///   dmtk::Tensor            dense N-way tensor, natural linearization
 ///   dmtk::Matrix            column-major dense matrix
-///   dmtk::krp_transposed    parallel row-wise Khatri-Rao product (Alg. 1)
-///   dmtk::mttkrp            1-step / 2-step / baseline MTTKRP (Algs. 2-4)
-///   dmtk::cp_als            CP decomposition via alternating least squares
-///   dmtk::ttv, dmtk::ttm    tensor-times-vector / -matrix
 ///   dmtk::sim::make_fmri_tensor   synthetic neuroimaging workload
 ///   dmtk::baseline::ttb_cp_als    Tensor-Toolbox-style comparator
 ///   dmtk::blas::*           the mini-BLAS substrate (gemm/gemv/syrk/level1)
+///
+/// Minimal plan-based usage:
+///   ExecContext ctx(8);                        // 8 threads, shared arena
+///   MttkrpPlan plan(ctx, X.dims(), rank, mode);
+///   Matrix M(X.dim(mode), rank);
+///   plan.execute(X, factors, M);               // reuse across sweeps
+///
+/// See README.md for the full quickstart and the migration note from the
+/// legacy (method, threads, timings*) free-function signatures.
 
 #include "baseline/ttb_cp_als.hpp"  // IWYU pragma: export
 #include "blas/blas.hpp"            // IWYU pragma: export
@@ -27,6 +52,8 @@
 #include "core/tensor.hpp"          // IWYU pragma: export
 #include "core/ttv.hpp"             // IWYU pragma: export
 #include "core/tucker.hpp"          // IWYU pragma: export
+#include "exec/exec_context.hpp"    // IWYU pragma: export
+#include "exec/mttkrp_plan.hpp"     // IWYU pragma: export
 #include "io/tensor_io.hpp"         // IWYU pragma: export
 #include "linalg/cholesky.hpp"      // IWYU pragma: export
 #include "linalg/jacobi_eig.hpp"    // IWYU pragma: export

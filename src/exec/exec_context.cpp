@@ -1,0 +1,9 @@
+#include "exec/exec_context.hpp"
+
+#include "util/env.hpp"
+
+namespace dmtk {
+
+ExecContext::ExecContext(int threads) : threads_(resolve_threads(threads)) {}
+
+}  // namespace dmtk

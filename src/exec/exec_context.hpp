@@ -1,0 +1,138 @@
+#pragma once
+/// \file exec_context.hpp
+/// \brief Execution context for plan-based kernels: thread count, block
+/// partitioning policy, and a reusable aligned workspace arena.
+///
+/// The paper's algorithms amortize work ACROSS MTTKRP calls (KRP partial-
+/// product reuse within a call, dimension-tree reuse across an ALS sweep),
+/// and the FFTW-style plan API in mttkrp_plan.hpp extends that amortization
+/// to dispatch decisions, thread partitions, and workspace memory. The
+/// ExecContext is the shared substrate: every plan built against a context
+/// draws its scratch from the context's arena, so an ALS driver that builds
+/// one plan per mode pays for the LARGEST mode's workspace once instead of
+/// reallocating per call per sweep.
+///
+/// Threading: a context pins its thread count at construction (values <= 0
+/// resolve to the library default of util/env.hpp at that moment). This
+/// replaces the bare `int threads` parameters that previously threaded
+/// through every layer of the library.
+///
+/// Concurrency: a context is designed for one executing plan at a time (the
+/// ALS pattern — mode updates are sequential; parallelism lives INSIDE each
+/// kernel). Use one context per driver thread if you run drivers
+/// concurrently.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned_alloc.hpp"
+#include "util/common.hpp"
+#include "util/parallel.hpp"
+
+namespace dmtk {
+
+/// Bump-allocated scratch arena backed by one cache-line-aligned buffer.
+///
+/// Capacity only changes through reserve(); Frame::alloc() never grows the
+/// buffer, so pointers handed out by a frame stay valid for the frame's
+/// lifetime. Plans reserve their worst-case footprint at construction and
+/// then execute allocation-free: the grow_count() instrumentation is how the
+/// test suite verifies that no heap traffic happens after plan construction.
+class WorkspaceArena {
+ public:
+  /// Block granularity: one x86 cache line's worth of doubles.
+  static constexpr std::size_t kAlignDoubles =
+      kDefaultAlignment / sizeof(double);
+
+  /// Round a block request up to cache-line granularity, so consecutive
+  /// blocks (and per-thread slices) never share a cache line.
+  [[nodiscard]] static constexpr std::size_t aligned(std::size_t doubles) {
+    return (doubles + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+  }
+
+  /// Grow capacity to at least `doubles` (never shrinks). Invalidates
+  /// outstanding frame pointers, so call only while no frame is open —
+  /// plans do this once, at construction.
+  void reserve(std::size_t doubles) {
+    if (doubles > buf_.size()) {
+      buf_.resize(doubles);
+      ++grow_count_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t in_use() const { return top_; }
+  /// Number of heap (re)allocations the arena has performed.
+  [[nodiscard]] std::size_t grow_count() const { return grow_count_; }
+  /// Largest number of doubles ever simultaneously handed out.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+  /// RAII stack frame: blocks allocated through it are released (in bulk)
+  /// when the frame is destroyed. Frames nest.
+  class Frame {
+   public:
+    explicit Frame(WorkspaceArena& arena) : arena_(arena), base_(arena.top_) {}
+    ~Frame() { arena_.top_ = base_; }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+    /// Hand out an aligned block of `doubles`. Throws if the arena was not
+    /// reserved large enough — growing here would invalidate previously
+    /// returned pointers, so it is a caller bug, not a resize trigger.
+    [[nodiscard]] double* alloc(std::size_t doubles) {
+      const std::size_t need = aligned(doubles);
+      DMTK_CHECK(arena_.top_ + need <= arena_.buf_.size(),
+                 "WorkspaceArena: frame exceeds reserved capacity");
+      double* p = arena_.buf_.data() + arena_.top_;
+      arena_.top_ += need;
+      arena_.high_water_ = std::max(arena_.high_water_, arena_.top_);
+      return p;
+    }
+
+   private:
+    WorkspaceArena& arena_;
+    std::size_t base_;
+  };
+
+ private:
+  std::vector<double, AlignedAllocator<double>> buf_;
+  std::size_t top_ = 0;
+  std::size_t grow_count_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// Immutable execution configuration plus mutable scratch. Pass by const
+/// reference (or via CpAlsOptions::exec); the arena is deliberately usable
+/// through a const context — it is non-observable scratch state, which is
+/// what lets drivers accept a `const ExecContext*` while plans still reuse
+/// the workspace.
+class ExecContext {
+ public:
+  /// Library-default thread count (util/env.hpp).
+  ExecContext() : ExecContext(0) {}
+
+  /// Pin the thread count; <= 0 resolves to the library default now.
+  explicit ExecContext(int threads);
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Partitioning policy: the contiguous block of `total` items owned by
+  /// thread `t` of the context's team (the paper's thread decomposition).
+  [[nodiscard]] Range partition(index_t total, int t) const {
+    return block_range(total, threads_, t);
+  }
+
+  /// Largest block any thread receives under partition() — what plans use
+  /// to size per-thread workspace tiles.
+  [[nodiscard]] index_t max_block(index_t total) const {
+    return partition(total, 0).size();
+  }
+
+  [[nodiscard]] WorkspaceArena& arena() const { return arena_; }
+
+ private:
+  int threads_;
+  mutable WorkspaceArena arena_;
+};
+
+}  // namespace dmtk

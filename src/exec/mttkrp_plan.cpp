@@ -1,0 +1,604 @@
+#include "exec/mttkrp_plan.hpp"
+
+#include <algorithm>
+
+#include "blas/blas.hpp"
+#include "core/krp_detail.hpp"
+#include "core/multi_index.hpp"
+#include "core/reorder.hpp"
+#include "core/ttv.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace dmtk {
+
+namespace {
+
+/// One KRP row read straight from the (unpacked) factors — the krp_row of
+/// core/krp.cpp with caller-owned digit scratch.
+inline void krp_row_ws(const FactorList& fl, std::span<const index_t> extents,
+                       index_t r, index_t C, double* out, index_t* dg) {
+  const std::size_t Z = fl.size();
+  decompose_last_fastest(r, extents, {dg, Z});
+  detail::load_row(*fl[0], dg[0], C, out);
+  for (std::size_t z = 1; z < Z; ++z) {
+    detail::hadamard_row(out, *fl[z], dg[z], C, out);
+  }
+}
+
+}  // namespace
+
+MttkrpPlan::MttkrpPlan(const ExecContext& ctx, std::span<const index_t> dims,
+                       index_t rank, index_t mode, MttkrpMethod method,
+                       TwoStepSide side)
+    : ctx_(&ctx),
+      dims_(dims.begin(), dims.end()),
+      rank_(rank),
+      mode_(mode),
+      requested_(method) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(N >= 2, "mttkrp: tensor must have at least 2 modes");
+  DMTK_CHECK(mode >= 0 && mode < N, "mttkrp: bad mode");
+  DMTK_CHECK(rank >= 1, "mttkrp: rank must be positive");
+  for (index_t d : dims_) {
+    DMTK_CHECK(d >= 1, "mttkrp: extents must be positive");
+  }
+
+  In_ = dims_[static_cast<std::size_t>(mode)];
+  ILn_ = 1;
+  for (index_t n = 0; n < mode; ++n) ILn_ *= dims_[static_cast<std::size_t>(n)];
+  IRn_ = 1;
+  for (index_t n = mode + 1; n < N; ++n) {
+    IRn_ *= dims_[static_cast<std::size_t>(n)];
+  }
+  cosize_ = ILn_ * IRn_;
+  nt_ = ctx.threads();
+
+  resolved_ = requested_;
+  if (resolved_ == MttkrpMethod::Auto) {
+    // The paper's CP-ALS policy: 1-step for external modes, 2-step inside.
+    resolved_ = twostep_is_defined(N, mode) ? MttkrpMethod::TwoStep
+                                            : MttkrpMethod::OneStep;
+  }
+  // Alg. 4's side decision, from shape alone (or forced by the caller).
+  twostep_left_ = side == TwoStepSide::Auto ? ILn_ > IRn_
+                                            : side == TwoStepSide::Left;
+
+  // Factor-list layouts in the product orders of core/krp.cpp.
+  for (index_t n = N; n-- > 0;) {
+    if (n != mode) {
+      full_.extents.push_back(dims_[static_cast<std::size_t>(n)]);
+    }
+  }
+  for (index_t n = mode; n-- > 0;) {
+    left_.extents.push_back(dims_[static_cast<std::size_t>(n)]);
+  }
+  for (index_t n = N; n-- > mode + 1;) {
+    right_.extents.push_back(dims_[static_cast<std::size_t>(n)]);
+  }
+  for (KrpLayout* lay : {&full_, &left_, &right_}) {
+    lay->rows = 1;
+    for (index_t e : lay->extents) lay->rows *= e;
+  }
+
+  fl_full_.resize(full_.extents.size());
+  fl_left_.resize(left_.extents.size());
+  fl_right_.resize(right_.extents.size());
+  packed_full_.resize(full_.extents.size());
+  packed_left_.resize(left_.extents.size());
+  packed_right_.resize(right_.extents.size());
+  digits_stride_ = static_cast<std::size_t>(N);
+  digits_.assign(static_cast<std::size_t>(nt_) * digits_stride_, 0);
+  ref_idx_.assign(static_cast<std::size_t>(N), 0);
+  t_a_.assign(static_cast<std::size_t>(nt_), 0.0);
+  t_b_.assign(static_cast<std::size_t>(nt_), 0.0);
+
+  plan_workspace();
+  ctx.arena().reserve(ws_doubles_);
+}
+
+void MttkrpPlan::plan_workspace() {
+  const index_t C = rank_;
+  const index_t N = static_cast<index_t>(dims_.size());
+  const std::size_t snt = static_cast<std::size_t>(nt_);
+  std::size_t top = 0;
+  auto take = [&top](std::size_t doubles) {
+    const std::size_t off = top;
+    top += WorkspaceArena::aligned(doubles);
+    return off;
+  };
+  auto plan_packed = [&](KrpLayout& lay) {
+    lay.packed_off.resize(lay.extents.size());
+    for (std::size_t z = 0; z < lay.extents.size(); ++z) {
+      lay.packed_off[z] =
+          take(static_cast<std::size_t>(lay.extents[z] * C));
+    }
+  };
+  // Per-thread partial-Hadamard table: C doubles per reusable partial.
+  std::size_t p_doubles = 0;
+  auto p_need = [&](const KrpLayout& lay) {
+    if (lay.extents.size() >= 3) {
+      p_doubles = std::max(
+          p_doubles, static_cast<std::size_t>(C) * (lay.extents.size() - 2));
+    }
+  };
+
+  switch (resolved_) {
+    case MttkrpMethod::Reference:
+      break;  // only the small member index scratch
+    case MttkrpMethod::Reorder:
+      off_xn_ = take(static_cast<std::size_t>(In_ * cosize_));
+      off_kcol_ = take(static_cast<std::size_t>(cosize_ * C));
+      // Two ping-pong Kronecker accumulators of up to cosize doubles.
+      off_acc_ = take(2 * WorkspaceArena::aligned(
+                              static_cast<std::size_t>(cosize_)));
+      break;
+    case MttkrpMethod::OneStepSeq:
+      plan_packed(full_);
+      p_need(full_);
+      off_kt_full_ = take(static_cast<std::size_t>(C * cosize_));
+      break;
+    case MttkrpMethod::OneStep:
+      if (mode_ == 0 || mode_ == N - 1) {
+        plan_packed(full_);
+        p_need(full_);
+        stride_thread_kt_ = WorkspaceArena::aligned(
+            static_cast<std::size_t>(C * ctx_->max_block(cosize_)));
+        off_thread_kt_ = take(snt * stride_thread_kt_);
+      } else {
+        plan_packed(left_);
+        p_need(left_);
+        off_klt_ = take(static_cast<std::size_t>(C * ILn_));
+        stride_thread_kt_ =
+            WorkspaceArena::aligned(static_cast<std::size_t>(C * ILn_));
+        off_thread_kt_ = take(snt * stride_thread_kt_);
+        stride_thread_row_ =
+            WorkspaceArena::aligned(static_cast<std::size_t>(C));
+        off_thread_row_ = take(snt * stride_thread_row_);
+      }
+      stride_partial_ =
+          WorkspaceArena::aligned(static_cast<std::size_t>(In_ * C));
+      off_partials_ = take(snt * stride_partial_);
+      break;
+    case MttkrpMethod::TwoStep:
+      if (mode_ > 0) {
+        plan_packed(left_);
+        p_need(left_);
+        off_klt_ = take(static_cast<std::size_t>(C * ILn_));
+      }
+      if (mode_ < N - 1) {
+        plan_packed(right_);
+        p_need(right_);
+        off_krt_ = take(static_cast<std::size_t>(C * IRn_));
+      }
+      if (twostep_is_defined(N, mode_)) {
+        const index_t inter_rows = twostep_left_ ? In_ * IRn_ : ILn_ * In_;
+        off_inter_ = take(static_cast<std::size_t>(inter_rows * C));
+      }
+      break;
+    case MttkrpMethod::Auto:
+      break;  // unreachable: resolved at construction
+  }
+  if (p_doubles > 0) {
+    stride_thread_p_ = WorkspaceArena::aligned(p_doubles);
+    off_thread_p_ = take(snt * stride_thread_p_);
+  }
+  ws_doubles_ = top;
+}
+
+void MttkrpPlan::gather_factors(std::span<const Matrix> factors, List which,
+                                FactorList& fl) const {
+  // Orders match the layout construction in the constructor (and the
+  // mttkrp_krp_factors / left_krp_factors / right_krp_factors helpers).
+  const index_t N = static_cast<index_t>(factors.size());
+  std::size_t i = 0;
+  switch (which) {
+    case List::Full:
+      for (index_t n = N; n-- > 0;) {
+        if (n != mode_) fl[i++] = &factors[static_cast<std::size_t>(n)];
+      }
+      break;
+    case List::Left:
+      for (index_t n = mode_; n-- > 0;) {
+        fl[i++] = &factors[static_cast<std::size_t>(n)];
+      }
+      break;
+    case List::Right:
+      for (index_t n = N; n-- > mode_ + 1;) {
+        fl[i++] = &factors[static_cast<std::size_t>(n)];
+      }
+      break;
+  }
+}
+
+void MttkrpPlan::pack(const FactorList& fl, const KrpLayout& lay, double* base,
+                      std::vector<const double*>& packed) const {
+  const index_t C = rank_;
+  for (std::size_t z = 0; z < fl.size(); ++z) {
+    double* P = base + lay.packed_off[z];
+    const Matrix& F = *fl[z];
+    for (index_t c = 0; c < C; ++c) {
+      const double* col = F.col(c).data();
+      double* out = P + c;
+      for (index_t r = 0; r < F.rows(); ++r) out[r * C] = col[r];
+    }
+    packed[z] = P;
+  }
+}
+
+void MttkrpPlan::krp_transposed_ws(const KrpLayout& lay,
+                                   std::span<const double* const> packed,
+                                   double* base, std::size_t off,
+                                   int threads) {
+  const index_t C = rank_;
+  const index_t J = lay.rows;
+  double* Kt = base + off;
+  // Strided over `threads` planned partitions so a smaller OpenMP team
+  // still generates every row block (threads <= nt_, so the per-block
+  // scratch slots below always exist).
+  parallel_region(threads, [&](int t, int nteam) {
+    for (int b = t; b < threads; b += nteam) {
+      const std::size_t sb = static_cast<std::size_t>(b);
+      const Range r = block_range(J, threads, b);
+      if (r.empty()) continue;
+      double* P = base + off_thread_p_ + sb * stride_thread_p_;
+      index_t* dg = digits_.data() + sb * digits_stride_;
+      detail::krp_rows_ws(packed, lay.extents, C, r.begin, r.end, Kt + r.begin * C, C,
+                  P, dg);
+    }
+  });
+}
+
+void MttkrpPlan::execute(const Tensor& X, std::span<const Matrix> factors,
+                         Matrix& M) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(X.order() == N, "mttkrp plan: tensor order mismatch");
+  for (index_t n = 0; n < N; ++n) {
+    DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
+               "mttkrp plan: tensor extents differ from the planned shape");
+  }
+  DMTK_CHECK(static_cast<index_t>(factors.size()) == N,
+             "mttkrp: need one factor matrix per mode");
+  for (index_t n = 0; n < N; ++n) {
+    const Matrix& U = factors[static_cast<std::size_t>(n)];
+    DMTK_CHECK(U.cols() == rank_, "mttkrp: factors disagree on rank");
+    DMTK_CHECK(U.rows() == X.dim(n), "mttkrp: factor rows != mode size");
+  }
+  if (M.rows() != In_ || M.cols() != rank_) M = Matrix(In_, rank_);
+
+  WallTimer total;
+  WorkspaceArena::Frame frame(ctx_->arena());
+  double* base = ws_doubles_ > 0 ? frame.alloc(ws_doubles_) : nullptr;
+
+  switch (resolved_) {
+    case MttkrpMethod::Reference:
+      exec_reference(X, factors, M);
+      break;
+    case MttkrpMethod::Reorder:
+      exec_reorder(X, factors, M, base);
+      break;
+    case MttkrpMethod::OneStepSeq:
+      exec_onestep_seq(X, factors, M, base);
+      break;
+    case MttkrpMethod::OneStep:
+      if (mode_ == 0 || mode_ == N - 1) {
+        exec_onestep_external(X, factors, M, base);
+      } else {
+        exec_onestep_internal(X, factors, M, base);
+      }
+      break;
+    case MttkrpMethod::TwoStep:
+      exec_twostep(X, factors, M, base);
+      break;
+    case MttkrpMethod::Auto:
+      break;  // unreachable
+  }
+  timings_.total += total.seconds();
+}
+
+// ---------------------------------------------------------------------------
+// Reference: element-wise oracle.
+// ---------------------------------------------------------------------------
+void MttkrpPlan::exec_reference(const Tensor& X,
+                                std::span<const Matrix> factors, Matrix& M) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  const index_t C = rank_;
+  M.set_zero();
+  const index_t I = X.numel();
+  for (index_t l = 0; l < I; ++l) {
+    decompose_first_fastest(l, dims_, ref_idx_);
+    const double x = X[l];
+    for (index_t c = 0; c < C; ++c) {
+      double w = x;
+      for (index_t n = 0; n < N; ++n) {
+        if (n != mode_) {
+          w *= factors[static_cast<std::size_t>(n)](
+              ref_idx_[static_cast<std::size_t>(n)], c);
+        }
+      }
+      M(ref_idx_[static_cast<std::size_t>(mode_)], c) += w;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reorder: explicit matricization + explicit column-wise KRP + one GEMM
+// (Bader & Kolda; the Tensor-Toolbox kernel).
+// ---------------------------------------------------------------------------
+void MttkrpPlan::exec_reorder(const Tensor& X, std::span<const Matrix> factors,
+                              Matrix& M, double* base) {
+  const index_t C = rank_;
+  double* Xn = base + off_xn_;
+  {
+    PhaseTimer pt(&timings_.reorder);
+    matricize_into(X, mode_, Xn, nt_);
+  }
+  double* K = base + off_kcol_;
+  {
+    PhaseTimer pt(&timings_.krp);
+    // Column c of K is the Kronecker product of the factor columns, built
+    // by repeated expansion exactly like krp_columnwise / Tensor Toolbox's
+    // khatrirao (last factor fastest), with ping-pong accumulators.
+    gather_factors(factors, List::Full, fl_full_);
+    double* acc = base + off_acc_;
+    double* next =
+        acc + WorkspaceArena::aligned(static_cast<std::size_t>(cosize_));
+    for (index_t c = 0; c < C; ++c) {
+      acc[0] = 1.0;
+      index_t len = 1;
+      for (const Matrix* F : fl_full_) {
+        const index_t Jz = F->rows();
+        const double* col = F->col(c).data();
+        index_t o = 0;
+        for (index_t a = 0; a < len; ++a) {
+          for (index_t i = 0; i < Jz; ++i) next[o++] = acc[a] * col[i];
+        }
+        len *= Jz;
+        std::swap(acc, next);
+      }
+      blas::copy(len, acc, index_t{1}, K + c * cosize_, index_t{1});
+    }
+  }
+  {
+    PhaseTimer pt(&timings_.gemm);
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+               blas::Trans::NoTrans, In_, C, cosize_, 1.0, Xn, In_, K, cosize_,
+               0.0, M.data(), M.ld(), nt_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: sequential 1-step.
+// ---------------------------------------------------------------------------
+void MttkrpPlan::exec_onestep_seq(const Tensor& X,
+                                  std::span<const Matrix> factors, Matrix& M,
+                                  double* base) {
+  const index_t C = rank_;
+  double* Kt = base + off_kt_full_;
+  {
+    PhaseTimer pt(&timings_.krp);
+    gather_factors(factors, List::Full, fl_full_);
+    pack(fl_full_, full_, base, packed_full_);
+    krp_transposed_ws(full_, packed_full_, base, off_kt_full_, /*threads=*/1);
+  }
+  PhaseTimer pt(&timings_.gemm);
+  if (mode_ == 0) {
+    // X(0) is column-major: a single BLAS call (Alg 2 line 4).
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+               blas::Trans::Trans, In_, C, cosize_, 1.0, X.data(), In_, Kt, C,
+               0.0, M.data(), M.ld(), /*threads=*/1);
+    return;
+  }
+  // Block inner product over the I_Rn natural row-major blocks (lines 6-10).
+  M.set_zero();
+  for (index_t j = 0; j < IRn_; ++j) {
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
+               In_, C, ILn_, 1.0, X.mode_block(mode_, j), ILn_,
+               Kt + j * ILn_ * C, C, 1.0, M.data(), M.ld(), /*threads=*/1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: parallel 1-step.
+// ---------------------------------------------------------------------------
+void MttkrpPlan::exec_onestep_external(const Tensor& X,
+                                       std::span<const Matrix> factors,
+                                       Matrix& M, double* base) {
+  const index_t C = rank_;
+  const index_t cols = cosize_;
+  double pack_s = 0.0;
+  {
+    PhaseTimer pt(&pack_s);
+    gather_factors(factors, List::Full, fl_full_);
+    pack(fl_full_, full_, base, packed_full_);
+  }
+  std::fill(t_a_.begin(), t_a_.end(), 0.0);
+  std::fill(t_b_.begin(), t_b_.end(), 0.0);
+
+  // Loop over the PLANNED nt_ partitions, strided by the actual team size:
+  // tile sizes and the reduction below assume exactly nt_ blocks, so a
+  // smaller-than-requested OpenMP team (nested parallelism, thread limits)
+  // must still produce every block — each sized as planned.
+  parallel_region(nt_, [&](int t, int nteam) {
+    for (int b = t; b < nt_; b += nteam) {
+      const std::size_t sb = static_cast<std::size_t>(b);
+      const Range r = block_range(cols, nt_, b);
+      double* Mt = base + off_partials_ + sb * stride_partial_;
+      if (r.empty()) {
+        // Still participates in the reduction: must read as zero.
+        std::fill(Mt, Mt + In_ * C, 0.0);
+        continue;
+      }
+      // Block-local KRP rows [r.begin, r.end) — Alg 3 line 7.
+      double* Kt = base + off_thread_kt_ + sb * stride_thread_kt_;
+      double* P = base + off_thread_p_ + sb * stride_thread_p_;
+      index_t* dg = digits_.data() + sb * digits_stride_;
+      {
+        PhaseTimer pt(&t_a_[sb]);
+        detail::krp_rows_ws(packed_full_, full_.extents, C, r.begin, r.end, Kt, C, P,
+                    dg);
+      }
+      // Local GEMM against the block's columns of X(n) — line 8.
+      PhaseTimer pt(&t_b_[sb]);
+      if (mode_ == 0) {
+        // Column block of the column-major X(0): contiguous panel.
+        blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+                   blas::Trans::Trans, In_, C, r.size(), 1.0,
+                   X.data() + r.begin * In_, In_, Kt, C, 0.0, Mt, In_,
+                   /*threads=*/1);
+      } else {
+        // mode == N-1: X(N-1) is In x cols row-major (ld = cols); a column
+        // block is a row block of its column-major transpose view.
+        blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
+                   blas::Trans::Trans, In_, C, r.size(), 1.0,
+                   X.data() + r.begin, cols, Kt, C, 0.0, Mt, In_,
+                   /*threads=*/1);
+      }
+    }
+  });
+  timings_.krp += pack_s + max_of(t_a_);
+  timings_.gemm += max_of(t_b_);
+  reduce_partials(base, M, &timings_.reduce);
+}
+
+void MttkrpPlan::exec_onestep_internal(const Tensor& X,
+                                       std::span<const Matrix> factors,
+                                       Matrix& M, double* base) {
+  const index_t C = rank_;
+
+  // Left KRP precomputed in parallel (Alg 3 line 11).
+  {
+    PhaseTimer pt(&timings_.krp_lr);
+    gather_factors(factors, List::Left, fl_left_);
+    pack(fl_left_, left_, base, packed_left_);
+    krp_transposed_ws(left_, packed_left_, base, off_klt_, nt_);
+  }
+  const double* KLt = base + off_klt_;
+  gather_factors(factors, List::Right, fl_right_);
+  std::fill(t_a_.begin(), t_a_.end(), 0.0);
+  std::fill(t_b_.begin(), t_b_.end(), 0.0);
+
+  // Strided over the planned nt_ partitions (see exec_onestep_external).
+  parallel_region(nt_, [&](int t, int nteam) {
+    for (int b = t; b < nt_; b += nteam) {
+      const std::size_t sb = static_cast<std::size_t>(b);
+      const Range r = block_range(IRn_, nt_, b);
+      double* Mt = base + off_partials_ + sb * stride_partial_;
+      std::fill(Mt, Mt + In_ * C, 0.0);
+      if (r.empty()) continue;
+      double* Ktile = base + off_thread_kt_ + sb * stride_thread_kt_;
+      double* krrow = base + off_thread_row_ + sb * stride_thread_row_;
+      index_t* dg = digits_.data() + sb * digits_stride_;
+      for (index_t j = r.begin; j < r.end; ++j) {
+        {
+          PhaseTimer pt(&t_a_[sb]);
+          // Row j of the right KRP (line 14), then the Khatri-Rao product
+          // KR(j,:) (.) KL realized as a column-wise Hadamard scale (line
+          // 15).
+          krp_row_ws(fl_right_, right_.extents, j, C, krrow, dg);
+          for (index_t rl = 0; rl < ILn_; ++rl) {
+            blas::hadamard(C, krrow, KLt + rl * C, Ktile + rl * C);
+          }
+        }
+        PhaseTimer pt(&t_b_[sb]);
+        // Mt += X(n)[j] * K[j] (line 16); the block is In x ILn row-major.
+        blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
+                   blas::Trans::Trans, In_, C, ILn_, 1.0,
+                   X.mode_block(mode_, j), ILn_, Ktile, C, 1.0, Mt, In_,
+                   /*threads=*/1);
+      }
+    }
+  });
+  timings_.krp_lr += max_of(t_a_);
+  timings_.gemm += max_of(t_b_);
+  reduce_partials(base, M, &timings_.reduce);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4: 2-step (Phan et al.).
+// ---------------------------------------------------------------------------
+void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
+                              Matrix& M, double* base) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  const index_t C = rank_;
+
+  // Partial KRPs (lines 2-3). External modes have one empty side.
+  {
+    PhaseTimer pt(&timings_.krp_lr);
+    if (mode_ > 0) {
+      gather_factors(factors, List::Left, fl_left_);
+      pack(fl_left_, left_, base, packed_left_);
+      krp_transposed_ws(left_, packed_left_, base, off_klt_, nt_);
+    }
+    if (mode_ < N - 1) {
+      gather_factors(factors, List::Right, fl_right_);
+      pack(fl_right_, right_, base, packed_right_);
+      krp_transposed_ws(right_, packed_right_, base, off_krt_, nt_);
+    }
+  }
+  const double* KLt = base + off_klt_;
+  const double* KRt = base + off_krt_;
+
+  if (mode_ == 0) {
+    // Degenerate: the right partial MTTKRP IS the answer (full MTTKRP).
+    PhaseTimer pt(&timings_.gemm);
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+               blas::Trans::Trans, In_, C, IRn_, 1.0, X.data(), In_, KRt, C,
+               0.0, M.data(), M.ld(), nt_);
+    return;
+  }
+  if (mode_ == N - 1) {
+    // Degenerate: the left partial MTTKRP is the answer.
+    PhaseTimer pt(&timings_.gemm);
+    blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
+               In_, C, ILn_, 1.0, X.data(), ILn_, KLt, C, 0.0, M.data(),
+               M.ld(), nt_);
+    return;
+  }
+
+  double* inter = base + off_inter_;
+  if (twostep_left_) {
+    // L(0:N-n-1) = X(0:n-1)^T * K_L (line 5): X(0:n-1) is I_Ln x (I_n I_Rn)
+    // column-major, so the product is one GEMM with A transposed.
+    {
+      PhaseTimer pt(&timings_.gemm);
+      blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
+                 blas::Trans::Trans, In_ * IRn_, C, ILn_, 1.0, X.data(), ILn_,
+                 KLt, C, 0.0, inter, In_ * IRn_, nt_);
+    }
+    PhaseTimer pt(&timings_.gemv);
+    multi_ttv_left(inter, In_, IRn_, C, KRt, C, M, nt_);
+  } else {
+    // R(0:n) = X(0:n) * K_R (line 11): X(0:n) is (I_Ln I_n) x I_Rn
+    // column-major.
+    {
+      PhaseTimer pt(&timings_.gemm);
+      blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
+                 blas::Trans::Trans, ILn_ * In_, C, IRn_, 1.0, X.data(),
+                 ILn_ * In_, KRt, C, 0.0, inter, ILn_ * In_, nt_);
+    }
+    PhaseTimer pt(&timings_.gemv);
+    multi_ttv_right(inter, In_, ILn_, C, KLt, C, M, nt_);
+  }
+}
+
+/// M = sum_t Mt over the thread-private partials, parallelized by rows.
+void MttkrpPlan::reduce_partials(double* base, Matrix& M,
+                                 double* reduce_time) {
+  PhaseTimer pt(reduce_time);
+  const index_t total = M.size();
+  double* out = M.data();
+  parallel_region(nt_, [&](int t, int nteam) {
+    const Range r = block_range(total, nteam, t);
+    if (r.empty()) return;
+    std::fill(out + r.begin, out + r.end, 0.0);
+    for (int p = 0; p < nt_; ++p) {
+      const double* src =
+          base + off_partials_ + static_cast<std::size_t>(p) * stride_partial_;
+      for (index_t i = r.begin; i < r.end; ++i) out[i] += src[i];
+    }
+  });
+}
+
+}  // namespace dmtk

@@ -1,0 +1,182 @@
+#pragma once
+/// \file mttkrp_plan.hpp
+/// \brief FFTW-style reusable MTTKRP plan.
+///
+/// A plan is built once per (tensor shape, rank, mode, method) against an
+/// ExecContext and then executed once per ALS sweep. Construction does all
+/// the work that does not depend on tensor/factor VALUES:
+///   - method dispatch (Auto resolves to the paper's policy: 1-step for
+///     external modes, 2-step for internal ones) and the 2-step side
+///     selection (left vs right partial MTTKRP, Alg. 4's heuristic);
+///   - the thread partition geometry (per-thread KRP row blocks, the
+///     I_Rn natural-block split of internal modes);
+///   - the complete workspace layout: full/partial transposed-KRP buffers,
+///     packed factor panels, partial-Hadamard reuse tables, thread-private
+///     outputs, reorder scratch — sized, cache-line aligned, and reserved
+///     in the context's arena up front.
+///
+/// execute() then draws every large buffer from the arena frame opened for
+/// the call; the small index/timing scratch lives in the plan itself. The
+/// paper's methods (OneStepSeq/OneStep/TwoStep/Auto) run fully heap-free
+/// after construction. The Reorder baseline and the Reference oracle keep
+/// their O(tensor) buffers in the arena too but may use transient O(N)
+/// index scratch inside matricize_into. (The mini-BLAS packs its GEMM
+/// panels internally; the arena instrumentation in the tests verifies the
+/// plan's own zero-allocation contract.)
+///
+/// Per-call wall-clock phases accumulate into the plan's MttkrpTimings
+/// (timings()/reset_timings()), replacing the `MttkrpTimings*` out-pointer
+/// of the legacy free function — which survives as a thin wrapper that
+/// builds a transient plan (see core/mttkrp.hpp).
+
+#include <span>
+#include <vector>
+
+#include "core/krp.hpp"
+#include "core/matrix.hpp"
+#include "core/mttkrp.hpp"
+#include "core/tensor.hpp"
+#include "exec/exec_context.hpp"
+
+namespace dmtk {
+
+/// 2-step side policy: Auto applies Alg. 4's heuristic (left partial first
+/// iff I_Ln > I_Rn); Left/Right force an ordering — exposed so the side-
+/// selection ablation can measure both.
+enum class TwoStepSide { Auto, Left, Right };
+
+class MttkrpPlan {
+ public:
+  /// Plan the mode-`mode` MTTKRP of a tensor with extents `dims` against
+  /// rank-`rank` factors. The context reference is retained; it must
+  /// outlive the plan.
+  MttkrpPlan(const ExecContext& ctx, std::span<const index_t> dims,
+             index_t rank, index_t mode,
+             MttkrpMethod method = MttkrpMethod::Auto,
+             TwoStepSide side = TwoStepSide::Auto);
+
+  /// Run the planned MTTKRP: M = X(mode) * KRP(factors except mode).
+  /// X must have the planned extents and `factors` one conforming matrix
+  /// per mode. M is resized on shape mismatch (allocation-free when the
+  /// caller keeps it across calls, the ALS pattern).
+  void execute(const Tensor& X, std::span<const Matrix> factors, Matrix& M);
+
+  [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
+  [[nodiscard]] index_t rank() const { return rank_; }
+  [[nodiscard]] index_t mode() const { return mode_; }
+  [[nodiscard]] int threads() const { return nt_; }
+  /// The method the caller asked for (possibly Auto).
+  [[nodiscard]] MttkrpMethod requested_method() const { return requested_; }
+  /// What execute() will actually run (never Auto).
+  [[nodiscard]] MttkrpMethod resolved_method() const { return resolved_; }
+  /// 2-step side decision: true = left partial MTTKRP first. Meaningful
+  /// only when resolved_method() == TwoStep on an internal mode.
+  [[nodiscard]] bool uses_left() const { return twostep_left_; }
+  /// Arena doubles one execute() draws (already reserved in the context).
+  [[nodiscard]] std::size_t workspace_doubles() const { return ws_doubles_; }
+
+  /// Phase breakdown accumulated over every execute() since construction
+  /// or the last reset_timings().
+  [[nodiscard]] const MttkrpTimings& timings() const { return timings_; }
+  void reset_timings() { timings_ = MttkrpTimings{}; }
+
+ private:
+  // Value-independent description of one KRP factor list: extents in
+  // product order, plus the workspace offsets of its packed panels and the
+  // per-thread partial-Hadamard reuse tables.
+  struct KrpLayout {
+    std::vector<index_t> extents;          // J_z of each factor, product order
+    std::vector<std::size_t> packed_off;   // per-factor packed panel offset
+    index_t rows = 1;                      // prod J_z
+    bool empty() const { return extents.empty(); }
+  };
+
+  void plan_workspace();
+
+  // Which KRP factor list to gather from the current factors.
+  enum class List { Full, Left, Right };
+
+  // Fill `fl` (preallocated) with current-factor pointers per layout order.
+  void gather_factors(std::span<const Matrix> factors, List which,
+                      FactorList& fl) const;
+
+  // Pack the factor list transposed (C x J_z panels) into the workspace.
+  void pack(const FactorList& fl, const KrpLayout& lay, double* base,
+            std::vector<const double*>& packed) const;
+
+  // Parallel transposed-KRP generation into ws block `off` (C x rows) from
+  // already-packed panels.
+  void krp_transposed_ws(const KrpLayout& lay,
+                         std::span<const double* const> packed, double* base,
+                         std::size_t off, int threads);
+
+  // Method bodies (mirror the algorithms of core/mttkrp.cpp).
+  void exec_reference(const Tensor& X, std::span<const Matrix> factors,
+                      Matrix& M);
+  void exec_reorder(const Tensor& X, std::span<const Matrix> factors,
+                    Matrix& M, double* base);
+  void exec_onestep_seq(const Tensor& X, std::span<const Matrix> factors,
+                        Matrix& M, double* base);
+  void exec_onestep_external(const Tensor& X, std::span<const Matrix> factors,
+                             Matrix& M, double* base);
+  void exec_onestep_internal(const Tensor& X, std::span<const Matrix> factors,
+                             Matrix& M, double* base);
+  void exec_twostep(const Tensor& X, std::span<const Matrix> factors,
+                    Matrix& M, double* base);
+
+  void reduce_partials(double* base, Matrix& M, double* reduce_time);
+
+  const ExecContext* ctx_;
+  std::vector<index_t> dims_;
+  index_t rank_ = 0;
+  index_t mode_ = 0;
+  index_t In_ = 0;       // I_n
+  index_t ILn_ = 0;      // prod of modes left of n
+  index_t IRn_ = 0;      // prod of modes right of n
+  index_t cosize_ = 0;   // I / I_n
+  MttkrpMethod requested_ = MttkrpMethod::Auto;
+  MttkrpMethod resolved_ = MttkrpMethod::Auto;
+  bool twostep_left_ = false;
+  int nt_ = 1;
+
+  // KRP factor-list layouts (which ones are populated depends on the
+  // resolved method).
+  KrpLayout full_;   // all modes but n, mode 0 fastest
+  KrpLayout left_;   // modes n-1..0 (K_L)
+  KrpLayout right_;  // modes N-1..n+1 (K_R)
+
+  // Workspace offsets (doubles from the frame base).
+  std::size_t ws_doubles_ = 0;
+  std::size_t off_kt_full_ = 0;      // C x cosize transposed full KRP
+  std::size_t off_klt_ = 0;          // C x ILn transposed left partial KRP
+  std::size_t off_krt_ = 0;          // C x IRn transposed right partial KRP
+  std::size_t off_partials_ = 0;     // nt thread-private In x C outputs
+  std::size_t stride_partial_ = 0;
+  std::size_t off_thread_kt_ = 0;    // per-thread KRP tile
+  std::size_t stride_thread_kt_ = 0;
+  std::size_t off_thread_p_ = 0;     // per-thread partial-Hadamard table
+  std::size_t stride_thread_p_ = 0;
+  std::size_t off_thread_row_ = 0;   // per-thread right-KRP row (C)
+  std::size_t stride_thread_row_ = 0;
+  std::size_t off_inter_ = 0;        // 2-step first-step intermediate
+  std::size_t off_xn_ = 0;           // Reorder: explicit matricization
+  std::size_t off_kcol_ = 0;         // Reorder: column-wise KRP (J x C)
+  std::size_t off_acc_ = 0;          // Reorder: two Kronecker accumulators
+
+  // Small preallocated scratch so execute() itself never allocates.
+  FactorList fl_full_;
+  FactorList fl_left_;
+  FactorList fl_right_;
+  std::vector<const double*> packed_full_;
+  std::vector<const double*> packed_left_;
+  std::vector<const double*> packed_right_;
+  std::vector<index_t> digits_;      // nt * max-list-size mixed-radix digits
+  std::size_t digits_stride_ = 0;
+  std::vector<index_t> ref_idx_;     // Reference-method multi-index
+  std::vector<double> t_a_;          // per-thread phase seconds
+  std::vector<double> t_b_;
+
+  MttkrpTimings timings_;
+};
+
+}  // namespace dmtk

@@ -33,6 +33,7 @@ using namespace dmtk;
       "            [--noise f] [--seed s] [--linearize] --out F\n"
       "  info      <tensor.dten>\n"
       "  decompose <tensor.dten> --rank R [--nn] [--dimtree]\n"
+      "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
       "  export    <model.dktn> --out-prefix P\n");
@@ -67,9 +68,9 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
       const std::string key = a.substr(2);
       // Boolean flags.
       if (key == "nn" || key == "dimtree" || key == "linearize") {
-        flags[key] = "1";
+        flags.insert_or_assign(key, std::string("1"));
       } else if (i + 1 < argc) {
-        flags[key] = argv[++i];
+        flags.insert_or_assign(key, std::string(argv[++i]));
       } else {
         usage();
       }
@@ -162,12 +163,30 @@ int cmd_decompose(int argc, char** argv) {
   auto flags = parse_flags(argc, argv, 2, &pos);
   if (pos.empty()) usage();
   const Tensor X = io::read_tensor(pos);
+  // One context for the whole decomposition: pinned thread count plus the
+  // workspace arena the driver's per-mode MTTKRP plans share.
+  ExecContext ctx(static_cast<int>(flag_or(flags, "threads", 0)));
   CpAlsOptions opts;
   opts.rank = static_cast<index_t>(flag_or(flags, "rank", 10));
   opts.max_iters = static_cast<int>(flag_or(flags, "iters", 100));
   opts.tol = flag_or(flags, "tol", 1e-6);
-  opts.threads = static_cast<int>(flag_or(flags, "threads", 0));
+  opts.exec = &ctx;
   opts.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42));
+  const std::string method_s = flag_str(flags, "method");
+  if (!method_s.empty()) {
+    if (flags.count("dimtree") != 0) {
+      // The dimension-tree driver has its own kernels and ignores
+      // opts.method; silently dropping the flag would mislead.
+      std::fprintf(stderr, "--method cannot be combined with --dimtree\n");
+      return 1;
+    }
+    const auto m = parse_mttkrp_method(method_s);
+    if (!m) {
+      std::fprintf(stderr, "unknown MTTKRP method '%s'\n", method_s.c_str());
+      return 1;
+    }
+    opts.method = *m;
+  }
 
   WallTimer t;
   CpAlsResult r;
