@@ -1,0 +1,293 @@
+// GEMM roofline: GFLOP/s of the blocked kernel across micro-kernels
+// (scalar vs AVX2 tiles), thread counts, and shapes — square GEMMs plus the
+// MTTKRP-shaped ones the paper's figures are bounded by (tall-skinny
+// external-mode products and the batched small-block sweep of the internal
+// mode). Writes the BENCH_*.json perf-trajectory record consumed by
+// tools/run_benches.sh, and doubles as the CI equivalence smoke check
+// (--check: every kernel must agree with scalar).
+//
+// usage: bench_gemm_roofline [--sizes csv] [--threads csv] [--trials n]
+//                            [--json path] [--check] [--tiny]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "blas/cpu_features.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using dmtk::index_t;
+using dmtk::Rng;
+
+struct Shape {
+  const char* tag;   // "square" | "skinny" | "batched"
+  index_t m, n, k;
+  index_t batch;     // 1 = plain gemm, > 1 = gemm_batched sweep
+};
+
+struct Result {
+  Shape shape;
+  dmtk::blas::SimdLevel level;
+  int threads;
+  double seconds;
+  double gflops;
+};
+
+std::vector<int> parse_csv_ints(const char* csv) {
+  std::vector<int> out;
+  const std::string s(csv);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string cpu_model_name() {
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "model name", 10) == 0) {
+        std::fclose(f);
+        const char* colon = std::strchr(line, ':');
+        std::string name = colon ? colon + 2 : line;
+        while (!name.empty() && (name.back() == '\n' || name.back() == ' ')) {
+          name.pop_back();
+        }
+        return name;
+      }
+    }
+    std::fclose(f);
+  }
+  return "unknown";
+}
+
+/// One timed case. For batch > 1 the shape describes ONE item; the sweep
+/// multiplies batch items into batch separate outputs.
+double run_case(const Shape& s, int threads, int trials,
+                const std::vector<double>& A, const std::vector<double>& B,
+                std::vector<double>& C) {
+  using namespace dmtk::blas;
+  if (s.batch <= 1) {
+    return dmtk::time_median(trials, [&] {
+      gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k,
+           1.0, A.data(), s.m, B.data(), s.k, 0.0, C.data(), s.m, threads);
+    });
+  }
+  std::vector<const double*> ap(static_cast<std::size_t>(s.batch));
+  std::vector<const double*> bp(static_cast<std::size_t>(s.batch));
+  std::vector<double*> cp(static_cast<std::size_t>(s.batch));
+  for (index_t i = 0; i < s.batch; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    ap[si] = A.data() + (i % 4) * s.m;  // reuse the allocation, shift a bit
+    bp[si] = B.data() + (i % 4) * s.k;
+    cp[si] = C.data() + si * static_cast<std::size_t>(s.m * s.n);
+  }
+  return dmtk::time_median(trials, [&] {
+    gemm_batched(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, s.m, s.n,
+                 s.k, 1.0, ap.data(), s.m, bp.data(), s.k, 0.0, cp.data(),
+                 s.m, s.batch, threads);
+  });
+}
+
+/// --check: every dispatchable kernel must reproduce the scalar kernel's
+/// result to rounding (FMA changes the last ulps, nothing more).
+bool check_equivalence() {
+  using namespace dmtk::blas;
+  const SimdLevel entry_level = simd_level();
+  const index_t m = 129, n = 67, k = 173;
+  Rng rng(7);
+  std::vector<double> A(static_cast<std::size_t>(m * k));
+  std::vector<double> B(static_cast<std::size_t>(k * n));
+  dmtk::fill_uniform(A, rng, -1.0, 1.0);
+  dmtk::fill_uniform(B, rng, -1.0, 1.0);
+  std::vector<double> Cref(static_cast<std::size_t>(m * n), 0.0);
+  set_simd_level(SimdLevel::Scalar);
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+       A.data(), m, B.data(), k, 0.0, Cref.data(), m, 2);
+  bool ok = true;
+  for (SimdLevel lvl : {SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
+    if (set_simd_level(lvl) != lvl) continue;  // not on this hardware
+    std::vector<double> C(static_cast<std::size_t>(m * n), 0.0);
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+         A.data(), m, B.data(), k, 0.0, C.data(), m, 2);
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < C.size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(C[i] - Cref[i]));
+    }
+    const double tol = 1e-12 * static_cast<double>(k);
+    std::printf("check %-8s vs scalar: max|diff| = %.3e (tol %.3e) %s\n",
+                std::string(to_string(lvl)).c_str(), max_diff, tol,
+                max_diff <= tol ? "OK" : "FAIL");
+    if (max_diff > tol) ok = false;
+  }
+  set_simd_level(entry_level);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmtk::blas;
+  std::vector<int> sizes{256, 512, 1024};
+  std::vector<int> threads{1, 2, 4};
+  int trials = 3;
+  const char* json_path = nullptr;
+  bool do_check = false;
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
+    if (arg == "--sizes") {
+      sizes = parse_csv_ints(next());
+    } else if (arg == "--threads") {
+      threads = parse_csv_ints(next());
+    } else if (arg == "--trials") {
+      trials = std::max(1, std::atoi(next()));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--check") {
+      do_check = true;
+    } else if (arg == "--tiny") {
+      tiny = true;
+      sizes = {64, 128};
+      threads = {1, 2};
+      trials = 1;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--sizes csv] [--threads csv] [--trials n] "
+          "[--json path] [--check] [--tiny]\n",
+          argv[0]);
+      return 0;
+    }
+  }
+
+  std::printf("=== gemm roofline ===\n");
+  std::printf("cpu: %s\n", cpu_model_name().c_str());
+  // "dispatch simd" reflects the DMTK_SIMD override (if any); CI greps it
+  // to prove the env path actually installs the requested kernel.
+  std::printf("hardware_threads=%d  detected simd=%s  dispatch simd=%s  "
+              "trials=%d\n",
+              dmtk::hardware_threads(),
+              std::string(to_string(hardware_simd_level())).c_str(),
+              std::string(to_string(simd_level())).c_str(), trials);
+
+  if (do_check && !check_equivalence()) {
+    std::fprintf(stderr, "kernel equivalence check FAILED\n");
+    return 1;
+  }
+
+  // Shapes: square cubes plus MTTKRP-shaped cases — a tall-skinny
+  // external-mode product (m = I_n, n = C, k = column block) and the
+  // internal-mode batched sweep of small per-block multiplies.
+  std::vector<Shape> shapes;
+  for (int s : sizes) {
+    shapes.push_back({"square", s, s, s, 1});
+  }
+  if (tiny) {
+    shapes.push_back({"skinny", 2048, 16, 128, 1});
+    shapes.push_back({"batched", 128, 16, 32, 16});
+  } else {
+    shapes.push_back({"skinny", 65536, 16, 256, 1});
+    shapes.push_back({"skinny", 16384, 32, 1024, 1});
+    shapes.push_back({"batched", 512, 16, 64, 128});
+  }
+
+  // Under a DMTK_SIMD override, measure ONLY the level the env installed —
+  // the run then genuinely exercises the override path instead of
+  // re-selecting every kernel itself. Without one, sweep all of them.
+  std::vector<SimdLevel> levels;
+  if (std::getenv("DMTK_SIMD") != nullptr) {
+    levels.push_back(simd_level());
+  } else {
+    levels.push_back(SimdLevel::Scalar);
+    if (hardware_simd_level() != SimdLevel::Scalar) {
+      levels.push_back(SimdLevel::Avx2x4x8);
+      levels.push_back(SimdLevel::Avx2x8x8);
+    }
+  }
+
+  const SimdLevel entry_level = simd_level();
+  std::vector<Result> results;
+  std::printf("%-8s %22s %9s %8s %10s %12s\n", "case", "m x n x k (xbatch)",
+              "kernel", "threads", "seconds", "GFLOP/s");
+  for (const Shape& s : shapes) {
+    const std::size_t asz = static_cast<std::size_t>(s.m * s.k) + 4 * 512;
+    const std::size_t bsz = static_cast<std::size_t>(s.k * s.n) + 4 * 512;
+    const std::size_t csz =
+        static_cast<std::size_t>(s.m * s.n) *
+        static_cast<std::size_t>(s.batch > 1 ? s.batch : 1);
+    Rng rng(1234);
+    std::vector<double> A(asz), B(bsz), C(csz, 0.0);
+    dmtk::fill_uniform(A, rng, -1.0, 1.0);
+    dmtk::fill_uniform(B, rng, -1.0, 1.0);
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.n) * static_cast<double>(s.k) *
+                         static_cast<double>(s.batch > 1 ? s.batch : 1);
+    for (SimdLevel lvl : levels) {
+      if (set_simd_level(lvl) != lvl) continue;
+      for (int t : threads) {
+        const double sec = run_case(s, t, trials, A, B, C);
+        const double gf = flops / sec / 1e9;
+        results.push_back({s, lvl, t, sec, gf});
+        char shape_buf[64];
+        std::snprintf(shape_buf, sizeof(shape_buf),
+                      "%lldx%lldx%lld%s", static_cast<long long>(s.m),
+                      static_cast<long long>(s.n), static_cast<long long>(s.k),
+                      s.batch > 1 ? " xB" : "");
+        std::printf("%-8s %22s %9s %8d %10.4f %12.2f\n", s.tag, shape_buf,
+                    std::string(to_string(lvl)).c_str(), t, sec, gf);
+      }
+    }
+  }
+  set_simd_level(entry_level);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    char date[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    std::fprintf(f, "{\n  \"bench\": \"gemm_roofline\",\n");
+    std::fprintf(f, "  \"date\": \"%s\",\n", date);
+    std::fprintf(f, "  \"machine\": {\n    \"cpu\": \"%s\",\n",
+                 cpu_model_name().c_str());
+    std::fprintf(f, "    \"hardware_threads\": %d,\n",
+                 dmtk::hardware_threads());
+    std::fprintf(f, "    \"simd_detected\": \"%s\"\n  },\n",
+                 std::string(to_string(hardware_simd_level())).c_str());
+    std::fprintf(f, "  \"trials\": %d,\n  \"cases\": [\n", trials);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"case\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+          "\"batch\": %lld, \"kernel\": \"%s\", \"threads\": %d, "
+          "\"median_seconds\": %.6f, \"gflops\": %.3f}%s\n",
+          r.shape.tag, static_cast<long long>(r.shape.m),
+          static_cast<long long>(r.shape.n), static_cast<long long>(r.shape.k),
+          static_cast<long long>(r.shape.batch),
+          std::string(to_string(r.level)).c_str(), r.threads, r.seconds,
+          r.gflops, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "blas/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace dmtk::blas {
+
+namespace {
+
+/// AVX2 kernels require both AVX2 (integer/FP 256-bit) and FMA. On
+/// non-x86 builds the builtins are unavailable and the answer is Scalar.
+bool cpu_has_avx2_fma() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// Clamp a requested level to what the CPU can execute.
+SimdLevel clamp_to_hardware(SimdLevel requested) {
+  if (requested != SimdLevel::Scalar && !cpu_has_avx2_fma()) {
+    return SimdLevel::Scalar;
+  }
+  return requested;
+}
+
+SimdLevel initial_level() {
+  if (const char* env = std::getenv("DMTK_SIMD")) {
+    if (const auto parsed = parse_simd_level(env)) {
+      return clamp_to_hardware(*parsed);
+    }
+  }
+  return hardware_simd_level();
+}
+
+std::atomic<SimdLevel>& level_store() {
+  static std::atomic<SimdLevel> level{initial_level()};
+  return level;
+}
+
+}  // namespace
+
+std::string_view to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Avx2x4x8: return "avx2-4x8";
+    case SimdLevel::Avx2x8x8: return "avx2-8x8";
+  }
+  return "?";
+}
+
+std::optional<SimdLevel> parse_simd_level(std::string_view name) {
+  if (name == "scalar") return SimdLevel::Scalar;
+  if (name == "avx2") return SimdLevel::Avx2x8x8;
+  if (name == "avx2-4x8") return SimdLevel::Avx2x4x8;
+  if (name == "avx2-8x8") return SimdLevel::Avx2x8x8;
+  return std::nullopt;
+}
+
+SimdLevel hardware_simd_level() {
+  return cpu_has_avx2_fma() ? SimdLevel::Avx2x8x8 : SimdLevel::Scalar;
+}
+
+SimdLevel simd_level() { return level_store().load(std::memory_order_relaxed); }
+
+SimdLevel set_simd_level(SimdLevel level) {
+  const SimdLevel installed = clamp_to_hardware(level);
+  level_store().store(installed, std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace dmtk::blas

@@ -1,0 +1,48 @@
+#pragma once
+/// \file cpu_features.hpp
+/// \brief Runtime SIMD capability detection and micro-kernel selection.
+///
+/// The GEMM micro-kernel is chosen ONCE per process (first use), from three
+/// inputs in priority order:
+///   1. the DMTK_SIMD environment variable ("scalar", "avx2", "avx2-4x8",
+///      "avx2-8x8") — forcing a level the CPU cannot execute falls back to
+///      the best supported one;
+///   2. set_simd_level(), a programmatic override used by tests and the
+///      roofline bench to compare kernels within one process;
+///   3. CPUID: AVX2+FMA selects the 8x8 AVX2 kernel, anything less the
+///      portable scalar kernel.
+///
+/// The selection is exposed as a level enum rather than a bare function
+/// pointer so the packing code can agree with the kernel on the register
+/// tile shape (MR x NR) it packs for.
+
+#include <optional>
+#include <string_view>
+
+namespace dmtk::blas {
+
+/// Which micro-kernel family (and register-tile shape) GEMM dispatches to.
+enum class SimdLevel {
+  Scalar,    ///< portable C++ 4x8 kernel, compiles everywhere
+  Avx2x4x8,  ///< AVX2/FMA, 4-row x 8-column register tile
+  Avx2x8x8,  ///< AVX2/FMA, 8-row x 8-column register tile (two 8x4 passes)
+};
+
+[[nodiscard]] std::string_view to_string(SimdLevel level);
+
+/// Parse a DMTK_SIMD value. "avx2" means the default AVX2 tile (8x8).
+[[nodiscard]] std::optional<SimdLevel> parse_simd_level(std::string_view name);
+
+/// Best level this CPU can execute (CPUID, ignoring the env override).
+[[nodiscard]] SimdLevel hardware_simd_level();
+
+/// The level GEMM currently dispatches to (env override applied on first
+/// call, then cached).
+[[nodiscard]] SimdLevel simd_level();
+
+/// Override the dispatch level for the rest of the process (clamped to
+/// hardware_simd_level()'s family: asking for AVX2 on a non-AVX2 machine
+/// selects Scalar). Returns the level actually installed.
+SimdLevel set_simd_level(SimdLevel level);
+
+}  // namespace dmtk::blas

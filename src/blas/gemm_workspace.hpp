@@ -1,0 +1,120 @@
+#pragma once
+/// \file gemm_workspace.hpp
+/// \brief Caller-provided packing workspace for the blocked GEMM/SYRK path.
+///
+/// The BLIS-style kernel packs operand panels (KC x NC of op(B) shared by
+/// the team, MC x KC of op(A) per thread). PR 1's plan layer guarantees
+/// that MttkrpPlan::execute() performs no heap allocation; to extend that
+/// guarantee INTO the BLAS layer, every gemm/syrk/gemm_batched entry point
+/// accepts a GemmWorkspace view over caller-owned memory (in practice a
+/// block of the ExecContext's WorkspaceArena). Callers that pass none fall
+/// back to a per-thread thread_local arena that grows at most a few times
+/// per process and is reused across calls; the fallback's growth events
+/// are counted (gemm_internal_allocs()) so tests can prove the hot paths
+/// never hit it.
+///
+/// Sizing is conservative over every micro-kernel tile shape (MR, NR <= 8),
+/// so one reservation is valid whatever DMTK_SIMD selects at run time.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+/// Cache-blocking parameters (elements, not bytes): KC x NR B-strips sit in
+/// L1 during the micro-kernel, MC x KC packed A in L2, KC x NC packed B in
+/// L3. Multiples of every supported MR/NR so full blocks tile exactly.
+inline constexpr index_t kGemmMC = 96;
+inline constexpr index_t kGemmKC = 256;
+inline constexpr index_t kGemmNC = 1024;
+
+/// Largest register-tile extents over all dispatchable micro-kernels;
+/// workspace sizing rounds panel extents up to these.
+inline constexpr index_t kGemmMaxMR = 8;
+inline constexpr index_t kGemmMaxNR = 8;
+
+/// Non-owning view of a scratch block measured in doubles (the float
+/// instantiation reinterprets it; a double slot holds two floats, so
+/// double-based sizing is always sufficient). The kernel aligns the base
+/// up to a cache line internally — the sizing helpers below include that
+/// slack — so any double buffer works, though WorkspaceArena blocks are
+/// already aligned.
+struct GemmWorkspace {
+  double* base = nullptr;
+  std::size_t doubles = 0;
+  [[nodiscard]] bool valid() const { return base != nullptr; }
+};
+
+namespace detail {
+
+/// Round a panel-block request up to cache-line granularity so per-thread
+/// slices never share a line (mirrors WorkspaceArena::aligned without
+/// depending on exec/).
+[[nodiscard]] constexpr std::size_t ws_align(std::size_t doubles) {
+  constexpr std::size_t kLine = 64 / sizeof(double);
+  return (doubles + kLine - 1) / kLine * kLine;
+}
+
+[[nodiscard]] constexpr index_t round_up(index_t v, index_t to) {
+  return (v + to - 1) / to * to;
+}
+
+/// Doubles for one shared packed-B panel of a (m x n x k) GEMM.
+[[nodiscard]] constexpr std::size_t packed_b_doubles(index_t n, index_t k) {
+  const index_t kc = k < kGemmKC ? (k > 0 ? k : 1) : kGemmKC;
+  const index_t nc = round_up(n < kGemmNC ? (n > 0 ? n : 1) : kGemmNC,
+                              kGemmMaxNR);
+  return ws_align(static_cast<std::size_t>(nc * kc));
+}
+
+/// Doubles for one per-thread packed-A block of a (m x n x k) GEMM.
+[[nodiscard]] constexpr std::size_t packed_a_doubles(index_t m, index_t k) {
+  const index_t kc = k < kGemmKC ? (k > 0 ? k : 1) : kGemmKC;
+  const index_t mc = round_up(m < kGemmMC ? (m > 0 ? m : 1) : kGemmMC,
+                              kGemmMaxMR);
+  return ws_align(static_cast<std::size_t>(mc * kc));
+}
+
+}  // namespace detail
+
+/// Workspace doubles one gemm(m, n, k) call needs at `threads` threads
+/// (shared B panel + one A block per thread). Layout-independent: callers
+/// with RowMajor outputs should pass the dimensions they call with (the
+/// internal swap is symmetric in the panel sizes' upper bound).
+[[nodiscard]] constexpr std::size_t gemm_workspace_doubles(index_t m,
+                                                           index_t n,
+                                                           index_t k,
+                                                           int threads) {
+  const std::size_t nt = threads > 0 ? static_cast<std::size_t>(threads) : 1;
+  // RowMajor recursion swaps m and n, so bound both orientations.
+  const std::size_t b = std::max(detail::packed_b_doubles(n, k),
+                                 detail::packed_b_doubles(m, k));
+  const std::size_t a = std::max(detail::packed_a_doubles(m, k),
+                                 detail::packed_a_doubles(n, k));
+  // One cache line of slack so the kernel can align an arbitrary base.
+  return b + nt * a + detail::ws_align(1);
+}
+
+/// Workspace doubles for a gemm_batched(m, n, k) sweep at `threads`
+/// threads: every thread runs the sequential kernel on its items, so each
+/// needs a private (B panel + A block) pair.
+[[nodiscard]] constexpr std::size_t gemm_batched_workspace_doubles(
+    index_t m, index_t n, index_t k, int threads) {
+  const std::size_t nt = threads > 0 ? static_cast<std::size_t>(threads) : 1;
+  return nt * gemm_workspace_doubles(m, n, k, 1);
+}
+
+/// Workspace doubles one syrk(n, k) call needs at `threads` threads (the
+/// blocked-GEMM column sweep of syrk.cpp).
+[[nodiscard]] std::size_t syrk_workspace_doubles(index_t n, index_t k,
+                                                 int threads);
+
+/// Process-wide count of internal fallback-arena growth events: how many
+/// times a gemm/syrk/gemm_batched call had to (re)allocate because the
+/// caller provided no (or too small a) workspace. Flat across a region of
+/// calls == those calls were heap-free inside the BLAS layer.
+[[nodiscard]] std::size_t gemm_internal_allocs();
+
+}  // namespace dmtk::blas

@@ -1,0 +1,126 @@
+#pragma once
+/// \file microkernel_avx2.hpp
+/// \brief AVX2/FMA GEMM micro-kernels for double precision.
+///
+/// Same contract as microkernel_scalar.hpp: full MR x NR tiles over packed
+/// panels, column-major C accumulation with an alpha scale folded into the
+/// writeback. Vectorization runs along the M (row) direction, which is the
+/// contiguous direction of both the packed A strips and the column-major C
+/// tile, so the writeback is two (or one) vector load/fma/store per column
+/// with no in-register transpose.
+///
+/// The functions carry GCC/Clang `target("avx2,fma")` attributes instead of
+/// requiring -mavx2 on the whole translation unit: the rest of the library
+/// stays baseline-x86-64 so the binary still runs on machines without AVX2
+/// (runtime dispatch in cpu_features.{hpp,cpp} keeps these paths cold
+/// there).
+///
+/// Kernels:
+///  - 4x8: one ymd row-vector per column, 8 accumulators. Low register
+///    pressure; the shape PR 1 inherited from the scalar kernel.
+///  - 8x8: two 8x4 half-tiles over the same packed A strip (kc x 8 doubles
+///    = 16 KiB at KC=256, L1-resident on the second pass). Each half keeps
+///    8 accumulators + 2 A vectors + 1 broadcast in registers; the taller
+///    tile halves the B-broadcast traffic per FMA relative to 4x8.
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DMTK_HAVE_AVX2_KERNELS 1
+
+#include <immintrin.h>
+
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+#define DMTK_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+/// 4x8 tile: C(0:4, 0:8) += alpha * Ap(kc x 4-strips) . Bp(kc x 8-strips).
+DMTK_TARGET_AVX2 inline void microkernel_avx2_d4x8(index_t kc, double alpha,
+                                                   const double* Ap,
+                                                   const double* Bp, double* C,
+                                                   index_t ldc) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  __m256d acc4 = _mm256_setzero_pd();
+  __m256d acc5 = _mm256_setzero_pd();
+  __m256d acc6 = _mm256_setzero_pd();
+  __m256d acc7 = _mm256_setzero_pd();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d a = _mm256_load_pd(Ap + p * 4);
+    const double* b = Bp + p * 8;
+    acc0 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 0), acc0);
+    acc1 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 1), acc1);
+    acc2 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 2), acc2);
+    acc3 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 3), acc3);
+    acc4 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 4), acc4);
+    acc5 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 5), acc5);
+    acc6 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 6), acc6);
+    acc7 = _mm256_fmadd_pd(a, _mm256_broadcast_sd(b + 7), acc7);
+  }
+  const __m256d va = _mm256_set1_pd(alpha);
+  __m256d* const accs[8] = {&acc0, &acc1, &acc2, &acc3,
+                            &acc4, &acc5, &acc6, &acc7};
+  for (int j = 0; j < 8; ++j) {
+    double* col = C + j * ldc;
+    _mm256_storeu_pd(col,
+                     _mm256_fmadd_pd(va, *accs[j], _mm256_loadu_pd(col)));
+  }
+}
+
+/// 8x4 half-tile helper: C(0:8, 0:4) += alpha * Ap(kc x 8-strips) . the
+/// 4-column sub-strip Bp[p*8 + 0..3]. The B strip stride stays 8 (the
+/// packing format of the enclosing 8x8 tile).
+DMTK_TARGET_AVX2 inline void avx2_d8x4_half(index_t kc, double alpha,
+                                            const double* Ap, const double* Bp,
+                                            double* C, index_t ldc) {
+  __m256d c0l = _mm256_setzero_pd(), c0h = _mm256_setzero_pd();
+  __m256d c1l = _mm256_setzero_pd(), c1h = _mm256_setzero_pd();
+  __m256d c2l = _mm256_setzero_pd(), c2h = _mm256_setzero_pd();
+  __m256d c3l = _mm256_setzero_pd(), c3h = _mm256_setzero_pd();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d al = _mm256_load_pd(Ap + p * 8);
+    const __m256d ah = _mm256_load_pd(Ap + p * 8 + 4);
+    const double* b = Bp + p * 8;
+    __m256d bj = _mm256_broadcast_sd(b + 0);
+    c0l = _mm256_fmadd_pd(al, bj, c0l);
+    c0h = _mm256_fmadd_pd(ah, bj, c0h);
+    bj = _mm256_broadcast_sd(b + 1);
+    c1l = _mm256_fmadd_pd(al, bj, c1l);
+    c1h = _mm256_fmadd_pd(ah, bj, c1h);
+    bj = _mm256_broadcast_sd(b + 2);
+    c2l = _mm256_fmadd_pd(al, bj, c2l);
+    c2h = _mm256_fmadd_pd(ah, bj, c2h);
+    bj = _mm256_broadcast_sd(b + 3);
+    c3l = _mm256_fmadd_pd(al, bj, c3l);
+    c3h = _mm256_fmadd_pd(ah, bj, c3h);
+  }
+  const __m256d va = _mm256_set1_pd(alpha);
+  __m256d* const lo[4] = {&c0l, &c1l, &c2l, &c3l};
+  __m256d* const hi[4] = {&c0h, &c1h, &c2h, &c3h};
+  for (int j = 0; j < 4; ++j) {
+    double* col = C + j * ldc;
+    _mm256_storeu_pd(col, _mm256_fmadd_pd(va, *lo[j], _mm256_loadu_pd(col)));
+    _mm256_storeu_pd(col + 4,
+                     _mm256_fmadd_pd(va, *hi[j], _mm256_loadu_pd(col + 4)));
+  }
+}
+
+/// 8x8 tile as two 8x4 halves; the second pass re-reads the packed A strip
+/// from L1.
+DMTK_TARGET_AVX2 inline void microkernel_avx2_d8x8(index_t kc, double alpha,
+                                                   const double* Ap,
+                                                   const double* Bp, double* C,
+                                                   index_t ldc) {
+  avx2_d8x4_half(kc, alpha, Ap, Bp, C, ldc);
+  avx2_d8x4_half(kc, alpha, Ap, Bp + 4, C + 4 * ldc, ldc);
+}
+
+#undef DMTK_TARGET_AVX2
+
+}  // namespace dmtk::blas
+
+#else
+#define DMTK_HAVE_AVX2_KERNELS 0
+#endif

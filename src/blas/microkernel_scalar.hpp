@@ -1,0 +1,35 @@
+#pragma once
+/// \file microkernel_scalar.hpp
+/// \brief Portable register-tile GEMM micro-kernel.
+///
+/// Kernel contract (shared with microkernel_avx2.hpp): given packed panels
+///   Ap — kc strips of MR values, Ap[p*MR + i] = op(A)(i, p),
+///   Bp — kc strips of NR values, Bp[p*NR + j] = op(B)(p, j),
+/// accumulate C(i, j) += alpha * sum_p Ap[p*MR+i] * Bp[p*NR+j] into a
+/// column-major C with leading dimension ldc. The tile is always FULL:
+/// m/n edges are zero-padded by the packing routines and routed through a
+/// local MR x NR buffer by the caller, so kernels never branch on mr/nr.
+
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+template <typename T, int MR, int NR>
+void microkernel_scalar(index_t kc, T alpha, const T* Ap, const T* Bp, T* C,
+                        index_t ldc) {
+  T acc[MR][NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* a = Ap + p * MR;
+    const T* b = Bp + p * NR;
+    for (int i = 0; i < MR; ++i) {
+      const T ai = a[i];
+      for (int j = 0; j < NR; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (int j = 0; j < NR; ++j) {
+    T* col = C + j * ldc;
+    for (int i = 0; i < MR; ++i) col[i] += alpha * acc[i][j];
+  }
+}
+
+}  // namespace dmtk::blas

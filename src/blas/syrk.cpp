@@ -2,56 +2,74 @@
 
 #include <algorithm>
 
-#include "blas/level1.hpp"
+#include "blas/gemm.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 
 namespace dmtk::blas {
 
-template <typename T>
-void syrk(Trans trans, index_t n, index_t k, T alpha, const T* A, index_t lda,
-          T beta, T* C, index_t ldc, int threads) {
-  DMTK_CHECK(n >= 0 && k >= 0, "syrk: negative dimension");
-  DMTK_CHECK(ldc >= std::max<index_t>(1, n), "syrk: ldc too small");
-  const int nt = resolve_threads(threads);
+namespace {
 
-  // Compute the upper triangle (including diagonal), then mirror. Pairs
-  // (i, j) with i <= j are flattened and block-partitioned across threads;
-  // in the Gram-matrix use case n = C <= 50, so work per pair (a length-k
-  // dot product over tall factor matrices) dominates and balance is fine.
-  const index_t npairs = n * (n + 1) / 2;
-  parallel_region(nt, [&](int t, int nteam) {
-    const Range r = block_range(npairs, nteam, t);
-    for (index_t idx = r.begin; idx < r.end; ++idx) {
-      // Unflatten idx -> (i, j), i <= j, column-by-column ordering:
-      // pairs of column j occupy [j(j+1)/2, (j+1)(j+2)/2).
-      index_t j = static_cast<index_t>(
-          (std::sqrt(8.0 * static_cast<double>(idx) + 1.0) - 1.0) / 2.0);
-      while ((j + 1) * (j + 2) / 2 <= idx) ++j;
-      while (j * (j + 1) / 2 > idx) --j;
-      const index_t i = idx - j * (j + 1) / 2;
-      T s;
-      if (trans == Trans::Trans) {
-        // A is k x n; entry (i,j) of A^T A is column_i . column_j.
-        s = dot(k, A + i * lda, index_t{1}, A + j * lda, index_t{1});
-      } else {
-        // A is n x k; entry (i,j) of A A^T is row_i . row_j.
-        s = dot(k, A + i, lda, A + j, lda);
-      }
-      T& cij = C[i + j * ldc];
-      cij = alpha * s + beta * cij;
+/// Column-block width of the triangular GEMM sweep. Each block computes the
+/// upper trapezoid C(0:j0+jb, j0:j0+jb) in one GEMM call, so only the
+/// jb x jb diagonal blocks do (at most half) redundant below-diagonal work
+/// — a <= NB/(2n) overhead that vanishes for the tall-k Gram shapes.
+constexpr index_t kSyrkNB = 128;
+
+/// Mirror the strictly-upper triangle into the lower one (bitwise copies,
+/// never recomputed — the symmetric-output contract).
+template <typename T>
+void mirror_lower(index_t n, T* C, index_t ldc, int threads) {
+  parallel_region(threads, [&](int t, int nteam) {
+    const Range r = block_range(n, nteam, t);
+    for (index_t j = r.begin; j < r.end; ++j) {
+      for (index_t i = 0; i < j; ++i) C[j + i * ldc] = C[i + j * ldc];
     }
   });
+}
 
-  // Mirror the strictly-upper triangle into the lower one.
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = 0; i < j; ++i) C[j + i * ldc] = C[i + j * ldc];
+}  // namespace
+
+std::size_t syrk_workspace_doubles(index_t n, index_t k, int threads) {
+  return gemm_workspace_doubles(n, std::min(n, kSyrkNB), k, threads);
+}
+
+template <typename T>
+void syrk(Trans trans, index_t n, index_t k, T alpha, const T* A, index_t lda,
+          T beta, T* C, index_t ldc, int threads, const GemmWorkspace& ws) {
+  DMTK_CHECK(n >= 0 && k >= 0, "syrk: negative dimension");
+  DMTK_CHECK(ldc >= std::max<index_t>(1, n), "syrk: ldc too small");
+  if (n == 0) return;
+  const int nt = resolve_threads(threads);
+
+  // Upper trapezoid per NB-column block, each as one packed GEMM (beta
+  // applies here: every upper-triangle entry is touched by exactly one
+  // block). The k == 0 / alpha == 0 degenerate scales fall out of gemm's
+  // own early path.
+  for (index_t j0 = 0; j0 < n; j0 += kSyrkNB) {
+    const index_t jb = std::min<index_t>(kSyrkNB, n - j0);
+    const index_t mrows = j0 + jb;
+    if (trans == Trans::Trans) {
+      // A is k x n; C(0:mrows, j0:j0+jb) <- alpha * A(:, 0:mrows)^T *
+      // A(:, j0:j0+jb) + beta * C.
+      gemm(Layout::ColMajor, Trans::Trans, Trans::NoTrans, mrows, jb, k,
+           alpha, A, lda, A + j0 * lda, lda, beta, C + j0 * ldc, ldc, nt, ws);
+    } else {
+      // A is n x k; C(0:mrows, j0:j0+jb) <- alpha * A(0:mrows, :) *
+      // A(j0:j0+jb, :)^T + beta * C.
+      gemm(Layout::ColMajor, Trans::NoTrans, Trans::Trans, mrows, jb, k,
+           alpha, A, lda, A + j0, lda, beta, C + j0 * ldc, ldc, nt, ws);
+    }
   }
+
+  mirror_lower(n, C, ldc, nt);
 }
 
 template void syrk<float>(Trans, index_t, index_t, float, const float*,
-                          index_t, float, float*, index_t, int);
+                          index_t, float, float*, index_t, int,
+                          const GemmWorkspace&);
 template void syrk<double>(Trans, index_t, index_t, double, const double*,
-                           index_t, double, double*, index_t, int);
+                           index_t, double, double*, index_t, int,
+                           const GemmWorkspace&);
 
 }  // namespace dmtk::blas

@@ -56,7 +56,12 @@ void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
             MttkrpTimings* timings) {
   // One-shot path: a transient context + plan. The plan validates shape,
   // mode, and rank; it reads the rank off the first factor, so check the
-  // factor count here first.
+  // factor count here first. The transient plan also carves the BLAS
+  // packing workspace out of the transient arena, so even one-shot calls
+  // run the blocked GEMM/batched-GEMM paths heap-free past this point —
+  // callers in ALS loops should still prefer a persistent plan, which
+  // amortizes this arena (and the dispatch/partition planning) across
+  // sweeps.
   DMTK_CHECK(static_cast<index_t>(factors.size()) == X.order(),
              "mttkrp: need one factor matrix per mode");
   DMTK_CHECK(!factors.empty(), "mttkrp: empty factor list");

@@ -85,6 +85,12 @@ MttkrpPlan::MttkrpPlan(const ExecContext& ctx, std::span<const index_t> dims,
   fl_full_.resize(full_.extents.size());
   fl_left_.resize(left_.extents.size());
   fl_right_.resize(right_.extents.size());
+  if (resolved_ == MttkrpMethod::OneStep && mode_ > 0 && mode_ < N - 1) {
+    // Internal-mode batched-GEMM item pointers (filled per execute()).
+    batch_a_.resize(static_cast<std::size_t>(IRn_));
+    batch_b_.resize(static_cast<std::size_t>(IRn_));
+    batch_c_.resize(static_cast<std::size_t>(IRn_));
+  }
   packed_full_.resize(full_.extents.size());
   packed_left_.resize(left_.extents.size());
   packed_right_.resize(right_.extents.size());
@@ -124,6 +130,13 @@ void MttkrpPlan::plan_workspace() {
     }
   };
 
+  // BLAS packing workspace for the method's GEMM calls, carved from the
+  // same frame so the blocked kernel runs heap-free (gemm_workspace.hpp).
+  auto plan_gemm_ws = [&](index_t gm, index_t gk, int gthreads) {
+    gemm_ws_doubles_ = blas::gemm_workspace_doubles(gm, C, gk, gthreads);
+    off_gemm_ws_ = take(gemm_ws_doubles_);
+  };
+
   switch (resolved_) {
     case MttkrpMethod::Reference:
       break;  // only the small member index scratch
@@ -133,11 +146,15 @@ void MttkrpPlan::plan_workspace() {
       // Two ping-pong Kronecker accumulators of up to cosize doubles.
       off_acc_ = take(2 * WorkspaceArena::aligned(
                               static_cast<std::size_t>(cosize_)));
+      plan_gemm_ws(In_, cosize_, nt_);
       break;
     case MttkrpMethod::OneStepSeq:
       plan_packed(full_);
       p_need(full_);
       off_kt_full_ = take(static_cast<std::size_t>(C * cosize_));
+      // Mode 0 runs one (In x C x cosize) GEMM; other modes a sequence of
+      // (In x C x ILn) block products — all on one thread.
+      plan_gemm_ws(In_, mode_ == 0 ? cosize_ : ILn_, 1);
       break;
     case MttkrpMethod::OneStep:
       if (mode_ == 0 || mode_ == N - 1) {
@@ -146,16 +163,25 @@ void MttkrpPlan::plan_workspace() {
         stride_thread_kt_ = WorkspaceArena::aligned(
             static_cast<std::size_t>(C * ctx_->max_block(cosize_)));
         off_thread_kt_ = take(snt * stride_thread_kt_);
+        // Each worker runs a private sequential GEMM on its column block.
+        stride_gemm_ws_ = WorkspaceArena::aligned(blas::gemm_workspace_doubles(
+            In_, C, ctx_->max_block(cosize_), 1));
+        off_gemm_ws_ = take(snt * stride_gemm_ws_);
       } else {
         plan_packed(left_);
         p_need(left_);
         off_klt_ = take(static_cast<std::size_t>(C * ILn_));
-        stride_thread_kt_ =
-            WorkspaceArena::aligned(static_cast<std::size_t>(C * ILn_));
-        off_thread_kt_ = take(snt * stride_thread_kt_);
+        // All I_Rn per-block KRP tiles, materialized for the batched GEMM
+        // sweep (block j occupies columns [j*ILn, (j+1)*ILn) of the full
+        // transposed KRP). Costs the same C x cosize the external modes'
+        // per-thread tiles already put in the shared arena.
+        off_kt_full_ = take(static_cast<std::size_t>(C * cosize_));
         stride_thread_row_ =
             WorkspaceArena::aligned(static_cast<std::size_t>(C));
         off_thread_row_ = take(snt * stride_thread_row_);
+        gemm_ws_doubles_ =
+            blas::gemm_batched_workspace_doubles(In_, C, ILn_, nt_);
+        off_gemm_ws_ = take(gemm_ws_doubles_);
       }
       stride_partial_ =
           WorkspaceArena::aligned(static_cast<std::size_t>(In_ * C));
@@ -175,6 +201,10 @@ void MttkrpPlan::plan_workspace() {
       if (twostep_is_defined(N, mode_)) {
         const index_t inter_rows = twostep_left_ ? In_ * IRn_ : ILn_ * In_;
         off_inter_ = take(static_cast<std::size_t>(inter_rows * C));
+        plan_gemm_ws(inter_rows, twostep_left_ ? ILn_ : IRn_, nt_);
+      } else {
+        // Degenerate externals: the one partial-MTTKRP GEMM is the answer.
+        plan_gemm_ws(In_, mode_ == 0 ? IRn_ : ILn_, nt_);
       }
       break;
     case MttkrpMethod::Auto:
@@ -364,7 +394,8 @@ void MttkrpPlan::exec_reorder(const Tensor& X, std::span<const Matrix> factors,
     PhaseTimer pt(&timings_.gemm);
     blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
                blas::Trans::NoTrans, In_, C, cosize_, 1.0, Xn, In_, K, cosize_,
-               0.0, M.data(), M.ld(), nt_);
+               0.0, M.data(), M.ld(), nt_,
+               blas::GemmWorkspace{base + off_gemm_ws_, gemm_ws_doubles_});
   }
 }
 
@@ -383,11 +414,12 @@ void MttkrpPlan::exec_onestep_seq(const Tensor& X,
     krp_transposed_ws(full_, packed_full_, base, off_kt_full_, /*threads=*/1);
   }
   PhaseTimer pt(&timings_.gemm);
+  const blas::GemmWorkspace gws{base + off_gemm_ws_, gemm_ws_doubles_};
   if (mode_ == 0) {
     // X(0) is column-major: a single BLAS call (Alg 2 line 4).
     blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
                blas::Trans::Trans, In_, C, cosize_, 1.0, X.data(), In_, Kt, C,
-               0.0, M.data(), M.ld(), /*threads=*/1);
+               0.0, M.data(), M.ld(), /*threads=*/1, gws);
     return;
   }
   // Block inner product over the I_Rn natural row-major blocks (lines 6-10).
@@ -395,7 +427,8 @@ void MttkrpPlan::exec_onestep_seq(const Tensor& X,
   for (index_t j = 0; j < IRn_; ++j) {
     blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
                In_, C, ILn_, 1.0, X.mode_block(mode_, j), ILn_,
-               Kt + j * ILn_ * C, C, 1.0, M.data(), M.ld(), /*threads=*/1);
+               Kt + j * ILn_ * C, C, 1.0, M.data(), M.ld(), /*threads=*/1,
+               gws);
   }
 }
 
@@ -439,21 +472,24 @@ void MttkrpPlan::exec_onestep_external(const Tensor& X,
         detail::krp_rows_ws(packed_full_, full_.extents, C, r.begin, r.end, Kt, C, P,
                     dg);
       }
-      // Local GEMM against the block's columns of X(n) — line 8.
+      // Local GEMM against the block's columns of X(n) — line 8. The
+      // packing workspace is this block's private slice of the frame.
       PhaseTimer pt(&t_b_[sb]);
+      const blas::GemmWorkspace gws{
+          base + off_gemm_ws_ + sb * stride_gemm_ws_, stride_gemm_ws_};
       if (mode_ == 0) {
         // Column block of the column-major X(0): contiguous panel.
         blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
                    blas::Trans::Trans, In_, C, r.size(), 1.0,
                    X.data() + r.begin * In_, In_, Kt, C, 0.0, Mt, In_,
-                   /*threads=*/1);
+                   /*threads=*/1, gws);
       } else {
         // mode == N-1: X(N-1) is In x cols row-major (ld = cols); a column
         // block is a row block of its column-major transpose view.
         blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
                    blas::Trans::Trans, In_, C, r.size(), 1.0,
                    X.data() + r.begin, cols, Kt, C, 0.0, Mt, In_,
-                   /*threads=*/1);
+                   /*threads=*/1, gws);
       }
     }
   });
@@ -477,9 +513,14 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
   const double* KLt = base + off_klt_;
   gather_factors(factors, List::Right, fl_right_);
   std::fill(t_a_.begin(), t_a_.end(), 0.0);
-  std::fill(t_b_.begin(), t_b_.end(), 0.0);
 
-  // Strided over the planned nt_ partitions (see exec_onestep_external).
+  // Materialize every per-block KRP tile: tile j is row j of the right KRP
+  // (line 14) Hadamard-scaled against the shared left KRP (line 15), and
+  // lands at columns [j*ILn, (j+1)*ILn) of the full transposed KRP buffer.
+  // Strided over the planned nt_ partitions (see exec_onestep_external);
+  // the zero-fill of ALL nt_ partial outputs rides along so every slot
+  // reads as zero in the reduction even when its block is empty.
+  double* Kt = base + off_kt_full_;
   parallel_region(nt_, [&](int t, int nteam) {
     for (int b = t; b < nt_; b += nteam) {
       const std::size_t sb = static_cast<std::size_t>(b);
@@ -487,31 +528,47 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
       double* Mt = base + off_partials_ + sb * stride_partial_;
       std::fill(Mt, Mt + In_ * C, 0.0);
       if (r.empty()) continue;
-      double* Ktile = base + off_thread_kt_ + sb * stride_thread_kt_;
       double* krrow = base + off_thread_row_ + sb * stride_thread_row_;
       index_t* dg = digits_.data() + sb * digits_stride_;
+      PhaseTimer pt(&t_a_[sb]);
       for (index_t j = r.begin; j < r.end; ++j) {
-        {
-          PhaseTimer pt(&t_a_[sb]);
-          // Row j of the right KRP (line 14), then the Khatri-Rao product
-          // KR(j,:) (.) KL realized as a column-wise Hadamard scale (line
-          // 15).
-          krp_row_ws(fl_right_, right_.extents, j, C, krrow, dg);
-          for (index_t rl = 0; rl < ILn_; ++rl) {
-            blas::hadamard(C, krrow, KLt + rl * C, Ktile + rl * C);
-          }
+        double* Ktile = Kt + j * ILn_ * C;
+        krp_row_ws(fl_right_, right_.extents, j, C, krrow, dg);
+        for (index_t rl = 0; rl < ILn_; ++rl) {
+          blas::hadamard(C, krrow, KLt + rl * C, Ktile + rl * C);
         }
-        PhaseTimer pt(&t_b_[sb]);
-        // Mt += X(n)[j] * K[j] (line 16); the block is In x ILn row-major.
-        blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                   blas::Trans::Trans, In_, C, ILn_, 1.0,
-                   X.mode_block(mode_, j), ILn_, Ktile, C, 1.0, Mt, In_,
-                   /*threads=*/1);
       }
     }
   });
   timings_.krp_lr += max_of(t_a_);
-  timings_.gemm += max_of(t_b_);
+
+  // One batched sweep over the I_Rn per-block multiplies (line 16): item j
+  // accumulates X(n)[j] * K[j] into the partial owned by j's planned
+  // block, so consecutive items share an output — gemm_batched's
+  // accumulation-group contract — and the partials reduce exactly as
+  // before. The sweep keeps the whole team busy even when I_Rn < nt
+  // (the batched kernel splits rows inside the groups).
+  {
+    PhaseTimer pt(&timings_.gemm);
+    index_t j = 0;
+    for (int b = 0; b < nt_; ++b) {
+      const Range r = block_range(IRn_, nt_, b);
+      double* Mt =
+          base + off_partials_ + static_cast<std::size_t>(b) * stride_partial_;
+      for (; j < r.end; ++j) {
+        const std::size_t sj = static_cast<std::size_t>(j);
+        batch_a_[sj] = X.mode_block(mode_, j);  // In x ILn row-major
+        batch_b_[sj] = Kt + j * ILn_ * C;
+        batch_c_[sj] = Mt;
+      }
+    }
+    blas::gemm_batched(blas::Layout::ColMajor, blas::Trans::Trans,
+                       blas::Trans::Trans, In_, C, ILn_, 1.0, batch_a_.data(),
+                       ILn_, batch_b_.data(), C, 1.0, batch_c_.data(), In_,
+                       IRn_, nt_,
+                       blas::GemmWorkspace{base + off_gemm_ws_,
+                                           gemm_ws_doubles_});
+  }
   reduce_partials(base, M, &timings_.reduce);
 }
 
@@ -539,13 +596,14 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
   }
   const double* KLt = base + off_klt_;
   const double* KRt = base + off_krt_;
+  const blas::GemmWorkspace gws{base + off_gemm_ws_, gemm_ws_doubles_};
 
   if (mode_ == 0) {
     // Degenerate: the right partial MTTKRP IS the answer (full MTTKRP).
     PhaseTimer pt(&timings_.gemm);
     blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
                blas::Trans::Trans, In_, C, IRn_, 1.0, X.data(), In_, KRt, C,
-               0.0, M.data(), M.ld(), nt_);
+               0.0, M.data(), M.ld(), nt_, gws);
     return;
   }
   if (mode_ == N - 1) {
@@ -553,7 +611,7 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
     PhaseTimer pt(&timings_.gemm);
     blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
                In_, C, ILn_, 1.0, X.data(), ILn_, KLt, C, 0.0, M.data(),
-               M.ld(), nt_);
+               M.ld(), nt_, gws);
     return;
   }
 
@@ -565,7 +623,7 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
       PhaseTimer pt(&timings_.gemm);
       blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
                  blas::Trans::Trans, In_ * IRn_, C, ILn_, 1.0, X.data(), ILn_,
-                 KLt, C, 0.0, inter, In_ * IRn_, nt_);
+                 KLt, C, 0.0, inter, In_ * IRn_, nt_, gws);
     }
     PhaseTimer pt(&timings_.gemv);
     multi_ttv_left(inter, In_, IRn_, C, KRt, C, M, nt_);
@@ -576,7 +634,7 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
       PhaseTimer pt(&timings_.gemm);
       blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
                  blas::Trans::Trans, ILn_ * In_, C, IRn_, 1.0, X.data(),
-                 ILn_ * In_, KRt, C, 0.0, inter, ILn_ * In_, nt_);
+                 ILn_ * In_, KRt, C, 0.0, inter, ILn_ * In_, nt_, gws);
     }
     PhaseTimer pt(&timings_.gemv);
     multi_ttv_right(inter, In_, ILn_, C, KLt, C, M, nt_);

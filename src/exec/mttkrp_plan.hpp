@@ -18,11 +18,20 @@
 /// execute() then draws every large buffer from the arena frame opened for
 /// the call; the small index/timing scratch lives in the plan itself. The
 /// paper's methods (OneStepSeq/OneStep/TwoStep/Auto) run fully heap-free
-/// after construction. The Reorder baseline and the Reference oracle keep
-/// their O(tensor) buffers in the arena too but may use transient O(N)
-/// index scratch inside matricize_into. (The mini-BLAS packs its GEMM
-/// panels internally; the arena instrumentation in the tests verifies the
-/// plan's own zero-allocation contract.)
+/// after construction — INCLUDING the BLAS layer: every gemm/gemm_batched
+/// call receives a GemmWorkspace carved from the same arena frame, so the
+/// packing panels of the blocked kernel never touch the heap either (the
+/// arena instrumentation plus blas::gemm_internal_allocs() verify this in
+/// the tests). The Reorder baseline and the Reference oracle keep their
+/// O(tensor) buffers in the arena too but may use transient O(N) index
+/// scratch inside matricize_into.
+///
+/// Internal-mode 1-step executes its per-block multiplies (Alg 3 line 16)
+/// as ONE gemm_batched sweep: the per-block KRP tiles are materialized in
+/// parallel from the shared left KRP, then the IRn sub-cutoff GEMMs run
+/// collaboratively instead of as a per-thread sequence — when IRn is
+/// smaller than the team, the batched kernel splits block rows so no
+/// thread idles.
 ///
 /// Per-call wall-clock phases accumulate into the plan's MttkrpTimings
 /// (timings()/reset_timings()), replacing the `MttkrpTimings*` out-pointer
@@ -162,6 +171,9 @@ class MttkrpPlan {
   std::size_t off_xn_ = 0;           // Reorder: explicit matricization
   std::size_t off_kcol_ = 0;         // Reorder: column-wise KRP (J x C)
   std::size_t off_acc_ = 0;          // Reorder: two Kronecker accumulators
+  std::size_t off_gemm_ws_ = 0;      // BLAS packing workspace block
+  std::size_t gemm_ws_doubles_ = 0;  // its size (whole-team calls)
+  std::size_t stride_gemm_ws_ = 0;   // per-thread slice (worker-local GEMMs)
 
   // Small preallocated scratch so execute() itself never allocates.
   FactorList fl_full_;
@@ -170,6 +182,9 @@ class MttkrpPlan {
   std::vector<const double*> packed_full_;
   std::vector<const double*> packed_left_;
   std::vector<const double*> packed_right_;
+  std::vector<const double*> batch_a_;  // internal-mode batched-GEMM items:
+  std::vector<const double*> batch_b_;  // X(n) block / KRP tile / partial
+  std::vector<double*> batch_c_;        // per item (size I_Rn)
   std::vector<index_t> digits_;      // nt * max-list-size mixed-radix digits
   std::size_t digits_stride_ = 0;
   std::vector<index_t> ref_idx_;     // Reference-method multi-index

@@ -47,6 +47,14 @@ void parallel_region(int nthreads, F&& fn) {
   { fn(omp_get_thread_num(), omp_get_num_threads()); }
 }
 
+/// Barrier across the innermost enclosing OpenMP team. Safe outside any
+/// parallel region (a team of one; no-op), which is what makes kernels
+/// written against parallel_region degrade gracefully when the caller runs
+/// them with nthreads <= 1.
+inline void team_barrier() {
+#pragma omp barrier
+}
+
 /// Statically-scheduled parallel loop over [begin, end) with `nthreads`
 /// threads; each thread receives one contiguous block.
 template <typename F>

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baseline/ttb_cp_als.hpp"
+#include "blas/gemm_workspace.hpp"
 #include "core/cp_als.hpp"
 #include "core/cp_als_dt.hpp"
 #include "core/cp_nn.hpp"
@@ -237,6 +238,8 @@ TEST(MttkrpPlan, ExecuteIsAllocationFreeAfterConstruction) {
   }
   const std::size_t grows_after_construction = ctx.arena().grow_count();
   const std::size_t capacity_after_construction = ctx.arena().capacity();
+  const std::size_t blas_allocs_after_construction =
+      blas::gemm_internal_allocs();
   for (const MttkrpPlan& p : plans) {
     EXPECT_LE(p.workspace_doubles(), capacity_after_construction);
   }
@@ -254,6 +257,46 @@ TEST(MttkrpPlan, ExecuteIsAllocationFreeAfterConstruction) {
   EXPECT_EQ(ctx.arena().capacity(), capacity_after_construction);
   EXPECT_EQ(ctx.arena().in_use(), 0u);  // every frame released
   EXPECT_LE(ctx.arena().high_water(), capacity_after_construction);
+  // ...and the BLAS layer never fell back to its internal packing arena:
+  // every gemm/gemm_batched inside execute() ran on the plan's carved
+  // GemmWorkspace.
+  EXPECT_EQ(blas::gemm_internal_allocs(), blas_allocs_after_construction);
+}
+
+TEST(MttkrpPlan, GemmDominatedMethodsAreHeapFreeInsideBlas) {
+  // GEMM-heavy shapes: large enough that the blocked kernel crosses its
+  // packing-panel boundaries (k > KC for mode 0's 2-step GEMM), so a
+  // workspace regression would show up as internal fallback allocation.
+  Rng rng(131);
+  const std::vector<index_t> dims{40, 30, 24};
+  Tensor X = Tensor::random_uniform(dims, rng);
+  const index_t rank = 16;
+  ExecContext ctx(2);
+
+  std::vector<MttkrpPlan> plans;
+  for (index_t mode = 0; mode < X.order(); ++mode) {
+    // Reorder: one In x rank x cosize GEMM; TwoStep: the paper's
+    // GEMM-dominated internal path; OneStep internal: the batched sweep.
+    for (MttkrpMethod m : {MttkrpMethod::Reorder, MttkrpMethod::TwoStep,
+                           MttkrpMethod::OneStep}) {
+      plans.emplace_back(ctx, X.dims(), rank, mode, m);
+    }
+  }
+  const std::size_t grows = ctx.arena().grow_count();
+  const std::size_t blas_allocs = blas::gemm_internal_allocs();
+
+  Matrix M;
+  const std::vector<Matrix> fs = random_factors(dims, rank, rng);
+  const Matrix ref = mttkrp(X, fs, 0, MttkrpMethod::Reference);
+  for (int round = 0; round < 2; ++round) {
+    for (MttkrpPlan& p : plans) {
+      p.execute(X, fs, M);
+      if (p.mode() == 0) testing::expect_matrix_near(M, ref, 1e-9);
+    }
+  }
+  EXPECT_EQ(ctx.arena().grow_count(), grows);
+  EXPECT_EQ(blas::gemm_internal_allocs(), blas_allocs)
+      << "a plan GEMM/SYRK call fell back to the internal packing arena";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,351 @@
+// Micro-kernel and dispatch coverage for the BLIS-style GEMM rebuild:
+// every dispatchable SIMD level over register-tile edge shapes (m % MR,
+// n % NR, k = 1, strided leading dimensions, all four transpose combos)
+// against a reference triple loop, scalar-vs-AVX2 dispatch equivalence,
+// gemm_batched vs looped gemm (including shared-output accumulation groups
+// and the fewer-groups-than-threads row-split path), and the explicit
+// GemmWorkspace / internal-fallback-allocation contract.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/cpu_features.hpp"
+#include "blas/gemm.hpp"
+#include "test_helpers.hpp"
+#include "util/aligned_alloc.hpp"
+#include "util/rng.hpp"
+
+namespace dmtk::blas {
+namespace {
+
+using dmtk::testing::naive_gemm;
+
+/// Restore the CPU-detected dispatch level when a test that pins levels
+/// exits (tests in this binary share the process-global selection).
+struct SimdLevelGuard {
+  ~SimdLevelGuard() { set_simd_level(hardware_simd_level()); }
+};
+
+std::vector<SimdLevel> dispatchable_levels() {
+  std::vector<SimdLevel> levels{SimdLevel::Scalar};
+  for (SimdLevel lvl : {SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
+    if (set_simd_level(lvl) == lvl) levels.push_back(lvl);
+  }
+  set_simd_level(hardware_simd_level());
+  return levels;
+}
+
+/// One gemm-vs-oracle comparison at the CURRENT dispatch level.
+void expect_matches_oracle(index_t m, index_t n, index_t k, bool ta, bool tb,
+                           index_t ld_slack, int threads) {
+  Rng rng(100 + m * 3 + n * 5 + k * 7 + (ta ? 11 : 0) + (tb ? 13 : 0) +
+          ld_slack);
+  const index_t lda = (ta ? k : m) + ld_slack;
+  const index_t a_cols = ta ? m : k;
+  const index_t ldb = (tb ? n : k) + ld_slack;
+  const index_t b_cols = tb ? k : n;
+  const index_t ldc = m + ld_slack;
+  std::vector<double> A(static_cast<std::size_t>(lda * a_cols));
+  std::vector<double> B(static_cast<std::size_t>(ldb * b_cols));
+  std::vector<double> C(static_cast<std::size_t>(ldc * n));
+  fill_uniform(A, rng, -1.0, 1.0);
+  fill_uniform(B, rng, -1.0, 1.0);
+  fill_uniform(C, rng, -1.0, 1.0);
+  std::vector<double> Cref = C;
+
+  gemm(Layout::ColMajor, ta ? Trans::Trans : Trans::NoTrans,
+       tb ? Trans::Trans : Trans::NoTrans, m, n, k, 1.25, A.data(), lda,
+       B.data(), ldb, -0.5, C.data(), ldc, threads);
+  naive_gemm(ta, tb, m, n, k, 1.25, A.data(), lda, B.data(), ldb, -0.5,
+             Cref.data(), ldc);
+  // FMA and the blocked accumulation order differ from the oracle's in the
+  // last ulps only; the tolerance is rounding-tight, not loose.
+  const double tol = 1e-13 * static_cast<double>(k + 2);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < ldc; ++i) {
+      const std::size_t at = static_cast<std::size_t>(i + j * ldc);
+      ASSERT_NEAR(C[at], Cref[at], tol)
+          << "(" << i << "," << j << ") m=" << m << " n=" << n << " k=" << k
+          << " ta=" << ta << " tb=" << tb;
+    }
+  }
+}
+
+TEST(GemmKernels, EdgeShapesEveryLevelEveryTranspose) {
+  SimdLevelGuard guard;
+  // Register-tile edges: every m % MR and n % NR residue for MR, NR <= 8,
+  // k = 1 (degenerate accumulation), and KC straddles.
+  const std::vector<index_t> ms = {1, 2, 3, 4, 5, 7, 8, 9, 16, 17};
+  const std::vector<index_t> ns = {1, 3, 7, 8, 9, 15, 17};
+  const std::vector<index_t> ks = {1, 2, 5};
+  for (SimdLevel lvl : dispatchable_levels()) {
+    ASSERT_EQ(set_simd_level(lvl), lvl);
+    for (index_t m : ms) {
+      for (index_t n : ns) {
+        for (index_t k : ks) {
+          expect_matches_oracle(m, n, k, false, false, 0, 1);
+        }
+      }
+    }
+    // Transpose combos and strided leading dimensions on tile-edge shapes.
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        expect_matches_oracle(13, 11, 9, ta, tb, 3, 1);
+        expect_matches_oracle(97, 17, 19, ta, tb, 5, 1);
+      }
+    }
+    // KC boundary straddle with an MC straddle.
+    expect_matches_oracle(99, 9, 257, false, false, 0, 1);
+    expect_matches_oracle(99, 9, 256, true, true, 2, 1);
+  }
+}
+
+TEST(GemmKernels, DispatchLevelsAgree) {
+  SimdLevelGuard guard;
+  const index_t m = 150, n = 70, k = 300;
+  Rng rng(42);
+  std::vector<double> A(static_cast<std::size_t>(m * k));
+  std::vector<double> B(static_cast<std::size_t>(k * n));
+  fill_uniform(A, rng, -1.0, 1.0);
+  fill_uniform(B, rng, -1.0, 1.0);
+
+  ASSERT_EQ(set_simd_level(SimdLevel::Scalar), SimdLevel::Scalar);
+  std::vector<double> Cref(static_cast<std::size_t>(m * n), 0.0);
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+       A.data(), m, B.data(), k, 0.0, Cref.data(), m, 2);
+
+  for (SimdLevel lvl : dispatchable_levels()) {
+    if (lvl == SimdLevel::Scalar) continue;
+    ASSERT_EQ(set_simd_level(lvl), lvl);
+    for (int threads : {1, 2, 4}) {
+      std::vector<double> C(static_cast<std::size_t>(m * n), 0.0);
+      gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+           A.data(), m, B.data(), k, 0.0, C.data(), m, threads);
+      for (std::size_t i = 0; i < C.size(); ++i) {
+        ASSERT_NEAR(C[i], Cref[i], 1e-13 * static_cast<double>(k))
+            << "level=" << to_string(lvl) << " threads=" << threads
+            << " at " << i;
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, ThreadedTeamMatchesSequential) {
+  // The collaborative team path (shared packed B, split MC blocks or NR
+  // strips) must agree with the one-thread kernel on both the tall and
+  // the short-output regimes, under the current (hardware) dispatch.
+  for (auto [m, n, k] : {std::tuple<index_t, index_t, index_t>{400, 40, 60},
+                         {40, 400, 60},
+                         {257, 129, 300}}) {
+    Rng rng(7 + m);
+    std::vector<double> A(static_cast<std::size_t>(m * k));
+    std::vector<double> B(static_cast<std::size_t>(k * n));
+    fill_uniform(A, rng, -1.0, 1.0);
+    fill_uniform(B, rng, -1.0, 1.0);
+    std::vector<double> Cseq(static_cast<std::size_t>(m * n), 1.0);
+    std::vector<double> Cpar = Cseq;
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+         A.data(), m, B.data(), k, 0.5, Cseq.data(), m, 1);
+    for (int threads : {2, 3, 8}) {
+      std::vector<double> C = Cpar;
+      gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+           A.data(), m, B.data(), k, 0.5, C.data(), m, threads);
+      for (std::size_t i = 0; i < C.size(); ++i) {
+        // Identical blocking and per-element accumulation order: the team
+        // only changes WHO computes a tile, not how — bitwise equal.
+        ASSERT_EQ(C[i], Cseq[i]) << "threads=" << threads << " at " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// gemm_batched
+// ---------------------------------------------------------------------------
+
+struct BatchData {
+  index_t m, n, k, batch;
+  std::vector<double> A, B, C;
+  std::vector<const double*> ap, bp;
+  std::vector<double*> cp;
+
+  BatchData(index_t m_, index_t n_, index_t k_, index_t batch_,
+            std::uint64_t seed)
+      : m(m_), n(n_), k(k_), batch(batch_) {
+    Rng rng(seed);
+    A.resize(static_cast<std::size_t>(m * k * batch));
+    B.resize(static_cast<std::size_t>(k * n * batch));
+    C.resize(static_cast<std::size_t>(m * n * batch));
+    fill_uniform(A, rng, -1.0, 1.0);
+    fill_uniform(B, rng, -1.0, 1.0);
+    fill_uniform(C, rng, -1.0, 1.0);
+    for (index_t i = 0; i < batch; ++i) {
+      ap.push_back(A.data() + i * m * k);
+      bp.push_back(B.data() + i * k * n);
+      cp.push_back(C.data() + i * m * n);
+    }
+  }
+};
+
+TEST(GemmBatched, DistinctOutputsMatchLoopedGemm) {
+  for (int threads : {1, 3}) {
+    BatchData d(37, 5, 23, 12, 11);
+    BatchData ref(37, 5, 23, 12, 11);
+    gemm_batched(Layout::ColMajor, Trans::NoTrans, Trans::Trans, d.m, d.n,
+                 d.k, 2.0, d.ap.data(), d.m, d.bp.data(), d.n, 0.5,
+                 d.cp.data(), d.m, d.batch, threads);
+    for (index_t i = 0; i < ref.batch; ++i) {
+      gemm(Layout::ColMajor, Trans::NoTrans, Trans::Trans, ref.m, ref.n,
+           ref.k, 2.0, ref.ap[static_cast<std::size_t>(i)], ref.m,
+           ref.bp[static_cast<std::size_t>(i)], ref.n, 0.5,
+           ref.cp[static_cast<std::size_t>(i)], ref.m, 1);
+    }
+    for (std::size_t i = 0; i < d.C.size(); ++i) {
+      ASSERT_EQ(d.C[i], ref.C[i]) << "threads=" << threads << " at " << i;
+    }
+  }
+}
+
+TEST(GemmBatched, SharedOutputGroupsAccumulateInOrder) {
+  // 9 items in 3 groups of 3 sharing one C each: the group's first item
+  // sees beta, later items accumulate — same semantics as a beta-then-1
+  // loop of plain gemms.
+  const index_t m = 20, n = 4, k = 15, batch = 9;
+  BatchData d(m, n, k, batch, 21);
+  BatchData ref(m, n, k, batch, 21);
+  std::vector<double*> cgroup(static_cast<std::size_t>(batch));
+  std::vector<double*> cgroup_ref(static_cast<std::size_t>(batch));
+  for (index_t i = 0; i < batch; ++i) {
+    cgroup[static_cast<std::size_t>(i)] = d.cp[static_cast<std::size_t>(i / 3) * 3];
+    cgroup_ref[static_cast<std::size_t>(i)] =
+        ref.cp[static_cast<std::size_t>(i / 3) * 3];
+  }
+  for (int threads : {1, 2, 3}) {
+    std::vector<double> c_snapshot = d.C;
+    gemm_batched(Layout::ColMajor, Trans::Trans, Trans::NoTrans, m, n, k, 1.0,
+                 d.ap.data(), k, d.bp.data(), k, -1.0, cgroup.data(), m,
+                 batch, threads);
+    std::vector<double> got = d.C;
+    d.C = c_snapshot;  // restore for the next thread count
+    for (index_t i = 0; i < batch; ++i) {
+      cgroup[static_cast<std::size_t>(i)] =
+          d.C.data() + (i / 3) * 3 * m * n;  // re-point after restore
+    }
+    if (threads == 1) {
+      for (index_t i = 0; i < batch; ++i) {
+        gemm(Layout::ColMajor, Trans::Trans, Trans::NoTrans, m, n, k, 1.0,
+             ref.ap[static_cast<std::size_t>(i)], k,
+             ref.bp[static_cast<std::size_t>(i)], k, i % 3 == 0 ? -1.0 : 1.0,
+             cgroup_ref[static_cast<std::size_t>(i)], m, 1);
+      }
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], ref.C[i]) << "threads=" << threads << " at " << i;
+    }
+  }
+}
+
+TEST(GemmBatched, FewerGroupsThanThreadsSplitsRows) {
+  // 2 items, 8 threads: the row-split co-op path. Splitting m never
+  // reorders any element's k-accumulation, so the result is still exact.
+  BatchData d(150, 6, 40, 2, 31);
+  BatchData ref(150, 6, 40, 2, 31);
+  gemm_batched(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, d.m, d.n,
+               d.k, 1.0, d.ap.data(), d.m, d.bp.data(), d.k, 0.0,
+               d.cp.data(), d.m, d.batch, 8);
+  for (index_t i = 0; i < ref.batch; ++i) {
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, ref.m, ref.n,
+         ref.k, 1.0, ref.ap[static_cast<std::size_t>(i)], ref.m,
+         ref.bp[static_cast<std::size_t>(i)], ref.k, 0.0,
+         ref.cp[static_cast<std::size_t>(i)], ref.m, 1);
+  }
+  for (std::size_t i = 0; i < d.C.size(); ++i) {
+    ASSERT_EQ(d.C[i], ref.C[i]) << "at " << i;
+  }
+}
+
+TEST(GemmBatched, EmptyAndDegenerateBatches) {
+  gemm_batched<double>(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 4, 4,
+                       4, 1.0, nullptr, 4, nullptr, 4, 0.0, nullptr, 4, 0, 2);
+  // k == 0 scales each group's C by beta exactly once.
+  std::vector<double> C1{1, 2, 3, 4};
+  std::vector<double*> cp{C1.data(), C1.data()};  // one group of two items
+  gemm_batched<double>(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, 2, 2,
+                       0, 1.0, nullptr, 2, nullptr, 1, 0.5, cp.data(), 2, 2,
+                       1);
+  EXPECT_EQ(C1, (std::vector<double>{0.5, 1, 1.5, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace contract
+// ---------------------------------------------------------------------------
+
+TEST(GemmWorkspaceContract, ExplicitWorkspaceAvoidsInternalAllocation) {
+  const index_t m = 120, n = 90, k = 150;
+  const int threads = 3;
+  Rng rng(5);
+  std::vector<double> A(static_cast<std::size_t>(m * k));
+  std::vector<double> B(static_cast<std::size_t>(k * n));
+  std::vector<double> C(static_cast<std::size_t>(m * n), 0.0);
+  fill_uniform(A, rng, -1.0, 1.0);
+  fill_uniform(B, rng, -1.0, 1.0);
+
+  const std::size_t need = gemm_workspace_doubles(m, n, k, threads);
+  std::vector<double, AlignedAllocator<double>> buf(need);
+  const GemmWorkspace ws{buf.data(), buf.size()};
+
+  const std::size_t before = gemm_internal_allocs();
+  for (int round = 0; round < 3; ++round) {
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+         A.data(), m, B.data(), k, 0.0, C.data(), m, threads, ws);
+  }
+  EXPECT_EQ(gemm_internal_allocs(), before)
+      << "explicit workspace must keep gemm off the heap";
+
+  // The fallback path, by contrast, is allowed to grow (at most once for
+  // this shape) and must still compute the same result.
+  std::vector<double> Cfb(static_cast<std::size_t>(m * n), 0.0);
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+       A.data(), m, B.data(), k, 0.0, Cfb.data(), m, threads);
+  for (std::size_t i = 0; i < C.size(); ++i) ASSERT_EQ(C[i], Cfb[i]);
+}
+
+TEST(GemmWorkspaceContract, SizingIsMonotoneAndCoversBatched) {
+  EXPECT_LE(gemm_workspace_doubles(10, 10, 10, 1),
+            gemm_workspace_doubles(100, 100, 100, 1));
+  EXPECT_LE(gemm_workspace_doubles(64, 64, 64, 1),
+            gemm_workspace_doubles(64, 64, 64, 4));
+  EXPECT_EQ(gemm_batched_workspace_doubles(64, 8, 32, 4),
+            4 * gemm_workspace_doubles(64, 8, 32, 1));
+}
+
+// ---------------------------------------------------------------------------
+// SimdLevel plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SimdLevel, ParseRoundTripsAndAliases) {
+  for (SimdLevel lvl :
+       {SimdLevel::Scalar, SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
+    const auto parsed = parse_simd_level(to_string(lvl));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, lvl);
+  }
+  EXPECT_EQ(parse_simd_level("avx2"), SimdLevel::Avx2x8x8);
+  EXPECT_FALSE(parse_simd_level("avx512").has_value());
+  EXPECT_FALSE(parse_simd_level("").has_value());
+}
+
+TEST(SimdLevel, SetClampsToHardwareAndSticks) {
+  SimdLevelGuard guard;
+  // Scalar is always installable.
+  EXPECT_EQ(set_simd_level(SimdLevel::Scalar), SimdLevel::Scalar);
+  EXPECT_EQ(simd_level(), SimdLevel::Scalar);
+  // Whatever the hardware supports is installable and sticks.
+  const SimdLevel hw = hardware_simd_level();
+  EXPECT_EQ(set_simd_level(hw), hw);
+  EXPECT_EQ(simd_level(), hw);
+}
+
+}  // namespace
+}  // namespace dmtk::blas

@@ -50,7 +50,11 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, SyrkSweep,
     ::testing::Values(SyrkCase{1, 1, true, 1}, SyrkCase{5, 100, true, 1},
                       SyrkCase{25, 900, true, 2}, SyrkCase{50, 64, true, 4},
-                      SyrkCase{8, 13, false, 1}, SyrkCase{30, 7, false, 3}));
+                      SyrkCase{8, 13, false, 1}, SyrkCase{30, 7, false, 3},
+                      // Large n: several NB column blocks of the blocked
+                      // GEMM sweep, both orientations, threaded.
+                      SyrkCase{300, 40, true, 2}, SyrkCase{260, 33, false, 2},
+                      SyrkCase{129, 300, true, 3}));
 
 TEST(Syrk, OutputIsExactlySymmetric) {
   Rng rng(9);
@@ -81,6 +85,38 @@ TEST(Syrk, DiagonalIsSumOfSquares) {
   syrk(Trans::Trans, index_t{1}, index_t{2}, 1.0, A.data(), index_t{2}, 0.0,
        C.data(), index_t{1});
   EXPECT_DOUBLE_EQ(C[0], 25.0);
+}
+
+TEST(Syrk, LargeNStaysMirroredAndHeapFreeWithWorkspace) {
+  // n > the internal NB column-block width: the triangular sweep spans
+  // several blocked GEMM calls, and the lower triangle must still be a
+  // bitwise mirror. With a caller workspace the whole call stays off the
+  // internal fallback arena.
+  Rng rng(77);
+  const index_t n = 220, k = 60;
+  std::vector<double> A(static_cast<std::size_t>(k * n));
+  fill_uniform(A, rng, -1, 1);
+  std::vector<double> C(static_cast<std::size_t>(n * n), 0.0);
+
+  std::vector<double> buf(syrk_workspace_doubles(n, k, 2));
+  const GemmWorkspace ws{buf.data(), buf.size()};
+  syrk(Trans::Trans, n, k, 1.0, A.data(), k, 0.0, C.data(), n, 2, ws);
+  const std::size_t allocs_before = gemm_internal_allocs();
+  syrk(Trans::Trans, n, k, 1.0, A.data(), k, 0.0, C.data(), n, 2, ws);
+  EXPECT_EQ(gemm_internal_allocs(), allocs_before);
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      ASSERT_EQ(C[i + j * n], C[j + i * n]) << i << "," << j;
+    }
+  }
+  // Spot-check values against dot products.
+  for (index_t s = 0; s < 40; ++s) {
+    const index_t i = (s * 13) % n, j = (s * 29) % n;
+    double expect = 0.0;
+    for (index_t t = 0; t < k; ++t) expect += A[t + i * k] * A[t + j * k];
+    ASSERT_NEAR(C[i + j * n], expect, 1e-12 * static_cast<double>(k + 1));
+  }
 }
 
 TEST(Syrk, BadLdcThrows) {

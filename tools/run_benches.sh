@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the perf-trajectory benches and write BENCH_pr2.json at the repo root.
+#
+# usage: tools/run_benches.sh [build_dir] [out_json] [scale]
+#   build_dir  CMake build tree with the bench binaries (default: build)
+#   out_json   output JSON path (default: BENCH_pr2.json)
+#   scale      --scale for the figure benches (default: 0.001)
+#
+# The roofline bench emits the JSON record (machine info, per-case median
+# GFLOP/s for scalar vs AVX2 kernels across square and MTTKRP-shaped
+# GEMMs, plus the batched sweep); fig5/fig6 logs land next to it so the
+# end-to-end MTTKRP numbers travel with the kernel numbers. Subsequent PRs
+# compare their BENCH_*.json against this one.
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_json="${2:-BENCH_pr2.json}"
+scale="${3:-0.001}"
+
+if [[ ! -x "${build_dir}/bench_gemm_roofline" ]]; then
+  echo "error: ${build_dir}/bench_gemm_roofline not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+log_dir="$(dirname "${out_json}")/bench_logs"
+mkdir -p "${log_dir}"
+
+echo "== fig5 (MTTKRP scaling) =="
+"${build_dir}/bench_fig5_scaling" --scale "${scale}" --threads 1,2,4 \
+  --trials 3 | tee "${log_dir}/fig5.log"
+
+echo "== fig6 (MTTKRP breakdown) =="
+"${build_dir}/bench_fig6_breakdown" --scale "${scale}" --trials 3 \
+  | tee "${log_dir}/fig6.log"
+
+echo "== gemm roofline =="
+"${build_dir}/bench_gemm_roofline" --sizes 256,512,1024 --threads 1,2,4 \
+  --trials 3 --check --json "${out_json}" | tee "${log_dir}/gemm_roofline.log"
+
+echo
+echo "wrote ${out_json} (logs in ${log_dir}/)"
