@@ -13,11 +13,13 @@ void ttb_mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
 }
 
 CpAlsResult ttb_cp_als(const Tensor& X, const CpAlsOptions& opts) {
-  // Same ALS driver (initialization, solve, stopping rule), with every
-  // per-mode plan pinned to the Reorder kernel — so per-iteration time
-  // differences against cp_als measure the MTTKRP kernels alone.
+  // Same ALS driver — the shared sweep loop of cp_als_detail.hpp — with
+  // the sweep plan pinned to the PerMode scheme and every per-mode plan to
+  // the Reorder kernel, so per-iteration time differences against cp_als
+  // measure the MTTKRP kernels alone.
   CpAlsOptions baseline_opts = opts;
   baseline_opts.method = MttkrpMethod::Reorder;
+  baseline_opts.sweep_scheme = SweepScheme::PerMode;
   baseline_opts.mttkrp_override = nullptr;
   return cp_als(X, baseline_opts);
 }

@@ -6,16 +6,15 @@
 
 #include "blas/blas.hpp"
 #include "core/cp_als_detail.hpp"
-#include "exec/mttkrp_plan.hpp"
-#include "util/env.hpp"
-#include "util/timer.hpp"
+#include "exec/sweep_plan.hpp"
 
 namespace dmtk {
 
-Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip) {
+void hadamard_of_grams_into(std::span<const Matrix> grams, index_t skip,
+                            Matrix& H) {
   DMTK_CHECK(!grams.empty(), "hadamard_of_grams: empty input");
   const index_t C = grams[0].rows();
-  Matrix H(C, C);
+  if (H.rows() != C || H.cols() != C) H = Matrix(C, C);
   H.fill(1.0);
   for (index_t k = 0; k < static_cast<index_t>(grams.size()); ++k) {
     if (k == skip) continue;
@@ -24,6 +23,11 @@ Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip) {
                "hadamard_of_grams: non-conforming Gram matrix");
     blas::hadamard_inplace(C * C, G.data(), H.data());
   }
+}
+
+Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip) {
+  Matrix H;
+  hadamard_of_grams_into(grams, skip, H);
   return H;
 }
 
@@ -39,96 +43,28 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
       opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
   const int nt = ctx.threads();
 
-  // One MTTKRP plan per mode, built up front and reused every sweep: the
-  // dispatch decision, thread partitions, and workspace layout are paid
-  // once, and the sweeps below run without touching the heap.
-  std::vector<MttkrpPlan> plans;
+  // One sweep plan for the whole factorization: scheme dispatch, tree
+  // construction (DimTree) or per-mode MttkrpPlans (PerMode), and the
+  // complete workspace layout are paid once, and the sweeps below run
+  // without touching the heap.
+  std::optional<CpAlsSweepPlan> sweep;
   if (!opts.mttkrp_override) {
-    plans.reserve(static_cast<std::size_t>(N));
-    for (index_t n = 0; n < N; ++n) {
-      plans.emplace_back(ctx, X.dims(), C, n, opts.method);
-    }
+    sweep.emplace(ctx, X.dims(), C, opts.sweep_scheme, opts.method,
+                  opts.dimtree_levels);
   }
 
   CpAlsResult result;
+  detail::init_model(X, opts, "cp_als", result.model);
   Ktensor& model = result.model;
 
-  // Initialization: warm start or uniform random (Tensor Toolbox default).
-  if (opts.initial_guess != nullptr) {
-    model = *opts.initial_guess;
-    model.validate();
-    DMTK_CHECK(model.rank() == C && model.order() == N,
-               "cp_als: initial guess shape mismatch");
-    if (model.lambda.empty()) {
-      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
-    }
-  } else {
-    Rng rng(opts.seed);
-    model = Ktensor::random(X.dims(), C, rng);
-  }
-
-  const double normX2 = X.norm_squared(nt);
-
-  std::vector<Matrix> grams(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
-    detail::gram(model.factors[static_cast<std::size_t>(n)],
-                 grams[static_cast<std::size_t>(n)], nt);
-  }
-
-  // Per-mode MTTKRP outputs: the factor update swaps the solved output
-  // into the model and leaves the previous factor here, which has the SAME
-  // shape — so steady-state sweeps never reallocate.
-  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
-  }
-  Matrix Mlast;  // copy of the final-mode MTTKRP, needed for the fit
-  double fit_old = 0.0;
-
-  for (int iter = 0; iter < opts.max_iters; ++iter) {
-    CpAlsIterStats stats;
-    WallTimer sweep;
-
-    for (index_t n = 0; n < N; ++n) {
-      Matrix& M = Ms[static_cast<std::size_t>(n)];
-      {
-        WallTimer t;
-        if (opts.mttkrp_override) {
-          opts.mttkrp_override(X, model.factors, n, M, ctx);
-        } else {
-          plans[static_cast<std::size_t>(n)].execute(X, model.factors, M);
-        }
-        stats.mttkrp_seconds += t.seconds();
-      }
-      WallTimer t;
-      if (opts.compute_fit && n == N - 1) Mlast = M;
-      Matrix H = hadamard_of_grams(grams, n);
-      detail::factor_solve(H, M, nt);
-      Matrix& U = model.factors[static_cast<std::size_t>(n)];
-      std::swap(U, M);
-      detail::normalize_update(U, model.lambda, iter == 0);
-      detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
-      stats.solve_seconds += t.seconds();
-    }
-
-    result.iterations = iter + 1;
-    if (opts.compute_fit) {
-      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
-      stats.fit = fit;
-      result.final_fit = fit;
-      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
-        stats.seconds = sweep.seconds();
-        result.iters.push_back(stats);
-        result.converged = true;
-        break;
-      }
-      fit_old = fit;
-    }
-    stats.seconds = sweep.seconds();
-    result.iters.push_back(stats);
-  }
-  for (const MttkrpPlan& p : plans) result.mttkrp_timings += p.timings();
+  detail::run_als_sweeps(
+      X, opts, ctx, sweep ? &*sweep : nullptr, result,
+      [&](index_t n, Matrix& H, Matrix& M, int iter) {
+        detail::factor_solve(H, M, nt);
+        Matrix& U = model.factors[static_cast<std::size_t>(n)];
+        std::swap(U, M);
+        detail::normalize_update(U, model.lambda, iter == 0);
+      });
   return result;
 }
 

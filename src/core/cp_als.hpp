@@ -2,9 +2,11 @@
 /// \file cp_als.hpp
 /// \brief CP decomposition via Alternating Least Squares (Section 2.2):
 /// per factor update, (1) MTTKRP, (2) Gram/Hadamard system matrix,
-/// (3) linear solve — with MTTKRP dominating the cost. The driver uses the
-/// paper's per-mode MTTKRP policy (1-step for external modes, 2-step for
-/// internal) unless the caller pins a method.
+/// (3) linear solve — with MTTKRP dominating the cost. The sweep's MTTKRPs
+/// come from a CpAlsSweepPlan (exec/sweep_plan.hpp) selected by
+/// `sweep_scheme`: per-mode kernels with the paper's dispatch policy
+/// (1-step external, 2-step internal, overridable via `method`), or the
+/// dimension-tree scheme that shares partial contractions across modes.
 
 #include <cstdint>
 #include <functional>
@@ -15,6 +17,7 @@
 #include "core/mttkrp.hpp"
 #include "core/tensor.hpp"
 #include "exec/exec_context.hpp"
+#include "exec/sweep_plan.hpp"
 
 namespace dmtk {
 
@@ -28,11 +31,24 @@ struct CpAlsOptions {
   bool compute_fit = true;  ///< fit costs one extra O(InC) pass per sweep
   const Ktensor* initial_guess = nullptr;  ///< optional warm start
 
+  /// How the sweep's per-mode MTTKRPs are produced (see exec/sweep_plan.hpp):
+  /// PerMode = independent per-mode kernels selected by `method`; DimTree =
+  /// multi-level dimension-tree reuse across modes (`method` is then
+  /// ignored — the tree has its own contraction kernels). Auto currently
+  /// resolves to PerMode.
+  SweepScheme sweep_scheme = SweepScheme::Auto;
+
+  /// DimTree only: cap on the tree's binary-split depth. 0 = full tree
+  /// (split down to single modes); 1 = the one-level two-group scheme.
+  int dimtree_levels = 0;
+
   /// Execution context (threads + workspace arena). When set, `threads` is
-  /// ignored and the driver builds its per-mode MttkrpPlans against this
-  /// context, sharing its arena with whatever else the caller runs. When
-  /// null the driver creates a private context from `threads` — same
-  /// result, but the workspace cannot be shared across drivers.
+  /// ignored and the driver builds its CpAlsSweepPlan against this context
+  /// (per-mode MttkrpPlan workspaces for PerMode; tree intermediates plus
+  /// node scratch for DimTree), sharing its arena with whatever else the
+  /// caller runs. When null the driver creates a private context from
+  /// `threads` — same result, but the workspace cannot be shared across
+  /// drivers.
   const ExecContext* exec = nullptr;
 
   /// Custom MTTKRP kernel. When set it replaces the built-in plans and
@@ -59,8 +75,12 @@ struct CpAlsResult {
   bool converged = false;   ///< tolerance met before max_iters
   std::vector<CpAlsIterStats> iters;  ///< one entry per sweep
   /// Phase breakdown summed over the per-mode MttkrpPlans across all
-  /// sweeps (zero when a custom mttkrp_override ran instead).
+  /// sweeps (PerMode scheme; zero for DimTree or a custom mttkrp_override,
+  /// whose phases live in sweep_timings).
   MttkrpTimings mttkrp_timings;
+  /// Per-node sweep-plan breakdown (tree nodes for DimTree, one leaf per
+  /// mode for PerMode; empty when a custom mttkrp_override ran).
+  SweepTimings sweep_timings;
 };
 
 /// Compute a rank-`opts.rank` CP decomposition of X. Follows the Tensor
@@ -73,5 +93,11 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts);
 /// H = (*)_{k != skip} grams[k]. Pass skip = -1 to include all modes.
 /// Exposed for tests and the baseline implementation.
 Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip);
+
+/// As hadamard_of_grams, writing into a caller-owned C x C matrix (resized
+/// on mismatch) — what the sweep loop uses so steady-state sweeps do not
+/// allocate per mode.
+void hadamard_of_grams_into(std::span<const Matrix> grams, index_t skip,
+                            Matrix& H);
 
 }  // namespace dmtk

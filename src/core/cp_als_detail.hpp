@@ -1,16 +1,28 @@
 #pragma once
 /// \file cp_als_detail.hpp
-/// \brief Helpers shared by the CP-ALS drivers (standard, dimension-tree,
-/// and the Tensor-Toolbox-style baseline): Gram computation, the TTB column
-/// normalization convention, the factor-update solve, and the fit formula.
+/// \brief The shared CP-ALS execution path. Every driver (standard,
+/// dimension-tree, nonnegative HALS, and the Tensor-Toolbox-style
+/// baseline) runs the same sweep loop — run_als_sweeps below — which owns
+/// the Gram matrices, the per-mode MTTKRP outputs, the fit bookkeeping,
+/// and the stopping rule, and produces each mode's MTTKRP through a
+/// CpAlsSweepPlan (or the caller's mttkrp_override). Drivers differ only
+/// in the factor-update callback they pass in. Also here: Gram
+/// computation, the TTB column normalization convention, the factor-update
+/// solve, and the fit formula.
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "core/cp_als.hpp"
 #include "core/cp_model.hpp"
 #include "core/matrix.hpp"
+#include "core/tensor.hpp"
+#include "exec/sweep_plan.hpp"
 #include "linalg/spd_solve.hpp"
+#include "util/timer.hpp"
 
 namespace dmtk::detail {
 
@@ -68,6 +80,116 @@ inline double cp_fit(double normX2, const Ktensor& model, const Matrix& Mlast,
   const double residual2 = std::max(0.0, normX2 + normY2 - 2.0 * inner);
   const double normX = std::sqrt(normX2);
   return normX > 0.0 ? 1.0 - std::sqrt(residual2) / normX : 1.0;
+}
+
+/// Initialize result.model from the warm start or the seed; shared
+/// validation for every driver (`who` names the driver in error messages).
+inline void init_model(const Tensor& X, const CpAlsOptions& opts,
+                       const char* who, Ktensor& model) {
+  const index_t N = X.order();
+  const index_t C = opts.rank;
+  if (opts.initial_guess != nullptr) {
+    model = *opts.initial_guess;
+    model.validate();
+    DMTK_CHECK(model.rank() == C && model.order() == N,
+               std::string(who) + ": initial guess shape mismatch");
+    if (model.lambda.empty()) {
+      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
+    }
+  } else {
+    Rng rng(opts.seed);
+    model = Ktensor::random(X.dims(), C, rng);
+  }
+}
+
+/// The single ALS sweep loop behind every driver. `sweep` may be null only
+/// when opts.mttkrp_override is set (the hook then replaces the plan).
+/// `update_mode(n, H, M, iter)` must update result.model's factor n (and
+/// lambda, if the driver normalizes) in place, given the Hadamard-of-Grams
+/// system matrix H and the mode's MTTKRP M; the loop recomputes the Gram
+/// matrix afterwards and owns fit evaluation and the stopping rule.
+template <typename UpdateFn>
+void run_als_sweeps(const Tensor& X, const CpAlsOptions& opts,
+                    const ExecContext& ctx, CpAlsSweepPlan* sweep,
+                    CpAlsResult& result, UpdateFn&& update_mode) {
+  const index_t N = X.order();
+  const index_t C = opts.rank;
+  const int nt = ctx.threads();
+  Ktensor& model = result.model;
+  const bool use_override = static_cast<bool>(opts.mttkrp_override);
+  DMTK_CHECK(use_override || sweep != nullptr,
+             "run_als_sweeps: need a sweep plan or an mttkrp override");
+
+  const double normX2 = X.norm_squared(nt);
+
+  std::vector<Matrix> grams(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
+    gram(model.factors[static_cast<std::size_t>(n)],
+         grams[static_cast<std::size_t>(n)], nt);
+  }
+
+  // Per-mode MTTKRP outputs: exact-solve updates swap the solved output
+  // into the model and leave the previous factor here (same shape), HALS
+  // reads M in place — either way, steady-state sweeps never reallocate.
+  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
+  }
+  // Pre-sized fit scratch: the final-mode MTTKRP is copied (not assigned)
+  // into it, so fit sweeps stay allocation-free too.
+  Matrix Mlast;
+  if (opts.compute_fit) Mlast = Matrix(X.dim(N - 1), C);
+  Matrix H(C, C);
+  double fit_old = 0.0;
+
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    CpAlsIterStats stats;
+    WallTimer sweep_timer;
+    if (!use_override) sweep->begin_sweep(X);
+
+    for (index_t n = 0; n < N; ++n) {
+      Matrix& M = Ms[static_cast<std::size_t>(n)];
+      if (use_override) {
+        WallTimer t;
+        opts.mttkrp_override(X, model.factors, n, M, ctx);
+        stats.mttkrp_seconds += t.seconds();
+      } else {
+        sweep->mode_mttkrp(n, X, model.factors, M);
+      }
+      WallTimer t;
+      if (opts.compute_fit && n == N - 1) {
+        std::copy(M.span().begin(), M.span().end(), Mlast.span().begin());
+      }
+      hadamard_of_grams_into(grams, n, H);
+      update_mode(n, H, M, iter);
+      gram(model.factors[static_cast<std::size_t>(n)],
+           grams[static_cast<std::size_t>(n)], nt);
+      stats.solve_seconds += t.seconds();
+    }
+    if (!use_override) stats.mttkrp_seconds = sweep->last_sweep_seconds();
+
+    result.iterations = iter + 1;
+    if (opts.compute_fit) {
+      const double fit = cp_fit(normX2, model, Mlast, nt);
+      stats.fit = fit;
+      result.final_fit = fit;
+      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
+        stats.seconds = sweep_timer.seconds();
+        result.iters.push_back(stats);
+        result.converged = true;
+        break;
+      }
+      fit_old = fit;
+    }
+    stats.seconds = sweep_timer.seconds();
+    result.iters.push_back(stats);
+  }
+
+  if (sweep != nullptr) {
+    result.sweep_timings = sweep->timings();
+    result.mttkrp_timings = sweep->per_mode_timings();
+  }
 }
 
 }  // namespace dmtk::detail

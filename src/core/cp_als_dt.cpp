@@ -1,259 +1,24 @@
 #include "core/cp_als_dt.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <utility>
-#include <vector>
-
-#include <optional>
-
-#include "blas/blas.hpp"
-#include "core/cp_als_detail.hpp"
-#include "core/krp.hpp"
-#include "exec/exec_context.hpp"
-#include "util/env.hpp"
-#include "util/parallel.hpp"
-#include "util/timer.hpp"
+#include "exec/sweep_plan.hpp"
 
 namespace dmtk {
 
 index_t dimtree_split(const Tensor& X) {
-  const index_t N = X.order();
-  DMTK_CHECK(N >= 2, "dimtree_split: need at least 2 modes");
-  index_t best = 1;
-  index_t best_cost = std::numeric_limits<index_t>::max();
-  for (index_t s = 1; s < N; ++s) {
-    const index_t L = X.left_size(s);
-    const index_t R = X.numel() / L;
-    const index_t cost = std::max(L, R);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = s;
-    }
-  }
-  return best;
+  DMTK_CHECK(X.order() >= 2, "dimtree_split: need at least 2 modes");
+  return sweep_balanced_split(X.dims(), 0, X.order());
 }
-
-namespace {
-
-/// dst = src contracted over its middle extent: with src viewed as a
-/// (left x mid x right) first-fastest array,
-///   dst[i + j*left] = sum_k v[k*incv] * src[i + (k + j*mid)*left].
-void ttv_into(const double* src, index_t left, index_t mid, index_t right,
-              const double* v, index_t incv, double* dst) {
-  for (index_t j = 0; j < right; ++j) {
-    double* out = dst + j * left;
-    std::fill(out, out + left, 0.0);
-    const double* blk = src + j * mid * left;
-    for (index_t k = 0; k < mid; ++k) {
-      blas::axpy(left, v[k * incv], blk + k * left, index_t{1}, out,
-                 index_t{1});
-    }
-  }
-}
-
-/// Recover the mode-n MTTKRP column-by-column from a group intermediate.
-/// G is (group_numel x C) column-major; column c is the subtensor over the
-/// group modes [g0, g1) (first-fastest layout) already contracted against
-/// component c of every out-of-group factor. For each c, contract all
-/// group modes except n with the CURRENT factor columns; the surviving
-/// length-I_n fiber is M(:, c). Components are independent, giving natural
-/// parallelism.
-void mttkrp_from_group(const double* G, const Tensor& X, index_t g0,
-                       index_t g1, index_t n,
-                       std::span<const Matrix> factors, Matrix& M,
-                       int threads) {
-  const index_t C = M.cols();
-  index_t group_numel = 1;
-  for (index_t k = g0; k < g1; ++k) group_numel *= X.dim(k);
-
-  parallel_region(threads, [&](int t, int nteam) {
-    const Range cr = block_range(C, nteam, t);
-    if (cr.empty()) return;
-    std::vector<double> bufa(static_cast<std::size_t>(group_numel));
-    std::vector<double> bufb(static_cast<std::size_t>(group_numel));
-    for (index_t c = cr.begin; c < cr.end; ++c) {
-      const double* cur = G + c * group_numel;
-      double* next = bufa.data();
-      double* spare = bufb.data();
-      // Remaining modes, ascending; contract from the highest down so the
-      // (left, mid, right) bookkeeping of lower modes never changes.
-      std::vector<std::pair<index_t, index_t>> rem;  // (mode, size)
-      for (index_t k = g0; k < g1; ++k) rem.emplace_back(k, X.dim(k));
-      for (index_t k = g1; k-- > g0;) {
-        if (k == n) continue;
-        // Locate k in rem and compute left/mid/right extents.
-        index_t left = 1, mid = 0, right = 1;
-        std::size_t pos = 0;
-        for (std::size_t i = 0; i < rem.size(); ++i) {
-          if (rem[i].first == k) {
-            mid = rem[i].second;
-            pos = i;
-          } else if (mid == 0) {
-            left *= rem[i].second;
-          } else {
-            right *= rem[i].second;
-          }
-        }
-        const Matrix& U = factors[static_cast<std::size_t>(k)];
-        ttv_into(cur, left, mid, right, U.col(c).data(), index_t{1}, next);
-        rem.erase(rem.begin() + static_cast<std::ptrdiff_t>(pos));
-        cur = next;
-        std::swap(next, spare);  // ping-pong: never write the buffer we read
-      }
-      // All group modes but n contracted: cur holds M(:, c).
-      blas::copy(X.dim(n), cur, index_t{1}, M.col(c).data(), index_t{1});
-    }
-  });
-}
-
-}  // namespace
 
 CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts) {
-  const index_t N = X.order();
-  const index_t C = opts.rank;
-  DMTK_CHECK(N >= 2, "cp_als_dimtree: tensor must have at least 2 modes");
-  DMTK_CHECK(C >= 1, "cp_als_dimtree: rank must be positive");
-
-  // Execution context (the dimension-tree driver's "plan" is the pair of
-  // pre-sized group intermediates below: everything shape-dependent is
-  // allocated here, before the first sweep).
-  std::optional<ExecContext> own_ctx;
-  const ExecContext& ctx =
-      opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
-  const int nt = ctx.threads();
-
-  CpAlsResult result;
-  Ktensor& model = result.model;
-  if (opts.initial_guess != nullptr) {
-    model = *opts.initial_guess;
-    model.validate();
-    DMTK_CHECK(model.rank() == C && model.order() == N,
-               "cp_als_dimtree: initial guess shape mismatch");
-    if (model.lambda.empty()) {
-      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
-    }
-  } else {
-    Rng rng(opts.seed);
-    model = Ktensor::random(X.dims(), C, rng);
-  }
-
-  const double normX2 = X.norm_squared(nt);
-  const index_t s = dimtree_split(X);
-  const index_t L = X.left_size(s);
-  const index_t R = X.numel() / L;
-
-  std::vector<Matrix> grams(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
-    detail::gram(model.factors[static_cast<std::size_t>(n)],
-                 grams[static_cast<std::size_t>(n)], nt);
-  }
-
-  Matrix GR(L, C);   // right-group contraction, reused across sweeps
-  Matrix GL(R, C);   // left-group contraction
-  Matrix KRt(C, R);  // transposed partial KRPs, reused
-  Matrix KLt(C, L);
-  // Per-mode MTTKRP outputs: the factor update swaps the solved output
-  // into the model and leaves the previous factor here (same shape), so
-  // steady-state sweeps never reallocate.
-  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
-  }
-  Matrix Mlast;
-  double fit_old = 0.0;
-
-  // Factor list helpers: right group (U_{N-1}, ..., U_s), left group
-  // (U_{s-1}, ..., U_0) — product order with mode 0 / mode s fastest,
-  // matching the column linearization of X(0:s-1).
-  auto right_factors = [&] {
-    FactorList fl;
-    for (index_t k = N; k-- > s;) {
-      fl.push_back(&model.factors[static_cast<std::size_t>(k)]);
-    }
-    return fl;
-  };
-  auto left_factors = [&] {
-    FactorList fl;
-    for (index_t k = s; k-- > 0;) {
-      fl.push_back(&model.factors[static_cast<std::size_t>(k)]);
-    }
-    return fl;
-  };
-
-  auto update_mode = [&](index_t n, CpAlsIterStats& stats, int iter) {
-    WallTimer t;
-    Matrix& M = Ms[static_cast<std::size_t>(n)];
-    if (opts.compute_fit && n == N - 1) Mlast = M;
-    Matrix H = hadamard_of_grams(grams, n);
-    detail::factor_solve(H, M, nt);
-    Matrix& U = model.factors[static_cast<std::size_t>(n)];
-    std::swap(U, M);
-    detail::normalize_update(U, model.lambda, iter == 0);
-    detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
-    stats.solve_seconds += t.seconds();
-  };
-
-  for (int iter = 0; iter < opts.max_iters; ++iter) {
-    CpAlsIterStats stats;
-    WallTimer sweep;
-
-    // --- Left group: G_R contracts the (not yet updated) right factors. --
-    {
-      WallTimer t;
-      krp_transposed_into(right_factors(), KRt, KrpVariant::Reuse, nt);
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::Trans, L, C, R, 1.0, X.data(), L, KRt.data(),
-                 KRt.ld(), 0.0, GR.data(), GR.ld(), nt);
-      stats.mttkrp_seconds += t.seconds();
-    }
-    for (index_t n = 0; n < s; ++n) {
-      {
-        WallTimer t;
-        mttkrp_from_group(GR.data(), X, 0, s, n, model.factors,
-                          Ms[static_cast<std::size_t>(n)], nt);
-        stats.mttkrp_seconds += t.seconds();
-      }
-      update_mode(n, stats, iter);
-    }
-
-    // --- Right group: G_L contracts the freshly updated left factors. ----
-    {
-      WallTimer t;
-      krp_transposed_into(left_factors(), KLt, KrpVariant::Reuse, nt);
-      blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, R, C, L, 1.0, X.data(), L, KLt.data(),
-                 KLt.ld(), 0.0, GL.data(), GL.ld(), nt);
-      stats.mttkrp_seconds += t.seconds();
-    }
-    for (index_t n = s; n < N; ++n) {
-      {
-        WallTimer t;
-        mttkrp_from_group(GL.data(), X, s, N, n, model.factors,
-                          Ms[static_cast<std::size_t>(n)], nt);
-        stats.mttkrp_seconds += t.seconds();
-      }
-      update_mode(n, stats, iter);
-    }
-
-    result.iterations = iter + 1;
-    if (opts.compute_fit) {
-      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
-      stats.fit = fit;
-      result.final_fit = fit;
-      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
-        stats.seconds = sweep.seconds();
-        result.iters.push_back(stats);
-        result.converged = true;
-        break;
-      }
-      fit_old = fit;
-    }
-    stats.seconds = sweep.seconds();
-    result.iters.push_back(stats);
-  }
-  return result;
+  // The dimension tree is a sweep scheme of the standard driver now (see
+  // exec/sweep_plan.hpp); this wrapper only pins the scheme. The tree has
+  // its own contraction kernels, so `opts.method` is ignored, and the
+  // custom-kernel hook is cleared like before (the dimension-tree sweep IS
+  // the kernel).
+  CpAlsOptions dt_opts = opts;
+  dt_opts.sweep_scheme = SweepScheme::DimTree;
+  dt_opts.mttkrp_override = nullptr;
+  return cp_als(X, dt_opts);
 }
 
 }  // namespace dmtk

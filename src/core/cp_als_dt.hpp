@@ -4,36 +4,36 @@
 /// (Section 6), following Phan, Tichavsky & Cichocki [19, Section III.C].
 ///
 /// Standard CP-ALS touches all I tensor entries once per MODE (N full-
-/// tensor passes per sweep). The dimension-tree scheme splits the modes
-/// into a left group [0, s) and a right group [s, N) and computes only TWO
-/// full-tensor partial MTTKRPs per sweep:
+/// tensor passes per sweep). The dimension-tree scheme computes only TWO
+/// full-tensor partial contractions per sweep (the root split of a binary
+/// tree over the modes) and recovers every mode's MTTKRP from the shared,
+/// progressively smaller node intermediates. Expected per-sweep savings:
+/// ~N/2x of the MTTKRP cost (paper Section 6 projects ~1.5x for N=3, ~2x
+/// for N=4, growing with N), at an extra memory cost of about
+/// max(I_L, I_R) x C doubles for the largest live intermediate.
 ///
-///   G_R = X(0:s-1) * KRP(U_{N-1}, ..., U_s)   (contracts the right group)
-///   G_L = X(0:s-1)^T * KRP(U_{s-1}, ..., U_0) (contracts the left group)
-///
-/// Every mode's MTTKRP is then recovered from its group's intermediate by
-/// cheap per-component tensor-times-vector chains over the (small) group
-/// tensor. The update ORDER makes this exact ALS: G_R is formed before any
-/// left-group update (right factors still old), the within-group TTV chains
-/// always read current factors, and G_L is formed after the left group has
-/// been updated. Expected per-sweep savings: ~N/2x of the MTTKRP cost
-/// (paper Section 6 projects ~1.5x for N=3, ~2x for N=4, growing with N).
-///
-/// The intermediates cost O(max(I_L, I_R) * C) extra memory, where
-/// I_L = prod of left-group sizes and I_R = prod right-group sizes; the
-/// split is chosen to balance the two.
+/// Since PR 3 the scheme lives in the sweep-plan layer
+/// (exec/sweep_plan.hpp, SweepScheme::DimTree) and runs as a genuine
+/// multi-level tree with GEMM/batched-GEMM node contractions from the
+/// ExecContext arena; cp_als_dimtree is a thin wrapper over cp_als that
+/// pins `CpAlsOptions::sweep_scheme = SweepScheme::DimTree`. Use the
+/// option directly (plus `dimtree_levels` for the tree-depth ablation) for
+/// new code.
 
 #include "core/cp_als.hpp"
 
 namespace dmtk {
 
 /// Split point s in [1, N) that balances the two group sizes (minimizes
-/// max(I_0..I_{s-1}, I_s..I_{N-1})). Exposed for tests and benchmarks.
+/// max(I_0..I_{s-1}, I_s..I_{N-1})) — the root split of the dimension
+/// tree. Exposed for tests and benchmarks; the recursive generalization is
+/// sweep_balanced_split (exec/sweep_plan.hpp).
 index_t dimtree_split(const Tensor& X);
 
-/// CP-ALS with one-level dimension-tree MTTKRP reuse. Produces the same
+/// CP-ALS with dimension-tree MTTKRP reuse across modes. Produces the same
 /// iterates as cp_als (up to roundoff); `opts.method` and
-/// `opts.mttkrp_override` are ignored.
+/// `opts.mttkrp_override` are ignored. Equivalent to cp_als with
+/// `opts.sweep_scheme = SweepScheme::DimTree`.
 CpAlsResult cp_als_dimtree(const Tensor& X, const CpAlsOptions& opts);
 
 }  // namespace dmtk

@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-
 #include <optional>
 
 #include "blas/blas.hpp"
 #include "core/cp_als_detail.hpp"
-#include "exec/mttkrp_plan.hpp"
-#include "util/env.hpp"
-#include "util/timer.hpp"
+#include "exec/sweep_plan.hpp"
 
 namespace dmtk {
 
@@ -17,10 +14,10 @@ namespace {
 
 /// One HALS pass over the columns of U (exact coordinate descent):
 /// U(:, c) <- max(0, U(:, c) + (M(:, c) - U H(:, c)) / H(c, c)).
-void hals_update(Matrix& U, const Matrix& M, const Matrix& H) {
+void hals_update(Matrix& U, const Matrix& M, const Matrix& H,
+                 std::vector<double>& g) {
   const index_t rows = U.rows();
   const index_t C = U.cols();
-  std::vector<double> g(static_cast<std::size_t>(rows));
   for (index_t c = 0; c < C; ++c) {
     // g = M(:,c) - U H(:,c), using the CURRENT U (columns < c already new).
     blas::copy(rows, M.col(c).data(), index_t{1}, g.data(), index_t{1});
@@ -50,24 +47,20 @@ CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
   DMTK_CHECK(N >= 2, "cp_nnhals: tensor must have at least 2 modes");
   DMTK_CHECK(C >= 1, "cp_nnhals: rank must be positive");
 
-  // Execution context + one reusable MTTKRP plan per mode (see cp_als.cpp).
+  // Execution context + the shared sweep plan (see cp_als.cpp).
   std::optional<ExecContext> own_ctx;
   const ExecContext& ctx =
       opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
-  const int nt = ctx.threads();
-  std::vector<MttkrpPlan> plans;
-  plans.reserve(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    plans.emplace_back(ctx, X.dims(), C, n, opts.method);
+  std::optional<CpAlsSweepPlan> sweep;
+  if (!opts.mttkrp_override) {
+    sweep.emplace(ctx, X.dims(), C, opts.sweep_scheme, opts.method,
+                  opts.dimtree_levels);
   }
 
   CpAlsResult result;
   Ktensor& model = result.model;
+  detail::init_model(X, opts, "cp_nnhals", model);
   if (opts.initial_guess != nullptr) {
-    model = *opts.initial_guess;
-    model.validate();
-    DMTK_CHECK(model.rank() == C && model.order() == N,
-               "cp_nnhals: initial guess shape mismatch");
     for (const Matrix& U : model.factors) {
       for (double v : U.span()) {
         DMTK_CHECK(v >= 0.0, "cp_nnhals: initial guess must be nonnegative");
@@ -76,71 +69,24 @@ CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts) {
     // HALS keeps the component scale inside the factors (the incremental
     // column updates are not scale-invariant the way the exact ALS solve
     // is): fold any lambda of the warm start into the last factor.
-    if (!model.lambda.empty()) {
-      Matrix& Ulast = model.factors.back();
-      for (index_t c = 0; c < C; ++c) {
-        blas::scal(Ulast.rows(), model.lambda[static_cast<std::size_t>(c)],
-                   Ulast.col(c).data(), index_t{1});
-      }
+    Matrix& Ulast = model.factors.back();
+    for (index_t c = 0; c < C; ++c) {
+      blas::scal(Ulast.rows(), model.lambda[static_cast<std::size_t>(c)],
+                 Ulast.col(c).data(), index_t{1});
     }
-    model.lambda.assign(static_cast<std::size_t>(C), 1.0);
-  } else {
-    Rng rng(opts.seed);
-    model = Ktensor::random(X.dims(), C, rng);  // uniform [0,1): nonnegative
   }
+  model.lambda.assign(static_cast<std::size_t>(C), 1.0);
 
-  const double normX2 = X.norm_squared(nt);
-  std::vector<Matrix> grams(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
-    detail::gram(model.factors[static_cast<std::size_t>(n)],
-                 grams[static_cast<std::size_t>(n)], nt);
-  }
+  index_t max_rows = 0;
+  for (index_t n = 0; n < N; ++n) max_rows = std::max(max_rows, X.dim(n));
+  std::vector<double> hals_scratch(static_cast<std::size_t>(max_rows));
 
-  // Per-mode MTTKRP outputs, shape-stable across sweeps (HALS updates the
-  // factor in place, so these are plain reusable buffers).
-  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
-  }
-  Matrix Mlast;
-  double fit_old = 0.0;
-
-  for (int iter = 0; iter < opts.max_iters; ++iter) {
-    CpAlsIterStats stats;
-    WallTimer sweep;
-    for (index_t n = 0; n < N; ++n) {
-      Matrix& M = Ms[static_cast<std::size_t>(n)];
-      {
-        WallTimer t;
-        plans[static_cast<std::size_t>(n)].execute(X, model.factors, M);
-        stats.mttkrp_seconds += t.seconds();
-      }
-      WallTimer t;
-      if (opts.compute_fit && n == N - 1) Mlast = M;
-      const Matrix H = hadamard_of_grams(grams, n);
-      Matrix& U = model.factors[static_cast<std::size_t>(n)];
-      hals_update(U, M, H);
-      detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
-      stats.solve_seconds += t.seconds();
-    }
-    result.iterations = iter + 1;
-    if (opts.compute_fit) {
-      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
-      stats.fit = fit;
-      result.final_fit = fit;
-      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
-        stats.seconds = sweep.seconds();
-        result.iters.push_back(stats);
-        result.converged = true;
-        break;
-      }
-      fit_old = fit;
-    }
-    stats.seconds = sweep.seconds();
-    result.iters.push_back(stats);
-  }
-  for (const MttkrpPlan& p : plans) result.mttkrp_timings += p.timings();
+  detail::run_als_sweeps(
+      X, opts, ctx, sweep ? &*sweep : nullptr, result,
+      [&](index_t n, Matrix& H, Matrix& M, int /*iter*/) {
+        hals_update(model.factors[static_cast<std::size_t>(n)], M, H,
+                    hals_scratch);
+      });
   return result;
 }
 

@@ -7,12 +7,14 @@
 /// with transient buffers.
 
 #include <algorithm>
+#include <cstddef>
 #include <span>
 
 #include "blas/level1.hpp"
 #include "core/matrix.hpp"
 #include "core/multi_index.hpp"
 #include "util/common.hpp"
+#include "util/parallel.hpp"
 
 namespace dmtk::detail {
 
@@ -99,6 +101,38 @@ inline void krp_rows_ws(std::span<const double* const> packed,
       refresh_partials(first_stale);
     }
   }
+}
+
+/// Pack one factor transposed into a caller-owned C x F.rows() column-major
+/// panel whose column l is row l of F — the layout krp_rows_ws reads.
+inline void pack_factor_transposed(const Matrix& F, index_t C, double* P) {
+  for (index_t c = 0; c < C; ++c) {
+    const double* col = F.col(c).data();
+    double* out = P + c;
+    for (index_t r = 0; r < F.rows(); ++r) out[r * C] = col[r];
+  }
+}
+
+/// Parallel transposed-KRP generation over `planned` contiguous row blocks
+/// into Kt (C x rows, ld = C), strided by the actual team size so a
+/// smaller-than-planned OpenMP team (nested parallelism, thread limits)
+/// still produces every block with its planned scratch slot: block b uses
+/// P_base + b * p_stride partial-Hadamard doubles and dg_base +
+/// b * dg_stride digits. Shared by MttkrpPlan and CpAlsSweepPlan.
+inline void krp_transposed_blocks(std::span<const double* const> packed,
+                                  std::span<const index_t> extents, index_t C,
+                                  index_t rows, int planned, double* Kt,
+                                  double* P_base, std::size_t p_stride,
+                                  index_t* dg_base, std::size_t dg_stride) {
+  parallel_region(planned, [&](int t, int nteam) {
+    for (int b = t; b < planned; b += nteam) {
+      const std::size_t sb = static_cast<std::size_t>(b);
+      const Range r = block_range(rows, planned, b);
+      if (r.empty()) continue;
+      krp_rows_ws(packed, extents, C, r.begin, r.end, Kt + r.begin * C, C,
+                  P_base + sb * p_stride, dg_base + sb * dg_stride);
+    }
+  });
 }
 
 }  // namespace dmtk::detail

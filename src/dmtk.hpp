@@ -10,7 +10,14 @@
 ///                           (shape, rank, mode, method); execute() then
 ///                           runs allocation-free across ALS sweeps and
 ///                           accumulates its own MttkrpTimings
+///   dmtk::CpAlsSweepPlan    whole-sweep planner behind every CP-ALS
+///                           driver: SweepScheme::PerMode (N independent
+///                           MttkrpPlans) or SweepScheme::DimTree (multi-
+///                           level dimension tree sharing partial
+///                           contractions across modes); per-node
+///                           SweepTimings
 ///   dmtk::CpAlsOptions::exec  point drivers at a shared ExecContext
+///   dmtk::CpAlsOptions::sweep_scheme  pick the sweep scheme per driver
 ///
 /// Decompositions and kernels:
 ///   dmtk::cp_als            CP decomposition via alternating least squares
@@ -54,6 +61,7 @@
 #include "core/tucker.hpp"          // IWYU pragma: export
 #include "exec/exec_context.hpp"    // IWYU pragma: export
 #include "exec/mttkrp_plan.hpp"     // IWYU pragma: export
+#include "exec/sweep_plan.hpp"      // IWYU pragma: export
 #include "io/tensor_io.hpp"         // IWYU pragma: export
 #include "linalg/cholesky.hpp"      // IWYU pragma: export
 #include "linalg/jacobi_eig.hpp"    // IWYU pragma: export

@@ -244,15 +244,9 @@ void MttkrpPlan::gather_factors(std::span<const Matrix> factors, List which,
 
 void MttkrpPlan::pack(const FactorList& fl, const KrpLayout& lay, double* base,
                       std::vector<const double*>& packed) const {
-  const index_t C = rank_;
   for (std::size_t z = 0; z < fl.size(); ++z) {
     double* P = base + lay.packed_off[z];
-    const Matrix& F = *fl[z];
-    for (index_t c = 0; c < C; ++c) {
-      const double* col = F.col(c).data();
-      double* out = P + c;
-      for (index_t r = 0; r < F.rows(); ++r) out[r * C] = col[r];
-    }
+    detail::pack_factor_transposed(*fl[z], rank_, P);
     packed[z] = P;
   }
 }
@@ -261,23 +255,12 @@ void MttkrpPlan::krp_transposed_ws(const KrpLayout& lay,
                                    std::span<const double* const> packed,
                                    double* base, std::size_t off,
                                    int threads) {
-  const index_t C = rank_;
-  const index_t J = lay.rows;
-  double* Kt = base + off;
-  // Strided over `threads` planned partitions so a smaller OpenMP team
-  // still generates every row block (threads <= nt_, so the per-block
-  // scratch slots below always exist).
-  parallel_region(threads, [&](int t, int nteam) {
-    for (int b = t; b < threads; b += nteam) {
-      const std::size_t sb = static_cast<std::size_t>(b);
-      const Range r = block_range(J, threads, b);
-      if (r.empty()) continue;
-      double* P = base + off_thread_p_ + sb * stride_thread_p_;
-      index_t* dg = digits_.data() + sb * digits_stride_;
-      detail::krp_rows_ws(packed, lay.extents, C, r.begin, r.end, Kt + r.begin * C, C,
-                  P, dg);
-    }
-  });
+  // `threads` planned partitions (threads <= nt_, so the per-block scratch
+  // slots always exist).
+  detail::krp_transposed_blocks(packed, lay.extents, rank_, lay.rows, threads,
+                                base + off, base + off_thread_p_,
+                                stride_thread_p_, digits_.data(),
+                                digits_stride_);
 }
 
 void MttkrpPlan::execute(const Tensor& X, std::span<const Matrix> factors,

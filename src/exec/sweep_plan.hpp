@@ -1,0 +1,251 @@
+#pragma once
+/// \file sweep_plan.hpp
+/// \brief CP-ALS sweep planner: one execution path for every driver.
+///
+/// An ALS sweep updates the N factors in mode order; each update needs the
+/// mode's MTTKRP against the CURRENT factors (modes < n already new, modes
+/// > n still old). A CpAlsSweepPlan is built once per (shape, rank, scheme)
+/// against an ExecContext and then serves one MTTKRP per mode per sweep,
+/// allocation-free from the context's arena. Two schemes share the
+/// interface:
+///
+///  - PerMode: N independent MttkrpPlans (the paper's per-mode kernels,
+///    Algorithms 2-4). Every mode pays one pass over the full tensor.
+///
+///  - DimTree: a multi-level binary dimension tree over the modes (the
+///    paper's Section 6 direction, after Phan, Tichavsky & Cichocki). The
+///    root is the tensor itself; its two children are the only FULL-tensor
+///    contractions of the sweep (two big GEMMs against partial KRPs);
+///    every deeper node contracts its parent's arena-resident intermediate
+///    against the KRP of the sibling interval's factors, and each leaf
+///    yields one mode's MTTKRP. Node contractions run as per-component
+///    gemm_batched sweeps (batch = rank, rows split across the team inside
+///    each component when rank < threads), with GemmWorkspaces carved from
+///    the same arena — no scalar TTV chains, no per-call heap traffic.
+///
+/// Laziness gives exactness: a node's intermediate is (re)computed the
+/// first time a leaf below it is requested in the sweep. With the in-order
+/// mode discipline (enforced), the factors it contracts are exactly the
+/// versions exact ALS requires — already-updated for modes left of the
+/// node's interval, not-yet-updated for modes right of it.
+///
+/// Cost: the root split is chosen to balance the two group sizes, so the
+/// tree touches all I tensor entries twice per sweep instead of ~N times,
+/// at an extra memory cost of about max(I_L, I_R) x C doubles for the
+/// deepest simultaneously-live intermediates (one per tree level; nodes at
+/// the same level reuse one slot because the in-order traversal keeps at
+/// most one alive). The expected per-sweep MTTKRP saving is ~N/2x for
+/// N >= 4 (paper Section 6 projects ~1.5x at N = 3, ~2x at N = 4).
+///
+/// Sweep protocol (drivers in core/ follow it through
+/// detail::run_als_sweeps):
+///
+///   plan.begin_sweep(X);
+///   for (n = 0; n < N; ++n) {
+///     plan.mode_mttkrp(n, X, model.factors, M);   // in order, exactly once
+///     ...update factor n in place...
+///   }
+///
+/// The arena frame backing the tree's intermediates opens in begin_sweep()
+/// and closes after mode N-1 is served, so the arena reads as empty
+/// between sweeps. Do not construct other plans against the same context
+/// in the middle of a sweep (reserve() would invalidate the frame).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/krp.hpp"
+#include "core/matrix.hpp"
+#include "core/mttkrp.hpp"
+#include "core/tensor.hpp"
+#include "exec/exec_context.hpp"
+#include "exec/mttkrp_plan.hpp"
+
+namespace dmtk {
+
+/// How a CP-ALS driver produces the per-mode MTTKRPs of a sweep. Auto
+/// currently resolves to PerMode (the established default); it exists so a
+/// future heuristic can pick DimTree for high-order tensors without an API
+/// break.
+enum class SweepScheme { Auto, PerMode, DimTree };
+
+[[nodiscard]] std::string_view to_string(SweepScheme s);
+
+/// Parse "auto" | "permode" | "dimtree" (aliases: "per-mode", "dim-tree").
+/// Returns nullopt for unknown names — shared by the CLI and benches.
+[[nodiscard]] std::optional<SweepScheme> parse_sweep_scheme(
+    std::string_view name);
+
+/// What Auto runs today. The single source of truth for the resolution —
+/// the plan constructor and the CLI's reporting both go through it, so a
+/// future shape-aware heuristic changes every consumer at once.
+[[nodiscard]] constexpr SweepScheme resolve_sweep_scheme(SweepScheme s) {
+  return s == SweepScheme::Auto ? SweepScheme::PerMode : s;
+}
+
+/// Balanced binary split of the mode interval [a, b): the s in (a, b) that
+/// minimizes max(prod dims[a, s), prod dims[s, b)) — the paper's rule for
+/// bounding the dimension-tree intermediates, applied recursively here.
+[[nodiscard]] index_t sweep_balanced_split(std::span<const index_t> dims,
+                                           index_t a, index_t b);
+
+/// Per-node wall-clock record of a sweep plan. PerMode plans expose one
+/// leaf node per mode; DimTree plans one entry per tree node (internal
+/// nodes are the shared partial contractions).
+struct SweepNodeTimings {
+  index_t first = 0;     ///< mode interval [first, last)
+  index_t last = 0;
+  int depth = 0;         ///< 0 = child of the root (the full-tensor passes)
+  bool leaf = false;     ///< true when the node yields a mode's MTTKRP
+  std::int64_t evals = 0;        ///< contractions performed so far
+  double krp_seconds = 0.0;      ///< transposed-KRP formation for the node
+  double contract_seconds = 0.0; ///< GEMM / batched-GEMM contraction time
+};
+
+/// Lifetime timing breakdown of a CpAlsSweepPlan — the structured
+/// replacement for the drivers' ad-hoc per-call MTTKRP stopwatches.
+struct SweepTimings {
+  double mttkrp_seconds = 0.0;        ///< total MTTKRP production time
+  std::vector<SweepNodeTimings> nodes;
+};
+
+/// A planned ALS sweep executor. Construction resolves the scheme, builds
+/// the dimension tree (DimTree) or the per-mode MttkrpPlans (PerMode),
+/// lays out every intermediate and scratch buffer, and reserves the
+/// context arena once; sweeps then run heap-free.
+class CpAlsSweepPlan {
+ public:
+  /// Plan sweeps for a tensor with extents `dims` at rank `rank`. `method`
+  /// selects the per-mode MTTKRP kernel (PerMode scheme only; the tree has
+  /// its own contraction kernels). `max_levels` caps the tree's binary
+  /// split depth: 0 = full tree (split to single modes), 1 = the one-level
+  /// two-group scheme. The context must outlive the plan.
+  CpAlsSweepPlan(const ExecContext& ctx, std::span<const index_t> dims,
+                 index_t rank, SweepScheme scheme = SweepScheme::Auto,
+                 MttkrpMethod method = MttkrpMethod::Auto, int max_levels = 0);
+
+  /// Start a sweep: marks every tree intermediate stale and opens the
+  /// arena frame. X must have the planned extents.
+  void begin_sweep(const Tensor& X);
+
+  /// Produce the mode-`n` MTTKRP into M (resized to I_n x C on mismatch).
+  /// Modes must be requested in order 0..N-1, each exactly once per sweep
+  /// — the discipline that makes the shared tree intermediates exact ALS.
+  /// Factors are read at call time, so in-place updates between calls are
+  /// what the plan expects.
+  void mode_mttkrp(index_t n, const Tensor& X, std::span<const Matrix> factors,
+                   Matrix& M);
+
+  [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
+  [[nodiscard]] index_t rank() const { return rank_; }
+  /// The scheme the caller asked for (possibly Auto).
+  [[nodiscard]] SweepScheme requested_scheme() const { return requested_; }
+  /// What the plan actually runs (never Auto).
+  [[nodiscard]] SweepScheme scheme() const { return scheme_; }
+  /// Deepest internal (splitting) level of the tree; 0 for PerMode.
+  [[nodiscard]] int levels() const { return levels_; }
+  /// Arena doubles a DimTree sweep holds at its peak (0 for PerMode, whose
+  /// per-mode plans size their own frames).
+  [[nodiscard]] std::size_t workspace_doubles() const { return ws_doubles_; }
+
+  /// MTTKRP seconds of the current (or most recently completed) sweep.
+  [[nodiscard]] double last_sweep_seconds() const { return sweep_seconds_; }
+  /// Lifetime per-node breakdown since construction or reset_timings().
+  [[nodiscard]] const SweepTimings& timings() const { return timings_; }
+  /// PerMode only: the per-phase MttkrpTimings summed over the mode plans
+  /// (zeros for DimTree, whose phases live in timings().nodes).
+  [[nodiscard]] MttkrpTimings per_mode_timings() const;
+  void reset_timings();
+
+ private:
+  /// One contracted factor interval [u, v) of a node evaluation, with the
+  /// scratch offsets (relative to the node's scratch base) of its packed
+  /// factor panels and transposed-KRP buffer.
+  struct TrimSpec {
+    index_t u = 0, v = 0;
+    index_t rows = 1;                ///< prod dims[u, v)
+    std::vector<index_t> extents;    ///< J_z per factor, mode u fastest last
+    std::vector<std::size_t> packed_off;
+    std::size_t off_krp = 0;
+    [[nodiscard]] bool empty() const { return u >= v; }
+  };
+
+  /// A non-root tree node: mode interval, parent link, the one or two
+  /// sibling-interval trims that derive it from its parent, and the arena
+  /// offsets of its output intermediate and evaluation scratch.
+  struct Node {
+    index_t a = 0, b = 0;  ///< mode interval [a, b)
+    int depth = 0;         ///< 0 = child of the root
+    int parent = -1;       ///< node id; -1 = the root tensor X
+    index_t out_rows = 1;  ///< prod dims[a, b)
+    bool leaf = false;
+    bool fresh = false;    ///< intermediate computed this sweep
+    TrimSpec left;         ///< contracts [parent.a, a)
+    TrimSpec right;        ///< contracts [b, parent.b)
+    bool left_first = false;  ///< two-trim order: contract larger side first
+    index_t t_rows = 0;       ///< rows of the two-trim mid intermediate
+    std::size_t off_out = 0;  ///< intermediate offset (internal nodes)
+    std::size_t off_t = 0;    ///< two-trim mid intermediate offset (scratch)
+    std::size_t off_p = 0;    ///< per-thread partial-Hadamard scratch
+    std::size_t stride_p = 0;
+    std::size_t off_gws = 0;  ///< GEMM packing workspace
+    std::size_t gws_doubles = 0;
+    std::size_t scratch_doubles = 0;
+  };
+
+  int build_tree(index_t a, index_t b, int depth, int parent, int max_levels);
+  void plan_node_layout();
+  void eval_node(int id, const Tensor& X, std::span<const Matrix> factors,
+                 Matrix* M);
+  /// Form the transposed KRP (C x trim.rows) of factors [trim.u, trim.v)
+  /// in the node's scratch; returns the buffer.
+  const double* form_trim_krp(const Node& nd, const TrimSpec& trim,
+                              std::span<const Matrix> factors);
+  /// One-sided batched contraction of `src` (src_rows x C, component-major)
+  /// against the trim's KRP: contract_left=true removes the
+  /// fastest-varying (leading) trim.rows index of each component block,
+  /// else the slowest (trailing) one.
+  void contract_batched(const Node& nd, const double* src, index_t src_rows,
+                        const TrimSpec& trim, const double* krp,
+                        bool contract_left, double* dst, index_t dst_rows);
+
+  const ExecContext* ctx_;
+  std::vector<index_t> dims_;
+  index_t rank_ = 0;
+  int nt_ = 1;
+  SweepScheme requested_ = SweepScheme::Auto;
+  SweepScheme scheme_ = SweepScheme::PerMode;
+  int levels_ = 0;
+
+  // PerMode state.
+  std::vector<MttkrpPlan> mode_plans_;
+
+  // DimTree state.
+  std::vector<Node> nodes_;
+  std::vector<std::vector<int>> leaf_path_;  ///< per mode: node ids, top down
+  std::size_t inter_doubles_ = 0;   ///< intermediates region (front)
+  std::size_t scratch_base_ = 0;    ///< per-eval scratch region (back)
+  std::size_t ws_doubles_ = 0;
+  std::optional<WorkspaceArena::Frame> frame_;
+  double* base_ = nullptr;
+  // Preallocated small scratch so sweeps never allocate.
+  FactorList fl_;
+  std::vector<const double*> packed_;
+  std::vector<index_t> digits_;
+  std::size_t digits_stride_ = 0;
+  std::vector<const double*> batch_a_;
+  std::vector<const double*> batch_b_;
+  std::vector<double*> batch_c_;
+
+  // Sweep protocol state.
+  bool sweep_active_ = false;
+  index_t next_mode_ = 0;
+
+  SweepTimings timings_;
+  double sweep_seconds_ = 0.0;
+};
+
+}  // namespace dmtk

@@ -32,9 +32,13 @@ using namespace dmtk;
       "  fmri      [--time T] [--subjects S] [--regions R] [--rank C]\n"
       "            [--noise f] [--seed s] [--linearize] --out F\n"
       "  info      <tensor.dten>\n"
-      "  decompose <tensor.dten> --rank R [--nn] [--dimtree]\n"
+      "  decompose <tensor.dten> --rank R [--nn]\n"
+      "            [--sweep permode|dimtree|auto] [--levels n] [--dimtree]\n"
       "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
+      "            (--sweep dimtree shares partial MTTKRPs across modes;\n"
+      "             --levels caps the tree depth, 0 = full tree; --dimtree\n"
+      "             is the legacy alias for --sweep dimtree)\n"
       "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
       "  export    <model.dktn> --out-prefix P\n");
   std::exit(1);
@@ -172,12 +176,40 @@ int cmd_decompose(int argc, char** argv) {
   opts.tol = flag_or(flags, "tol", 1e-6);
   opts.exec = &ctx;
   opts.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42));
+  opts.dimtree_levels = static_cast<int>(flag_or(flags, "levels", 0));
+  const std::string sweep_s = flag_str(flags, "sweep");
+  if (!sweep_s.empty()) {
+    const auto s = parse_sweep_scheme(sweep_s);
+    if (!s) {
+      std::fprintf(stderr, "unknown sweep scheme '%s'\n", sweep_s.c_str());
+      return 1;
+    }
+    opts.sweep_scheme = *s;
+  }
+  if (flags.count("dimtree") != 0) {
+    if (!sweep_s.empty() && opts.sweep_scheme != SweepScheme::DimTree) {
+      // The legacy alias contradicting an explicit --sweep choice; honoring
+      // either one silently would mislead.
+      std::fprintf(stderr, "--dimtree conflicts with --sweep %s\n",
+                   sweep_s.c_str());
+      return 1;
+    }
+    opts.sweep_scheme = SweepScheme::DimTree;  // legacy alias
+  }
+  if (flags.count("levels") != 0 &&
+      opts.sweep_scheme != SweepScheme::DimTree) {
+    // Only the dimension tree has a depth; ignoring the flag would let the
+    // user believe they ran the 1-level ablation on a PerMode sweep.
+    std::fprintf(stderr, "--levels requires --sweep dimtree\n");
+    return 1;
+  }
   const std::string method_s = flag_str(flags, "method");
   if (!method_s.empty()) {
-    if (flags.count("dimtree") != 0) {
-      // The dimension-tree driver has its own kernels and ignores
-      // opts.method; silently dropping the flag would mislead.
-      std::fprintf(stderr, "--method cannot be combined with --dimtree\n");
+    if (opts.sweep_scheme == SweepScheme::DimTree) {
+      // The dimension-tree sweep has its own contraction kernels and
+      // ignores opts.method; silently dropping the flag would mislead.
+      std::fprintf(stderr,
+                   "--method cannot be combined with the dimtree sweep\n");
       return 1;
     }
     const auto m = parse_mttkrp_method(method_s);
@@ -194,13 +226,13 @@ int cmd_decompose(int argc, char** argv) {
   if (flags.count("nn") != 0) {
     r = cp_nnhals(X, opts);
     method = "cp_nnhals";
-  } else if (flags.count("dimtree") != 0) {
-    r = cp_als_dimtree(X, opts);
-    method = "cp_als_dimtree";
   } else {
     r = cp_als(X, opts);
   }
-  std::printf("%s: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n", method,
+  std::printf("%s[%s sweep]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
+              method,
+              std::string(to_string(resolve_sweep_scheme(opts.sweep_scheme)))
+                  .c_str(),
               static_cast<long long>(opts.rank), r.final_fit, r.iterations,
               r.converged ? "converged" : "max-iters", t.seconds());
   const std::string out = flag_str(flags, "out");

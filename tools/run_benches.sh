@@ -1,25 +1,25 @@
 #!/usr/bin/env bash
-# Run the perf-trajectory benches and write BENCH_pr2.json at the repo root.
+# Run the perf-trajectory benches and write BENCH_pr3.json at the repo root.
 #
 # usage: tools/run_benches.sh [build_dir] [out_json] [scale]
 #   build_dir  CMake build tree with the bench binaries (default: build)
-#   out_json   output JSON path (default: BENCH_pr2.json)
+#   out_json   output JSON path (default: BENCH_pr3.json)
 #   scale      --scale for the figure benches (default: 0.001)
 #
-# The roofline bench emits the JSON record (machine info, per-case median
-# GFLOP/s for scalar vs AVX2 kernels across square and MTTKRP-shaped
-# GEMMs, plus the batched sweep); fig5/fig6 logs land next to it so the
-# end-to-end MTTKRP numbers travel with the kernel numbers. Subsequent PRs
-# compare their BENCH_*.json against this one.
+# The dimension-tree sweep ablation emits the JSON record (per-sweep MTTKRP
+# seconds: PerMode vs full-tree vs 1-level-tree DimTree for N = 3..6);
+# fig5/fig6 logs and the GEMM-roofline JSON of PR 2 land in bench_logs/ so
+# the end-to-end and kernel numbers travel with it. Subsequent PRs compare
+# their BENCH_*.json against this one.
 
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-BENCH_pr2.json}"
+out_json="${2:-BENCH_pr3.json}"
 scale="${3:-0.001}"
 
-if [[ ! -x "${build_dir}/bench_gemm_roofline" ]]; then
-  echo "error: ${build_dir}/bench_gemm_roofline not found — build first:" >&2
+if [[ ! -x "${build_dir}/bench_ablation_dimtree" ]]; then
+  echo "error: ${build_dir}/bench_ablation_dimtree not found — build first:" >&2
   echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
   exit 1
 fi
@@ -36,8 +36,13 @@ echo "== fig6 (MTTKRP breakdown) =="
   | tee "${log_dir}/fig6.log"
 
 echo "== gemm roofline =="
-"${build_dir}/bench_gemm_roofline" --sizes 256,512,1024 --threads 1,2,4 \
-  --trials 3 --check --json "${out_json}" | tee "${log_dir}/gemm_roofline.log"
+"${build_dir}/bench_gemm_roofline" --sizes 256,512,1024 --threads 1 \
+  --trials 3 --check --json "${log_dir}/gemm_roofline.json" \
+  | tee "${log_dir}/gemm_roofline.log"
+
+echo "== dimension-tree sweep ablation =="
+"${build_dir}/bench_ablation_dimtree" --scale "${scale}" --threads 1 \
+  --trials 3 --json "${out_json}" | tee "${log_dir}/ablation_dimtree.log"
 
 echo
-echo "wrote ${out_json} (logs in ${log_dir}/)"
+echo "wrote ${out_json} (logs + roofline JSON in ${log_dir}/)"
