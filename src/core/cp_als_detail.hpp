@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "blas/blas.hpp"
@@ -84,8 +85,11 @@ inline double cp_fit(double normX2, const Ktensor& model, const Matrix& Mlast,
 
 /// Initialize result.model from the warm start or the seed; shared
 /// validation for every driver (`who` names the driver in error messages).
-inline void init_model(const Tensor& X, const CpAlsOptions& opts,
-                       const char* who, Ktensor& model) {
+/// Works for any tensor type exposing order() and dims() — dense Tensor
+/// and sparse::SparseTensor alike.
+template <typename TensorT>
+void init_model(const TensorT& X, const CpAlsOptions& opts,
+                const char* who, Ktensor& model) {
   const index_t N = X.order();
   const index_t C = opts.rank;
   if (opts.initial_guess != nullptr) {
@@ -102,21 +106,30 @@ inline void init_model(const Tensor& X, const CpAlsOptions& opts,
   }
 }
 
-/// The single ALS sweep loop behind every driver. `sweep` may be null only
-/// when opts.mttkrp_override is set (the hook then replaces the plan).
+/// The single ALS sweep loop behind every driver — dense AND sparse: the
+/// tensor type only has to expose order()/dim()/dims()/norm_squared(int)
+/// and a matching CpAlsSweepPlan begin_sweep/mode_mttkrp overload, so a
+/// sparse::SparseTensor runs the exact same grams/fit/stopping code as the
+/// dense drivers. `sweep` may be null only when opts.mttkrp_override is
+/// set (the hook then replaces the plan; dense tensors only).
 /// `update_mode(n, H, M, iter)` must update result.model's factor n (and
 /// lambda, if the driver normalizes) in place, given the Hadamard-of-Grams
 /// system matrix H and the mode's MTTKRP M; the loop recomputes the Gram
 /// matrix afterwards and owns fit evaluation and the stopping rule.
-template <typename UpdateFn>
-void run_als_sweeps(const Tensor& X, const CpAlsOptions& opts,
+template <typename TensorT, typename UpdateFn>
+void run_als_sweeps(const TensorT& X, const CpAlsOptions& opts,
                     const ExecContext& ctx, CpAlsSweepPlan* sweep,
                     CpAlsResult& result, UpdateFn&& update_mode) {
+  constexpr bool kDense = std::is_same_v<std::decay_t<TensorT>, Tensor>;
   const index_t N = X.order();
   const index_t C = opts.rank;
   const int nt = ctx.threads();
   Ktensor& model = result.model;
-  const bool use_override = static_cast<bool>(opts.mttkrp_override);
+  if constexpr (!kDense) {
+    DMTK_CHECK(!opts.mttkrp_override,
+               "run_als_sweeps: mttkrp_override is dense-only");
+  }
+  const bool use_override = kDense && static_cast<bool>(opts.mttkrp_override);
   DMTK_CHECK(use_override || sweep != nullptr,
              "run_als_sweeps: need a sweep plan or an mttkrp override");
 
@@ -151,9 +164,11 @@ void run_als_sweeps(const Tensor& X, const CpAlsOptions& opts,
     for (index_t n = 0; n < N; ++n) {
       Matrix& M = Ms[static_cast<std::size_t>(n)];
       if (use_override) {
-        WallTimer t;
-        opts.mttkrp_override(X, model.factors, n, M, ctx);
-        stats.mttkrp_seconds += t.seconds();
+        if constexpr (kDense) {
+          WallTimer t;
+          opts.mttkrp_override(X, model.factors, n, M, ctx);
+          stats.mttkrp_seconds += t.seconds();
+        }
       } else {
         sweep->mode_mttkrp(n, X, model.factors, M);
       }

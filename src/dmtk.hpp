@@ -16,6 +16,11 @@
 ///                           level dimension tree sharing partial
 ///                           contractions across modes); per-node
 ///                           SweepTimings
+///   dmtk::SparseMttkrpPlan  the sparse workload's plan: per-mode CSF
+///                           trees (or the COO kernel) built once, arena-
+///                           backed allocation-free execute(); drives
+///                           SweepScheme::SparseCsf / SparseCoo so sparse
+///                           CP-ALS shares the dense sweep loop
 ///   dmtk::CpAlsOptions::exec  point drivers at a shared ExecContext
 ///   dmtk::CpAlsOptions::sweep_scheme  pick the sweep scheme per driver
 ///
@@ -61,12 +66,14 @@
 #include "core/tucker.hpp"          // IWYU pragma: export
 #include "exec/exec_context.hpp"    // IWYU pragma: export
 #include "exec/mttkrp_plan.hpp"     // IWYU pragma: export
+#include "exec/sparse_mttkrp_plan.hpp"  // IWYU pragma: export
 #include "exec/sweep_plan.hpp"      // IWYU pragma: export
 #include "io/tensor_io.hpp"         // IWYU pragma: export
 #include "linalg/cholesky.hpp"      // IWYU pragma: export
 #include "linalg/jacobi_eig.hpp"    // IWYU pragma: export
 #include "linalg/spd_solve.hpp"     // IWYU pragma: export
 #include "sim/fmri.hpp"             // IWYU pragma: export
+#include "sparse/csf.hpp"           // IWYU pragma: export
 #include "sparse/sparse_tensor.hpp" // IWYU pragma: export
 #include "util/env.hpp"             // IWYU pragma: export
 #include "util/rng.hpp"             // IWYU pragma: export

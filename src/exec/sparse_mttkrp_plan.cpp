@@ -1,0 +1,155 @@
+#include "exec/sparse_mttkrp_plan.hpp"
+
+#include <algorithm>
+
+#include "blas/blas.hpp"
+#include "util/timer.hpp"
+
+namespace dmtk {
+
+SparseMttkrpPlan::SparseMttkrpPlan(const ExecContext& ctx,
+                                   const sparse::SparseTensor& X, index_t rank,
+                                   SparseMttkrpKernel kernel)
+    : ctx_(&ctx),
+      X_(&X),
+      dims_(X.dims().begin(), X.dims().end()),
+      rank_(rank),
+      nnz_(X.nnz()),
+      requested_(kernel) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(N >= 2, "sparse plan: tensor must have at least 2 modes");
+  DMTK_CHECK(rank >= 1, "sparse plan: rank must be positive");
+  nt_ = ctx.threads();
+  kernel_ = kernel == SparseMttkrpKernel::Auto ? SparseMttkrpKernel::Csf
+                                               : kernel;
+
+  if (kernel_ == SparseMttkrpKernel::Csf) {
+    // One mode-rooted tree per mode, plus the per-thread root tiling —
+    // the whole sort/merge/compress cost is paid here, once.
+    csf_.reserve(static_cast<std::size_t>(N));
+    tiles_.resize(static_cast<std::size_t>(N));
+    for (index_t n = 0; n < N; ++n) {
+      csf_.push_back(sparse::CsfTensor::build(
+          X, sparse::CsfTensor::root_first_perm(dims_, n)));
+      std::vector<Range>& tn = tiles_[static_cast<std::size_t>(n)];
+      tn.resize(static_cast<std::size_t>(nt_));
+      const index_t roots = csf_.back().nodes(0);
+      for (int t = 0; t < nt_; ++t) {
+        tn[static_cast<std::size_t>(t)] = block_range(roots, nt_, t);
+      }
+    }
+    stride_scratch_ = WorkspaceArena::aligned(
+        sparse::csf_mttkrp_scratch_doubles(N, rank_));
+    ws_doubles_ = static_cast<std::size_t>(nt_) * stride_scratch_;
+  } else {
+    // COO: nt thread-private In x C outputs (largest mode) plus one
+    // Hadamard row per thread — the buffers the retired free-function
+    // kernel heap-allocated on every call.
+    index_t max_in = 0;
+    for (index_t d : dims_) max_in = std::max(max_in, d);
+    stride_partial_ = WorkspaceArena::aligned(
+        static_cast<std::size_t>(max_in) * static_cast<std::size_t>(rank_));
+    stride_row_ = WorkspaceArena::aligned(static_cast<std::size_t>(rank_));
+    off_row_ = static_cast<std::size_t>(nt_) * stride_partial_;
+    ws_doubles_ = off_row_ + static_cast<std::size_t>(nt_) * stride_row_;
+  }
+  ctx.arena().reserve(ws_doubles_);
+}
+
+const sparse::CsfTensor& SparseMttkrpPlan::csf(index_t mode) const {
+  DMTK_CHECK(kernel_ == SparseMttkrpKernel::Csf,
+             "sparse plan: csf() requires the Csf kernel");
+  DMTK_CHECK(mode >= 0 && mode < static_cast<index_t>(csf_.size()),
+             "sparse plan: mode out of range");
+  return csf_[static_cast<std::size_t>(mode)];
+}
+
+void SparseMttkrpPlan::execute(index_t mode, std::span<const Matrix> factors,
+                               Matrix& M) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(mode >= 0 && mode < N, "sparse plan: mode out of range");
+  DMTK_CHECK(static_cast<index_t>(factors.size()) == N,
+             "sparse plan: need one factor matrix per mode");
+  for (index_t n = 0; n < N; ++n) {
+    const Matrix& U = factors[static_cast<std::size_t>(n)];
+    DMTK_CHECK(U.cols() == rank_, "sparse plan: factors disagree on rank");
+    DMTK_CHECK(U.rows() == dims_[static_cast<std::size_t>(n)],
+               "sparse plan: factor rows != mode size");
+  }
+  const index_t In = dims_[static_cast<std::size_t>(mode)];
+  if (M.rows() != In || M.cols() != rank_) M = Matrix(In, rank_);
+
+  WallTimer timer;
+  WorkspaceArena::Frame frame(ctx_->arena());
+  double* base = ws_doubles_ > 0 ? frame.alloc(ws_doubles_) : nullptr;
+  if (kernel_ == SparseMttkrpKernel::Csf) {
+    exec_csf(mode, factors, M, base);
+  } else {
+    exec_coo(mode, factors, M, base);
+  }
+  total_seconds_ += timer.seconds();
+}
+
+void SparseMttkrpPlan::exec_csf(index_t mode, std::span<const Matrix> factors,
+                                Matrix& M, double* base) {
+  const sparse::CsfTensor& T = csf_[static_cast<std::size_t>(mode)];
+  const std::vector<Range>& tiles = tiles_[static_cast<std::size_t>(mode)];
+  // Root fids are distinct, so the tiles write disjoint rows; rows with no
+  // root node (empty slices) keep the zero from here. OpenMP may deliver
+  // fewer threads than planned (nesting, thread limits), so each worker
+  // strides over the planned tiles by the ACTUAL team size — the same
+  // defense the dense KRP blocks use — instead of assuming tile t runs.
+  M.set_zero();
+  parallel_region(nt_, [&](int t, int nteam) {
+    for (int b = t; b < nt_; b += nteam) {
+      sparse::csf_mttkrp_root_range(T, factors, M,
+                                    tiles[static_cast<std::size_t>(b)],
+                                    base + static_cast<std::size_t>(t) *
+                                               stride_scratch_);
+    }
+  });
+}
+
+void SparseMttkrpPlan::exec_coo(index_t mode, std::span<const Matrix> factors,
+                                Matrix& M, double* base) {
+  const sparse::SparseTensor& X = *X_;
+  const index_t N = static_cast<index_t>(dims_.size());
+  const index_t C = rank_;
+  const index_t In = dims_[static_cast<std::size_t>(mode)];
+  const index_t nnz = nnz_;
+  const std::size_t partial_doubles =
+      static_cast<std::size_t>(In) * static_cast<std::size_t>(C);
+  // Same arithmetic, same reduction order as the free sparse::mttkrp —
+  // only the buffers moved from the heap into the arena. The nonzeros are
+  // partitioned by the ACTUAL team size (which may be smaller than
+  // planned), and only that many partials are reduced below: slots beyond
+  // the real team were never zeroed this call and hold stale arena bytes.
+  int team = 1;
+  parallel_region(nt_, [&](int t, int nteam) {
+    if (t == 0) team = nteam;
+    const Range r = block_range(nnz, nteam, t);
+    double* Mt = base + static_cast<std::size_t>(t) * stride_partial_;
+    std::fill(Mt, Mt + partial_doubles, 0.0);
+    double* row = base + off_row_ + static_cast<std::size_t>(t) * stride_row_;
+    for (index_t k = r.begin; k < r.end; ++k) {
+      std::fill(row, row + C, X.value(k));
+      for (index_t n = 0; n < N; ++n) {
+        if (n == mode) continue;
+        const Matrix& U = factors[static_cast<std::size_t>(n)];
+        const double* ubase = U.data() + X.coord(n, k);
+        const index_t ld = U.ld();
+        for (index_t c = 0; c < C; ++c) row[c] *= ubase[c * ld];
+      }
+      const index_t i = X.coord(mode, k);
+      for (index_t c = 0; c < C; ++c) Mt[i + c * In] += row[c];
+    }
+  });
+  M.set_zero();
+  for (int t = 0; t < team; ++t) {
+    blas::axpy(M.size(), 1.0,
+               base + static_cast<std::size_t>(t) * stride_partial_,
+               index_t{1}, M.data(), index_t{1});
+  }
+}
+
+}  // namespace dmtk

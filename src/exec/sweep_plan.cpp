@@ -5,6 +5,7 @@
 
 #include "blas/blas.hpp"
 #include "core/krp_detail.hpp"
+#include "exec/sparse_mttkrp_plan.hpp"
 #include "util/timer.hpp"
 
 namespace dmtk {
@@ -14,6 +15,8 @@ std::string_view to_string(SweepScheme s) {
     case SweepScheme::Auto: return "auto";
     case SweepScheme::PerMode: return "permode";
     case SweepScheme::DimTree: return "dimtree";
+    case SweepScheme::SparseCsf: return "csf";
+    case SweepScheme::SparseCoo: return "coo";
   }
   return "?";
 }
@@ -22,6 +25,8 @@ std::optional<SweepScheme> parse_sweep_scheme(std::string_view name) {
   if (name == "auto") return SweepScheme::Auto;
   if (name == "permode" || name == "per-mode") return SweepScheme::PerMode;
   if (name == "dimtree" || name == "dim-tree") return SweepScheme::DimTree;
+  if (name == "csf" || name == "sparse-csf") return SweepScheme::SparseCsf;
+  if (name == "coo" || name == "sparse-coo") return SweepScheme::SparseCoo;
   return std::nullopt;
 }
 
@@ -59,9 +64,13 @@ CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
     DMTK_CHECK(d >= 1, "sweep plan: extents must be positive");
   }
   nt_ = ctx.threads();
-  // Auto keeps today's default; a future heuristic may pick DimTree for
-  // high-order shapes once multi-core data justifies a cutover rule.
-  scheme_ = resolve_sweep_scheme(requested_);
+  // The Auto heuristic (resolve_sweep_scheme): DimTree for N >= 4 unless
+  // an explicit per-mode kernel request pins PerMode. Never a sparse
+  // scheme — those require the sparse constructor.
+  scheme_ = resolve_sweep_scheme(requested_, N, method);
+  DMTK_CHECK(scheme_ == SweepScheme::PerMode || scheme_ == SweepScheme::DimTree,
+             "sweep plan: sparse scheme requested for a dense tensor — "
+             "construct the plan from a SparseTensor instead");
 
   if (scheme_ == SweepScheme::PerMode) {
     levels_ = 0;
@@ -116,6 +125,49 @@ CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
   batch_a_.resize(static_cast<std::size_t>(rank_));
   batch_b_.resize(static_cast<std::size_t>(rank_));
   batch_c_.resize(static_cast<std::size_t>(rank_));
+}
+
+CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
+                               const sparse::SparseTensor& X, index_t rank,
+                               SweepScheme scheme)
+    : ctx_(&ctx),
+      dims_(X.dims().begin(), X.dims().end()),
+      rank_(rank),
+      requested_(scheme) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(N >= 2, "sweep plan: tensor must have at least 2 modes");
+  DMTK_CHECK(rank >= 1, "sweep plan: rank must be positive");
+  nt_ = ctx.threads();
+  // Sparse input resolves Auto to the CSF kernel; the dense heuristic of
+  // resolve_sweep_scheme never applies here (and dense schemes are
+  // rejected — a sparse tensor has no dense matricization to sweep).
+  scheme_ = resolve_sparse_sweep_scheme(scheme);
+  DMTK_CHECK(
+      scheme_ == SweepScheme::SparseCsf || scheme_ == SweepScheme::SparseCoo,
+      "sweep plan: dense scheme requested for a sparse tensor — use "
+      "SweepScheme::SparseCsf / SparseCoo (or Auto)");
+  levels_ = 0;
+  sparse_plan_ = std::make_unique<SparseMttkrpPlan>(
+      ctx, X, rank,
+      scheme_ == SweepScheme::SparseCsf ? SparseMttkrpKernel::Csf
+                                        : SparseMttkrpKernel::Coo);
+  ws_doubles_ = sparse_plan_->workspace_doubles();
+  timings_.nodes.reserve(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    SweepNodeTimings tm;
+    tm.first = n;
+    tm.last = n + 1;
+    tm.leaf = true;
+    timings_.nodes.push_back(tm);
+  }
+}
+
+CpAlsSweepPlan::~CpAlsSweepPlan() = default;
+
+const SparseMttkrpPlan& CpAlsSweepPlan::sparse_plan() const {
+  DMTK_CHECK(sparse_plan_ != nullptr,
+             "sweep plan: sparse_plan() requires a sparse scheme");
+  return *sparse_plan_;
 }
 
 int CpAlsSweepPlan::build_tree(index_t a, index_t b, int depth, int parent,
@@ -265,6 +317,8 @@ void CpAlsSweepPlan::plan_node_layout() {
 
 void CpAlsSweepPlan::begin_sweep(const Tensor& X) {
   const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(!is_sparse(),
+             "sweep plan: dense begin_sweep on a sparse-scheme plan");
   DMTK_CHECK(X.order() == N, "sweep plan: tensor order mismatch");
   for (index_t n = 0; n < N; ++n) {
     DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
@@ -281,8 +335,27 @@ void CpAlsSweepPlan::begin_sweep(const Tensor& X) {
   }
 }
 
-void CpAlsSweepPlan::mode_mttkrp(index_t n, const Tensor& X,
-                                 std::span<const Matrix> factors, Matrix& M) {
+void CpAlsSweepPlan::begin_sweep(const sparse::SparseTensor& X) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(is_sparse(),
+             "sweep plan: sparse begin_sweep on a dense-scheme plan");
+  DMTK_CHECK(X.order() == N, "sweep plan: tensor order mismatch");
+  for (index_t n = 0; n < N; ++n) {
+    DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
+               "sweep plan: tensor extents differ from the planned shape");
+  }
+  // The sparse plan bound its tensor at construction; a different nonzero
+  // count here means the caller swapped tensors under the plan.
+  DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
+             "sweep plan: sparse tensor differs from the one planned for");
+  next_mode_ = 0;
+  sweep_active_ = true;
+  sweep_seconds_ = 0.0;
+}
+
+void CpAlsSweepPlan::check_mode_request(index_t n,
+                                        std::span<const Matrix> factors,
+                                        Matrix& M) {
   const index_t N = static_cast<index_t>(dims_.size());
   DMTK_CHECK(sweep_active_, "sweep plan: begin_sweep() before mode_mttkrp()");
   DMTK_CHECK(n == next_mode_,
@@ -297,6 +370,24 @@ void CpAlsSweepPlan::mode_mttkrp(index_t n, const Tensor& X,
   }
   const index_t In = dims_[static_cast<std::size_t>(n)];
   if (M.rows() != In || M.cols() != rank_) M = Matrix(In, rank_);
+}
+
+void CpAlsSweepPlan::finish_mode(double seconds) {
+  sweep_seconds_ += seconds;
+  timings_.mttkrp_seconds += seconds;
+  ++next_mode_;
+  if (next_mode_ == static_cast<index_t>(dims_.size())) {
+    sweep_active_ = false;
+    frame_.reset();
+    base_ = nullptr;
+  }
+}
+
+void CpAlsSweepPlan::mode_mttkrp(index_t n, const Tensor& X,
+                                 std::span<const Matrix> factors, Matrix& M) {
+  DMTK_CHECK(!is_sparse(),
+             "sweep plan: dense mode_mttkrp on a sparse-scheme plan");
+  check_mode_request(n, factors, M);
 
   WallTimer t;
   if (scheme_ == SweepScheme::PerMode) {
@@ -310,16 +401,23 @@ void CpAlsSweepPlan::mode_mttkrp(index_t n, const Tensor& X,
       if (!nd.fresh) eval_node(id, X, factors, nd.leaf ? &M : nullptr);
     }
   }
-  const double sec = t.seconds();
-  sweep_seconds_ += sec;
-  timings_.mttkrp_seconds += sec;
+  finish_mode(t.seconds());
+}
 
-  ++next_mode_;
-  if (next_mode_ == N) {
-    sweep_active_ = false;
-    frame_.reset();
-    base_ = nullptr;
-  }
+void CpAlsSweepPlan::mode_mttkrp(index_t n, const sparse::SparseTensor& X,
+                                 std::span<const Matrix> factors, Matrix& M) {
+  DMTK_CHECK(is_sparse(),
+             "sweep plan: sparse mode_mttkrp on a dense-scheme plan");
+  DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
+             "sweep plan: sparse tensor differs from the one planned for");
+  check_mode_request(n, factors, M);
+
+  WallTimer t;
+  sparse_plan_->execute(n, factors, M);
+  SweepNodeTimings& tm = timings_.nodes[static_cast<std::size_t>(n)];
+  tm.contract_seconds += t.seconds();
+  ++tm.evals;
+  finish_mode(t.seconds());
 }
 
 const double* CpAlsSweepPlan::form_trim_krp(const Node& nd,

@@ -6,8 +6,12 @@
 /// mode's MTTKRP against the CURRENT factors (modes < n already new, modes
 /// > n still old). A CpAlsSweepPlan is built once per (shape, rank, scheme)
 /// against an ExecContext and then serves one MTTKRP per mode per sweep,
-/// allocation-free from the context's arena. Two schemes share the
-/// interface:
+/// allocation-free from the context's arena. Dense tensors pick between
+/// PerMode and DimTree; sparse tensors (the second constructor) run the
+/// SparseCsf / SparseCoo schemes through a SparseMttkrpPlan
+/// (exec/sparse_mttkrp_plan.hpp) behind the same begin_sweep/mode_mttkrp
+/// protocol, which is what lets detail::run_als_sweeps drive sparse
+/// CP-ALS through the exact same sweep loop. The dense schemes:
 ///
 ///  - PerMode: N independent MttkrpPlans (the paper's per-mode kernels,
 ///    Algorithms 2-4). Every mode pays one pass over the full tensor.
@@ -52,6 +56,7 @@
 /// in the middle of a sweep (reserve() would invalidate the frame).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -66,24 +71,53 @@
 
 namespace dmtk {
 
-/// How a CP-ALS driver produces the per-mode MTTKRPs of a sweep. Auto
-/// currently resolves to PerMode (the established default); it exists so a
-/// future heuristic can pick DimTree for high-order tensors without an API
-/// break.
-enum class SweepScheme { Auto, PerMode, DimTree };
+namespace sparse {
+class SparseTensor;
+}  // namespace sparse
+class SparseMttkrpPlan;
+
+/// How a CP-ALS driver produces the per-mode MTTKRPs of a sweep. PerMode
+/// and DimTree serve dense tensors; SparseCsf (the mode-rooted CSF kernel)
+/// and SparseCoo (the per-nonzero kernel through the plan layer) serve
+/// sparse ones — a plan built for one input kind rejects schemes of the
+/// other, so a dense tensor is never silently run through a sparse kernel
+/// or vice versa. Auto resolves per input kind (see resolve_sweep_scheme).
+enum class SweepScheme { Auto, PerMode, DimTree, SparseCsf, SparseCoo };
 
 [[nodiscard]] std::string_view to_string(SweepScheme s);
 
-/// Parse "auto" | "permode" | "dimtree" (aliases: "per-mode", "dim-tree").
-/// Returns nullopt for unknown names — shared by the CLI and benches.
+/// Parse "auto" | "permode" | "dimtree" | "csf" | "coo" (aliases:
+/// "per-mode", "dim-tree", "sparse-csf", "sparse-coo"). Returns nullopt
+/// for unknown names — shared by the CLI and benches.
 [[nodiscard]] std::optional<SweepScheme> parse_sweep_scheme(
     std::string_view name);
 
-/// What Auto runs today. The single source of truth for the resolution —
-/// the plan constructor and the CLI's reporting both go through it, so a
-/// future shape-aware heuristic changes every consumer at once.
-[[nodiscard]] constexpr SweepScheme resolve_sweep_scheme(SweepScheme s) {
-  return s == SweepScheme::Auto ? SweepScheme::PerMode : s;
+/// What Auto runs on a DENSE tensor of the given order. The single source
+/// of truth for the resolution — the plan constructor and the CLI's
+/// reporting both go through it. The heuristic picks the dimension tree
+/// for N >= 4, where its two-full-passes-per-sweep saving is decisively
+/// ahead of PerMode's N passes (ablation data in BENCH_pr3.json; at N = 3
+/// PerMode stays the default until multi-core runs justify a cutover). It
+/// never returns a sparse scheme: sparse input resolves Auto through
+/// resolve_sparse_sweep_scheme below instead. One refinement: an explicit
+/// (non-Auto) MttkrpMethod pins PerMode under Auto, because the tree has
+/// its own contraction kernels and would silently ignore the requested
+/// one — pass the method so the plan constructor, the CLI guardrails, and
+/// the CLI's report all resolve identically.
+[[nodiscard]] constexpr SweepScheme resolve_sweep_scheme(
+    SweepScheme s, index_t order, MttkrpMethod method = MttkrpMethod::Auto) {
+  return s != SweepScheme::Auto
+             ? s
+             : (method == MttkrpMethod::Auto && order >= 4
+                    ? SweepScheme::DimTree
+                    : SweepScheme::PerMode);
+}
+
+/// What Auto runs on a SPARSE tensor: the CSF kernel. Shared by the
+/// sparse plan constructor and the CLI's sparse path.
+[[nodiscard]] constexpr SweepScheme resolve_sparse_sweep_scheme(
+    SweepScheme s) {
+  return s == SweepScheme::Auto ? SweepScheme::SparseCsf : s;
 }
 
 /// Balanced binary split of the mode interval [a, b): the s in (a, b) that
@@ -127,9 +161,23 @@ class CpAlsSweepPlan {
                  index_t rank, SweepScheme scheme = SweepScheme::Auto,
                  MttkrpMethod method = MttkrpMethod::Auto, int max_levels = 0);
 
+  /// Plan sparse sweeps: Auto resolves to SparseCsf; only SparseCsf /
+  /// SparseCoo are accepted (a dense scheme on sparse input throws, like a
+  /// sparse scheme on the dense constructor). The SparseMttkrpPlan built
+  /// here BINDS X — CSF construction happens now — so X must outlive the
+  /// plan and keep its values (see exec/sparse_mttkrp_plan.hpp).
+  CpAlsSweepPlan(const ExecContext& ctx, const sparse::SparseTensor& X,
+                 index_t rank, SweepScheme scheme = SweepScheme::Auto);
+
+  ~CpAlsSweepPlan();
+
   /// Start a sweep: marks every tree intermediate stale and opens the
   /// arena frame. X must have the planned extents.
   void begin_sweep(const Tensor& X);
+
+  /// Start a sweep over the bound sparse tensor; X must match the planned
+  /// shape and nonzero count (sparse schemes only).
+  void begin_sweep(const sparse::SparseTensor& X);
 
   /// Produce the mode-`n` MTTKRP into M (resized to I_n x C on mismatch).
   /// Modes must be requested in order 0..N-1, each exactly once per sweep
@@ -138,6 +186,10 @@ class CpAlsSweepPlan {
   /// what the plan expects.
   void mode_mttkrp(index_t n, const Tensor& X, std::span<const Matrix> factors,
                    Matrix& M);
+
+  /// Sparse-scheme form of mode_mttkrp (same in-order protocol).
+  void mode_mttkrp(index_t n, const sparse::SparseTensor& X,
+                   std::span<const Matrix> factors, Matrix& M);
 
   [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
   [[nodiscard]] index_t rank() const { return rank_; }
@@ -148,8 +200,17 @@ class CpAlsSweepPlan {
   /// Deepest internal (splitting) level of the tree; 0 for PerMode.
   [[nodiscard]] int levels() const { return levels_; }
   /// Arena doubles a DimTree sweep holds at its peak (0 for PerMode, whose
-  /// per-mode plans size their own frames).
+  /// per-mode plans size their own frames; the sparse schemes report their
+  /// SparseMttkrpPlan's per-execute footprint).
   [[nodiscard]] std::size_t workspace_doubles() const { return ws_doubles_; }
+
+  /// True for the SparseCsf / SparseCoo schemes.
+  [[nodiscard]] bool is_sparse() const {
+    return scheme_ == SweepScheme::SparseCsf ||
+           scheme_ == SweepScheme::SparseCoo;
+  }
+  /// Sparse schemes only: the underlying per-mode sparse plan.
+  [[nodiscard]] const SparseMttkrpPlan& sparse_plan() const;
 
   /// MTTKRP seconds of the current (or most recently completed) sweep.
   [[nodiscard]] double last_sweep_seconds() const { return sweep_seconds_; }
@@ -220,8 +281,18 @@ class CpAlsSweepPlan {
   SweepScheme scheme_ = SweepScheme::PerMode;
   int levels_ = 0;
 
+  /// Shared mode_mttkrp protocol: in-order discipline + factor checks;
+  /// resizes M. Returns once the request is valid.
+  void check_mode_request(index_t n, std::span<const Matrix> factors,
+                          Matrix& M);
+  /// Shared bookkeeping after a mode is served (timing + protocol state).
+  void finish_mode(double seconds);
+
   // PerMode state.
   std::vector<MttkrpPlan> mode_plans_;
+
+  // Sparse state (SparseCsf / SparseCoo).
+  std::unique_ptr<SparseMttkrpPlan> sparse_plan_;
 
   // DimTree state.
   std::vector<Node> nodes_;

@@ -1,10 +1,14 @@
 #include "io/tensor_io.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 namespace dmtk::io {
@@ -170,6 +174,130 @@ void export_csv(const std::filesystem::path& path, const Matrix& M) {
       std::fprintf(f, "%s%.17g", j == 0 ? "" : ",", M(i, j));
     }
     std::fprintf(f, "\n");
+  }
+  if (std::fclose(f) != 0) throw IoError("close failed: " + path.string());
+}
+
+namespace {
+
+[[noreturn]] void tns_error(const std::filesystem::path& path,
+                            std::size_t line_no, const std::string& what) {
+  throw IoError(path.string() + ":" + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+sparse::SparseTensor read_tns(const std::filesystem::path& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("cannot open for reading: " + path.string());
+
+  // Two-phase read: the mode sizes are the coordinate maxima, so all
+  // entries are parsed (and validated, with line numbers) before the
+  // tensor can be constructed. Coordinates land in ONE flat entry-major
+  // array and fields are parsed in place off the line buffer — FROSTT
+  // files reach tens of millions of nonzeros, so per-entry vectors or
+  // per-token strings would dominate the read.
+  std::vector<index_t> coords;  // flat [entry * order + mode], 0-based
+  std::vector<double> values;
+  index_t order = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<std::pair<const char*, const char*>> fields;  // reused
+  while (std::getline(f, line)) {
+    ++line_no;
+    // '#' starts a comment; fields are whitespace-separated [begin, end)
+    // slices of the line buffer.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    fields.clear();
+    const char* p = line.c_str();
+    while (*p != '\0') {
+      while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+      if (*p == '\0') break;
+      const char* begin = p;
+      while (*p != '\0' && !std::isspace(static_cast<unsigned char>(*p))) ++p;
+      fields.emplace_back(begin, p);
+    }
+    if (fields.empty()) continue;  // blank or comment-only line
+    if (fields.size() < 2) {
+      tns_error(path, line_no,
+                "expected at least one coordinate and a value");
+    }
+    if (order == 0) {
+      order = static_cast<index_t>(fields.size()) - 1;
+    } else if (static_cast<index_t>(fields.size()) != order + 1) {
+      tns_error(path, line_no,
+                "expected " + std::to_string(order) +
+                    " coordinates and a value, got " +
+                    std::to_string(fields.size()) + " fields");
+    }
+    for (index_t n = 0; n < order; ++n) {
+      const auto [begin, end] = fields[static_cast<std::size_t>(n)];
+      char* endp = nullptr;
+      const long long v = std::strtoll(begin, &endp, 10);
+      if (endp != end) {  // strtoll stops at whitespace/end on valid input
+        tns_error(path, line_no,
+                  "bad coordinate '" + std::string(begin, end) + "'");
+      }
+      if (v < 1) {
+        tns_error(path, line_no,
+                  "coordinate " + std::string(begin, end) +
+                      " out of range (coordinates are 1-based)");
+      }
+      coords.push_back(static_cast<index_t>(v) - 1);
+    }
+    {
+      const auto [begin, end] = fields.back();
+      char* endp = nullptr;
+      const double v = std::strtod(begin, &endp);
+      if (endp != end) {
+        tns_error(path, line_no, "bad value '" + std::string(begin, end) +
+                                     "'");
+      }
+      values.push_back(v);
+    }
+  }
+  if (values.empty()) {
+    throw IoError(path.string() + ": no nonzero entries (a .tns file needs "
+                  "at least one data line)");
+  }
+
+  std::vector<index_t> dims(static_cast<std::size_t>(order), 1);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    for (index_t n = 0; n < order; ++n) {
+      dims[static_cast<std::size_t>(n)] = std::max(
+          dims[static_cast<std::size_t>(n)],
+          coords[k * static_cast<std::size_t>(order) +
+                 static_cast<std::size_t>(n)] + 1);
+    }
+  }
+  sparse::SparseTensor S(dims);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    S.push_back({coords.data() + k * static_cast<std::size_t>(order),
+                 static_cast<std::size_t>(order)},
+                values[k]);
+  }
+  return S;
+}
+
+void write_tns(const std::filesystem::path& path,
+               const sparse::SparseTensor& S) {
+  // The format has no header: shape exists only as coordinate maxima, so
+  // an empty tensor would serialize to a file read_tns must reject.
+  // Refusing here beats writing unreadable data.
+  if (S.nnz() == 0) {
+    throw IoError(path.string() +
+                  ": the .tns format cannot represent an empty tensor "
+                  "(no nonzeros to infer a shape from)");
+  }
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open for writing: " + path.string());
+  const index_t N = S.order();
+  for (index_t k = 0; k < S.nnz(); ++k) {
+    for (index_t n = 0; n < N; ++n) {
+      std::fprintf(f, "%lld ", static_cast<long long>(S.coord(n, k) + 1));
+    }
+    std::fprintf(f, "%.17g\n", S.value(k));
   }
   if (std::fclose(f) != 0) throw IoError("close failed: " + path.string());
 }

@@ -16,6 +16,7 @@
 #include "core/cp_model.hpp"
 #include "core/matrix.hpp"
 #include "core/tensor.hpp"
+#include "sparse/sparse_tensor.hpp"
 
 namespace dmtk::io {
 
@@ -46,5 +47,23 @@ Ktensor read_ktensor(const std::filesystem::path& path);
 /// Export a matrix as CSV (one row per line, %.17g precision — lossless
 /// for doubles), e.g. for plotting factor time courses.
 void export_csv(const std::filesystem::path& path, const Matrix& M);
+
+/// Read a FROSTT-style .tns sparse-tensor text file: '#'-comment and blank
+/// lines are ignored; every data line holds N whitespace-separated 1-based
+/// integer coordinates followed by one value. The order N is set by the
+/// first data line; mode sizes are the per-mode coordinate maxima.
+/// Duplicate coordinates are preserved (they act additively, matching
+/// SparseTensor::push_back). Throws IoError (with the 1-based line number)
+/// on malformed input: a field-count mismatch, a non-numeric field, a
+/// coordinate < 1, or a file with no data lines.
+sparse::SparseTensor read_tns(const std::filesystem::path& path);
+
+/// Write the FROSTT-style .tns form of S: one "i_1 ... i_N value" line per
+/// stored nonzero (1-based coordinates, %.17g values — lossless for
+/// doubles). Duplicates are written as-is. Throws IoError for an empty
+/// tensor: the headerless format infers the shape from the coordinates,
+/// so a zero-line file could never be read back.
+void write_tns(const std::filesystem::path& path,
+               const sparse::SparseTensor& S);
 
 }  // namespace dmtk::io

@@ -1,0 +1,166 @@
+#include "sparse/csf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/aligned_alloc.hpp"
+
+namespace dmtk::sparse {
+
+namespace {
+
+/// Per-level scratch stride: one cache line's worth of doubles, so the
+/// per-level (and per-thread) buffers never share a line.
+std::size_t level_stride(index_t rank) {
+  constexpr std::size_t kAlign = kDefaultAlignment / sizeof(double);
+  const std::size_t c = static_cast<std::size_t>(rank);
+  return (c + kAlign - 1) / kAlign * kAlign;
+}
+
+}  // namespace
+
+std::vector<index_t> CsfTensor::root_first_perm(std::span<const index_t> dims,
+                                                index_t root) {
+  const index_t N = static_cast<index_t>(dims.size());
+  DMTK_CHECK(root >= 0 && root < N, "csf: root mode out of range");
+  std::vector<index_t> perm;
+  perm.reserve(static_cast<std::size_t>(N));
+  perm.push_back(root);
+  for (index_t n = 0; n < N; ++n) {
+    if (n != root) perm.push_back(n);
+  }
+  std::stable_sort(perm.begin() + 1, perm.end(), [&](index_t a, index_t b) {
+    return dims[static_cast<std::size_t>(a)] < dims[static_cast<std::size_t>(b)];
+  });
+  return perm;
+}
+
+CsfTensor CsfTensor::build(const SparseTensor& X, std::vector<index_t> perm) {
+  const index_t N = X.order();
+  DMTK_CHECK(N >= 2, "csf: tensor must have at least 2 modes");
+  DMTK_CHECK(static_cast<index_t>(perm.size()) == N,
+             "csf: perm length != order");
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(N), false);
+    for (index_t p : perm) {
+      DMTK_CHECK(p >= 0 && p < N && !seen[static_cast<std::size_t>(p)],
+                 "csf: perm is not a permutation of the modes");
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+
+  CsfTensor T;
+  T.dims_.assign(X.dims().begin(), X.dims().end());
+  T.perm_ = std::move(perm);
+  T.fids_.resize(static_cast<std::size_t>(N));
+  T.ptr_.resize(static_cast<std::size_t>(N - 1));
+
+  const index_t nnz = X.nnz();
+  std::vector<index_t> order_idx(static_cast<std::size_t>(nnz));
+  std::iota(order_idx.begin(), order_idx.end(), index_t{0});
+  std::sort(order_idx.begin(), order_idx.end(), [&](index_t a, index_t b) {
+    for (index_t l = 0; l < N; ++l) {
+      const index_t m = T.perm_[static_cast<std::size_t>(l)];
+      const index_t ca = X.coord(m, a);
+      const index_t cb = X.coord(m, b);
+      if (ca != cb) return ca < cb;
+    }
+    return false;
+  });
+
+  // One pass over the sorted entries: the first level whose coordinate
+  // differs from the previous entry opens new nodes there and below; a
+  // fully-equal coordinate is a duplicate and merges additively into the
+  // current leaf (push_back/to_dense semantics — a merged 0.0 is kept).
+  std::vector<index_t> prev(static_cast<std::size_t>(N), -1);
+  for (index_t k : order_idx) {
+    index_t l0 = 0;
+    while (l0 < N &&
+           X.coord(T.perm_[static_cast<std::size_t>(l0)], k) ==
+               prev[static_cast<std::size_t>(l0)]) {
+      ++l0;
+    }
+    if (l0 == N && !T.values_.empty()) {
+      T.values_.back() += X.value(k);
+      continue;
+    }
+    if (l0 == N) l0 = 0;  // unreachable guard (first entry never matches -1)
+    for (index_t l = l0; l < N; ++l) {
+      const index_t c = X.coord(T.perm_[static_cast<std::size_t>(l)], k);
+      prev[static_cast<std::size_t>(l)] = c;
+      T.fids_[static_cast<std::size_t>(l)].push_back(c);
+      if (l < N - 1) {
+        // Child range of the new node starts at the current size of the
+        // next level; the terminating offset is appended after the pass.
+        T.ptr_[static_cast<std::size_t>(l)].push_back(
+            static_cast<index_t>(T.fids_[static_cast<std::size_t>(l + 1)].size()));
+      } else {
+        T.values_.push_back(X.value(k));
+      }
+    }
+  }
+  for (index_t l = 0; l < N - 1; ++l) {
+    T.ptr_[static_cast<std::size_t>(l)].push_back(
+        static_cast<index_t>(T.fids_[static_cast<std::size_t>(l + 1)].size()));
+  }
+  return T;
+}
+
+std::size_t csf_mttkrp_scratch_doubles(index_t order, index_t rank) {
+  // One rank-sized buffer per level: slot 0 accumulates the output row,
+  // slots 1..order-1 hold the subtree results of the recursion.
+  return static_cast<std::size_t>(order) * level_stride(rank);
+}
+
+namespace {
+
+/// Contribution of node `j` at level `l` (>= 1) into `out` (size C,
+/// overwritten):  U_{perm[l]}(fid, :) (*) sum over children of their
+/// contributions  — at the leaf level, value * U_{perm[N-1]}(fid, :).
+void eval_subtree(const CsfTensor& T, std::span<const Matrix> factors,
+                  index_t l, index_t j, index_t C, double* scratch,
+                  std::size_t stride, double* out) {
+  const index_t N = T.order();
+  const Matrix& U = factors[static_cast<std::size_t>(T.perm()[l])];
+  const double* base = U.data() + T.fids(l)[static_cast<std::size_t>(j)];
+  const index_t ld = U.ld();
+  if (l == N - 1) {
+    const double v = T.values()[static_cast<std::size_t>(j)];
+    for (index_t c = 0; c < C; ++c) out[c] = v * base[c * ld];
+    return;
+  }
+  std::fill(out, out + C, 0.0);
+  const std::span<const index_t> ptr = T.ptr(l);
+  double* child = scratch + static_cast<std::size_t>(l + 1) * stride;
+  for (index_t q = ptr[static_cast<std::size_t>(j)];
+       q < ptr[static_cast<std::size_t>(j) + 1]; ++q) {
+    eval_subtree(T, factors, l + 1, q, C, scratch, stride, child);
+    for (index_t c = 0; c < C; ++c) out[c] += child[c];
+  }
+  for (index_t c = 0; c < C; ++c) out[c] *= base[c * ld];
+}
+
+}  // namespace
+
+void csf_mttkrp_root_range(const CsfTensor& T, std::span<const Matrix> factors,
+                           Matrix& M, Range range, double* scratch) {
+  const index_t C = M.cols();
+  const std::size_t stride = level_stride(C);
+  const std::span<const index_t> root_fids = T.fids(0);
+  const std::span<const index_t> root_ptr = T.ptr(0);
+  double* row = scratch;  // level-0 slot: the output-row accumulator
+  double* child = scratch + stride;
+  for (index_t r = range.begin; r < range.end; ++r) {
+    std::fill(row, row + C, 0.0);
+    for (index_t q = root_ptr[static_cast<std::size_t>(r)];
+         q < root_ptr[static_cast<std::size_t>(r) + 1]; ++q) {
+      eval_subtree(T, factors, 1, q, C, scratch, stride, child);
+      for (index_t c = 0; c < C; ++c) row[c] += child[c];
+    }
+    // The root level's factor is the mode being solved for — excluded.
+    const index_t i = root_fids[static_cast<std::size_t>(r)];
+    for (index_t c = 0; c < C; ++c) M(i, c) = row[c];
+  }
+}
+
+}  // namespace dmtk::sparse

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "blas/blas.hpp"
 #include "core/cp_als_detail.hpp"
 #include "core/multi_index.hpp"
+#include "exec/sweep_plan.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -139,69 +141,33 @@ CpAlsResult cp_als(const SparseTensor& X, const CpAlsOptions& opts) {
   const index_t C = opts.rank;
   DMTK_CHECK(N >= 2, "sparse cp_als: tensor must have at least 2 modes");
   DMTK_CHECK(C >= 1, "sparse cp_als: rank must be positive");
-  const int nt = resolve_threads(opts.threads);
+  DMTK_CHECK(!opts.mttkrp_override,
+             "sparse cp_als: mttkrp_override is dense-only");
+
+  // Execution context: caller-supplied (shared arena) or private — the
+  // same contract as the dense drivers.
+  std::optional<ExecContext> own_ctx;
+  const ExecContext& ctx =
+      opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
+  const int nt = ctx.threads();
+
+  // One sweep plan for the whole factorization: CSF construction (sort +
+  // additive duplicate merge + fiber compression) or the COO workspace
+  // layout happens here, once; the sweeps below run heap-free.
+  CpAlsSweepPlan sweep(ctx, X, C, opts.sweep_scheme);
 
   CpAlsResult result;
+  detail::init_model(X, opts, "sparse cp_als", result.model);
   Ktensor& model = result.model;
-  if (opts.initial_guess != nullptr) {
-    model = *opts.initial_guess;
-    model.validate();
-    DMTK_CHECK(model.rank() == C && model.order() == N,
-               "sparse cp_als: initial guess shape mismatch");
-    if (model.lambda.empty()) {
-      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
-    }
-  } else {
-    Rng rng(opts.seed);
-    model = Ktensor::random(X.dims(), C, rng);
-  }
 
-  const double normX2 = X.norm_squared();
-  std::vector<Matrix> grams(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
-    detail::gram(model.factors[static_cast<std::size_t>(n)],
-                 grams[static_cast<std::size_t>(n)], nt);
-  }
-
-  Matrix M;
-  Matrix Mlast;
-  double fit_old = 0.0;
-  for (int iter = 0; iter < opts.max_iters; ++iter) {
-    CpAlsIterStats stats;
-    WallTimer sweep;
-    for (index_t n = 0; n < N; ++n) {
-      {
-        WallTimer t;
-        mttkrp(X, model.factors, n, M, nt);
-        stats.mttkrp_seconds += t.seconds();
-      }
-      WallTimer t;
-      if (opts.compute_fit && n == N - 1) Mlast = M;
-      Matrix H = hadamard_of_grams(grams, n);
-      detail::factor_solve(H, M, nt);
-      Matrix& U = model.factors[static_cast<std::size_t>(n)];
-      std::swap(U, M);
-      detail::normalize_update(U, model.lambda, iter == 0);
-      detail::gram(U, grams[static_cast<std::size_t>(n)], nt);
-      stats.solve_seconds += t.seconds();
-    }
-    result.iterations = iter + 1;
-    if (opts.compute_fit) {
-      const double fit = detail::cp_fit(normX2, model, Mlast, nt);
-      stats.fit = fit;
-      result.final_fit = fit;
-      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
-        stats.seconds = sweep.seconds();
-        result.iters.push_back(stats);
-        result.converged = true;
-        break;
-      }
-      fit_old = fit;
-    }
-    stats.seconds = sweep.seconds();
-    result.iters.push_back(stats);
-  }
+  detail::run_als_sweeps(
+      X, opts, ctx, &sweep, result,
+      [&](index_t n, Matrix& H, Matrix& M, int iter) {
+        detail::factor_solve(H, M, nt);
+        Matrix& U = model.factors[static_cast<std::size_t>(n)];
+        std::swap(U, M);
+        detail::normalize_update(U, model.lambda, iter == 0);
+      });
   return result;
 }
 

@@ -5,9 +5,15 @@
 /// The paper positions its dense algorithms against a rich sparse ecosystem
 /// (SPLATT [23], AdaTM [15], Kaya & Ucar [12]) and argues dense tensors
 /// deserve their own kernels. This module supplies the other side of that
-/// comparison: a SPLATT-style COO MTTKRP (one fused Hadamard-accumulate per
-/// nonzero, thread-private outputs + reduction) and a CP-ALS driver over
-/// it. The `bench_ablation_density` benchmark then measures the density
+/// comparison: the COO container, a SPLATT-style COO MTTKRP free function
+/// (one fused Hadamard-accumulate per nonzero, thread-private outputs +
+/// reduction — kept as the independent reference oracle), and the sparse
+/// cp_als entry point. The driver itself runs through the plan layer: a
+/// CpAlsSweepPlan with SweepScheme::SparseCsf (or SparseCoo) built on a
+/// SparseMttkrpPlan (exec/sparse_mttkrp_plan.hpp), sharing the exact
+/// grams/fit/stopping sweep loop of the dense drivers and executing
+/// allocation-free from the context's arena once planned.
+/// The `bench_ablation_density` benchmark then measures the density
 /// crossover where the paper's dense kernels overtake the sparse one —
 /// the quantitative version of the paper's motivation.
 
@@ -57,6 +63,12 @@ class SparseTensor {
 
   /// Sum of squared values (== ||X||_F^2 since zeros contribute nothing).
   [[nodiscard]] double norm_squared() const;
+  /// Thread-count-taking overload so the shared ALS sweep loop can call
+  /// X.norm_squared(nt) on dense and sparse tensors alike (the sparse sum
+  /// is too small to parallelize; the argument is ignored).
+  [[nodiscard]] double norm_squared(int /*threads*/) const {
+    return norm_squared();
+  }
 
   /// Drop every entry of a dense tensor with |x| <= threshold.
   static SparseTensor from_dense(const Tensor& X, double threshold = 0.0);
@@ -78,11 +90,19 @@ class SparseTensor {
 /// Sparse MTTKRP (SPLATT-style COO kernel): for each nonzero x at
 /// (i_0,...,i_{N-1}),  M(i_mode, :) += x * (*)_{k != mode} U_k(i_k, :).
 /// Parallelized over nonzeros with thread-private outputs + reduction.
+/// One-shot reference implementation — hot loops should hold a
+/// SparseMttkrpPlan (or drive CP-ALS through SweepScheme::SparseCsf).
 void mttkrp(const SparseTensor& X, std::span<const Matrix> factors,
             index_t mode, Matrix& M, int threads = 0);
 
 /// CP-ALS over a sparse tensor; identical driver semantics to the dense
-/// dmtk::cp_als (initialization, normalization, solve, fit, stopping).
+/// dmtk::cp_als (initialization, normalization, solve, fit, stopping —
+/// literally the same detail::run_als_sweeps loop). The sweep's MTTKRPs
+/// come from a CpAlsSweepPlan built on opts.sweep_scheme: Auto resolves
+/// to SparseCsf; SparseCoo runs the plan-layer COO kernel (bitwise-equal
+/// to the historical ad-hoc driver at equal thread counts); the dense
+/// schemes are rejected. opts.method and opts.mttkrp_override are
+/// dense-only (the latter throws here); opts.exec shares the arena.
 CpAlsResult cp_als(const SparseTensor& X, const CpAlsOptions& opts);
 
 }  // namespace dmtk::sparse

@@ -132,5 +132,100 @@ TEST_F(IoTest, LargeTensorRoundTrip) {
   EXPECT_DOUBLE_EQ(X.max_abs_diff(Y), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// FROSTT-style .tns sparse text files.
+// ---------------------------------------------------------------------------
+
+void write_text(const fs::path& p, const char* text) {
+  std::ofstream f(p);
+  f << text;
+}
+
+TEST_F(IoTest, TnsRoundTripPreservesEntriesBitExact) {
+  Rng rng(8);
+  const sparse::SparseTensor S =
+      sparse::SparseTensor::random({6, 9, 4}, 50, rng);
+  write_tns(path("s.tns"), S);
+  const sparse::SparseTensor T = read_tns(path("s.tns"));
+  ASSERT_EQ(T.order(), 3);
+  ASSERT_EQ(T.nnz(), S.nnz());
+  // Mode sizes are coordinate maxima, so they can shrink relative to the
+  // declared dims — but never grow.
+  for (index_t n = 0; n < 3; ++n) EXPECT_LE(T.dim(n), S.dim(n));
+  for (index_t k = 0; k < S.nnz(); ++k) {
+    for (index_t n = 0; n < 3; ++n) EXPECT_EQ(T.coord(n, k), S.coord(n, k));
+    EXPECT_EQ(T.value(k), S.value(k));  // %.17g is lossless
+  }
+}
+
+TEST_F(IoTest, TnsDuplicatesSurviveTheRoundTrip) {
+  sparse::SparseTensor S({3, 3});
+  const std::array<index_t, 2> idx{1, 2};
+  S.push_back(idx, 2.0);
+  S.push_back(idx, 0.5);
+  write_tns(path("dup.tns"), S);
+  const sparse::SparseTensor T = read_tns(path("dup.tns"));
+  EXPECT_EQ(T.nnz(), 2);  // duplicates preserved, still additive
+  EXPECT_DOUBLE_EQ(T.to_dense()(std::array<index_t, 2>{1, 2}), 2.5);
+}
+
+TEST_F(IoTest, TnsParsesCommentsBlanksAndOneBasedCoords) {
+  write_text(path("c.tns"),
+             "# a FROSTT-style file\n"
+             "\n"
+             "1 1 1 1.5\n"
+             "  3 2 4   -2.25  # trailing comment\n");
+  const sparse::SparseTensor S = read_tns(path("c.tns"));
+  EXPECT_EQ(S.order(), 3);
+  EXPECT_EQ(S.nnz(), 2);
+  EXPECT_EQ(S.dim(0), 3);
+  EXPECT_EQ(S.dim(1), 2);
+  EXPECT_EQ(S.dim(2), 4);
+  EXPECT_EQ(S.coord(0, 1), 2);  // 1-based in the file, 0-based in memory
+  EXPECT_DOUBLE_EQ(S.value(1), -2.25);
+}
+
+TEST_F(IoTest, TnsMalformedInputsRejectedWithLineNumbers) {
+  // Field-count mismatch against the first data line.
+  write_text(path("m1.tns"), "1 1 1 1.0\n2 2 0.5\n");
+  EXPECT_THROW(read_tns(path("m1.tns")), IoError);
+  // Non-numeric coordinate.
+  write_text(path("m2.tns"), "1 x 1 1.0\n");
+  EXPECT_THROW(read_tns(path("m2.tns")), IoError);
+  // Non-numeric value.
+  write_text(path("m3.tns"), "1 1 1 abc\n");
+  EXPECT_THROW(read_tns(path("m3.tns")), IoError);
+  // Zero (or negative) coordinate: the format is 1-based.
+  write_text(path("m4.tns"), "0 1 1 1.0\n");
+  EXPECT_THROW(read_tns(path("m4.tns")), IoError);
+  write_text(path("m5.tns"), "1 -2 1 1.0\n");
+  EXPECT_THROW(read_tns(path("m5.tns")), IoError);
+  // A value-only line (no coordinates).
+  write_text(path("m6.tns"), "1.0\n");
+  EXPECT_THROW(read_tns(path("m6.tns")), IoError);
+  // Empty / comment-only files have no data to infer a shape from.
+  write_text(path("m7.tns"), "");
+  EXPECT_THROW(read_tns(path("m7.tns")), IoError);
+  write_text(path("m8.tns"), "# nothing\n\n");
+  EXPECT_THROW(read_tns(path("m8.tns")), IoError);
+  // The error message carries the offending line number.
+  try {
+    read_tns(path("m2.tns"));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(":1:"), std::string::npos);
+  }
+  EXPECT_THROW(read_tns(path("absent.tns")), IoError);
+}
+
+TEST_F(IoTest, TnsRefusesToWriteAnEmptyTensor) {
+  // The headerless format cannot represent nnz == 0 (read_tns would have
+  // nothing to infer the shape from), so writing must fail loudly instead
+  // of producing an unreadable file.
+  const sparse::SparseTensor S({4, 5, 6});
+  EXPECT_THROW(write_tns(path("empty.tns"), S), IoError);
+  EXPECT_FALSE(fs::exists(path("empty.tns")));
+}
+
 }  // namespace
 }  // namespace dmtk::io

@@ -120,10 +120,51 @@ TEST(SweepPlanDimTree, LevelsMetadata) {
   CpAlsSweepPlan permode(ctx, dims, 2, SweepScheme::PerMode);
   EXPECT_EQ(permode.levels(), 0);
   EXPECT_EQ(permode.scheme(), SweepScheme::PerMode);
-  CpAlsSweepPlan autop(ctx, dims, 2, SweepScheme::Auto);
-  EXPECT_EQ(autop.requested_scheme(), SweepScheme::Auto);
-  EXPECT_EQ(autop.scheme(), SweepScheme::PerMode);
+  // Auto heuristic: DimTree for N >= 4, PerMode below.
+  CpAlsSweepPlan auto6(ctx, dims, 2, SweepScheme::Auto);
+  EXPECT_EQ(auto6.requested_scheme(), SweepScheme::Auto);
+  EXPECT_EQ(auto6.scheme(), SweepScheme::DimTree);
+  CpAlsSweepPlan auto3(ctx, {std::vector<index_t>{4, 5, 6}}, 2,
+                       SweepScheme::Auto);
+  EXPECT_EQ(auto3.scheme(), SweepScheme::PerMode);
+  // An explicit per-mode kernel pins PerMode under Auto even at N >= 4 —
+  // the tree would silently discard the requested method otherwise.
+  CpAlsSweepPlan pinned(ctx, dims, 2, SweepScheme::Auto,
+                        MttkrpMethod::TwoStep);
+  EXPECT_EQ(pinned.scheme(), SweepScheme::PerMode);
 }
+
+TEST(SweepSchemeAuto, HeuristicPicksDimTreeForHighOrderDenseOnly) {
+  // The resolution rule itself: PerMode through order 3, DimTree from 4 —
+  // and never a sparse scheme for dense input (sparse resolution happens
+  // in the sparse plan constructor, not here).
+  EXPECT_EQ(resolve_sweep_scheme(SweepScheme::Auto, 2), SweepScheme::PerMode);
+  EXPECT_EQ(resolve_sweep_scheme(SweepScheme::Auto, 3), SweepScheme::PerMode);
+  EXPECT_EQ(resolve_sweep_scheme(SweepScheme::Auto, 4), SweepScheme::DimTree);
+  EXPECT_EQ(resolve_sweep_scheme(SweepScheme::Auto, 6), SweepScheme::DimTree);
+  // An explicit per-mode kernel pins PerMode under Auto at any order.
+  EXPECT_EQ(
+      resolve_sweep_scheme(SweepScheme::Auto, 5, MttkrpMethod::TwoStep),
+      SweepScheme::PerMode);
+  EXPECT_EQ(resolve_sweep_scheme(SweepScheme::DimTree, 5,
+                                 MttkrpMethod::TwoStep),
+            SweepScheme::DimTree);  // explicit scheme still wins
+  // The sparse resolver: Auto -> CSF, explicit schemes pass through.
+  EXPECT_EQ(resolve_sparse_sweep_scheme(SweepScheme::Auto),
+            SweepScheme::SparseCsf);
+  EXPECT_EQ(resolve_sparse_sweep_scheme(SweepScheme::SparseCoo),
+            SweepScheme::SparseCoo);
+  // Explicit requests pass through untouched at any order.
+  for (index_t order : {index_t{2}, index_t{5}}) {
+    EXPECT_EQ(resolve_sweep_scheme(SweepScheme::PerMode, order),
+              SweepScheme::PerMode);
+    EXPECT_EQ(resolve_sweep_scheme(SweepScheme::DimTree, order),
+              SweepScheme::DimTree);
+    EXPECT_EQ(resolve_sweep_scheme(SweepScheme::SparseCsf, order),
+              SweepScheme::SparseCsf);
+  }
+}
+
 
 // ---------------------------------------------------------------------------
 // Driver equivalence: DimTree and PerMode sweeps produce the same ALS
@@ -178,6 +219,17 @@ void expect_same_result(const CpAlsResult& a, const CpAlsResult& b) {
     EXPECT_EQ(a.model.factors[n].max_abs_diff(b.model.factors[n]), 0.0)
         << "factor " << n;
   }
+}
+
+TEST(SweepSchemeAuto, AutoDriverMatchesExplicitDimTreeOnFourWay) {
+  Rng rng(59);
+  Tensor X = Tensor::random_uniform({4, 5, 3, 4}, rng);
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 3;
+  CpAlsOptions dt = opts;
+  dt.sweep_scheme = SweepScheme::DimTree;
+  expect_same_result(cp_als(X, opts), cp_als(X, dt));
 }
 
 TEST(SweepScheme, DimtreeWrapperPinsTheScheme) {
@@ -362,13 +414,18 @@ TEST(SweepBalancedSplit, GeneralizesDimtreeSplit) {
 
 TEST(SweepSchemeParse, RoundTripsAndAliases) {
   for (SweepScheme s :
-       {SweepScheme::Auto, SweepScheme::PerMode, SweepScheme::DimTree}) {
+       {SweepScheme::Auto, SweepScheme::PerMode, SweepScheme::DimTree,
+        SweepScheme::SparseCsf, SweepScheme::SparseCoo}) {
     const auto parsed = parse_sweep_scheme(to_string(s));
     ASSERT_TRUE(parsed.has_value()) << to_string(s);
     EXPECT_EQ(*parsed, s);
   }
   EXPECT_EQ(parse_sweep_scheme("per-mode"), SweepScheme::PerMode);
   EXPECT_EQ(parse_sweep_scheme("dim-tree"), SweepScheme::DimTree);
+  EXPECT_EQ(parse_sweep_scheme("csf"), SweepScheme::SparseCsf);
+  EXPECT_EQ(parse_sweep_scheme("sparse-csf"), SweepScheme::SparseCsf);
+  EXPECT_EQ(parse_sweep_scheme("coo"), SweepScheme::SparseCoo);
+  EXPECT_EQ(parse_sweep_scheme("sparse-coo"), SweepScheme::SparseCoo);
   EXPECT_FALSE(parse_sweep_scheme("").has_value());
   EXPECT_FALSE(parse_sweep_scheme("tree").has_value());
 }

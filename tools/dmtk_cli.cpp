@@ -3,11 +3,16 @@
 /// without writing C++:
 ///
 ///   dmtk generate  --dims 100x80x60 --rank 5 --noise 0.05 --out x.dten
+///   dmtk generate  --dims 500x400x300 --density 1e-4 --out x.tns  (sparse)
 ///   dmtk fmri      --time 225 --subjects 59 --regions 200 --out x.dten
-///   dmtk info      x.dten
+///   dmtk info      x.dten            (or x.tns)
 ///   dmtk decompose x.dten --rank 10 [--nn] [--dimtree] --out model.dktn
+///   dmtk decompose x.tns  --rank 10 --sweep csf       (sparse, CSF plan)
 ///   dmtk tucker    x.dten --ranks 8x8x8 --out-prefix model
 ///   dmtk export    model.dktn --out-prefix factors   (CSV per factor)
+///
+/// Sparse tensors travel as FROSTT-style .tns text files; the `.tns`
+/// extension selects the sparse path everywhere.
 ///
 /// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
@@ -29,16 +34,23 @@ using namespace dmtk;
       stderr,
       "usage: dmtk <command> [args]\n"
       "  generate  --dims AxBxC [--rank R] [--noise f] [--seed s] --out F\n"
+      "            [--density f | --nnz n]  (sparse: uniform-random nonzeros\n"
+      "             written as FROSTT-style .tns text; --rank/--noise are\n"
+      "             dense-only)\n"
       "  fmri      [--time T] [--subjects S] [--regions R] [--rank C]\n"
       "            [--noise f] [--seed s] [--linearize] --out F\n"
-      "  info      <tensor.dten>\n"
+      "  info      <tensor.dten | tensor.tns>\n"
       "  decompose <tensor.dten> --rank R [--nn]\n"
       "            [--sweep permode|dimtree|auto] [--levels n] [--dimtree]\n"
       "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "            (--sweep dimtree shares partial MTTKRPs across modes;\n"
       "             --levels caps the tree depth, 0 = full tree; --dimtree\n"
-      "             is the legacy alias for --sweep dimtree)\n"
+      "             is the legacy alias for --sweep dimtree; auto picks\n"
+      "             dimtree for 4-way-and-up tensors)\n"
+      "  decompose <tensor.tns> --rank R [--sweep csf|coo|auto]\n"
+      "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
+      "            (sparse CP-ALS through the plan layer; auto = csf)\n"
       "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
       "  export    <model.dktn> --out-prefix P\n");
   std::exit(1);
@@ -99,6 +111,11 @@ std::string flag_str(const std::map<std::string, std::string>& f,
   return it == f.end() ? def : it->second;
 }
 
+/// The .tns extension selects the sparse (FROSTT text) path.
+bool is_tns(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".tns") == 0;
+}
+
 int cmd_generate(int argc, char** argv) {
   std::string pos;
   auto flags = parse_flags(argc, argv, 2, &pos);
@@ -109,6 +126,65 @@ int cmd_generate(int argc, char** argv) {
   const auto rank = static_cast<index_t>(flag_or(flags, "rank", 5));
   const double noise = flag_or(flags, "noise", 0.0);
   Rng rng(static_cast<std::uint64_t>(flag_or(flags, "seed", 7)));
+
+  // Sparse output is selected consistently by BOTH signals — the sparse
+  // generator flags and the .tns extension — so `generate` can never write
+  // a payload the rest of the CLI's extension dispatch cannot read back.
+  const bool sparse_requested =
+      flags.count("density") != 0 || flags.count("nnz") != 0;
+  if (sparse_requested != is_tns(out)) {
+    std::fprintf(stderr,
+                 sparse_requested
+                     ? "--density/--nnz write FROSTT .tns text; use a .tns "
+                       "output path\n"
+                     : "writing a .tns sparse tensor needs --density or "
+                       "--nnz\n");
+    return 1;
+  }
+  if (sparse_requested) {
+    // Sparse branch: uniform-random coordinates and values, written as a
+    // FROSTT-style .tns text file (the sparse decompose path's input).
+    if (flags.count("density") != 0 && flags.count("nnz") != 0) {
+      std::fprintf(stderr, "--density and --nnz are mutually exclusive\n");
+      return 1;
+    }
+    for (const char* dense_only : {"rank", "noise"}) {
+      if (flags.count(dense_only) != 0) {
+        std::fprintf(stderr,
+                     "--%s is dense-only (random sparse tensors have no "
+                     "planted signal)\n",
+                     dense_only);
+        return 1;
+      }
+    }
+    sparse::SparseTensor probe(dims);
+    const index_t numel = probe.numel();
+    index_t nnz;
+    if (flags.count("nnz") != 0) {
+      nnz = static_cast<index_t>(flag_or(flags, "nnz", 0));
+    } else {
+      const double density = flag_or(flags, "density", 0.0);
+      if (density <= 0.0 || density > 1.0) {
+        std::fprintf(stderr, "--density must be in (0, 1]\n");
+        return 1;
+      }
+      nnz = static_cast<index_t>(density * static_cast<double>(numel) + 0.5);
+    }
+    if (nnz < 1) {
+      std::fprintf(stderr, "sparse generate: need at least one nonzero\n");
+      return 1;
+    }
+    const sparse::SparseTensor S = sparse::SparseTensor::random(dims, nnz,
+                                                                rng);
+    io::write_tns(out, S);
+    std::printf(
+        "wrote %s: order %lld, %lld nonzeros of %lld positions "
+        "(density %.3g)\n",
+        out.c_str(), static_cast<long long>(S.order()),
+        static_cast<long long>(S.nnz()), static_cast<long long>(numel),
+        static_cast<double>(S.nnz()) / static_cast<double>(numel));
+    return 0;
+  }
 
   Ktensor truth = Ktensor::random(dims, rank, rng);
   Tensor X = truth.full();
@@ -152,6 +228,21 @@ int cmd_info(int argc, char** argv) {
   std::string pos;
   parse_flags(argc, argv, 2, &pos);
   if (pos.empty()) usage();
+  if (is_tns(pos)) {
+    const sparse::SparseTensor S = io::read_tns(pos);
+    std::printf("%s: sparse, order %lld, dims", pos.c_str(),
+                static_cast<long long>(S.order()));
+    for (index_t d : S.dims()) {
+      std::printf(" %lld", static_cast<long long>(d));
+    }
+    std::printf(", %lld nnz of %lld (density %.3g), ||X|| = %.6g\n",
+                static_cast<long long>(S.nnz()),
+                static_cast<long long>(S.numel()),
+                static_cast<double>(S.nnz()) /
+                    static_cast<double>(S.numel()),
+                std::sqrt(S.norm_squared()));
+    return 0;
+  }
   const Tensor X = io::read_tensor(pos);
   std::printf("%s: order %lld, dims", pos.c_str(),
               static_cast<long long>(X.order()));
@@ -162,10 +253,64 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+/// Sparse decompose: .tns input through the plan layer (SparseCsf by
+/// default). The dense-only knobs are rejected loudly rather than ignored.
+int cmd_decompose_sparse(const std::string& pos,
+                         std::map<std::string, std::string>& flags) {
+  for (const char* dense_only : {"nn", "method", "levels", "dimtree"}) {
+    if (flags.count(dense_only) != 0) {
+      std::fprintf(stderr, "--%s needs a dense tensor (.dten input)\n",
+                   dense_only);
+      return 1;
+    }
+  }
+  const sparse::SparseTensor S = io::read_tns(pos);
+  ExecContext ctx(static_cast<int>(flag_or(flags, "threads", 0)));
+  CpAlsOptions opts;
+  opts.rank = static_cast<index_t>(flag_or(flags, "rank", 10));
+  opts.max_iters = static_cast<int>(flag_or(flags, "iters", 100));
+  opts.tol = flag_or(flags, "tol", 1e-6);
+  opts.exec = &ctx;
+  opts.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42));
+  const std::string sweep_s = flag_str(flags, "sweep");
+  if (!sweep_s.empty()) {
+    const auto s = parse_sweep_scheme(sweep_s);
+    if (!s) {
+      std::fprintf(stderr, "unknown sweep scheme '%s'\n", sweep_s.c_str());
+      return 1;
+    }
+    if (*s != SweepScheme::Auto && *s != SweepScheme::SparseCsf &&
+        *s != SweepScheme::SparseCoo) {
+      std::fprintf(stderr, "--sweep %s needs a dense tensor; sparse input "
+                   "takes csf, coo, or auto\n", sweep_s.c_str());
+      return 1;
+    }
+    opts.sweep_scheme = *s;
+  }
+  const SweepScheme resolved = resolve_sparse_sweep_scheme(opts.sweep_scheme);
+
+  WallTimer t;
+  const CpAlsResult r = sparse::cp_als(S, opts);
+  std::printf(
+      "sparse cp_als[%s sweep]: rank %lld, nnz %lld, fit %.6f, %d sweeps "
+      "(%s), %.2f s\n",
+      std::string(to_string(resolved)).c_str(),
+      static_cast<long long>(opts.rank), static_cast<long long>(S.nnz()),
+      r.final_fit, r.iterations, r.converged ? "converged" : "max-iters",
+      t.seconds());
+  const std::string out = flag_str(flags, "out");
+  if (!out.empty()) {
+    io::write_ktensor(out, r.model);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int cmd_decompose(int argc, char** argv) {
   std::string pos;
   auto flags = parse_flags(argc, argv, 2, &pos);
   if (pos.empty()) usage();
+  if (is_tns(pos)) return cmd_decompose_sparse(pos, flags);
   const Tensor X = io::read_tensor(pos);
   // One context for the whole decomposition: pinned thread count plus the
   // workspace arena the driver's per-mode MTTKRP plans share.
@@ -184,6 +329,11 @@ int cmd_decompose(int argc, char** argv) {
       std::fprintf(stderr, "unknown sweep scheme '%s'\n", sweep_s.c_str());
       return 1;
     }
+    if (*s == SweepScheme::SparseCsf || *s == SweepScheme::SparseCoo) {
+      std::fprintf(stderr, "--sweep %s needs a sparse tensor (.tns input)\n",
+                   sweep_s.c_str());
+      return 1;
+    }
     opts.sweep_scheme = *s;
   }
   if (flags.count("dimtree") != 0) {
@@ -195,13 +345,6 @@ int cmd_decompose(int argc, char** argv) {
       return 1;
     }
     opts.sweep_scheme = SweepScheme::DimTree;  // legacy alias
-  }
-  if (flags.count("levels") != 0 &&
-      opts.sweep_scheme != SweepScheme::DimTree) {
-    // Only the dimension tree has a depth; ignoring the flag would let the
-    // user believe they ran the 1-level ablation on a PerMode sweep.
-    std::fprintf(stderr, "--levels requires --sweep dimtree\n");
-    return 1;
   }
   const std::string method_s = flag_str(flags, "method");
   if (!method_s.empty()) {
@@ -219,6 +362,19 @@ int cmd_decompose(int argc, char** argv) {
     }
     opts.method = *m;
   }
+  // What a plan built from these options will actually run (Auto picks
+  // DimTree for 4-way-and-up tensors unless an explicit --method pinned
+  // the per-mode kernels; same resolver the plan constructor uses) — the
+  // guardrails and the report below key off the resolution, not the
+  // request.
+  const SweepScheme resolved =
+      resolve_sweep_scheme(opts.sweep_scheme, X.order(), opts.method);
+  if (flags.count("levels") != 0 && resolved != SweepScheme::DimTree) {
+    // Only the dimension tree has a depth; ignoring the flag would let the
+    // user believe they ran the 1-level ablation on a PerMode sweep.
+    std::fprintf(stderr, "--levels requires the dimtree sweep\n");
+    return 1;
+  }
 
   WallTimer t;
   CpAlsResult r;
@@ -230,9 +386,7 @@ int cmd_decompose(int argc, char** argv) {
     r = cp_als(X, opts);
   }
   std::printf("%s[%s sweep]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
-              method,
-              std::string(to_string(resolve_sweep_scheme(opts.sweep_scheme)))
-                  .c_str(),
+              method, std::string(to_string(resolved)).c_str(),
               static_cast<long long>(opts.rank), r.final_fit, r.iterations,
               r.converged ? "converged" : "max-iters", t.seconds());
   const std::string out = flag_str(flags, "out");

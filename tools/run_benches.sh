@@ -1,25 +1,26 @@
 #!/usr/bin/env bash
-# Run the perf-trajectory benches and write BENCH_pr3.json at the repo root.
+# Run the perf-trajectory benches and write BENCH_pr4.json at the repo root.
 #
 # usage: tools/run_benches.sh [build_dir] [out_json] [scale]
 #   build_dir  CMake build tree with the bench binaries (default: build)
-#   out_json   output JSON path (default: BENCH_pr3.json)
+#   out_json   output JSON path (default: BENCH_pr4.json)
 #   scale      --scale for the figure benches (default: 0.001)
 #
-# The dimension-tree sweep ablation emits the JSON record (per-sweep MTTKRP
-# seconds: PerMode vs full-tree vs 1-level-tree DimTree for N = 3..6);
-# fig5/fig6 logs and the GEMM-roofline JSON of PR 2 land in bench_logs/ so
-# the end-to-end and kernel numbers travel with it. Subsequent PRs compare
-# their BENCH_*.json against this one.
+# The density ablation (dense MttkrpPlan vs COO/CSF SparseMttkrpPlan, all
+# through the plan layer, with the CSF/COO/dense equivalence check armed)
+# emits the headline JSON record; the dimension-tree sweep ablation JSON of
+# PR 3 plus fig5/fig6 logs and the GEMM-roofline JSON of PR 2 land in
+# bench_logs/ so the end-to-end and kernel numbers travel with it.
+# Subsequent PRs compare their BENCH_*.json against this one.
 
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-BENCH_pr3.json}"
+out_json="${2:-BENCH_pr4.json}"
 scale="${3:-0.001}"
 
-if [[ ! -x "${build_dir}/bench_ablation_dimtree" ]]; then
-  echo "error: ${build_dir}/bench_ablation_dimtree not found — build first:" >&2
+if [[ ! -x "${build_dir}/bench_ablation_density" ]]; then
+  echo "error: ${build_dir}/bench_ablation_density not found — build first:" >&2
   echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
   exit 1
 fi
@@ -42,7 +43,13 @@ echo "== gemm roofline =="
 
 echo "== dimension-tree sweep ablation =="
 "${build_dir}/bench_ablation_dimtree" --scale "${scale}" --threads 1 \
-  --trials 3 --json "${out_json}" | tee "${log_dir}/ablation_dimtree.log"
+  --trials 3 --json "${log_dir}/ablation_dimtree.json" \
+  | tee "${log_dir}/ablation_dimtree.log"
+
+echo "== density ablation (dense vs COO vs CSF, plan layer) =="
+"${build_dir}/bench_ablation_density" --scale "${scale}" --threads 1 \
+  --trials 3 --check --json "${out_json}" \
+  | tee "${log_dir}/ablation_density.log"
 
 echo
-echo "wrote ${out_json} (logs + roofline JSON in ${log_dir}/)"
+echo "wrote ${out_json} (logs + prior-PR JSONs in ${log_dir}/)"
