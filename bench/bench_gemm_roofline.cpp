@@ -1,10 +1,12 @@
 // GEMM roofline: GFLOP/s of the blocked kernel across micro-kernels
-// (scalar vs AVX2 tiles), thread counts, and shapes — square GEMMs plus the
-// MTTKRP-shaped ones the paper's figures are bounded by (tall-skinny
-// external-mode products and the batched small-block sweep of the internal
-// mode). Writes the BENCH_*.json perf-trajectory record consumed by
-// tools/run_benches.sh, and doubles as the CI equivalence smoke check
-// (--check: every kernel must agree with scalar).
+// (scalar vs AVX2 tiles), scalar types (fp64 vs fp32 — the bandwidth
+// economy of the templated core), thread counts, and shapes — square GEMMs
+// plus the MTTKRP-shaped ones the paper's figures are bounded by
+// (tall-skinny external-mode products and the batched small-block sweep of
+// the internal mode). Writes the BENCH_*.json perf-trajectory record
+// consumed by tools/run_benches.sh, and doubles as the CI equivalence
+// smoke check (--check: every kernel, in both precisions, must agree with
+// its scalar reference).
 //
 // usage: bench_gemm_roofline [--sizes csv] [--threads csv] [--trials n]
 //                            [--json path] [--check] [--tiny]
@@ -36,6 +38,7 @@ struct Shape {
 struct Result {
   Shape shape;
   dmtk::blas::SimdLevel level;
+  const char* precision;  // "f64" | "f32"
   int threads;
   double seconds;
   double gflops;
@@ -73,21 +76,22 @@ std::string cpu_model_name() {
   return "unknown";
 }
 
-/// One timed case. For batch > 1 the shape describes ONE item; the sweep
-/// multiplies batch items into batch separate outputs.
+/// One timed case at scalar type T. For batch > 1 the shape describes ONE
+/// item; the sweep multiplies batch items into batch separate outputs.
+template <typename T>
 double run_case(const Shape& s, int threads, int trials,
-                const std::vector<double>& A, const std::vector<double>& B,
-                std::vector<double>& C) {
+                const std::vector<T>& A, const std::vector<T>& B,
+                std::vector<T>& C) {
   using namespace dmtk::blas;
   if (s.batch <= 1) {
     return dmtk::time_median(trials, [&] {
       gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k,
-           1.0, A.data(), s.m, B.data(), s.k, 0.0, C.data(), s.m, threads);
+           T{1}, A.data(), s.m, B.data(), s.k, T{0}, C.data(), s.m, threads);
     });
   }
-  std::vector<const double*> ap(static_cast<std::size_t>(s.batch));
-  std::vector<const double*> bp(static_cast<std::size_t>(s.batch));
-  std::vector<double*> cp(static_cast<std::size_t>(s.batch));
+  std::vector<const T*> ap(static_cast<std::size_t>(s.batch));
+  std::vector<const T*> bp(static_cast<std::size_t>(s.batch));
+  std::vector<T*> cp(static_cast<std::size_t>(s.batch));
   for (index_t i = 0; i < s.batch; ++i) {
     const std::size_t si = static_cast<std::size_t>(i);
     ap[si] = A.data() + (i % 4) * s.m;  // reuse the allocation, shift a bit
@@ -96,42 +100,54 @@ double run_case(const Shape& s, int threads, int trials,
   }
   return dmtk::time_median(trials, [&] {
     gemm_batched(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, s.m, s.n,
-                 s.k, 1.0, ap.data(), s.m, bp.data(), s.k, 0.0, cp.data(),
+                 s.k, T{1}, ap.data(), s.m, bp.data(), s.k, T{0}, cp.data(),
                  s.m, s.batch, threads);
   });
 }
 
-/// --check: every dispatchable kernel must reproduce the scalar kernel's
-/// result to rounding (FMA changes the last ulps, nothing more).
-bool check_equivalence() {
+/// --check, one precision: every dispatchable kernel must reproduce the
+/// scalar kernel's result to rounding in T (FMA changes the last ulps,
+/// nothing more).
+template <typename T>
+bool check_equivalence_t(const char* prec, double ulp) {
   using namespace dmtk::blas;
-  const SimdLevel entry_level = simd_level();
   const index_t m = 129, n = 67, k = 173;
   Rng rng(7);
-  std::vector<double> A(static_cast<std::size_t>(m * k));
-  std::vector<double> B(static_cast<std::size_t>(k * n));
+  std::vector<T> A(static_cast<std::size_t>(m * k));
+  std::vector<T> B(static_cast<std::size_t>(k * n));
   dmtk::fill_uniform(A, rng, -1.0, 1.0);
   dmtk::fill_uniform(B, rng, -1.0, 1.0);
-  std::vector<double> Cref(static_cast<std::size_t>(m * n), 0.0);
+  std::vector<T> Cref(static_cast<std::size_t>(m * n), T{0});
   set_simd_level(SimdLevel::Scalar);
-  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
-       A.data(), m, B.data(), k, 0.0, Cref.data(), m, 2);
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
+       A.data(), m, B.data(), k, T{0}, Cref.data(), m, 2);
   bool ok = true;
   for (SimdLevel lvl : {SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
     if (set_simd_level(lvl) != lvl) continue;  // not on this hardware
-    std::vector<double> C(static_cast<std::size_t>(m * n), 0.0);
-    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
-         A.data(), m, B.data(), k, 0.0, C.data(), m, 2);
+    std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
+         A.data(), m, B.data(), k, T{0}, C.data(), m, 2);
     double max_diff = 0.0;
     for (std::size_t i = 0; i < C.size(); ++i) {
-      max_diff = std::max(max_diff, std::abs(C[i] - Cref[i]));
+      max_diff = std::max(max_diff,
+                          std::abs(static_cast<double>(C[i]) -
+                                   static_cast<double>(Cref[i])));
     }
-    const double tol = 1e-12 * static_cast<double>(k);
-    std::printf("check %-8s vs scalar: max|diff| = %.3e (tol %.3e) %s\n",
-                std::string(to_string(lvl)).c_str(), max_diff, tol,
+    const double tol = ulp * static_cast<double>(k);
+    std::printf("check %-8s %s vs scalar: max|diff| = %.3e (tol %.3e) %s\n",
+                std::string(to_string(lvl)).c_str(), prec, max_diff, tol,
                 max_diff <= tol ? "OK" : "FAIL");
     if (max_diff > tol) ok = false;
   }
+  return ok;
+}
+
+/// --check, both precisions (restores the entry dispatch level).
+bool check_equivalence() {
+  using namespace dmtk::blas;
+  const SimdLevel entry_level = simd_level();
+  const bool ok = check_equivalence_t<double>("f64", 1e-12) &
+                  check_equivalence_t<float>("f32", 1e-4);
   set_simd_level(entry_level);
   return ok;
 }
@@ -220,8 +236,9 @@ int main(int argc, char** argv) {
 
   const SimdLevel entry_level = simd_level();
   std::vector<Result> results;
-  std::printf("%-8s %22s %9s %8s %10s %12s\n", "case", "m x n x k (xbatch)",
-              "kernel", "threads", "seconds", "GFLOP/s");
+  std::printf("%-8s %22s %9s %5s %8s %10s %12s\n", "case",
+              "m x n x k (xbatch)", "kernel", "prec", "threads", "seconds",
+              "GFLOP/s");
   for (const Shape& s : shapes) {
     const std::size_t asz = static_cast<std::size_t>(s.m * s.k) + 4 * 512;
     const std::size_t bsz = static_cast<std::size_t>(s.k * s.n) + 4 * 512;
@@ -229,25 +246,40 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(s.m * s.n) *
         static_cast<std::size_t>(s.batch > 1 ? s.batch : 1);
     Rng rng(1234);
-    std::vector<double> A(asz), B(bsz), C(csz, 0.0);
-    dmtk::fill_uniform(A, rng, -1.0, 1.0);
-    dmtk::fill_uniform(B, rng, -1.0, 1.0);
+    std::vector<double> Ad(asz), Bd(bsz), Cd(csz, 0.0);
+    dmtk::fill_uniform(Ad, rng, -1.0, 1.0);
+    dmtk::fill_uniform(Bd, rng, -1.0, 1.0);
+    std::vector<float> Af(Ad.begin(), Ad.end());
+    std::vector<float> Bf(Bd.begin(), Bd.end());
+    std::vector<float> Cf(csz, 0.0f);
     const double flops = 2.0 * static_cast<double>(s.m) *
                          static_cast<double>(s.n) * static_cast<double>(s.k) *
                          static_cast<double>(s.batch > 1 ? s.batch : 1);
     for (SimdLevel lvl : levels) {
       if (set_simd_level(lvl) != lvl) continue;
+      // Float has one AVX2 kernel (f8x8) serving both AVX2 levels, so in a
+      // full sweep the avx2-4x8 f32 leg would just re-time the avx2-8x8
+      // one under a misleading label; skip it (a DMTK_SIMD override sweeps
+      // a single level and keeps its f32 row).
+      const bool skip_f32 =
+          lvl == SimdLevel::Avx2x4x8 && levels.size() > 1;
       for (int t : threads) {
-        const double sec = run_case(s, t, trials, A, B, C);
-        const double gf = flops / sec / 1e9;
-        results.push_back({s, lvl, t, sec, gf});
-        char shape_buf[64];
-        std::snprintf(shape_buf, sizeof(shape_buf),
-                      "%lldx%lldx%lld%s", static_cast<long long>(s.m),
-                      static_cast<long long>(s.n), static_cast<long long>(s.k),
-                      s.batch > 1 ? " xB" : "");
-        std::printf("%-8s %22s %9s %8d %10.4f %12.2f\n", s.tag, shape_buf,
-                    std::string(to_string(lvl)).c_str(), t, sec, gf);
+        for (int prec = 0; prec < (skip_f32 ? 1 : 2); ++prec) {
+          const bool f32 = prec == 1;
+          const double sec = f32 ? run_case<float>(s, t, trials, Af, Bf, Cf)
+                                 : run_case<double>(s, t, trials, Ad, Bd, Cd);
+          const double gf = flops / sec / 1e9;
+          results.push_back({s, lvl, f32 ? "f32" : "f64", t, sec, gf});
+          char shape_buf[64];
+          std::snprintf(shape_buf, sizeof(shape_buf),
+                        "%lldx%lldx%lld%s", static_cast<long long>(s.m),
+                        static_cast<long long>(s.n),
+                        static_cast<long long>(s.k),
+                        s.batch > 1 ? " xB" : "");
+          std::printf("%-8s %22s %9s %5s %8d %10.4f %12.2f\n", s.tag,
+                      shape_buf, std::string(to_string(lvl)).c_str(),
+                      f32 ? "f32" : "f64", t, sec, gf);
+        }
       }
     }
   }
@@ -277,13 +309,13 @@ int main(int argc, char** argv) {
       std::fprintf(
           f,
           "    {\"case\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
-          "\"batch\": %lld, \"kernel\": \"%s\", \"threads\": %d, "
-          "\"median_seconds\": %.6f, \"gflops\": %.3f}%s\n",
+          "\"batch\": %lld, \"kernel\": \"%s\", \"precision\": \"%s\", "
+          "\"threads\": %d, \"median_seconds\": %.6f, \"gflops\": %.3f}%s\n",
           r.shape.tag, static_cast<long long>(r.shape.m),
           static_cast<long long>(r.shape.n), static_cast<long long>(r.shape.k),
           static_cast<long long>(r.shape.batch),
-          std::string(to_string(r.level)).c_str(), r.threads, r.seconds,
-          r.gflops, i + 1 < results.size() ? "," : "");
+          std::string(to_string(r.level)).c_str(), r.precision, r.threads,
+          r.seconds, r.gflops, i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

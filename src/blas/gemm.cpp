@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "blas/cpu_features.hpp"
@@ -16,8 +17,8 @@ namespace dmtk::blas {
 
 namespace {
 
-using detail::packed_a_doubles;
-using detail::packed_b_doubles;
+using detail::packed_a_elems;
+using detail::packed_b_elems;
 
 // ---------------------------------------------------------------------------
 // Micro-kernel dispatch
@@ -32,8 +33,7 @@ struct MicroKernel {
   index_t nr;
 };
 
-/// Generic types (float) always run the portable tile; the SIMD kernels are
-/// double-only, matching the library's compute type.
+/// Generic types fall back to the portable tile.
 template <typename T>
 MicroKernel<T> select_kernel() {
   return {&microkernel_scalar<T, 4, 8>, 4, 8};
@@ -51,32 +51,52 @@ MicroKernel<double> select_kernel<double>() {
   return {&microkernel_scalar<double, 4, 8>, 4, 8};
 }
 
+/// Float has one AVX2 tile (8x8, a full ymm of 8 floats per strip); both
+/// AVX2 levels select it, so a DMTK_SIMD override steers float and double
+/// consistently.
+template <>
+MicroKernel<float> select_kernel<float>() {
+#if DMTK_HAVE_AVX2_KERNELS
+  switch (simd_level()) {
+    case SimdLevel::Avx2x4x8:
+    case SimdLevel::Avx2x8x8: return {&microkernel_avx2_f8x8, 8, 8};
+    case SimdLevel::Scalar: break;
+  }
+#endif
+  return {&microkernel_scalar<float, 4, 8>, 4, 8};
+}
+
 // ---------------------------------------------------------------------------
 // Workspace acquisition
 // ---------------------------------------------------------------------------
 
 std::atomic<std::size_t> g_internal_allocs{0};
 
-/// Serve a workspace request: the caller's view when it is big enough
-/// (base aligned up to a cache line — the SIMD kernels use aligned loads
-/// on the packed A strips), otherwise a growable thread_local arena
-/// (growth events are counted so tests can prove plan-driven call sites
-/// never land here). The arena belongs to the CALLING thread; team
-/// workers index slices of it.
-GemmWorkspace acquire_ws(const GemmWorkspace& ws, std::size_t need) {
+/// Serve a workspace request of `need` elements of T: the caller's view
+/// when it is big enough (base aligned up to a cache line — the SIMD
+/// kernels use aligned loads on the packed A strips), otherwise a growable
+/// per-type thread_local arena (growth events are counted so tests can
+/// prove plan-driven call sites never land here). The arena belongs to the
+/// CALLING thread; team workers index slices of it.
+template <typename T>
+T* acquire_ws(const GemmWorkspace& ws, std::size_t need) {
   if (ws.valid()) {
-    const auto addr = reinterpret_cast<std::uintptr_t>(ws.base);
-    const std::size_t skip =
-        (kDefaultAlignment - addr % kDefaultAlignment) % kDefaultAlignment /
-        sizeof(double);
-    if (ws.doubles >= need + skip) return {ws.base + skip, ws.doubles - skip};
+    // std::align bumps the base up to a cache line and checks the aligned
+    // region still holds `need` elements — the whole cast-free form of the
+    // old doubles-measured pointer arithmetic.
+    void* p = ws.base;
+    std::size_t space = ws.bytes;
+    if (std::align(kDefaultAlignment, need * sizeof(T), p, space) !=
+        nullptr) {
+      return static_cast<T*>(p);
+    }
   }
-  thread_local std::vector<double, AlignedAllocator<double>> arena;
+  thread_local std::vector<T, AlignedAllocator<T>> arena;
   if (arena.size() < need) {
     arena.resize(need);
     g_internal_allocs.fetch_add(1, std::memory_order_relaxed);
   }
-  return {arena.data(), arena.size()};
+  return arena.data();
 }
 
 // ---------------------------------------------------------------------------
@@ -302,16 +322,15 @@ void gemm_col(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
               const T* A, index_t lda, const T* B, index_t ldb, T beta, T* C,
               index_t ldc, int nt, const GemmWorkspace& ws) {
   const MicroKernel<T> uk = select_kernel<T>();
-  const std::size_t b_elems = std::max(packed_b_doubles(n, k),
-                                       packed_b_doubles(m, k));
-  const std::size_t a_elems = std::max(packed_a_doubles(m, k),
-                                       packed_a_doubles(n, k));
+  const std::size_t b_elems = std::max(packed_b_elems<T>(n, k),
+                                       packed_b_elems<T>(m, k));
+  const std::size_t a_elems = std::max(packed_a_elems<T>(m, k),
+                                       packed_a_elems<T>(n, k));
   // One thread, or too little work to amortize a team: sequential kernel.
   const bool team = nt > 1 && m * n >= 4096;
   const std::size_t need = b_elems + (team ? static_cast<std::size_t>(nt) : 1)
                                          * a_elems;
-  const GemmWorkspace got = acquire_ws(ws, need);
-  T* base = reinterpret_cast<T*>(got.base);
+  T* base = acquire_ws<T>(ws, need);
   T* Bp = base;
   T* Aslices = base + b_elems;
   if (!team) {
@@ -391,12 +410,12 @@ void gemm_batched(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
 
   const int nt = resolve_threads(threads);
   const MicroKernel<T> uk = select_kernel<T>();
-  const std::size_t per = gemm_workspace_doubles(m, n, k, 1);
+  const std::size_t per = gemm_workspace_elems<T>(m, n, k, 1);
   const std::size_t need =
       static_cast<std::size_t>(nt <= 1 ? 1 : nt) * per;
-  const GemmWorkspace got = acquire_ws(ws, need);
-  const std::size_t b_elems = std::max(packed_b_doubles(n, k),
-                                       packed_b_doubles(m, k));
+  T* ws_base = acquire_ws<T>(ws, need);
+  const std::size_t b_elems = std::max(packed_b_elems<T>(n, k),
+                                       packed_b_elems<T>(m, k));
 
   index_t ngroups = 0;
   for (index_t i = 0; i < batch; ++i) {
@@ -413,16 +432,14 @@ void gemm_batched(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
   };
 
   if (nt <= 1) {
-    T* slice = reinterpret_cast<T*>(got.base);
-    for (index_t i = 0; i < batch; ++i) run_item(i, 0, m, slice);
+    for (index_t i = 0; i < batch; ++i) run_item(i, 0, m, ws_base);
     return;
   }
 
   parallel_region(nt, [&](int t, int nteam) {
-    // Slices are carved in doubles (the workspace unit) so they stay
-    // cache-line aligned for any T.
-    T* slice =
-        reinterpret_cast<T*>(got.base + static_cast<std::size_t>(t) * per);
+    // `per` is a whole number of cache lines (every component of the
+    // sizing helper is line-rounded), so the slices stay line-aligned.
+    T* slice = ws_base + static_cast<std::size_t>(t) * per;
     if (ngroups >= static_cast<index_t>(nteam)) {
       // Whole groups per thread: walk the batch tracking the group index
       // and execute the groups in this thread's block, items in order.

@@ -8,8 +8,9 @@
 /// Design (BLIS-style):
 ///  - three-level blocking (NC x KC x MC) with packed A and B panels,
 ///  - an MR x NR register-tile micro-kernel, runtime-dispatched between
-///    explicit AVX2/FMA kernels (4x8 and 8x8 doubles) and a portable scalar
-///    tile (cpu_features.hpp; override with DMTK_SIMD=scalar|avx2),
+///    explicit AVX2/FMA kernels (4x8 and 8x8 doubles, 8x8 floats) and a
+///    portable scalar tile (cpu_features.hpp; override with
+///    DMTK_SIMD=scalar|avx2),
 ///  - collaborative internal parallelism: ONE thread team shares each
 ///    packed-B panel (packed cooperatively, then a barrier), and splits the
 ///    MC row blocks — or, when the output is too short for that, the NR
@@ -38,9 +39,10 @@ namespace dmtk::blas {
 /// \param m,n,k   op(A) is m x k, op(B) is k x n, C is m x n
 /// \param lda,ldb,ldc leading dimensions in the given layout
 /// \param threads OpenMP threads (<=0 selects the library default)
-/// \param ws      packing workspace; pass gemm_workspace_doubles(m, n, k,
-///                threads) doubles for a heap-free call, or an invalid view
-///                to use the internal fallback arena
+/// \param ws      packing workspace; pass gemm_workspace_elems<T>(m, n, k,
+///                threads) elements (typed_workspace()) for a heap-free
+///                call, or an invalid view to use the internal fallback
+///                arena
 template <typename T>
 void gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
           T alpha, const T* A, index_t lda, const T* B, index_t ldb, T beta,
@@ -71,8 +73,8 @@ void gemm(Layout layout, Trans ta, Trans tb, index_t m, index_t n, index_t k,
 /// multiplies, where blocks accumulate into per-thread partial outputs.
 /// Non-consecutive duplicate C pointers are a data race; don't.
 ///
-/// \param ws pass gemm_batched_workspace_doubles(m, n, k, threads) doubles
-///           for a heap-free sweep.
+/// \param ws pass gemm_batched_workspace_elems<T>(m, n, k, threads)
+///           elements (typed_workspace()) for a heap-free sweep.
 template <typename T>
 void gemm_batched(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
                   index_t k, T alpha, const T* const* A, index_t lda,

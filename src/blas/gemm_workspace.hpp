@@ -8,10 +8,16 @@
 /// guarantee INTO the BLAS layer, every gemm/syrk/gemm_batched entry point
 /// accepts a GemmWorkspace view over caller-owned memory (in practice a
 /// block of the ExecContext's WorkspaceArena). Callers that pass none fall
-/// back to a per-thread thread_local arena that grows at most a few times
-/// per process and is reused across calls; the fallback's growth events
-/// are counted (gemm_internal_allocs()) so tests can prove the hot paths
-/// never hit it.
+/// back to a per-thread, per-scalar-type thread_local arena that grows at
+/// most a few times per process and is reused across calls; the fallback's
+/// growth events are counted (gemm_internal_allocs()) so tests can prove
+/// the hot paths never hit it.
+///
+/// The view is measured in BYTES and the sizing helpers are templated on
+/// the scalar type. (Historically the view counted doubles and the float
+/// instantiation reinterpreted double storage — double-based sizing was
+/// sufficient but the type pun was undefined behavior; the byte-based view
+/// plus typed_workspace() carve-out removed it.)
 ///
 /// Sizing is conservative over every micro-kernel tile shape (MR, NR <= 8),
 /// so one reservation is valid whatever DMTK_SIMD selects at run time.
@@ -35,81 +41,102 @@ inline constexpr index_t kGemmNC = 1024;
 inline constexpr index_t kGemmMaxMR = 8;
 inline constexpr index_t kGemmMaxNR = 8;
 
-/// Non-owning view of a scratch block measured in doubles (the float
-/// instantiation reinterprets it; a double slot holds two floats, so
-/// double-based sizing is always sufficient). The kernel aligns the base
-/// up to a cache line internally — the sizing helpers below include that
-/// slack — so any double buffer works, though WorkspaceArena blocks are
-/// already aligned.
+/// Non-owning view of a scratch block, measured in bytes. The kernel
+/// aligns the base up to a cache line internally — the sizing helpers
+/// below include that slack — so any buffer works, though WorkspaceArena
+/// blocks are already aligned. Build one from a typed buffer with
+/// typed_workspace().
 struct GemmWorkspace {
-  double* base = nullptr;
-  std::size_t doubles = 0;
+  void* base = nullptr;
+  std::size_t bytes = 0;
   [[nodiscard]] bool valid() const { return base != nullptr; }
 };
 
+/// Workspace view over `elems` elements of T at `base` — the typed
+/// carve-out used by the plan layer (which sizes arena blocks with the
+/// *_elems helpers below and carves them per scalar type).
+template <typename T>
+[[nodiscard]] inline GemmWorkspace typed_workspace(T* base,
+                                                   std::size_t elems) {
+  return GemmWorkspace{base, elems * sizeof(T)};
+}
+
 namespace detail {
 
-/// Round a panel-block request up to cache-line granularity so per-thread
-/// slices never share a line (mirrors WorkspaceArena::aligned without
-/// depending on exec/).
-[[nodiscard]] constexpr std::size_t ws_align(std::size_t doubles) {
-  constexpr std::size_t kLine = 64 / sizeof(double);
-  return (doubles + kLine - 1) / kLine * kLine;
+/// Round a panel-block element count up to cache-line granularity so
+/// per-thread slices never share a line (mirrors
+/// WorkspaceArena::aligned_count without depending on exec/).
+template <typename T>
+[[nodiscard]] constexpr std::size_t ws_align(std::size_t elems) {
+  constexpr std::size_t kLine = 64 / sizeof(T);
+  return (elems + kLine - 1) / kLine * kLine;
 }
 
 [[nodiscard]] constexpr index_t round_up(index_t v, index_t to) {
   return (v + to - 1) / to * to;
 }
 
-/// Doubles for one shared packed-B panel of a (m x n x k) GEMM.
-[[nodiscard]] constexpr std::size_t packed_b_doubles(index_t n, index_t k) {
+/// Elements of T for one shared packed-B panel of a (m x n x k) GEMM.
+template <typename T>
+[[nodiscard]] constexpr std::size_t packed_b_elems(index_t n, index_t k) {
   const index_t kc = k < kGemmKC ? (k > 0 ? k : 1) : kGemmKC;
   const index_t nc = round_up(n < kGemmNC ? (n > 0 ? n : 1) : kGemmNC,
                               kGemmMaxNR);
-  return ws_align(static_cast<std::size_t>(nc * kc));
+  return ws_align<T>(static_cast<std::size_t>(nc * kc));
 }
 
-/// Doubles for one per-thread packed-A block of a (m x n x k) GEMM.
-[[nodiscard]] constexpr std::size_t packed_a_doubles(index_t m, index_t k) {
+/// Elements of T for one per-thread packed-A block of a (m x n x k) GEMM.
+template <typename T>
+[[nodiscard]] constexpr std::size_t packed_a_elems(index_t m, index_t k) {
   const index_t kc = k < kGemmKC ? (k > 0 ? k : 1) : kGemmKC;
   const index_t mc = round_up(m < kGemmMC ? (m > 0 ? m : 1) : kGemmMC,
                               kGemmMaxMR);
-  return ws_align(static_cast<std::size_t>(mc * kc));
+  return ws_align<T>(static_cast<std::size_t>(mc * kc));
 }
 
 }  // namespace detail
 
-/// Workspace doubles one gemm(m, n, k) call needs at `threads` threads
-/// (shared B panel + one A block per thread). Layout-independent: callers
-/// with RowMajor outputs should pass the dimensions they call with (the
-/// internal swap is symmetric in the panel sizes' upper bound).
-[[nodiscard]] constexpr std::size_t gemm_workspace_doubles(index_t m,
-                                                           index_t n,
-                                                           index_t k,
-                                                           int threads) {
+/// Workspace elements of T one gemm(m, n, k) call needs at `threads`
+/// threads (shared B panel + one A block per thread). Layout-independent:
+/// callers with RowMajor outputs should pass the dimensions they call with
+/// (the internal swap is symmetric in the panel sizes' upper bound).
+template <typename T>
+[[nodiscard]] constexpr std::size_t gemm_workspace_elems(index_t m, index_t n,
+                                                         index_t k,
+                                                         int threads) {
   const std::size_t nt = threads > 0 ? static_cast<std::size_t>(threads) : 1;
   // RowMajor recursion swaps m and n, so bound both orientations.
-  const std::size_t b = std::max(detail::packed_b_doubles(n, k),
-                                 detail::packed_b_doubles(m, k));
-  const std::size_t a = std::max(detail::packed_a_doubles(m, k),
-                                 detail::packed_a_doubles(n, k));
+  const std::size_t b = std::max(detail::packed_b_elems<T>(n, k),
+                                 detail::packed_b_elems<T>(m, k));
+  const std::size_t a = std::max(detail::packed_a_elems<T>(m, k),
+                                 detail::packed_a_elems<T>(n, k));
   // One cache line of slack so the kernel can align an arbitrary base.
-  return b + nt * a + detail::ws_align(1);
+  return b + nt * a + detail::ws_align<T>(1);
 }
 
-/// Workspace doubles for a gemm_batched(m, n, k) sweep at `threads`
+/// Workspace elements of T for a gemm_batched(m, n, k) sweep at `threads`
 /// threads: every thread runs the sequential kernel on its items, so each
 /// needs a private (B panel + A block) pair.
-[[nodiscard]] constexpr std::size_t gemm_batched_workspace_doubles(
+template <typename T>
+[[nodiscard]] constexpr std::size_t gemm_batched_workspace_elems(
     index_t m, index_t n, index_t k, int threads) {
   const std::size_t nt = threads > 0 ? static_cast<std::size_t>(threads) : 1;
-  return nt * gemm_workspace_doubles(m, n, k, 1);
+  return nt * gemm_workspace_elems<T>(m, n, k, 1);
 }
 
-/// Workspace doubles one syrk(n, k) call needs at `threads` threads (the
-/// blocked-GEMM column sweep of syrk.cpp).
-[[nodiscard]] std::size_t syrk_workspace_doubles(index_t n, index_t k,
-                                                 int threads);
+/// Byte forms, for callers that hold raw byte budgets.
+template <typename T>
+[[nodiscard]] constexpr std::size_t gemm_workspace_bytes(index_t m, index_t n,
+                                                         index_t k,
+                                                         int threads) {
+  return gemm_workspace_elems<T>(m, n, k, threads) * sizeof(T);
+}
+
+template <typename T>
+[[nodiscard]] constexpr std::size_t gemm_batched_workspace_bytes(
+    index_t m, index_t n, index_t k, int threads) {
+  return gemm_batched_workspace_elems<T>(m, n, k, threads) * sizeof(T);
+}
 
 /// Process-wide count of internal fallback-arena growth events: how many
 /// times a gemm/syrk/gemm_batched call had to (re)allocate because the

@@ -10,11 +10,10 @@ namespace dmtk::blas {
 
 namespace {
 
-/// Column-block width of the triangular GEMM sweep. Each block computes the
-/// upper trapezoid C(0:j0+jb, j0:j0+jb) in one GEMM call, so only the
-/// jb x jb diagonal blocks do (at most half) redundant below-diagonal work
-/// — a <= NB/(2n) overhead that vanishes for the tall-k Gram shapes.
-constexpr index_t kSyrkNB = 128;
+// kSyrkNB (syrk.hpp): each column block computes the upper trapezoid
+// C(0:j0+jb, j0:j0+jb) in one GEMM call, so only the jb x jb diagonal
+// blocks do (at most half) redundant below-diagonal work — a <= NB/(2n)
+// overhead that vanishes for the tall-k Gram shapes.
 
 /// Mirror the strictly-upper triangle into the lower one (bitwise copies,
 /// never recomputed — the symmetric-output contract).
@@ -29,10 +28,6 @@ void mirror_lower(index_t n, T* C, index_t ldc, int threads) {
 }
 
 }  // namespace
-
-std::size_t syrk_workspace_doubles(index_t n, index_t k, int threads) {
-  return gemm_workspace_doubles(n, std::min(n, kSyrkNB), k, threads);
-}
 
 template <typename T>
 void syrk(Trans trans, index_t n, index_t k, T alpha, const T* A, index_t lda,

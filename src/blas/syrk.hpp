@@ -10,11 +10,24 @@
 /// bitwise, never recomputed) is preserved while the flops run on the
 /// SIMD-dispatched micro-kernels.
 
+#include <algorithm>
+
 #include "blas/gemm_workspace.hpp"
 #include "blas/types.hpp"
 #include "util/common.hpp"
 
 namespace dmtk::blas {
+
+/// Column-block width of syrk's triangular GEMM sweep (see syrk.cpp).
+inline constexpr index_t kSyrkNB = 128;
+
+/// Workspace elements of T one syrk(n, k) call needs at `threads` threads
+/// (the blocked-GEMM column sweep of syrk.cpp).
+template <typename T>
+[[nodiscard]] constexpr std::size_t syrk_workspace_elems(index_t n, index_t k,
+                                                         int threads) {
+  return gemm_workspace_elems<T>(n, std::min(n, kSyrkNB), k, threads);
+}
 
 /// C <- alpha * op(A)^T op(A) ... specifically, for column-major A:
 ///   trans == Trans::Trans:   C(n x n) <- alpha * A^T A + beta * C, A is k x n
@@ -23,7 +36,7 @@ namespace dmtk::blas {
 /// Gram/Hadamard pipeline consumes.
 ///
 /// \param ws packing workspace for the internal GEMM sweep; pass
-///           syrk_workspace_doubles(n, k, threads) doubles for a heap-free
+///           syrk_workspace_elems<T>(n, k, threads) elements for a heap-free
 ///           call, or an invalid view to use the internal fallback arena
 template <typename T>
 void syrk(Trans trans, index_t n, index_t k, T alpha, const T* A, index_t lda,

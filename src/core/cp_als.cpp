@@ -10,28 +10,32 @@
 
 namespace dmtk {
 
-void hadamard_of_grams_into(std::span<const Matrix> grams, index_t skip,
-                            Matrix& H) {
+template <typename T>
+void hadamard_of_grams_into(const std::vector<MatrixT<T>>& grams, index_t skip,
+                            MatrixT<T>& H) {
   DMTK_CHECK(!grams.empty(), "hadamard_of_grams: empty input");
   const index_t C = grams[0].rows();
-  if (H.rows() != C || H.cols() != C) H = Matrix(C, C);
-  H.fill(1.0);
+  if (H.rows() != C || H.cols() != C) H = MatrixT<T>(C, C);
+  H.fill(T{1});
   for (index_t k = 0; k < static_cast<index_t>(grams.size()); ++k) {
     if (k == skip) continue;
-    const Matrix& G = grams[static_cast<std::size_t>(k)];
+    const MatrixT<T>& G = grams[static_cast<std::size_t>(k)];
     DMTK_CHECK(G.rows() == C && G.cols() == C,
                "hadamard_of_grams: non-conforming Gram matrix");
     blas::hadamard_inplace(C * C, G.data(), H.data());
   }
 }
 
-Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip) {
-  Matrix H;
+template <typename T>
+MatrixT<T> hadamard_of_grams(const std::vector<MatrixT<T>>& grams,
+                             index_t skip) {
+  MatrixT<T> H;
   hadamard_of_grams_into(grams, skip, H);
   return H;
 }
 
-CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
+template <typename T>
+CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts) {
   const index_t N = X.order();
   const index_t C = opts.rank;
   DMTK_CHECK(N >= 2, "cp_als: tensor must have at least 2 modes");
@@ -47,25 +51,35 @@ CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts) {
   // construction (DimTree) or per-mode MttkrpPlans (PerMode), and the
   // complete workspace layout are paid once, and the sweeps below run
   // without touching the heap.
-  std::optional<CpAlsSweepPlan> sweep;
+  std::optional<CpAlsSweepPlanT<T>> sweep;
   if (!opts.mttkrp_override) {
     sweep.emplace(ctx, X.dims(), C, opts.sweep_scheme, opts.method,
                   opts.dimtree_levels);
   }
 
-  CpAlsResult result;
+  CpAlsResultT<T> result;
   detail::init_model(X, opts, "cp_als", result.model);
-  Ktensor& model = result.model;
+  KtensorT<T>& model = result.model;
 
   detail::run_als_sweeps(
       X, opts, ctx, sweep ? &*sweep : nullptr, result,
-      [&](index_t n, Matrix& H, Matrix& M, int iter) {
+      [&](index_t n, MatrixT<T>& H, MatrixT<T>& M, int iter) {
         detail::factor_solve(H, M, nt);
-        Matrix& U = model.factors[static_cast<std::size_t>(n)];
+        MatrixT<T>& U = model.factors[static_cast<std::size_t>(n)];
         std::swap(U, M);
         detail::normalize_update(U, model.lambda, iter == 0);
       });
   return result;
 }
+
+template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&);
+template CpAlsResultF cp_als<float>(const TensorF&, const CpAlsOptionsF&);
+template Matrix hadamard_of_grams<double>(const std::vector<Matrix>&, index_t);
+template MatrixF hadamard_of_grams<float>(const std::vector<MatrixF>&,
+                                          index_t);
+template void hadamard_of_grams_into<double>(const std::vector<Matrix>&,
+                                             index_t, Matrix&);
+template void hadamard_of_grams_into<float>(const std::vector<MatrixF>&,
+                                            index_t, MatrixF&);
 
 }  // namespace dmtk

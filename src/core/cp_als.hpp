@@ -7,6 +7,12 @@
 /// `sweep_scheme`: per-mode kernels with the paper's dispatch policy
 /// (1-step external, 2-step internal, overridable via `method`), or the
 /// dimension-tree scheme that shares partial contractions across modes.
+///
+/// Options, result, and the driver are templated on the scalar type:
+/// `cp_als(TensorF, CpAlsOptionsF)` runs the whole pipeline — plans,
+/// kernels, Gram/solve, fit — in fp32, halving the bytes the bandwidth-
+/// bound MTTKRPs move. Fit/timing diagnostics stay double. The un-suffixed
+/// aliases keep existing double call sites compiling unchanged.
 
 #include <cstdint>
 #include <functional>
@@ -21,7 +27,8 @@
 
 namespace dmtk {
 
-struct CpAlsOptions {
+template <typename T>
+struct CpAlsOptionsT {
   index_t rank = 10;        ///< number of CP components C
   int max_iters = 50;       ///< maximum ALS sweeps
   double tol = 1e-4;        ///< stop when the fit improves by less than this
@@ -29,13 +36,13 @@ struct CpAlsOptions {
   int threads = 0;          ///< <=0: library default (used when exec unset)
   std::uint64_t seed = 42;  ///< seed for random initialization
   bool compute_fit = true;  ///< fit costs one extra O(InC) pass per sweep
-  const Ktensor* initial_guess = nullptr;  ///< optional warm start
+  const KtensorT<T>* initial_guess = nullptr;  ///< optional warm start
 
   /// How the sweep's per-mode MTTKRPs are produced (see exec/sweep_plan.hpp):
   /// PerMode = independent per-mode kernels selected by `method`; DimTree =
   /// multi-level dimension-tree reuse across modes (`method` is then
   /// ignored — the tree has its own contraction kernels). Auto currently
-  /// resolves to PerMode.
+  /// resolves to PerMode for N <= 3 and DimTree for N >= 4.
   SweepScheme sweep_scheme = SweepScheme::Auto;
 
   /// DimTree only: cap on the tree's binary-split depth. 0 = full tree
@@ -55,10 +62,14 @@ struct CpAlsOptions {
   /// `method` is ignored — the hook for experimenting with kernels that
   /// share the exact ALS driver (initialization, solve, stopping rule)
   /// while swapping only the bottleneck.
-  using MttkrpFn = std::function<void(const Tensor&, std::span<const Matrix>,
-                                      index_t, Matrix&, const ExecContext&)>;
+  using MttkrpFn =
+      std::function<void(const TensorT<T>&, std::span<const MatrixT<T>>,
+                         index_t, MatrixT<T>&, const ExecContext&)>;
   MttkrpFn mttkrp_override;
 };
+
+using CpAlsOptions = CpAlsOptionsT<double>;
+using CpAlsOptionsF = CpAlsOptionsT<float>;
 
 /// Per-sweep diagnostics.
 struct CpAlsIterStats {
@@ -68,8 +79,9 @@ struct CpAlsIterStats {
   double fit = 0.0;             ///< model fit after the sweep (if computed)
 };
 
-struct CpAlsResult {
-  Ktensor model;            ///< normalized factors + lambda
+template <typename T>
+struct CpAlsResultT {
+  KtensorT<T> model;        ///< normalized factors + lambda
   int iterations = 0;       ///< sweeps performed
   double final_fit = 0.0;   ///< 1 - ||X - Y||_F / ||X||_F
   bool converged = false;   ///< tolerance met before max_iters
@@ -83,21 +95,43 @@ struct CpAlsResult {
   SweepTimings sweep_timings;
 };
 
+using CpAlsResult = CpAlsResultT<double>;
+using CpAlsResultF = CpAlsResultT<float>;
+
 /// Compute a rank-`opts.rank` CP decomposition of X. Follows the Tensor
 /// Toolbox cp_als conventions: uniform-random initialization, column
 /// normalization with 2-norm on the first sweep and max-norm afterwards,
-/// fit-change stopping rule.
-CpAlsResult cp_als(const Tensor& X, const CpAlsOptions& opts);
+/// fit-change stopping rule. The fp32 instantiation runs every kernel in
+/// float; its fit agrees with the double run to ~fp32 precision on
+/// well-conditioned problems (see README "Precision").
+template <typename T>
+CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts);
+
+extern template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&);
+extern template CpAlsResultF cp_als<float>(const TensorF&,
+                                           const CpAlsOptionsF&);
 
 /// The Hadamard product of all Gram matrices except `skip`:
 /// H = (*)_{k != skip} grams[k]. Pass skip = -1 to include all modes.
 /// Exposed for tests and the baseline implementation.
-Matrix hadamard_of_grams(std::span<const Matrix> grams, index_t skip);
+template <typename T>
+MatrixT<T> hadamard_of_grams(const std::vector<MatrixT<T>>& grams,
+                             index_t skip);
 
 /// As hadamard_of_grams, writing into a caller-owned C x C matrix (resized
 /// on mismatch) — what the sweep loop uses so steady-state sweeps do not
 /// allocate per mode.
-void hadamard_of_grams_into(std::span<const Matrix> grams, index_t skip,
-                            Matrix& H);
+template <typename T>
+void hadamard_of_grams_into(const std::vector<MatrixT<T>>& grams, index_t skip,
+                            MatrixT<T>& H);
+
+extern template Matrix hadamard_of_grams<double>(const std::vector<Matrix>&,
+                                                 index_t);
+extern template MatrixF hadamard_of_grams<float>(const std::vector<MatrixF>&,
+                                                 index_t);
+extern template void hadamard_of_grams_into<double>(const std::vector<Matrix>&,
+                                                    index_t, Matrix&);
+extern template void hadamard_of_grams_into<float>(const std::vector<MatrixF>&,
+                                                   index_t, MatrixF&);
 
 }  // namespace dmtk

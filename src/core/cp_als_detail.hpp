@@ -9,6 +9,10 @@
 /// in the factor-update callback they pass in. Also here: Gram
 /// computation, the TTB column normalization convention, the factor-update
 /// solve, and the fit formula.
+///
+/// Everything is templated on the scalar type T (deduced from the options/
+/// plan types), so the float and double CP-ALS pipelines are literally the
+/// same code. Fit and timing bookkeeping stays double for either scalar.
 
 #include <algorithm>
 #include <cmath>
@@ -28,36 +32,39 @@
 namespace dmtk::detail {
 
 /// G = U^T U.
-inline void gram(const Matrix& U, Matrix& G, int threads) {
-  blas::syrk(blas::Trans::Trans, U.cols(), U.rows(), 1.0, U.data(), U.ld(),
-             0.0, G.data(), G.ld(), threads);
+template <typename T>
+inline void gram(const MatrixT<T>& U, MatrixT<T>& G, int threads) {
+  blas::syrk(blas::Trans::Trans, U.cols(), U.rows(), T{1}, U.data(), U.ld(),
+             T{0}, G.data(), G.ld(), threads);
 }
 
 /// Normalize columns of U into lambda. First sweep uses the 2-norm;
 /// subsequent sweeps use max(max_abs, 1) so established components stop
 /// shrinking — the Tensor Toolbox convention.
-inline void normalize_update(Matrix& U, std::vector<double>& lambda,
+template <typename T>
+inline void normalize_update(MatrixT<T>& U, std::vector<T>& lambda,
                              bool first) {
   const index_t C = U.cols();
   for (index_t c = 0; c < C; ++c) {
-    double nrm;
+    T nrm;
     if (first) {
       nrm = blas::nrm2(U.rows(), U.col(c).data(), index_t{1});
     } else {
       const index_t im = blas::iamax(U.rows(), U.col(c).data(), index_t{1});
-      nrm = im >= 0 ? std::abs(U(im, c)) : 0.0;
-      nrm = std::max(nrm, 1.0);
+      nrm = im >= 0 ? std::abs(U(im, c)) : T{0};
+      nrm = std::max(nrm, T{1});
     }
     lambda[static_cast<std::size_t>(c)] = nrm;
-    if (nrm > 0.0) {
-      blas::scal(U.rows(), 1.0 / nrm, U.col(c).data(), index_t{1});
+    if (nrm > T{0}) {
+      blas::scal(U.rows(), T{1} / nrm, U.col(c).data(), index_t{1});
     }
   }
 }
 
 /// Solve U = M H^dagger in place on M, where H is the Hadamard product of
 /// the Gram matrices of all factors except the one being updated.
-inline void factor_solve(Matrix& H, Matrix& M, int threads) {
+template <typename T>
+inline void factor_solve(MatrixT<T>& H, MatrixT<T>& M, int threads) {
   linalg::spd_solve_right(H.cols(), H.data(), H.ld(), M.rows(), M.data(),
                           M.ld(), threads);
 }
@@ -66,16 +73,20 @@ inline void factor_solve(Matrix& H, Matrix& M, int threads) {
 /// ||X - Y||^2 = ||X||^2 + ||Y||^2 - 2 <X, Y>, where <X, Y> =
 /// sum_c lambda_c <Mlast(:, c), Ulast(:, c)> because Mlast is the final-mode
 /// MTTKRP of X against the current factors. Accuracy is limited to ~sqrt(eps)
-/// by the cancellation of the O(||X||^2) terms.
-inline double cp_fit(double normX2, const Ktensor& model, const Matrix& Mlast,
-                     int threads) {
+/// of the SCALAR type by the cancellation of the O(||X||^2) terms — ~1e-8
+/// for double, ~1e-3..1e-4 for float (the fp32 fit is a fit-insensitive
+/// diagnostic, not a convergence-grade residual).
+template <typename T>
+inline double cp_fit(double normX2, const KtensorT<T>& model,
+                     const MatrixT<T>& Mlast, int threads) {
   const index_t C = model.rank();
-  const Matrix& Ulast = model.factors.back();
+  const MatrixT<T>& Ulast = model.factors.back();
   double inner = 0.0;
   for (index_t c = 0; c < C; ++c) {
-    inner += model.lambda_or_one(c) *
-             blas::dot(Ulast.rows(), Mlast.col(c).data(), index_t{1},
-                       Ulast.col(c).data(), index_t{1});
+    inner += static_cast<double>(model.lambda_or_one(c)) *
+             static_cast<double>(
+                 blas::dot(Ulast.rows(), Mlast.col(c).data(), index_t{1},
+                           Ulast.col(c).data(), index_t{1}));
   }
   const double normY2 = model.norm_squared(threads);
   const double residual2 = std::max(0.0, normX2 + normY2 - 2.0 * inner);
@@ -85,11 +96,11 @@ inline double cp_fit(double normX2, const Ktensor& model, const Matrix& Mlast,
 
 /// Initialize result.model from the warm start or the seed; shared
 /// validation for every driver (`who` names the driver in error messages).
-/// Works for any tensor type exposing order() and dims() — dense Tensor
+/// Works for any tensor type exposing order() and dims() — dense TensorT<T>
 /// and sparse::SparseTensor alike.
-template <typename TensorT>
-void init_model(const TensorT& X, const CpAlsOptions& opts,
-                const char* who, Ktensor& model) {
+template <typename T, typename XT>
+void init_model(const XT& X, const CpAlsOptionsT<T>& opts,
+                const char* who, KtensorT<T>& model) {
   const index_t N = X.order();
   const index_t C = opts.rank;
   if (opts.initial_guess != nullptr) {
@@ -98,11 +109,11 @@ void init_model(const TensorT& X, const CpAlsOptions& opts,
     DMTK_CHECK(model.rank() == C && model.order() == N,
                std::string(who) + ": initial guess shape mismatch");
     if (model.lambda.empty()) {
-      model.lambda.assign(static_cast<std::size_t>(C), 1.0);
+      model.lambda.assign(static_cast<std::size_t>(C), T{1});
     }
   } else {
     Rng rng(opts.seed);
-    model = Ktensor::random(X.dims(), C, rng);
+    model = KtensorT<T>::random(X.dims(), C, rng);
   }
 }
 
@@ -116,15 +127,15 @@ void init_model(const TensorT& X, const CpAlsOptions& opts,
 /// lambda, if the driver normalizes) in place, given the Hadamard-of-Grams
 /// system matrix H and the mode's MTTKRP M; the loop recomputes the Gram
 /// matrix afterwards and owns fit evaluation and the stopping rule.
-template <typename TensorT, typename UpdateFn>
-void run_als_sweeps(const TensorT& X, const CpAlsOptions& opts,
-                    const ExecContext& ctx, CpAlsSweepPlan* sweep,
-                    CpAlsResult& result, UpdateFn&& update_mode) {
-  constexpr bool kDense = std::is_same_v<std::decay_t<TensorT>, Tensor>;
+template <typename T, typename XT, typename UpdateFn>
+void run_als_sweeps(const XT& X, const CpAlsOptionsT<T>& opts,
+                    const ExecContext& ctx, CpAlsSweepPlanT<T>* sweep,
+                    CpAlsResultT<T>& result, UpdateFn&& update_mode) {
+  constexpr bool kDense = std::is_same_v<std::decay_t<XT>, TensorT<T>>;
   const index_t N = X.order();
   const index_t C = opts.rank;
   const int nt = ctx.threads();
-  Ktensor& model = result.model;
+  KtensorT<T>& model = result.model;
   if constexpr (!kDense) {
     DMTK_CHECK(!opts.mttkrp_override,
                "run_als_sweeps: mttkrp_override is dense-only");
@@ -135,9 +146,9 @@ void run_als_sweeps(const TensorT& X, const CpAlsOptions& opts,
 
   const double normX2 = X.norm_squared(nt);
 
-  std::vector<Matrix> grams(static_cast<std::size_t>(N));
+  std::vector<MatrixT<T>> grams(static_cast<std::size_t>(N));
   for (index_t n = 0; n < N; ++n) {
-    grams[static_cast<std::size_t>(n)] = Matrix(C, C);
+    grams[static_cast<std::size_t>(n)] = MatrixT<T>(C, C);
     gram(model.factors[static_cast<std::size_t>(n)],
          grams[static_cast<std::size_t>(n)], nt);
   }
@@ -145,15 +156,15 @@ void run_als_sweeps(const TensorT& X, const CpAlsOptions& opts,
   // Per-mode MTTKRP outputs: exact-solve updates swap the solved output
   // into the model and leave the previous factor here (same shape), HALS
   // reads M in place — either way, steady-state sweeps never reallocate.
-  std::vector<Matrix> Ms(static_cast<std::size_t>(N));
+  std::vector<MatrixT<T>> Ms(static_cast<std::size_t>(N));
   for (index_t n = 0; n < N; ++n) {
-    Ms[static_cast<std::size_t>(n)] = Matrix(X.dim(n), C);
+    Ms[static_cast<std::size_t>(n)] = MatrixT<T>(X.dim(n), C);
   }
   // Pre-sized fit scratch: the final-mode MTTKRP is copied (not assigned)
   // into it, so fit sweeps stay allocation-free too.
-  Matrix Mlast;
-  if (opts.compute_fit) Mlast = Matrix(X.dim(N - 1), C);
-  Matrix H(C, C);
+  MatrixT<T> Mlast;
+  if (opts.compute_fit) Mlast = MatrixT<T>(X.dim(N - 1), C);
+  MatrixT<T> H(C, C);
   double fit_old = 0.0;
 
   for (int iter = 0; iter < opts.max_iters; ++iter) {
@@ -162,7 +173,7 @@ void run_als_sweeps(const TensorT& X, const CpAlsOptions& opts,
     if (!use_override) sweep->begin_sweep(X);
 
     for (index_t n = 0; n < N; ++n) {
-      Matrix& M = Ms[static_cast<std::size_t>(n)];
+      MatrixT<T>& M = Ms[static_cast<std::size_t>(n)];
       if (use_override) {
         if constexpr (kDense) {
           WallTimer t;

@@ -10,27 +10,30 @@
 
 namespace dmtk {
 
-std::vector<index_t> Ktensor::dims() const {
+template <typename T>
+std::vector<index_t> KtensorT<T>::dims() const {
   std::vector<index_t> d(factors.size());
   for (std::size_t n = 0; n < factors.size(); ++n) d[n] = factors[n].rows();
   return d;
 }
 
-void Ktensor::validate() const {
+template <typename T>
+void KtensorT<T>::validate() const {
   DMTK_CHECK(!factors.empty(), "Ktensor: no factors");
   const index_t C = rank();
-  for (const Matrix& U : factors) {
+  for (const MatrixT<T>& U : factors) {
     DMTK_CHECK(U.cols() == C, "Ktensor: inconsistent rank across factors");
   }
   DMTK_CHECK(lambda.empty() || static_cast<index_t>(lambda.size()) == C,
              "Ktensor: lambda size mismatch");
 }
 
-Tensor Ktensor::full(int threads) const {
+template <typename T>
+TensorT<T> KtensorT<T>::full(int threads) const {
   validate();
   const index_t N = order();
   const index_t C = rank();
-  Tensor X(dims());
+  TensorT<T> X(dims());
   const index_t I0 = factors[0].rows();
   const index_t nslabs = X.numel() / I0;  // linearization of modes 1..N-1
 
@@ -47,11 +50,11 @@ Tensor Ktensor::full(int threads) const {
     }
     std::vector<index_t> idx(extents.size());
     for (index_t c = 0; c < C; ++c) {
-      const double lc = lambda_or_one(c);
-      const double* u0 = factors[0].col(c).data();
+      const T lc = lambda_or_one(c);
+      const T* u0 = factors[0].col(c).data();
       for (index_t s = r.begin; s < r.end; ++s) {
         decompose_first_fastest(s, extents, idx);
-        double w = lc;
+        T w = lc;
         for (index_t n = 1; n < N; ++n) {
           w *= factors[static_cast<std::size_t>(n)](
               idx[static_cast<std::size_t>(n - 1)], c);
@@ -63,55 +66,61 @@ Tensor Ktensor::full(int threads) const {
   return X;
 }
 
-double Ktensor::norm_squared(int threads) const {
+template <typename T>
+double KtensorT<T>::norm_squared(int threads) const {
   validate();
   const index_t C = rank();
   if (C == 0) return 0.0;
-  Matrix H(C, C);
-  H.fill(1.0);
-  Matrix G(C, C);
-  for (const Matrix& U : factors) {
-    blas::syrk(blas::Trans::Trans, C, U.rows(), 1.0, U.data(), U.ld(), 0.0,
+  MatrixT<T> H(C, C);
+  H.fill(T{1});
+  MatrixT<T> G(C, C);
+  for (const MatrixT<T>& U : factors) {
+    blas::syrk(blas::Trans::Trans, C, U.rows(), T{1}, U.data(), U.ld(), T{0},
                G.data(), G.ld(), threads);
     blas::hadamard_inplace(C * C, G.data(), H.data());
   }
   double s = 0.0;
   for (index_t i = 0; i < C; ++i) {
     for (index_t j = 0; j < C; ++j) {
-      s += lambda_or_one(i) * lambda_or_one(j) * H(i, j);
+      s += static_cast<double>(lambda_or_one(i)) *
+           static_cast<double>(lambda_or_one(j)) *
+           static_cast<double>(H(i, j));
     }
   }
   // Guard tiny negative values from roundoff; the quantity is a norm.
   return std::max(0.0, s);
 }
 
-void Ktensor::normalize_columns() {
+template <typename T>
+void KtensorT<T>::normalize_columns() {
   validate();
   const index_t C = rank();
-  if (lambda.empty()) lambda.assign(static_cast<std::size_t>(C), 1.0);
-  for (Matrix& U : factors) {
+  if (lambda.empty()) lambda.assign(static_cast<std::size_t>(C), T{1});
+  for (MatrixT<T>& U : factors) {
     for (index_t c = 0; c < C; ++c) {
-      const double nrm = blas::nrm2(U.rows(), U.col(c).data(), index_t{1});
-      if (nrm > 0.0) {
-        blas::scal(U.rows(), 1.0 / nrm, U.col(c).data(), index_t{1});
+      const T nrm = blas::nrm2(U.rows(), U.col(c).data(), index_t{1});
+      if (nrm > T{0}) {
+        blas::scal(U.rows(), T{1} / nrm, U.col(c).data(), index_t{1});
         lambda[static_cast<std::size_t>(c)] *= nrm;
       }
     }
   }
 }
 
-Ktensor Ktensor::random(std::span<const index_t> dims, index_t rank,
-                        Rng& rng) {
-  Ktensor K;
+template <typename T>
+KtensorT<T> KtensorT<T>::random(std::span<const index_t> dims, index_t rank,
+                                Rng& rng) {
+  KtensorT K;
   K.factors.reserve(dims.size());
   for (index_t d : dims) {
-    K.factors.push_back(Matrix::random_uniform(d, rank, rng));
+    K.factors.push_back(MatrixT<T>::random_uniform(d, rank, rng));
   }
-  K.lambda.assign(static_cast<std::size_t>(rank), 1.0);
+  K.lambda.assign(static_cast<std::size_t>(rank), T{1});
   return K;
 }
 
-double factor_match_score(const Ktensor& a, const Ktensor& b) {
+template <typename T>
+double factor_match_score(const KtensorT<T>& a, const KtensorT<T>& b) {
   DMTK_CHECK(a.order() == b.order() && a.rank() == b.rank(),
              "factor_match_score: shape mismatch");
   const index_t N = a.order();
@@ -122,16 +131,18 @@ double factor_match_score(const Ktensor& a, const Ktensor& b) {
   Matrix congruence(C, C);
   congruence.fill(1.0);
   for (index_t n = 0; n < N; ++n) {
-    const Matrix& Ua = a.factors[static_cast<std::size_t>(n)];
-    const Matrix& Ub = b.factors[static_cast<std::size_t>(n)];
+    const MatrixT<T>& Ua = a.factors[static_cast<std::size_t>(n)];
+    const MatrixT<T>& Ub = b.factors[static_cast<std::size_t>(n)];
     DMTK_CHECK(Ua.rows() == Ub.rows(), "factor_match_score: dim mismatch");
     for (index_t i = 0; i < C; ++i) {
-      const double na = blas::nrm2(Ua.rows(), Ua.col(i).data(), index_t{1});
+      const double na = static_cast<double>(
+          blas::nrm2(Ua.rows(), Ua.col(i).data(), index_t{1}));
       for (index_t j = 0; j < C; ++j) {
-        const double nb = blas::nrm2(Ub.rows(), Ub.col(j).data(), index_t{1});
-        const double d =
+        const double nb = static_cast<double>(
+            blas::nrm2(Ub.rows(), Ub.col(j).data(), index_t{1}));
+        const double d = static_cast<double>(
             blas::dot(Ua.rows(), Ua.col(i).data(), index_t{1},
-                      Ub.col(j).data(), index_t{1});
+                      Ub.col(j).data(), index_t{1}));
         congruence(i, j) *= (na > 0 && nb > 0) ? std::abs(d) / (na * nb) : 0.0;
       }
     }
@@ -153,5 +164,10 @@ double factor_match_score(const Ktensor& a, const Ktensor& b) {
   }
   return total / static_cast<double>(C);
 }
+
+template struct KtensorT<double>;
+template struct KtensorT<float>;
+template double factor_match_score<double>(const Ktensor&, const Ktensor&);
+template double factor_match_score<float>(const KtensorF&, const KtensorF&);
 
 }  // namespace dmtk

@@ -12,22 +12,7 @@ namespace dmtk {
 
 namespace {
 
-/// out[c] = F(l, c) for c in [0, C): read one (strided) row of a factor.
-inline void load_row(const Matrix& F, index_t l, index_t C, double* out) {
-  const double* base = F.data() + l;
-  const index_t ld = F.ld();
-  for (index_t c = 0; c < C; ++c) out[c] = base[c * ld];
-}
-
-/// out[c] = a[c] * F(l, c): Hadamard of a contiguous vector with a factor row.
-inline void hadamard_row(const double* a, const Matrix& F, index_t l,
-                         index_t C, double* out) {
-  const double* base = F.data() + l;
-  const index_t ld = F.ld();
-  for (index_t c = 0; c < C; ++c) out[c] = a[c] * base[c * ld];
-}
-
-std::vector<index_t> extents_of(const FactorList& factors) {
+std::vector<index_t> extents_of(const auto& factors) {
   std::vector<index_t> e(factors.size());
   for (std::size_t z = 0; z < factors.size(); ++z) e[z] = factors[z]->rows();
   return e;
@@ -38,14 +23,16 @@ std::vector<index_t> extents_of(const FactorList& factors) {
 /// while packing costs O(sum J_z * C) — negligible — and it turns the inner
 /// Hadamard loops into vectorizable unit-stride code, which is what makes
 /// the kernel run at STREAM-like bandwidth (Section 5.2).
-std::vector<Matrix> pack_transposed(const FactorList& factors, index_t C) {
-  std::vector<Matrix> packed;
+template <typename T>
+std::vector<MatrixT<T>> pack_transposed(const FactorListT<T>& factors,
+                                        index_t C) {
+  std::vector<MatrixT<T>> packed;
   packed.reserve(factors.size());
-  for (const Matrix* F : factors) {
-    Matrix& P = packed.emplace_back(C, F->rows());
+  for (const MatrixT<T>* F : factors) {
+    MatrixT<T>& P = packed.emplace_back(C, F->rows());
     for (index_t c = 0; c < C; ++c) {
-      const double* col = F->col(c).data();
-      double* out = P.data() + c;
+      const T* col = F->col(c).data();
+      T* out = P.data() + c;
       for (index_t r = 0; r < F->rows(); ++r) out[r * C] = col[r];
     }
   }
@@ -53,51 +40,56 @@ std::vector<Matrix> pack_transposed(const FactorList& factors, index_t C) {
 }
 
 /// Contiguous row pointer into a packed factor.
-inline const double* packed_row(const Matrix& P, index_t l) {
+template <typename T>
+inline const T* packed_row(const MatrixT<T>& P, index_t l) {
   return P.data() + l * P.ld();
 }
 
 }  // namespace
 
-index_t krp_rows(const FactorList& factors) {
+template <typename T>
+index_t krp_rows(const FactorListT<T>& factors) {
   index_t r = 1;
-  for (const Matrix* F : factors) r *= F->rows();
+  for (const MatrixT<T>* F : factors) r *= F->rows();
   return r;
 }
 
-index_t krp_cols(const FactorList& factors, index_t expected) {
+template <typename T>
+index_t krp_cols(const FactorListT<T>& factors, index_t expected) {
   if (factors.empty()) return expected;
   const index_t C = factors.front()->cols();
-  for (const Matrix* F : factors) {
+  for (const MatrixT<T>* F : factors) {
     DMTK_CHECK(F->cols() == C, "krp: factors disagree on column count");
   }
   return C;
 }
 
-void krp_row(const FactorList& factors, index_t r, double* out) {
+template <typename T>
+void krp_row(const FactorListT<T>& factors, index_t r, T* out) {
   const index_t C = krp_cols(factors);
   const std::size_t Z = factors.size();
   DMTK_CHECK(Z >= 1, "krp_row: empty factor list");
   std::vector<index_t> l(Z);
   decompose_last_fastest(r, extents_of(factors), l);
-  load_row(*factors[0], l[0], C, out);
+  detail::load_row(*factors[0], l[0], C, out);
   for (std::size_t z = 1; z < Z; ++z) {
-    hadamard_row(out, *factors[z], l[z], C, out);
+    detail::hadamard_row(out, *factors[z], l[z], C, out);
   }
 }
 
-void krp_rows_naive(const FactorList& factors, index_t r0, index_t r1,
-                    double* Kt, index_t ldkt) {
+template <typename T>
+void krp_rows_naive(const FactorListT<T>& factors, index_t r0, index_t r1,
+                    T* Kt, index_t ldkt) {
   const index_t C = krp_cols(factors);
   DMTK_CHECK(ldkt >= C, "krp: ldkt too small");
   const std::size_t Z = factors.size();
   DMTK_CHECK(Z >= 1, "krp_rows_naive: empty factor list");
   if (r0 >= r1) return;
-  const std::vector<Matrix> packed = pack_transposed(factors, C);
+  const std::vector<MatrixT<T>> packed = pack_transposed(factors, C);
   Odometer odo(extents_of(factors), Odometer::Order::LastFastest);
   odo.seek(r0);
   for (index_t r = r0; r < r1; ++r) {
-    double* out = Kt + (r - r0) * ldkt;
+    T* out = Kt + (r - r0) * ldkt;
     blas::copy(C, packed_row(packed[0], odo[0]), index_t{1}, out, index_t{1});
     for (std::size_t z = 1; z < Z; ++z) {
       blas::hadamard_inplace(C, packed_row(packed[z], odo[z]), out);
@@ -106,8 +98,9 @@ void krp_rows_naive(const FactorList& factors, index_t r0, index_t r1,
   }
 }
 
-void krp_rows_reuse(const FactorList& factors, index_t r0, index_t r1,
-                    double* Kt, index_t ldkt) {
+template <typename T>
+void krp_rows_reuse(const FactorListT<T>& factors, index_t r0, index_t r1,
+                    T* Kt, index_t ldkt) {
   const index_t C = krp_cols(factors);
   DMTK_CHECK(ldkt >= C, "krp: ldkt too small");
   const std::size_t Z = factors.size();
@@ -115,34 +108,36 @@ void krp_rows_reuse(const FactorList& factors, index_t r0, index_t r1,
   // Transient scratch around the shared allocation-free kernel (Algorithm 1
   // lives in krp_detail.hpp; MttkrpPlan calls it with arena-backed scratch).
   const std::vector<index_t> extents = extents_of(factors);
-  const std::vector<Matrix> packed = pack_transposed(factors, C);
-  std::vector<const double*> panels(Z);
+  const std::vector<MatrixT<T>> packed = pack_transposed(factors, C);
+  std::vector<const T*> panels(Z);
   for (std::size_t z = 0; z < Z; ++z) panels[z] = packed[z].data();
-  std::vector<double> P(static_cast<std::size_t>(C) *
-                        (Z >= 3 ? Z - 2 : std::size_t{0}));
+  std::vector<T> P(static_cast<std::size_t>(C) *
+                   (Z >= 3 ? Z - 2 : std::size_t{0}));
   std::vector<index_t> dg(Z);
-  detail::krp_rows_ws(panels, extents, C, r0, r1, Kt, ldkt, P.data(),
-                      dg.data());
+  detail::krp_rows_ws<T>(panels, extents, C, r0, r1, Kt, ldkt, P.data(),
+                         dg.data());
 }
 
-Matrix krp_transposed(const FactorList& factors, KrpVariant variant,
-                      int threads) {
-  Matrix Kt;
+template <typename T>
+MatrixT<T> krp_transposed(const FactorListT<T>& factors, KrpVariant variant,
+                          int threads) {
+  MatrixT<T> Kt;
   krp_transposed_into(factors, Kt, variant, threads);
   return Kt;
 }
 
-void krp_transposed_into(const FactorList& factors, Matrix& Kt,
+template <typename T>
+void krp_transposed_into(const FactorListT<T>& factors, MatrixT<T>& Kt,
                          KrpVariant variant, int threads) {
   const index_t C = krp_cols(factors);
   const index_t J = krp_rows(factors);
   DMTK_CHECK(!factors.empty(), "krp_transposed: empty factor list");
-  if (Kt.rows() != C || Kt.cols() != J) Kt = Matrix(C, J);
+  if (Kt.rows() != C || Kt.cols() != J) Kt = MatrixT<T>(C, J);
   const int nt = resolve_threads(threads);
   parallel_region(nt, [&](int t, int nteam) {
     const Range r = block_range(J, nteam, t);
     if (r.empty()) return;
-    double* out = Kt.data() + r.begin * C;
+    T* out = Kt.data() + r.begin * C;
     if (variant == KrpVariant::Reuse) {
       krp_rows_reuse(factors, r.begin, r.end, out, C);
     } else {
@@ -151,25 +146,26 @@ void krp_transposed_into(const FactorList& factors, Matrix& Kt,
   });
 }
 
-Matrix krp_columnwise(const FactorList& factors) {
+template <typename T>
+MatrixT<T> krp_columnwise(const FactorListT<T>& factors) {
   const index_t C = krp_cols(factors);
   DMTK_CHECK(!factors.empty(), "krp_columnwise: empty factor list");
   const index_t J = krp_rows(factors);
-  Matrix K(J, C);
+  MatrixT<T> K(J, C);
   // Column c of K is the Kronecker product of the factor columns, built by
   // repeated expansion exactly like Tensor Toolbox's khatrirao: start with
   // F_0(:, c) and replace the accumulator A (length La) by
   // kron(A, F_z(:, c)) at each step (last factor fastest).
-  std::vector<double> acc;
-  std::vector<double> next;
+  std::vector<T> acc;
+  std::vector<T> next;
   for (index_t c = 0; c < C; ++c) {
-    acc.assign(1, 1.0);
-    for (const Matrix* F : factors) {
+    acc.assign(1, T{1});
+    for (const MatrixT<T>* F : factors) {
       const index_t Jz = F->rows();
       next.resize(acc.size() * static_cast<std::size_t>(Jz));
       std::size_t o = 0;
-      for (double a : acc) {
-        const double* col = F->col(c).data();
+      for (T a : acc) {
+        const T* col = F->col(c).data();
         for (index_t i = 0; i < Jz; ++i) next[o++] = a * col[i];
       }
       acc.swap(next);
@@ -179,8 +175,10 @@ Matrix krp_columnwise(const FactorList& factors) {
   return K;
 }
 
-FactorList mttkrp_krp_factors(std::span<const Matrix> factors, index_t mode) {
-  FactorList out;
+template <typename T>
+FactorListT<T> mttkrp_krp_factors(const std::vector<MatrixT<T>>& factors,
+                                  index_t mode) {
+  FactorListT<T> out;
   out.reserve(factors.size() - 1);
   for (index_t n = static_cast<index_t>(factors.size()) - 1; n >= 0; --n) {
     if (n != mode) out.push_back(&factors[static_cast<std::size_t>(n)]);
@@ -188,8 +186,10 @@ FactorList mttkrp_krp_factors(std::span<const Matrix> factors, index_t mode) {
   return out;
 }
 
-FactorList left_krp_factors(std::span<const Matrix> factors, index_t mode) {
-  FactorList out;
+template <typename T>
+FactorListT<T> left_krp_factors(const std::vector<MatrixT<T>>& factors,
+                                index_t mode) {
+  FactorListT<T> out;
   out.reserve(static_cast<std::size_t>(mode));
   for (index_t n = mode - 1; n >= 0; --n) {
     out.push_back(&factors[static_cast<std::size_t>(n)]);
@@ -197,12 +197,37 @@ FactorList left_krp_factors(std::span<const Matrix> factors, index_t mode) {
   return out;
 }
 
-FactorList right_krp_factors(std::span<const Matrix> factors, index_t mode) {
-  FactorList out;
+template <typename T>
+FactorListT<T> right_krp_factors(const std::vector<MatrixT<T>>& factors,
+                                 index_t mode) {
+  FactorListT<T> out;
   for (index_t n = static_cast<index_t>(factors.size()) - 1; n > mode; --n) {
     out.push_back(&factors[static_cast<std::size_t>(n)]);
   }
   return out;
 }
+
+#define DMTK_KRP_INSTANTIATE(T)                                               \
+  template index_t krp_rows<T>(const FactorListT<T>&);                        \
+  template index_t krp_cols<T>(const FactorListT<T>&, index_t);               \
+  template void krp_row<T>(const FactorListT<T>&, index_t, T*);               \
+  template void krp_rows_naive<T>(const FactorListT<T>&, index_t, index_t,    \
+                                  T*, index_t);                               \
+  template void krp_rows_reuse<T>(const FactorListT<T>&, index_t, index_t,    \
+                                  T*, index_t);                               \
+  template MatrixT<T> krp_transposed<T>(const FactorListT<T>&, KrpVariant,    \
+                                        int);                                 \
+  template void krp_transposed_into<T>(const FactorListT<T>&, MatrixT<T>&,    \
+                                       KrpVariant, int);                      \
+  template MatrixT<T> krp_columnwise<T>(const FactorListT<T>&);               \
+  template FactorListT<T> mttkrp_krp_factors<T>(                              \
+      const std::vector<MatrixT<T>>&, index_t);                               \
+  template FactorListT<T> left_krp_factors<T>(const std::vector<MatrixT<T>>&, \
+                                              index_t);                       \
+  template FactorListT<T> right_krp_factors<T>(                               \
+      const std::vector<MatrixT<T>>&, index_t);
+DMTK_KRP_INSTANTIATE(double)
+DMTK_KRP_INSTANTIATE(float)
+#undef DMTK_KRP_INSTANTIATE
 
 }  // namespace dmtk

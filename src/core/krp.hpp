@@ -14,6 +14,9 @@
 /// whose column r is row r of the mathematical KRP. GEMM consumers pass it
 /// with Trans::Trans; this is also exactly the conformal layout Figure 2
 /// needs for the block inner product.
+///
+/// Everything here is templated on the scalar type (instantiated for double
+/// and float); `FactorList` aliases the double factor list.
 
 #include <span>
 #include <vector>
@@ -24,63 +27,105 @@
 namespace dmtk {
 
 /// Non-owning ordered list of factor matrices.
-using FactorList = std::vector<const Matrix*>;
+template <typename T>
+using FactorListT = std::vector<const MatrixT<T>*>;
+
+using FactorList = FactorListT<double>;
+using FactorListF = FactorListT<float>;
 
 /// Number of rows of the KRP: prod of factor row counts (1 for an empty
 /// list, matching the empty-product convention used by partial KRPs of
 /// external modes).
-index_t krp_rows(const FactorList& factors);
+template <typename T>
+index_t krp_rows(const FactorListT<T>& factors);
 
 /// Common column count of the factors; throws if inconsistent. An empty
 /// list has no intrinsic width, so `expected` is returned for it.
-index_t krp_cols(const FactorList& factors, index_t expected = 0);
+template <typename T>
+index_t krp_cols(const FactorListT<T>& factors, index_t expected = 0);
 
 /// Write row r of the KRP (a C-vector) into out.
-void krp_row(const FactorList& factors, index_t r, double* out);
+template <typename T>
+void krp_row(const FactorListT<T>& factors, index_t r, T* out);
 
 /// Rows [r0, r1) of the KRP, one Hadamard product per factor per row (no
 /// reuse of partial products). Kt is the transposed output buffer: column
 /// (r - r0) of a C x (r1-r0) column-major matrix with leading dimension
 /// ldkt >= C.
-void krp_rows_naive(const FactorList& factors, index_t r0, index_t r1,
-                    double* Kt, index_t ldkt);
+template <typename T>
+void krp_rows_naive(const FactorListT<T>& factors, index_t r0, index_t r1,
+                    T* Kt, index_t ldkt);
 
 /// Algorithm 1: rows [r0, r1) with reuse of the Z-2 partial Hadamard
 /// products, costing ~one Hadamard product per output row. Starting at an
 /// arbitrary r0 (not just 0) is what makes the parallel variant possible.
-void krp_rows_reuse(const FactorList& factors, index_t r0, index_t r1,
-                    double* Kt, index_t ldkt);
+template <typename T>
+void krp_rows_reuse(const FactorListT<T>& factors, index_t r0, index_t r1,
+                    T* Kt, index_t ldkt);
 
 /// Which row-generation kernel to use.
 enum class KrpVariant { Naive, Reuse };
 
 /// Full transposed KRP, C x (prod J_z), computed in parallel: threads own
 /// contiguous blocks of output rows (Section 4.1.2).
-Matrix krp_transposed(const FactorList& factors,
-                      KrpVariant variant = KrpVariant::Reuse, int threads = 0);
+template <typename T>
+MatrixT<T> krp_transposed(const FactorListT<T>& factors,
+                          KrpVariant variant = KrpVariant::Reuse,
+                          int threads = 0);
 
 /// As krp_transposed, but writing into a caller-owned matrix (resized if
 /// needed). Lets hot loops and benchmarks reuse the output buffer, which
 /// matters: the KRP is memory-bound, so an avoidable allocate+zero pass
 /// costs as much as the kernel itself.
-void krp_transposed_into(const FactorList& factors, Matrix& Kt,
+template <typename T>
+void krp_transposed_into(const FactorListT<T>& factors, MatrixT<T>& Kt,
                          KrpVariant variant = KrpVariant::Reuse,
                          int threads = 0);
 
 /// Column-wise KRP in the untransposed (prod J_z) x C layout, built column
 /// by column as a Kronecker product — the Tensor-Toolbox `khatrirao`
 /// formulation used by the baseline implementation.
-Matrix krp_columnwise(const FactorList& factors);
+template <typename T>
+MatrixT<T> krp_columnwise(const FactorListT<T>& factors);
 
 /// Factor list for the mode-n MTTKRP KRP:
 /// (U_{N-1}, ..., U_{n+1}, U_{n-1}, ..., U_0), i.e. mode 0's row index
 /// varies fastest, matching the column ordering of X(n).
-FactorList mttkrp_krp_factors(std::span<const Matrix> factors, index_t mode);
+template <typename T>
+FactorListT<T> mttkrp_krp_factors(const std::vector<MatrixT<T>>& factors,
+                                  index_t mode);
 
 /// Left partial KRP factor list (U_{n-1}, ..., U_0) — K_L in the paper.
-FactorList left_krp_factors(std::span<const Matrix> factors, index_t mode);
+template <typename T>
+FactorListT<T> left_krp_factors(const std::vector<MatrixT<T>>& factors,
+                                index_t mode);
 
 /// Right partial KRP factor list (U_{N-1}, ..., U_{n+1}) — K_R.
-FactorList right_krp_factors(std::span<const Matrix> factors, index_t mode);
+template <typename T>
+FactorListT<T> right_krp_factors(const std::vector<MatrixT<T>>& factors,
+                                 index_t mode);
+
+#define DMTK_KRP_EXTERN(T)                                                    \
+  extern template index_t krp_rows<T>(const FactorListT<T>&);                 \
+  extern template index_t krp_cols<T>(const FactorListT<T>&, index_t);        \
+  extern template void krp_row<T>(const FactorListT<T>&, index_t, T*);        \
+  extern template void krp_rows_naive<T>(const FactorListT<T>&, index_t,      \
+                                         index_t, T*, index_t);               \
+  extern template void krp_rows_reuse<T>(const FactorListT<T>&, index_t,      \
+                                         index_t, T*, index_t);               \
+  extern template MatrixT<T> krp_transposed<T>(const FactorListT<T>&,         \
+                                               KrpVariant, int);              \
+  extern template void krp_transposed_into<T>(const FactorListT<T>&,          \
+                                              MatrixT<T>&, KrpVariant, int);  \
+  extern template MatrixT<T> krp_columnwise<T>(const FactorListT<T>&);        \
+  extern template FactorListT<T> mttkrp_krp_factors<T>(                       \
+      const std::vector<MatrixT<T>>&, index_t);                               \
+  extern template FactorListT<T> left_krp_factors<T>(                         \
+      const std::vector<MatrixT<T>>&, index_t);                               \
+  extern template FactorListT<T> right_krp_factors<T>(                        \
+      const std::vector<MatrixT<T>>&, index_t);
+DMTK_KRP_EXTERN(double)
+DMTK_KRP_EXTERN(float)
+#undef DMTK_KRP_EXTERN
 
 }  // namespace dmtk

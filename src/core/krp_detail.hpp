@@ -4,7 +4,8 @@
 /// (Algorithm 1), shared by the legacy free functions in krp.cpp and the
 /// plan-based kernels in exec/mttkrp_plan.cpp. All scratch is caller-owned,
 /// so MttkrpPlan can point it at its workspace arena while krp.cpp wraps it
-/// with transient buffers.
+/// with transient buffers. Templated on the scalar type like the rest of
+/// the numeric core.
 
 #include <algorithm>
 #include <cstddef>
@@ -19,17 +20,19 @@
 namespace dmtk::detail {
 
 /// out[c] = F(l, c) for c in [0, C): read one (strided) row of a factor.
-inline void load_row(const Matrix& F, index_t l, index_t C, double* out) {
-  const double* base = F.data() + l;
+template <typename T>
+inline void load_row(const MatrixT<T>& F, index_t l, index_t C, T* out) {
+  const T* base = F.data() + l;
   const index_t ld = F.ld();
   for (index_t c = 0; c < C; ++c) out[c] = base[c * ld];
 }
 
 /// out[c] = a[c] * F(l, c): Hadamard of a contiguous vector with a factor
 /// row.
-inline void hadamard_row(const double* a, const Matrix& F, index_t l,
-                         index_t C, double* out) {
-  const double* base = F.data() + l;
+template <typename T>
+inline void hadamard_row(const T* a, const MatrixT<T>& F, index_t l,
+                         index_t C, T* out) {
+  const T* base = F.data() + l;
   const index_t ld = F.ld();
   for (index_t c = 0; c < C; ++c) out[c] = a[c] * base[c * ld];
 }
@@ -51,12 +54,13 @@ inline int odo_increment(std::span<const index_t> extents, index_t* dg) {
 /// packed[z] is a C x extents[z] column-major panel whose column l is row l
 /// of factor z), written as columns of Kt (ld = ldkt). Algorithm 1 with
 /// reuse of the Z-2 partial Hadamard products. Caller-owned scratch: `P`
-/// holds the partials (C doubles each, (Z-2) of them when Z >= 3), `dg` the
-/// Z mixed-radix digits. Nothing is allocated.
-inline void krp_rows_ws(std::span<const double* const> packed,
+/// holds the partials (C elements each, (Z-2) of them when Z >= 3), `dg`
+/// the Z mixed-radix digits. Nothing is allocated.
+template <typename T>
+inline void krp_rows_ws(std::span<const T* const> packed,
                         std::span<const index_t> extents, index_t C,
-                        index_t r0, index_t r1, double* Kt, index_t ldkt,
-                        double* P, index_t* dg) {
+                        index_t r0, index_t r1, T* Kt, index_t ldkt,
+                        T* P, index_t* dg) {
   const std::size_t Z = extents.size();
   if (r0 >= r1 || Z == 0) return;
   decompose_last_fastest(r0, extents, {dg, Z});
@@ -64,7 +68,7 @@ inline void krp_rows_ws(std::span<const double* const> packed,
   if (Z <= 2) {
     // No partial products to reuse; one copy + (Z-1) Hadamards per row.
     for (index_t r = r0; r < r1; ++r) {
-      double* out = Kt + (r - r0) * ldkt;
+      T* out = Kt + (r - r0) * ldkt;
       blas::copy(C, packed[0] + dg[0] * C, index_t{1}, out, index_t{1});
       for (std::size_t z = 1; z < Z; ++z) {
         blas::hadamard_inplace(C, packed[z] + dg[z] * C, out);
@@ -77,7 +81,7 @@ inline void krp_rows_ws(std::span<const double* const> packed,
   // Algorithm 1: P(0) = F0(l0)*F1(l1), P(z) = P(z-1)*F_{z+1}(l_{z+1}).
   auto refresh_partials = [&](std::size_t from_z) {
     for (std::size_t z = from_z; z + 2 < Z; ++z) {
-      double* pz = P + static_cast<index_t>(z) * C;
+      T* pz = P + static_cast<index_t>(z) * C;
       if (z == 0) {
         blas::hadamard(C, packed[0] + dg[0] * C, packed[1] + dg[1] * C, pz);
       } else {
@@ -105,10 +109,11 @@ inline void krp_rows_ws(std::span<const double* const> packed,
 
 /// Pack one factor transposed into a caller-owned C x F.rows() column-major
 /// panel whose column l is row l of F — the layout krp_rows_ws reads.
-inline void pack_factor_transposed(const Matrix& F, index_t C, double* P) {
+template <typename T>
+inline void pack_factor_transposed(const MatrixT<T>& F, index_t C, T* P) {
   for (index_t c = 0; c < C; ++c) {
-    const double* col = F.col(c).data();
-    double* out = P + c;
+    const T* col = F.col(c).data();
+    T* out = P + c;
     for (index_t r = 0; r < F.rows(); ++r) out[r * C] = col[r];
   }
 }
@@ -117,20 +122,21 @@ inline void pack_factor_transposed(const Matrix& F, index_t C, double* P) {
 /// into Kt (C x rows, ld = C), strided by the actual team size so a
 /// smaller-than-planned OpenMP team (nested parallelism, thread limits)
 /// still produces every block with its planned scratch slot: block b uses
-/// P_base + b * p_stride partial-Hadamard doubles and dg_base +
+/// P_base + b * p_stride partial-Hadamard elements and dg_base +
 /// b * dg_stride digits. Shared by MttkrpPlan and CpAlsSweepPlan.
-inline void krp_transposed_blocks(std::span<const double* const> packed,
+template <typename T>
+inline void krp_transposed_blocks(std::span<const T* const> packed,
                                   std::span<const index_t> extents, index_t C,
-                                  index_t rows, int planned, double* Kt,
-                                  double* P_base, std::size_t p_stride,
+                                  index_t rows, int planned, T* Kt,
+                                  T* P_base, std::size_t p_stride,
                                   index_t* dg_base, std::size_t dg_stride) {
   parallel_region(planned, [&](int t, int nteam) {
     for (int b = t; b < planned; b += nteam) {
       const std::size_t sb = static_cast<std::size_t>(b);
       const Range r = block_range(rows, planned, b);
       if (r.empty()) continue;
-      krp_rows_ws(packed, extents, C, r.begin, r.end, Kt + r.begin * C, C,
-                  P_base + sb * p_stride, dg_base + sb * dg_stride);
+      krp_rows_ws<T>(packed, extents, C, r.begin, r.end, Kt + r.begin * C, C,
+                     P_base + sb * p_stride, dg_base + sb * dg_stride);
     }
   });
 }

@@ -5,46 +5,56 @@
 
 namespace dmtk {
 
-double Matrix::norm() const {
+template <typename T>
+double MatrixT<T>::norm() const {
   double s = 0.0;
-  for (double x : data_) s += x * x;
+  for (T x : data_) s += static_cast<double>(x) * static_cast<double>(x);
   return std::sqrt(s);
 }
 
-Matrix Matrix::transposed() const {
-  Matrix T(cols_, rows_);
+template <typename T>
+MatrixT<T> MatrixT<T>::transposed() const {
+  MatrixT R(cols_, rows_);
   for (index_t j = 0; j < cols_; ++j) {
-    for (index_t i = 0; i < rows_; ++i) T(j, i) = (*this)(i, j);
+    for (index_t i = 0; i < rows_; ++i) R(j, i) = (*this)(i, j);
   }
-  return T;
+  return R;
 }
 
-double Matrix::max_abs_diff(const Matrix& other) const {
+template <typename T>
+double MatrixT<T>::max_abs_diff(const MatrixT& other) const {
   DMTK_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "max_abs_diff: shape mismatch");
   double m = 0.0;
   for (std::size_t i = 0; i < data_.size(); ++i) {
-    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    m = std::max(m, std::abs(static_cast<double>(data_[i]) -
+                             static_cast<double>(other.data_[i])));
   }
   return m;
 }
 
-Matrix Matrix::random_uniform(index_t rows, index_t cols, Rng& rng) {
-  Matrix M(rows, cols);
+template <typename T>
+MatrixT<T> MatrixT<T>::random_uniform(index_t rows, index_t cols, Rng& rng) {
+  MatrixT M(rows, cols);
   fill_uniform(M.span(), rng);
   return M;
 }
 
-Matrix Matrix::random_normal(index_t rows, index_t cols, Rng& rng) {
-  Matrix M(rows, cols);
+template <typename T>
+MatrixT<T> MatrixT<T>::random_normal(index_t rows, index_t cols, Rng& rng) {
+  MatrixT M(rows, cols);
   fill_normal(M.span(), rng);
   return M;
 }
 
-Matrix Matrix::identity(index_t n) {
-  Matrix M(n, n);
-  for (index_t i = 0; i < n; ++i) M(i, i) = 1.0;
+template <typename T>
+MatrixT<T> MatrixT<T>::identity(index_t n) {
+  MatrixT M(n, n);
+  for (index_t i = 0; i < n; ++i) M(i, i) = T{1};
   return M;
 }
+
+template class MatrixT<double>;
+template class MatrixT<float>;
 
 }  // namespace dmtk

@@ -1,13 +1,16 @@
 #pragma once
 /// \file matrix.hpp
-/// \brief Dense column-major matrix of doubles. Factor matrices, MTTKRP
-/// outputs, and Gram matrices are all Matrix instances.
+/// \brief Dense column-major matrix. Factor matrices, MTTKRP outputs, and
+/// Gram matrices are all Matrix instances.
 ///
 /// Layout convention used throughout dmtk: Matrix is ALWAYS column-major
 /// with leading dimension == rows(). Khatri-Rao products are stored
 /// *transposed* (C x J) so that each KRP row is a contiguous column — see
 /// krp.hpp for why this matches the paper's row-wise generation and the
 /// layouts in Figure 2.
+///
+/// Templated on the scalar type like TensorT: `Matrix` is the double
+/// instantiation, `MatrixF` the fp32 one.
 
 #include <span>
 #include <vector>
@@ -18,14 +21,17 @@
 
 namespace dmtk {
 
-class Matrix {
+template <typename T>
+class MatrixT {
  public:
+  using value_type = T;
+
   /// Empty 0 x 0 matrix.
-  Matrix() = default;
+  MatrixT() = default;
 
   /// rows x cols matrix, zero-initialized.
-  Matrix(index_t rows, index_t cols)
-      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), 0.0) {}
+  MatrixT(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), T{0}) {}
 
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
@@ -33,49 +39,49 @@ class Matrix {
   /// Leading dimension (always rows(): storage is never padded).
   [[nodiscard]] index_t ld() const { return rows_; }
 
-  [[nodiscard]] double* data() { return data_.data(); }
-  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
 
-  double& operator()(index_t i, index_t j) { return data_[at(i, j)]; }
-  double operator()(index_t i, index_t j) const { return data_[at(i, j)]; }
+  T& operator()(index_t i, index_t j) { return data_[at(i, j)]; }
+  T operator()(index_t i, index_t j) const { return data_[at(i, j)]; }
 
   /// Contiguous column j.
-  [[nodiscard]] std::span<double> col(index_t j) {
+  [[nodiscard]] std::span<T> col(index_t j) {
     return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
   }
-  [[nodiscard]] std::span<const double> col(index_t j) const {
+  [[nodiscard]] std::span<const T> col(index_t j) const {
     return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
   }
 
   /// Whole buffer as a span.
-  [[nodiscard]] std::span<double> span() {
+  [[nodiscard]] std::span<T> span() {
     return {data_.data(), data_.size()};
   }
-  [[nodiscard]] std::span<const double> span() const {
+  [[nodiscard]] std::span<const T> span() const {
     return {data_.data(), data_.size()};
   }
 
-  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
-  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{0}); }
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
-  /// Frobenius norm.
+  /// Frobenius norm (double accumulation for either scalar).
   [[nodiscard]] double norm() const;
 
   /// Explicit transpose (cols x rows copy).
-  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] MatrixT transposed() const;
 
   /// Max absolute entrywise difference; matrices must be conformant.
-  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+  [[nodiscard]] double max_abs_diff(const MatrixT& other) const;
 
   /// rows x cols matrix with i.i.d. uniform [0,1) entries (the paper's
   /// factor-matrix initialization).
-  static Matrix random_uniform(index_t rows, index_t cols, Rng& rng);
+  static MatrixT random_uniform(index_t rows, index_t cols, Rng& rng);
 
   /// rows x cols matrix with i.i.d. standard normal entries.
-  static Matrix random_normal(index_t rows, index_t cols, Rng& rng);
+  static MatrixT random_normal(index_t rows, index_t cols, Rng& rng);
 
   /// Identity-like matrix (ones on the main diagonal).
-  static Matrix identity(index_t n);
+  static MatrixT identity(index_t n);
 
  private:
   static std::size_t checked_size(index_t rows, index_t cols) {
@@ -89,7 +95,26 @@ class Matrix {
 
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<double, AlignedAllocator<double>> data_;
+  std::vector<T, AlignedAllocator<T>> data_;
 };
+
+extern template class MatrixT<double>;
+extern template class MatrixT<float>;
+
+using Matrix = MatrixT<double>;
+using MatrixF = MatrixT<float>;
+
+/// Entrywise conversion between scalar types (fp64 -> fp32 rounds).
+template <typename To, typename From>
+MatrixT<To> matrix_cast(const MatrixT<From>& M) {
+  MatrixT<To> R(M.rows(), M.cols());
+  const From* src = M.data();
+  To* dst = R.data();
+  for (index_t l = 0; l < M.size(); ++l) {
+    dst[static_cast<std::size_t>(l)] =
+        static_cast<To>(src[static_cast<std::size_t>(l)]);
+  }
+  return R;
+}
 
 }  // namespace dmtk

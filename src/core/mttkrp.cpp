@@ -47,12 +47,10 @@ bool twostep_is_defined(index_t order, index_t mode) {
   return mode > 0 && mode < order - 1;
 }
 
-bool twostep_uses_left(const Tensor& X, index_t mode) {
-  return X.left_size(mode) > X.right_size(mode);
-}
-
-void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
-            Matrix& M, MttkrpMethod method, int threads,
+template <typename T>
+void mttkrp(const TensorT<T>& X,
+            std::span<const MatrixT<std::type_identity_t<T>>> factors,
+            index_t mode, MatrixT<T>& M, MttkrpMethod method, int threads,
             MttkrpTimings* timings) {
   // One-shot path: a transient context + plan. The plan validates shape,
   // mode, and rank; it reads the rank off the first factor, so check the
@@ -66,16 +64,28 @@ void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
              "mttkrp: need one factor matrix per mode");
   DMTK_CHECK(!factors.empty(), "mttkrp: empty factor list");
   ExecContext ctx(threads);
-  MttkrpPlan plan(ctx, X.dims(), factors[0].cols(), mode, method);
+  MttkrpPlanT<T> plan(ctx, X.dims(), factors[0].cols(), mode, method);
   plan.execute(X, factors, M);
   if (timings != nullptr) *timings += plan.timings();
 }
 
-Matrix mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
-              MttkrpMethod method, int threads, MttkrpTimings* timings) {
-  Matrix M;
+template <typename T>
+MatrixT<T> mttkrp(const TensorT<T>& X,
+                  std::span<const MatrixT<std::type_identity_t<T>>> factors,
+                  index_t mode, MttkrpMethod method, int threads,
+                  MttkrpTimings* timings) {
+  MatrixT<T> M;
   mttkrp(X, factors, mode, M, method, threads, timings);
   return M;
 }
+
+template void mttkrp<double>(const Tensor&, std::span<const Matrix>, index_t,
+                             Matrix&, MttkrpMethod, int, MttkrpTimings*);
+template void mttkrp<float>(const TensorF&, std::span<const MatrixF>, index_t,
+                            MatrixF&, MttkrpMethod, int, MttkrpTimings*);
+template Matrix mttkrp<double>(const Tensor&, std::span<const Matrix>, index_t,
+                               MttkrpMethod, int, MttkrpTimings*);
+template MatrixF mttkrp<float>(const TensorF&, std::span<const MatrixF>,
+                               index_t, MttkrpMethod, int, MttkrpTimings*);
 
 }  // namespace dmtk

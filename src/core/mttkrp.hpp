@@ -35,6 +35,7 @@
 #include <optional>
 #include <span>
 #include <string_view>
+#include <type_traits>
 
 #include "core/matrix.hpp"
 #include "core/tensor.hpp"
@@ -82,14 +83,34 @@ struct MttkrpTimings {
 ///
 /// One-shot wrapper: builds a transient MttkrpPlan (allocating its
 /// workspace) per call. Loops should build the plan once and execute() it.
-void mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
-            Matrix& M, MttkrpMethod method = MttkrpMethod::Auto,
-            int threads = 0, MttkrpTimings* timings = nullptr);
+/// The scalar type is deduced from X (the span parameter is a non-deduced
+/// context so containers still convert implicitly).
+template <typename T>
+void mttkrp(const TensorT<T>& X,
+            std::span<const MatrixT<std::type_identity_t<T>>> factors,
+            index_t mode, MatrixT<T>& M,
+            MttkrpMethod method = MttkrpMethod::Auto, int threads = 0,
+            MttkrpTimings* timings = nullptr);
 
 /// Convenience overload returning the result.
-Matrix mttkrp(const Tensor& X, std::span<const Matrix> factors, index_t mode,
-              MttkrpMethod method = MttkrpMethod::Auto, int threads = 0,
-              MttkrpTimings* timings = nullptr);
+template <typename T>
+MatrixT<T> mttkrp(const TensorT<T>& X,
+                  std::span<const MatrixT<std::type_identity_t<T>>> factors,
+                  index_t mode, MttkrpMethod method = MttkrpMethod::Auto,
+                  int threads = 0, MttkrpTimings* timings = nullptr);
+
+extern template void mttkrp<double>(const Tensor&, std::span<const Matrix>,
+                                    index_t, Matrix&, MttkrpMethod, int,
+                                    MttkrpTimings*);
+extern template void mttkrp<float>(const TensorF&, std::span<const MatrixF>,
+                                   index_t, MatrixF&, MttkrpMethod, int,
+                                   MttkrpTimings*);
+extern template Matrix mttkrp<double>(const Tensor&, std::span<const Matrix>,
+                                      index_t, MttkrpMethod, int,
+                                      MttkrpTimings*);
+extern template MatrixF mttkrp<float>(const TensorF&, std::span<const MatrixF>,
+                                      index_t, MttkrpMethod, int,
+                                      MttkrpTimings*);
 
 /// True when the 2-step algorithm is distinct from the 1-step one for this
 /// mode (internal modes of tensors with N >= 3).
@@ -98,6 +119,9 @@ bool twostep_is_defined(index_t order, index_t mode);
 /// The side the 2-step algorithm will use for a given shape: true = left
 /// partial MTTKRP first (I_Ln > I_Rn), false = right first. Exposed for the
 /// ablation benchmark of the side-selection heuristic.
-bool twostep_uses_left(const Tensor& X, index_t mode);
+template <typename T>
+bool twostep_uses_left(const TensorT<T>& X, index_t mode) {
+  return X.left_size(mode) > X.right_size(mode);
+}
 
 }  // namespace dmtk

@@ -16,7 +16,8 @@ namespace {
 /// (mode-0 fastest over `out_dims`) and src is addressed through
 /// `src_strides` (src stride of output mode k). The inner mode-0 run is
 /// strided in src by src_strides[0].
-void gather(const double* src, double* dst, index_t begin, index_t end,
+template <typename T>
+void gather(const T* src, T* dst, index_t begin, index_t end,
             std::span<const index_t> out_dims,
             std::span<const index_t> src_strides) {
   const std::size_t N = out_dims.size();
@@ -31,7 +32,7 @@ void gather(const double* src, double* dst, index_t begin, index_t end,
   while (out < end) {
     // Run along output mode 0 (contiguous in dst) until its edge or `end`.
     const index_t run = std::min(d0 - idx[0], end - out);
-    const double* s = src + src_off;
+    const T* s = src + src_off;
     if (s0 == 1) {
       std::copy(s, s + run, dst + out);
     } else {
@@ -50,7 +51,9 @@ void gather(const double* src, double* dst, index_t begin, index_t end,
 
 }  // namespace
 
-Tensor permute(const Tensor& X, std::span<const index_t> perm, int threads) {
+template <typename T>
+TensorT<T> permute(const TensorT<T>& X, std::span<const index_t> perm,
+                   int threads) {
   const index_t N = X.order();
   DMTK_CHECK(static_cast<index_t>(perm.size()) == N,
              "permute: perm order mismatch");
@@ -70,7 +73,7 @@ Tensor permute(const Tensor& X, std::span<const index_t> perm, int threads) {
         X.left_size(perm[static_cast<std::size_t>(k)]);
   }
 
-  Tensor Y(out_dims);
+  TensorT<T> Y(out_dims);
   const index_t total = Y.numel();
   const int nt = resolve_threads(threads);
   parallel_region(nt, [&](int t, int nteam) {
@@ -82,13 +85,15 @@ Tensor permute(const Tensor& X, std::span<const index_t> perm, int threads) {
   return Y;
 }
 
-Matrix matricize(const Tensor& X, index_t mode, int threads) {
-  Matrix M(X.dim(mode), X.cosize(mode));
+template <typename T>
+MatrixT<T> matricize(const TensorT<T>& X, index_t mode, int threads) {
+  MatrixT<T> M(X.dim(mode), X.cosize(mode));
   matricize_into(X, mode, M.data(), threads);
   return M;
 }
 
-void matricize_into(const Tensor& X, index_t mode, double* out, int threads) {
+template <typename T>
+void matricize_into(const TensorT<T>& X, index_t mode, T* out, int threads) {
   const index_t N = X.order();
   DMTK_CHECK(mode >= 0 && mode < N, "matricize: bad mode");
   // Gather directly into `out`, which is walked linearly as the permuted
@@ -115,8 +120,9 @@ void matricize_into(const Tensor& X, index_t mode, double* out, int threads) {
   });
 }
 
-Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims, index_t mode,
-                 int threads) {
+template <typename T>
+TensorT<T> tensorize(const MatrixT<T>& Xn, std::span<const index_t> dims,
+                     index_t mode, int threads) {
   const index_t N = static_cast<index_t>(dims.size());
   DMTK_CHECK(mode >= 0 && mode < N, "tensorize: bad mode");
   DMTK_CHECK(Xn.rows() == dims[static_cast<std::size_t>(mode)],
@@ -129,9 +135,9 @@ Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims, index_t mode,
   for (index_t k = 0; k < N; ++k) {
     if (k != mode) permuted_dims.push_back(dims[static_cast<std::size_t>(k)]);
   }
-  Tensor T(permuted_dims);
-  DMTK_CHECK(Xn.size() == T.numel(), "tensorize: element count mismatch");
-  std::copy(Xn.data(), Xn.data() + Xn.size(), T.data());
+  TensorT<T> Tt(permuted_dims);
+  DMTK_CHECK(Xn.size() == Tt.numel(), "tensorize: element count mismatch");
+  std::copy(Xn.data(), Xn.data() + Xn.size(), Tt.data());
 
   // Inverse permutation: mode -> position 0, others keep relative order.
   std::vector<index_t> inv(static_cast<std::size_t>(N));
@@ -143,7 +149,18 @@ Tensor tensorize(const Matrix& Xn, std::span<const index_t> dims, index_t mode,
       inv[static_cast<std::size_t>(k)] = pos++;
     }
   }
-  return permute(T, inv, threads);
+  return permute(Tt, inv, threads);
 }
+
+#define DMTK_REORDER_INSTANTIATE(T)                                           \
+  template TensorT<T> permute<T>(const TensorT<T>&,                           \
+                                 std::span<const index_t>, int);              \
+  template MatrixT<T> matricize<T>(const TensorT<T>&, index_t, int);          \
+  template void matricize_into<T>(const TensorT<T>&, index_t, T*, int);       \
+  template TensorT<T> tensorize<T>(const MatrixT<T>&,                         \
+                                   std::span<const index_t>, index_t, int);
+DMTK_REORDER_INSTANTIATE(double)
+DMTK_REORDER_INSTANTIATE(float)
+#undef DMTK_REORDER_INSTANTIATE
 
 }  // namespace dmtk

@@ -8,7 +8,8 @@
 
 namespace dmtk {
 
-Tensor::Tensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+template <typename T>
+TensorT<T>::TensorT(std::vector<index_t> dims) : dims_(std::move(dims)) {
   strides_.resize(dims_.size());
   index_t stride = 1;
   for (std::size_t n = 0; n < dims_.size(); ++n) {
@@ -17,46 +18,55 @@ Tensor::Tensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
     stride *= dims_[n];
   }
   numel_ = dims_.empty() ? 0 : stride;
-  data_.assign(static_cast<std::size_t>(numel_), 0.0);
+  data_.assign(static_cast<std::size_t>(numel_), T{0});
 }
 
-double Tensor::norm(int threads) const {
+template <typename T>
+double TensorT<T>::norm(int threads) const {
   return std::sqrt(norm_squared(threads));
 }
 
-double Tensor::norm_squared(int threads) const {
+template <typename T>
+double TensorT<T>::norm_squared(int threads) const {
   const int nt = resolve_threads(threads);
   const index_t n = numel_;
   double total = 0.0;
 #pragma omp parallel for num_threads(nt) reduction(+ : total) schedule(static)
   for (index_t i = 0; i < n; ++i) {
-    total += data_[static_cast<std::size_t>(i)] *
-             data_[static_cast<std::size_t>(i)];
+    total += static_cast<double>(data_[static_cast<std::size_t>(i)]) *
+             static_cast<double>(data_[static_cast<std::size_t>(i)]);
   }
   return total;
 }
 
-double Tensor::max_abs_diff(const Tensor& other) const {
+template <typename T>
+double TensorT<T>::max_abs_diff(const TensorT& other) const {
   DMTK_CHECK(dims_.size() == other.dims_.size() &&
                  std::equal(dims_.begin(), dims_.end(), other.dims_.begin()),
              "max_abs_diff: shape mismatch");
   double m = 0.0;
   for (std::size_t i = 0; i < data_.size(); ++i) {
-    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    m = std::max(m, std::abs(static_cast<double>(data_[i]) -
+                             static_cast<double>(other.data_[i])));
   }
   return m;
 }
 
-Tensor Tensor::random_uniform(std::vector<index_t> dims, Rng& rng) {
-  Tensor X(std::move(dims));
+template <typename T>
+TensorT<T> TensorT<T>::random_uniform(std::vector<index_t> dims, Rng& rng) {
+  TensorT X(std::move(dims));
   fill_uniform(X.span(), rng);
   return X;
 }
 
-Tensor Tensor::random_normal(std::vector<index_t> dims, Rng& rng) {
-  Tensor X(std::move(dims));
+template <typename T>
+TensorT<T> TensorT<T>::random_normal(std::vector<index_t> dims, Rng& rng) {
+  TensorT X(std::move(dims));
   fill_normal(X.span(), rng);
   return X;
 }
+
+template class TensorT<double>;
+template class TensorT<float>;
 
 }  // namespace dmtk

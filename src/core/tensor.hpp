@@ -10,6 +10,12 @@
 ///   - X(n)      for internal n is I_Rn contiguous row-major blocks of size
 ///               I_n x I_Ln,
 ///   - X(0:n)    (multi-mode row matricization) is column-major.
+///
+/// The container is templated on the scalar type: TensorT<double> is the
+/// default compute type and TensorT<float> halves the bytes every
+/// bandwidth-bound kernel moves (the paper's algorithms are bandwidth-bound,
+/// so fp32 buys ~2x on fit-insensitive loads). `Tensor` and `TensorF` alias
+/// the two instantiations; norms accumulate in double for either scalar.
 
 #include <span>
 #include <vector>
@@ -20,13 +26,16 @@
 
 namespace dmtk {
 
-class Tensor {
+template <typename T>
+class TensorT {
  public:
+  using value_type = T;
+
   /// Empty 0-way tensor.
-  Tensor() = default;
+  TensorT() = default;
 
   /// Tensor with the given mode sizes, zero-initialized.
-  explicit Tensor(std::vector<index_t> dims);
+  explicit TensorT(std::vector<index_t> dims);
 
   /// Number of modes N.
   [[nodiscard]] index_t order() const {
@@ -68,55 +77,76 @@ class Tensor {
     return l;
   }
 
-  double& operator[](index_t l) { return data_[static_cast<std::size_t>(l)]; }
-  double operator[](index_t l) const {
+  T& operator[](index_t l) { return data_[static_cast<std::size_t>(l)]; }
+  T operator[](index_t l) const {
     return data_[static_cast<std::size_t>(l)];
   }
 
-  double& operator()(std::span<const index_t> idx) {
+  T& operator()(std::span<const index_t> idx) {
     return data_[static_cast<std::size_t>(linear_index(idx))];
   }
-  double operator()(std::span<const index_t> idx) const {
+  T operator()(std::span<const index_t> idx) const {
     return data_[static_cast<std::size_t>(linear_index(idx))];
   }
 
-  [[nodiscard]] double* data() { return data_.data(); }
-  [[nodiscard]] const double* data() const { return data_.data(); }
-  [[nodiscard]] std::span<double> span() { return {data_.data(), data_.size()}; }
-  [[nodiscard]] std::span<const double> span() const {
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const {
     return {data_.data(), data_.size()};
   }
 
   /// Pointer to the j-th natural block of X(n): an I_n x I_Ln row-major
   /// submatrix (leading dimension I_Ln), j in [0, I_Rn). See Figure 2.
-  [[nodiscard]] const double* mode_block(index_t n, index_t j) const {
+  [[nodiscard]] const T* mode_block(index_t n, index_t j) const {
     return data_.data() + static_cast<std::size_t>(
                               j * left_size(n) * dim(n));
   }
 
-  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{0}); }
 
   /// Frobenius norm (OpenMP-parallel reduction; the residual-norm term of
-  /// CP-ALS needs this once per decomposition).
+  /// CP-ALS needs this once per decomposition). Accumulated in double for
+  /// either scalar type.
   [[nodiscard]] double norm(int threads = 0) const;
 
-  /// Sum of squares of all entries.
+  /// Sum of squares of all entries (double accumulation).
   [[nodiscard]] double norm_squared(int threads = 0) const;
 
   /// Max absolute entrywise difference; shapes must match.
-  [[nodiscard]] double max_abs_diff(const Tensor& other) const;
+  [[nodiscard]] double max_abs_diff(const TensorT& other) const;
 
   /// Tensor with i.i.d. uniform [0,1) entries.
-  static Tensor random_uniform(std::vector<index_t> dims, Rng& rng);
+  static TensorT random_uniform(std::vector<index_t> dims, Rng& rng);
 
   /// Tensor with i.i.d. standard normal entries.
-  static Tensor random_normal(std::vector<index_t> dims, Rng& rng);
+  static TensorT random_normal(std::vector<index_t> dims, Rng& rng);
 
  private:
   std::vector<index_t> dims_;
   std::vector<index_t> strides_;  // strides_[n] = prod_{k<n} dims_[k] = I_Ln
   index_t numel_ = 0;
-  std::vector<double, AlignedAllocator<double>> data_;
+  std::vector<T, AlignedAllocator<T>> data_;
 };
+
+extern template class TensorT<double>;
+extern template class TensorT<float>;
+
+/// The library's default (double) tensor and its fp32 sibling.
+using Tensor = TensorT<double>;
+using TensorF = TensorT<float>;
+
+/// Entrywise conversion between scalar types (fp64 -> fp32 rounds).
+template <typename To, typename From>
+TensorT<To> tensor_cast(const TensorT<From>& X) {
+  TensorT<To> Y(std::vector<index_t>(X.dims().begin(), X.dims().end()));
+  const From* src = X.data();
+  To* dst = Y.data();
+  for (index_t l = 0; l < X.numel(); ++l) {
+    dst[static_cast<std::size_t>(l)] =
+        static_cast<To>(src[static_cast<std::size_t>(l)]);
+  }
+  return Y;
+}
 
 }  // namespace dmtk

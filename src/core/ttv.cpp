@@ -8,8 +8,10 @@
 
 namespace dmtk {
 
-Tensor ttv(const Tensor& X, std::span<const double> v, index_t mode,
-           int threads) {
+template <typename T>
+TensorT<T> ttv(const TensorT<T>& X,
+               std::span<const std::type_identity_t<T>> v, index_t mode,
+               int threads) {
   const index_t N = X.order();
   DMTK_CHECK(mode >= 0 && mode < N, "ttv: bad mode");
   DMTK_CHECK(static_cast<index_t>(v.size()) == X.dim(mode),
@@ -26,7 +28,7 @@ Tensor ttv(const Tensor& X, std::span<const double> v, index_t mode,
   // An (N-1)-way tensor must keep at least one mode; contracting a 1-way
   // tensor would yield a scalar, which callers should express as a dot.
   DMTK_CHECK(!ydims.empty(), "ttv: cannot contract a 1-way tensor");
-  Tensor Y(ydims);
+  TensorT<T> Y(ydims);
 
   // Natural-layout contraction: for each right-block j and mode index i,
   // Y[j*ILn : (j+1)*ILn] += v[i] * X[block j, row i]. Rows of a block are
@@ -35,8 +37,8 @@ Tensor ttv(const Tensor& X, std::span<const double> v, index_t mode,
   parallel_region(nt, [&](int t, int nteam) {
     const Range r = block_range(IRn, nteam, t);
     for (index_t j = r.begin; j < r.end; ++j) {
-      const double* block = X.data() + j * ILn * In;
-      double* out = Y.data() + j * ILn;
+      const T* block = X.data() + j * ILn * In;
+      T* out = Y.data() + j * ILn;
       for (index_t i = 0; i < In; ++i) {
         blas::axpy(ILn, v[static_cast<std::size_t>(i)], block + i * ILn,
                    index_t{1}, out, index_t{1});
@@ -46,7 +48,9 @@ Tensor ttv(const Tensor& X, std::span<const double> v, index_t mode,
   return Y;
 }
 
-Tensor ttm(const Tensor& X, const Matrix& M, index_t mode, int threads) {
+template <typename T>
+TensorT<T> ttm(const TensorT<T>& X, const MatrixT<T>& M, index_t mode,
+               int threads) {
   const index_t N = X.order();
   DMTK_CHECK(mode >= 0 && mode < N, "ttm: bad mode");
   DMTK_CHECK(M.rows() == X.dim(mode), "ttm: matrix rows != mode size");
@@ -57,7 +61,7 @@ Tensor ttm(const Tensor& X, const Matrix& M, index_t mode, int threads) {
 
   std::vector<index_t> ydims(X.dims().begin(), X.dims().end());
   ydims[static_cast<std::size_t>(mode)] = R;
-  Tensor Y(ydims);
+  TensorT<T> Y(ydims);
 
   // Per right-block GEMM: Yblock (R x ILn row-major) = M^T * Xblock
   // (In x ILn row-major). In column-major views: Yb' (ILn x R) =
@@ -66,18 +70,19 @@ Tensor ttm(const Tensor& X, const Matrix& M, index_t mode, int threads) {
   parallel_region(nt, [&](int t, int nteam) {
     const Range r = block_range(IRn, nteam, t);
     for (index_t j = r.begin; j < r.end; ++j) {
-      const double* xb = X.data() + j * ILn * In;
-      double* yb = Y.data() + j * ILn * R;
+      const T* xb = X.data() + j * ILn * In;
+      T* yb = Y.data() + j * ILn * R;
       blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::NoTrans, ILn, R, In, 1.0, xb, ILn, M.data(),
-                 M.ld(), 0.0, yb, ILn, /*threads=*/1);
+                 blas::Trans::NoTrans, ILn, R, In, T{1}, xb, ILn, M.data(),
+                 M.ld(), T{0}, yb, ILn, /*threads=*/1);
     }
   });
   return Y;
 }
 
-void multi_ttv_right(const double* R, index_t In, index_t ILn, index_t C,
-                     const double* KLt, index_t ldkl, Matrix& M, int threads) {
+template <typename T>
+void multi_ttv_right(const T* R, index_t In, index_t ILn, index_t C,
+                     const T* KLt, index_t ldkl, MatrixT<T>& M, int threads) {
   DMTK_CHECK(M.rows() == In && M.cols() == C, "multi_ttv_right: bad output");
   const int nt = resolve_threads(threads);
   // One GEMV per component. With C typically >= threads, give each thread
@@ -88,22 +93,23 @@ void multi_ttv_right(const double* R, index_t In, index_t ILn, index_t C,
       const Range range = block_range(C, nteam, t);
       for (index_t c = range.begin; c < range.end; ++c) {
         // R_c(n) is In x ILn row-major == (ILn x In col-major)^T.
-        blas::gemv(blas::Layout::ColMajor, blas::Trans::Trans, ILn, In, 1.0,
-                   R + c * ILn * In, ILn, KLt + c, ldkl, 0.0,
+        blas::gemv(blas::Layout::ColMajor, blas::Trans::Trans, ILn, In, T{1},
+                   R + c * ILn * In, ILn, KLt + c, ldkl, T{0},
                    M.col(c).data(), index_t{1}, /*threads=*/1);
       }
     });
   } else {
     for (index_t c = 0; c < C; ++c) {
-      blas::gemv(blas::Layout::ColMajor, blas::Trans::Trans, ILn, In, 1.0,
-                 R + c * ILn * In, ILn, KLt + c, ldkl, 0.0, M.col(c).data(),
+      blas::gemv(blas::Layout::ColMajor, blas::Trans::Trans, ILn, In, T{1},
+                 R + c * ILn * In, ILn, KLt + c, ldkl, T{0}, M.col(c).data(),
                  index_t{1}, nt);
     }
   }
 }
 
-void multi_ttv_left(const double* L, index_t In, index_t IRn, index_t C,
-                    const double* KRt, index_t ldkr, Matrix& M, int threads) {
+template <typename T>
+void multi_ttv_left(const T* L, index_t In, index_t IRn, index_t C,
+                    const T* KRt, index_t ldkr, MatrixT<T>& M, int threads) {
   DMTK_CHECK(M.rows() == In && M.cols() == C, "multi_ttv_left: bad output");
   const int nt = resolve_threads(threads);
   if (C >= nt) {
@@ -111,18 +117,31 @@ void multi_ttv_left(const double* L, index_t In, index_t IRn, index_t C,
       const Range range = block_range(C, nteam, t);
       for (index_t c = range.begin; c < range.end; ++c) {
         // L_c(0) is In x IRn column-major.
-        blas::gemv(blas::Layout::ColMajor, blas::Trans::NoTrans, In, IRn, 1.0,
-                   L + c * In * IRn, In, KRt + c, ldkr, 0.0, M.col(c).data(),
-                   index_t{1}, /*threads=*/1);
+        blas::gemv(blas::Layout::ColMajor, blas::Trans::NoTrans, In, IRn,
+                   T{1}, L + c * In * IRn, In, KRt + c, ldkr, T{0},
+                   M.col(c).data(), index_t{1}, /*threads=*/1);
       }
     });
   } else {
     for (index_t c = 0; c < C; ++c) {
-      blas::gemv(blas::Layout::ColMajor, blas::Trans::NoTrans, In, IRn, 1.0,
-                 L + c * In * IRn, In, KRt + c, ldkr, 0.0, M.col(c).data(),
+      blas::gemv(blas::Layout::ColMajor, blas::Trans::NoTrans, In, IRn, T{1},
+                 L + c * In * IRn, In, KRt + c, ldkr, T{0}, M.col(c).data(),
                  index_t{1}, nt);
     }
   }
 }
+
+#define DMTK_TTV_INSTANTIATE(T)                                               \
+  template TensorT<T> ttv<T>(const TensorT<T>&, std::span<const T>, index_t,  \
+                             int);                                            \
+  template TensorT<T> ttm<T>(const TensorT<T>&, const MatrixT<T>&, index_t,   \
+                             int);                                            \
+  template void multi_ttv_right<T>(const T*, index_t, index_t, index_t,       \
+                                   const T*, index_t, MatrixT<T>&, int);      \
+  template void multi_ttv_left<T>(const T*, index_t, index_t, index_t,        \
+                                  const T*, index_t, MatrixT<T>&, int);
+DMTK_TTV_INSTANTIATE(double)
+DMTK_TTV_INSTANTIATE(float)
+#undef DMTK_TTV_INSTANTIATE
 
 }  // namespace dmtk

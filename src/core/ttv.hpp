@@ -3,6 +3,10 @@
 /// \brief Tensor-times-matrix (TTM), tensor-times-vector (TTV), and the
 /// multi-TTV kernels that form the second step of the 2-step MTTKRP
 /// (Algorithm 4, lines 6-9 and 12-15; data layouts in Figures 3b and 3d).
+/// Templated on the scalar type; `v` in ttv is a non-deduced context so
+/// vector-of-double call sites keep converting implicitly.
+
+#include <type_traits>
 
 #include "core/matrix.hpp"
 #include "core/tensor.hpp"
@@ -12,13 +16,17 @@ namespace dmtk {
 
 /// Y = X x_n v (tensor-times-vector): contracts mode n with a vector of
 /// length I_n, producing an (N-1)-way tensor.
-Tensor ttv(const Tensor& X, std::span<const double> v, index_t mode,
-           int threads = 0);
+template <typename T>
+TensorT<T> ttv(const TensorT<T>& X,
+               std::span<const std::type_identity_t<T>> v, index_t mode,
+               int threads = 0);
 
 /// Y = X x_n M^T in the paper's convention Y(n) = M^T X(n)... concretely:
 /// M is I_n x R and mode n of the result has size R (the TTM used by Tucker
 /// compression). Layout of all other modes is preserved.
-Tensor ttm(const Tensor& X, const Matrix& M, index_t mode, int threads = 0);
+template <typename T>
+TensorT<T> ttm(const TensorT<T>& X, const MatrixT<T>& M, index_t mode,
+               int threads = 0);
 
 /// Multi-TTV, right-partial flavor (Figure 3b): R holds C subtensors of
 /// shape (I_Ln x I_n) laid out contiguously (R = X(0:n) * K_R, column-major
@@ -28,8 +36,9 @@ Tensor ttm(const Tensor& X, const Matrix& M, index_t mode, int threads = 0);
 /// subtensor and kl_c is column c of the left KRP, supplied as row c of the
 /// transposed KRP KLt (C x I_Ln, leading dimension ldkl).
 /// Each component is one GEMV; components are parallelized across threads.
-void multi_ttv_right(const double* R, index_t In, index_t ILn, index_t C,
-                     const double* KLt, index_t ldkl, Matrix& M,
+template <typename T>
+void multi_ttv_right(const T* R, index_t In, index_t ILn, index_t C,
+                     const T* KLt, index_t ldkl, MatrixT<T>& M,
                      int threads = 0);
 
 /// Multi-TTV, left-partial flavor (Figure 3d): L = X(0:n-1)^T * K_L,
@@ -38,8 +47,23 @@ void multi_ttv_right(const double* R, index_t In, index_t ILn, index_t C,
 /// where L_c(0) is the I_n x I_Rn column-major mode-0 matricization of the
 /// c-th subtensor and kr_c is row c of the transposed right KRP KRt
 /// (C x I_Rn, leading dimension ldkr).
-void multi_ttv_left(const double* L, index_t In, index_t IRn, index_t C,
-                    const double* KRt, index_t ldkr, Matrix& M,
+template <typename T>
+void multi_ttv_left(const T* L, index_t In, index_t IRn, index_t C,
+                    const T* KRt, index_t ldkr, MatrixT<T>& M,
                     int threads = 0);
+
+#define DMTK_TTV_EXTERN(T)                                                    \
+  extern template TensorT<T> ttv<T>(const TensorT<T>&, std::span<const T>,    \
+                                    index_t, int);                            \
+  extern template TensorT<T> ttm<T>(const TensorT<T>&, const MatrixT<T>&,     \
+                                    index_t, int);                            \
+  extern template void multi_ttv_right<T>(const T*, index_t, index_t,         \
+                                          index_t, const T*, index_t,         \
+                                          MatrixT<T>&, int);                  \
+  extern template void multi_ttv_left<T>(const T*, index_t, index_t, index_t, \
+                                         const T*, index_t, MatrixT<T>&, int);
+DMTK_TTV_EXTERN(double)
+DMTK_TTV_EXTERN(float)
+#undef DMTK_TTV_EXTERN
 
 }  // namespace dmtk

@@ -37,6 +37,11 @@
 /// Data types and substrate:
 ///   dmtk::Tensor            dense N-way tensor, natural linearization
 ///   dmtk::Matrix            column-major dense matrix
+///   (every numeric type/plan/driver above is templated on the scalar:
+///    the un-suffixed names are the double instantiations, the F-suffixed
+///    ones — TensorF, MatrixF, MttkrpPlanF, CpAlsOptionsF, cp_als on
+///    TensorF — run the same pipeline in fp32 at ~half the bandwidth;
+///    see README "Precision")
 ///   dmtk::sim::make_fmri_tensor   synthetic neuroimaging workload
 ///   dmtk::baseline::ttb_cp_als    Tensor-Toolbox-style comparator
 ///   dmtk::blas::*           the mini-BLAS substrate (gemm/gemv/syrk/level1)

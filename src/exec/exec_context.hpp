@@ -33,6 +33,17 @@ namespace dmtk {
 
 /// Bump-allocated scratch arena backed by one cache-line-aligned buffer.
 ///
+/// Storage is measured in BYTES and handed out through typed carve-outs
+/// (Frame::alloc<T>()), so the same arena serves double- and float-typed
+/// plans without any per-type sizing convention. The buffer is std::byte
+/// raw storage — replacing the old doubles-measured arena whose float
+/// users had to type-pun live double objects (a strict-aliasing violation
+/// compilers may legitimately miscompile). Carving T views out of byte
+/// storage removes that real hazard; the residual is the universal
+/// pre-C++23 arena caveat that plain stores do not formally begin object
+/// lifetimes (std::start_lifetime_as_array is the C++23 spelling) — see
+/// Frame::alloc.
+///
 /// Capacity only changes through reserve(); Frame::alloc() never grows the
 /// buffer, so pointers handed out by a frame stay valid for the frame's
 /// lifetime. Plans reserve their worst-case footprint at construction and
@@ -40,31 +51,46 @@ namespace dmtk {
 /// test suite verifies that no heap traffic happens after plan construction.
 class WorkspaceArena {
  public:
-  /// Block granularity: one x86 cache line's worth of doubles.
-  static constexpr std::size_t kAlignDoubles =
-      kDefaultAlignment / sizeof(double);
+  /// Block granularity: one x86 cache line.
+  static constexpr std::size_t kAlignBytes = kDefaultAlignment;
 
-  /// Round a block request up to cache-line granularity, so consecutive
+  /// Round a byte request up to cache-line granularity, so consecutive
   /// blocks (and per-thread slices) never share a cache line.
-  [[nodiscard]] static constexpr std::size_t aligned(std::size_t doubles) {
-    return (doubles + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+  [[nodiscard]] static constexpr std::size_t aligned_bytes(std::size_t bytes) {
+    return (bytes + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
   }
 
-  /// Grow capacity to at least `doubles` (never shrinks). Invalidates
+  /// Round an element count up so a block of that many T keeps cache-line
+  /// granularity (the frame base is always line-aligned, so offsets built
+  /// from aligned_count blocks stay aligned too).
+  template <typename T>
+  [[nodiscard]] static constexpr std::size_t aligned_count(std::size_t elems) {
+    constexpr std::size_t kLine = kAlignBytes / sizeof(T);
+    return (elems + kLine - 1) / kLine * kLine;
+  }
+
+  /// Grow capacity to at least `bytes` (never shrinks). Invalidates
   /// outstanding frame pointers, so call only while no frame is open —
   /// plans do this once, at construction.
-  void reserve(std::size_t doubles) {
-    if (doubles > buf_.size()) {
-      buf_.resize(doubles);
+  void reserve_bytes(std::size_t bytes) {
+    if (bytes > buf_.size()) {
+      buf_.resize(bytes);
       ++grow_count_;
     }
   }
 
+  /// Typed reserve: capacity for `elems` elements of T.
+  template <typename T>
+  void reserve(std::size_t elems) {
+    reserve_bytes(elems * sizeof(T));
+  }
+
+  /// Capacity / usage in bytes.
   [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
   [[nodiscard]] std::size_t in_use() const { return top_; }
   /// Number of heap (re)allocations the arena has performed.
   [[nodiscard]] std::size_t grow_count() const { return grow_count_; }
-  /// Largest number of doubles ever simultaneously handed out.
+  /// Largest number of bytes ever simultaneously handed out.
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
   /// RAII stack frame: blocks allocated through it are released (in bulk)
@@ -76,17 +102,24 @@ class WorkspaceArena {
     Frame(const Frame&) = delete;
     Frame& operator=(const Frame&) = delete;
 
-    /// Hand out an aligned block of `doubles`. Throws if the arena was not
-    /// reserved large enough — growing here would invalidate previously
-    /// returned pointers, so it is a caller bug, not a resize trigger.
-    [[nodiscard]] double* alloc(std::size_t doubles) {
-      const std::size_t need = aligned(doubles);
+    /// Hand out a line-aligned block of `elems` elements of T. Throws if
+    /// the arena was not reserved large enough — growing here would
+    /// invalidate previously returned pointers, so it is a caller bug, not
+    /// a resize trigger. (The byte buffer's base is line-aligned and top_
+    /// only moves in line multiples, so the plain void* conversion below
+    /// is alignment-safe by construction, and no live object of another
+    /// type is punned — the bug this replaced. Strictly, C++20 has no
+    /// cast that BEGINS the T objects' lifetimes in raw storage; switch
+    /// to std::start_lifetime_as_array when C++23 is available.)
+    template <typename T>
+    [[nodiscard]] T* alloc(std::size_t elems) {
+      const std::size_t need = aligned_bytes(elems * sizeof(T));
       DMTK_CHECK(arena_.top_ + need <= arena_.buf_.size(),
                  "WorkspaceArena: frame exceeds reserved capacity");
-      double* p = arena_.buf_.data() + arena_.top_;
+      std::byte* p = arena_.buf_.data() + arena_.top_;
       arena_.top_ += need;
       arena_.high_water_ = std::max(arena_.high_water_, arena_.top_);
-      return p;
+      return static_cast<T*>(static_cast<void*>(p));
     }
 
    private:
@@ -95,7 +128,7 @@ class WorkspaceArena {
   };
 
  private:
-  std::vector<double, AlignedAllocator<double>> buf_;
+  std::vector<std::byte, AlignedAllocator<std::byte>> buf_;
   std::size_t top_ = 0;
   std::size_t grow_count_ = 0;
   std::size_t high_water_ = 0;

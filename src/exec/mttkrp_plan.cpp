@@ -17,8 +17,10 @@ namespace {
 
 /// One KRP row read straight from the (unpacked) factors — the krp_row of
 /// core/krp.cpp with caller-owned digit scratch.
-inline void krp_row_ws(const FactorList& fl, std::span<const index_t> extents,
-                       index_t r, index_t C, double* out, index_t* dg) {
+template <typename T>
+inline void krp_row_ws(const FactorListT<T>& fl,
+                       std::span<const index_t> extents, index_t r, index_t C,
+                       T* out, index_t* dg) {
   const std::size_t Z = fl.size();
   decompose_last_fastest(r, extents, {dg, Z});
   detail::load_row(*fl[0], dg[0], C, out);
@@ -29,9 +31,11 @@ inline void krp_row_ws(const FactorList& fl, std::span<const index_t> extents,
 
 }  // namespace
 
-MttkrpPlan::MttkrpPlan(const ExecContext& ctx, std::span<const index_t> dims,
-                       index_t rank, index_t mode, MttkrpMethod method,
-                       TwoStepSide side)
+template <typename T>
+MttkrpPlanT<T>::MttkrpPlanT(const ExecContext& ctx,
+                            std::span<const index_t> dims, index_t rank,
+                            index_t mode, MttkrpMethod method,
+                            TwoStepSide side)
     : ctx_(&ctx),
       dims_(dims.begin(), dims.end()),
       rank_(rank),
@@ -101,17 +105,18 @@ MttkrpPlan::MttkrpPlan(const ExecContext& ctx, std::span<const index_t> dims,
   t_b_.assign(static_cast<std::size_t>(nt_), 0.0);
 
   plan_workspace();
-  ctx.arena().reserve(ws_doubles_);
+  ctx.arena().template reserve<T>(ws_elems_);
 }
 
-void MttkrpPlan::plan_workspace() {
+template <typename T>
+void MttkrpPlanT<T>::plan_workspace() {
   const index_t C = rank_;
   const index_t N = static_cast<index_t>(dims_.size());
   const std::size_t snt = static_cast<std::size_t>(nt_);
   std::size_t top = 0;
-  auto take = [&top](std::size_t doubles) {
+  auto take = [&top](std::size_t elems) {
     const std::size_t off = top;
-    top += WorkspaceArena::aligned(doubles);
+    top += WorkspaceArena::aligned_count<T>(elems);
     return off;
   };
   auto plan_packed = [&](KrpLayout& lay) {
@@ -121,20 +126,20 @@ void MttkrpPlan::plan_workspace() {
           take(static_cast<std::size_t>(lay.extents[z] * C));
     }
   };
-  // Per-thread partial-Hadamard table: C doubles per reusable partial.
-  std::size_t p_doubles = 0;
+  // Per-thread partial-Hadamard table: C elements per reusable partial.
+  std::size_t p_elems = 0;
   auto p_need = [&](const KrpLayout& lay) {
     if (lay.extents.size() >= 3) {
-      p_doubles = std::max(
-          p_doubles, static_cast<std::size_t>(C) * (lay.extents.size() - 2));
+      p_elems = std::max(
+          p_elems, static_cast<std::size_t>(C) * (lay.extents.size() - 2));
     }
   };
 
   // BLAS packing workspace for the method's GEMM calls, carved from the
   // same frame so the blocked kernel runs heap-free (gemm_workspace.hpp).
   auto plan_gemm_ws = [&](index_t gm, index_t gk, int gthreads) {
-    gemm_ws_doubles_ = blas::gemm_workspace_doubles(gm, C, gk, gthreads);
-    off_gemm_ws_ = take(gemm_ws_doubles_);
+    gemm_ws_elems_ = blas::gemm_workspace_elems<T>(gm, C, gk, gthreads);
+    off_gemm_ws_ = take(gemm_ws_elems_);
   };
 
   switch (resolved_) {
@@ -143,8 +148,8 @@ void MttkrpPlan::plan_workspace() {
     case MttkrpMethod::Reorder:
       off_xn_ = take(static_cast<std::size_t>(In_ * cosize_));
       off_kcol_ = take(static_cast<std::size_t>(cosize_ * C));
-      // Two ping-pong Kronecker accumulators of up to cosize doubles.
-      off_acc_ = take(2 * WorkspaceArena::aligned(
+      // Two ping-pong Kronecker accumulators of up to cosize elements.
+      off_acc_ = take(2 * WorkspaceArena::aligned_count<T>(
                               static_cast<std::size_t>(cosize_)));
       plan_gemm_ws(In_, cosize_, nt_);
       break;
@@ -160,12 +165,13 @@ void MttkrpPlan::plan_workspace() {
       if (mode_ == 0 || mode_ == N - 1) {
         plan_packed(full_);
         p_need(full_);
-        stride_thread_kt_ = WorkspaceArena::aligned(
+        stride_thread_kt_ = WorkspaceArena::aligned_count<T>(
             static_cast<std::size_t>(C * ctx_->max_block(cosize_)));
         off_thread_kt_ = take(snt * stride_thread_kt_);
         // Each worker runs a private sequential GEMM on its column block.
-        stride_gemm_ws_ = WorkspaceArena::aligned(blas::gemm_workspace_doubles(
-            In_, C, ctx_->max_block(cosize_), 1));
+        stride_gemm_ws_ =
+            WorkspaceArena::aligned_count<T>(blas::gemm_workspace_elems<T>(
+                In_, C, ctx_->max_block(cosize_), 1));
         off_gemm_ws_ = take(snt * stride_gemm_ws_);
       } else {
         plan_packed(left_);
@@ -177,14 +183,14 @@ void MttkrpPlan::plan_workspace() {
         // per-thread tiles already put in the shared arena.
         off_kt_full_ = take(static_cast<std::size_t>(C * cosize_));
         stride_thread_row_ =
-            WorkspaceArena::aligned(static_cast<std::size_t>(C));
+            WorkspaceArena::aligned_count<T>(static_cast<std::size_t>(C));
         off_thread_row_ = take(snt * stride_thread_row_);
-        gemm_ws_doubles_ =
-            blas::gemm_batched_workspace_doubles(In_, C, ILn_, nt_);
-        off_gemm_ws_ = take(gemm_ws_doubles_);
+        gemm_ws_elems_ =
+            blas::gemm_batched_workspace_elems<T>(In_, C, ILn_, nt_);
+        off_gemm_ws_ = take(gemm_ws_elems_);
       }
       stride_partial_ =
-          WorkspaceArena::aligned(static_cast<std::size_t>(In_ * C));
+          WorkspaceArena::aligned_count<T>(static_cast<std::size_t>(In_ * C));
       off_partials_ = take(snt * stride_partial_);
       break;
     case MttkrpMethod::TwoStep:
@@ -210,15 +216,16 @@ void MttkrpPlan::plan_workspace() {
     case MttkrpMethod::Auto:
       break;  // unreachable: resolved at construction
   }
-  if (p_doubles > 0) {
-    stride_thread_p_ = WorkspaceArena::aligned(p_doubles);
+  if (p_elems > 0) {
+    stride_thread_p_ = WorkspaceArena::aligned_count<T>(p_elems);
     off_thread_p_ = take(snt * stride_thread_p_);
   }
-  ws_doubles_ = top;
+  ws_elems_ = top;
 }
 
-void MttkrpPlan::gather_factors(std::span<const Matrix> factors, List which,
-                                FactorList& fl) const {
+template <typename T>
+void MttkrpPlanT<T>::gather_factors(std::span<const MatrixT<T>> factors,
+                                    List which, FactorListT<T>& fl) const {
   // Orders match the layout construction in the constructor (and the
   // mttkrp_krp_factors / left_krp_factors / right_krp_factors helpers).
   const index_t N = static_cast<index_t>(factors.size());
@@ -242,29 +249,33 @@ void MttkrpPlan::gather_factors(std::span<const Matrix> factors, List which,
   }
 }
 
-void MttkrpPlan::pack(const FactorList& fl, const KrpLayout& lay, double* base,
-                      std::vector<const double*>& packed) const {
+template <typename T>
+void MttkrpPlanT<T>::pack(const FactorListT<T>& fl, const KrpLayout& lay,
+                          T* base, std::vector<const T*>& packed) const {
   for (std::size_t z = 0; z < fl.size(); ++z) {
-    double* P = base + lay.packed_off[z];
+    T* P = base + lay.packed_off[z];
     detail::pack_factor_transposed(*fl[z], rank_, P);
     packed[z] = P;
   }
 }
 
-void MttkrpPlan::krp_transposed_ws(const KrpLayout& lay,
-                                   std::span<const double* const> packed,
-                                   double* base, std::size_t off,
-                                   int threads) {
+template <typename T>
+void MttkrpPlanT<T>::krp_transposed_ws(const KrpLayout& lay,
+                                       std::span<const T* const> packed,
+                                       T* base, std::size_t off,
+                                       int threads) {
   // `threads` planned partitions (threads <= nt_, so the per-block scratch
   // slots always exist).
-  detail::krp_transposed_blocks(packed, lay.extents, rank_, lay.rows, threads,
-                                base + off, base + off_thread_p_,
-                                stride_thread_p_, digits_.data(),
-                                digits_stride_);
+  detail::krp_transposed_blocks<T>(packed, lay.extents, rank_, lay.rows,
+                                   threads, base + off, base + off_thread_p_,
+                                   stride_thread_p_, digits_.data(),
+                                   digits_stride_);
 }
 
-void MttkrpPlan::execute(const Tensor& X, std::span<const Matrix> factors,
-                         Matrix& M) {
+template <typename T>
+void MttkrpPlanT<T>::execute(const TensorT<T>& X,
+                             std::span<const MatrixT<T>> factors,
+                             MatrixT<T>& M) {
   const index_t N = static_cast<index_t>(dims_.size());
   DMTK_CHECK(X.order() == N, "mttkrp plan: tensor order mismatch");
   for (index_t n = 0; n < N; ++n) {
@@ -274,15 +285,15 @@ void MttkrpPlan::execute(const Tensor& X, std::span<const Matrix> factors,
   DMTK_CHECK(static_cast<index_t>(factors.size()) == N,
              "mttkrp: need one factor matrix per mode");
   for (index_t n = 0; n < N; ++n) {
-    const Matrix& U = factors[static_cast<std::size_t>(n)];
+    const MatrixT<T>& U = factors[static_cast<std::size_t>(n)];
     DMTK_CHECK(U.cols() == rank_, "mttkrp: factors disagree on rank");
     DMTK_CHECK(U.rows() == X.dim(n), "mttkrp: factor rows != mode size");
   }
-  if (M.rows() != In_ || M.cols() != rank_) M = Matrix(In_, rank_);
+  if (M.rows() != In_ || M.cols() != rank_) M = MatrixT<T>(In_, rank_);
 
   WallTimer total;
   WorkspaceArena::Frame frame(ctx_->arena());
-  double* base = ws_doubles_ > 0 ? frame.alloc(ws_doubles_) : nullptr;
+  T* base = ws_elems_ > 0 ? frame.template alloc<T>(ws_elems_) : nullptr;
 
   switch (resolved_) {
     case MttkrpMethod::Reference:
@@ -313,17 +324,19 @@ void MttkrpPlan::execute(const Tensor& X, std::span<const Matrix> factors,
 // ---------------------------------------------------------------------------
 // Reference: element-wise oracle.
 // ---------------------------------------------------------------------------
-void MttkrpPlan::exec_reference(const Tensor& X,
-                                std::span<const Matrix> factors, Matrix& M) {
+template <typename T>
+void MttkrpPlanT<T>::exec_reference(const TensorT<T>& X,
+                                    std::span<const MatrixT<T>> factors,
+                                    MatrixT<T>& M) {
   const index_t N = static_cast<index_t>(dims_.size());
   const index_t C = rank_;
   M.set_zero();
   const index_t I = X.numel();
   for (index_t l = 0; l < I; ++l) {
     decompose_first_fastest(l, dims_, ref_idx_);
-    const double x = X[l];
+    const T x = X[l];
     for (index_t c = 0; c < C; ++c) {
-      double w = x;
+      T w = x;
       for (index_t n = 0; n < N; ++n) {
         if (n != mode_) {
           w *= factors[static_cast<std::size_t>(n)](
@@ -339,30 +352,32 @@ void MttkrpPlan::exec_reference(const Tensor& X,
 // Reorder: explicit matricization + explicit column-wise KRP + one GEMM
 // (Bader & Kolda; the Tensor-Toolbox kernel).
 // ---------------------------------------------------------------------------
-void MttkrpPlan::exec_reorder(const Tensor& X, std::span<const Matrix> factors,
-                              Matrix& M, double* base) {
+template <typename T>
+void MttkrpPlanT<T>::exec_reorder(const TensorT<T>& X,
+                                  std::span<const MatrixT<T>> factors,
+                                  MatrixT<T>& M, T* base) {
   const index_t C = rank_;
-  double* Xn = base + off_xn_;
+  T* Xn = base + off_xn_;
   {
     PhaseTimer pt(&timings_.reorder);
     matricize_into(X, mode_, Xn, nt_);
   }
-  double* K = base + off_kcol_;
+  T* K = base + off_kcol_;
   {
     PhaseTimer pt(&timings_.krp);
     // Column c of K is the Kronecker product of the factor columns, built
     // by repeated expansion exactly like krp_columnwise / Tensor Toolbox's
     // khatrirao (last factor fastest), with ping-pong accumulators.
     gather_factors(factors, List::Full, fl_full_);
-    double* acc = base + off_acc_;
-    double* next =
-        acc + WorkspaceArena::aligned(static_cast<std::size_t>(cosize_));
+    T* acc = base + off_acc_;
+    T* next = acc + WorkspaceArena::aligned_count<T>(
+                        static_cast<std::size_t>(cosize_));
     for (index_t c = 0; c < C; ++c) {
-      acc[0] = 1.0;
+      acc[0] = T{1};
       index_t len = 1;
-      for (const Matrix* F : fl_full_) {
+      for (const MatrixT<T>* F : fl_full_) {
         const index_t Jz = F->rows();
-        const double* col = F->col(c).data();
+        const T* col = F->col(c).data();
         index_t o = 0;
         for (index_t a = 0; a < len; ++a) {
           for (index_t i = 0; i < Jz; ++i) next[o++] = acc[a] * col[i];
@@ -376,20 +391,21 @@ void MttkrpPlan::exec_reorder(const Tensor& X, std::span<const Matrix> factors,
   {
     PhaseTimer pt(&timings_.gemm);
     blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::NoTrans, In_, C, cosize_, 1.0, Xn, In_, K, cosize_,
-               0.0, M.data(), M.ld(), nt_,
-               blas::GemmWorkspace{base + off_gemm_ws_, gemm_ws_doubles_});
+               blas::Trans::NoTrans, In_, C, cosize_, T{1}, Xn, In_, K,
+               cosize_, T{0}, M.data(), M.ld(), nt_,
+               blas::typed_workspace(base + off_gemm_ws_, gemm_ws_elems_));
   }
 }
 
 // ---------------------------------------------------------------------------
 // Algorithm 2: sequential 1-step.
 // ---------------------------------------------------------------------------
-void MttkrpPlan::exec_onestep_seq(const Tensor& X,
-                                  std::span<const Matrix> factors, Matrix& M,
-                                  double* base) {
+template <typename T>
+void MttkrpPlanT<T>::exec_onestep_seq(const TensorT<T>& X,
+                                      std::span<const MatrixT<T>> factors,
+                                      MatrixT<T>& M, T* base) {
   const index_t C = rank_;
-  double* Kt = base + off_kt_full_;
+  T* Kt = base + off_kt_full_;
   {
     PhaseTimer pt(&timings_.krp);
     gather_factors(factors, List::Full, fl_full_);
@@ -397,20 +413,21 @@ void MttkrpPlan::exec_onestep_seq(const Tensor& X,
     krp_transposed_ws(full_, packed_full_, base, off_kt_full_, /*threads=*/1);
   }
   PhaseTimer pt(&timings_.gemm);
-  const blas::GemmWorkspace gws{base + off_gemm_ws_, gemm_ws_doubles_};
+  const blas::GemmWorkspace gws =
+      blas::typed_workspace(base + off_gemm_ws_, gemm_ws_elems_);
   if (mode_ == 0) {
     // X(0) is column-major: a single BLAS call (Alg 2 line 4).
     blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::Trans, In_, C, cosize_, 1.0, X.data(), In_, Kt, C,
-               0.0, M.data(), M.ld(), /*threads=*/1, gws);
+               blas::Trans::Trans, In_, C, cosize_, T{1}, X.data(), In_, Kt,
+               C, T{0}, M.data(), M.ld(), /*threads=*/1, gws);
     return;
   }
   // Block inner product over the I_Rn natural row-major blocks (lines 6-10).
   M.set_zero();
   for (index_t j = 0; j < IRn_; ++j) {
     blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
-               In_, C, ILn_, 1.0, X.mode_block(mode_, j), ILn_,
-               Kt + j * ILn_ * C, C, 1.0, M.data(), M.ld(), /*threads=*/1,
+               In_, C, ILn_, T{1}, X.mode_block(mode_, j), ILn_,
+               Kt + j * ILn_ * C, C, T{1}, M.data(), M.ld(), /*threads=*/1,
                gws);
   }
 }
@@ -418,9 +435,10 @@ void MttkrpPlan::exec_onestep_seq(const Tensor& X,
 // ---------------------------------------------------------------------------
 // Algorithm 3: parallel 1-step.
 // ---------------------------------------------------------------------------
-void MttkrpPlan::exec_onestep_external(const Tensor& X,
-                                       std::span<const Matrix> factors,
-                                       Matrix& M, double* base) {
+template <typename T>
+void MttkrpPlanT<T>::exec_onestep_external(const TensorT<T>& X,
+                                           std::span<const MatrixT<T>> factors,
+                                           MatrixT<T>& M, T* base) {
   const index_t C = rank_;
   const index_t cols = cosize_;
   double pack_s = 0.0;
@@ -440,38 +458,38 @@ void MttkrpPlan::exec_onestep_external(const Tensor& X,
     for (int b = t; b < nt_; b += nteam) {
       const std::size_t sb = static_cast<std::size_t>(b);
       const Range r = block_range(cols, nt_, b);
-      double* Mt = base + off_partials_ + sb * stride_partial_;
+      T* Mt = base + off_partials_ + sb * stride_partial_;
       if (r.empty()) {
         // Still participates in the reduction: must read as zero.
-        std::fill(Mt, Mt + In_ * C, 0.0);
+        std::fill(Mt, Mt + In_ * C, T{0});
         continue;
       }
       // Block-local KRP rows [r.begin, r.end) — Alg 3 line 7.
-      double* Kt = base + off_thread_kt_ + sb * stride_thread_kt_;
-      double* P = base + off_thread_p_ + sb * stride_thread_p_;
+      T* Kt = base + off_thread_kt_ + sb * stride_thread_kt_;
+      T* P = base + off_thread_p_ + sb * stride_thread_p_;
       index_t* dg = digits_.data() + sb * digits_stride_;
       {
         PhaseTimer pt(&t_a_[sb]);
-        detail::krp_rows_ws(packed_full_, full_.extents, C, r.begin, r.end, Kt, C, P,
-                    dg);
+        detail::krp_rows_ws<T>(packed_full_, full_.extents, C, r.begin, r.end,
+                               Kt, C, P, dg);
       }
       // Local GEMM against the block's columns of X(n) — line 8. The
       // packing workspace is this block's private slice of the frame.
       PhaseTimer pt(&t_b_[sb]);
-      const blas::GemmWorkspace gws{
-          base + off_gemm_ws_ + sb * stride_gemm_ws_, stride_gemm_ws_};
+      const blas::GemmWorkspace gws = blas::typed_workspace(
+          base + off_gemm_ws_ + sb * stride_gemm_ws_, stride_gemm_ws_);
       if (mode_ == 0) {
         // Column block of the column-major X(0): contiguous panel.
         blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                   blas::Trans::Trans, In_, C, r.size(), 1.0,
-                   X.data() + r.begin * In_, In_, Kt, C, 0.0, Mt, In_,
+                   blas::Trans::Trans, In_, C, r.size(), T{1},
+                   X.data() + r.begin * In_, In_, Kt, C, T{0}, Mt, In_,
                    /*threads=*/1, gws);
       } else {
         // mode == N-1: X(N-1) is In x cols row-major (ld = cols); a column
         // block is a row block of its column-major transpose view.
         blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                   blas::Trans::Trans, In_, C, r.size(), 1.0,
-                   X.data() + r.begin, cols, Kt, C, 0.0, Mt, In_,
+                   blas::Trans::Trans, In_, C, r.size(), T{1},
+                   X.data() + r.begin, cols, Kt, C, T{0}, Mt, In_,
                    /*threads=*/1, gws);
       }
     }
@@ -481,9 +499,10 @@ void MttkrpPlan::exec_onestep_external(const Tensor& X,
   reduce_partials(base, M, &timings_.reduce);
 }
 
-void MttkrpPlan::exec_onestep_internal(const Tensor& X,
-                                       std::span<const Matrix> factors,
-                                       Matrix& M, double* base) {
+template <typename T>
+void MttkrpPlanT<T>::exec_onestep_internal(const TensorT<T>& X,
+                                           std::span<const MatrixT<T>> factors,
+                                           MatrixT<T>& M, T* base) {
   const index_t C = rank_;
 
   // Left KRP precomputed in parallel (Alg 3 line 11).
@@ -493,7 +512,7 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
     pack(fl_left_, left_, base, packed_left_);
     krp_transposed_ws(left_, packed_left_, base, off_klt_, nt_);
   }
-  const double* KLt = base + off_klt_;
+  const T* KLt = base + off_klt_;
   gather_factors(factors, List::Right, fl_right_);
   std::fill(t_a_.begin(), t_a_.end(), 0.0);
 
@@ -503,19 +522,19 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
   // Strided over the planned nt_ partitions (see exec_onestep_external);
   // the zero-fill of ALL nt_ partial outputs rides along so every slot
   // reads as zero in the reduction even when its block is empty.
-  double* Kt = base + off_kt_full_;
+  T* Kt = base + off_kt_full_;
   parallel_region(nt_, [&](int t, int nteam) {
     for (int b = t; b < nt_; b += nteam) {
       const std::size_t sb = static_cast<std::size_t>(b);
       const Range r = block_range(IRn_, nt_, b);
-      double* Mt = base + off_partials_ + sb * stride_partial_;
-      std::fill(Mt, Mt + In_ * C, 0.0);
+      T* Mt = base + off_partials_ + sb * stride_partial_;
+      std::fill(Mt, Mt + In_ * C, T{0});
       if (r.empty()) continue;
-      double* krrow = base + off_thread_row_ + sb * stride_thread_row_;
+      T* krrow = base + off_thread_row_ + sb * stride_thread_row_;
       index_t* dg = digits_.data() + sb * digits_stride_;
       PhaseTimer pt(&t_a_[sb]);
       for (index_t j = r.begin; j < r.end; ++j) {
-        double* Ktile = Kt + j * ILn_ * C;
+        T* Ktile = Kt + j * ILn_ * C;
         krp_row_ws(fl_right_, right_.extents, j, C, krrow, dg);
         for (index_t rl = 0; rl < ILn_; ++rl) {
           blas::hadamard(C, krrow, KLt + rl * C, Ktile + rl * C);
@@ -536,7 +555,7 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
     index_t j = 0;
     for (int b = 0; b < nt_; ++b) {
       const Range r = block_range(IRn_, nt_, b);
-      double* Mt =
+      T* Mt =
           base + off_partials_ + static_cast<std::size_t>(b) * stride_partial_;
       for (; j < r.end; ++j) {
         const std::size_t sj = static_cast<std::size_t>(j);
@@ -546,11 +565,11 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
       }
     }
     blas::gemm_batched(blas::Layout::ColMajor, blas::Trans::Trans,
-                       blas::Trans::Trans, In_, C, ILn_, 1.0, batch_a_.data(),
-                       ILn_, batch_b_.data(), C, 1.0, batch_c_.data(), In_,
+                       blas::Trans::Trans, In_, C, ILn_, T{1}, batch_a_.data(),
+                       ILn_, batch_b_.data(), C, T{1}, batch_c_.data(), In_,
                        IRn_, nt_,
-                       blas::GemmWorkspace{base + off_gemm_ws_,
-                                           gemm_ws_doubles_});
+                       blas::typed_workspace(base + off_gemm_ws_,
+                                             gemm_ws_elems_));
   }
   reduce_partials(base, M, &timings_.reduce);
 }
@@ -558,8 +577,10 @@ void MttkrpPlan::exec_onestep_internal(const Tensor& X,
 // ---------------------------------------------------------------------------
 // Algorithm 4: 2-step (Phan et al.).
 // ---------------------------------------------------------------------------
-void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
-                              Matrix& M, double* base) {
+template <typename T>
+void MttkrpPlanT<T>::exec_twostep(const TensorT<T>& X,
+                                  std::span<const MatrixT<T>> factors,
+                                  MatrixT<T>& M, T* base) {
   const index_t N = static_cast<index_t>(dims_.size());
   const index_t C = rank_;
 
@@ -577,36 +598,37 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
       krp_transposed_ws(right_, packed_right_, base, off_krt_, nt_);
     }
   }
-  const double* KLt = base + off_klt_;
-  const double* KRt = base + off_krt_;
-  const blas::GemmWorkspace gws{base + off_gemm_ws_, gemm_ws_doubles_};
+  const T* KLt = base + off_klt_;
+  const T* KRt = base + off_krt_;
+  const blas::GemmWorkspace gws =
+      blas::typed_workspace(base + off_gemm_ws_, gemm_ws_elems_);
 
   if (mode_ == 0) {
     // Degenerate: the right partial MTTKRP IS the answer (full MTTKRP).
     PhaseTimer pt(&timings_.gemm);
     blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-               blas::Trans::Trans, In_, C, IRn_, 1.0, X.data(), In_, KRt, C,
-               0.0, M.data(), M.ld(), nt_, gws);
+               blas::Trans::Trans, In_, C, IRn_, T{1}, X.data(), In_, KRt, C,
+               T{0}, M.data(), M.ld(), nt_, gws);
     return;
   }
   if (mode_ == N - 1) {
     // Degenerate: the left partial MTTKRP is the answer.
     PhaseTimer pt(&timings_.gemm);
     blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans, blas::Trans::Trans,
-               In_, C, ILn_, 1.0, X.data(), ILn_, KLt, C, 0.0, M.data(),
+               In_, C, ILn_, T{1}, X.data(), ILn_, KLt, C, T{0}, M.data(),
                M.ld(), nt_, gws);
     return;
   }
 
-  double* inter = base + off_inter_;
+  T* inter = base + off_inter_;
   if (twostep_left_) {
     // L(0:N-n-1) = X(0:n-1)^T * K_L (line 5): X(0:n-1) is I_Ln x (I_n I_Rn)
     // column-major, so the product is one GEMM with A transposed.
     {
       PhaseTimer pt(&timings_.gemm);
       blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, In_ * IRn_, C, ILn_, 1.0, X.data(), ILn_,
-                 KLt, C, 0.0, inter, In_ * IRn_, nt_, gws);
+                 blas::Trans::Trans, In_ * IRn_, C, ILn_, T{1}, X.data(),
+                 ILn_, KLt, C, T{0}, inter, In_ * IRn_, nt_, gws);
     }
     PhaseTimer pt(&timings_.gemv);
     multi_ttv_left(inter, In_, IRn_, C, KRt, C, M, nt_);
@@ -616,8 +638,8 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
     {
       PhaseTimer pt(&timings_.gemm);
       blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::Trans, ILn_ * In_, C, IRn_, 1.0, X.data(),
-                 ILn_ * In_, KRt, C, 0.0, inter, ILn_ * In_, nt_, gws);
+                 blas::Trans::Trans, ILn_ * In_, C, IRn_, T{1}, X.data(),
+                 ILn_ * In_, KRt, C, T{0}, inter, ILn_ * In_, nt_, gws);
     }
     PhaseTimer pt(&timings_.gemv);
     multi_ttv_right(inter, In_, ILn_, C, KLt, C, M, nt_);
@@ -625,21 +647,25 @@ void MttkrpPlan::exec_twostep(const Tensor& X, std::span<const Matrix> factors,
 }
 
 /// M = sum_t Mt over the thread-private partials, parallelized by rows.
-void MttkrpPlan::reduce_partials(double* base, Matrix& M,
-                                 double* reduce_time) {
+template <typename T>
+void MttkrpPlanT<T>::reduce_partials(T* base, MatrixT<T>& M,
+                                     double* reduce_time) {
   PhaseTimer pt(reduce_time);
   const index_t total = M.size();
-  double* out = M.data();
+  T* out = M.data();
   parallel_region(nt_, [&](int t, int nteam) {
     const Range r = block_range(total, nteam, t);
     if (r.empty()) return;
-    std::fill(out + r.begin, out + r.end, 0.0);
+    std::fill(out + r.begin, out + r.end, T{0});
     for (int p = 0; p < nt_; ++p) {
-      const double* src =
+      const T* src =
           base + off_partials_ + static_cast<std::size_t>(p) * stride_partial_;
       for (index_t i = r.begin; i < r.end; ++i) out[i] += src[i];
     }
   });
 }
+
+template class MttkrpPlanT<double>;
+template class MttkrpPlanT<float>;
 
 }  // namespace dmtk

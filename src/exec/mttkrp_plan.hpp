@@ -37,6 +37,12 @@
 /// (timings()/reset_timings()), replacing the `MttkrpTimings*` out-pointer
 /// of the legacy free function — which survives as a thin wrapper that
 /// builds a transient plan (see core/mttkrp.hpp).
+///
+/// The whole plan is templated on the scalar type: MttkrpPlanT<float>
+/// halves the bytes of every matricized pass and KRP, which is the paper's
+/// bandwidth economy (`MttkrpPlan` = the double instantiation). All
+/// workspace offsets are in elements of T; the arena allocation is the
+/// byte-sized typed carve-out of exec_context.hpp.
 
 #include <span>
 #include <vector>
@@ -54,21 +60,25 @@ namespace dmtk {
 /// selection ablation can measure both.
 enum class TwoStepSide { Auto, Left, Right };
 
-class MttkrpPlan {
+template <typename T>
+class MttkrpPlanT {
  public:
+  using scalar_type = T;
+
   /// Plan the mode-`mode` MTTKRP of a tensor with extents `dims` against
   /// rank-`rank` factors. The context reference is retained; it must
   /// outlive the plan.
-  MttkrpPlan(const ExecContext& ctx, std::span<const index_t> dims,
-             index_t rank, index_t mode,
-             MttkrpMethod method = MttkrpMethod::Auto,
-             TwoStepSide side = TwoStepSide::Auto);
+  MttkrpPlanT(const ExecContext& ctx, std::span<const index_t> dims,
+              index_t rank, index_t mode,
+              MttkrpMethod method = MttkrpMethod::Auto,
+              TwoStepSide side = TwoStepSide::Auto);
 
   /// Run the planned MTTKRP: M = X(mode) * KRP(factors except mode).
   /// X must have the planned extents and `factors` one conforming matrix
   /// per mode. M is resized on shape mismatch (allocation-free when the
   /// caller keeps it across calls, the ALS pattern).
-  void execute(const Tensor& X, std::span<const Matrix> factors, Matrix& M);
+  void execute(const TensorT<T>& X, std::span<const MatrixT<T>> factors,
+               MatrixT<T>& M);
 
   [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
   [[nodiscard]] index_t rank() const { return rank_; }
@@ -81,8 +91,10 @@ class MttkrpPlan {
   /// 2-step side decision: true = left partial MTTKRP first. Meaningful
   /// only when resolved_method() == TwoStep on an internal mode.
   [[nodiscard]] bool uses_left() const { return twostep_left_; }
-  /// Arena doubles one execute() draws (already reserved in the context).
-  [[nodiscard]] std::size_t workspace_doubles() const { return ws_doubles_; }
+  /// Arena bytes one execute() draws (already reserved in the context).
+  [[nodiscard]] std::size_t workspace_bytes() const {
+    return ws_elems_ * sizeof(T);
+  }
 
   /// Phase breakdown accumulated over every execute() since construction
   /// or the last reset_timings().
@@ -106,34 +118,37 @@ class MttkrpPlan {
   enum class List { Full, Left, Right };
 
   // Fill `fl` (preallocated) with current-factor pointers per layout order.
-  void gather_factors(std::span<const Matrix> factors, List which,
-                      FactorList& fl) const;
+  void gather_factors(std::span<const MatrixT<T>> factors, List which,
+                      FactorListT<T>& fl) const;
 
   // Pack the factor list transposed (C x J_z panels) into the workspace.
-  void pack(const FactorList& fl, const KrpLayout& lay, double* base,
-            std::vector<const double*>& packed) const;
+  void pack(const FactorListT<T>& fl, const KrpLayout& lay, T* base,
+            std::vector<const T*>& packed) const;
 
   // Parallel transposed-KRP generation into ws block `off` (C x rows) from
   // already-packed panels.
   void krp_transposed_ws(const KrpLayout& lay,
-                         std::span<const double* const> packed, double* base,
+                         std::span<const T* const> packed, T* base,
                          std::size_t off, int threads);
 
   // Method bodies (mirror the algorithms of core/mttkrp.cpp).
-  void exec_reference(const Tensor& X, std::span<const Matrix> factors,
-                      Matrix& M);
-  void exec_reorder(const Tensor& X, std::span<const Matrix> factors,
-                    Matrix& M, double* base);
-  void exec_onestep_seq(const Tensor& X, std::span<const Matrix> factors,
-                        Matrix& M, double* base);
-  void exec_onestep_external(const Tensor& X, std::span<const Matrix> factors,
-                             Matrix& M, double* base);
-  void exec_onestep_internal(const Tensor& X, std::span<const Matrix> factors,
-                             Matrix& M, double* base);
-  void exec_twostep(const Tensor& X, std::span<const Matrix> factors,
-                    Matrix& M, double* base);
+  void exec_reference(const TensorT<T>& X, std::span<const MatrixT<T>> factors,
+                      MatrixT<T>& M);
+  void exec_reorder(const TensorT<T>& X, std::span<const MatrixT<T>> factors,
+                    MatrixT<T>& M, T* base);
+  void exec_onestep_seq(const TensorT<T>& X,
+                        std::span<const MatrixT<T>> factors, MatrixT<T>& M,
+                        T* base);
+  void exec_onestep_external(const TensorT<T>& X,
+                             std::span<const MatrixT<T>> factors,
+                             MatrixT<T>& M, T* base);
+  void exec_onestep_internal(const TensorT<T>& X,
+                             std::span<const MatrixT<T>> factors,
+                             MatrixT<T>& M, T* base);
+  void exec_twostep(const TensorT<T>& X, std::span<const MatrixT<T>> factors,
+                    MatrixT<T>& M, T* base);
 
-  void reduce_partials(double* base, Matrix& M, double* reduce_time);
+  void reduce_partials(T* base, MatrixT<T>& M, double* reduce_time);
 
   const ExecContext* ctx_;
   std::vector<index_t> dims_;
@@ -154,8 +169,8 @@ class MttkrpPlan {
   KrpLayout left_;   // modes n-1..0 (K_L)
   KrpLayout right_;  // modes N-1..n+1 (K_R)
 
-  // Workspace offsets (doubles from the frame base).
-  std::size_t ws_doubles_ = 0;
+  // Workspace offsets (elements of T from the frame base).
+  std::size_t ws_elems_ = 0;
   std::size_t off_kt_full_ = 0;      // C x cosize transposed full KRP
   std::size_t off_klt_ = 0;          // C x ILn transposed left partial KRP
   std::size_t off_krt_ = 0;          // C x IRn transposed right partial KRP
@@ -172,19 +187,19 @@ class MttkrpPlan {
   std::size_t off_kcol_ = 0;         // Reorder: column-wise KRP (J x C)
   std::size_t off_acc_ = 0;          // Reorder: two Kronecker accumulators
   std::size_t off_gemm_ws_ = 0;      // BLAS packing workspace block
-  std::size_t gemm_ws_doubles_ = 0;  // its size (whole-team calls)
+  std::size_t gemm_ws_elems_ = 0;    // its size (whole-team calls)
   std::size_t stride_gemm_ws_ = 0;   // per-thread slice (worker-local GEMMs)
 
   // Small preallocated scratch so execute() itself never allocates.
-  FactorList fl_full_;
-  FactorList fl_left_;
-  FactorList fl_right_;
-  std::vector<const double*> packed_full_;
-  std::vector<const double*> packed_left_;
-  std::vector<const double*> packed_right_;
-  std::vector<const double*> batch_a_;  // internal-mode batched-GEMM items:
-  std::vector<const double*> batch_b_;  // X(n) block / KRP tile / partial
-  std::vector<double*> batch_c_;        // per item (size I_Rn)
+  FactorListT<T> fl_full_;
+  FactorListT<T> fl_left_;
+  FactorListT<T> fl_right_;
+  std::vector<const T*> packed_full_;
+  std::vector<const T*> packed_left_;
+  std::vector<const T*> packed_right_;
+  std::vector<const T*> batch_a_;  // internal-mode batched-GEMM items:
+  std::vector<const T*> batch_b_;  // X(n) block / KRP tile / partial
+  std::vector<T*> batch_c_;        // per item (size I_Rn)
   std::vector<index_t> digits_;      // nt * max-list-size mixed-radix digits
   std::size_t digits_stride_ = 0;
   std::vector<index_t> ref_idx_;     // Reference-method multi-index
@@ -193,5 +208,12 @@ class MttkrpPlan {
 
   MttkrpTimings timings_;
 };
+
+extern template class MttkrpPlanT<double>;
+extern template class MttkrpPlanT<float>;
+
+/// The library's default (double) plan and its fp32 sibling.
+using MttkrpPlan = MttkrpPlanT<double>;
+using MttkrpPlanF = MttkrpPlanT<float>;
 
 }  // namespace dmtk

@@ -38,7 +38,7 @@ SparseMttkrpPlan::SparseMttkrpPlan(const ExecContext& ctx,
         tn[static_cast<std::size_t>(t)] = block_range(roots, nt_, t);
       }
     }
-    stride_scratch_ = WorkspaceArena::aligned(
+    stride_scratch_ = WorkspaceArena::aligned_count<double>(
         sparse::csf_mttkrp_scratch_doubles(N, rank_));
     ws_doubles_ = static_cast<std::size_t>(nt_) * stride_scratch_;
   } else {
@@ -47,13 +47,14 @@ SparseMttkrpPlan::SparseMttkrpPlan(const ExecContext& ctx,
     // kernel heap-allocated on every call.
     index_t max_in = 0;
     for (index_t d : dims_) max_in = std::max(max_in, d);
-    stride_partial_ = WorkspaceArena::aligned(
+    stride_partial_ = WorkspaceArena::aligned_count<double>(
         static_cast<std::size_t>(max_in) * static_cast<std::size_t>(rank_));
-    stride_row_ = WorkspaceArena::aligned(static_cast<std::size_t>(rank_));
+    stride_row_ =
+        WorkspaceArena::aligned_count<double>(static_cast<std::size_t>(rank_));
     off_row_ = static_cast<std::size_t>(nt_) * stride_partial_;
     ws_doubles_ = off_row_ + static_cast<std::size_t>(nt_) * stride_row_;
   }
-  ctx.arena().reserve(ws_doubles_);
+  ctx.arena().reserve<double>(ws_doubles_);
 }
 
 const sparse::CsfTensor& SparseMttkrpPlan::csf(index_t mode) const {
@@ -81,7 +82,7 @@ void SparseMttkrpPlan::execute(index_t mode, std::span<const Matrix> factors,
 
   WallTimer timer;
   WorkspaceArena::Frame frame(ctx_->arena());
-  double* base = ws_doubles_ > 0 ? frame.alloc(ws_doubles_) : nullptr;
+  double* base = ws_doubles_ > 0 ? frame.alloc<double>(ws_doubles_) : nullptr;
   if (kernel_ == SparseMttkrpKernel::Csf) {
     exec_csf(mode, factors, M, base);
   } else {

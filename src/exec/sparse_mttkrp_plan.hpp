@@ -71,8 +71,10 @@ class SparseMttkrpPlan {
   }
   /// What execute() actually runs (never Auto).
   [[nodiscard]] SparseMttkrpKernel kernel() const { return kernel_; }
-  /// Arena doubles one execute() draws (already reserved in the context).
-  [[nodiscard]] std::size_t workspace_doubles() const { return ws_doubles_; }
+  /// Arena bytes one execute() draws (already reserved in the context).
+  [[nodiscard]] std::size_t workspace_bytes() const {
+    return ws_doubles_ * sizeof(double);
+  }
   /// The tensor the plan was built against.
   [[nodiscard]] const sparse::SparseTensor& tensor() const { return *X_; }
   /// Csf kernel only: the mode-rooted CSF built for `mode` (tests and

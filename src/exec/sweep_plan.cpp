@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 #include "blas/blas.hpp"
 #include "core/krp_detail.hpp"
@@ -49,10 +50,11 @@ index_t sweep_balanced_split(std::span<const index_t> dims, index_t a,
   return best;
 }
 
-CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
-                               std::span<const index_t> dims, index_t rank,
-                               SweepScheme scheme, MttkrpMethod method,
-                               int max_levels)
+template <typename T>
+CpAlsSweepPlanT<T>::CpAlsSweepPlanT(const ExecContext& ctx,
+                                    std::span<const index_t> dims,
+                                    index_t rank, SweepScheme scheme,
+                                    MttkrpMethod method, int max_levels)
     : ctx_(&ctx),
       dims_(dims.begin(), dims.end()),
       rank_(rank),
@@ -100,14 +102,15 @@ CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
     const Node& nd = nodes_[id];
     if (!nd.leaf) continue;
     std::vector<int>& path = leaf_path_[static_cast<std::size_t>(nd.a)];
-    for (int v = static_cast<int>(id); v >= 0; v = nodes_[static_cast<std::size_t>(v)].parent) {
+    for (int v = static_cast<int>(id); v >= 0;
+         v = nodes_[static_cast<std::size_t>(v)].parent) {
       path.push_back(v);
     }
     std::reverse(path.begin(), path.end());
   }
 
   plan_node_layout();
-  ctx.arena().reserve(ws_doubles_);
+  ctx.arena().template reserve<T>(ws_elems_);
 
   timings_.nodes.resize(nodes_.size());
   for (std::size_t id = 0; id < nodes_.size(); ++id) {
@@ -127,51 +130,60 @@ CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
   batch_c_.resize(static_cast<std::size_t>(rank_));
 }
 
-CpAlsSweepPlan::CpAlsSweepPlan(const ExecContext& ctx,
-                               const sparse::SparseTensor& X, index_t rank,
-                               SweepScheme scheme)
-    : ctx_(&ctx),
-      dims_(X.dims().begin(), X.dims().end()),
-      rank_(rank),
-      requested_(scheme) {
-  const index_t N = static_cast<index_t>(dims_.size());
-  DMTK_CHECK(N >= 2, "sweep plan: tensor must have at least 2 modes");
-  DMTK_CHECK(rank >= 1, "sweep plan: rank must be positive");
-  nt_ = ctx.threads();
-  // Sparse input resolves Auto to the CSF kernel; the dense heuristic of
-  // resolve_sweep_scheme never applies here (and dense schemes are
-  // rejected — a sparse tensor has no dense matricization to sweep).
-  scheme_ = resolve_sparse_sweep_scheme(scheme);
-  DMTK_CHECK(
-      scheme_ == SweepScheme::SparseCsf || scheme_ == SweepScheme::SparseCoo,
-      "sweep plan: dense scheme requested for a sparse tensor — use "
-      "SweepScheme::SparseCsf / SparseCoo (or Auto)");
-  levels_ = 0;
-  sparse_plan_ = std::make_unique<SparseMttkrpPlan>(
-      ctx, X, rank,
-      scheme_ == SweepScheme::SparseCsf ? SparseMttkrpKernel::Csf
-                                        : SparseMttkrpKernel::Coo);
-  ws_doubles_ = sparse_plan_->workspace_doubles();
-  timings_.nodes.reserve(static_cast<std::size_t>(N));
-  for (index_t n = 0; n < N; ++n) {
-    SweepNodeTimings tm;
-    tm.first = n;
-    tm.last = n + 1;
-    tm.leaf = true;
-    timings_.nodes.push_back(tm);
+template <typename T>
+CpAlsSweepPlanT<T>::CpAlsSweepPlanT(const ExecContext& ctx,
+                                    const sparse::SparseTensor& X,
+                                    index_t rank, SweepScheme scheme)
+    : ctx_(&ctx), rank_(rank), requested_(scheme) {
+  if constexpr (!std::is_same_v<T, double>) {
+    (void)X;
+    DMTK_CHECK(false,
+               "sweep plan: the sparse schemes are double-only — build a "
+               "CpAlsSweepPlan (not CpAlsSweepPlanF) for sparse input");
+  } else {
+    dims_.assign(X.dims().begin(), X.dims().end());
+    const index_t N = static_cast<index_t>(dims_.size());
+    DMTK_CHECK(N >= 2, "sweep plan: tensor must have at least 2 modes");
+    DMTK_CHECK(rank >= 1, "sweep plan: rank must be positive");
+    nt_ = ctx.threads();
+    // Sparse input resolves Auto to the CSF kernel; the dense heuristic of
+    // resolve_sweep_scheme never applies here (and dense schemes are
+    // rejected — a sparse tensor has no dense matricization to sweep).
+    scheme_ = resolve_sparse_sweep_scheme(scheme);
+    DMTK_CHECK(
+        scheme_ == SweepScheme::SparseCsf || scheme_ == SweepScheme::SparseCoo,
+        "sweep plan: dense scheme requested for a sparse tensor — use "
+        "SweepScheme::SparseCsf / SparseCoo (or Auto)");
+    levels_ = 0;
+    sparse_plan_ = std::make_unique<SparseMttkrpPlan>(
+        ctx, X, rank,
+        scheme_ == SweepScheme::SparseCsf ? SparseMttkrpKernel::Csf
+                                          : SparseMttkrpKernel::Coo);
+    sparse_ws_bytes_ = sparse_plan_->workspace_bytes();
+    timings_.nodes.reserve(static_cast<std::size_t>(N));
+    for (index_t n = 0; n < N; ++n) {
+      SweepNodeTimings tm;
+      tm.first = n;
+      tm.last = n + 1;
+      tm.leaf = true;
+      timings_.nodes.push_back(tm);
+    }
   }
 }
 
-CpAlsSweepPlan::~CpAlsSweepPlan() = default;
+template <typename T>
+CpAlsSweepPlanT<T>::~CpAlsSweepPlanT() = default;
 
-const SparseMttkrpPlan& CpAlsSweepPlan::sparse_plan() const {
+template <typename T>
+const SparseMttkrpPlan& CpAlsSweepPlanT<T>::sparse_plan() const {
   DMTK_CHECK(sparse_plan_ != nullptr,
              "sweep plan: sparse_plan() requires a sparse scheme");
   return *sparse_plan_;
 }
 
-int CpAlsSweepPlan::build_tree(index_t a, index_t b, int depth, int parent,
-                               int max_levels) {
+template <typename T>
+int CpAlsSweepPlanT<T>::build_tree(index_t a, index_t b, int depth, int parent,
+                                   int max_levels) {
   const int id = static_cast<int>(nodes_.size());
   nodes_.push_back({});
   {
@@ -186,7 +198,8 @@ int CpAlsSweepPlan::build_tree(index_t a, index_t b, int depth, int parent,
     }
     nd.leaf = (b - a == 1);
     // Sibling-interval trims relative to the parent interval.
-    const index_t pa = parent < 0 ? 0 : nodes_[static_cast<std::size_t>(parent)].a;
+    const index_t pa =
+        parent < 0 ? 0 : nodes_[static_cast<std::size_t>(parent)].a;
     const index_t pb = parent < 0 ? static_cast<index_t>(dims_.size())
                                   : nodes_[static_cast<std::size_t>(parent)].b;
     auto fill_trim = [&](TrimSpec& t, index_t u, index_t v) {
@@ -225,7 +238,8 @@ int CpAlsSweepPlan::build_tree(index_t a, index_t b, int depth, int parent,
   return id;
 }
 
-void CpAlsSweepPlan::plan_node_layout() {
+template <typename T>
+void CpAlsSweepPlanT<T>::plan_node_layout() {
   const index_t C = rank_;
   const std::size_t snt = static_cast<std::size_t>(nt_);
 
@@ -239,7 +253,7 @@ void CpAlsSweepPlan::plan_node_layout() {
     if (nd.leaf) continue;  // leaves write the caller's M
     slot[static_cast<std::size_t>(nd.depth)] =
         std::max(slot[static_cast<std::size_t>(nd.depth)],
-                 WorkspaceArena::aligned(
+                 WorkspaceArena::aligned_count<T>(
                      static_cast<std::size_t>(nd.out_rows * C)));
   }
   std::vector<std::size_t> level_base(slot.size(), 0);
@@ -248,7 +262,7 @@ void CpAlsSweepPlan::plan_node_layout() {
     level_base[d] = top;
     top += slot[d];
   }
-  inter_doubles_ = top;
+  inter_elems_ = top;
   for (Node& nd : nodes_) {
     if (!nd.leaf) nd.off_out = level_base[static_cast<std::size_t>(nd.depth)];
   }
@@ -257,13 +271,13 @@ void CpAlsSweepPlan::plan_node_layout() {
   // factor panels + transposed-KRP buffer per trim, the two-trim mid
   // intermediate, per-thread partial-Hadamard scratch, and the GEMM
   // packing workspace.
-  scratch_base_ = inter_doubles_;
+  scratch_base_ = inter_elems_;
   std::size_t scratch_max = 0;
   for (Node& nd : nodes_) {
     std::size_t off = 0;
-    auto take = [&off](std::size_t doubles) {
+    auto take = [&off](std::size_t elems) {
       const std::size_t at = off;
-      off += WorkspaceArena::aligned(doubles);
+      off += WorkspaceArena::aligned_count<T>(elems);
       return at;
     };
     std::size_t p_need = 0;
@@ -284,38 +298,39 @@ void CpAlsSweepPlan::plan_node_layout() {
       nd.off_t = take(static_cast<std::size_t>(nd.t_rows * C));
     }
     if (p_need > 0) {
-      nd.stride_p = WorkspaceArena::aligned(p_need);
+      nd.stride_p = WorkspaceArena::aligned_count<T>(p_need);
       nd.off_p = take(snt * nd.stride_p);
     }
     if (nd.parent < 0) {
       const TrimSpec& t = nd.right.empty() ? nd.left : nd.right;
-      nd.gws_doubles = blas::gemm_workspace_doubles(nd.out_rows, C, t.rows,
-                                                    nt_);
+      nd.gws_elems = blas::gemm_workspace_elems<T>(nd.out_rows, C, t.rows,
+                                                   nt_);
     } else {
       std::size_t need = 0;
       if (!nd.left.empty() && !nd.right.empty()) {
         const TrimSpec& first = nd.left_first ? nd.left : nd.right;
         const TrimSpec& second = nd.left_first ? nd.right : nd.left;
         need = std::max(
-            blas::gemm_batched_workspace_doubles(nd.t_rows, 1, first.rows,
-                                                 nt_),
-            blas::gemm_batched_workspace_doubles(nd.out_rows, 1, second.rows,
-                                                 nt_));
+            blas::gemm_batched_workspace_elems<T>(nd.t_rows, 1, first.rows,
+                                                  nt_),
+            blas::gemm_batched_workspace_elems<T>(nd.out_rows, 1, second.rows,
+                                                  nt_));
       } else {
         const TrimSpec& t = nd.right.empty() ? nd.left : nd.right;
-        need = blas::gemm_batched_workspace_doubles(nd.out_rows, 1, t.rows,
-                                                    nt_);
+        need = blas::gemm_batched_workspace_elems<T>(nd.out_rows, 1, t.rows,
+                                                     nt_);
       }
-      nd.gws_doubles = need;
+      nd.gws_elems = need;
     }
-    nd.off_gws = take(nd.gws_doubles);
-    nd.scratch_doubles = off;
+    nd.off_gws = take(nd.gws_elems);
+    nd.scratch_elems = off;
     scratch_max = std::max(scratch_max, off);
   }
-  ws_doubles_ = inter_doubles_ + scratch_max;
+  ws_elems_ = inter_elems_ + scratch_max;
 }
 
-void CpAlsSweepPlan::begin_sweep(const Tensor& X) {
+template <typename T>
+void CpAlsSweepPlanT<T>::begin_sweep(const TensorT<T>& X) {
   const index_t N = static_cast<index_t>(dims_.size());
   DMTK_CHECK(!is_sparse(),
              "sweep plan: dense begin_sweep on a sparse-scheme plan");
@@ -331,31 +346,38 @@ void CpAlsSweepPlan::begin_sweep(const Tensor& X) {
     for (Node& nd : nodes_) nd.fresh = false;
     frame_.reset();  // tolerate an abandoned previous sweep
     frame_.emplace(ctx_->arena());
-    base_ = ws_doubles_ > 0 ? frame_->alloc(ws_doubles_) : nullptr;
+    base_ = ws_elems_ > 0 ? frame_->template alloc<T>(ws_elems_) : nullptr;
   }
 }
 
-void CpAlsSweepPlan::begin_sweep(const sparse::SparseTensor& X) {
-  const index_t N = static_cast<index_t>(dims_.size());
-  DMTK_CHECK(is_sparse(),
-             "sweep plan: sparse begin_sweep on a dense-scheme plan");
-  DMTK_CHECK(X.order() == N, "sweep plan: tensor order mismatch");
-  for (index_t n = 0; n < N; ++n) {
-    DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
-               "sweep plan: tensor extents differ from the planned shape");
+template <typename T>
+void CpAlsSweepPlanT<T>::begin_sweep(const sparse::SparseTensor& X) {
+  if constexpr (!std::is_same_v<T, double>) {
+    (void)X;
+    DMTK_CHECK(false, "sweep plan: sparse sweeps are double-only");
+  } else {
+    const index_t N = static_cast<index_t>(dims_.size());
+    DMTK_CHECK(is_sparse(),
+               "sweep plan: sparse begin_sweep on a dense-scheme plan");
+    DMTK_CHECK(X.order() == N, "sweep plan: tensor order mismatch");
+    for (index_t n = 0; n < N; ++n) {
+      DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
+                 "sweep plan: tensor extents differ from the planned shape");
+    }
+    // The sparse plan bound its tensor at construction; a different nonzero
+    // count here means the caller swapped tensors under the plan.
+    DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
+               "sweep plan: sparse tensor differs from the one planned for");
+    next_mode_ = 0;
+    sweep_active_ = true;
+    sweep_seconds_ = 0.0;
   }
-  // The sparse plan bound its tensor at construction; a different nonzero
-  // count here means the caller swapped tensors under the plan.
-  DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
-             "sweep plan: sparse tensor differs from the one planned for");
-  next_mode_ = 0;
-  sweep_active_ = true;
-  sweep_seconds_ = 0.0;
 }
 
-void CpAlsSweepPlan::check_mode_request(index_t n,
-                                        std::span<const Matrix> factors,
-                                        Matrix& M) {
+template <typename T>
+void CpAlsSweepPlanT<T>::check_mode_request(index_t n,
+                                            std::span<const MatrixT<T>> factors,
+                                            MatrixT<T>& M) {
   const index_t N = static_cast<index_t>(dims_.size());
   DMTK_CHECK(sweep_active_, "sweep plan: begin_sweep() before mode_mttkrp()");
   DMTK_CHECK(n == next_mode_,
@@ -363,16 +385,17 @@ void CpAlsSweepPlan::check_mode_request(index_t n,
   DMTK_CHECK(static_cast<index_t>(factors.size()) == N,
              "sweep plan: need one factor matrix per mode");
   for (index_t k = 0; k < N; ++k) {
-    const Matrix& U = factors[static_cast<std::size_t>(k)];
+    const MatrixT<T>& U = factors[static_cast<std::size_t>(k)];
     DMTK_CHECK(U.cols() == rank_, "sweep plan: factors disagree on rank");
     DMTK_CHECK(U.rows() == dims_[static_cast<std::size_t>(k)],
                "sweep plan: factor rows != mode size");
   }
   const index_t In = dims_[static_cast<std::size_t>(n)];
-  if (M.rows() != In || M.cols() != rank_) M = Matrix(In, rank_);
+  if (M.rows() != In || M.cols() != rank_) M = MatrixT<T>(In, rank_);
 }
 
-void CpAlsSweepPlan::finish_mode(double seconds) {
+template <typename T>
+void CpAlsSweepPlanT<T>::finish_mode(double seconds) {
   sweep_seconds_ += seconds;
   timings_.mttkrp_seconds += seconds;
   ++next_mode_;
@@ -383,8 +406,10 @@ void CpAlsSweepPlan::finish_mode(double seconds) {
   }
 }
 
-void CpAlsSweepPlan::mode_mttkrp(index_t n, const Tensor& X,
-                                 std::span<const Matrix> factors, Matrix& M) {
+template <typename T>
+void CpAlsSweepPlanT<T>::mode_mttkrp(index_t n, const TensorT<T>& X,
+                                     std::span<const MatrixT<T>> factors,
+                                     MatrixT<T>& M) {
   DMTK_CHECK(!is_sparse(),
              "sweep plan: dense mode_mttkrp on a sparse-scheme plan");
   check_mode_request(n, factors, M);
@@ -404,27 +429,38 @@ void CpAlsSweepPlan::mode_mttkrp(index_t n, const Tensor& X,
   finish_mode(t.seconds());
 }
 
-void CpAlsSweepPlan::mode_mttkrp(index_t n, const sparse::SparseTensor& X,
-                                 std::span<const Matrix> factors, Matrix& M) {
-  DMTK_CHECK(is_sparse(),
-             "sweep plan: sparse mode_mttkrp on a dense-scheme plan");
-  DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
-             "sweep plan: sparse tensor differs from the one planned for");
-  check_mode_request(n, factors, M);
+template <typename T>
+void CpAlsSweepPlanT<T>::mode_mttkrp(index_t n, const sparse::SparseTensor& X,
+                                     std::span<const MatrixT<T>> factors,
+                                     MatrixT<T>& M) {
+  if constexpr (!std::is_same_v<T, double>) {
+    (void)n;
+    (void)X;
+    (void)factors;
+    (void)M;
+    DMTK_CHECK(false, "sweep plan: sparse sweeps are double-only");
+  } else {
+    DMTK_CHECK(is_sparse(),
+               "sweep plan: sparse mode_mttkrp on a dense-scheme plan");
+    DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
+               "sweep plan: sparse tensor differs from the one planned for");
+    check_mode_request(n, factors, M);
 
-  WallTimer t;
-  sparse_plan_->execute(n, factors, M);
-  SweepNodeTimings& tm = timings_.nodes[static_cast<std::size_t>(n)];
-  tm.contract_seconds += t.seconds();
-  ++tm.evals;
-  finish_mode(t.seconds());
+    WallTimer t;
+    sparse_plan_->execute(n, factors, M);
+    SweepNodeTimings& tm = timings_.nodes[static_cast<std::size_t>(n)];
+    tm.contract_seconds += t.seconds();
+    ++tm.evals;
+    finish_mode(t.seconds());
+  }
 }
 
-const double* CpAlsSweepPlan::form_trim_krp(const Node& nd,
-                                            const TrimSpec& trim,
-                                            std::span<const Matrix> factors) {
+template <typename T>
+const T* CpAlsSweepPlanT<T>::form_trim_krp(const Node& nd,
+                                           const TrimSpec& trim,
+                                           std::span<const MatrixT<T>> factors) {
   const index_t C = rank_;
-  double* scratch = base_ + scratch_base_;
+  T* scratch = base_ + scratch_base_;
   const std::size_t Z = trim.extents.size();
   fl_.resize(Z);
   std::size_t i = 0;
@@ -433,21 +469,23 @@ const double* CpAlsSweepPlan::form_trim_krp(const Node& nd,
   }
   packed_.resize(Z);
   for (std::size_t z = 0; z < Z; ++z) {
-    double* P = scratch + trim.packed_off[z];
+    T* P = scratch + trim.packed_off[z];
     detail::pack_factor_transposed(*fl_[z], C, P);
     packed_[z] = P;
   }
-  double* Kt = scratch + trim.off_krp;
-  detail::krp_transposed_blocks(packed_, trim.extents, C, trim.rows, nt_, Kt,
-                                scratch + nd.off_p, nd.stride_p,
-                                digits_.data(), digits_stride_);
+  T* Kt = scratch + trim.off_krp;
+  detail::krp_transposed_blocks<T>(packed_, trim.extents, C, trim.rows, nt_,
+                                   Kt, scratch + nd.off_p, nd.stride_p,
+                                   digits_.data(), digits_stride_);
   return Kt;
 }
 
-void CpAlsSweepPlan::contract_batched(const Node& nd, const double* src,
-                                      index_t src_rows, const TrimSpec& trim,
-                                      const double* krp, bool contract_left,
-                                      double* dst, index_t dst_rows) {
+template <typename T>
+void CpAlsSweepPlanT<T>::contract_batched(const Node& nd, const T* src,
+                                          index_t src_rows,
+                                          const TrimSpec& trim, const T* krp,
+                                          bool contract_left, T* dst,
+                                          index_t dst_rows) {
   const index_t C = rank_;
   // Component c of the source is a (trim.rows x dst_rows) [contract_left]
   // or (dst_rows x trim.rows) column-major block; its contraction against
@@ -462,22 +500,24 @@ void CpAlsSweepPlan::contract_batched(const Node& nd, const double* src,
     batch_b_[sc] = krp + c;
     batch_c_[sc] = dst + c * dst_rows;
   }
-  const blas::GemmWorkspace gws{base_ + scratch_base_ + nd.off_gws,
-                                nd.gws_doubles};
+  const blas::GemmWorkspace gws = blas::typed_workspace(
+      base_ + scratch_base_ + nd.off_gws, nd.gws_elems);
   blas::gemm_batched(blas::Layout::ColMajor,
                      contract_left ? blas::Trans::Trans
                                    : blas::Trans::NoTrans,
-                     blas::Trans::Trans, dst_rows, index_t{1}, trim.rows, 1.0,
+                     blas::Trans::Trans, dst_rows, index_t{1}, trim.rows, T{1},
                      batch_a_.data(), contract_left ? trim.rows : dst_rows,
-                     batch_b_.data(), C, 0.0, batch_c_.data(), dst_rows, C,
+                     batch_b_.data(), C, T{0}, batch_c_.data(), dst_rows, C,
                      nt_, gws);
 }
 
-void CpAlsSweepPlan::eval_node(int id, const Tensor& X,
-                               std::span<const Matrix> factors, Matrix* M) {
+template <typename T>
+void CpAlsSweepPlanT<T>::eval_node(int id, const TensorT<T>& X,
+                                   std::span<const MatrixT<T>> factors,
+                                   MatrixT<T>* M) {
   Node& nd = nodes_[static_cast<std::size_t>(id)];
   SweepNodeTimings& tm = timings_.nodes[static_cast<std::size_t>(id)];
-  double* out = nd.leaf ? M->data() : base_ + nd.off_out;
+  T* out = nd.leaf ? M->data() : base_ + nd.off_out;
 
   if (nd.parent < 0) {
     // Child of the root: the sweep's only full-tensor passes, as one plain
@@ -486,50 +526,50 @@ void CpAlsSweepPlan::eval_node(int id, const Tensor& X,
     const bool right = !nd.right.empty();
     const TrimSpec& trim = right ? nd.right : nd.left;
     WallTimer tk;
-    const double* krp = form_trim_krp(nd, trim, factors);
+    const T* krp = form_trim_krp(nd, trim, factors);
     tm.krp_seconds += tk.seconds();
     WallTimer tg;
-    const blas::GemmWorkspace gws{base_ + scratch_base_ + nd.off_gws,
-                                  nd.gws_doubles};
+    const blas::GemmWorkspace gws = blas::typed_workspace(
+        base_ + scratch_base_ + nd.off_gws, nd.gws_elems);
     if (right) {
       // [0, s): X(0:s-1) is out_rows x trim.rows column-major.
       blas::gemm(blas::Layout::ColMajor, blas::Trans::NoTrans,
-                 blas::Trans::Trans, nd.out_rows, rank_, trim.rows, 1.0,
-                 X.data(), nd.out_rows, krp, rank_, 0.0, out,
+                 blas::Trans::Trans, nd.out_rows, rank_, trim.rows, T{1},
+                 X.data(), nd.out_rows, krp, rank_, T{0}, out,
                  nd.leaf ? M->ld() : nd.out_rows, nt_, gws);
     } else {
       // [s, N): the transpose view of the same matricization.
       blas::gemm(blas::Layout::ColMajor, blas::Trans::Trans,
-                 blas::Trans::Trans, nd.out_rows, rank_, trim.rows, 1.0,
-                 X.data(), trim.rows, krp, rank_, 0.0, out,
+                 blas::Trans::Trans, nd.out_rows, rank_, trim.rows, T{1},
+                 X.data(), trim.rows, krp, rank_, T{0}, out,
                  nd.leaf ? M->ld() : nd.out_rows, nt_, gws);
     }
     tm.contract_seconds += tg.seconds();
   } else {
     const Node& par = nodes_[static_cast<std::size_t>(nd.parent)];
-    const double* src = base_ + par.off_out;
+    const T* src = base_ + par.off_out;
     if (!nd.left.empty() && !nd.right.empty()) {
       const TrimSpec& first = nd.left_first ? nd.left : nd.right;
       const TrimSpec& second = nd.left_first ? nd.right : nd.left;
-      double* T = base_ + scratch_base_ + nd.off_t;
+      T* Tbuf = base_ + scratch_base_ + nd.off_t;
       WallTimer tk1;
-      const double* k1 = form_trim_krp(nd, first, factors);
+      const T* k1 = form_trim_krp(nd, first, factors);
       tm.krp_seconds += tk1.seconds();
       WallTimer tg1;
-      contract_batched(nd, src, par.out_rows, first, k1, nd.left_first, T,
+      contract_batched(nd, src, par.out_rows, first, k1, nd.left_first, Tbuf,
                        nd.t_rows);
       tm.contract_seconds += tg1.seconds();
       WallTimer tk2;
-      const double* k2 = form_trim_krp(nd, second, factors);
+      const T* k2 = form_trim_krp(nd, second, factors);
       tm.krp_seconds += tk2.seconds();
       WallTimer tg2;
-      contract_batched(nd, T, nd.t_rows, second, k2, !nd.left_first, out,
+      contract_batched(nd, Tbuf, nd.t_rows, second, k2, !nd.left_first, out,
                        nd.out_rows);
       tm.contract_seconds += tg2.seconds();
     } else {
       const TrimSpec& trim = nd.right.empty() ? nd.left : nd.right;
       WallTimer tk;
-      const double* krp = form_trim_krp(nd, trim, factors);
+      const T* krp = form_trim_krp(nd, trim, factors);
       tm.krp_seconds += tk.seconds();
       WallTimer tg;
       contract_batched(nd, src, par.out_rows, trim, krp, nd.right.empty(),
@@ -541,21 +581,26 @@ void CpAlsSweepPlan::eval_node(int id, const Tensor& X,
   ++tm.evals;
 }
 
-MttkrpTimings CpAlsSweepPlan::per_mode_timings() const {
+template <typename T>
+MttkrpTimings CpAlsSweepPlanT<T>::per_mode_timings() const {
   MttkrpTimings total;
-  for (const MttkrpPlan& p : mode_plans_) total += p.timings();
+  for (const MttkrpPlanT<T>& p : mode_plans_) total += p.timings();
   return total;
 }
 
-void CpAlsSweepPlan::reset_timings() {
+template <typename T>
+void CpAlsSweepPlanT<T>::reset_timings() {
   timings_.mttkrp_seconds = 0.0;
   for (SweepNodeTimings& tm : timings_.nodes) {
     tm.evals = 0;
     tm.krp_seconds = 0.0;
     tm.contract_seconds = 0.0;
   }
-  for (MttkrpPlan& p : mode_plans_) p.reset_timings();
+  for (MttkrpPlanT<T>& p : mode_plans_) p.reset_timings();
   sweep_seconds_ = 0.0;
 }
+
+template class CpAlsSweepPlanT<double>;
+template class CpAlsSweepPlanT<float>;
 
 }  // namespace dmtk

@@ -35,7 +35,7 @@
 ///
 /// Cost: the root split is chosen to balance the two group sizes, so the
 /// tree touches all I tensor entries twice per sweep instead of ~N times,
-/// at an extra memory cost of about max(I_L, I_R) x C doubles for the
+/// at an extra memory cost of about max(I_L, I_R) x C elements for the
 /// deepest simultaneously-live intermediates (one per tree level; nodes at
 /// the same level reuse one slot because the in-order traversal keeps at
 /// most one alive). The expected per-sweep MTTKRP saving is ~N/2x for
@@ -54,6 +54,11 @@
 /// and closes after mode N-1 is served, so the arena reads as empty
 /// between sweeps. Do not construct other plans against the same context
 /// in the middle of a sweep (reserve() would invalidate the frame).
+///
+/// Templated on the scalar type like MttkrpPlan (`CpAlsSweepPlan` = the
+/// double instantiation). The sparse schemes are double-only for now (the
+/// CSF/COO kernels hold double values); requesting them from the float
+/// instantiation throws.
 
 #include <cstdint>
 #include <memory>
@@ -150,30 +155,36 @@ struct SweepTimings {
 /// the dimension tree (DimTree) or the per-mode MttkrpPlans (PerMode),
 /// lays out every intermediate and scratch buffer, and reserves the
 /// context arena once; sweeps then run heap-free.
-class CpAlsSweepPlan {
+template <typename T>
+class CpAlsSweepPlanT {
  public:
+  using scalar_type = T;
+
   /// Plan sweeps for a tensor with extents `dims` at rank `rank`. `method`
   /// selects the per-mode MTTKRP kernel (PerMode scheme only; the tree has
   /// its own contraction kernels). `max_levels` caps the tree's binary
   /// split depth: 0 = full tree (split to single modes), 1 = the one-level
   /// two-group scheme. The context must outlive the plan.
-  CpAlsSweepPlan(const ExecContext& ctx, std::span<const index_t> dims,
-                 index_t rank, SweepScheme scheme = SweepScheme::Auto,
-                 MttkrpMethod method = MttkrpMethod::Auto, int max_levels = 0);
+  CpAlsSweepPlanT(const ExecContext& ctx, std::span<const index_t> dims,
+                  index_t rank, SweepScheme scheme = SweepScheme::Auto,
+                  MttkrpMethod method = MttkrpMethod::Auto,
+                  int max_levels = 0);
 
   /// Plan sparse sweeps: Auto resolves to SparseCsf; only SparseCsf /
   /// SparseCoo are accepted (a dense scheme on sparse input throws, like a
   /// sparse scheme on the dense constructor). The SparseMttkrpPlan built
   /// here BINDS X — CSF construction happens now — so X must outlive the
-  /// plan and keep its values (see exec/sparse_mttkrp_plan.hpp).
-  CpAlsSweepPlan(const ExecContext& ctx, const sparse::SparseTensor& X,
-                 index_t rank, SweepScheme scheme = SweepScheme::Auto);
+  /// plan and keep its values (see exec/sparse_mttkrp_plan.hpp). The
+  /// sparse kernels are double-only: the float instantiation throws
+  /// (ROADMAP records the fp32 sparse path as a follow-on).
+  CpAlsSweepPlanT(const ExecContext& ctx, const sparse::SparseTensor& X,
+                  index_t rank, SweepScheme scheme = SweepScheme::Auto);
 
-  ~CpAlsSweepPlan();
+  ~CpAlsSweepPlanT();
 
   /// Start a sweep: marks every tree intermediate stale and opens the
   /// arena frame. X must have the planned extents.
-  void begin_sweep(const Tensor& X);
+  void begin_sweep(const TensorT<T>& X);
 
   /// Start a sweep over the bound sparse tensor; X must match the planned
   /// shape and nonzero count (sparse schemes only).
@@ -184,12 +195,12 @@ class CpAlsSweepPlan {
   /// — the discipline that makes the shared tree intermediates exact ALS.
   /// Factors are read at call time, so in-place updates between calls are
   /// what the plan expects.
-  void mode_mttkrp(index_t n, const Tensor& X, std::span<const Matrix> factors,
-                   Matrix& M);
+  void mode_mttkrp(index_t n, const TensorT<T>& X,
+                   std::span<const MatrixT<T>> factors, MatrixT<T>& M);
 
   /// Sparse-scheme form of mode_mttkrp (same in-order protocol).
   void mode_mttkrp(index_t n, const sparse::SparseTensor& X,
-                   std::span<const Matrix> factors, Matrix& M);
+                   std::span<const MatrixT<T>> factors, MatrixT<T>& M);
 
   [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
   [[nodiscard]] index_t rank() const { return rank_; }
@@ -199,10 +210,12 @@ class CpAlsSweepPlan {
   [[nodiscard]] SweepScheme scheme() const { return scheme_; }
   /// Deepest internal (splitting) level of the tree; 0 for PerMode.
   [[nodiscard]] int levels() const { return levels_; }
-  /// Arena doubles a DimTree sweep holds at its peak (0 for PerMode, whose
+  /// Arena bytes a DimTree sweep holds at its peak (0 for PerMode, whose
   /// per-mode plans size their own frames; the sparse schemes report their
   /// SparseMttkrpPlan's per-execute footprint).
-  [[nodiscard]] std::size_t workspace_doubles() const { return ws_doubles_; }
+  [[nodiscard]] std::size_t workspace_bytes() const {
+    return sparse_ws_bytes_ > 0 ? sparse_ws_bytes_ : ws_elems_ * sizeof(T);
+  }
 
   /// True for the SparseCsf / SparseCoo schemes.
   [[nodiscard]] bool is_sparse() const {
@@ -253,25 +266,25 @@ class CpAlsSweepPlan {
     std::size_t off_p = 0;    ///< per-thread partial-Hadamard scratch
     std::size_t stride_p = 0;
     std::size_t off_gws = 0;  ///< GEMM packing workspace
-    std::size_t gws_doubles = 0;
-    std::size_t scratch_doubles = 0;
+    std::size_t gws_elems = 0;
+    std::size_t scratch_elems = 0;
   };
 
   int build_tree(index_t a, index_t b, int depth, int parent, int max_levels);
   void plan_node_layout();
-  void eval_node(int id, const Tensor& X, std::span<const Matrix> factors,
-                 Matrix* M);
+  void eval_node(int id, const TensorT<T>& X,
+                 std::span<const MatrixT<T>> factors, MatrixT<T>* M);
   /// Form the transposed KRP (C x trim.rows) of factors [trim.u, trim.v)
   /// in the node's scratch; returns the buffer.
-  const double* form_trim_krp(const Node& nd, const TrimSpec& trim,
-                              std::span<const Matrix> factors);
+  const T* form_trim_krp(const Node& nd, const TrimSpec& trim,
+                         std::span<const MatrixT<T>> factors);
   /// One-sided batched contraction of `src` (src_rows x C, component-major)
   /// against the trim's KRP: contract_left=true removes the
   /// fastest-varying (leading) trim.rows index of each component block,
   /// else the slowest (trailing) one.
-  void contract_batched(const Node& nd, const double* src, index_t src_rows,
-                        const TrimSpec& trim, const double* krp,
-                        bool contract_left, double* dst, index_t dst_rows);
+  void contract_batched(const Node& nd, const T* src, index_t src_rows,
+                        const TrimSpec& trim, const T* krp,
+                        bool contract_left, T* dst, index_t dst_rows);
 
   const ExecContext* ctx_;
   std::vector<index_t> dims_;
@@ -283,33 +296,34 @@ class CpAlsSweepPlan {
 
   /// Shared mode_mttkrp protocol: in-order discipline + factor checks;
   /// resizes M. Returns once the request is valid.
-  void check_mode_request(index_t n, std::span<const Matrix> factors,
-                          Matrix& M);
+  void check_mode_request(index_t n, std::span<const MatrixT<T>> factors,
+                          MatrixT<T>& M);
   /// Shared bookkeeping after a mode is served (timing + protocol state).
   void finish_mode(double seconds);
 
   // PerMode state.
-  std::vector<MttkrpPlan> mode_plans_;
+  std::vector<MttkrpPlanT<T>> mode_plans_;
 
-  // Sparse state (SparseCsf / SparseCoo).
+  // Sparse state (SparseCsf / SparseCoo; double-only).
   std::unique_ptr<SparseMttkrpPlan> sparse_plan_;
+  std::size_t sparse_ws_bytes_ = 0;
 
   // DimTree state.
   std::vector<Node> nodes_;
   std::vector<std::vector<int>> leaf_path_;  ///< per mode: node ids, top down
-  std::size_t inter_doubles_ = 0;   ///< intermediates region (front)
+  std::size_t inter_elems_ = 0;     ///< intermediates region (front)
   std::size_t scratch_base_ = 0;    ///< per-eval scratch region (back)
-  std::size_t ws_doubles_ = 0;
+  std::size_t ws_elems_ = 0;
   std::optional<WorkspaceArena::Frame> frame_;
-  double* base_ = nullptr;
+  T* base_ = nullptr;
   // Preallocated small scratch so sweeps never allocate.
-  FactorList fl_;
-  std::vector<const double*> packed_;
+  FactorListT<T> fl_;
+  std::vector<const T*> packed_;
   std::vector<index_t> digits_;
   std::size_t digits_stride_ = 0;
-  std::vector<const double*> batch_a_;
-  std::vector<const double*> batch_b_;
-  std::vector<double*> batch_c_;
+  std::vector<const T*> batch_a_;
+  std::vector<const T*> batch_b_;
+  std::vector<T*> batch_c_;
 
   // Sweep protocol state.
   bool sweep_active_ = false;
@@ -318,5 +332,11 @@ class CpAlsSweepPlan {
   SweepTimings timings_;
   double sweep_seconds_ = 0.0;
 };
+
+extern template class CpAlsSweepPlanT<double>;
+extern template class CpAlsSweepPlanT<float>;
+
+using CpAlsSweepPlan = CpAlsSweepPlanT<double>;
+using CpAlsSweepPlanF = CpAlsSweepPlanT<float>;
 
 }  // namespace dmtk

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace dmtk::io {
@@ -17,6 +19,9 @@ namespace {
 
 constexpr std::array<char, 8> kTensorMagic{'D', 'M', 'T', 'K',
                                            'T', 'E', 'N', '1'};
+// fp32 payload kind: same header layout, floats in the body.
+constexpr std::array<char, 8> kTensorMagicF32{'D', 'M', 'T', 'K',
+                                              'T', 'E', 'N', 'f'};
 constexpr std::array<char, 8> kMatrixMagic{'D', 'M', 'T', 'K',
                                            'M', 'A', 'T', '1'};
 constexpr std::array<char, 8> kKtensorMagic{'D', 'M', 'T', 'K',
@@ -58,16 +63,26 @@ std::uint64_t read_u64(std::ifstream& f) {
   return v;
 }
 
-void write_doubles(std::ofstream& f, const double* p, std::size_t n) {
+template <typename T>
+void write_scalars(std::ofstream& f, const T* p, std::size_t n) {
   f.write(reinterpret_cast<const char*>(p),
-          static_cast<std::streamsize>(n * sizeof(double)));
+          static_cast<std::streamsize>(n * sizeof(T)));
   if (!f) throw IoError("write failed");
 }
 
-void read_doubles(std::ifstream& f, double* p, std::size_t n) {
+template <typename T>
+void read_scalars(std::ifstream& f, T* p, std::size_t n) {
   f.read(reinterpret_cast<char*>(p),
-         static_cast<std::streamsize>(n * sizeof(double)));
+         static_cast<std::streamsize>(n * sizeof(T)));
   if (!f) throw IoError("truncated file while reading data");
+}
+
+void write_doubles(std::ofstream& f, const double* p, std::size_t n) {
+  write_scalars(f, p, n);
+}
+
+void read_doubles(std::ifstream& f, double* p, std::size_t n) {
+  read_scalars(f, p, n);
 }
 
 void write_matrix_body(std::ofstream& f, const Matrix& M) {
@@ -90,18 +105,20 @@ Matrix read_matrix_body(std::ifstream& f) {
 
 }  // namespace
 
-void write_tensor(const std::filesystem::path& path, const Tensor& X) {
-  std::ofstream f = open_out(path);
-  write_magic(f, kTensorMagic);
-  write_u64(f, static_cast<std::uint64_t>(X.order()));
-  for (index_t d : X.dims()) write_u64(f, static_cast<std::uint64_t>(d));
-  write_doubles(f, X.data(), static_cast<std::size_t>(X.numel()));
-  if (!f) throw IoError("write failed: " + path.string());
+namespace {
+
+/// Consume the tensor magic (either payload kind), returning the stored
+/// scalar kind; throws for non-tensor files.
+ScalarKind read_tensor_magic(std::ifstream& f) {
+  std::array<char, 8> got{};
+  f.read(got.data(), got.size());
+  if (f && got == kTensorMagic) return ScalarKind::F64;
+  if (f && got == kTensorMagicF32) return ScalarKind::F32;
+  throw IoError("bad magic: not a dmtk tensor file");
 }
 
-Tensor read_tensor(const std::filesystem::path& path) {
-  std::ifstream f = open_in(path);
-  check_magic(f, kTensorMagic, "tensor");
+/// Read the extents header shared by both payload kinds.
+std::vector<index_t> read_tensor_extents(std::ifstream& f) {
   const auto order = static_cast<index_t>(read_u64(f));
   if (order < 1 || order > 64) throw IoError("implausible tensor order");
   std::vector<index_t> dims(static_cast<std::size_t>(order));
@@ -111,10 +128,82 @@ Tensor read_tensor(const std::filesystem::path& path) {
       throw IoError("implausible tensor extent");
     }
   }
-  Tensor X(dims);
-  read_doubles(f, X.data(), static_cast<std::size_t>(X.numel()));
+  return dims;
+}
+
+}  // namespace
+
+template <typename T>
+void write_tensor(const std::filesystem::path& path, const TensorT<T>& X) {
+  std::ofstream f = open_out(path);
+  write_magic(f, std::is_same_v<T, float> ? kTensorMagicF32 : kTensorMagic);
+  write_u64(f, static_cast<std::uint64_t>(X.order()));
+  for (index_t d : X.dims()) write_u64(f, static_cast<std::uint64_t>(d));
+  write_scalars(f, X.data(), static_cast<std::size_t>(X.numel()));
+  if (!f) throw IoError("write failed: " + path.string());
+}
+
+namespace {
+
+/// Cross-precision payload read: stream the stored kind through a small
+/// fixed-size staging buffer, converting per chunk — peak extra memory is
+/// O(chunk), not O(tensor), which is what keeps the fp32 path's halved
+/// footprint honest when narrowing a large f64 file.
+template <typename From, typename To>
+void read_converting(std::ifstream& f, To* dst, std::size_t n) {
+  constexpr std::size_t kChunk = std::size_t{1} << 20;  // elements
+  std::vector<From> stage(std::min(n, kChunk));
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t take = std::min(kChunk, n - done);
+    read_scalars(f, stage.data(), take);
+    for (std::size_t i = 0; i < take; ++i) {
+      dst[done + i] = static_cast<To>(stage[i]);
+    }
+    done += take;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+TensorT<T> read_tensor_as(const std::filesystem::path& path) {
+  std::ifstream f = open_in(path);
+  const ScalarKind kind = read_tensor_magic(f);
+  TensorT<T> X(read_tensor_extents(f));
+  const std::size_t n = static_cast<std::size_t>(X.numel());
+  const bool want_f32 = std::is_same_v<T, float>;
+  if ((kind == ScalarKind::F32) == want_f32) {
+    read_scalars(f, X.data(), n);
+  } else if (kind == ScalarKind::F32) {
+    read_converting<float>(f, X.data(), n);
+  } else {
+    read_converting<double>(f, X.data(), n);
+  }
   return X;
 }
+
+Tensor read_tensor(const std::filesystem::path& path) {
+  return read_tensor_as<double>(path);
+}
+
+ScalarKind tensor_scalar_kind(const std::filesystem::path& path) {
+  std::ifstream f = open_in(path);
+  return read_tensor_magic(f);
+}
+
+std::vector<index_t> tensor_extents(const std::filesystem::path& path) {
+  std::ifstream f = open_in(path);
+  (void)read_tensor_magic(f);
+  return read_tensor_extents(f);
+}
+
+template void write_tensor<double>(const std::filesystem::path&,
+                                   const Tensor&);
+template void write_tensor<float>(const std::filesystem::path&,
+                                  const TensorF&);
+template Tensor read_tensor_as<double>(const std::filesystem::path&);
+template TensorF read_tensor_as<float>(const std::filesystem::path&);
 
 void write_matrix(const std::filesystem::path& path, const Matrix& M) {
   std::ofstream f = open_out(path);
@@ -234,10 +323,19 @@ sparse::SparseTensor read_tns(const std::filesystem::path& path) {
     for (index_t n = 0; n < order; ++n) {
       const auto [begin, end] = fields[static_cast<std::size_t>(n)];
       char* endp = nullptr;
+      errno = 0;
       const long long v = std::strtoll(begin, &endp, 10);
       if (endp != end) {  // strtoll stops at whitespace/end on valid input
         tns_error(path, line_no,
                   "bad coordinate '" + std::string(begin, end) + "'");
+      }
+      // Overflowed parses (errno == ERANGE clamps to LLONG_MIN/MAX) and
+      // coordinates beyond the library's extent cap would otherwise
+      // silently become a multi-terabyte shape request downstream.
+      if (errno == ERANGE || v > (index_t{1} << 40)) {
+        tns_error(path, line_no,
+                  "coordinate " + std::string(begin, end) +
+                      " overflows the supported index range");
       }
       if (v < 1) {
         tns_error(path, line_no,

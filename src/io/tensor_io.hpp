@@ -26,11 +26,42 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Write a dense tensor (natural linearization) to `path`.
-void write_tensor(const std::filesystem::path& path, const Tensor& X);
+/// Scalar payload kind of a dense-tensor file. The magic's last byte tags
+/// the payload ('1' = f64 v1, 'f' = f32 v1), so readers of either
+/// precision can consume either file (converting entrywise).
+enum class ScalarKind { F64, F32 };
 
-/// Read a tensor written by write_tensor.
+/// Write a dense tensor (natural linearization) to `path`. The payload
+/// scalar kind follows the tensor's scalar type: TensorF writes an fp32
+/// payload (half the bytes of the double form).
+template <typename T>
+void write_tensor(const std::filesystem::path& path, const TensorT<T>& X);
+
+extern template void write_tensor<double>(const std::filesystem::path&,
+                                          const Tensor&);
+extern template void write_tensor<float>(const std::filesystem::path&,
+                                         const TensorF&);
+
+/// Read a tensor written by write_tensor, converting the payload (f64 or
+/// f32) to the requested scalar type entrywise.
+template <typename T>
+TensorT<T> read_tensor_as(const std::filesystem::path& path);
+
+extern template Tensor read_tensor_as<double>(const std::filesystem::path&);
+extern template TensorF read_tensor_as<float>(const std::filesystem::path&);
+
+/// Read a tensor written by write_tensor as double (accepts both payload
+/// kinds) — the historical entry point.
 Tensor read_tensor(const std::filesystem::path& path);
+
+/// Payload scalar kind of a dense-tensor file (throws IoError when the
+/// file is not a dmtk tensor file).
+ScalarKind tensor_scalar_kind(const std::filesystem::path& path);
+
+/// Extents of a dense-tensor file, read from the header alone (no payload
+/// traffic) — what the CLI uses to pick plan options before committing to
+/// a read precision.
+std::vector<index_t> tensor_extents(const std::filesystem::path& path);
 
 /// Write a column-major matrix to `path`.
 void write_matrix(const std::filesystem::path& path, const Matrix& M);

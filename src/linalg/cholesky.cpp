@@ -6,21 +6,22 @@
 
 namespace dmtk::linalg {
 
-bool cholesky_factor(index_t n, double* A, index_t lda) {
+template <typename T>
+bool cholesky_factor(index_t n, T* A, index_t lda) {
   DMTK_CHECK(n >= 0 && lda >= std::max<index_t>(1, n), "cholesky: bad dims");
   for (index_t j = 0; j < n; ++j) {
     // Diagonal: A(j,j) - sum_k L(j,k)^2.
-    double d = A[j + j * lda];
+    T d = A[j + j * lda];
     for (index_t k = 0; k < j; ++k) {
-      const double ljk = A[j + k * lda];
+      const T ljk = A[j + k * lda];
       d -= ljk * ljk;
     }
-    if (!(d > 0.0)) return false;  // also rejects NaN
-    const double ljj = std::sqrt(d);
+    if (!(d > T{0})) return false;  // also rejects NaN
+    const T ljj = std::sqrt(d);
     A[j + j * lda] = ljj;
     // Column below the diagonal: L(i,j) = (A(i,j) - sum_k L(i,k)L(j,k)) / ljj.
     for (index_t i = j + 1; i < n; ++i) {
-      double s = A[i + j * lda];
+      T s = A[i + j * lda];
       for (index_t k = 0; k < j; ++k) {
         s -= A[i + k * lda] * A[j + k * lda];
       }
@@ -30,27 +31,29 @@ bool cholesky_factor(index_t n, double* A, index_t lda) {
   return true;
 }
 
-void cholesky_solve(index_t n, const double* L, index_t lda, index_t nrhs,
-                    double* B, index_t ldb) {
+template <typename T>
+void cholesky_solve(index_t n, const T* L, index_t lda, index_t nrhs,
+                    T* B, index_t ldb) {
   for (index_t r = 0; r < nrhs; ++r) {
-    double* b = B + r * ldb;
+    T* b = B + r * ldb;
     // Forward substitution L y = b.
     for (index_t i = 0; i < n; ++i) {
-      double s = b[i];
+      T s = b[i];
       for (index_t k = 0; k < i; ++k) s -= L[i + k * lda] * b[k];
       b[i] = s / L[i + i * lda];
     }
     // Backward substitution L^T x = y.
     for (index_t i = n - 1; i >= 0; --i) {
-      double s = b[i];
+      T s = b[i];
       for (index_t k = i + 1; k < n; ++k) s -= L[k + i * lda] * b[k];
       b[i] = s / L[i + i * lda];
     }
   }
 }
 
-void cholesky_solve_right(index_t n, const double* L, index_t lda, index_t m,
-                          double* M, index_t ldm) {
+template <typename T>
+void cholesky_solve_right(index_t n, const T* L, index_t lda, index_t m,
+                          T* M, index_t ldm) {
   // M (L L^T)^-1 = (M L^-T) L^-1; both stages are column sweeps over M,
   // which is column-major, so every inner operation is a contiguous axpy.
   //
@@ -58,22 +61,32 @@ void cholesky_solve_right(index_t n, const double* L, index_t lda, index_t m,
   // L^T(i, j) = L(j, i) for i <= j, so  Y(:,j) = (M(:,j) - sum_{i<j}
   // Y(:,i) L(j,i)) / L(j,j), computed left to right.
   for (index_t j = 0; j < n; ++j) {
-    double* yj = M + j * ldm;
+    T* yj = M + j * ldm;
     for (index_t i = 0; i < j; ++i) {
       blas::axpy(m, -L[j + i * lda], M + i * ldm, index_t{1}, yj, index_t{1});
     }
-    blas::scal(m, 1.0 / L[j + j * lda], yj, index_t{1});
+    blas::scal(m, T{1} / L[j + j * lda], yj, index_t{1});
   }
   // Stage 2: Z = Y L^-1, i.e. Z L = Y. Column j of L has entries L(i, j) for
   // i >= j, so Z(:,j) = (Y(:,j) - sum_{i>j} Z(:,i) L(i,j)) / L(j,j), computed
   // right to left.
   for (index_t j = n - 1; j >= 0; --j) {
-    double* zj = M + j * ldm;
+    T* zj = M + j * ldm;
     for (index_t i = j + 1; i < n; ++i) {
       blas::axpy(m, -L[i + j * lda], M + i * ldm, index_t{1}, zj, index_t{1});
     }
-    blas::scal(m, 1.0 / L[j + j * lda], zj, index_t{1});
+    blas::scal(m, T{1} / L[j + j * lda], zj, index_t{1});
   }
 }
+
+#define DMTK_CHOLESKY_INSTANTIATE(T)                                          \
+  template bool cholesky_factor<T>(index_t, T*, index_t);                     \
+  template void cholesky_solve<T>(index_t, const T*, index_t, index_t, T*,    \
+                                  index_t);                                   \
+  template void cholesky_solve_right<T>(index_t, const T*, index_t, index_t,  \
+                                        T*, index_t);
+DMTK_CHOLESKY_INSTANTIATE(double)
+DMTK_CHOLESKY_INSTANTIATE(float)
+#undef DMTK_CHOLESKY_INSTANTIATE
 
 }  // namespace dmtk::linalg

@@ -3,6 +3,8 @@
 /// \brief Dense Cholesky factorization and triangular solves for the small
 /// (C x C) symmetric positive-definite systems arising in CP-ALS factor
 /// updates: U_n = M * H^-1 with H the Hadamard product of Gram matrices.
+/// Templated on the scalar type (double and float instantiations) so the
+/// fp32 CP-ALS path solves in its own precision.
 
 #include "util/common.hpp"
 
@@ -13,17 +15,30 @@ namespace dmtk::linalg {
 /// overwritten). Returns false if a non-positive pivot is met, i.e. A is not
 /// numerically positive definite; in that case A is left partially factored
 /// and the caller should fall back to the pseudo-inverse path.
-bool cholesky_factor(index_t n, double* A, index_t lda);
+template <typename T>
+bool cholesky_factor(index_t n, T* A, index_t lda);
 
 /// Solve L L^T X = B in place for `nrhs` right-hand sides stored column-major
 /// in B (n x nrhs). L is the factor produced by cholesky_factor.
-void cholesky_solve(index_t n, const double* L, index_t lda, index_t nrhs,
-                    double* B, index_t ldb);
+template <typename T>
+void cholesky_solve(index_t n, const T* L, index_t lda, index_t nrhs,
+                    T* B, index_t ldb);
 
 /// Right-solve M <- M (L L^T)^-1 for a column-major M (m x n). This is the
 /// shape CP-ALS needs (factor matrices multiply H^-1 from the right) and
 /// avoids transposing the tall factor matrix.
-void cholesky_solve_right(index_t n, const double* L, index_t lda, index_t m,
-                          double* M, index_t ldm);
+template <typename T>
+void cholesky_solve_right(index_t n, const T* L, index_t lda, index_t m,
+                          T* M, index_t ldm);
+
+#define DMTK_CHOLESKY_EXTERN(T)                                               \
+  extern template bool cholesky_factor<T>(index_t, T*, index_t);              \
+  extern template void cholesky_solve<T>(index_t, const T*, index_t,          \
+                                         index_t, T*, index_t);               \
+  extern template void cholesky_solve_right<T>(index_t, const T*, index_t,    \
+                                               index_t, T*, index_t);
+DMTK_CHOLESKY_EXTERN(double)
+DMTK_CHOLESKY_EXTERN(float)
+#undef DMTK_CHOLESKY_EXTERN
 
 }  // namespace dmtk::linalg

@@ -5,6 +5,8 @@
 /// (Section 2.2 of the paper). Fast path is Cholesky; the fallback computes
 /// a truncated eigen pseudo-inverse so rank-deficient H (e.g. duplicate
 /// factor columns) is still handled, matching Matlab's pinv-based updates.
+/// Templated on the scalar type; the fp32 instantiation promotes to double
+/// for the (rare) eigen fallback, whose Jacobi sweeps stay double-only.
 
 #include "util/common.hpp"
 
@@ -19,7 +21,15 @@ struct SpdSolveInfo {
 /// M <- M * H^dagger, where H is a column-major symmetric PSD n x n matrix
 /// and M is column-major m x n. H is destroyed (used as factorization
 /// workspace). Returns diagnostics.
-SpdSolveInfo spd_solve_right(index_t n, double* H, index_t ldh, index_t m,
-                             double* M, index_t ldm, int threads = 0);
+template <typename T>
+SpdSolveInfo spd_solve_right(index_t n, T* H, index_t ldh, index_t m,
+                             T* M, index_t ldm, int threads = 0);
+
+extern template SpdSolveInfo spd_solve_right<double>(index_t, double*,
+                                                     index_t, index_t,
+                                                     double*, index_t, int);
+extern template SpdSolveInfo spd_solve_right<float>(index_t, float*, index_t,
+                                                    index_t, float*, index_t,
+                                                    int);
 
 }  // namespace dmtk::linalg

@@ -54,15 +54,26 @@ class Rng {
   std::uint64_t state_;
 };
 
-/// Fill a span with uniform values in [lo, hi).
+/// Fill a span with uniform values in [lo, hi). Draws are always generated
+/// in double and rounded to the span's type, so a float container sees the
+/// same underlying stream as a double one with the same seed.
 inline void fill_uniform(std::span<double> out, Rng& rng, double lo = 0.0,
                          double hi = 1.0) {
   for (double& x : out) x = rng.uniform(lo, hi);
 }
 
+inline void fill_uniform(std::span<float> out, Rng& rng, double lo = 0.0,
+                         double hi = 1.0) {
+  for (float& x : out) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
 /// Fill a span with N(0, sigma^2) values.
 inline void fill_normal(std::span<double> out, Rng& rng, double sigma = 1.0) {
   for (double& x : out) x = sigma * rng.normal();
+}
+
+inline void fill_normal(std::span<float> out, Rng& rng, double sigma = 1.0) {
+  for (float& x : out) x = static_cast<float>(sigma * rng.normal());
 }
 
 }  // namespace dmtk

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end CLI round trip, registered as a ctest (see CMakeLists.txt).
+#
+#   usage: cli_roundtrip.sh <path-to-dmtk-binary>
+#
+# Covers: generate -> info -> decompose -> export in both precisions, the
+# fp32 payload surfacing in `info`, and the strict-argument audit (every
+# malformed numeric flag must exit 1 with a usage message, never an
+# uncaught exception, which exits 2).
+
+set -u
+dmtk="$1"
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+fails=0
+
+expect_ok() {
+  if ! "$@" > "${work}/out.log" 2>&1; then
+    echo "FAIL (expected success): $*"
+    cat "${work}/out.log"
+    fails=$((fails + 1))
+  fi
+}
+
+# Usage errors must exit with code 1 exactly: 0 means the bad value was
+# silently accepted, 2 means it leaked through as a runtime exception.
+expect_usage_error() {
+  "$@" > "${work}/out.log" 2>&1
+  local code=$?
+  if [[ ${code} -ne 1 ]]; then
+    echo "FAIL (expected exit 1, got ${code}): $*"
+    cat "${work}/out.log"
+    fails=$((fails + 1))
+  fi
+}
+
+expect_grep() {
+  local pattern="$1"
+  shift
+  if ! "$@" 2>&1 | grep -q "${pattern}"; then
+    echo "FAIL (expected output matching '${pattern}'): $*"
+    fails=$((fails + 1))
+  fi
+}
+
+# --- double round trip -----------------------------------------------------
+expect_ok "${dmtk}" generate --dims 12x10x8 --rank 3 --seed 5 \
+  --out "${work}/x64.dten"
+expect_grep "f64" "${dmtk}" info "${work}/x64.dten"
+expect_ok "${dmtk}" decompose "${work}/x64.dten" --rank 3 --iters 10 \
+  --tol 1e-7 --out "${work}/m64.dktn"
+expect_ok "${dmtk}" export "${work}/m64.dktn" --out-prefix "${work}/f64"
+[[ -f "${work}/f64_mode0.csv" ]] || { echo "FAIL: missing f64 CSV"; fails=$((fails + 1)); }
+
+# --- float round trip ------------------------------------------------------
+expect_ok "${dmtk}" generate --dims 12x10x8 --rank 3 --seed 5 \
+  --precision float --out "${work}/x32.dten"
+expect_grep "f32" "${dmtk}" info "${work}/x32.dten"
+expect_grep "fp32" "${dmtk}" decompose "${work}/x32.dten" --rank 3 \
+  --iters 10 --precision float --out "${work}/m32.dktn"
+expect_ok "${dmtk}" export "${work}/m32.dktn" --out-prefix "${work}/f32"
+# Cross-precision: an f32 payload decomposes fine in double too.
+expect_ok "${dmtk}" decompose "${work}/x32.dten" --rank 3 --iters 5
+
+# The f32 payload should be roughly half the f64 size.
+s64=$(stat -c %s "${work}/x64.dten")
+s32=$(stat -c %s "${work}/x32.dten")
+if [[ ${s32} -ge ${s64} ]]; then
+  echo "FAIL: f32 payload (${s32}) not smaller than f64 (${s64})"
+  fails=$((fails + 1))
+fi
+
+# --- strict numeric argument audit ----------------------------------------
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank abc
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank 0
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank -3
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank 3 --iters 1.5
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank 3 --tol abc
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank 3 \
+  --precision quad
+expect_usage_error "${dmtk}" generate --dims 10x-3x7 --out "${work}/bad.dten"
+expect_usage_error "${dmtk}" generate --dims 10xx7 --out "${work}/bad.dten"
+expect_usage_error "${dmtk}" generate --dims abc --out "${work}/bad.dten"
+expect_usage_error "${dmtk}" generate --dims 8x8 --noise abc \
+  --out "${work}/bad.dten"
+expect_usage_error "${dmtk}" generate --dims 8x8 --density 2 \
+  --out "${work}/bad.tns"
+expect_usage_error "${dmtk}" generate --dims 8x8 --nnz abc \
+  --out "${work}/bad.tns"
+expect_usage_error "${dmtk}" tucker "${work}/x64.dten" --ranks 4xqx4
+
+if [[ ${fails} -ne 0 ]]; then
+  echo "${fails} CLI round-trip check(s) failed"
+  exit 1
+fi
+echo "CLI round trip OK"

@@ -1,0 +1,80 @@
+// Strict numeric parsing (util/parse.hpp): the helpers behind the CLI's
+// argument audit. Every rejection here used to be a silent atoll/atof zero
+// (or an unbounded wrap) that surfaced as a confusing DimensionError — or
+// as a wrong run — deep inside the library.
+
+#include <gtest/gtest.h>
+
+#include "util/parse.hpp"
+
+namespace dmtk {
+namespace {
+
+TEST(ParseLl, AcceptsCompleteIntegers) {
+  EXPECT_EQ(parse_ll("0"), 0);
+  EXPECT_EQ(parse_ll("42"), 42);
+  EXPECT_EQ(parse_ll("-17"), -17);
+  EXPECT_EQ(parse_ll("+5"), 5);
+  EXPECT_EQ(parse_ll("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseLl, RejectsGarbageTrailingAndOverflow) {
+  EXPECT_FALSE(parse_ll(""));
+  EXPECT_FALSE(parse_ll("abc"));
+  EXPECT_FALSE(parse_ll("12abc"));
+  EXPECT_FALSE(parse_ll("1.5"));
+  EXPECT_FALSE(parse_ll("12 "));
+  EXPECT_FALSE(parse_ll(" 12"));  // no silent whitespace tolerance either
+  EXPECT_FALSE(parse_ll("9223372036854775808"));   // LLONG_MAX + 1
+  EXPECT_FALSE(parse_ll("-9223372036854775809"));  // LLONG_MIN - 1
+}
+
+TEST(ParseF64, AcceptsCompleteNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_f64("0"), 0.0);
+  EXPECT_DOUBLE_EQ(*parse_f64("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_f64("-2.25e-3"), -0.00225);
+  EXPECT_DOUBLE_EQ(*parse_f64("1e-4"), 1e-4);
+  // Subnormal results set ERANGE in strtod but are representable values,
+  // not typos; they must parse (underflow-to-zero likewise).
+  ASSERT_TRUE(parse_f64("1e-310").has_value());
+  EXPECT_GT(*parse_f64("1e-310"), 0.0);
+  ASSERT_TRUE(parse_f64("1e-999").has_value());
+  EXPECT_DOUBLE_EQ(*parse_f64("1e-999"), 0.0);
+}
+
+TEST(ParseF64, RejectsGarbageTrailingOverflowAndNonFinite) {
+  EXPECT_FALSE(parse_f64(""));
+  EXPECT_FALSE(parse_f64("abc"));
+  EXPECT_FALSE(parse_f64("1.5x"));
+  EXPECT_FALSE(parse_f64("1e999"));  // overflows to HUGE_VAL with ERANGE
+  // strtod parses these, but a NaN/inf flag value would sail through every
+  // downstream range check (`nan < 0.0` is false), so they are typos here.
+  EXPECT_FALSE(parse_f64("nan"));
+  EXPECT_FALSE(parse_f64("inf"));
+  EXPECT_FALSE(parse_f64("-inf"));
+  EXPECT_FALSE(parse_f64("infinity"));
+}
+
+TEST(ParseExtents, AcceptsPositiveExtentLists) {
+  const auto d = parse_extents("100x80x60");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, (std::vector<index_t>{100, 80, 60}));
+  const auto one = parse_extents("7");
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(*one, (std::vector<index_t>{7}));
+}
+
+TEST(ParseExtents, RejectsMalformedNonpositiveAndEmptyFields) {
+  EXPECT_FALSE(parse_extents(""));
+  EXPECT_FALSE(parse_extents("abc"));
+  EXPECT_FALSE(parse_extents("10x-3x7"));
+  EXPECT_FALSE(parse_extents("10x0x7"));
+  EXPECT_FALSE(parse_extents("10xx7"));
+  EXPECT_FALSE(parse_extents("10x7x"));
+  EXPECT_FALSE(parse_extents("x10"));
+  EXPECT_FALSE(parse_extents("10x7a"));
+  EXPECT_FALSE(parse_extents("3.5x2"));
+}
+
+}  // namespace
+}  // namespace dmtk

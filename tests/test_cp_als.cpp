@@ -235,7 +235,7 @@ TEST(HadamardOfGrams, SkipsRequestedMode) {
   G0.fill(2.0);
   G1.fill(3.0);
   G2.fill(5.0);
-  const std::array<Matrix, 3> grams{G0, G1, G2};
+  const std::vector<Matrix> grams{G0, G1, G2};
   Matrix H = hadamard_of_grams(grams, 1);
   for (double h : H.span()) EXPECT_DOUBLE_EQ(h, 10.0);
   Matrix Hall = hadamard_of_grams(grams, -1);
@@ -244,7 +244,7 @@ TEST(HadamardOfGrams, SkipsRequestedMode) {
 
 TEST(HadamardOfGrams, MismatchThrows) {
   Matrix G0(2, 2), G1(3, 3);
-  const std::array<Matrix, 2> grams{G0, G1};
+  const std::vector<Matrix> grams{G0, G1};
   EXPECT_THROW(hadamard_of_grams(grams, -1), DimensionError);
 }
 

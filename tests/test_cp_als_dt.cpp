@@ -121,6 +121,9 @@ TEST(Dimtree, WarmStartSupported) {
 TEST(Dimtree, FewerFullTensorPassesReflectedInTime) {
   // Not a strict timing test (CI noise), but on a clearly MTTKRP-bound
   // problem the dimension-tree sweep should not be slower than standard.
+  // Each pipeline is timed three times and the MINIMA compared: a single
+  // pass is at the mercy of whatever else ctest -j runs concurrently on a
+  // small box, and one descheduled sweep used to flip the comparison.
   Rng rng(46);
   Tensor X = Tensor::random_uniform({40, 40, 40, 10}, rng);
   CpAlsOptions opts;
@@ -128,11 +131,17 @@ TEST(Dimtree, FewerFullTensorPassesReflectedInTime) {
   opts.max_iters = 3;
   opts.tol = 0.0;
   opts.compute_fit = false;
-  const CpAlsResult std_r = cp_als(X, opts);
-  const CpAlsResult dt_r = cp_als_dimtree(X, opts);
-  double std_time = 0.0, dt_time = 0.0;
-  for (const auto& it : std_r.iters) std_time += it.mttkrp_seconds;
-  for (const auto& it : dt_r.iters) dt_time += it.mttkrp_seconds;
+  auto mttkrp_time = [](const CpAlsResult& r) {
+    double s = 0.0;
+    for (const auto& it : r.iters) s += it.mttkrp_seconds;
+    return s;
+  };
+  double std_time = std::numeric_limits<double>::infinity();
+  double dt_time = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    std_time = std::min(std_time, mttkrp_time(cp_als(X, opts)));
+    dt_time = std::min(dt_time, mttkrp_time(cp_als_dimtree(X, opts)));
+  }
   EXPECT_LT(dt_time, std_time * 1.5);  // generous bound; typically < 0.7x
 }
 

@@ -47,22 +47,23 @@ TEST(WorkspaceArena, ReserveGrowsOnceAndTracksGrowCount) {
   WorkspaceArena arena;
   EXPECT_EQ(arena.capacity(), 0u);
   EXPECT_EQ(arena.grow_count(), 0u);
-  arena.reserve(100);
-  EXPECT_GE(arena.capacity(), 100u);
+  arena.reserve<double>(100);
+  EXPECT_GE(arena.capacity(), 100u * sizeof(double));
   EXPECT_EQ(arena.grow_count(), 1u);
-  arena.reserve(50);  // never shrinks, no realloc
+  arena.reserve<double>(50);  // never shrinks, no realloc
   EXPECT_EQ(arena.grow_count(), 1u);
-  arena.reserve(200);
+  arena.reserve_bytes(3200);
   EXPECT_EQ(arena.grow_count(), 2u);
 }
 
 TEST(WorkspaceArena, FramesBumpAndRelease) {
   WorkspaceArena arena;
-  arena.reserve(WorkspaceArena::aligned(10) * 3);
+  arena.reserve_bytes(WorkspaceArena::aligned_count<double>(10) *
+                      sizeof(double) * 3);
   {
     WorkspaceArena::Frame f(arena);
-    double* a = f.alloc(10);
-    double* b = f.alloc(10);
+    double* a = f.alloc<double>(10);
+    double* b = f.alloc<double>(10);
     ASSERT_NE(a, nullptr);
     // Blocks are cache-line aligned and disjoint.
     EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % kDefaultAlignment, 0u);
@@ -73,12 +74,34 @@ TEST(WorkspaceArena, FramesBumpAndRelease) {
   EXPECT_GT(arena.high_water(), 0u);
 }
 
+TEST(WorkspaceArena, TypedCarveOutsShareOneByteBudget) {
+  // The same arena serves float and double carve-outs: a float block of
+  // the same element count takes half the bytes, and both come back
+  // line-aligned — the typed replacement for the old doubles-measured
+  // blocks that float users had to reinterpret.
+  WorkspaceArena arena;
+  arena.reserve_bytes(4096);
+  WorkspaceArena::Frame f(arena);
+  float* a = f.alloc<float>(16);
+  double* b = f.alloc<double>(16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % kDefaultAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % kDefaultAlignment, 0u);
+  // 16 floats round up to one cache line (64 B); 16 doubles to two.
+  EXPECT_EQ(arena.in_use(), 64u + 128u);
+  a[0] = 1.0f;  // both views are writable storage
+  b[0] = 2.0;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 2.0);
+}
+
 TEST(WorkspaceArena, FrameAllocBeyondReserveThrows) {
   WorkspaceArena arena;
-  arena.reserve(WorkspaceArena::aligned(8));
+  arena.reserve<double>(WorkspaceArena::aligned_count<double>(8));
   WorkspaceArena::Frame f(arena);
-  (void)f.alloc(8);
-  EXPECT_THROW((void)f.alloc(1024), DimensionError);
+  (void)f.alloc<double>(8);
+  EXPECT_THROW((void)f.alloc<double>(1024), DimensionError);
 }
 
 TEST(ExecContext, ResolvesAndPinsThreads) {
@@ -241,7 +264,7 @@ TEST(MttkrpPlan, ExecuteIsAllocationFreeAfterConstruction) {
   const std::size_t blas_allocs_after_construction =
       blas::gemm_internal_allocs();
   for (const MttkrpPlan& p : plans) {
-    EXPECT_LE(p.workspace_doubles(), capacity_after_construction);
+    EXPECT_LE(p.workspace_bytes(), capacity_after_construction);
   }
 
   Matrix M;  // sized by the first execute of each shape

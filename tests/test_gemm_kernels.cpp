@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "blas/cpu_features.hpp"
@@ -281,43 +282,122 @@ TEST(GemmBatched, EmptyAndDegenerateBatches) {
 // Workspace contract
 // ---------------------------------------------------------------------------
 
-TEST(GemmWorkspaceContract, ExplicitWorkspaceAvoidsInternalAllocation) {
+/// The zero-alloc workspace contract, per scalar type: an explicit
+/// GemmWorkspace sized by gemm_workspace_elems<T> keeps every call off the
+/// internal fallback arena, and the fallback path (allowed to grow once)
+/// computes the identical result. Running this for float as well locks in
+/// the byte-based workspace view — the float instantiation used to
+/// reinterpret doubles-measured storage (UB); now it carves its own typed
+/// block.
+template <typename T>
+void run_workspace_contract() {
   const index_t m = 120, n = 90, k = 150;
   const int threads = 3;
   Rng rng(5);
-  std::vector<double> A(static_cast<std::size_t>(m * k));
-  std::vector<double> B(static_cast<std::size_t>(k * n));
-  std::vector<double> C(static_cast<std::size_t>(m * n), 0.0);
+  std::vector<T> A(static_cast<std::size_t>(m * k));
+  std::vector<T> B(static_cast<std::size_t>(k * n));
+  std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
   fill_uniform(A, rng, -1.0, 1.0);
   fill_uniform(B, rng, -1.0, 1.0);
 
-  const std::size_t need = gemm_workspace_doubles(m, n, k, threads);
-  std::vector<double, AlignedAllocator<double>> buf(need);
-  const GemmWorkspace ws{buf.data(), buf.size()};
+  const std::size_t need = gemm_workspace_elems<T>(m, n, k, threads);
+  std::vector<T, AlignedAllocator<T>> buf(need);
+  const GemmWorkspace ws = typed_workspace(buf.data(), buf.size());
+
+  // Warm the per-type fallback arena once so the fallback comparison call
+  // below cannot be the first-touch growth.
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
+       A.data(), m, B.data(), k, T{0}, C.data(), m, threads);
 
   const std::size_t before = gemm_internal_allocs();
   for (int round = 0; round < 3; ++round) {
-    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
-         A.data(), m, B.data(), k, 0.0, C.data(), m, threads, ws);
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
+         A.data(), m, B.data(), k, T{0}, C.data(), m, threads, ws);
   }
   EXPECT_EQ(gemm_internal_allocs(), before)
       << "explicit workspace must keep gemm off the heap";
 
-  // The fallback path, by contrast, is allowed to grow (at most once for
-  // this shape) and must still compute the same result.
-  std::vector<double> Cfb(static_cast<std::size_t>(m * n), 0.0);
-  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
-       A.data(), m, B.data(), k, 0.0, Cfb.data(), m, threads);
+  // The fallback path must still compute the same result, bitwise.
+  std::vector<T> Cfb(static_cast<std::size_t>(m * n), T{0});
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
+       A.data(), m, B.data(), k, T{0}, Cfb.data(), m, threads);
+  EXPECT_EQ(gemm_internal_allocs(), before);
   for (std::size_t i = 0; i < C.size(); ++i) ASSERT_EQ(C[i], Cfb[i]);
 }
 
+TEST(GemmWorkspaceContract, ExplicitWorkspaceAvoidsInternalAllocation) {
+  run_workspace_contract<double>();
+}
+
+TEST(GemmWorkspaceContract, FloatInstantiationHonorsTypedWorkspace) {
+  run_workspace_contract<float>();
+}
+
+TEST(GemmWorkspaceContract, UndersizedViewFallsBackSafely) {
+  // A too-small caller view must not be scribbled on: the kernel detects
+  // the shortfall and routes to the fallback arena instead.
+  const index_t m = 64, n = 64, k = 300;
+  Rng rng(17);
+  std::vector<float> A(static_cast<std::size_t>(m * k));
+  std::vector<float> B(static_cast<std::size_t>(k * n));
+  std::vector<float> C(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> Cref = C;
+  fill_uniform(A, rng, -1.0, 1.0);
+  fill_uniform(B, rng, -1.0, 1.0);
+  alignas(kDefaultAlignment) float tiny[8] = {};
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0f,
+       A.data(), m, B.data(), k, 0.0f, C.data(), m, 1,
+       typed_workspace(tiny, 8));
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0f,
+       A.data(), m, B.data(), k, 0.0f, Cref.data(), m, 1);
+  for (std::size_t i = 0; i < C.size(); ++i) ASSERT_EQ(C[i], Cref[i]);
+  for (float v : tiny) ASSERT_EQ(v, 0.0f);
+}
+
 TEST(GemmWorkspaceContract, SizingIsMonotoneAndCoversBatched) {
-  EXPECT_LE(gemm_workspace_doubles(10, 10, 10, 1),
-            gemm_workspace_doubles(100, 100, 100, 1));
-  EXPECT_LE(gemm_workspace_doubles(64, 64, 64, 1),
-            gemm_workspace_doubles(64, 64, 64, 4));
-  EXPECT_EQ(gemm_batched_workspace_doubles(64, 8, 32, 4),
-            4 * gemm_workspace_doubles(64, 8, 32, 1));
+  EXPECT_LE(gemm_workspace_elems<double>(10, 10, 10, 1),
+            gemm_workspace_elems<double>(100, 100, 100, 1));
+  EXPECT_LE(gemm_workspace_elems<double>(64, 64, 64, 1),
+            gemm_workspace_elems<double>(64, 64, 64, 4));
+  EXPECT_EQ(gemm_batched_workspace_elems<double>(64, 8, 32, 4),
+            4 * gemm_workspace_elems<double>(64, 8, 32, 1));
+  // Byte forms are the element forms scaled by the scalar size; for equal
+  // element budgets the float view costs half the bytes of the double one.
+  EXPECT_EQ(gemm_workspace_bytes<float>(64, 8, 32, 2),
+            gemm_workspace_elems<float>(64, 8, 32, 2) * sizeof(float));
+  EXPECT_LE(gemm_workspace_bytes<float>(64, 64, 300, 2),
+            gemm_workspace_bytes<double>(64, 64, 300, 2));
+}
+
+TEST(GemmKernels, FloatMatchesDoubleWithinFp32Rounding) {
+  // The float instantiation (AVX2 f8x8 or scalar tile) must agree with the
+  // double kernel to fp32 rounding across dispatch levels — the
+  // correctness anchor for the fp32 compute path.
+  SimdLevelGuard guard;
+  const index_t m = 130, n = 70, k = 220;
+  Rng rng(23);
+  std::vector<double> Ad(static_cast<std::size_t>(m * k));
+  std::vector<double> Bd(static_cast<std::size_t>(k * n));
+  fill_uniform(Ad, rng, -1.0, 1.0);
+  fill_uniform(Bd, rng, -1.0, 1.0);
+  std::vector<float> Af(Ad.begin(), Ad.end());
+  std::vector<float> Bf(Bd.begin(), Bd.end());
+  std::vector<double> Cd(static_cast<std::size_t>(m * n), 0.0);
+  gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+       Ad.data(), m, Bd.data(), k, 0.0, Cd.data(), m, 1);
+  const double tol =
+      static_cast<double>(k) * 2.0 *
+      static_cast<double>(std::numeric_limits<float>::epsilon());
+  for (SimdLevel lvl : dispatchable_levels()) {
+    ASSERT_EQ(set_simd_level(lvl), lvl);
+    std::vector<float> Cf(static_cast<std::size_t>(m * n), 0.0f);
+    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0f,
+         Af.data(), m, Bf.data(), k, 0.0f, Cf.data(), m, 1);
+    for (std::size_t i = 0; i < Cf.size(); ++i) {
+      ASSERT_NEAR(static_cast<double>(Cf[i]), Cd[i], tol)
+          << "level=" << to_string(lvl) << " at " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

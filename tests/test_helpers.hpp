@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "core/matrix.hpp"
@@ -10,6 +12,24 @@
 #include "util/rng.hpp"
 
 namespace dmtk::testing {
+
+/// Default comparison tolerance for a scalar type: a small multiple of its
+/// machine epsilon (the scaling the typed float/double tests share, so one
+/// test body serves both precisions).
+template <typename T>
+constexpr double eps_tol(double mult = 100.0) {
+  return mult * static_cast<double>(std::numeric_limits<T>::epsilon());
+}
+
+/// Expect |a - b| <= tol * max(1, |a|, |b|) — the absolute-plus-relative
+/// rule of expect_matrix_near, for scalars of any precision.
+template <typename T>
+void expect_near_eps(T a, T b, double tol_mult = 100.0) {
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  const double scale = std::max({1.0, std::abs(da), std::abs(db)});
+  ASSERT_NEAR(da, db, eps_tol<T>(tol_mult) * scale);
+}
 
 /// Naive triple-loop GEMM oracle: C = alpha*op(A)*op(B) + beta*C, all
 /// column-major buffers with the given leading dimensions.
@@ -30,38 +50,52 @@ inline void naive_gemm(bool ta, bool tb, index_t m, index_t n, index_t k,
   }
 }
 
-/// Expect matrices equal within an absolute-plus-relative tolerance.
-inline void expect_matrix_near(const Matrix& a, const Matrix& b,
-                               double tol = 1e-10) {
+/// Expect matrices equal within an absolute-plus-relative tolerance
+/// (defaulting to an eps-scaled one for the matrices' scalar type).
+template <typename T>
+void expect_matrix_near(const MatrixT<T>& a, const MatrixT<T>& b,
+                        double tol = -1.0) {
+  if (tol < 0.0) {
+    tol = std::is_same_v<T, double> ? 1e-10 : eps_tol<T>(100.0);
+  }
   ASSERT_EQ(a.rows(), b.rows());
   ASSERT_EQ(a.cols(), b.cols());
   for (index_t j = 0; j < a.cols(); ++j) {
     for (index_t i = 0; i < a.rows(); ++i) {
-      const double scale = std::max({1.0, std::abs(a(i, j)),
-                                     std::abs(b(i, j))});
-      ASSERT_NEAR(a(i, j), b(i, j), tol * scale)
-          << "at (" << i << ", " << j << ")";
+      const double av = static_cast<double>(a(i, j));
+      const double bv = static_cast<double>(b(i, j));
+      const double scale = std::max({1.0, std::abs(av), std::abs(bv)});
+      ASSERT_NEAR(av, bv, tol * scale) << "at (" << i << ", " << j << ")";
     }
   }
 }
 
-/// Expect tensors equal within a tolerance.
-inline void expect_tensor_near(const Tensor& a, const Tensor& b,
-                               double tol = 1e-10) {
+/// Expect tensors equal within a tolerance (eps-scaled default as above).
+template <typename T>
+void expect_tensor_near(const TensorT<T>& a, const TensorT<T>& b,
+                        double tol = -1.0) {
+  if (tol < 0.0) {
+    tol = std::is_same_v<T, double> ? 1e-10 : eps_tol<T>(100.0);
+  }
   ASSERT_EQ(a.order(), b.order());
   for (index_t n = 0; n < a.order(); ++n) ASSERT_EQ(a.dim(n), b.dim(n));
   for (index_t l = 0; l < a.numel(); ++l) {
-    const double scale = std::max({1.0, std::abs(a[l]), std::abs(b[l])});
-    ASSERT_NEAR(a[l], b[l], tol * scale) << "at linear index " << l;
+    const double av = static_cast<double>(a[l]);
+    const double bv = static_cast<double>(b[l]);
+    const double scale = std::max({1.0, std::abs(av), std::abs(bv)});
+    ASSERT_NEAR(av, bv, tol * scale) << "at linear index " << l;
   }
 }
 
 /// Random factor matrices for a tensor shape.
-inline std::vector<Matrix> random_factors(std::span<const index_t> dims,
-                                          index_t rank, Rng& rng) {
-  std::vector<Matrix> fs;
+template <typename T = double>
+std::vector<MatrixT<T>> random_factors(std::span<const index_t> dims,
+                                       index_t rank, Rng& rng) {
+  std::vector<MatrixT<T>> fs;
   fs.reserve(dims.size());
-  for (index_t d : dims) fs.push_back(Matrix::random_uniform(d, rank, rng));
+  for (index_t d : dims) {
+    fs.push_back(MatrixT<T>::random_uniform(d, rank, rng));
+  }
   return fs;
 }
 

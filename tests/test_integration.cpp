@@ -145,7 +145,7 @@ TEST(Integration, StreamBandwidthComparableToKrp) {
   fs.push_back(Matrix::random_uniform(1 << 7, C, rng));
   fs.push_back(Matrix::random_uniform(1 << 7, C, rng));
   WallTimer t;
-  Matrix Kt = krp_transposed({&fs[0], &fs[1]});
+  Matrix Kt = krp_transposed(FactorList{&fs[0], &fs[1]});
   const double krp_time = t.seconds();
   EXPECT_EQ(Kt.cols(), rows);
   EXPECT_GT(krp_time, 0.0);

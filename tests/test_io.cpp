@@ -208,12 +208,30 @@ TEST_F(IoTest, TnsMalformedInputsRejectedWithLineNumbers) {
   EXPECT_THROW(read_tns(path("m7.tns")), IoError);
   write_text(path("m8.tns"), "# nothing\n\n");
   EXPECT_THROW(read_tns(path("m8.tns")), IoError);
+  // Coordinates that overflow long long (strtoll clamps with ERANGE) or
+  // exceed the library's extent cap: either would otherwise turn into a
+  // silently absurd shape request downstream.
+  write_text(path("m9.tns"), "99999999999999999999999999 1 1 1.0\n");
+  EXPECT_THROW(read_tns(path("m9.tns")), IoError);
+  write_text(path("m10.tns"), "1 1099511627777 1 1.0\n");  // 2^40 + 1
+  EXPECT_THROW(read_tns(path("m10.tns")), IoError);
   // The error message carries the offending line number.
   try {
     read_tns(path("m2.tns"));
     FAIL() << "expected IoError";
   } catch (const IoError& e) {
     EXPECT_NE(std::string(e.what()).find(":1:"), std::string::npos);
+  }
+  for (const char* overflow_file : {"m9.tns", "m10.tns"}) {
+    try {
+      read_tns(path(overflow_file));
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find(":1:"), std::string::npos)
+          << overflow_file;
+      EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos)
+          << overflow_file;
+    }
   }
   EXPECT_THROW(read_tns(path("absent.tns")), IoError);
 }

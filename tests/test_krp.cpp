@@ -27,7 +27,7 @@ TEST(KrpRows, ProductOfRowCounts) {
   fs.push_back(Matrix::random_uniform(4, 2, rng));
   fs.push_back(Matrix::random_uniform(5, 2, rng));
   EXPECT_EQ(krp_rows(ptrs(fs)), 60);
-  EXPECT_EQ(krp_rows({}), 1);  // empty product convention
+  EXPECT_EQ(krp_rows(FactorList{}), 1);  // empty product convention
 }
 
 TEST(KrpCols, DetectsMismatch) {
@@ -79,7 +79,7 @@ TEST(KrpColumnwise, KroneckerOfColumns) {
   Rng rng(5);
   const Matrix A = Matrix::random_uniform(3, 2, rng);
   const Matrix B = Matrix::random_uniform(4, 2, rng);
-  Matrix K = krp_columnwise({&A, &B});
+  Matrix K = krp_columnwise(FactorList{&A, &B});
   for (index_t c = 0; c < 2; ++c) {
     for (index_t a = 0; a < 3; ++a) {
       for (index_t b = 0; b < 4; ++b) {
@@ -153,7 +153,7 @@ TEST(KrpRowsRange, EmptyRangeIsNoop) {
 TEST(KrpSingleFactor, IsRowCopy) {
   Rng rng(8);
   const Matrix A = Matrix::random_uniform(5, 3, rng);
-  Matrix Kt = krp_transposed({&A}, KrpVariant::Reuse, 2);
+  Matrix Kt = krp_transposed(FactorList{&A}, KrpVariant::Reuse, 2);
   for (index_t r = 0; r < 5; ++r) {
     for (index_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(Kt(c, r), A(r, c));
   }

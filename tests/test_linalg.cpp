@@ -251,7 +251,8 @@ TEST(SpdSolve, PinvSatisfiesNormalEquations) {
 }
 
 TEST(SpdSolve, EmptyDimensionsNoop) {
-  SpdSolveInfo info = spd_solve_right(0, nullptr, 1, 5, nullptr, 5);
+  SpdSolveInfo info =
+      spd_solve_right<double>(0, nullptr, 1, 5, nullptr, 5);
   EXPECT_EQ(info.rank, 0);
 }
 

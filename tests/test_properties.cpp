@@ -31,7 +31,7 @@ TEST_P(PropertySeeds, KrpGramIsHadamardOfGrams) {
   const index_t C = 4;
   const Matrix A = Matrix::random_normal(7, C, rng);
   const Matrix B = Matrix::random_normal(5, C, rng);
-  const Matrix K = krp_columnwise({&A, &B});
+  const Matrix K = krp_columnwise(FactorList{&A, &B});
 
   Matrix GK(C, C), GA(C, C), GB(C, C);
   blas::syrk(blas::Trans::Trans, C, K.rows(), 1.0, K.data(), K.ld(), 0.0,

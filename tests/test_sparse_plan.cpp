@@ -309,8 +309,8 @@ TEST(SparseMttkrpPlan, ReuseAcrossFactorValuesIsAllocationFree) {
 
   const std::size_t grows = ctx.arena().grow_count();
   const std::size_t capacity = ctx.arena().capacity();
-  EXPECT_LE(csf_plan.workspace_doubles(), capacity);
-  EXPECT_LE(coo_plan.workspace_doubles(), capacity);
+  EXPECT_LE(csf_plan.workspace_bytes(), capacity);
+  EXPECT_LE(coo_plan.workspace_bytes(), capacity);
 
   // Pre-sized outputs: steady-state ALS never resizes them.
   std::vector<Matrix> Ms;

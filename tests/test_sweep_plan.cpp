@@ -328,8 +328,8 @@ TEST(SweepPlanDimTree, SweepIsAllocationFreeAfterConstruction) {
   const std::size_t grows = ctx.arena().grow_count();
   const std::size_t capacity = ctx.arena().capacity();
   const std::size_t blas_allocs = blas::gemm_internal_allocs();
-  EXPECT_LE(plan.workspace_doubles(), capacity);
-  EXPECT_LE(one_level.workspace_doubles(), capacity);
+  EXPECT_LE(plan.workspace_bytes(), capacity);
+  EXPECT_LE(one_level.workspace_bytes(), capacity);
 
   Matrix M;
   for (int round = 0; round < 3; ++round) {

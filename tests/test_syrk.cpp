@@ -98,8 +98,8 @@ TEST(Syrk, LargeNStaysMirroredAndHeapFreeWithWorkspace) {
   fill_uniform(A, rng, -1, 1);
   std::vector<double> C(static_cast<std::size_t>(n * n), 0.0);
 
-  std::vector<double> buf(syrk_workspace_doubles(n, k, 2));
-  const GemmWorkspace ws{buf.data(), buf.size()};
+  std::vector<double> buf(syrk_workspace_elems<double>(n, k, 2));
+  const GemmWorkspace ws = typed_workspace(buf.data(), buf.size());
   syrk(Trans::Trans, n, k, 1.0, A.data(), k, 0.0, C.data(), n, 2, ws);
   const std::size_t allocs_before = gemm_internal_allocs();
   syrk(Trans::Trans, n, k, 1.0, A.data(), k, 0.0, C.data(), n, 2, ws);

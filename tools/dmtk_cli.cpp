@@ -3,16 +3,24 @@
 /// without writing C++:
 ///
 ///   dmtk generate  --dims 100x80x60 --rank 5 --noise 0.05 --out x.dten
+///   dmtk generate  --dims 100x80x60 --rank 5 --precision float --out x.dten
 ///   dmtk generate  --dims 500x400x300 --density 1e-4 --out x.tns  (sparse)
 ///   dmtk fmri      --time 225 --subjects 59 --regions 200 --out x.dten
 ///   dmtk info      x.dten            (or x.tns)
 ///   dmtk decompose x.dten --rank 10 [--nn] [--dimtree] --out model.dktn
+///   dmtk decompose x.dten --rank 10 --precision float   (fp32 CP-ALS)
 ///   dmtk decompose x.tns  --rank 10 --sweep csf       (sparse, CSF plan)
 ///   dmtk tucker    x.dten --ranks 8x8x8 --out-prefix model
 ///   dmtk export    model.dktn --out-prefix factors   (CSV per factor)
 ///
 /// Sparse tensors travel as FROSTT-style .tns text files; the `.tns`
-/// extension selects the sparse path everywhere.
+/// extension selects the sparse path everywhere. Dense tensors carry their
+/// payload precision in the file (f64 or f32); `--precision` selects the
+/// compute (and, for generate, storage) scalar type.
+///
+/// Numeric arguments are parsed STRICTLY (util/parse.hpp): a malformed
+/// value (`--rank abc`, `--dims 10x-3x7`, `--density 2`) is a usage error
+/// (exit 1) with a message naming the flag, never a silent zero or wrap.
 ///
 /// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "dmtk.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -34,20 +43,24 @@ using namespace dmtk;
       stderr,
       "usage: dmtk <command> [args]\n"
       "  generate  --dims AxBxC [--rank R] [--noise f] [--seed s] --out F\n"
+      "            [--precision double|float]  (fp32 writes an f32 payload)\n"
       "            [--density f | --nnz n]  (sparse: uniform-random nonzeros\n"
-      "             written as FROSTT-style .tns text; --rank/--noise are\n"
-      "             dense-only)\n"
+      "             written as FROSTT-style .tns text; --rank/--noise/\n"
+      "             --precision are dense-only)\n"
       "  fmri      [--time T] [--subjects S] [--regions R] [--rank C]\n"
       "            [--noise f] [--seed s] [--linearize] --out F\n"
       "  info      <tensor.dten | tensor.tns>\n"
       "  decompose <tensor.dten> --rank R [--nn]\n"
+      "            [--precision double|float]\n"
       "            [--sweep permode|dimtree|auto] [--levels n] [--dimtree]\n"
       "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "            (--sweep dimtree shares partial MTTKRPs across modes;\n"
       "             --levels caps the tree depth, 0 = full tree; --dimtree\n"
       "             is the legacy alias for --sweep dimtree; auto picks\n"
-      "             dimtree for 4-way-and-up tensors)\n"
+      "             dimtree for 4-way-and-up tensors; --precision float\n"
+      "             runs the whole ALS pipeline in fp32 — half the memory\n"
+      "             bandwidth, fit accurate to ~1e-4)\n"
       "  decompose <tensor.tns> --rank R [--sweep csf|coo|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "            (sparse CP-ALS through the plan layer; auto = csf)\n"
@@ -56,21 +69,22 @@ using namespace dmtk;
   std::exit(1);
 }
 
-/// Parse "4x5x6" into extents.
-std::vector<index_t> parse_dims(const std::string& s) {
-  std::vector<index_t> dims;
-  std::size_t pos = 0;
-  while (pos < s.size()) {
-    std::size_t x = s.find('x', pos);
-    if (x == std::string::npos) x = s.size();
-    dims.push_back(std::atoll(s.substr(pos, x - pos).c_str()));
-    pos = x + 1;
+/// Usage error naming the offending flag/value; exit 1, like usage().
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+/// Parse "4x5x6" into extents; usage error on any malformed or
+/// nonpositive field.
+std::vector<index_t> parse_dims_or_die(const char* flag,
+                                       const std::string& s) {
+  const auto dims = parse_extents(s);
+  if (!dims) {
+    usage_error(std::string("--") + flag + " expects positive extents like " +
+                "100x80x60, got '" + s + "'");
   }
-  if (dims.empty()) usage();
-  for (index_t d : dims) {
-    if (d < 1) usage();
-  }
-  return dims;
+  return *dims;
 }
 
 /// Minimal --flag value parser; flags without '=' consume the next token.
@@ -99,16 +113,54 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
   return flags;
 }
 
-double flag_or(const std::map<std::string, std::string>& f, const char* k,
-               double def) {
+using Flags = std::map<std::string, std::string>;
+
+/// Strict integer flag: default when absent, usage error on a malformed
+/// value or one below `min`.
+long long flag_int(const Flags& f, const char* k, long long def,
+                   long long min) {
   auto it = f.find(k);
-  return it == f.end() ? def : std::atof(it->second.c_str());
+  if (it == f.end()) return def;
+  const auto v = parse_ll(it->second);
+  if (!v) {
+    usage_error(std::string("--") + k + " expects an integer, got '" +
+                it->second + "'");
+  }
+  if (*v < min) {
+    usage_error(std::string("--") + k + " must be >= " + std::to_string(min) +
+                ", got " + it->second);
+  }
+  return *v;
 }
 
-std::string flag_str(const std::map<std::string, std::string>& f,
-                     const char* k, const char* def = "") {
+/// Strict floating flag: default when absent, usage error on a malformed
+/// value or one below `min`.
+double flag_double(const Flags& f, const char* k, double def, double min) {
+  auto it = f.find(k);
+  if (it == f.end()) return def;
+  const auto v = parse_f64(it->second);
+  if (!v) {
+    usage_error(std::string("--") + k + " expects a number, got '" +
+                it->second + "'");
+  }
+  if (*v < min) {
+    usage_error(std::string("--") + k + " must be >= " + std::to_string(min) +
+                ", got " + it->second);
+  }
+  return *v;
+}
+
+std::string flag_str(const Flags& f, const char* k, const char* def = "") {
   auto it = f.find(k);
   return it == f.end() ? def : it->second;
+}
+
+/// --precision: double (default) or float; usage error otherwise.
+bool flag_wants_f32(const Flags& f) {
+  const std::string p = flag_str(f, "precision", "double");
+  if (p == "double" || p == "fp64" || p == "f64") return false;
+  if (p == "float" || p == "fp32" || p == "f32" || p == "single") return true;
+  usage_error("--precision expects double|float, got '" + p + "'");
 }
 
 /// The .tns extension selects the sparse (FROSTT text) path.
@@ -122,10 +174,10 @@ int cmd_generate(int argc, char** argv) {
   const std::string out = flag_str(flags, "out");
   const std::string dims_s = flag_str(flags, "dims");
   if (out.empty() || dims_s.empty()) usage();
-  const std::vector<index_t> dims = parse_dims(dims_s);
-  const auto rank = static_cast<index_t>(flag_or(flags, "rank", 5));
-  const double noise = flag_or(flags, "noise", 0.0);
-  Rng rng(static_cast<std::uint64_t>(flag_or(flags, "seed", 7)));
+  const std::vector<index_t> dims = parse_dims_or_die("dims", dims_s);
+  const auto rank = static_cast<index_t>(flag_int(flags, "rank", 5, 1));
+  const double noise = flag_double(flags, "noise", 0.0, 0.0);
+  Rng rng(static_cast<std::uint64_t>(flag_int(flags, "seed", 7, 0)));
 
   // Sparse output is selected consistently by BOTH signals — the sparse
   // generator flags and the .tns extension — so `generate` can never write
@@ -148,11 +200,11 @@ int cmd_generate(int argc, char** argv) {
       std::fprintf(stderr, "--density and --nnz are mutually exclusive\n");
       return 1;
     }
-    for (const char* dense_only : {"rank", "noise"}) {
+    for (const char* dense_only : {"rank", "noise", "precision"}) {
       if (flags.count(dense_only) != 0) {
         std::fprintf(stderr,
-                     "--%s is dense-only (random sparse tensors have no "
-                     "planted signal)\n",
+                     "--%s is dense-only (the .tns text format stores "
+                     "unstructured double nonzeros)\n",
                      dense_only);
         return 1;
       }
@@ -161,9 +213,9 @@ int cmd_generate(int argc, char** argv) {
     const index_t numel = probe.numel();
     index_t nnz;
     if (flags.count("nnz") != 0) {
-      nnz = static_cast<index_t>(flag_or(flags, "nnz", 0));
+      nnz = static_cast<index_t>(flag_int(flags, "nnz", 0, 1));
     } else {
-      const double density = flag_or(flags, "density", 0.0);
+      const double density = flag_double(flags, "density", 0.0, 0.0);
       if (density <= 0.0 || density > 1.0) {
         std::fprintf(stderr, "--density must be in (0, 1]\n");
         return 1;
@@ -186,6 +238,7 @@ int cmd_generate(int argc, char** argv) {
     return 0;
   }
 
+  const bool f32 = flag_wants_f32(flags);
   Ktensor truth = Ktensor::random(dims, rank, rng);
   Tensor X = truth.full();
   if (noise > 0.0) {
@@ -194,11 +247,15 @@ int cmd_generate(int argc, char** argv) {
     Rng nrng = rng.split();
     for (index_t l = 0; l < X.numel(); ++l) X[l] += sigma * nrng.normal();
   }
-  io::write_tensor(out, X);
-  std::printf("wrote %s: order %lld, %lld entries, rank-%lld signal\n",
+  if (f32) {
+    io::write_tensor(out, tensor_cast<float>(X));
+  } else {
+    io::write_tensor(out, X);
+  }
+  std::printf("wrote %s: order %lld, %lld entries, rank-%lld signal (%s)\n",
               out.c_str(), static_cast<long long>(X.order()),
               static_cast<long long>(X.numel()),
-              static_cast<long long>(rank));
+              static_cast<long long>(rank), f32 ? "f32" : "f64");
   return 0;
 }
 
@@ -208,12 +265,12 @@ int cmd_fmri(int argc, char** argv) {
   const std::string out = flag_str(flags, "out");
   if (out.empty()) usage();
   sim::FmriOptions fo;
-  fo.time_steps = static_cast<index_t>(flag_or(flags, "time", 225));
-  fo.subjects = static_cast<index_t>(flag_or(flags, "subjects", 59));
-  fo.regions = static_cast<index_t>(flag_or(flags, "regions", 200));
-  fo.components = static_cast<index_t>(flag_or(flags, "rank", 10));
-  fo.noise_level = flag_or(flags, "noise", 0.05);
-  fo.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 7));
+  fo.time_steps = static_cast<index_t>(flag_int(flags, "time", 225, 1));
+  fo.subjects = static_cast<index_t>(flag_int(flags, "subjects", 59, 1));
+  fo.regions = static_cast<index_t>(flag_int(flags, "regions", 200, 1));
+  fo.components = static_cast<index_t>(flag_int(flags, "rank", 10, 1));
+  fo.noise_level = flag_double(flags, "noise", 0.05, 0.0);
+  fo.seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 7, 0));
   const sim::FmriData data = sim::make_fmri_tensor(fo);
   if (flags.count("linearize") != 0) {
     io::write_tensor(out, sim::symmetrize_linearize(data.tensor));
@@ -243,21 +300,25 @@ int cmd_info(int argc, char** argv) {
                 std::sqrt(S.norm_squared()));
     return 0;
   }
+  const io::ScalarKind kind = io::tensor_scalar_kind(pos);
   const Tensor X = io::read_tensor(pos);
+  const double bytes_per =
+      kind == io::ScalarKind::F32 ? sizeof(float) : sizeof(double);
   std::printf("%s: order %lld, dims", pos.c_str(),
               static_cast<long long>(X.order()));
   for (index_t d : X.dims()) std::printf(" %lld", static_cast<long long>(d));
-  std::printf(", %lld entries (%.1f MB), ||X|| = %.6g\n",
+  std::printf(", %lld entries (%s, %.1f MB), ||X|| = %.6g\n",
               static_cast<long long>(X.numel()),
-              static_cast<double>(X.numel()) * 8 / 1e6, X.norm());
+              kind == io::ScalarKind::F32 ? "f32" : "f64",
+              static_cast<double>(X.numel()) * bytes_per / 1e6, X.norm());
   return 0;
 }
 
 /// Sparse decompose: .tns input through the plan layer (SparseCsf by
 /// default). The dense-only knobs are rejected loudly rather than ignored.
-int cmd_decompose_sparse(const std::string& pos,
-                         std::map<std::string, std::string>& flags) {
-  for (const char* dense_only : {"nn", "method", "levels", "dimtree"}) {
+int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
+  for (const char* dense_only :
+       {"nn", "method", "levels", "dimtree", "precision"}) {
     if (flags.count(dense_only) != 0) {
       std::fprintf(stderr, "--%s needs a dense tensor (.dten input)\n",
                    dense_only);
@@ -265,13 +326,13 @@ int cmd_decompose_sparse(const std::string& pos,
     }
   }
   const sparse::SparseTensor S = io::read_tns(pos);
-  ExecContext ctx(static_cast<int>(flag_or(flags, "threads", 0)));
+  ExecContext ctx(static_cast<int>(flag_int(flags, "threads", 0, 0)));
   CpAlsOptions opts;
-  opts.rank = static_cast<index_t>(flag_or(flags, "rank", 10));
-  opts.max_iters = static_cast<int>(flag_or(flags, "iters", 100));
-  opts.tol = flag_or(flags, "tol", 1e-6);
+  opts.rank = static_cast<index_t>(flag_int(flags, "rank", 10, 1));
+  opts.max_iters = static_cast<int>(flag_int(flags, "iters", 100, 1));
+  opts.tol = flag_double(flags, "tol", 1e-6, 0.0);
   opts.exec = &ctx;
-  opts.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42));
+  opts.seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 42, 0));
   const std::string sweep_s = flag_str(flags, "sweep");
   if (!sweep_s.empty()) {
     const auto s = parse_sweep_scheme(sweep_s);
@@ -306,22 +367,59 @@ int cmd_decompose_sparse(const std::string& pos,
   return 0;
 }
 
+/// Dense fp32 decompose: the tensor is read (or converted) straight into
+/// fp32 — never staged as a second full double copy — and the whole ALS
+/// pipeline (plans, kernels, solve, fit) runs in float; the model is
+/// widened to f64 only for output.
+int cmd_decompose_f32(const std::string& pos, const CpAlsOptions& dopts,
+                      SweepScheme resolved, const std::string& out) {
+  const TensorF X = io::read_tensor_as<float>(pos);
+  ExecContext ctx(dopts.exec != nullptr ? dopts.exec->threads() : 0);
+  CpAlsOptionsF opts;
+  opts.rank = dopts.rank;
+  opts.max_iters = dopts.max_iters;
+  opts.tol = dopts.tol;
+  opts.method = dopts.method;
+  opts.seed = dopts.seed;
+  opts.sweep_scheme = dopts.sweep_scheme;
+  opts.dimtree_levels = dopts.dimtree_levels;
+  opts.exec = &ctx;
+
+  WallTimer t;
+  const CpAlsResultF r = cp_als(X, opts);
+  std::printf(
+      "cp_als[%s sweep, fp32]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
+      std::string(to_string(resolved)).c_str(),
+      static_cast<long long>(opts.rank), r.final_fit, r.iterations,
+      r.converged ? "converged" : "max-iters", t.seconds());
+  if (!out.empty()) {
+    io::write_ktensor(out, ktensor_cast<double>(r.model));
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int cmd_decompose(int argc, char** argv) {
   std::string pos;
   auto flags = parse_flags(argc, argv, 2, &pos);
   if (pos.empty()) usage();
   if (is_tns(pos)) return cmd_decompose_sparse(pos, flags);
-  const Tensor X = io::read_tensor(pos);
+  const bool f32 = flag_wants_f32(flags);
+  // Only the header is needed to resolve options; the payload is read
+  // later, in the selected compute precision (an fp32 run never stages a
+  // full double copy).
+  const index_t order =
+      static_cast<index_t>(io::tensor_extents(pos).size());
   // One context for the whole decomposition: pinned thread count plus the
   // workspace arena the driver's per-mode MTTKRP plans share.
-  ExecContext ctx(static_cast<int>(flag_or(flags, "threads", 0)));
+  ExecContext ctx(static_cast<int>(flag_int(flags, "threads", 0, 0)));
   CpAlsOptions opts;
-  opts.rank = static_cast<index_t>(flag_or(flags, "rank", 10));
-  opts.max_iters = static_cast<int>(flag_or(flags, "iters", 100));
-  opts.tol = flag_or(flags, "tol", 1e-6);
+  opts.rank = static_cast<index_t>(flag_int(flags, "rank", 10, 1));
+  opts.max_iters = static_cast<int>(flag_int(flags, "iters", 100, 1));
+  opts.tol = flag_double(flags, "tol", 1e-6, 0.0);
   opts.exec = &ctx;
-  opts.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42));
-  opts.dimtree_levels = static_cast<int>(flag_or(flags, "levels", 0));
+  opts.seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 42, 0));
+  opts.dimtree_levels = static_cast<int>(flag_int(flags, "levels", 0, 0));
   const std::string sweep_s = flag_str(flags, "sweep");
   if (!sweep_s.empty()) {
     const auto s = parse_sweep_scheme(sweep_s);
@@ -368,13 +466,22 @@ int cmd_decompose(int argc, char** argv) {
   // guardrails and the report below key off the resolution, not the
   // request.
   const SweepScheme resolved =
-      resolve_sweep_scheme(opts.sweep_scheme, X.order(), opts.method);
+      resolve_sweep_scheme(opts.sweep_scheme, order, opts.method);
   if (flags.count("levels") != 0 && resolved != SweepScheme::DimTree) {
     // Only the dimension tree has a depth; ignoring the flag would let the
     // user believe they ran the 1-level ablation on a PerMode sweep.
     std::fprintf(stderr, "--levels requires the dimtree sweep\n");
     return 1;
   }
+  if (f32) {
+    if (flags.count("nn") != 0) {
+      std::fprintf(stderr,
+                   "--nn (HALS) is double-only; drop --precision float\n");
+      return 1;
+    }
+    return cmd_decompose_f32(pos, opts, resolved, flag_str(flags, "out"));
+  }
+  const Tensor X = io::read_tensor(pos);
 
   WallTimer t;
   CpAlsResult r;
@@ -403,7 +510,7 @@ int cmd_tucker(int argc, char** argv) {
   const std::string ranks_s = flag_str(flags, "ranks");
   if (pos.empty() || ranks_s.empty()) usage();
   const Tensor X = io::read_tensor(pos);
-  const std::vector<index_t> ranks = parse_dims(ranks_s);
+  const std::vector<index_t> ranks = parse_dims_or_die("ranks", ranks_s);
   WallTimer t;
   const TuckerModel m = st_hosvd(X, ranks);
   std::printf("st_hosvd: rel-error %.3e, %.2f s\n",

@@ -1,26 +1,27 @@
 #!/usr/bin/env bash
-# Run the perf-trajectory benches and write BENCH_pr4.json at the repo root.
+# Run the perf-trajectory benches and write BENCH_pr5.json at the repo root.
 #
 # usage: tools/run_benches.sh [build_dir] [out_json] [scale]
 #   build_dir  CMake build tree with the bench binaries (default: build)
-#   out_json   output JSON path (default: BENCH_pr4.json)
+#   out_json   output JSON path (default: BENCH_pr5.json)
 #   scale      --scale for the figure benches (default: 0.001)
 #
-# The density ablation (dense MttkrpPlan vs COO/CSF SparseMttkrpPlan, all
-# through the plan layer, with the CSF/COO/dense equivalence check armed)
-# emits the headline JSON record; the dimension-tree sweep ablation JSON of
-# PR 3 plus fig5/fig6 logs and the GEMM-roofline JSON of PR 2 land in
-# bench_logs/ so the end-to-end and kernel numbers travel with it.
-# Subsequent PRs compare their BENCH_*.json against this one.
+# The GEMM roofline (now with an fp32 column per case — the templated
+# core's bandwidth economy, with the f64+f32 scalar/AVX2 equivalence check
+# armed) emits the headline JSON record; the fig5 MTTKRP scaling log (f64
+# vs f32 rows), the density-ablation JSON of PR 4, and the dimension-tree
+# ablation JSON of PR 3 land in bench_logs/ so the end-to-end numbers
+# travel with it. Subsequent PRs compare their BENCH_*.json against this
+# one.
 
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-BENCH_pr4.json}"
+out_json="${2:-BENCH_pr5.json}"
 scale="${3:-0.001}"
 
-if [[ ! -x "${build_dir}/bench_ablation_density" ]]; then
-  echo "error: ${build_dir}/bench_ablation_density not found — build first:" >&2
+if [[ ! -x "${build_dir}/bench_gemm_roofline" ]]; then
+  echo "error: ${build_dir}/bench_gemm_roofline not found — build first:" >&2
   echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
   exit 1
 fi
@@ -28,18 +29,31 @@ fi
 log_dir="$(dirname "${out_json}")/bench_logs"
 mkdir -p "${log_dir}"
 
-echo "== fig5 (MTTKRP scaling) =="
+echo "== gemm roofline (f64 + f32, equivalence check armed) =="
+"${build_dir}/bench_gemm_roofline" --sizes 256,512,1024 --threads 1 \
+  --trials 3 --check --json "${log_dir}/gemm_roofline.json" \
+  | tee "${log_dir}/gemm_roofline.log"
+
+echo "== fig5 (MTTKRP scaling, f64 vs f32) =="
 "${build_dir}/bench_fig5_scaling" --scale "${scale}" --threads 1,2,4 \
-  --trials 3 | tee "${log_dir}/fig5.log"
+  --trials 3 --json "${log_dir}/fig5.json" | tee "${log_dir}/fig5.log"
+
+# The headline record: the fp64-vs-fp32 roofline plus the fig5 sweep
+# timings, merged into one JSON object.
+{
+  echo '{'
+  echo '  "bench": "pr5_fp32_trajectory",'
+  echo '  "roofline":'
+  sed 's/^/  /' "${log_dir}/gemm_roofline.json"
+  echo '  ,'
+  echo '  "fig5_sweep":'
+  sed 's/^/  /' "${log_dir}/fig5.json"
+  echo '}'
+} > "${out_json}"
 
 echo "== fig6 (MTTKRP breakdown) =="
 "${build_dir}/bench_fig6_breakdown" --scale "${scale}" --trials 3 \
   | tee "${log_dir}/fig6.log"
-
-echo "== gemm roofline =="
-"${build_dir}/bench_gemm_roofline" --sizes 256,512,1024 --threads 1 \
-  --trials 3 --check --json "${log_dir}/gemm_roofline.json" \
-  | tee "${log_dir}/gemm_roofline.log"
 
 echo "== dimension-tree sweep ablation =="
 "${build_dir}/bench_ablation_dimtree" --scale "${scale}" --threads 1 \
@@ -48,7 +62,7 @@ echo "== dimension-tree sweep ablation =="
 
 echo "== density ablation (dense vs COO vs CSF, plan layer) =="
 "${build_dir}/bench_ablation_density" --scale "${scale}" --threads 1 \
-  --trials 3 --check --json "${out_json}" \
+  --trials 3 --check --json "${log_dir}/ablation_density.json" \
   | tee "${log_dir}/ablation_density.log"
 
 echo
