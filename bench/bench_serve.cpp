@@ -1,0 +1,229 @@
+/// \file bench_serve.cpp
+/// The serving argument in numbers: a resident server amortizes plan
+/// construction (and context/arena setup) across requests, so a repeat
+/// decompose through the warm plan cache must beat the cold-start path —
+/// which pays the batch CLI's per-invocation cost (fresh ExecContext +
+/// transient plan) on every request. Measures client-observed round-trip
+/// latency over a real Unix socket, cold (cold:true requests, cache
+/// bypassed) vs warm (cached plan), plus a same-shape MTTKRP burst that
+/// exercises request coalescing into one gemm_batched sweep. --json
+/// writes the BENCH_serve.json record.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tensor.hpp"
+#include "io/tensor_io.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dmtk;
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+serve::Json decompose_req(const std::string& tensor, index_t rank,
+                          bool cold) {
+  serve::Json r;
+  r.set("type", serve::Json("decompose"));
+  r.set("tensor", serve::Json(tensor));
+  r.set("rank", serve::Json(rank));
+  r.set("iters", serve::Json(1));
+  r.set("tol", serve::Json(0.0));
+  r.set("sweep", serve::Json("permode"));
+  r.set("inline_model", serve::Json(false));
+  if (cold) r.set("cold", serve::Json(true));
+  return r;
+}
+
+/// One request-response round trip, client-observed milliseconds.
+double roundtrip_ms(serve::Client& c, const serve::Json& req) {
+  WallTimer t;
+  const serve::Json resp = c.roundtrip(req);
+  const double ms = t.seconds() * 1e3;
+  const serve::Json* ok = resp.find("ok");
+  if (ok == nullptr || !ok->as_bool()) {
+    std::fprintf(stderr, "request failed: %s\n", resp.dump().c_str());
+    std::exit(1);
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf("bench-specific: --json <path>  write the BENCH_serve.json "
+                  "record\n");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    }
+  }
+  bench::Args args = bench::Args::parse(argc, argv, 0.001);
+  bench::banner("serve: warm plan cache vs cold start", args);
+
+  // Workload: one (shape, rank) repeated — the resident server's sweet
+  // spot. Sized from --scale like the other benches.
+  const index_t dim = bench::cube_dim(3, args.scale);
+  const index_t rank = 16;
+  const int trials = std::max(10, args.trials * 10);
+
+  char tmpl[] = "/tmp/dmtk_bench_serve_XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::filesystem::path work(tmpl);
+  const std::string tensor = (work / "cube.dten").string();
+  {
+    Rng rng(5);
+    io::write_tensor(tensor, Tensor::random_uniform({dim, dim, dim}, rng));
+  }
+
+  serve::ServeOptions so;
+  so.socket = (work / "dmtk.sock").string();
+  so.workers = 1;
+  so.threads = 1;
+  serve::Server server(so);
+  server.start();
+
+  serve::Client client;
+  client.connect(so.socket);
+
+  std::printf("workload: %lld^3 tensor, rank %lld, 1 sweep, %d trials\n",
+              static_cast<long long>(dim), static_cast<long long>(rank),
+              trials);
+
+  // Cold: every request pays context + plan construction (cache bypassed).
+  std::vector<double> cold_ms;
+  for (int t = 0; t < trials; ++t) {
+    cold_ms.push_back(
+        roundtrip_ms(client, decompose_req(tensor, rank, true)));
+  }
+
+  // Warm: one miss builds the cached plan, then every repeat hits it.
+  roundtrip_ms(client, decompose_req(tensor, rank, false));
+  std::vector<double> warm_ms;
+  for (int t = 0; t < trials; ++t) {
+    warm_ms.push_back(
+        roundtrip_ms(client, decompose_req(tensor, rank, false)));
+  }
+
+  const double cold_p50 = median(cold_ms);
+  const double warm_p50 = median(warm_ms);
+  const double cold_p90 = percentile(cold_ms, 0.9);
+  const double warm_p90 = percentile(warm_ms, 0.9);
+
+  bench::print_rule();
+  std::printf("%-28s %10s %10s\n", "decompose latency (ms)", "p50", "p90");
+  std::printf("%-28s %10.3f %10.3f\n", "cold (fresh ctx + plan)", cold_p50,
+              cold_p90);
+  std::printf("%-28s %10.3f %10.3f\n", "warm (cached plan)", warm_p50,
+              warm_p90);
+  std::printf("%-28s %10.2fx\n", "warm speedup (p50)", cold_p50 / warm_p50);
+
+  // MTTKRP burst: fire same-shape requests back to back on one
+  // connection, then read all responses — queued requests coalesce into
+  // one gemm_batched sweep.
+  const int burst = 8;
+  serve::Json mreq;
+  mreq.set("type", serve::Json("mttkrp"));
+  mreq.set("tensor", serve::Json(tensor));
+  mreq.set("rank", serve::Json(rank));
+  mreq.set("mode", serve::Json(1));
+  WallTimer burst_t;
+  for (int i = 0; i < burst; ++i) client.send_line(mreq.dump());
+  for (int i = 0; i < burst; ++i) {
+    const auto line = client.recv_line();
+    if (!line) {
+      std::fprintf(stderr, "server hung up during the mttkrp burst\n");
+      return 1;
+    }
+  }
+  const double burst_ms = burst_t.seconds() * 1e3;
+  std::printf("%-28s %10.3f  (%d requests, %.3f ms each)\n",
+              "mttkrp burst total (ms)", burst_ms, burst,
+              burst_ms / burst);
+
+  serve::Json stats_req;
+  stats_req.set("type", serve::Json("stats"));
+  const serve::Json stats = client.roundtrip(stats_req);
+  const serve::Json* queue = stats.find("queue");
+  const double max_batch =
+      queue != nullptr ? queue->find("max_batch_observed")->as_number() : 0.0;
+  std::printf("%-28s %10.0f\n", "max batch observed", max_batch);
+
+  if (json_path != nullptr) {
+    serve::Json rec;
+    rec.set("bench", serve::Json("serve_warm_vs_cold"));
+    serve::Json wl;
+    wl.set("dims", serve::Json(std::to_string(dim) + "x" +
+                               std::to_string(dim) + "x" +
+                               std::to_string(dim)));
+    wl.set("rank", serve::Json(rank));
+    wl.set("sweeps", serve::Json(1));
+    wl.set("trials", serve::Json(trials));
+    rec.set("workload", wl);
+    serve::Json cold;
+    cold.set("p50_ms", serve::Json(cold_p50));
+    cold.set("p90_ms", serve::Json(cold_p90));
+    rec.set("cold", cold);
+    serve::Json warm;
+    warm.set("p50_ms", serve::Json(warm_p50));
+    warm.set("p90_ms", serve::Json(warm_p90));
+    rec.set("warm", warm);
+    rec.set("warm_speedup_p50", serve::Json(cold_p50 / warm_p50));
+    serve::Json mt;
+    mt.set("burst_requests", serve::Json(burst));
+    mt.set("burst_total_ms", serve::Json(burst_ms));
+    mt.set("max_batch_observed", serve::Json(max_batch));
+    rec.set("mttkrp", mt);
+    rec.set("server_stats", stats);
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json path");
+      return 1;
+    }
+    const std::string text = rec.dump();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  serve::Json shutdown_req;
+  shutdown_req.set("type", serve::Json("shutdown"));
+  (void)client.roundtrip(shutdown_req);  // ack content is irrelevant here
+  server.wait();
+  server.stop();
+  std::filesystem::remove_all(work);
+
+  const bool warm_wins = warm_p50 < cold_p50;
+  std::printf("warm-beats-cold: %s\n", warm_wins ? "yes" : "NO");
+  return warm_wins ? 0 : 1;
+}

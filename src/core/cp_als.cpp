@@ -34,6 +34,32 @@ MatrixT<T> hadamard_of_grams(const std::vector<MatrixT<T>>& grams,
   return H;
 }
 
+namespace {
+
+/// The shared standard-ALS body behind both cp_als overloads: initialize
+/// the model, then run the sweep loop with the exact-solve factor update.
+template <typename T>
+CpAlsResultT<T> run_standard(const TensorT<T>& X, const CpAlsOptionsT<T>& opts,
+                             const ExecContext& ctx,
+                             CpAlsSweepPlanT<T>* sweep) {
+  const int nt = ctx.threads();
+  CpAlsResultT<T> result;
+  detail::init_model(X, opts, "cp_als", result.model);
+  KtensorT<T>& model = result.model;
+
+  detail::run_als_sweeps(
+      X, opts, ctx, sweep, result,
+      [&](index_t n, MatrixT<T>& H, MatrixT<T>& M, int iter) {
+        detail::factor_solve(H, M, nt);
+        MatrixT<T>& U = model.factors[static_cast<std::size_t>(n)];
+        std::swap(U, M);
+        detail::normalize_update(U, model.lambda, iter == 0);
+      });
+  return result;
+}
+
+}  // namespace
+
 template <typename T>
 CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts) {
   const index_t N = X.order();
@@ -45,7 +71,6 @@ CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts) {
   std::optional<ExecContext> own_ctx;
   const ExecContext& ctx =
       opts.exec != nullptr ? *opts.exec : own_ctx.emplace(opts.threads);
-  const int nt = ctx.threads();
 
   // One sweep plan for the whole factorization: scheme dispatch, tree
   // construction (DimTree) or per-mode MttkrpPlans (PerMode), and the
@@ -56,24 +81,35 @@ CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts) {
     sweep.emplace(ctx, X.dims(), C, opts.sweep_scheme, opts.method,
                   opts.dimtree_levels);
   }
+  return run_standard(X, opts, ctx, sweep ? &*sweep : nullptr);
+}
 
-  CpAlsResultT<T> result;
-  detail::init_model(X, opts, "cp_als", result.model);
-  KtensorT<T>& model = result.model;
-
-  detail::run_als_sweeps(
-      X, opts, ctx, sweep ? &*sweep : nullptr, result,
-      [&](index_t n, MatrixT<T>& H, MatrixT<T>& M, int iter) {
-        detail::factor_solve(H, M, nt);
-        MatrixT<T>& U = model.factors[static_cast<std::size_t>(n)];
-        std::swap(U, M);
-        detail::normalize_update(U, model.lambda, iter == 0);
-      });
-  return result;
+template <typename T>
+CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts,
+                       CpAlsSweepPlanT<T>& plan) {
+  DMTK_CHECK(X.order() >= 2, "cp_als: tensor must have at least 2 modes");
+  DMTK_CHECK(opts.rank >= 1, "cp_als: rank must be positive");
+  DMTK_CHECK(!opts.mttkrp_override,
+             "cp_als: the plan overload cannot take an mttkrp_override");
+  DMTK_CHECK(!plan.is_sparse(), "cp_als: dense driver needs a dense plan");
+  DMTK_CHECK(plan.rank() == opts.rank,
+             "cp_als: plan rank does not match opts.rank");
+  const auto pd = plan.dims();
+  const auto xd = X.dims();
+  DMTK_CHECK(pd.size() == xd.size() &&
+                 std::equal(pd.begin(), pd.end(), xd.begin()),
+             "cp_als: plan extents do not match the tensor");
+  // The plan's sweeps draw from its own context's arena; running them
+  // against any other context would be wrong, so opts.exec is ignored.
+  return run_standard(X, opts, plan.context(), &plan);
 }
 
 template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&);
 template CpAlsResultF cp_als<float>(const TensorF&, const CpAlsOptionsF&);
+template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&,
+                                    CpAlsSweepPlan&);
+template CpAlsResultF cp_als<float>(const TensorF&, const CpAlsOptionsF&,
+                                    CpAlsSweepPlanF&);
 template Matrix hadamard_of_grams<double>(const std::vector<Matrix>&, index_t);
 template MatrixF hadamard_of_grams<float>(const std::vector<MatrixF>&,
                                           index_t);

@@ -111,6 +111,26 @@ extern template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&);
 extern template CpAlsResultF cp_als<float>(const TensorF&,
                                            const CpAlsOptionsF&);
 
+/// As cp_als, but running the sweeps through a CALLER-OWNED plan instead
+/// of constructing one: the hook that lets a resident process (the serve
+/// plan cache) amortize plan construction across many factorizations of
+/// the same (shape, rank). The plan must be dense, match X's extents and
+/// opts.rank, and outlive the call; execution uses plan.context() —
+/// opts.exec and opts.threads are ignored (the plan's arena lives in its
+/// own context), and opts.mttkrp_override is rejected (it would bypass
+/// the plan this overload exists to reuse). opts.sweep_scheme / method /
+/// dimtree_levels are likewise superseded by what the plan was built
+/// with. Identical results to the plan-less overload given matching
+/// construction parameters — byte-identical factors for equal seeds.
+template <typename T>
+CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts,
+                       CpAlsSweepPlanT<T>& plan);
+
+extern template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&,
+                                           CpAlsSweepPlan&);
+extern template CpAlsResultF cp_als<float>(const TensorF&, const CpAlsOptionsF&,
+                                           CpAlsSweepPlanF&);
+
 /// The Hadamard product of all Gram matrices except `skip`:
 /// H = (*)_{k != skip} grams[k]. Pass skip = -1 to include all modes.
 /// Exposed for tests and the baseline implementation.

@@ -280,14 +280,50 @@ sparse::SparseTensor read_tns(const std::filesystem::path& path) {
   std::ifstream f(path);
   if (!f) throw IoError("cannot open for reading: " + path.string());
 
-  // Two-phase read: the mode sizes are the coordinate maxima, so all
-  // entries are parsed (and validated, with line numbers) before the
-  // tensor can be constructed. Coordinates land in ONE flat entry-major
-  // array and fields are parsed in place off the line buffer — FROSTT
-  // files reach tens of millions of nonzeros, so per-entry vectors or
-  // per-token strings would dominate the read.
+  // Pass 1: count data lines (and take the order off the first one) so
+  // every buffer below reserves exactly once. FROSTT files reach tens of
+  // millions of nonzeros; growth reallocations of the flat coordinate
+  // array would copy gigabytes, and the count is a cheap scan.
+  std::size_t nnz_count = 0;
+  index_t first_order = 0;
+  {
+    std::string scan;
+    while (std::getline(f, scan)) {
+      const std::size_t hash = scan.find('#');
+      const std::size_t len = hash == std::string::npos ? scan.size() : hash;
+      std::size_t i = 0;
+      index_t nfields = 0;
+      while (i < len) {
+        while (i < len && std::isspace(static_cast<unsigned char>(scan[i]))) {
+          ++i;
+        }
+        if (i >= len) break;
+        ++nfields;
+        if (nnz_count > 0) break;  // only the first data line needs a count
+        while (i < len && !std::isspace(static_cast<unsigned char>(scan[i]))) {
+          ++i;
+        }
+      }
+      if (nfields == 0) continue;
+      if (nnz_count == 0) first_order = nfields - 1;
+      ++nnz_count;
+    }
+    f.clear();
+    f.seekg(0);
+  }
+
+  // Pass 2: parse and validate into the pre-sized buffers. The mode
+  // sizes are the coordinate maxima, so all entries are parsed (with
+  // line numbers) before the tensor can be constructed. Coordinates land
+  // in ONE flat entry-major array and fields are parsed in place off the
+  // line buffer — per-entry vectors or per-token strings would dominate
+  // the read.
   std::vector<index_t> coords;  // flat [entry * order + mode], 0-based
   std::vector<double> values;
+  if (nnz_count > 0 && first_order > 0) {
+    coords.reserve(nnz_count * static_cast<std::size_t>(first_order));
+    values.reserve(nnz_count);
+  }
   index_t order = 0;
   std::string line;
   std::size_t line_no = 0;
@@ -370,6 +406,7 @@ sparse::SparseTensor read_tns(const std::filesystem::path& path) {
     }
   }
   sparse::SparseTensor S(dims);
+  S.reserve(static_cast<index_t>(values.size()));
   for (std::size_t k = 0; k < values.size(); ++k) {
     S.push_back({coords.data() + k * static_cast<std::size_t>(order),
                  static_cast<std::size_t>(order)},

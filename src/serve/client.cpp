@@ -1,0 +1,108 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace dmtk::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), buf_(std::move(o.buf_)) {}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    buf_ = std::move(o.buf_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void Client::connect(const std::string& socket_path, int timeout_ms) {
+  close();
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ClientError("client: bad socket path: " + socket_path);
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(std::max(0, timeout_ms));
+  int last_errno = 0;
+  do {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw ClientError(std::string("client: socket(): ") +
+                        std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      fd_ = fd;
+      return;
+    }
+    last_errno = errno;
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } while (std::chrono::steady_clock::now() < deadline);
+  throw ClientError("client: could not connect to '" + socket_path +
+                    "' within " + std::to_string(timeout_ms) + " ms: " +
+                    std::strerror(last_errno));
+}
+
+void Client::send_line(const std::string& line) {
+  if (fd_ < 0) throw ClientError("client: not connected");
+  std::string s = line;
+  s += '\n';
+  const char* p = s.data();
+  std::size_t left = s.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n <= 0) throw ClientError("client: send failed (server gone?)");
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::recv_line() {
+  if (fd_ < 0) throw ClientError("client: not connected");
+  char tmp[1 << 16];
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+    if (n <= 0) return std::nullopt;
+    buf_.append(tmp, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::roundtrip(const Json& request) {
+  send_line(request.dump());
+  const auto line = recv_line();
+  if (!line) {
+    throw ClientError("client: connection closed before a response arrived");
+  }
+  return Json::parse(*line);
+}
+
+}  // namespace dmtk::serve

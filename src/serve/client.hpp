@@ -1,0 +1,65 @@
+#pragma once
+/// \file client.hpp
+/// \brief Blocking Unix-domain-socket client for the serve protocol —
+/// the library side of `dmtk client`, and what the tests and the serve
+/// benchmark drive the server with.
+///
+/// connect() retries for a bounded window (the common caller pattern is
+/// "start `dmtk serve` in the background, immediately drive it" — the
+/// retry absorbs the server's startup latency so scripts need no sleep).
+/// roundtrip() writes one request line and blocks until one response
+/// line arrives; requests on one Client are strictly sequential, so the
+/// response read next is the response to the request just sent (the
+/// server may interleave responses only across DIFFERENT sockets).
+/// Concurrency tests simply open one Client per thread.
+
+#include <optional>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace dmtk::serve {
+
+/// Thrown on connect/send/receive failures (not on server-side errors,
+/// which come back as perfectly valid {"ok": false} responses).
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+
+  /// Connect to the server's socket, retrying every 50 ms for up to
+  /// `timeout_ms` (a freshly-spawned server may not be listening yet).
+  /// Throws ClientError when the window elapses.
+  void connect(const std::string& socket_path, int timeout_ms = 5000);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request line. `line` must be a single JSON object without
+  /// the trailing newline (appended here).
+  void send_line(const std::string& line);
+
+  /// Block until one complete response line arrives; nullopt when the
+  /// server closed the connection.
+  [[nodiscard]] std::optional<std::string> recv_line();
+
+  /// send_line + recv_line + parse. Throws ClientError when the server
+  /// hangs up mid-request.
+  [[nodiscard]] Json roundtrip(const Json& request);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last returned line
+};
+
+}  // namespace dmtk::serve

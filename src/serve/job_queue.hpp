@@ -1,0 +1,140 @@
+#pragma once
+/// \file job_queue.hpp
+/// \brief Bounded job queue with admission control and same-key
+/// extraction — the server's spine between connection readers and
+/// decomposition workers.
+///
+/// Admission control is REJECTION, not blocking: a reader thread that
+/// finds the queue full gets `false` back immediately and sends the
+/// client a structured `busy` error, so a burst degrades into fast
+/// failures instead of unbounded latency (the queue-depth bound is the
+/// latency bound: depth x per-job cost). Age-based shedding is the
+/// worker's half: pop() hands back the enqueue timestamp and the worker
+/// drops jobs that out-waited the oldest-job timeout with a structured
+/// `timeout` error rather than burning compute on a request whose client
+/// has likely given up.
+///
+/// extract_matching() is what request batching stands on: after popping a
+/// job, a worker pulls every queued job with the same batch key (plan
+/// cache key, for decompose) and runs them back to back through one
+/// shared plan. Extraction preserves FIFO order among the matched jobs
+/// and leaves the rest of the queue untouched.
+///
+/// The template keeps the queue independent of the server's Job type so
+/// the admission/extraction semantics are unit-testable with plain
+/// payloads.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmtk::serve {
+
+/// Counters snapshot (see JobQueue::stats).
+struct JobQueueStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_busy = 0;
+  std::size_t depth = 0;
+  std::size_t capacity = 0;
+};
+
+template <typename Job>
+class JobQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Item {
+    Job job;
+    std::string key;  ///< batch key; empty = never batched
+    Clock::time_point enqueued;
+  };
+
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admit a job, or refuse immediately when the queue is at capacity or
+  /// the queue has been stopped (shutdown in progress reads as busy).
+  [[nodiscard]] bool try_push(Job job, std::string key) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || q_.size() >= capacity_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      q_.push_back(Item{std::move(job), std::move(key), Clock::now()});
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until a job is available or the queue is stopped. After
+  /// stop(), remaining jobs are still handed out (graceful drain);
+  /// nullopt means stopped AND empty — the worker's exit signal.
+  [[nodiscard]] std::optional<Item> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stopped_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    Item it = std::move(q_.front());
+    q_.pop_front();
+    return it;
+  }
+
+  /// Remove up to `max` queued jobs whose batch key equals `key` (FIFO
+  /// order preserved), appending them to `out`. Jobs with an empty key
+  /// never match.
+  std::size_t extract_matching(const std::string& key, std::size_t max,
+                               std::vector<Item>& out) {
+    if (key.empty() || max == 0) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t taken = 0;
+    for (auto it = q_.begin(); it != q_.end() && taken < max;) {
+      if (it->key == key) {
+        out.push_back(std::move(*it));
+        it = q_.erase(it);
+        ++taken;
+      } else {
+        ++it;
+      }
+    }
+    return taken;
+  }
+
+  /// Stop admitting and wake every waiting worker. Queued jobs remain
+  /// poppable (drain); push attempts fail as busy.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] JobQueueStats stats() const {
+    JobQueueStats s;
+    s.admitted = admitted_.load(std::memory_order_relaxed);
+    s.rejected_busy = rejected_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s.depth = q_.size();
+    }
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> q_;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace dmtk::serve

@@ -1,0 +1,384 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmtk::serve {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw JsonError("json: " + what + " at offset " + std::to_string(pos));
+}
+
+/// Recursive-descent parser over a string_view. Positions are byte
+/// offsets into the original text, carried into every error.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Json run() {
+    skip_ws();
+    Json v = value(0);
+    skip_ws();
+    if (pos_ != s_.size()) fail(pos_, "trailing garbage after value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail(pos_, "unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view kw) {
+    if (s_.substr(pos_, kw.size()) != kw) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  Json value(int depth) {
+    if (depth > Json::kMaxDepth) fail(pos_, "nesting too deep");
+    switch (peek()) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return Json(string());
+      case 't':
+        if (consume_keyword("true")) return Json(true);
+        fail(pos_, "invalid literal");
+      case 'f':
+        if (consume_keyword("false")) return Json(false);
+        fail(pos_, "invalid literal");
+      case 'n':
+        if (consume_keyword("null")) return Json(nullptr);
+        fail(pos_, "invalid literal");
+      default:
+        return number();
+    }
+  }
+
+  Json object(int depth) {
+    expect('{');
+    Json::Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail(pos_, "expected object key");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      // Duplicate keys are a protocol ambiguity, not a tie to break
+      // silently.
+      if (!o.emplace(std::move(key), value(depth + 1)).second) {
+        fail(pos_, "duplicate object key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(o));
+    }
+  }
+
+  Json array(int depth) {
+    expect('[');
+    Json::Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(a));
+    }
+    while (true) {
+      skip_ws();
+      a.push_back(value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(a));
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail(pos_, "unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              fail(pos_, "unpaired surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail(pos_, "unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail(pos_, "unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail(pos_ - 1, "bad escape character");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    // Integer part: "0" or nonzero-led digits (JSON forbids 007).
+    if (pos_ < s_.size() && s_[pos_] == '0') {
+      ++pos_;
+    } else if (digits() == 0) {
+      fail(start, "invalid number");
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail(start, "invalid number");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail(start, "invalid number");
+    }
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !std::isfinite(v)) {
+      fail(start, "invalid number");
+    }
+    return Json(v);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  // %.17g round-trips every finite double through strtod — the property
+  // the golden-payload comparisons rely on. Non-finite values cannot be
+  // represented in JSON; the protocol never produces them (fits and
+  // timings are finite), so encode defensively as null.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw JsonError("json: expected a boolean");
+  return std::get<bool>(v_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) throw JsonError("json: expected a number");
+  return std::get<double>(v_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw JsonError("json: expected a string");
+  return std::get<std::string>(v_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) throw JsonError("json: expected an array");
+  return std::get<Array>(v_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) throw JsonError("json: expected an object");
+  return std::get<Object>(v_);
+}
+
+Json::Array& Json::as_array() {
+  if (!is_array()) throw JsonError("json: expected an array");
+  return std::get<Array>(v_);
+}
+
+Json::Object& Json::as_object() {
+  if (!is_object()) throw JsonError("json: expected an object");
+  return std::get<Object>(v_);
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& o = std::get<Object>(v_);
+  const auto it = o.find(std::string(key));
+  return it == o.end() ? nullptr : &it->second;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (is_null()) v_ = Object{};
+  as_object().insert_or_assign(std::move(key), std::move(value));
+  return *this;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+void Json::dump_to(std::string& out) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(v_) ? "true" : "false";
+  } else if (is_number()) {
+    dump_number(std::get<double>(v_), out);
+  } else if (is_string()) {
+    dump_string(std::get<std::string>(v_), out);
+  } else if (is_array()) {
+    out += '[';
+    const Array& a = std::get<Array>(v_);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out += ',';
+      a[i].dump_to(out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    const Object& o = std::get<Object>(v_);
+    bool first = true;
+    for (const auto& [k, v] : o) {
+      if (!first) out += ',';
+      first = false;
+      dump_string(k, out);
+      out += ':';
+      v.dump_to(out);
+    }
+    out += '}';
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace dmtk::serve

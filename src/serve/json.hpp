@@ -1,0 +1,118 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value for the serve protocol (parse + serialize).
+///
+/// The decomposition server speaks newline-delimited JSON over a Unix
+/// domain socket (one request object per line, one response object per
+/// line). The container lives here rather than behind an external
+/// dependency because the protocol needs exactly four things: strict
+/// parsing (malformed requests must be *rejected*, with a reason, never
+/// coerced), deterministic serialization (object keys sorted, doubles
+/// printed with %.17g so a model payload round-trips bit-exactly — the
+/// golden-output tests compare payloads with EXPECT_EQ), bounded recursion
+/// (a hostile request cannot blow the reader thread's stack), and zero new
+/// dependencies (the container image is fixed).
+///
+/// Numbers are stored as double. That is lossless for every protocol field
+/// (ranks, modes, counters, seeds below 2^53, timings, factor entries) and
+/// keeps the value type small; integral values serialize without a decimal
+/// point ("42", not "42.0").
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <type_traits>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dmtk::serve {
+
+/// Thrown by Json::parse on malformed input (with a byte offset) and by
+/// the typed accessors on kind mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// std::map (ordered) so dump() is deterministic: the golden tests
+  /// compare serialized payloads byte for byte.
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  /// Any integral type (int, index_t, counters); bool keeps its own ctor.
+  template <typename I,
+            std::enable_if_t<std::is_integral_v<I> && !std::is_same_v<I, bool>,
+                             int> = 0>
+  Json(I i) : v_(static_cast<double>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; nullptr when absent or when this is not an
+  /// object — the shape request validation wants ("absent" and "wrong
+  /// container") to read the same way.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Object member assignment (this becomes an object if null).
+  Json& set(std::string key, Json value);
+
+  /// Strict parse of exactly one JSON value: leading/trailing whitespace
+  /// is permitted, trailing garbage is an error, nesting deeper than
+  /// kMaxDepth is an error. Throws JsonError with a byte offset.
+  static Json parse(std::string_view text);
+
+  /// Serialize on one line (no newline appended): sorted object keys,
+  /// %.17g numbers (integral values without a decimal point), \uXXXX
+  /// escapes for control characters.
+  [[nodiscard]] std::string dump() const;
+
+  /// Nesting cap for parse(): protocol messages are at most a few levels
+  /// deep (a model payload is object -> array -> array -> number), so 64
+  /// is generous while keeping recursion bounded.
+  static constexpr int kMaxDepth = 64;
+
+  friend bool operator==(const Json& a, const Json& b) { return a.v_ == b.v_; }
+
+ private:
+  void dump_to(std::string& out) const;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace dmtk::serve

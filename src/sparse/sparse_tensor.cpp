@@ -27,6 +27,12 @@ index_t SparseTensor::numel() const {
   return n;
 }
 
+void SparseTensor::reserve(index_t nnz) {
+  DMTK_CHECK(nnz >= 0, "SparseTensor: negative reserve");
+  for (auto& c : coords_) c.reserve(static_cast<std::size_t>(nnz));
+  values_.reserve(static_cast<std::size_t>(nnz));
+}
+
 void SparseTensor::push_back(std::span<const index_t> idx, double value) {
   DMTK_CHECK(idx.size() == dims_.size(), "SparseTensor: order mismatch");
   for (std::size_t n = 0; n < dims_.size(); ++n) {

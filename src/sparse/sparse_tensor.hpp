@@ -49,6 +49,11 @@ class SparseTensor {
   /// Total positions (product of dims); density = nnz / numel.
   [[nodiscard]] index_t numel() const;
 
+  /// Pre-size every per-mode coordinate array and the value array for
+  /// `nnz` entries, so a bulk ingest (read_tns's two-pass load) appends
+  /// without growth reallocations.
+  void reserve(index_t nnz);
+
   /// Append a nonzero. Coordinates are bounds-checked.
   void push_back(std::span<const index_t> idx, double value);
 

@@ -14,6 +14,10 @@ work="$(mktemp -d)"
 trap 'rm -rf "${work}"' EXIT
 fails=0
 
+# Drop the conda activation warning some login shells emit on stderr, so
+# output-matching checks see only the tool's own output.
+denoise() { sed '/^WARNING conda/d'; }
+
 expect_ok() {
   if ! "$@" > "${work}/out.log" 2>&1; then
     echo "FAIL (expected success): $*"
@@ -37,7 +41,7 @@ expect_usage_error() {
 expect_grep() {
   local pattern="$1"
   shift
-  if ! "$@" 2>&1 | grep -q "${pattern}"; then
+  if ! "$@" 2>&1 | denoise | grep -q "${pattern}"; then
     echo "FAIL (expected output matching '${pattern}'): $*"
     fails=$((fails + 1))
   fi
@@ -69,6 +73,19 @@ if [[ ${s32} -ge ${s64} ]]; then
   echo "FAIL: f32 payload (${s32}) not smaller than f64 (${s64})"
   fails=$((fails + 1))
 fi
+
+# --- sparse precision handling ---------------------------------------------
+expect_ok "${dmtk}" generate --dims 20x18x16 --nnz 200 --seed 5 \
+  --out "${work}/s.tns"
+# The sparse sweep schemes are double-only: float must be refused with a
+# usage error that names the flag and the fix, not a silent fallback.
+expect_usage_error "${dmtk}" decompose "${work}/s.tns" --rank 2 --iters 3 \
+  --precision float
+expect_grep "double-only" "${dmtk}" decompose "${work}/s.tns" --rank 2 \
+  --iters 3 --precision float
+# Spelling out the default is harmless.
+expect_ok "${dmtk}" decompose "${work}/s.tns" --rank 2 --iters 3 \
+  --precision double
 
 # --- strict numeric argument audit ----------------------------------------
 expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank abc

@@ -24,6 +24,7 @@
 ///
 /// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,8 @@
 #include <vector>
 
 #include "dmtk.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/parse.hpp"
 
 namespace {
@@ -65,7 +68,24 @@ using namespace dmtk;
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "            (sparse CP-ALS through the plan layer; auto = csf)\n"
       "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
-      "  export    <model.dktn> --out-prefix P\n");
+      "  export    <model.dktn> --out-prefix P\n"
+      "  serve     --socket S [--workers n] [--threads t] [--queue-depth n]\n"
+      "            [--queue-timeout-ms n] [--batch-window-ms n]\n"
+      "            [--max-batch n] [--cache-entries n] [--cache-mb n]\n"
+      "            (resident decomposition server on a Unix socket:\n"
+      "             newline-delimited JSON requests, per-worker plan cache,\n"
+      "             bounded job queue, same-shape request batching)\n"
+      "  client    --socket S [--timeout-ms n] <action>\n"
+      "            actions: stats | shutdown | info <tensor>\n"
+      "              | decompose <tensor> [--rank R] [--iters n] [--tol f]\n"
+      "                [--seed s] [--sweep sch] [--method m] [--levels n]\n"
+      "                [--precision double|float] [--out F] [--cold]\n"
+      "                [--inline | --no-inline]\n"
+      "              | mttkrp <tensor> --mode n [--rank R] [--seed s]\n"
+      "                [--precision double|float] [--out F]\n"
+      "              | --json '<raw request line>'\n"
+      "            (prints the server's one-line JSON response; exit 0 on\n"
+      "             ok, 2 on connection failure, 3 on a server error)\n");
   std::exit(1);
 }
 
@@ -317,13 +337,21 @@ int cmd_info(int argc, char** argv) {
 /// Sparse decompose: .tns input through the plan layer (SparseCsf by
 /// default). The dense-only knobs are rejected loudly rather than ignored.
 int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
-  for (const char* dense_only :
-       {"nn", "method", "levels", "dimtree", "precision"}) {
+  for (const char* dense_only : {"nn", "method", "levels", "dimtree"}) {
     if (flags.count(dense_only) != 0) {
       std::fprintf(stderr, "--%s needs a dense tensor (.dten input)\n",
                    dense_only);
       return 1;
     }
+  }
+  // --precision double is a harmless no-op here (sparse always computes in
+  // double); float is refused with the real reason, not a generic
+  // dense-only message — the CSF/COO kernels hold double values.
+  if (flag_wants_f32(flags)) {
+    std::fprintf(stderr,
+                 "--precision float: sparse sweep schemes are double-only; "
+                 "drop the flag or use --precision double\n");
+    return 1;
   }
   const sparse::SparseTensor S = io::read_tns(pos);
   ExecContext ctx(static_cast<int>(flag_int(flags, "threads", 0, 0)));
@@ -528,6 +556,165 @@ int cmd_tucker(int argc, char** argv) {
   return 0;
 }
 
+/// The running server, for the signal handlers: request_stop() is one
+/// atomic store, the only thing a handler may safely do.
+serve::Server* g_server = nullptr;
+
+void serve_signal_handler(int /*sig*/) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  if (!pos.empty()) usage();
+  serve::ServeOptions so;
+  so.socket = flag_str(flags, "socket");
+  if (so.socket.empty()) usage_error("serve needs --socket <path>");
+  so.workers = static_cast<int>(flag_int(flags, "workers", 1, 1));
+  so.threads = static_cast<int>(flag_int(flags, "threads", 0, 0));
+  so.queue_depth =
+      static_cast<std::size_t>(flag_int(flags, "queue-depth", 64, 1));
+  so.queue_timeout_ms =
+      static_cast<int>(flag_int(flags, "queue-timeout-ms", 30000, 0));
+  so.batch_window_ms =
+      static_cast<int>(flag_int(flags, "batch-window-ms", 0, 0));
+  so.max_batch = static_cast<std::size_t>(flag_int(flags, "max-batch", 16, 1));
+  so.cache_entries =
+      static_cast<std::size_t>(flag_int(flags, "cache-entries", 32, 0));
+  so.cache_bytes =
+      static_cast<std::size_t>(flag_int(flags, "cache-mb", 256, 0)) << 20;
+
+  serve::Server server(so);
+  server.start();
+  g_server = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::printf("dmtk serve: listening on %s (%d worker%s)\n",
+              so.socket.c_str(), std::max(1, so.workers),
+              so.workers == 1 ? "" : "s");
+  std::fflush(stdout);  // scripts wait for this line before connecting
+  server.wait();
+  server.stop();
+  g_server = nullptr;
+  std::printf("dmtk serve: shut down\n");
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  // client takes an action word plus an optional tensor path — two
+  // positionals, so it parses its own argv (parse_flags allows one).
+  Flags flags;
+  std::string action;
+  std::string tensor;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (key == "cold" || key == "inline" || key == "no-inline") {
+        flags.insert_or_assign(key, std::string("1"));
+      } else if (i + 1 < argc) {
+        flags.insert_or_assign(key, std::string(argv[++i]));
+      } else {
+        usage();
+      }
+    } else if (action.empty()) {
+      action = a;
+    } else if (tensor.empty()) {
+      tensor = a;
+    } else {
+      usage();
+    }
+  }
+  const std::string socket = flag_str(flags, "socket");
+  if (socket.empty()) usage_error("client needs --socket <path>");
+  const int timeout_ms =
+      static_cast<int>(flag_int(flags, "timeout-ms", 5000, 0));
+  const std::string raw = flag_str(flags, "json");
+  if (!raw.empty() && !action.empty()) {
+    usage_error("--json replaces the action word; give one or the other");
+  }
+  if (raw.empty() && action.empty()) usage();
+
+  std::string line = raw;
+  if (line.empty()) {
+    serve::Json req;
+    if (action == "stats" || action == "shutdown") {
+      req.set("type", serve::Json(action));
+    } else if (action == "info" || action == "decompose" ||
+               action == "mttkrp") {
+      if (tensor.empty()) {
+        usage_error("client " + action + " needs a tensor path");
+      }
+      req.set("type", serve::Json(action));
+      req.set("tensor", serve::Json(tensor));
+      if (action != "info") {
+        // Only forward flags the user actually gave: the server owns the
+        // defaults, and its strict validation names any bad value.
+        if (flags.count("rank") != 0) {
+          req.set("rank", serve::Json(flag_int(flags, "rank", 10, 1)));
+        }
+        if (flags.count("seed") != 0) {
+          req.set("seed", serve::Json(flag_int(flags, "seed", 42, 0)));
+        }
+        if (flags.count("precision") != 0) {
+          req.set("precision",
+                  serve::Json(flag_wants_f32(flags) ? "float" : "double"));
+        }
+        if (flags.count("out") != 0) {
+          req.set("out", serve::Json(flag_str(flags, "out")));
+        }
+      }
+      if (action == "decompose") {
+        if (flags.count("iters") != 0) {
+          req.set("iters", serve::Json(flag_int(flags, "iters", 100, 1)));
+        }
+        if (flags.count("tol") != 0) {
+          req.set("tol", serve::Json(flag_double(flags, "tol", 1e-6, 0.0)));
+        }
+        if (flags.count("sweep") != 0) {
+          req.set("sweep", serve::Json(flag_str(flags, "sweep")));
+        }
+        if (flags.count("method") != 0) {
+          req.set("method", serve::Json(flag_str(flags, "method")));
+        }
+        if (flags.count("levels") != 0) {
+          req.set("levels", serve::Json(flag_int(flags, "levels", 0, 0)));
+        }
+        if (flags.count("cold") != 0) req.set("cold", serve::Json(true));
+        if (flags.count("inline") != 0) {
+          req.set("inline_model", serve::Json(true));
+        }
+        if (flags.count("no-inline") != 0) {
+          req.set("inline_model", serve::Json(false));
+        }
+      } else if (action == "mttkrp") {
+        if (flags.count("mode") == 0) {
+          usage_error("client mttkrp needs --mode <n>");
+        }
+        req.set("mode", serve::Json(flag_int(flags, "mode", 0, 0)));
+      }
+    } else {
+      usage_error("unknown client action '" + action +
+                  "' (stats|shutdown|info|decompose|mttkrp|--json)");
+    }
+    line = req.dump();
+  }
+
+  serve::Client cli;
+  cli.connect(socket, timeout_ms);  // ClientError -> main's handler, exit 2
+  cli.send_line(line);
+  const auto resp = cli.recv_line();
+  if (!resp) {
+    std::fprintf(stderr, "error: server closed the connection\n");
+    return 2;
+  }
+  std::printf("%s\n", resp->c_str());
+  const serve::Json j = serve::Json::parse(*resp);
+  const serve::Json* ok = j.find("ok");
+  return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 3;
+}
+
 int cmd_export(int argc, char** argv) {
   std::string pos;
   auto flags = parse_flags(argc, argv, 2, &pos);
@@ -556,6 +743,8 @@ int main(int argc, char** argv) {
     if (cmd == "decompose") return cmd_decompose(argc, argv);
     if (cmd == "tucker") return cmd_tucker(argc, argv);
     if (cmd == "export") return cmd_export(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "client") return cmd_client(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -20,6 +20,10 @@ build_dir="${1:-build}"
 out_json="${2:-BENCH_pr5.json}"
 scale="${3:-0.001}"
 
+# Drop the conda activation warning some login shells emit on stderr; it
+# would otherwise interleave with the tee'd bench tables and logs.
+denoise() { sed '/^WARNING conda/d'; }
+
 if [[ ! -x "${build_dir}/bench_gemm_roofline" ]]; then
   echo "error: ${build_dir}/bench_gemm_roofline not found — build first:" >&2
   echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
@@ -65,5 +69,10 @@ echo "== density ablation (dense vs COO vs CSF, plan layer) =="
   --trials 3 --check --json "${log_dir}/ablation_density.json" \
   | tee "${log_dir}/ablation_density.log"
 
+echo "== serve (warm plan cache vs cold start, over a Unix socket) =="
+serve_json="$(dirname "${out_json}")/BENCH_serve.json"
+"${build_dir}/bench_serve" --scale "${scale}" --trials 3 \
+  --json "${serve_json}" 2>&1 | denoise | tee "${log_dir}/serve.log"
+
 echo
-echo "wrote ${out_json} (logs + prior-PR JSONs in ${log_dir}/)"
+echo "wrote ${out_json} and ${serve_json} (logs in ${log_dir}/)"
