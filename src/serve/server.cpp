@@ -2,12 +2,14 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <utility>
@@ -25,6 +27,10 @@ namespace dmtk::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// SO_SNDTIMEO on accepted sockets: the longest one blocking send() may
+/// stall a server thread behind a client that stopped reading.
+constexpr int kSendTimeoutMs = 30000;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -142,44 +148,81 @@ void Server::stop() {
   for (std::thread& t : worker_threads_) t.join();
   worker_threads_.clear();
 
-  // Readers sit in recv(); shutdown() unblocks them. This happens AFTER
-  // the workers drained so in-flight responses still had live sockets.
+  // Readers sit in recv(); shutdown() unblocks them, and each reader
+  // closes its own fd on the way out. This happens AFTER the workers
+  // drained so in-flight responses still had live sockets. Only
+  // still-live connections remain here — finished ones were reaped by
+  // the accept loop.
+  std::vector<ReaderSlot> slots;
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
-    for (auto& c : conns_) {
-      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
-    }
+    slots.swap(readers_);
   }
-  for (std::thread& t : readers_) t.join();
-  readers_.clear();
-  {
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    for (auto& c : conns_) {
-      if (c->fd >= 0) ::close(c->fd);
-      c->fd = -1;
-    }
-    conns_.clear();
+  for (ReaderSlot& s : slots) {
+    std::lock_guard<std::mutex> lk(s.conn->write_mu);
+    if (s.conn->fd >= 0) ::shutdown(s.conn->fd, SHUT_RDWR);
   }
+  for (ReaderSlot& s : slots) s.thread.join();
   ::unlink(opts_.socket.c_str());
 }
 
 void Server::accept_loop() {
   while (!stopping_.load()) {
+    reap_readers();
     pollfd p{listen_fd_, POLLIN, 0};
     const int rc = ::poll(&p, 1, 100);
     if (rc <= 0) continue;  // timeout or EINTR: re-check stopping_
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      const int err = errno;
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Resource exhaustion is transient for a resident server (fds
+        // free up as connections close); back off and keep accepting.
+        // The pending connection waits in the listen backlog.
+        std::fprintf(stderr, "dmtk serve: accept(): %s; retrying\n",
+                     std::strerror(err));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      if (stopping_.load()) break;
+      std::fprintf(stderr,
+                   "dmtk serve: accept(): %s; no longer accepting "
+                   "connections\n",
+                   std::strerror(err));
       break;
     }
+    // Bound send() (SO_SNDTIMEO) so a client that stops reading cannot
+    // wedge a worker thread behind a full socket buffer forever;
+    // send_line drops the connection when the timeout fires.
+    timeval tv{};
+    tv.tv_sec = kSendTimeoutMs / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(kSendTimeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(conns_mu_);
-    conns_.push_back(conn);
-    readers_.emplace_back(&Server::reader_loop, this, conn);
+    readers_.push_back(
+        ReaderSlot{conn, std::thread(&Server::reader_loop, this, conn)});
   }
+}
+
+void Server::reap_readers() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto it = readers_.begin(); it != readers_.end();) {
+      if (it->conn->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->thread));
+        it = readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : finished) t.join();
 }
 
 void Server::reader_loop(std::shared_ptr<Conn> conn) {
@@ -204,6 +247,16 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
     if (n <= 0) break;  // peer closed, error, or stop()'s shutdown()
     buf.append(tmp, static_cast<std::size_t>(n));
   }
+  // Close now, not at stop(): a resident server must not hold one fd per
+  // connection ever served. Workers still holding this Conn for queued
+  // jobs see fd == -1 under write_mu and drop their responses — the peer
+  // is gone anyway. done flags the slot for the accept loop's reaper.
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conn->done.store(true, std::memory_order_release);
 }
 
 void Server::handle_line(const std::shared_ptr<Conn>& conn,
@@ -406,8 +459,8 @@ void Server::run_decompose_batch(Worker& ws, std::vector<Queue::Item>& jobs) {
   PlanCache::Entry* entry = nullptr;
   const char* next_tag = "hit";
   double plan_ms = 0.0;
-  std::size_t index = 0;
-  for (Queue::Item& item : jobs) {
+  for (std::size_t index = 0; index < jobs.size(); ++index) {
+    Queue::Item& item = jobs[index];
     const Job& job = item.job;
     try {
       if (!admit_or_timeout(item)) continue;
@@ -445,7 +498,6 @@ void Server::run_decompose_batch(Worker& ws, std::vector<Queue::Item>& jobs) {
     } catch (...) {
       send_error_for_exception(job.conn, job.req.id);
     }
-    ++index;
   }
 }
 
@@ -770,7 +822,15 @@ void Server::send_line(const std::shared_ptr<Conn>& conn, const Json& j) {
   std::size_t left = s.size();
   while (left > 0) {
     const ssize_t n = ::send(conn->fd, p, left, MSG_NOSIGNAL);
-    if (n <= 0) return;  // client gone; nothing to report it to
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // Client gone, or it stopped reading and SO_SNDTIMEO fired.
+      // Nothing to report the failure to; drop the connection so the
+      // next response for it cannot stall this thread again. The reader
+      // sees recv() fail and closes the fd.
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
     p += n;
     left -= static_cast<std::size_t>(n);
   }

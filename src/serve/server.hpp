@@ -114,8 +114,15 @@ class Server {
 
  private:
   struct Conn {
-    int fd = -1;
-    std::mutex write_mu;  ///< one response line at a time
+    int fd = -1;              ///< -1 once closed; guarded by write_mu
+    std::mutex write_mu;      ///< one response line at a time
+    std::atomic<bool> done{false};  ///< reader exited; slot is reapable
+  };
+
+  /// A connection and the reader thread that owns its receive side.
+  struct ReaderSlot {
+    std::shared_ptr<Conn> conn;
+    std::thread thread;
   };
 
   struct Job {
@@ -139,6 +146,10 @@ class Server {
   };
 
   void accept_loop();
+  /// Join and drop every reader whose connection has finished. Called
+  /// from the accept loop so a resident server's fd/thread footprint
+  /// tracks LIVE connections, not total connections ever served.
+  void reap_readers();
   void reader_loop(std::shared_ptr<Conn> conn);
   void handle_line(const std::shared_ptr<Conn>& conn, const std::string& line);
   /// Validate a compute request against its tensor's header and build
@@ -182,8 +193,7 @@ class Server {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> worker_threads_;
   std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> readers_;
+  std::vector<ReaderSlot> readers_;  ///< live (unreaped) connections
 
   std::chrono::steady_clock::time_point started_at_;
   std::atomic<std::uint64_t> requests_{0};
