@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/cp_model.hpp"
@@ -66,10 +67,38 @@ struct CpAlsOptionsT {
       std::function<void(const TensorT<T>&, std::span<const MatrixT<T>>,
                          index_t, MatrixT<T>&, const ExecContext&)>;
   MttkrpFn mttkrp_override;
+
+  /// Crash-safe checkpointing (see io/checkpoint.hpp). When non-empty,
+  /// the sweep loop writes an atomic CRC'd checkpoint of the model +
+  /// convergence state to this path after every `checkpoint_every`-th
+  /// completed sweep; with `resume` set it first restores from a
+  /// checkpoint already at the path (if any) and continues as if the run
+  /// had never stopped — bitwise-identical to the uninterrupted run. The
+  /// checkpoint is bound to the run configuration by an options hash
+  /// (dims, rank, tol, seed, scheme, method, levels, threads, fit flag,
+  /// scalar kind — deliberately NOT max_iters, so a run may resume with a
+  /// raised sweep cap); resuming under a different configuration throws
+  /// io::IoError instead of silently diverging from both runs.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;  ///< sweeps between checkpoints (min 1)
+  bool resume = false;       ///< restore from checkpoint_path when present
 };
 
 using CpAlsOptions = CpAlsOptionsT<double>;
 using CpAlsOptionsF = CpAlsOptionsT<float>;
+
+/// How a sweep loop ended. `Diverged` means a non-finite fit or lambda
+/// was detected (the guardrail that used to be a silent NaN model);
+/// `MaxSweeps` means the iteration cap elapsed with the tolerance unmet.
+enum class CpAlsStatus { Converged, MaxSweeps, Diverged };
+
+inline const char* to_string(CpAlsStatus s) {
+  switch (s) {
+    case CpAlsStatus::Converged: return "converged";
+    case CpAlsStatus::Diverged: return "diverged";
+    case CpAlsStatus::MaxSweeps: default: return "max-sweeps";
+  }
+}
 
 /// Per-sweep diagnostics.
 struct CpAlsIterStats {
@@ -85,6 +114,12 @@ struct CpAlsResultT {
   int iterations = 0;       ///< sweeps performed
   double final_fit = 0.0;   ///< 1 - ||X - Y||_F / ||X||_F
   bool converged = false;   ///< tolerance met before max_iters
+  /// Converged / MaxSweeps / Diverged — `converged` is kept as the
+  /// boolean shorthand (status == Converged) for existing call sites.
+  CpAlsStatus status = CpAlsStatus::MaxSweeps;
+  /// Sweeps restored from a checkpoint before this run's first own sweep
+  /// (0 for a fresh run); `iterations` counts restored + executed.
+  int resumed_sweeps = 0;
   std::vector<CpAlsIterStats> iters;  ///< one entry per sweep
   /// Phase breakdown summed over the per-mode MttkrpPlans across all
   /// sweeps (PerMode scheme; zero for DimTree or a custom mttkrp_override,

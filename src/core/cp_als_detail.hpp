@@ -16,6 +16,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "core/matrix.hpp"
 #include "core/tensor.hpp"
 #include "exec/sweep_plan.hpp"
+#include "io/checkpoint.hpp"
 #include "linalg/spd_solve.hpp"
 #include "util/timer.hpp"
 
@@ -91,7 +94,48 @@ inline double cp_fit(double normX2, const KtensorT<T>& model,
   const double normY2 = model.norm_squared(threads);
   const double residual2 = std::max(0.0, normX2 + normY2 - 2.0 * inner);
   const double normX = std::sqrt(normX2);
-  return normX > 0.0 ? 1.0 - std::sqrt(residual2) / normX : 1.0;
+  if (normX > 0.0) return 1.0 - std::sqrt(residual2) / normX;
+  // An all-zero tensor has no scale to normalize the residual by, so the
+  // relative-fit formula is 0/0. Define the fit by what it measures: 1.0
+  // when the model reproduces X exactly (zero residual — the natural ALS
+  // outcome, since every MTTKRP of a zero tensor is zero), 0.0 for any
+  // model with mass the tensor does not have (a warm start that was never
+  // driven to zero must not report a perfect fit).
+  return residual2 > 0.0 ? 0.0 : 1.0;
+}
+
+/// FNV-1a over the configuration that determines a sweep loop's
+/// arithmetic — what a checkpoint must be bound to for a resume to be
+/// bitwise-faithful. Included: scalar kind, tensor extents, rank, tol,
+/// seed, fit flag, sweep scheme / method / levels, and the resolved
+/// thread count (parallel reductions change rounding with the team
+/// size). Deliberately excluded: max_iters (resuming with a raised sweep
+/// cap is the point of checkpointing) and checkpoint cadence/path (they
+/// never touch the arithmetic).
+template <typename T, typename XT>
+std::uint64_t cp_als_options_hash(const XT& X, const CpAlsOptionsT<T>& opts,
+                                  int threads) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(std::is_same_v<T, float> ? 1 : 0);
+  mix(static_cast<std::uint64_t>(X.order()));
+  for (index_t d : X.dims()) mix(static_cast<std::uint64_t>(d));
+  mix(static_cast<std::uint64_t>(opts.rank));
+  std::uint64_t tol_bits = 0;
+  std::memcpy(&tol_bits, &opts.tol, sizeof tol_bits);
+  mix(tol_bits);
+  mix(opts.seed);
+  mix(opts.compute_fit ? 1 : 0);
+  mix(static_cast<std::uint64_t>(opts.sweep_scheme));
+  mix(static_cast<std::uint64_t>(opts.method));
+  mix(static_cast<std::uint64_t>(opts.dimtree_levels));
+  mix(static_cast<std::uint64_t>(threads));
+  return h;
 }
 
 /// Initialize result.model from the warm start or the seed; shared
@@ -146,6 +190,42 @@ void run_als_sweeps(const XT& X, const CpAlsOptionsT<T>& opts,
 
   const double normX2 = X.norm_squared(nt);
 
+  // Checkpoint restore happens BEFORE the Gram matrices are built: the
+  // grams (and everything else the loop owns) are recomputed from the
+  // restored model, so the only state a checkpoint has to carry is
+  // {model, fit_old, completed sweeps} — see io/checkpoint.hpp.
+  double fit_old = 0.0;
+  int start_iter = 0;
+  const bool checkpointing = !opts.checkpoint_path.empty();
+  const int checkpoint_every = std::max(1, opts.checkpoint_every);
+  std::uint64_t opts_hash = 0;
+  if (checkpointing) {
+    opts_hash = cp_als_options_hash(X, opts, nt);
+    if (opts.resume) {
+      if (auto ck = io::try_read_checkpoint<T>(opts.checkpoint_path)) {
+        if (ck->options_hash != opts_hash) {
+          throw io::IoError("'" + opts.checkpoint_path +
+                            "': checkpoint was written by a different run "
+                            "configuration (options hash mismatch) — "
+                            "refusing to resume");
+        }
+        if (ck->model.order() != N || ck->model.rank() != C) {
+          throw io::IoError("'" + opts.checkpoint_path +
+                            "': checkpoint model shape does not match the "
+                            "tensor/rank of this run");
+        }
+        model = std::move(ck->model);
+        fit_old = ck->fit_old;
+        start_iter = static_cast<int>(std::min<std::uint64_t>(
+            ck->completed_sweeps,
+            static_cast<std::uint64_t>(std::max(0, opts.max_iters))));
+        result.iterations = start_iter;
+        result.resumed_sweeps = start_iter;
+        result.final_fit = fit_old;
+      }
+    }
+  }
+
   std::vector<MatrixT<T>> grams(static_cast<std::size_t>(N));
   for (index_t n = 0; n < N; ++n) {
     grams[static_cast<std::size_t>(n)] = MatrixT<T>(C, C);
@@ -165,9 +245,8 @@ void run_als_sweeps(const XT& X, const CpAlsOptionsT<T>& opts,
   MatrixT<T> Mlast;
   if (opts.compute_fit) Mlast = MatrixT<T>(X.dim(N - 1), C);
   MatrixT<T> H(C, C);
-  double fit_old = 0.0;
 
-  for (int iter = 0; iter < opts.max_iters; ++iter) {
+  for (int iter = start_iter; iter < opts.max_iters; ++iter) {
     CpAlsIterStats stats;
     WallTimer sweep_timer;
     if (!use_override) sweep->begin_sweep(X);
@@ -196,20 +275,50 @@ void run_als_sweeps(const XT& X, const CpAlsOptionsT<T>& opts,
     if (!use_override) stats.mttkrp_seconds = sweep->last_sweep_seconds();
 
     result.iterations = iter + 1;
+    bool stop = false;
     if (opts.compute_fit) {
       const double fit = cp_fit(normX2, model, Mlast, nt);
       stats.fit = fit;
       result.final_fit = fit;
-      if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
-        stats.seconds = sweep_timer.seconds();
-        result.iters.push_back(stats);
+      if (!std::isfinite(fit)) {
+        // The numeric guardrail: a NaN/Inf fit means the factors have
+        // diverged; stop with a structured status instead of silently
+        // iterating NaN arithmetic for the remaining sweeps.
+        result.status = CpAlsStatus::Diverged;
+        stop = true;
+      } else if (iter > 0 && std::abs(fit - fit_old) < opts.tol) {
         result.converged = true;
-        break;
+        result.status = CpAlsStatus::Converged;
+        stop = true;
       }
       fit_old = fit;
     }
+    if (result.status != CpAlsStatus::Diverged) {
+      // Lambda is the cheapest tell when the fit pass is off: every
+      // normalization funnels the factors' scale through it.
+      for (const T& l : model.lambda) {
+        if (!std::isfinite(static_cast<double>(l))) {
+          result.status = CpAlsStatus::Diverged;
+          stop = true;
+          break;
+        }
+      }
+    }
     stats.seconds = sweep_timer.seconds();
     result.iters.push_back(stats);
+    // Checkpoint after bookkeeping so a resume replays from exactly this
+    // point; a diverged model is deliberately never checkpointed (the
+    // previous good checkpoint stays the resume target).
+    if (checkpointing && result.status != CpAlsStatus::Diverged &&
+        (iter + 1) % checkpoint_every == 0) {
+      io::CheckpointT<T> ck;
+      ck.options_hash = opts_hash;
+      ck.completed_sweeps = static_cast<std::uint64_t>(iter + 1);
+      ck.fit_old = fit_old;
+      ck.model = model;
+      io::write_checkpoint(opts.checkpoint_path, ck);
+    }
+    if (stop) break;
   }
 
   if (sweep != nullptr) {

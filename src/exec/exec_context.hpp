@@ -27,6 +27,7 @@
 
 #include "util/aligned_alloc.hpp"
 #include "util/common.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace dmtk {
@@ -74,6 +75,10 @@ class WorkspaceArena {
   /// plans do this once, at construction.
   void reserve_bytes(std::size_t bytes) {
     if (bytes > buf_.size()) {
+      // Fault site `arena.alloc`: the deterministic stand-in for
+      // std::bad_alloc on workspace growth — how the serve plan cache's
+      // degrade-to-bypass path is exercised (see util/fault.hpp).
+      DMTK_FAULT_POINT("arena.alloc");
       buf_.resize(bytes);
       ++grow_count_;
     }

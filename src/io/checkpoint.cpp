@@ -1,0 +1,124 @@
+#include "io/checkpoint.hpp"
+
+#include <array>
+#include <filesystem>
+#include <type_traits>
+
+#include "io/checked_io.hpp"
+
+namespace dmtk::io {
+namespace {
+
+constexpr std::array<char, 8> kCheckpointMagic{'D', 'M', 'T', 'K',
+                                               'C', 'K', 'P', '1'};
+constexpr std::uint64_t kVersion = 1;
+
+template <typename T>
+constexpr std::uint64_t scalar_tag() {
+  return std::is_same_v<T, float> ? 1 : 0;
+}
+
+}  // namespace
+
+template <typename T>
+void write_checkpoint(const std::filesystem::path& path,
+                      const CheckpointT<T>& ck) {
+  ck.model.validate();
+  FileWriter w(path, FileWriter::Footer::Crc32);
+  w.write_bytes(kCheckpointMagic.data(), kCheckpointMagic.size());
+  w.write_u64(kVersion);
+  w.write_u64(scalar_tag<T>());
+  w.write_u64(ck.options_hash);
+  w.write_u64(ck.completed_sweeps);
+  w.write_bytes(&ck.fit_old, sizeof ck.fit_old);
+  w.write_u64(static_cast<std::uint64_t>(ck.model.order()));
+  w.write_u64(static_cast<std::uint64_t>(ck.model.rank()));
+  for (const auto& U : ck.model.factors)
+    w.write_u64(static_cast<std::uint64_t>(U.rows()));
+  w.write_bytes(ck.model.lambda.data(),
+                ck.model.lambda.size() * sizeof(T));
+  for (const auto& U : ck.model.factors)
+    w.write_bytes(U.data(), static_cast<std::size_t>(U.size()) * sizeof(T));
+  w.commit();
+}
+
+template <typename T>
+CheckpointT<T> read_checkpoint(const std::filesystem::path& path) {
+  FileReader r(path);
+  if (r.payload_size() < kCheckpointMagic.size())
+    throw IoError("bad magic: not a dmtk checkpoint file");
+  std::array<char, 8> magic{};
+  r.read_bytes(magic.data(), magic.size());
+  if (magic != kCheckpointMagic)
+    throw IoError("bad magic: not a dmtk checkpoint file");
+  const std::uint64_t version = r.read_u64();
+  if (version != kVersion)
+    throw IoError("unsupported checkpoint version " +
+                  std::to_string(version));
+  const std::uint64_t tag = r.read_u64();
+  if (tag != scalar_tag<T>())
+    throw IoError("checkpoint scalar kind mismatch: file holds " +
+                  std::string(tag == 1 ? "f32" : "f64") +
+                  " factors, run expects " +
+                  std::string(scalar_tag<T>() == 1 ? "f32" : "f64"));
+
+  CheckpointT<T> ck;
+  ck.options_hash = r.read_u64();
+  ck.completed_sweeps = r.read_u64();
+  r.read_bytes(&ck.fit_old, sizeof ck.fit_old);
+  const std::uint64_t order = r.read_u64();
+  const std::uint64_t rank = r.read_u64();
+  if (order < 1 || order > 64 || rank < 1 || rank > (std::uint64_t{1} << 32))
+    throw IoError("implausible checkpoint header");
+  std::vector<std::uint64_t> rows(order);
+  for (auto& n : rows) {
+    n = r.read_u64();
+    if (n < 1 || n > (std::uint64_t{1} << 40))
+      throw IoError("implausible checkpoint factor extent");
+    if (n > ((std::uint64_t{1} << 62) / rank) / sizeof(T))
+      throw IoError("implausible checkpoint factor extent");
+  }
+  // Total claimed payload vs bytes present, before any allocation.
+  {
+    std::uint64_t elems = rank;  // lambda
+    for (auto n : rows) elems += n * rank;
+    const std::uint64_t remaining = r.payload_size() - r.offset();
+    if (elems > remaining / sizeof(T))
+      throw IoError("truncated checkpoint: header claims " +
+                    std::to_string(elems * sizeof(T)) +
+                    " payload bytes, " + std::to_string(remaining) +
+                    " remain");
+  }
+  ck.model.lambda.resize(static_cast<std::size_t>(rank));
+  r.read_bytes(ck.model.lambda.data(), ck.model.lambda.size() * sizeof(T));
+  ck.model.factors.reserve(order);
+  for (auto n : rows) {
+    MatrixT<T> U(static_cast<index_t>(n), static_cast<index_t>(rank));
+    r.read_bytes(U.data(), static_cast<std::size_t>(U.size()) * sizeof(T));
+    ck.model.factors.push_back(std::move(U));
+  }
+  r.verify();
+  ck.model.validate();
+  return ck;
+}
+
+template <typename T>
+std::optional<CheckpointT<T>> try_read_checkpoint(
+    const std::filesystem::path& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  return read_checkpoint<T>(path);
+}
+
+template void write_checkpoint<double>(const std::filesystem::path&,
+                                       const Checkpoint&);
+template void write_checkpoint<float>(const std::filesystem::path&,
+                                      const CheckpointF&);
+template Checkpoint read_checkpoint<double>(const std::filesystem::path&);
+template CheckpointF read_checkpoint<float>(const std::filesystem::path&);
+template std::optional<Checkpoint> try_read_checkpoint<double>(
+    const std::filesystem::path&);
+template std::optional<CheckpointF> try_read_checkpoint<float>(
+    const std::filesystem::path&);
+
+}  // namespace dmtk::io

@@ -1,0 +1,78 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Atomic, checksummed CP-ALS checkpoints — the durable form of a
+/// sweep loop's resume state.
+///
+/// What must be saved for a bitwise-identical resume is deliberately
+/// small: the model (factors + lambda) after the last completed sweep,
+/// the fit that sweep produced (the convergence test compares against
+/// it), and the completed-sweep count. Everything else the loop touches
+/// (Gram matrices, norm(X)^2, workspaces) is recomputed deterministically
+/// from the model and tensor, so a resumed run replays the exact
+/// arithmetic of the uninterrupted one.
+///
+/// The options hash binds a checkpoint to the run configuration that
+/// produced it (dims, rank, tol, seed, sweep scheme, ... — see
+/// cp_als_detail.hpp for the exact fields). Resuming under a different
+/// configuration would silently produce a model that matches neither run;
+/// a hash mismatch is therefore a structured error, not a warning.
+///
+/// Files use the checked_io substrate: written to a temp and renamed into
+/// place (a SIGKILL mid-checkpoint leaves the previous checkpoint valid),
+/// CRC-32 footer verified on read (a torn or bit-rotted checkpoint
+/// surfaces as IoError, never as garbage factors).
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+#include "core/cp_model.hpp"
+#include "io/io_error.hpp"
+
+namespace dmtk::io {
+
+/// One sweep-loop checkpoint: everything cp_als needs to continue as if
+/// it had never stopped.
+template <typename T>
+struct CheckpointT {
+  std::uint64_t options_hash = 0;     ///< binds to the run configuration
+  std::uint64_t completed_sweeps = 0; ///< sweeps finished before the save
+  double fit_old = 0.0;               ///< fit after that sweep (f64 image)
+  KtensorT<T> model;                  ///< factors + lambda after it
+};
+
+using Checkpoint = CheckpointT<double>;
+using CheckpointF = CheckpointT<float>;
+
+/// Write atomically (temp + fsync + rename) with a CRC-32 footer.
+template <typename T>
+void write_checkpoint(const std::filesystem::path& path,
+                      const CheckpointT<T>& ck);
+
+/// Read and verify. Throws IoError on a missing file, bad magic, scalar
+/// kind mismatch, truncation, or checksum failure.
+template <typename T>
+CheckpointT<T> read_checkpoint(const std::filesystem::path& path);
+
+/// read_checkpoint, but a *missing* file is a fresh start (nullopt), not
+/// an error — the shape of "resume if there is anything to resume from".
+/// A file that exists but is corrupt still throws: silently restarting a
+/// week-long run because its checkpoint rotted is the worst outcome.
+template <typename T>
+std::optional<CheckpointT<T>> try_read_checkpoint(
+    const std::filesystem::path& path);
+
+extern template void write_checkpoint<double>(const std::filesystem::path&,
+                                              const Checkpoint&);
+extern template void write_checkpoint<float>(const std::filesystem::path&,
+                                             const CheckpointF&);
+extern template Checkpoint read_checkpoint<double>(
+    const std::filesystem::path&);
+extern template CheckpointF read_checkpoint<float>(
+    const std::filesystem::path&);
+extern template std::optional<Checkpoint> try_read_checkpoint<double>(
+    const std::filesystem::path&);
+extern template std::optional<CheckpointF> try_read_checkpoint<float>(
+    const std::filesystem::path&);
+
+}  // namespace dmtk::io

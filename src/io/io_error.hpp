@@ -1,0 +1,19 @@
+#pragma once
+/// \file io_error.hpp
+/// \brief The IO error type, split out of tensor_io.hpp so the low-level
+/// checked/atomic file layer (checked_io.hpp) can throw it without pulling
+/// the tensor headers into every translation unit that only moves bytes.
+
+#include <stdexcept>
+
+namespace dmtk::io {
+
+/// Thrown on malformed files, magic mismatches, checksum/truncation
+/// failures, or filesystem errors. Messages name the file and, for
+/// payload-level corruption, the byte offset where the read failed.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace dmtk::io

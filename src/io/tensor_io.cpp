@@ -13,6 +13,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "io/checked_io.hpp"
+
 namespace dmtk::io {
 
 namespace {
@@ -27,103 +29,88 @@ constexpr std::array<char, 8> kMatrixMagic{'D', 'M', 'T', 'K',
 constexpr std::array<char, 8> kKtensorMagic{'D', 'M', 'T', 'K',
                                             'K', 'T', 'N', '1'};
 
-std::ofstream open_out(const std::filesystem::path& path) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw IoError("cannot open for writing: " + path.string());
-  return f;
+void write_magic(FileWriter& w, const std::array<char, 8>& magic) {
+  w.write_bytes(magic.data(), magic.size());
 }
 
-std::ifstream open_in(const std::filesystem::path& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw IoError("cannot open for reading: " + path.string());
-  return f;
-}
-
-void write_magic(std::ofstream& f, const std::array<char, 8>& magic) {
-  f.write(magic.data(), magic.size());
-}
-
-void check_magic(std::ifstream& f, const std::array<char, 8>& magic,
+void check_magic(FileReader& r, const std::array<char, 8>& magic,
                  const char* what) {
-  std::array<char, 8> got{};
-  f.read(got.data(), got.size());
-  if (!f || got != magic) {
+  if (r.payload_size() < magic.size())
     throw IoError(std::string("bad magic: not a dmtk ") + what + " file");
-  }
+  std::array<char, 8> got{};
+  r.read_bytes(got.data(), got.size());
+  if (got != magic)
+    throw IoError(std::string("bad magic: not a dmtk ") + what + " file");
 }
 
-void write_u64(std::ofstream& f, std::uint64_t v) {
-  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-std::uint64_t read_u64(std::ifstream& f) {
-  std::uint64_t v = 0;
-  f.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!f) throw IoError("truncated file while reading extent");
-  return v;
+/// Guard an element-count claim from a header against the bytes actually
+/// present: a corrupt header must produce a structured error *before* the
+/// reader commits to a (possibly terabyte-sized) allocation.
+void check_payload_has(const FileReader& r, std::uint64_t count,
+                       std::size_t elem_bytes, const char* what) {
+  const std::uint64_t remaining = r.payload_size() - r.offset();
+  if (count > remaining / elem_bytes)
+    throw IoError("'" + std::string(what) + "' claims " +
+                  std::to_string(count) + " elements (" +
+                  std::to_string(elem_bytes) + " bytes each) but only " +
+                  std::to_string(remaining) + " payload bytes remain at "
+                  "offset " + std::to_string(r.offset()));
 }
 
 template <typename T>
-void write_scalars(std::ofstream& f, const T* p, std::size_t n) {
-  f.write(reinterpret_cast<const char*>(p),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!f) throw IoError("write failed");
+void write_scalars(FileWriter& w, const T* p, std::size_t n) {
+  w.write_bytes(p, n * sizeof(T));
 }
 
 template <typename T>
-void read_scalars(std::ifstream& f, T* p, std::size_t n) {
-  f.read(reinterpret_cast<char*>(p),
-         static_cast<std::streamsize>(n * sizeof(T)));
-  if (!f) throw IoError("truncated file while reading data");
+void read_scalars(FileReader& r, T* p, std::size_t n) {
+  r.read_bytes(p, n * sizeof(T));
 }
 
-void write_doubles(std::ofstream& f, const double* p, std::size_t n) {
-  write_scalars(f, p, n);
+void write_matrix_body(FileWriter& w, const Matrix& M) {
+  w.write_u64(static_cast<std::uint64_t>(M.rows()));
+  w.write_u64(static_cast<std::uint64_t>(M.cols()));
+  write_scalars(w, M.data(), static_cast<std::size_t>(M.size()));
 }
 
-void read_doubles(std::ifstream& f, double* p, std::size_t n) {
-  read_scalars(f, p, n);
-}
-
-void write_matrix_body(std::ofstream& f, const Matrix& M) {
-  write_u64(f, static_cast<std::uint64_t>(M.rows()));
-  write_u64(f, static_cast<std::uint64_t>(M.cols()));
-  write_doubles(f, M.data(), static_cast<std::size_t>(M.size()));
-}
-
-Matrix read_matrix_body(std::ifstream& f) {
-  const auto rows = static_cast<index_t>(read_u64(f));
-  const auto cols = static_cast<index_t>(read_u64(f));
+Matrix read_matrix_body(FileReader& r) {
+  const std::uint64_t rows64 = r.read_u64();
+  const std::uint64_t cols64 = r.read_u64();
+  const auto rows = static_cast<index_t>(rows64);
+  const auto cols = static_cast<index_t>(cols64);
   if (rows < 0 || cols < 0 || rows > (index_t{1} << 40) ||
       cols > (index_t{1} << 40)) {
     throw IoError("implausible matrix extents");
   }
+  if (cols64 != 0) {
+    if (rows64 > (std::uint64_t{1} << 62) / cols64)
+      throw IoError("implausible matrix extents");
+    check_payload_has(r, rows64 * cols64, sizeof(double), "matrix body");
+  }
   Matrix M(rows, cols);
-  read_doubles(f, M.data(), static_cast<std::size_t>(M.size()));
+  read_scalars(r, M.data(), static_cast<std::size_t>(M.size()));
   return M;
 }
 
-}  // namespace
-
-namespace {
-
 /// Consume the tensor magic (either payload kind), returning the stored
 /// scalar kind; throws for non-tensor files.
-ScalarKind read_tensor_magic(std::ifstream& f) {
+ScalarKind read_tensor_magic(FileReader& r) {
+  if (r.payload_size() < 8)
+    throw IoError("bad magic: not a dmtk tensor file");
   std::array<char, 8> got{};
-  f.read(got.data(), got.size());
-  if (f && got == kTensorMagic) return ScalarKind::F64;
-  if (f && got == kTensorMagicF32) return ScalarKind::F32;
+  r.read_bytes(got.data(), got.size());
+  if (got == kTensorMagic) return ScalarKind::F64;
+  if (got == kTensorMagicF32) return ScalarKind::F32;
   throw IoError("bad magic: not a dmtk tensor file");
 }
 
 /// Read the extents header shared by both payload kinds.
-std::vector<index_t> read_tensor_extents(std::ifstream& f) {
-  const auto order = static_cast<index_t>(read_u64(f));
+std::vector<index_t> read_tensor_extents(FileReader& r) {
+  const auto order = static_cast<index_t>(r.read_u64());
   if (order < 1 || order > 64) throw IoError("implausible tensor order");
   std::vector<index_t> dims(static_cast<std::size_t>(order));
   for (index_t& d : dims) {
-    d = static_cast<index_t>(read_u64(f));
+    d = static_cast<index_t>(r.read_u64());
     if (d < 1 || d > (index_t{1} << 40)) {
       throw IoError("implausible tensor extent");
     }
@@ -135,12 +122,12 @@ std::vector<index_t> read_tensor_extents(std::ifstream& f) {
 
 template <typename T>
 void write_tensor(const std::filesystem::path& path, const TensorT<T>& X) {
-  std::ofstream f = open_out(path);
-  write_magic(f, std::is_same_v<T, float> ? kTensorMagicF32 : kTensorMagic);
-  write_u64(f, static_cast<std::uint64_t>(X.order()));
-  for (index_t d : X.dims()) write_u64(f, static_cast<std::uint64_t>(d));
-  write_scalars(f, X.data(), static_cast<std::size_t>(X.numel()));
-  if (!f) throw IoError("write failed: " + path.string());
+  FileWriter w(path, FileWriter::Footer::Crc32);
+  write_magic(w, std::is_same_v<T, float> ? kTensorMagicF32 : kTensorMagic);
+  w.write_u64(static_cast<std::uint64_t>(X.order()));
+  for (index_t d : X.dims()) w.write_u64(static_cast<std::uint64_t>(d));
+  write_scalars(w, X.data(), static_cast<std::size_t>(X.numel()));
+  w.commit();
 }
 
 namespace {
@@ -150,13 +137,13 @@ namespace {
 /// O(chunk), not O(tensor), which is what keeps the fp32 path's halved
 /// footprint honest when narrowing a large f64 file.
 template <typename From, typename To>
-void read_converting(std::ifstream& f, To* dst, std::size_t n) {
+void read_converting(FileReader& r, To* dst, std::size_t n) {
   constexpr std::size_t kChunk = std::size_t{1} << 20;  // elements
   std::vector<From> stage(std::min(n, kChunk));
   std::size_t done = 0;
   while (done < n) {
     const std::size_t take = std::min(kChunk, n - done);
-    read_scalars(f, stage.data(), take);
+    read_scalars(r, stage.data(), take);
     for (std::size_t i = 0; i < take; ++i) {
       dst[done + i] = static_cast<To>(stage[i]);
     }
@@ -168,18 +155,29 @@ void read_converting(std::ifstream& f, To* dst, std::size_t n) {
 
 template <typename T>
 TensorT<T> read_tensor_as(const std::filesystem::path& path) {
-  std::ifstream f = open_in(path);
-  const ScalarKind kind = read_tensor_magic(f);
-  TensorT<T> X(read_tensor_extents(f));
+  FileReader r(path);
+  const ScalarKind kind = read_tensor_magic(r);
+  const std::vector<index_t> dims = read_tensor_extents(r);
+  std::uint64_t numel = 1;
+  for (index_t d : dims) {
+    if (d != 0 && numel > (std::uint64_t{1} << 62) / static_cast<std::uint64_t>(d))
+      throw IoError("implausible tensor extent");
+    numel *= static_cast<std::uint64_t>(d);
+  }
+  const std::size_t elem =
+      kind == ScalarKind::F32 ? sizeof(float) : sizeof(double);
+  check_payload_has(r, numel, elem, "tensor body");
+  TensorT<T> X(dims);
   const std::size_t n = static_cast<std::size_t>(X.numel());
   const bool want_f32 = std::is_same_v<T, float>;
   if ((kind == ScalarKind::F32) == want_f32) {
-    read_scalars(f, X.data(), n);
+    read_scalars(r, X.data(), n);
   } else if (kind == ScalarKind::F32) {
-    read_converting<float>(f, X.data(), n);
+    read_converting<float>(r, X.data(), n);
   } else {
-    read_converting<double>(f, X.data(), n);
+    read_converting<double>(r, X.data(), n);
   }
+  r.verify();
   return X;
 }
 
@@ -188,14 +186,14 @@ Tensor read_tensor(const std::filesystem::path& path) {
 }
 
 ScalarKind tensor_scalar_kind(const std::filesystem::path& path) {
-  std::ifstream f = open_in(path);
-  return read_tensor_magic(f);
+  FileReader r(path);
+  return read_tensor_magic(r);
 }
 
 std::vector<index_t> tensor_extents(const std::filesystem::path& path) {
-  std::ifstream f = open_in(path);
-  (void)read_tensor_magic(f);
-  return read_tensor_extents(f);
+  FileReader r(path);
+  (void)read_tensor_magic(r);
+  return read_tensor_extents(r);
 }
 
 template void write_tensor<double>(const std::filesystem::path&,
@@ -206,65 +204,76 @@ template Tensor read_tensor_as<double>(const std::filesystem::path&);
 template TensorF read_tensor_as<float>(const std::filesystem::path&);
 
 void write_matrix(const std::filesystem::path& path, const Matrix& M) {
-  std::ofstream f = open_out(path);
-  write_magic(f, kMatrixMagic);
-  write_matrix_body(f, M);
-  if (!f) throw IoError("write failed: " + path.string());
+  FileWriter w(path, FileWriter::Footer::Crc32);
+  write_magic(w, kMatrixMagic);
+  write_matrix_body(w, M);
+  w.commit();
 }
 
 Matrix read_matrix(const std::filesystem::path& path) {
-  std::ifstream f = open_in(path);
-  check_magic(f, kMatrixMagic, "matrix");
-  return read_matrix_body(f);
+  FileReader r(path);
+  check_magic(r, kMatrixMagic, "matrix");
+  Matrix M = read_matrix_body(r);
+  r.verify();
+  return M;
 }
 
 void write_ktensor(const std::filesystem::path& path, const Ktensor& K) {
   K.validate();
-  std::ofstream f = open_out(path);
-  write_magic(f, kKtensorMagic);
-  write_u64(f, static_cast<std::uint64_t>(K.order()));
-  write_u64(f, static_cast<std::uint64_t>(K.rank()));
+  FileWriter w(path, FileWriter::Footer::Crc32);
+  write_magic(w, kKtensorMagic);
+  w.write_u64(static_cast<std::uint64_t>(K.order()));
+  w.write_u64(static_cast<std::uint64_t>(K.rank()));
   // Lambda (stored explicitly; all-ones if the model had none).
   for (index_t c = 0; c < K.rank(); ++c) {
     const double l = K.lambda_or_one(c);
-    f.write(reinterpret_cast<const char*>(&l), sizeof(l));
+    w.write_bytes(&l, sizeof l);
   }
-  for (const Matrix& U : K.factors) write_matrix_body(f, U);
-  if (!f) throw IoError("write failed: " + path.string());
+  for (const Matrix& U : K.factors) write_matrix_body(w, U);
+  w.commit();
 }
 
 Ktensor read_ktensor(const std::filesystem::path& path) {
-  std::ifstream f = open_in(path);
-  check_magic(f, kKtensorMagic, "ktensor");
-  const auto order = static_cast<index_t>(read_u64(f));
-  const auto rank = static_cast<index_t>(read_u64(f));
+  FileReader r(path);
+  check_magic(r, kKtensorMagic, "ktensor");
+  const std::uint64_t order64 = r.read_u64();
+  const std::uint64_t rank64 = r.read_u64();
+  const auto order = static_cast<index_t>(order64);
+  const auto rank = static_cast<index_t>(rank64);
   if (order < 1 || order > 64 || rank < 1 || rank > (index_t{1} << 32)) {
     throw IoError("implausible ktensor header");
   }
+  check_payload_has(r, rank64, sizeof(double), "ktensor lambda");
   Ktensor K;
   K.lambda.resize(static_cast<std::size_t>(rank));
-  read_doubles(f, K.lambda.data(), K.lambda.size());
+  read_scalars(r, K.lambda.data(), K.lambda.size());
   K.factors.reserve(static_cast<std::size_t>(order));
   for (index_t n = 0; n < order; ++n) {
-    K.factors.push_back(read_matrix_body(f));
+    K.factors.push_back(read_matrix_body(r));
     if (K.factors.back().cols() != rank) {
       throw IoError("ktensor factor rank mismatch");
     }
   }
+  r.verify();
   K.validate();
   return K;
 }
 
 void export_csv(const std::filesystem::path& path, const Matrix& M) {
-  std::FILE* f = std::fopen(path.string().c_str(), "w");
-  if (f == nullptr) throw IoError("cannot open for writing: " + path.string());
+  // Same atomic-replace discipline as the binary writers (a crash
+  // mid-export must not leave a half-written CSV over a good one), but no
+  // checksum footer: CSV is an interchange format for other tools.
+  FileWriter w(path, FileWriter::Footer::None);
+  char cell[64];
   for (index_t i = 0; i < M.rows(); ++i) {
     for (index_t j = 0; j < M.cols(); ++j) {
-      std::fprintf(f, "%s%.17g", j == 0 ? "" : ",", M(i, j));
+      const int len = std::snprintf(cell, sizeof cell, "%s%.17g",
+                                    j == 0 ? "" : ",", M(i, j));
+      w.write_bytes(cell, static_cast<std::size_t>(len));
     }
-    std::fprintf(f, "\n");
+    w.write_text("\n");
   }
-  if (std::fclose(f) != 0) throw IoError("close failed: " + path.string());
+  w.commit();
 }
 
 namespace {
@@ -419,22 +428,30 @@ void write_tns(const std::filesystem::path& path,
                const sparse::SparseTensor& S) {
   // The format has no header: shape exists only as coordinate maxima, so
   // an empty tensor would serialize to a file read_tns must reject.
-  // Refusing here beats writing unreadable data.
+  // Refusing here beats writing unreadable data — and the check precedes
+  // the FileWriter so no temp file is ever created for the error case.
   if (S.nnz() == 0) {
     throw IoError(path.string() +
                   ": the .tns format cannot represent an empty tensor "
                   "(no nonzeros to infer a shape from)");
   }
-  std::FILE* f = std::fopen(path.string().c_str(), "w");
-  if (f == nullptr) throw IoError("cannot open for writing: " + path.string());
+  // Atomic replace, no checksum footer: .tns is the FROSTT interchange
+  // format and other tools' parsers must keep reading our output. Every
+  // write is still checked (an ENOSPC mid-file throws instead of leaving
+  // a silently short file — and the temp never reaches `path`).
+  FileWriter w(path, FileWriter::Footer::None);
   const index_t N = S.order();
+  char cell[64];
   for (index_t k = 0; k < S.nnz(); ++k) {
     for (index_t n = 0; n < N; ++n) {
-      std::fprintf(f, "%lld ", static_cast<long long>(S.coord(n, k) + 1));
+      const int len = std::snprintf(cell, sizeof cell, "%lld ",
+                                    static_cast<long long>(S.coord(n, k) + 1));
+      w.write_bytes(cell, static_cast<std::size_t>(len));
     }
-    std::fprintf(f, "%.17g\n", S.value(k));
+    const int len = std::snprintf(cell, sizeof cell, "%.17g\n", S.value(k));
+    w.write_bytes(cell, static_cast<std::size_t>(len));
   }
-  if (std::fclose(f) != 0) throw IoError("close failed: " + path.string());
+  w.commit();
 }
 
 }  // namespace dmtk::io

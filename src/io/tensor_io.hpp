@@ -8,7 +8,11 @@
 ///
 /// Format: little-endian, host doubles. Each file starts with an 8-byte
 /// magic identifying the payload kind and version, followed by 64-bit
-/// extents, followed by raw data in the container's natural layout.
+/// extents, followed by raw data in the container's natural layout, and
+/// ends with a CRC-32 footer (see checked_io.hpp). Readers verify the
+/// checksum and still accept footerless files from before the footer
+/// existed; writers replace files atomically (temp + fsync + rename), so
+/// a crash mid-write never corrupts the previous file.
 
 #include <filesystem>
 #include <stdexcept>
@@ -16,15 +20,10 @@
 #include "core/cp_model.hpp"
 #include "core/matrix.hpp"
 #include "core/tensor.hpp"
+#include "io/io_error.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace dmtk::io {
-
-/// Thrown on malformed files, magic mismatches, or filesystem errors.
-class IoError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Scalar payload kind of a dense-tensor file. The magic's last byte tags
 /// the payload ('1' = f64 v1, 'f' = f32 v1), so readers of either

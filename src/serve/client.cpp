@@ -4,8 +4,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -103,6 +105,70 @@ Json Client::roundtrip(const Json& request) {
     throw ClientError("client: connection closed before a response arrived");
   }
   return Json::parse(*line);
+}
+
+namespace {
+
+bool is_busy(const std::string& line) {
+  Json resp;
+  try {
+    resp = Json::parse(line);
+  } catch (const JsonError&) {
+    return false;  // unparseable response: the caller's problem, not busy
+  }
+  const Json* ok = resp.find("ok");
+  if (ok == nullptr || !ok->is_bool() || ok->as_bool()) return false;
+  const Json* err = resp.find("error");
+  if (err == nullptr) return false;
+  const Json* code = err->find("code");
+  return code != nullptr && code->is_string() && code->as_string() == "busy";
+}
+
+/// splitmix64 — the same deterministic stream the fault registry uses,
+/// kept local so the client library stays dependency-free.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string request_with_retry(const std::string& socket_path,
+                               const std::string& line,
+                               const RetryPolicy& policy) {
+  const int attempts = 1 + std::max(0, policy.retries);
+  const int base = std::max(1, policy.base_ms);
+  std::uint64_t jitter_state = policy.jitter_seed;
+  for (int attempt = 0;; ++attempt) {
+    const bool last = attempt + 1 >= attempts;
+    try {
+      Client c;
+      c.connect(socket_path, policy.connect_timeout_ms);
+      c.send_line(line);
+      const auto resp = c.recv_line();
+      if (!resp) {
+        throw ClientError(
+            "client: connection closed before a response arrived");
+      }
+      if (!is_busy(*resp) || last) return *resp;
+      // busy: the queue was full at admission — the one server-side
+      // error where "come back later" is the documented contract.
+    } catch (const ClientError&) {
+      if (last) throw;
+    }
+    // Exponential backoff with jitter, shifted safely: cap the exponent
+    // so base << attempt cannot overflow before the min() applies.
+    const int shift = std::min(attempt, 20);
+    const std::int64_t exp_ms =
+        std::min<std::int64_t>(static_cast<std::int64_t>(base) << shift,
+                               std::max(1, policy.max_backoff_ms));
+    const std::int64_t jitter =
+        static_cast<std::int64_t>(mix64(jitter_state) %
+                                  static_cast<std::uint64_t>(base));
+    std::this_thread::sleep_for(std::chrono::milliseconds(exp_ms + jitter));
+  }
 }
 
 }  // namespace dmtk::serve

@@ -12,7 +12,16 @@
 /// response read next is the response to the request just sent (the
 /// server may interleave responses only across DIFFERENT sockets).
 /// Concurrency tests simply open one Client per thread.
+///
+/// request_with_retry() is the operational wrapper `dmtk client
+/// --retries` uses: it re-runs the whole connect+roundtrip on transport
+/// failures (server restarting, connection dropped mid-request) and on
+/// "busy" rejections (admission control says come back later), with
+/// exponential backoff plus deterministic jitter. Any other response —
+/// success or a structured error — is the caller's to interpret, not a
+/// retry trigger: repeating an "invalid_request" will never help.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -61,5 +70,31 @@ class Client {
   int fd_ = -1;
   std::string buf_;  ///< bytes received past the last returned line
 };
+
+/// Backoff schedule for request_with_retry: attempt k (0-based) sleeps
+/// base_ms * 2^k plus a jitter draw in [0, base_ms), capped at
+/// max_backoff_ms. The jitter stream is seeded, so a test (or a bug
+/// report) replays the exact same sleep sequence.
+struct RetryPolicy {
+  int retries = 0;              ///< attempts AFTER the first (0 = no retry)
+  int base_ms = 100;            ///< backoff base
+  int max_backoff_ms = 10000;   ///< per-sleep cap
+  int connect_timeout_ms = 5000;  ///< per-attempt connect window
+  std::uint64_t jitter_seed = 0;  ///< deterministic jitter stream
+};
+
+/// Connect + one-line roundtrip with retry. `line` is sent VERBATIM
+/// (no validation — `dmtk client --json` forwards raw, possibly
+/// deliberately malformed lines), and the raw response line is
+/// returned. Retries on transport failures (ClientError: connect window
+/// elapsed, send failed, connection closed before a response) and on
+/// {"ok":false, "error":{"code":"busy"}} responses; the first non-busy
+/// response — success or any other structured error — is returned as
+/// is, because repeating an invalid request will never help. When every
+/// attempt fails, rethrows the last transport error — or returns the
+/// last busy response if that is how the final attempt ended.
+[[nodiscard]] std::string request_with_retry(const std::string& socket_path,
+                                             const std::string& line,
+                                             const RetryPolicy& policy);
 
 }  // namespace dmtk::serve

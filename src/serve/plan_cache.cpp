@@ -23,6 +23,8 @@ PlanCacheStats& PlanCacheStats::operator+=(const PlanCacheStats& o) {
   misses += o.misses;
   evictions += o.evictions;
   bypass += o.bypass;
+  build_failures += o.build_failures;
+  degraded += o.degraded;
   entries += o.entries;
   bytes += o.bytes;
   max_entries += o.max_entries;
@@ -59,26 +61,48 @@ PlanCache::Entry* PlanCache::get_or_build(const PlanKey& key,
              "PlanCache: only dense (tensor-free) plans are cacheable");
   const std::string skey = key.to_string();
   if (const auto it = index_.find(skey); it != index_.end()) {
+    // Cached entries keep serving even while the cache is degraded —
+    // only plan CONSTRUCTION is what failed.
     hits_.fetch_add(1, std::memory_order_relaxed);
     lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
     return &*it->second;
   }
 
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (const std::uint64_t cd =
+          degraded_cooldown_.load(std::memory_order_relaxed);
+      cd > 0) {
+    degraded_cooldown_.store(cd - 1, std::memory_order_relaxed);
+    bypass_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
   Entry e;
   e.key = key;
   std::size_t ws_bytes = 0;
-  if (key.f32) {
-    e.f32 = std::make_unique<CpAlsSweepPlanF>(ctx, key.dims, key.rank,
-                                              key.scheme, key.method,
-                                              key.levels);
-    ws_bytes = e.f32->workspace_bytes();
-  } else {
-    e.f64 = std::make_unique<CpAlsSweepPlan>(ctx, key.dims, key.rank,
-                                             key.scheme, key.method,
-                                             key.levels);
-    ws_bytes = e.f64->workspace_bytes();
+  try {
+    if (key.f32) {
+      e.f32 = std::make_unique<CpAlsSweepPlanF>(ctx, key.dims, key.rank,
+                                                key.scheme, key.method,
+                                                key.levels);
+      ws_bytes = e.f32->workspace_bytes();
+    } else {
+      e.f64 = std::make_unique<CpAlsSweepPlan>(ctx, key.dims, key.rank,
+                                               key.scheme, key.method,
+                                               key.levels);
+      ws_bytes = e.f64->workspace_bytes();
+    }
+  } catch (const std::exception&) {
+    // Degrade, don't fail: the caller falls back to a transient plan (or
+    // reports a per-job error if that fails too), and the cache stops
+    // attempting builds for a cooldown window instead of thrashing a
+    // exhausted arena allocator on every request.
+    build_failures_.fetch_add(1, std::memory_order_relaxed);
+    degraded_cooldown_.store(kDegradedCooldownLookups,
+                             std::memory_order_relaxed);
+    bypass_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   e.bytes = estimate_bytes(key, ws_bytes);
   if (built != nullptr) *built = true;
 
@@ -112,6 +136,9 @@ PlanCacheStats PlanCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.bypass = bypass_.load(std::memory_order_relaxed);
+  s.build_failures = build_failures_.load(std::memory_order_relaxed);
+  s.degraded =
+      degraded_cooldown_.load(std::memory_order_relaxed) > 0 ? 1 : 0;
   s.entries = entries_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
   s.max_entries = max_entries_;

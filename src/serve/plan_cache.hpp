@@ -66,8 +66,15 @@ struct PlanCacheStats {
   std::uint64_t evictions = 0;
   /// Lookups that bypassed the cache entirely: cold requests, sparse
   /// decompositions (their plans bind the tensor, so caching one would
-  /// cache the data too), and every lookup when the cache is disabled.
+  /// cache the data too), every lookup when the cache is disabled, and
+  /// every lookup while the cache is degraded after a build failure.
   std::uint64_t bypass = 0;
+  /// Plan constructions that threw (typically arena allocation failure).
+  /// Each one puts the cache into degraded (bypass) mode for a while.
+  std::uint64_t build_failures = 0;
+  /// 1 while this cache is in its degraded cooldown, else 0 — summing
+  /// across workers counts currently-degraded caches.
+  std::uint64_t degraded = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
   std::size_t max_entries = 0;
@@ -98,8 +105,19 @@ class PlanCache {
   /// when the call constructed a plan. The returned pointer stays valid
   /// until the next get_or_build (eviction) — callers use it immediately,
   /// on the same thread.
+  ///
+  /// Self-healing: a plan construction that THROWS (arena allocation
+  /// failure under memory pressure, or the `arena.alloc` fault site) does
+  /// not fail the request — the failure is counted, the cache degrades to
+  /// bypass mode (nullptr returns, caller builds transient plans) for the
+  /// next kDegradedCooldownLookups lookups, and then building is retried.
+  /// Cached entries stay servable throughout: only construction degrades.
   Entry* get_or_build(const PlanKey& key, const ExecContext& ctx,
                       bool* built = nullptr);
+
+  /// Lookups served in bypass mode after a build failure before the
+  /// cache tries to build again.
+  static constexpr std::uint64_t kDegradedCooldownLookups = 64;
 
   /// Count a deliberate cache bypass (cold request / sparse plan).
   void note_bypass() { bypass_.fetch_add(1, std::memory_order_relaxed); }
@@ -126,6 +144,10 @@ class PlanCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> bypass_{0};
+  std::atomic<std::uint64_t> build_failures_{0};
+  /// Remaining bypass lookups before building is retried. Only the owner
+  /// thread mutates it; atomic so stats() can snapshot cross-thread.
+  std::atomic<std::uint64_t> degraded_cooldown_{0};
   std::atomic<std::size_t> entries_{0};
   std::atomic<std::size_t> bytes_{0};
 };

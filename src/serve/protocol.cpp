@@ -73,6 +73,7 @@ std::string_view to_string(RequestType t) {
     case RequestType::Info: return "info";
     case RequestType::Stats: return "stats";
     case RequestType::Shutdown: return "shutdown";
+    case RequestType::Health: return "health";
   }
   return "?";
 }
@@ -93,11 +94,14 @@ Request parse_request(const Json& j) {
     r.type = RequestType::Stats;
   } else if (type == "shutdown") {
     r.type = RequestType::Shutdown;
+  } else if (type == "health") {
+    r.type = RequestType::Health;
   } else {
     bad("unknown request type \"" + type + '"');
   }
 
-  if (r.type == RequestType::Stats || r.type == RequestType::Shutdown) {
+  if (r.type == RequestType::Stats || r.type == RequestType::Shutdown ||
+      r.type == RequestType::Health) {
     check_fields(j, {"type", "id"});
     return r;
   }

@@ -20,6 +20,7 @@
 #include "core/reorder.hpp"
 #include "io/tensor_io.hpp"
 #include "sparse/sparse_tensor.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace dmtk::serve {
@@ -193,6 +194,16 @@ void Server::accept_loop() {
                    std::strerror(err));
       break;
     }
+    // Fault site `serve.accept`: a connection dropped right after
+    // accept(), the deterministic stand-in for a client that vanishes
+    // (or an fd-level failure) between accept and reader start. The
+    // server counts it and keeps accepting; the client sees a closed
+    // connection and retries.
+    if (fault::any_armed() && fault::should_fail("serve.accept")) {
+      accept_faults_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
     // Bound send() (SO_SNDTIMEO) so a client that stops reading cannot
     // wedge a worker thread behind a full socket buffer forever;
     // send_line drops the connection when the timeout fires.
@@ -275,6 +286,12 @@ void Server::handle_line(const std::shared_ptr<Conn>& conn,
         Json s = stats_json();
         if (!r.id.is_null()) s.set("id", r.id);
         send_line(conn, s);
+        return;
+      }
+      case RequestType::Health: {
+        Json h = health_json();
+        if (!r.id.is_null()) h.set("id", r.id);
+        send_line(conn, h);
         return;
       }
       case RequestType::Shutdown: {
@@ -404,10 +421,30 @@ void Server::worker_loop(Worker& ws) {
              !max_batch_observed_.compare_exchange_weak(seen, batch.size())) {
       }
     }
-    if (batch.front().job.req.type == RequestType::Mttkrp) {
-      run_mttkrp_batch(ws, batch);
-    } else {
-      run_decompose_batch(ws, batch);
+    try {
+      // Fault site `serve.worker`: an exception escaping batch
+      // processing itself (not one job's handler) — exactly what the
+      // backstop below must isolate for the worker to survive.
+      DMTK_FAULT_POINT("serve.worker");
+      if (batch.front().job.req.type == RequestType::Mttkrp) {
+        run_mttkrp_batch(ws, batch);
+      } else {
+        run_decompose_batch(ws, batch);
+      }
+    } catch (...) {
+      // Backstop: per-job handlers map their own failures, so anything
+      // arriving here escaped batch processing (shared-sweep machinery,
+      // an injected worker fault). Fail every job in the batch with a
+      // structured error instead of taking the worker thread down — a
+      // resident server must outlive any single bad batch.
+      worker_failures_.fetch_add(1, std::memory_order_relaxed);
+      for (const Queue::Item& item : batch) {
+        try {
+          send_error_for_exception(item.job.conn, item.job.req.id);
+        } catch (...) {
+          // A send failure must not kill the worker either.
+        }
+      }
     }
   }
 }
@@ -776,6 +813,8 @@ Json Server::stats_json() const {
   server.set("requests", Json(requests_.load(std::memory_order_relaxed)));
   server.set("connections",
              Json(connections_.load(std::memory_order_relaxed)));
+  server.set("worker_failures",
+             Json(worker_failures_.load(std::memory_order_relaxed)));
   resp.set("server", std::move(server));
 
   PlanCacheStats agg;  // per-worker caps sum: the fleet-wide budget
@@ -785,6 +824,8 @@ Json Server::stats_json() const {
   cache.set("misses", Json(agg.misses));
   cache.set("evictions", Json(agg.evictions));
   cache.set("bypass", Json(agg.bypass));
+  cache.set("build_failures", Json(agg.build_failures));
+  cache.set("degraded_workers", Json(agg.degraded));
   cache.set("entries", Json(agg.entries));
   cache.set("bytes", Json(agg.bytes));
   cache.set("max_entries", Json(agg.max_entries));
@@ -810,6 +851,42 @@ Json Server::stats_json() const {
   queue.set("max_batch_observed",
             Json(max_batch_observed_.load(std::memory_order_relaxed)));
   resp.set("queue", std::move(queue));
+  return resp;
+}
+
+Json Server::health_json() const {
+  Json resp;
+  resp.set("ok", Json(true));
+  resp.set("type", Json("health"));
+  resp.set("uptime_s",
+           Json(std::chrono::duration<double>(Clock::now() - started_at_)
+                    .count()));
+  resp.set("workers", Json(static_cast<std::int64_t>(workers_.size())));
+
+  const JobQueueStats qs = queue_.stats();
+  Json queue;
+  queue.set("depth", Json(qs.depth));
+  queue.set("capacity", Json(qs.capacity));
+  resp.set("queue", std::move(queue));
+
+  Json heal;
+  heal.set("worker_failures",
+           Json(worker_failures_.load(std::memory_order_relaxed)));
+  heal.set("accept_faults",
+           Json(accept_faults_.load(std::memory_order_relaxed)));
+  PlanCacheStats agg;
+  for (const auto& w : workers_) agg += w->cache.stats();
+  heal.set("cache_build_failures", Json(agg.build_failures));
+  heal.set("degraded_workers", Json(agg.degraded));
+  resp.set("self_healing", std::move(heal));
+
+  // Armed fault sites and their trigger counts — empty object when no
+  // faults are armed (the normal case), so probes can assert on it.
+  Json faults{Json::Object{}};
+  for (const auto& [site, count] : fault::counters()) {
+    faults.set(site, Json(count));
+  }
+  resp.set("faults", std::move(faults));
   return resp;
 }
 

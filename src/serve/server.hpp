@@ -41,6 +41,16 @@
 /// "busy" immediately), `queue_timeout_ms` bounds how stale a job may
 /// get before a worker sheds it with a "timeout" error instead of
 /// burning compute for a client that has likely given up.
+///
+/// Self-healing: per-job exceptions map to structured errors where they
+/// happen, and a backstop in the worker loop catches anything that
+/// escapes batch processing itself — every job in the batch gets an
+/// "internal" error and the worker thread survives to take the next
+/// batch (counted in `worker_failures`). Plan-construction failures
+/// degrade the worker's cache to bypass mode instead of failing requests
+/// (see plan_cache.hpp), and a "health" request reports all of it:
+/// uptime, queue occupancy, failure counters, and any armed fault-site
+/// trigger counts (util/fault.hpp).
 
 #include <atomic>
 #include <chrono>
@@ -111,6 +121,12 @@ class Server {
   /// The stats-request payload (cache counters aggregated across
   /// workers) — exposed for in-process tests and the bench harness.
   [[nodiscard]] Json stats_json() const;
+
+  /// The health-request payload: uptime, worker/queue occupancy, the
+  /// self-healing counters (worker batch failures, accept faults, cache
+  /// build failures and degraded workers), and armed fault-site trigger
+  /// counts. Cheap enough to poll from a liveness probe.
+  [[nodiscard]] Json health_json() const;
 
  private:
   struct Conn {
@@ -199,6 +215,12 @@ class Server {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> timed_out_{0};
+  /// Batches whose processing escaped the per-job handlers (worker
+  /// backstop fired): every job in the batch got an "internal" error and
+  /// the worker thread survived to take the next batch.
+  std::atomic<std::uint64_t> worker_failures_{0};
+  /// Accepted connections dropped by the `serve.accept` fault site.
+  std::atomic<std::uint64_t> accept_faults_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_jobs_{0};
   std::atomic<std::uint64_t> max_batch_observed_{0};

@@ -1,0 +1,31 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace dmtk::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    state = kTable[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+}  // namespace dmtk::util

@@ -1,0 +1,28 @@
+#pragma once
+/// \file crc32.hpp
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+/// checksum behind the binary-file footers. Table-driven, incremental:
+/// writers fold bytes in as they stream, readers re-fold and compare.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dmtk::util {
+
+/// Incremental CRC-32. Usage: start from crc32_init(), fold byte ranges
+/// with crc32_update(), finish with crc32_final(). The one-shot form
+/// crc32(p, n) does all three.
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t n) noexcept;
+
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t n) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace dmtk::util

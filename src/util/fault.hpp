@@ -1,0 +1,101 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection — named, seeded fault sites that
+/// tests (and operators) arm to provoke every error branch on demand.
+///
+/// A resident server's recovery paths are exactly the code that never runs
+/// in a happy-path test suite. This registry makes them reachable
+/// deterministically: each *site* is a string name compiled into the code
+/// (`DMTK_FAULT_POINT("io.write")`), armed at runtime with a failure rate,
+/// an RNG seed, and an optional trigger budget. The draw sequence is a
+/// per-site seeded PRNG, so a given (rate, seed) arms the *same* calls on
+/// every run — failures are reproducible, not flaky.
+///
+/// Sites compiled into dmtk today:
+///   io.write       checked_io FileWriter — fails a buffered write (ENOSPC-
+///                  shaped IoError through the normal error path)
+///   io.read.short  checked_io FileReader — simulates a short read, driving
+///                  the real truncation branch
+///   arena.alloc    WorkspaceArena::reserve_bytes — fails workspace growth
+///   serve.accept   Server accept loop — drops a just-accepted connection
+///   serve.worker   Server worker loop — throws inside a worker batch
+///
+/// Arming:
+///   - Environment: DMTK_FAULTS="site:rate[:seed[:count]][,site:...]"
+///     e.g. DMTK_FAULTS="io.write:1.0:0" or "serve.accept:1.0:0:2"
+///     (count bounds total triggers; 0 = unlimited). Parsed lazily on the
+///     first fault query, so it applies to any dmtk binary.
+///   - Programmatic: arm() / disarm() / disarm_all() below (tests).
+///
+/// Sites the injected code reaches via should_fail()/fail_point() count
+/// their triggers; counters() feeds the server's `health` response.
+///
+/// Overhead when nothing is armed: one relaxed atomic load per fault
+/// point (any_armed() fast path).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dmtk::fault {
+
+/// Thrown by fail_point() when its site draws a failure. Derives from
+/// std::runtime_error so generic handlers (the server's `internal`
+/// mapping, CLI catch blocks) treat it like any other internal failure.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string site)
+      : std::runtime_error("injected fault at site '" + site + "'"),
+        site_(std::move(site)) {}
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// True when at least one site is armed (env spec included). This is the
+/// fast path: a single relaxed atomic load, no locking.
+[[nodiscard]] bool any_armed() noexcept;
+
+/// Draw from `site`'s PRNG: true = this call should fail. Unarmed sites
+/// (and exhausted trigger budgets) never fail. Counts a trigger on true.
+[[nodiscard]] bool should_fail(std::string_view site);
+
+/// should_fail(), but throws InjectedFault on a failing draw. This is
+/// what DMTK_FAULT_POINT expands to — for sites whose natural failure
+/// mode is an exception.
+void fail_point(std::string_view site);
+
+/// Arm `site`: each should_fail() draws u ~ U[0,1) from a PRNG seeded
+/// with `seed` and fails iff u < rate (rate >= 1 fails every call).
+/// `max_triggers` bounds total failures (0 = unlimited); after the budget
+/// is spent the site heals. Re-arming a site resets its PRNG and counter.
+void arm(std::string_view site, double rate, std::uint64_t seed,
+         std::uint64_t max_triggers = 0);
+
+/// Disarm one site / all sites. Counters for disarmed sites are dropped.
+void disarm(std::string_view site);
+void disarm_all();
+
+/// Triggers recorded for `site` (0 when never armed).
+[[nodiscard]] std::uint64_t trigger_count(std::string_view site);
+
+/// (site, trigger-count) for every armed site, name-sorted — the
+/// server's `health` response embeds this.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters();
+
+/// Parse a DMTK_FAULTS-style spec and arm every entry. Throws
+/// std::invalid_argument on a malformed spec.
+void arm_from_spec(std::string_view spec);
+
+}  // namespace dmtk::fault
+
+/// Compiled-in fault site: no-op (one atomic load) unless armed, throws
+/// dmtk::fault::InjectedFault on a failing draw.
+#define DMTK_FAULT_POINT(site)                                      \
+  do {                                                              \
+    if (::dmtk::fault::any_armed()) ::dmtk::fault::fail_point(site); \
+  } while (0)

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test, registered as a ctest (see CMakeLists.txt).
+#
+#   usage: checkpoint_crash.sh <path-to-dmtk-binary>
+#
+# Kills a checkpointing decompose mid-run with SIGKILL — the one signal a
+# process cannot trap — then resumes from the surviving checkpoint and
+# demands the resumed model be byte-identical to an uninterrupted golden
+# run. This exercises the atomic-rename checkpoint write (a kill can never
+# leave a half-written file) and the bitwise-deterministic resume path.
+
+set -u
+dmtk="$1"
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+die() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+x="${work}/x.dten"
+golden="${work}/golden.dktn"
+resumed="${work}/resumed.dktn"
+ck="${work}/run.dckp"
+iters=12
+
+"${dmtk}" generate --dims 96x80x64 --rank 16 --seed 3 --out "${x}" \
+  > /dev/null 2>&1 || die "generate"
+
+# Golden: the full run, uninterrupted. tol 0 pins the sweep count.
+"${dmtk}" decompose "${x}" --rank 16 --iters ${iters} --tol 0 --seed 42 \
+  --out "${golden}" > /dev/null 2>&1 || die "golden decompose"
+
+# The victim: same configuration, checkpointing every sweep. SIGKILL it
+# the moment the first checkpoint materialises (the atomic rename means
+# existence == complete).
+"${dmtk}" decompose "${x}" --rank 16 --iters ${iters} --tol 0 --seed 42 \
+  --checkpoint "${ck}" --checkpoint-every 1 \
+  --out "${work}/victim.dktn" > /dev/null 2>&1 &
+victim=$!
+
+for _ in $(seq 1 200); do
+  [[ -f "${ck}" ]] && break
+  kill -0 "${victim}" 2> /dev/null || break
+  sleep 0.05
+done
+[[ -f "${ck}" ]] || die "no checkpoint appeared before the victim exited"
+
+# The victim may legitimately have finished already on a fast machine;
+# the kill is then a no-op and resume degrades to a (still byte-checked)
+# completed-run replay.
+kill -9 "${victim}" 2> /dev/null
+wait "${victim}" 2> /dev/null
+
+# Resume from whatever sweep the kill left behind, to the full budget.
+"${dmtk}" decompose "${x}" --rank 16 --iters ${iters} --tol 0 --seed 42 \
+  --checkpoint "${ck}" --checkpoint-every 1 --resume \
+  --out "${resumed}" > "${work}/resume.log" 2>&1 \
+  || { cat "${work}/resume.log"; die "resume decompose"; }
+grep -q "resumed" "${work}/resume.log" \
+  || die "resume run did not report resuming"
+
+# The acceptance bar: resume-after-SIGKILL replays the golden arithmetic
+# bit for bit, so the serialized models are identical files.
+cmp -s "${golden}" "${resumed}" \
+  || die "resumed model differs from the uninterrupted golden run"
+
+echo "checkpoint_crash OK"
+exit 0

@@ -209,6 +209,26 @@ TEST(CpAls, OverRankedDecompositionStillWellBehaved) {
   for (double l : r.model.lambda) EXPECT_TRUE(std::isfinite(l));
 }
 
+TEST(CpAls, ZeroTensorIsWellDefined) {
+  // norm(X) == 0 used to make the fit degenerate (divide by zero). The
+  // definition now: a zero tensor is fit perfectly (1.0) exactly when the
+  // model's residual is itself zero, and the whole run must stay finite.
+  Tensor X({5, 4, 3});  // all zeros
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iters = 10;
+  const CpAlsResult r = cp_als(X, opts);
+  EXPECT_TRUE(std::isfinite(r.final_fit));
+  for (double l : r.model.lambda) EXPECT_TRUE(std::isfinite(l));
+  for (const Matrix& U : r.model.factors) {
+    for (double u : U.span()) EXPECT_TRUE(std::isfinite(u));
+  }
+  EXPECT_NE(r.status, CpAlsStatus::Diverged);
+  // The converged model of a zero tensor reproduces it exactly (lambda
+  // collapses to zero), so the defined fit is 1.
+  EXPECT_EQ(r.final_fit, 1.0);
+}
+
 TEST(CpAls, RejectsBadOptions) {
   Rng rng(13);
   Tensor X = Tensor::random_uniform({4, 4, 4}, rng);

@@ -1,0 +1,121 @@
+/// \file test_fault.cpp
+/// \brief The deterministic fault-injection registry: arming, trigger
+/// budgets, reproducible draw sequences, spec parsing, and the counters
+/// the server's health response embeds.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace dmtk::fault {
+namespace {
+
+/// Every test leaves the registry clean — fault state is process-global
+/// and other suites assume nothing is armed.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FaultTest, UnarmedSitesNeverFail) {
+  EXPECT_FALSE(any_armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(should_fail("io.write"));
+  EXPECT_NO_THROW(fail_point("io.write"));
+  EXPECT_EQ(trigger_count("io.write"), 0u);
+}
+
+TEST_F(FaultTest, RateOneFailsEveryCall) {
+  arm("t.always", 1.0, 123);
+  EXPECT_TRUE(any_armed());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(should_fail("t.always"));
+  EXPECT_EQ(trigger_count("t.always"), 10u);
+}
+
+TEST_F(FaultTest, RateZeroNeverFails) {
+  arm("t.never", 0.0, 123);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(should_fail("t.never"));
+  EXPECT_EQ(trigger_count("t.never"), 0u);
+}
+
+TEST_F(FaultTest, DrawSequenceIsSeedDeterministic) {
+  arm("t.seq", 0.5, 42);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(should_fail("t.seq"));
+  // Re-arming with the same (rate, seed) resets the PRNG: identical run.
+  arm("t.seq", 0.5, 42);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(should_fail("t.seq"), first[i]);
+  // A different seed gives a different sequence (with 2^-64 flakiness).
+  arm("t.seq", 0.5, 43);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) other.push_back(should_fail("t.seq"));
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultTest, TriggerBudgetHealsTheSite) {
+  arm("t.budget", 1.0, 7, /*max_triggers=*/3);
+  EXPECT_TRUE(should_fail("t.budget"));
+  EXPECT_TRUE(should_fail("t.budget"));
+  EXPECT_TRUE(should_fail("t.budget"));
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(should_fail("t.budget"));
+  EXPECT_EQ(trigger_count("t.budget"), 3u);
+}
+
+TEST_F(FaultTest, FailPointThrowsInjectedFaultNamingTheSite) {
+  arm("t.throw", 1.0, 1);
+  try {
+    fail_point("t.throw");
+    FAIL() << "fail_point did not throw";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "t.throw");
+    EXPECT_NE(std::string(e.what()).find("t.throw"), std::string::npos);
+  }
+}
+
+TEST_F(FaultTest, FaultPointMacroIsNoopWhenUnarmed) {
+  EXPECT_NO_THROW(DMTK_FAULT_POINT("t.macro"));
+  arm("t.macro", 1.0, 1);
+  EXPECT_THROW(DMTK_FAULT_POINT("t.macro"), InjectedFault);
+}
+
+TEST_F(FaultTest, DisarmDropsTheSite) {
+  arm("t.gone", 1.0, 1);
+  disarm("t.gone");
+  EXPECT_FALSE(should_fail("t.gone"));
+  EXPECT_EQ(trigger_count("t.gone"), 0u);
+}
+
+TEST_F(FaultTest, CountersAreNameSortedPairs) {
+  arm("t.b", 1.0, 1);
+  arm("t.a", 1.0, 1);
+  (void)should_fail("t.b");
+  (void)should_fail("t.b");
+  (void)should_fail("t.a");
+  const auto c = counters();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].first, "t.a");
+  EXPECT_EQ(c[0].second, 1u);
+  EXPECT_EQ(c[1].first, "t.b");
+  EXPECT_EQ(c[1].second, 2u);
+}
+
+TEST_F(FaultTest, SpecParsingArmsEverySite) {
+  arm_from_spec("t.x:1.0:5,t.y:0.0,t.z:1:9:2");
+  EXPECT_TRUE(should_fail("t.x"));
+  EXPECT_FALSE(should_fail("t.y"));
+  EXPECT_TRUE(should_fail("t.z"));
+  EXPECT_TRUE(should_fail("t.z"));
+  EXPECT_FALSE(should_fail("t.z"));  // count bound: 2
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejected) {
+  EXPECT_THROW(arm_from_spec("noname"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("site:notarate"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec("site:1.0:badseed"), std::invalid_argument);
+  EXPECT_THROW(arm_from_spec(":1.0"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmtk::fault

@@ -58,6 +58,10 @@ using namespace dmtk;
       "            [--sweep permode|dimtree|auto] [--levels n] [--dimtree]\n"
       "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
+      "            [--checkpoint F [--checkpoint-every n] [--resume]]\n"
+      "            (--checkpoint writes a crash-safe sweep checkpoint every\n"
+      "             n sweeps (atomic rename + CRC); --resume restarts an\n"
+      "             interrupted run from it, bit-identical to uninterrupted)\n"
       "            (--sweep dimtree shares partial MTTKRPs across modes;\n"
       "             --levels caps the tree depth, 0 = full tree; --dimtree\n"
       "             is the legacy alias for --sweep dimtree; auto picks\n"
@@ -66,6 +70,7 @@ using namespace dmtk;
       "             bandwidth, fit accurate to ~1e-4)\n"
       "  decompose <tensor.tns> --rank R [--sweep csf|coo|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
+      "            [--checkpoint F [--checkpoint-every n] [--resume]]\n"
       "            (sparse CP-ALS through the plan layer; auto = csf)\n"
       "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
       "  export    <model.dktn> --out-prefix P\n"
@@ -75,8 +80,11 @@ using namespace dmtk;
       "            (resident decomposition server on a Unix socket:\n"
       "             newline-delimited JSON requests, per-worker plan cache,\n"
       "             bounded job queue, same-shape request batching)\n"
-      "  client    --socket S [--timeout-ms n] <action>\n"
-      "            actions: stats | shutdown | info <tensor>\n"
+      "  client    --socket S [--timeout-ms n] [--retries n]\n"
+      "            [--retry-base-ms n] <action>\n"
+      "            (--retries re-runs the request on connection failures\n"
+      "             and busy rejections, exponential backoff + jitter)\n"
+      "            actions: stats | health | shutdown | info <tensor>\n"
       "              | decompose <tensor> [--rank R] [--iters n] [--tol f]\n"
       "                [--seed s] [--sweep sch] [--method m] [--levels n]\n"
       "                [--precision double|float] [--out F] [--cold]\n"
@@ -117,7 +125,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
       // Boolean flags.
-      if (key == "nn" || key == "dimtree" || key == "linearize") {
+      if (key == "nn" || key == "dimtree" || key == "linearize" ||
+          key == "resume") {
         flags.insert_or_assign(key, std::string("1"));
       } else if (i + 1 < argc) {
         flags.insert_or_assign(key, std::string(argv[++i]));
@@ -361,6 +370,14 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
   opts.tol = flag_double(flags, "tol", 1e-6, 0.0);
   opts.exec = &ctx;
   opts.seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 42, 0));
+  opts.checkpoint_path = flag_str(flags, "checkpoint");
+  opts.checkpoint_every =
+      static_cast<int>(flag_int(flags, "checkpoint-every", 1, 1));
+  opts.resume = flags.count("resume") != 0;
+  if (opts.checkpoint_path.empty() &&
+      (flags.count("checkpoint-every") != 0 || opts.resume)) {
+    usage_error("--checkpoint-every/--resume require --checkpoint <file>");
+  }
   const std::string sweep_s = flag_str(flags, "sweep");
   if (!sweep_s.empty()) {
     const auto s = parse_sweep_scheme(sweep_s);
@@ -385,8 +402,10 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
       "(%s), %.2f s\n",
       std::string(to_string(resolved)).c_str(),
       static_cast<long long>(opts.rank), static_cast<long long>(S.nnz()),
-      r.final_fit, r.iterations, r.converged ? "converged" : "max-iters",
-      t.seconds());
+      r.final_fit, r.iterations, to_string(r.status), t.seconds());
+  if (r.resumed_sweeps > 0) {
+    std::printf("resumed from checkpoint at sweep %d\n", r.resumed_sweeps);
+  }
   const std::string out = flag_str(flags, "out");
   if (!out.empty()) {
     io::write_ktensor(out, r.model);
@@ -412,6 +431,9 @@ int cmd_decompose_f32(const std::string& pos, const CpAlsOptions& dopts,
   opts.sweep_scheme = dopts.sweep_scheme;
   opts.dimtree_levels = dopts.dimtree_levels;
   opts.exec = &ctx;
+  opts.checkpoint_path = dopts.checkpoint_path;
+  opts.checkpoint_every = dopts.checkpoint_every;
+  opts.resume = dopts.resume;
 
   WallTimer t;
   const CpAlsResultF r = cp_als(X, opts);
@@ -419,7 +441,10 @@ int cmd_decompose_f32(const std::string& pos, const CpAlsOptions& dopts,
       "cp_als[%s sweep, fp32]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
       std::string(to_string(resolved)).c_str(),
       static_cast<long long>(opts.rank), r.final_fit, r.iterations,
-      r.converged ? "converged" : "max-iters", t.seconds());
+      to_string(r.status), t.seconds());
+  if (r.resumed_sweeps > 0) {
+    std::printf("resumed from checkpoint at sweep %d\n", r.resumed_sweeps);
+  }
   if (!out.empty()) {
     io::write_ktensor(out, ktensor_cast<double>(r.model));
     std::printf("wrote %s\n", out.c_str());
@@ -448,6 +473,14 @@ int cmd_decompose(int argc, char** argv) {
   opts.exec = &ctx;
   opts.seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 42, 0));
   opts.dimtree_levels = static_cast<int>(flag_int(flags, "levels", 0, 0));
+  opts.checkpoint_path = flag_str(flags, "checkpoint");
+  opts.checkpoint_every =
+      static_cast<int>(flag_int(flags, "checkpoint-every", 1, 1));
+  opts.resume = flags.count("resume") != 0;
+  if (opts.checkpoint_path.empty() &&
+      (flags.count("checkpoint-every") != 0 || opts.resume)) {
+    usage_error("--checkpoint-every/--resume require --checkpoint <file>");
+  }
   const std::string sweep_s = flag_str(flags, "sweep");
   if (!sweep_s.empty()) {
     const auto s = parse_sweep_scheme(sweep_s);
@@ -523,7 +556,10 @@ int cmd_decompose(int argc, char** argv) {
   std::printf("%s[%s sweep]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
               method, std::string(to_string(resolved)).c_str(),
               static_cast<long long>(opts.rank), r.final_fit, r.iterations,
-              r.converged ? "converged" : "max-iters", t.seconds());
+              to_string(r.status), t.seconds());
+  if (r.resumed_sweeps > 0) {
+    std::printf("resumed from checkpoint at sweep %d\n", r.resumed_sweeps);
+  }
   const std::string out = flag_str(flags, "out");
   if (!out.empty()) {
     io::write_ktensor(out, r.model);
@@ -639,7 +675,7 @@ int cmd_client(int argc, char** argv) {
   std::string line = raw;
   if (line.empty()) {
     serve::Json req;
-    if (action == "stats" || action == "shutdown") {
+    if (action == "stats" || action == "shutdown" || action == "health") {
       req.set("type", serve::Json(action));
     } else if (action == "info" || action == "decompose" ||
                action == "mttkrp") {
@@ -696,21 +732,34 @@ int cmd_client(int argc, char** argv) {
       }
     } else {
       usage_error("unknown client action '" + action +
-                  "' (stats|shutdown|info|decompose|mttkrp|--json)");
+                  "' (stats|health|shutdown|info|decompose|mttkrp|--json)");
     }
     line = req.dump();
   }
 
-  serve::Client cli;
-  cli.connect(socket, timeout_ms);  // ClientError -> main's handler, exit 2
-  cli.send_line(line);
-  const auto resp = cli.recv_line();
-  if (!resp) {
-    std::fprintf(stderr, "error: server closed the connection\n");
-    return 2;
+  const int retries = static_cast<int>(flag_int(flags, "retries", 0, 0));
+  std::string resp;
+  if (retries > 0) {
+    serve::RetryPolicy pol;
+    pol.retries = retries;
+    pol.base_ms =
+        static_cast<int>(flag_int(flags, "retry-base-ms", 100, 1));
+    pol.connect_timeout_ms = timeout_ms;
+    // ClientError after the last attempt -> main's handler, exit 2.
+    resp = serve::request_with_retry(socket, line, pol);
+  } else {
+    serve::Client cli;
+    cli.connect(socket, timeout_ms);  // ClientError -> main's handler, exit 2
+    cli.send_line(line);
+    const auto r = cli.recv_line();
+    if (!r) {
+      std::fprintf(stderr, "error: server closed the connection\n");
+      return 2;
+    }
+    resp = *r;
   }
-  std::printf("%s\n", resp->c_str());
-  const serve::Json j = serve::Json::parse(*resp);
+  std::printf("%s\n", resp.c_str());
+  const serve::Json j = serve::Json::parse(resp);
   const serve::Json* ok = j.find("ok");
   return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 3;
 }
