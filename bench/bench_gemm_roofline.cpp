@@ -122,7 +122,8 @@ bool check_equivalence_t(const char* prec, double ulp) {
   gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
        A.data(), m, B.data(), k, T{0}, Cref.data(), m, 2);
   bool ok = true;
-  for (SimdLevel lvl : {SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
+  for (SimdLevel lvl : supported_simd_levels()) {
+    if (lvl == SimdLevel::Scalar) continue;  // the reference itself
     if (set_simd_level(lvl) != lvl) continue;  // not on this hardware
     std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
     gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, T{1},
@@ -227,11 +228,9 @@ int main(int argc, char** argv) {
   if (std::getenv("DMTK_SIMD") != nullptr) {
     levels.push_back(simd_level());
   } else {
-    levels.push_back(SimdLevel::Scalar);
-    if (hardware_simd_level() != SimdLevel::Scalar) {
-      levels.push_back(SimdLevel::Avx2x4x8);
-      levels.push_back(SimdLevel::Avx2x8x8);
-    }
+    // The full ladder this hardware can dispatch (scalar included) — new
+    // levels join the sweep the day their kernels land.
+    levels = supported_simd_levels();
   }
 
   const SimdLevel entry_level = simd_level();
@@ -257,12 +256,14 @@ int main(int argc, char** argv) {
                          static_cast<double>(s.batch > 1 ? s.batch : 1);
     for (SimdLevel lvl : levels) {
       if (set_simd_level(lvl) != lvl) continue;
-      // Float has one AVX2 kernel (f8x8) serving both AVX2 levels, so in a
-      // full sweep the avx2-4x8 f32 leg would just re-time the avx2-8x8
-      // one under a misleading label; skip it (a DMTK_SIMD override sweeps
-      // a single level and keeps its f32 row).
-      const bool skip_f32 =
-          lvl == SimdLevel::Avx2x4x8 && levels.size() > 1;
+      // Each vector family has ONE float kernel (f8x8 for AVX2, f16x16 for
+      // AVX-512) serving both of its f64 levels, so in a full sweep the
+      // family's narrower level would just re-time the same f32 kernel
+      // under a misleading label; skip those legs (a DMTK_SIMD override
+      // sweeps a single level and keeps its f32 row).
+      const bool skip_f32 = (lvl == SimdLevel::Avx2x4x8 ||
+                             lvl == SimdLevel::Avx512x8x16) &&
+                            levels.size() > 1;
       for (int t : threads) {
         for (int prec = 0; prec < (skip_f32 ? 1 : 2); ++prec) {
           const bool f32 = prec == 1;

@@ -8,6 +8,7 @@
 
 #include "blas/cpu_features.hpp"
 #include "blas/microkernel_avx2.hpp"
+#include "blas/microkernel_avx512.hpp"
 #include "blas/microkernel_scalar.hpp"
 #include "util/aligned_alloc.hpp"
 #include "util/env.hpp"
@@ -41,28 +42,38 @@ MicroKernel<T> select_kernel() {
 
 template <>
 MicroKernel<double> select_kernel<double>() {
-#if DMTK_HAVE_AVX2_KERNELS
   switch (simd_level()) {
+#if DMTK_HAVE_AVX2_KERNELS
     case SimdLevel::Avx2x4x8: return {&microkernel_avx2_d4x8, 4, 8};
     case SimdLevel::Avx2x8x8: return {&microkernel_avx2_d8x8, 8, 8};
-    case SimdLevel::Scalar: break;
-  }
 #endif
+#if DMTK_HAVE_AVX512_KERNELS
+    case SimdLevel::Avx512x8x16: return {&microkernel_avx512_d8x16, 8, 16};
+    case SimdLevel::Avx512x16x16:
+      return {&microkernel_avx512_d16x16, 16, 16};
+#endif
+    default: break;
+  }
   return {&microkernel_scalar<double, 4, 8>, 4, 8};
 }
 
-/// Float has one AVX2 tile (8x8, a full ymm of 8 floats per strip); both
-/// AVX2 levels select it, so a DMTK_SIMD override steers float and double
-/// consistently.
+/// Float has one tile per family (8x8 = a full ymm of floats per strip,
+/// 16x16 = a full zmm); both levels of a family select it, so a DMTK_SIMD
+/// override steers float and double consistently.
 template <>
 MicroKernel<float> select_kernel<float>() {
-#if DMTK_HAVE_AVX2_KERNELS
   switch (simd_level()) {
+#if DMTK_HAVE_AVX2_KERNELS
     case SimdLevel::Avx2x4x8:
     case SimdLevel::Avx2x8x8: return {&microkernel_avx2_f8x8, 8, 8};
-    case SimdLevel::Scalar: break;
-  }
 #endif
+#if DMTK_HAVE_AVX512_KERNELS
+    case SimdLevel::Avx512x8x16:
+    case SimdLevel::Avx512x16x16:
+      return {&microkernel_avx512_f16x16, 16, 16};
+#endif
+    default: break;
+  }
   return {&microkernel_scalar<float, 4, 8>, 4, 8};
 }
 
@@ -180,7 +191,7 @@ inline void run_tile(const MicroKernel<T>& uk, index_t kc, T alpha,
     uk.fn(kc, alpha, ap, bp, C, ldc);
     return;
   }
-  alignas(kDefaultAlignment) T tmp[8 * 8];
+  alignas(kDefaultAlignment) T tmp[kGemmMaxMR * kGemmMaxNR];
   std::fill(tmp, tmp + uk.mr * uk.nr, T{0});
   uk.fn(kc, alpha, ap, bp, tmp, uk.mr);
   for (index_t j = 0; j < nr; ++j) {
@@ -232,19 +243,19 @@ void scale_columns(index_t m, index_t j0, index_t j1, T beta, T* C,
 /// C(m x n) <- alpha * op(A) * op(B) + beta * C on one thread, packing into
 /// the caller-carved Ap/Bp blocks.
 template <typename T>
-void gemm_seq(const MicroKernel<T>& uk, Trans ta, Trans tb, index_t m,
-              index_t n, index_t k, T alpha, const T* A, index_t lda,
-              const T* B, index_t ldb, T beta, T* C, index_t ldc, T* Ap,
-              T* Bp) {
+void gemm_seq(const MicroKernel<T>& uk, const GemmBlocking& bl, Trans ta,
+              Trans tb, index_t m, index_t n, index_t k, T alpha, const T* A,
+              index_t lda, const T* B, index_t ldb, T beta, T* C, index_t ldc,
+              T* Ap, T* Bp) {
   scale_columns(m, index_t{0}, n, beta, C, ldc);
   if (m == 0 || n == 0 || k == 0 || alpha == T{0}) return;
-  for (index_t jc = 0; jc < n; jc += kGemmNC) {
-    const index_t nc = std::min<index_t>(kGemmNC, n - jc);
-    for (index_t pc = 0; pc < k; pc += kGemmKC) {
-      const index_t kc = std::min<index_t>(kGemmKC, k - pc);
+  for (index_t jc = 0; jc < n; jc += bl.nc) {
+    const index_t nc = std::min<index_t>(bl.nc, n - jc);
+    for (index_t pc = 0; pc < k; pc += bl.kc) {
+      const index_t kc = std::min<index_t>(bl.kc, k - pc);
       pack_b(uk.nr, kc, nc, B, ldb, tb, pc, jc, Bp, 0, 1);
-      for (index_t ic = 0; ic < m; ic += kGemmMC) {
-        const index_t mc = std::min<index_t>(kGemmMC, m - ic);
+      for (index_t ic = 0; ic < m; ic += bl.mc) {
+        const index_t mc = std::min<index_t>(bl.mc, m - ic);
         pack_a(uk.mr, mc, kc, A, lda, ta, ic, pc, Ap, 0, 1);
         macro_tile(uk, mc, nc, kc, alpha, Ap, Bp, C + ic + jc * ldc, ldc, 0,
                    1);
@@ -268,37 +279,37 @@ void gemm_seq(const MicroKernel<T>& uk, Trans ta, Trans tb, index_t m,
 /// Every barrier below is executed by every thread of the team (branch
 /// conditions depend only on shapes), so the sequences cannot diverge.
 template <typename T>
-void gemm_team(const MicroKernel<T>& uk, Trans ta, Trans tb, index_t m,
-               index_t n, index_t k, T alpha, const T* A, index_t lda,
-               const T* B, index_t ldb, T beta, T* C, index_t ldc, int nt,
-               T* Bp, T* Aslices, std::size_t a_elems) {
+void gemm_team(const MicroKernel<T>& uk, const GemmBlocking& bl, Trans ta,
+               Trans tb, index_t m, index_t n, index_t k, T alpha, const T* A,
+               index_t lda, const T* B, index_t ldb, T beta, T* C, index_t ldc,
+               int nt, T* Bp, T* Aslices, std::size_t a_elems) {
   parallel_region(nt, [&](int t, int nteam) {
     {
       const Range r = block_range(n, nteam, t);
       scale_columns(m, r.begin, r.end, beta, C, ldc);
     }
     team_barrier();
-    const index_t n_ic = (m + kGemmMC - 1) / kGemmMC;
+    const index_t n_ic = (m + bl.mc - 1) / bl.mc;
     const bool split_ic = n_ic >= static_cast<index_t>(nteam);
     T* my_a = Aslices + static_cast<std::size_t>(t) * a_elems;
-    for (index_t jc = 0; jc < n; jc += kGemmNC) {
-      const index_t nc = std::min<index_t>(kGemmNC, n - jc);
-      for (index_t pc = 0; pc < k; pc += kGemmKC) {
-        const index_t kc = std::min<index_t>(kGemmKC, k - pc);
+    for (index_t jc = 0; jc < n; jc += bl.nc) {
+      const index_t nc = std::min<index_t>(bl.nc, n - jc);
+      for (index_t pc = 0; pc < k; pc += bl.kc) {
+        const index_t kc = std::min<index_t>(bl.kc, k - pc);
         pack_b(uk.nr, kc, nc, B, ldb, tb, pc, jc, Bp, t, nteam);
         team_barrier();
         if (split_ic) {
           for (index_t bi = t; bi < n_ic; bi += nteam) {
-            const index_t ic = bi * kGemmMC;
-            const index_t mc = std::min<index_t>(kGemmMC, m - ic);
+            const index_t ic = bi * bl.mc;
+            const index_t mc = std::min<index_t>(bl.mc, m - ic);
             pack_a(uk.mr, mc, kc, A, lda, ta, ic, pc, my_a, 0, 1);
             macro_tile(uk, mc, nc, kc, alpha, my_a, Bp, C + ic + jc * ldc,
                        ldc, 0, 1);
           }
           team_barrier();  // all reads of Bp done before the next repack
         } else {
-          for (index_t ic = 0; ic < m; ic += kGemmMC) {
-            const index_t mc = std::min<index_t>(kGemmMC, m - ic);
+          for (index_t ic = 0; ic < m; ic += bl.mc) {
+            const index_t mc = std::min<index_t>(bl.mc, m - ic);
             pack_a(uk.mr, mc, kc, A, lda, ta, ic, pc, Aslices, t, nteam);
             team_barrier();
             macro_tile(uk, mc, nc, kc, alpha, Aslices, Bp, C + ic + jc * ldc,
@@ -322,6 +333,7 @@ void gemm_col(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
               const T* A, index_t lda, const T* B, index_t ldb, T beta, T* C,
               index_t ldc, int nt, const GemmWorkspace& ws) {
   const MicroKernel<T> uk = select_kernel<T>();
+  const GemmBlocking bl = gemm_blocking();
   const std::size_t b_elems = std::max(packed_b_elems<T>(n, k),
                                        packed_b_elems<T>(m, k));
   const std::size_t a_elems = std::max(packed_a_elems<T>(m, k),
@@ -334,11 +346,11 @@ void gemm_col(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
   T* Bp = base;
   T* Aslices = base + b_elems;
   if (!team) {
-    gemm_seq(uk, ta, tb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
+    gemm_seq(uk, bl, ta, tb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
              Aslices, Bp);
   } else {
-    gemm_team(uk, ta, tb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc, nt,
-              Bp, Aslices, a_elems);
+    gemm_team(uk, bl, ta, tb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc,
+              nt, Bp, Aslices, a_elems);
   }
 }
 
@@ -410,6 +422,7 @@ void gemm_batched(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
 
   const int nt = resolve_threads(threads);
   const MicroKernel<T> uk = select_kernel<T>();
+  const GemmBlocking bl = gemm_blocking();
   const std::size_t per = gemm_workspace_elems<T>(m, n, k, 1);
   const std::size_t need =
       static_cast<std::size_t>(nt <= 1 ? 1 : nt) * per;
@@ -427,7 +440,7 @@ void gemm_batched(Layout layout, Trans ta, Trans tb, index_t m, index_t n,
   auto run_item = [&](index_t i, index_t i0, index_t mi, T* slice) {
     const T beta_eff = first_of_group(i) ? beta : T{1};
     const T* Ai = (ta == Trans::NoTrans) ? A[i] + i0 : A[i] + i0 * lda;
-    gemm_seq(uk, ta, tb, mi, n, k, alpha, Ai, lda, B[i], ldb, beta_eff,
+    gemm_seq(uk, bl, ta, tb, mi, n, k, alpha, Ai, lda, B[i], ldb, beta_eff,
              C[i] + i0, ldc, slice + b_elems, slice);
   };
 

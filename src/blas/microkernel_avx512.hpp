@@ -1,0 +1,204 @@
+#pragma once
+/// \file microkernel_avx512.hpp
+/// \brief AVX-512 GEMM micro-kernels (double 8x16/16x16, float 16x16).
+///
+/// Same contract as microkernel_scalar.hpp: full MR x NR tiles over packed
+/// panels, column-major C accumulation with the alpha scale folded into the
+/// writeback. Vectorization runs along M, the contiguous direction of both
+/// the packed A strips and the column-major C tile, so the writeback is one
+/// (or two) vector load/fma/store per column with no in-register transpose.
+///
+/// Functions carry `target("avx512f,avx512dq,fma")` attributes instead of
+/// requiring -mavx512f on the whole translation unit: the library stays
+/// baseline-x86-64 and runtime dispatch (cpu_features.{hpp,cpp}) keeps
+/// these paths cold on narrower machines. The packed A strips are 64-byte
+/// aligned by construction (acquire_ws aligns the workspace base to
+/// kDefaultAlignment = 64 and every strip stride is MR*kc doubles/floats,
+/// a multiple of 64 bytes), so the A loads are aligned zmm loads.
+///
+/// Register budget (32 zmm):
+///  - d8x16: one zmm holds the full 8-double A strip; 16 accumulators + 1
+///    A vector + 1 broadcast = 18 live registers. The AVX-512 analogue of
+///    the AVX2 4x8 shape.
+///  - d16x16: two 16x8 half-tiles over the same packed A strip (kc x 16
+///    doubles = 32 KiB at KC=256, L1-resident on the second pass). Each
+///    half keeps 16 accumulators + 2 A vectors + 1 broadcast = 19 live
+///    registers; the taller tile halves the B-broadcast traffic per FMA
+///    relative to 8x16. A full 16x16 single pass would need 32
+///    accumulators alone — over budget — hence the two-pass split,
+///    mirroring how the AVX2 8x8 tile is built from 8x4 halves.
+///  - f16x16: one zmm holds a full 16-float A strip, so the 8x16 double
+///    shape carries over directly at twice the lanes.
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DMTK_HAVE_AVX512_KERNELS 1
+
+#include <immintrin.h>
+
+#include "util/common.hpp"
+
+namespace dmtk::blas {
+
+#define DMTK_TARGET_AVX512 __attribute__((target("avx512f,avx512dq,fma")))
+
+/// 8x16 tile: C(0:8, 0:16) += alpha * Ap(kc x 8-strips) . Bp(kc x
+/// 16-strips).
+DMTK_TARGET_AVX512 inline void microkernel_avx512_d8x16(
+    index_t kc, double alpha, const double* Ap, const double* Bp, double* C,
+    index_t ldc) {
+  __m512d acc0 = _mm512_setzero_pd(), acc1 = _mm512_setzero_pd();
+  __m512d acc2 = _mm512_setzero_pd(), acc3 = _mm512_setzero_pd();
+  __m512d acc4 = _mm512_setzero_pd(), acc5 = _mm512_setzero_pd();
+  __m512d acc6 = _mm512_setzero_pd(), acc7 = _mm512_setzero_pd();
+  __m512d acc8 = _mm512_setzero_pd(), acc9 = _mm512_setzero_pd();
+  __m512d acc10 = _mm512_setzero_pd(), acc11 = _mm512_setzero_pd();
+  __m512d acc12 = _mm512_setzero_pd(), acc13 = _mm512_setzero_pd();
+  __m512d acc14 = _mm512_setzero_pd(), acc15 = _mm512_setzero_pd();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m512d a = _mm512_load_pd(Ap + p * 8);
+    const double* b = Bp + p * 16;
+    acc0 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[0]), acc0);
+    acc1 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[1]), acc1);
+    acc2 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[2]), acc2);
+    acc3 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[3]), acc3);
+    acc4 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[4]), acc4);
+    acc5 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[5]), acc5);
+    acc6 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[6]), acc6);
+    acc7 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[7]), acc7);
+    acc8 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[8]), acc8);
+    acc9 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[9]), acc9);
+    acc10 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[10]), acc10);
+    acc11 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[11]), acc11);
+    acc12 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[12]), acc12);
+    acc13 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[13]), acc13);
+    acc14 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[14]), acc14);
+    acc15 = _mm512_fmadd_pd(a, _mm512_set1_pd(b[15]), acc15);
+  }
+  const __m512d va = _mm512_set1_pd(alpha);
+  __m512d* const accs[16] = {&acc0,  &acc1,  &acc2,  &acc3, &acc4,  &acc5,
+                             &acc6,  &acc7,  &acc8,  &acc9, &acc10, &acc11,
+                             &acc12, &acc13, &acc14, &acc15};
+  for (int j = 0; j < 16; ++j) {
+    double* col = C + j * ldc;
+    _mm512_storeu_pd(col,
+                     _mm512_fmadd_pd(va, *accs[j], _mm512_loadu_pd(col)));
+  }
+}
+
+/// 16x8 half-tile helper: C(0:16, 0:8) += alpha * Ap(kc x 16-strips) . the
+/// 8-column sub-strip Bp[p*16 + 0..7]. The B strip stride stays 16 (the
+/// packing format of the enclosing 16x16 tile).
+DMTK_TARGET_AVX512 inline void avx512_d16x8_half(index_t kc, double alpha,
+                                                 const double* Ap,
+                                                 const double* Bp, double* C,
+                                                 index_t ldc) {
+  __m512d c0l = _mm512_setzero_pd(), c0h = _mm512_setzero_pd();
+  __m512d c1l = _mm512_setzero_pd(), c1h = _mm512_setzero_pd();
+  __m512d c2l = _mm512_setzero_pd(), c2h = _mm512_setzero_pd();
+  __m512d c3l = _mm512_setzero_pd(), c3h = _mm512_setzero_pd();
+  __m512d c4l = _mm512_setzero_pd(), c4h = _mm512_setzero_pd();
+  __m512d c5l = _mm512_setzero_pd(), c5h = _mm512_setzero_pd();
+  __m512d c6l = _mm512_setzero_pd(), c6h = _mm512_setzero_pd();
+  __m512d c7l = _mm512_setzero_pd(), c7h = _mm512_setzero_pd();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m512d al = _mm512_load_pd(Ap + p * 16);
+    const __m512d ah = _mm512_load_pd(Ap + p * 16 + 8);
+    const double* b = Bp + p * 16;
+    __m512d bj = _mm512_set1_pd(b[0]);
+    c0l = _mm512_fmadd_pd(al, bj, c0l);
+    c0h = _mm512_fmadd_pd(ah, bj, c0h);
+    bj = _mm512_set1_pd(b[1]);
+    c1l = _mm512_fmadd_pd(al, bj, c1l);
+    c1h = _mm512_fmadd_pd(ah, bj, c1h);
+    bj = _mm512_set1_pd(b[2]);
+    c2l = _mm512_fmadd_pd(al, bj, c2l);
+    c2h = _mm512_fmadd_pd(ah, bj, c2h);
+    bj = _mm512_set1_pd(b[3]);
+    c3l = _mm512_fmadd_pd(al, bj, c3l);
+    c3h = _mm512_fmadd_pd(ah, bj, c3h);
+    bj = _mm512_set1_pd(b[4]);
+    c4l = _mm512_fmadd_pd(al, bj, c4l);
+    c4h = _mm512_fmadd_pd(ah, bj, c4h);
+    bj = _mm512_set1_pd(b[5]);
+    c5l = _mm512_fmadd_pd(al, bj, c5l);
+    c5h = _mm512_fmadd_pd(ah, bj, c5h);
+    bj = _mm512_set1_pd(b[6]);
+    c6l = _mm512_fmadd_pd(al, bj, c6l);
+    c6h = _mm512_fmadd_pd(ah, bj, c6h);
+    bj = _mm512_set1_pd(b[7]);
+    c7l = _mm512_fmadd_pd(al, bj, c7l);
+    c7h = _mm512_fmadd_pd(ah, bj, c7h);
+  }
+  const __m512d va = _mm512_set1_pd(alpha);
+  __m512d* const lo[8] = {&c0l, &c1l, &c2l, &c3l, &c4l, &c5l, &c6l, &c7l};
+  __m512d* const hi[8] = {&c0h, &c1h, &c2h, &c3h, &c4h, &c5h, &c6h, &c7h};
+  for (int j = 0; j < 8; ++j) {
+    double* col = C + j * ldc;
+    _mm512_storeu_pd(col, _mm512_fmadd_pd(va, *lo[j], _mm512_loadu_pd(col)));
+    _mm512_storeu_pd(col + 8,
+                     _mm512_fmadd_pd(va, *hi[j], _mm512_loadu_pd(col + 8)));
+  }
+}
+
+/// 16x16 tile as two 16x8 halves; the second pass re-reads the packed A
+/// strip from L1.
+DMTK_TARGET_AVX512 inline void microkernel_avx512_d16x16(
+    index_t kc, double alpha, const double* Ap, const double* Bp, double* C,
+    index_t ldc) {
+  avx512_d16x8_half(kc, alpha, Ap, Bp, C, ldc);
+  avx512_d16x8_half(kc, alpha, Ap, Bp + 8, C + 8 * ldc, ldc);
+}
+
+/// Float 16x16 tile: a single zmm holds a full 16-float A strip, so the
+/// 8x16 double shape carries over directly — one vector load plus 16
+/// broadcast-FMAs per packed k-step, half the bytes per FLOP of the double
+/// tiles.
+DMTK_TARGET_AVX512 inline void microkernel_avx512_f16x16(
+    index_t kc, float alpha, const float* Ap, const float* Bp, float* C,
+    index_t ldc) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  __m512 acc4 = _mm512_setzero_ps(), acc5 = _mm512_setzero_ps();
+  __m512 acc6 = _mm512_setzero_ps(), acc7 = _mm512_setzero_ps();
+  __m512 acc8 = _mm512_setzero_ps(), acc9 = _mm512_setzero_ps();
+  __m512 acc10 = _mm512_setzero_ps(), acc11 = _mm512_setzero_ps();
+  __m512 acc12 = _mm512_setzero_ps(), acc13 = _mm512_setzero_ps();
+  __m512 acc14 = _mm512_setzero_ps(), acc15 = _mm512_setzero_ps();
+  for (index_t p = 0; p < kc; ++p) {
+    const __m512 a = _mm512_load_ps(Ap + p * 16);
+    const float* b = Bp + p * 16;
+    acc0 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[0]), acc0);
+    acc1 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[1]), acc1);
+    acc2 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[2]), acc2);
+    acc3 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[3]), acc3);
+    acc4 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[4]), acc4);
+    acc5 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[5]), acc5);
+    acc6 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[6]), acc6);
+    acc7 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[7]), acc7);
+    acc8 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[8]), acc8);
+    acc9 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[9]), acc9);
+    acc10 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[10]), acc10);
+    acc11 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[11]), acc11);
+    acc12 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[12]), acc12);
+    acc13 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[13]), acc13);
+    acc14 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[14]), acc14);
+    acc15 = _mm512_fmadd_ps(a, _mm512_set1_ps(b[15]), acc15);
+  }
+  const __m512 va = _mm512_set1_ps(alpha);
+  __m512* const accs[16] = {&acc0,  &acc1,  &acc2,  &acc3, &acc4,  &acc5,
+                            &acc6,  &acc7,  &acc8,  &acc9, &acc10, &acc11,
+                            &acc12, &acc13, &acc14, &acc15};
+  for (int j = 0; j < 16; ++j) {
+    float* col = C + j * ldc;
+    _mm512_storeu_ps(col,
+                     _mm512_fmadd_ps(va, *accs[j], _mm512_loadu_ps(col)));
+  }
+}
+
+#undef DMTK_TARGET_AVX512
+
+}  // namespace dmtk::blas
+
+#else
+#define DMTK_HAVE_AVX512_KERNELS 0
+#endif

@@ -24,8 +24,8 @@ inline constexpr index_t kSyrkNB = 128;
 /// Workspace elements of T one syrk(n, k) call needs at `threads` threads
 /// (the blocked-GEMM column sweep of syrk.cpp).
 template <typename T>
-[[nodiscard]] constexpr std::size_t syrk_workspace_elems(index_t n, index_t k,
-                                                         int threads) {
+[[nodiscard]] inline std::size_t syrk_workspace_elems(index_t n, index_t k,
+                                                      int threads) {
   return gemm_workspace_elems<T>(n, std::min(n, kSyrkNB), k, threads);
 }
 

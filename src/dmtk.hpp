@@ -80,6 +80,8 @@
 #include "sim/fmri.hpp"             // IWYU pragma: export
 #include "sparse/csf.hpp"           // IWYU pragma: export
 #include "sparse/sparse_tensor.hpp" // IWYU pragma: export
+#include "tune/tuner.hpp"           // IWYU pragma: export
+#include "tune/wisdom.hpp"          // IWYU pragma: export
 #include "util/env.hpp"             // IWYU pragma: export
 #include "util/rng.hpp"             // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export

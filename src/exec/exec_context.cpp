@@ -1,9 +1,15 @@
 #include "exec/exec_context.hpp"
 
+#include "tune/wisdom.hpp"
 #include "util/env.hpp"
 
 namespace dmtk {
 
-ExecContext::ExecContext(int threads) : threads_(resolve_threads(threads)) {}
+ExecContext::ExecContext(int threads) : threads_(resolve_threads(threads)) {
+  // First-context construction triggers the lenient DMTK_WISDOM autoload,
+  // so library users get their profile without a CLI flag. No-op (cheap
+  // flag check) afterwards; DMTK_SIMD still wins the level decision.
+  (void)tune::wisdom();
+}
 
 }  // namespace dmtk

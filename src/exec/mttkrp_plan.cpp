@@ -7,6 +7,7 @@
 #include "core/multi_index.hpp"
 #include "core/reorder.hpp"
 #include "core/ttv.hpp"
+#include "tune/wisdom.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -65,9 +66,18 @@ MttkrpPlanT<T>::MttkrpPlanT(const ExecContext& ctx,
     resolved_ = twostep_is_defined(N, mode) ? MttkrpMethod::TwoStep
                                             : MttkrpMethod::OneStep;
   }
-  // Alg. 4's side decision, from shape alone (or forced by the caller).
-  twostep_left_ = side == TwoStepSide::Auto ? ILn_ > IRn_
-                                            : side == TwoStepSide::Left;
+  // Alg. 4's side decision: forced by the caller, else a loaded wisdom
+  // profile's measured preference, else the shape heuristic (left iff the
+  // left co-space is larger).
+  if (side == TwoStepSide::Auto) {
+    switch (tune::wisdom_twostep()) {
+      case tune::TwoStepPref::Left: twostep_left_ = true; break;
+      case tune::TwoStepPref::Right: twostep_left_ = false; break;
+      case tune::TwoStepPref::Heuristic: twostep_left_ = ILn_ > IRn_; break;
+    }
+  } else {
+    twostep_left_ = side == TwoStepSide::Left;
+  }
 
   // Factor-list layouts in the product orders of core/krp.cpp.
   for (index_t n = N; n-- > 0;) {

@@ -7,6 +7,7 @@
 #include "blas/blas.hpp"
 #include "core/krp_detail.hpp"
 #include "exec/sparse_mttkrp_plan.hpp"
+#include "tune/wisdom.hpp"
 #include "util/timer.hpp"
 
 namespace dmtk {
@@ -89,6 +90,9 @@ CpAlsSweepPlanT<T>::CpAlsSweepPlanT(const ExecContext& ctx,
     return;
   }
 
+  // max_levels == 0 means "let the plan decide": a loaded wisdom profile
+  // may cap the tree depth (tune::wisdom_dimtree_levels(); 0 = full tree).
+  if (max_levels <= 0) max_levels = tune::wisdom_dimtree_levels();
   const int cap = max_levels <= 0 ? std::numeric_limits<int>::max()
                                   : max_levels;
   levels_ = 1;  // the root split below always happens

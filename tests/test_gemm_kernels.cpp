@@ -22,18 +22,19 @@ namespace {
 
 using dmtk::testing::naive_gemm;
 
-/// Restore the CPU-detected dispatch level when a test that pins levels
-/// exits (tests in this binary share the process-global selection).
+/// Restore the entry dispatch level when a test that pins levels exits
+/// (tests in this binary share the process-global selection).
 struct SimdLevelGuard {
-  ~SimdLevelGuard() { set_simd_level(hardware_simd_level()); }
+  SimdLevel entry = simd_level();
+  ~SimdLevelGuard() { set_simd_level(entry); }
 };
 
+/// Every level this CPU can dispatch — the supported_simd_levels() ladder,
+/// cross-checked against set_simd_level() actually installing each one.
 std::vector<SimdLevel> dispatchable_levels() {
-  std::vector<SimdLevel> levels{SimdLevel::Scalar};
-  for (SimdLevel lvl : {SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
-    if (set_simd_level(lvl) == lvl) levels.push_back(lvl);
-  }
-  set_simd_level(hardware_simd_level());
+  SimdLevelGuard guard;
+  std::vector<SimdLevel> levels = supported_simd_levels();
+  for (SimdLevel lvl : levels) EXPECT_EQ(set_simd_level(lvl), lvl);
   return levels;
 }
 
@@ -75,10 +76,11 @@ void expect_matches_oracle(index_t m, index_t n, index_t k, bool ta, bool tb,
 
 TEST(GemmKernels, EdgeShapesEveryLevelEveryTranspose) {
   SimdLevelGuard guard;
-  // Register-tile edges: every m % MR and n % NR residue for MR, NR <= 8,
-  // k = 1 (degenerate accumulation), and KC straddles.
-  const std::vector<index_t> ms = {1, 2, 3, 4, 5, 7, 8, 9, 16, 17};
-  const std::vector<index_t> ns = {1, 3, 7, 8, 9, 15, 17};
+  // Register-tile edges: m % MR and n % NR residues for MR, NR <= 16
+  // (remainders both above and below one AVX-512 tile), k = 1 (degenerate
+  // accumulation), and KC straddles.
+  const std::vector<index_t> ms = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33};
+  const std::vector<index_t> ns = {1, 3, 7, 8, 9, 15, 16, 17, 31, 33};
   const std::vector<index_t> ks = {1, 2, 5};
   for (SimdLevel lvl : dispatchable_levels()) {
     ASSERT_EQ(set_simd_level(lvl), lvl);
@@ -135,27 +137,34 @@ TEST(GemmKernels, DispatchLevelsAgree) {
 TEST(GemmKernels, ThreadedTeamMatchesSequential) {
   // The collaborative team path (shared packed B, split MC blocks or NR
   // strips) must agree with the one-thread kernel on both the tall and
-  // the short-output regimes, under the current (hardware) dispatch.
-  for (auto [m, n, k] : {std::tuple<index_t, index_t, index_t>{400, 40, 60},
-                         {40, 400, 60},
-                         {257, 129, 300}}) {
-    Rng rng(7 + m);
-    std::vector<double> A(static_cast<std::size_t>(m * k));
-    std::vector<double> B(static_cast<std::size_t>(k * n));
-    fill_uniform(A, rng, -1.0, 1.0);
-    fill_uniform(B, rng, -1.0, 1.0);
-    std::vector<double> Cseq(static_cast<std::size_t>(m * n), 1.0);
-    std::vector<double> Cpar = Cseq;
-    gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
-         A.data(), m, B.data(), k, 0.5, Cseq.data(), m, 1);
-    for (int threads : {2, 3, 8}) {
-      std::vector<double> C = Cpar;
+  // the short-output regimes, at EVERY dispatchable level (the AVX-512
+  // tiles included — the 1-core box still exercises the team code paths
+  // through parallel_region's oversubscribed teams).
+  SimdLevelGuard guard;
+  for (SimdLevel lvl : dispatchable_levels()) {
+    ASSERT_EQ(set_simd_level(lvl), lvl);
+    for (auto [m, n, k] : {std::tuple<index_t, index_t, index_t>{400, 40, 60},
+                           {40, 400, 60},
+                           {257, 129, 300}}) {
+      Rng rng(7 + m);
+      std::vector<double> A(static_cast<std::size_t>(m * k));
+      std::vector<double> B(static_cast<std::size_t>(k * n));
+      fill_uniform(A, rng, -1.0, 1.0);
+      fill_uniform(B, rng, -1.0, 1.0);
+      std::vector<double> Cseq(static_cast<std::size_t>(m * n), 1.0);
+      std::vector<double> Cpar = Cseq;
       gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
-           A.data(), m, B.data(), k, 0.5, C.data(), m, threads);
-      for (std::size_t i = 0; i < C.size(); ++i) {
-        // Identical blocking and per-element accumulation order: the team
-        // only changes WHO computes a tile, not how — bitwise equal.
-        ASSERT_EQ(C[i], Cseq[i]) << "threads=" << threads << " at " << i;
+           A.data(), m, B.data(), k, 0.5, Cseq.data(), m, 1);
+      for (int threads : {2, 3, 8}) {
+        std::vector<double> C = Cpar;
+        gemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+             A.data(), m, B.data(), k, 0.5, C.data(), m, threads);
+        for (std::size_t i = 0; i < C.size(); ++i) {
+          // Identical blocking and per-element accumulation order: the team
+          // only changes WHO computes a tile, not how — bitwise equal.
+          ASSERT_EQ(C[i], Cseq[i]) << "level=" << to_string(lvl)
+                                   << " threads=" << threads << " at " << i;
+        }
       }
     }
   }
@@ -406,13 +415,15 @@ TEST(GemmKernels, FloatMatchesDoubleWithinFp32Rounding) {
 
 TEST(SimdLevel, ParseRoundTripsAndAliases) {
   for (SimdLevel lvl :
-       {SimdLevel::Scalar, SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8}) {
+       {SimdLevel::Scalar, SimdLevel::Avx2x4x8, SimdLevel::Avx2x8x8,
+        SimdLevel::Avx512x8x16, SimdLevel::Avx512x16x16}) {
     const auto parsed = parse_simd_level(to_string(lvl));
-    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed.has_value()) << to_string(lvl);
     EXPECT_EQ(*parsed, lvl);
   }
   EXPECT_EQ(parse_simd_level("avx2"), SimdLevel::Avx2x8x8);
-  EXPECT_FALSE(parse_simd_level("avx512").has_value());
+  EXPECT_EQ(parse_simd_level("avx512"), SimdLevel::Avx512x16x16);
+  EXPECT_FALSE(parse_simd_level("avx512-4x4").has_value());
   EXPECT_FALSE(parse_simd_level("").has_value());
 }
 
@@ -425,6 +436,51 @@ TEST(SimdLevel, SetClampsToHardwareAndSticks) {
   const SimdLevel hw = hardware_simd_level();
   EXPECT_EQ(set_simd_level(hw), hw);
   EXPECT_EQ(simd_level(), hw);
+  // Forcing a level above hardware installs the clamped fallback, not the
+  // requested one (the DMTK_SIMD=avx512-on-AVX2 path, minus the env var).
+  const SimdLevel forced = set_simd_level(SimdLevel::Avx512x16x16);
+  EXPECT_EQ(forced, clamp_simd_level(SimdLevel::Avx512x16x16, hw));
+  EXPECT_EQ(simd_level(), forced);
+}
+
+TEST(SimdLevel, ClampDegradesFamilyByFamily) {
+  // Pure ladder logic, testable regardless of what this box supports: an
+  // AVX-512 request on an AVX2 machine degrades to the AVX2 8x8 tile (not
+  // scalar), and any vector request on a scalar machine degrades to
+  // Scalar. Nothing is ever promoted.
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Avx512x16x16, SimdLevel::Avx2x8x8),
+            SimdLevel::Avx2x8x8);
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Avx512x8x16, SimdLevel::Avx2x8x8),
+            SimdLevel::Avx2x8x8);
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Avx512x16x16, SimdLevel::Scalar),
+            SimdLevel::Scalar);
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Avx2x4x8, SimdLevel::Scalar),
+            SimdLevel::Scalar);
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Scalar, SimdLevel::Avx512x16x16),
+            SimdLevel::Scalar);
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Avx2x4x8, SimdLevel::Avx512x16x16),
+            SimdLevel::Avx2x4x8);
+  EXPECT_EQ(clamp_simd_level(SimdLevel::Avx512x8x16, SimdLevel::Avx512x16x16),
+            SimdLevel::Avx512x8x16);
+}
+
+TEST(SimdLevel, SupportedLaddersAreCoherent) {
+  const std::vector<SimdLevel> levels = supported_simd_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), SimdLevel::Scalar);
+  EXPECT_EQ(levels.back(), hardware_simd_level());
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(static_cast<int>(levels[i - 1]), static_cast<int>(levels[i]));
+  }
+  // The downclock-aware default never blind-picks AVX-512: it is the
+  // hardware level except on AVX-512 machines, where it is AVX2 8x8
+  // (AVX-512 is opt-in via DMTK_SIMD or a measured wisdom profile).
+  const SimdLevel hw = hardware_simd_level();
+  if (hw == SimdLevel::Avx512x16x16) {
+    EXPECT_EQ(default_simd_level(), SimdLevel::Avx2x8x8);
+  } else {
+    EXPECT_EQ(default_simd_level(), hw);
+  }
 }
 
 }  // namespace

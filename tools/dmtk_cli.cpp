@@ -27,6 +27,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <cstring>
 #include <map>
 #include <string>
@@ -53,7 +54,19 @@ using namespace dmtk;
       "  fmri      [--time T] [--subjects S] [--regions R] [--rank C]\n"
       "            [--noise f] [--seed s] [--linearize] --out F\n"
       "  info      <tensor.dten | tensor.tns>\n"
-      "  decompose <tensor.dten> --rank R [--nn]\n"
+      "  info      --cpu [--wisdom F]\n"
+      "            (prints the detected SIMD ladder, the chosen default\n"
+      "             dispatch level, the active level, and whether a tuned\n"
+      "             wisdom profile is loaded)\n"
+      "  tune      [--quick] [--out F] [--json] [--threads t] [--trials n]\n"
+      "            (measures this machine: SIMD level x precision GEMM\n"
+      "             sweep, cache-blocking descent, dimtree-vs-permode,\n"
+      "             two-step side, dense/sparse crossover; writes a per-CPU\n"
+      "             wisdom profile, default dmtk_wisdom.json, that\n"
+      "             decompose/serve load via --wisdom or DMTK_WISDOM;\n"
+      "             --quick shrinks every probe to a seconds-long smoke,\n"
+      "             --json prints the full measurement report)\n"
+      "  decompose <tensor.dten> --rank R [--nn] [--wisdom F]\n"
       "            [--precision double|float]\n"
       "            [--sweep permode|dimtree|auto] [--levels n] [--dimtree]\n"
       "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
@@ -68,7 +81,10 @@ using namespace dmtk;
       "             dimtree for 4-way-and-up tensors; --precision float\n"
       "             runs the whole ALS pipeline in fp32 — half the memory\n"
       "             bandwidth, fit accurate to ~1e-4)\n"
-      "  decompose <tensor.tns> --rank R [--sweep csf|coo|auto]\n"
+      "            (--wisdom loads a tuned profile STRICTLY: a missing,\n"
+      "             corrupt, or other-CPU profile aborts the run; the\n"
+      "             DMTK_WISDOM env autoloads leniently instead)\n"
+      "  decompose <tensor.tns> --rank R [--sweep csf|coo|auto] [--wisdom F]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "            [--checkpoint F [--checkpoint-every n] [--resume]]\n"
       "            (sparse CP-ALS through the plan layer; auto = csf)\n"
@@ -77,6 +93,8 @@ using namespace dmtk;
       "  serve     --socket S [--workers n] [--threads t] [--queue-depth n]\n"
       "            [--queue-timeout-ms n] [--batch-window-ms n]\n"
       "            [--max-batch n] [--cache-entries n] [--cache-mb n]\n"
+      "            [--wisdom F]  (strict: a bad profile fails startup;\n"
+      "             health/stats report the loaded profile path)\n"
       "            (resident decomposition server on a Unix socket:\n"
       "             newline-delimited JSON requests, per-worker plan cache,\n"
       "             bounded job queue, same-shape request batching)\n"
@@ -126,7 +144,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
       const std::string key = a.substr(2);
       // Boolean flags.
       if (key == "nn" || key == "dimtree" || key == "linearize" ||
-          key == "resume") {
+          key == "resume" || key == "cpu" || key == "quick" || key == "json") {
         flags.insert_or_assign(key, std::string("1"));
       } else if (i + 1 < argc) {
         flags.insert_or_assign(key, std::string(argv[++i]));
@@ -195,6 +213,20 @@ bool flag_wants_f32(const Flags& f) {
 /// The .tns extension selects the sparse (FROSTT text) path.
 bool is_tns(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".tns") == 0;
+}
+
+/// --wisdom F: STRICT tuned-profile load — a missing, corrupt, or
+/// other-CPU profile aborts (exit 2) with the reason. The DMTK_WISDOM env
+/// autoload stays lenient (warn + ignore); an explicit flag must not be.
+void flag_load_wisdom(const Flags& f) {
+  const std::string path = flag_str(f, "wisdom");
+  if (path.empty()) return;
+  std::string why;
+  if (!tune::load_wisdom(path, &why)) {
+    std::fprintf(stderr, "error: --wisdom %s: %s\n", path.c_str(),
+                 why.c_str());
+    std::exit(2);
+  }
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -310,9 +342,61 @@ int cmd_fmri(int argc, char** argv) {
   return 0;
 }
 
+/// `info --cpu`: the dispatch picture on this machine — detected ladder,
+/// downclock-aware default, active level, and wisdom status.
+int cmd_info_cpu(const Flags& flags) {
+  flag_load_wisdom(flags);
+  std::printf("cpu: %s\n", tune::cpu_brand().c_str());
+  std::printf("simd ladder:");
+  for (blas::SimdLevel lvl : blas::supported_simd_levels()) {
+    std::printf(" %s", std::string(blas::to_string(lvl)).c_str());
+  }
+  std::printf("\n");
+  const blas::SimdLevel hw = blas::hardware_simd_level();
+  const blas::SimdLevel def = blas::default_simd_level();
+  std::printf("hardware level: %s\n", std::string(blas::to_string(hw)).c_str());
+  std::printf("default level: %s%s\n",
+              std::string(blas::to_string(def)).c_str(),
+              def < hw ? " (avx512 is measured opt-in: run `dmtk tune` or "
+                         "set DMTK_SIMD=avx512)"
+                       : "");
+  const auto env = blas::simd_env_override();
+  std::printf("active level: %s%s\n",
+              std::string(blas::to_string(blas::simd_level())).c_str(),
+              env ? " (DMTK_SIMD)" : "");
+  if (tune::wisdom_loaded()) {
+    const tune::WisdomProfile* p = tune::wisdom();
+    const std::string src = tune::wisdom_source();
+    std::printf(
+        "wisdom: loaded%s%s\n", src.empty() ? "" : " from ", src.c_str());
+    std::printf(
+        "  best f64 %s (%.2f GF/s tuned vs %.2f default), best f32 %s\n",
+        std::string(blas::to_string(p->best_simd_f64)).c_str(),
+        p->tuned_gflops_f64, p->default_gflops_f64,
+        std::string(blas::to_string(p->best_simd_f32)).c_str());
+    std::printf("  blocking MCxKCxNC %lldx%lldx%lld, dimtree min-order %lld "
+                "levels %d, two-step %s, sparse crossover %.3g\n",
+                static_cast<long long>(p->blocking.mc),
+                static_cast<long long>(p->blocking.kc),
+                static_cast<long long>(p->blocking.nc),
+                static_cast<long long>(p->dimtree_min_order),
+                p->dimtree_levels,
+                std::string(tune::to_string(p->twostep)).c_str(),
+                p->sparse_crossover);
+  } else {
+    std::printf("wisdom: none (run `dmtk tune --out F`, then --wisdom F or "
+                "DMTK_WISDOM=F)\n");
+  }
+  return 0;
+}
+
 int cmd_info(int argc, char** argv) {
   std::string pos;
-  parse_flags(argc, argv, 2, &pos);
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  if (flags.count("cpu") != 0) {
+    if (!pos.empty()) usage_error("info --cpu takes no tensor path");
+    return cmd_info_cpu(flags);
+  }
   if (pos.empty()) usage();
   if (is_tns(pos)) {
     const sparse::SparseTensor S = io::read_tns(pos);
@@ -343,6 +427,31 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+/// `dmtk tune`: run the measurement pass (src/tune/tuner.hpp) and persist
+/// the wisdom profile for --wisdom / DMTK_WISDOM.
+int cmd_tune(int argc, char** argv) {
+  std::string pos;
+  auto flags = parse_flags(argc, argv, 2, &pos);
+  if (!pos.empty()) usage();
+  tune::TuneOptions to;
+  to.quick = flags.count("quick") != 0;
+  to.threads = static_cast<int>(flag_int(flags, "threads", 0, 0));
+  to.trials = static_cast<int>(flag_int(flags, "trials", 0, 0));
+  to.log = &std::cout;
+  const std::string out = flag_str(flags, "out", "dmtk_wisdom.json");
+
+  const tune::TuneReport rep = tune::run_tune(to);
+  tune::save_wisdom(out, rep.profile);
+  std::printf("wrote %s (best f64 %s, %.2f GF/s tuned vs %.2f default)\n",
+              out.c_str(),
+              std::string(blas::to_string(rep.profile.best_simd_f64)).c_str(),
+              rep.profile.tuned_gflops_f64, rep.profile.default_gflops_f64);
+  if (flags.count("json") != 0) {
+    std::printf("%s\n", tune::report_to_json(rep).c_str());
+  }
+  return 0;
+}
+
 /// Sparse decompose: .tns input through the plan layer (SparseCsf by
 /// default). The dense-only knobs are rejected loudly rather than ignored.
 int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
@@ -362,7 +471,20 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
                  "drop the flag or use --precision double\n");
     return 1;
   }
+  flag_load_wisdom(flags);
   const sparse::SparseTensor S = io::read_tns(pos);
+  // Advisory only: a .tns input explicitly asked for the sparse path, but
+  // above the measured crossover the dense kernels are expected to win.
+  const double density =
+      static_cast<double>(S.nnz()) / static_cast<double>(S.numel());
+  if (density >= tune::wisdom_sparse_crossover()) {
+    std::fprintf(stderr,
+                 "note: density %.3g is at or above the %s dense/sparse "
+                 "crossover %.3g — a dense (.dten) decomposition of this "
+                 "tensor is expected to be faster\n",
+                 density, tune::wisdom_loaded() ? "tuned" : "default",
+                 tune::wisdom_sparse_crossover());
+  }
   ExecContext ctx(static_cast<int>(flag_int(flags, "threads", 0, 0)));
   CpAlsOptions opts;
   opts.rank = static_cast<index_t>(flag_int(flags, "rank", 10, 1));
@@ -457,6 +579,7 @@ int cmd_decompose(int argc, char** argv) {
   auto flags = parse_flags(argc, argv, 2, &pos);
   if (pos.empty()) usage();
   if (is_tns(pos)) return cmd_decompose_sparse(pos, flags);
+  flag_load_wisdom(flags);  // before any plan/context is built
   const bool f32 = flag_wants_f32(flags);
   // Only the header is needed to resolve options; the payload is read
   // later, in the selected compute precision (an fp32 run never stages a
@@ -620,6 +743,7 @@ int cmd_serve(int argc, char** argv) {
       static_cast<std::size_t>(flag_int(flags, "cache-entries", 32, 0));
   so.cache_bytes =
       static_cast<std::size_t>(flag_int(flags, "cache-mb", 256, 0)) << 20;
+  so.wisdom = flag_str(flags, "wisdom");
 
   serve::Server server(so);
   server.start();
@@ -789,6 +913,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "fmri") return cmd_fmri(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "tune") return cmd_tune(argc, argv);
     if (cmd == "decompose") return cmd_decompose(argc, argv);
     if (cmd == "tucker") return cmd_tucker(argc, argv);
     if (cmd == "export") return cmd_export(argc, argv);

@@ -1,23 +1,25 @@
 #!/usr/bin/env bash
-# Run the perf-trajectory benches and write BENCH_pr5.json at the repo root.
+# Run the perf-trajectory benches and write BENCH_pr8.json at the repo root.
 #
 # usage: tools/run_benches.sh [build_dir] [out_json] [scale]
 #   build_dir  CMake build tree with the bench binaries (default: build)
-#   out_json   output JSON path (default: BENCH_pr5.json)
+#   out_json   output JSON path (default: BENCH_pr8.json)
 #   scale      --scale for the figure benches (default: 0.001)
 #
-# The GEMM roofline (now with an fp32 column per case — the templated
-# core's bandwidth economy, with the f64+f32 scalar/AVX2 equivalence check
-# armed) emits the headline JSON record; the fig5 MTTKRP scaling log (f64
-# vs f32 rows), the density-ablation JSON of PR 4, and the dimension-tree
-# ablation JSON of PR 3 land in bench_logs/ so the end-to-end numbers
-# travel with it. Subsequent PRs compare their BENCH_*.json against this
-# one.
+# The GEMM roofline (every level the host supports — on AVX-512 hardware
+# that is the scalar/avx2-4x8/avx2-8x8/avx512-8x16/avx512-16x16 ladder —
+# with the equivalence check armed in both precisions) emits the headline
+# per-level GFLOP/s record up to 1024^3; `dmtk tune` contributes its full
+# report, so the tuned-vs-default blocking deltas and the per-level probe
+# travel in the same JSON. The fig5 MTTKRP scaling log, the
+# density-ablation JSON of PR 4, and the dimension-tree ablation JSON of
+# PR 3 land in bench_logs/. Subsequent PRs compare their BENCH_*.json
+# against this one.
 
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-BENCH_pr5.json}"
+out_json="${2:-BENCH_pr8.json}"
 scale="${3:-0.001}"
 
 # Drop the conda activation warning some login shells emit on stderr; it
@@ -33,22 +35,33 @@ fi
 log_dir="$(dirname "${out_json}")/bench_logs"
 mkdir -p "${log_dir}"
 
-echo "== gemm roofline (f64 + f32, equivalence check armed) =="
+echo "== gemm roofline (all supported levels, equivalence check armed) =="
 "${build_dir}/bench_gemm_roofline" --sizes 256,512,1024 --threads 1 \
   --trials 3 --check --json "${log_dir}/gemm_roofline.json" \
   | tee "${log_dir}/gemm_roofline.log"
+
+echo "== dmtk tune (full sweep -> wisdom profile + report) =="
+# The tuner's human-readable log precedes a single-line JSON report on
+# stdout; peel the report off for the merge below.
+"${build_dir}/dmtk" tune --out "${log_dir}/wisdom.json" --json 2>&1 \
+  | denoise | tee "${log_dir}/tune.log"
+sed -n '/^{/p' "${log_dir}/tune.log" > "${log_dir}/tune_report.json"
 
 echo "== fig5 (MTTKRP scaling, f64 vs f32) =="
 "${build_dir}/bench_fig5_scaling" --scale "${scale}" --threads 1,2,4 \
   --trials 3 --json "${log_dir}/fig5.json" | tee "${log_dir}/fig5.log"
 
-# The headline record: the fp64-vs-fp32 roofline plus the fig5 sweep
-# timings, merged into one JSON object.
+# The headline record: the per-level roofline (avx512 rows included on
+# AVX-512 hardware), the autotuner's report with its tuned-vs-default
+# blocking numbers, and the fig5 sweep timings, merged into one object.
 {
   echo '{'
-  echo '  "bench": "pr5_fp32_trajectory",'
+  echo '  "bench": "pr8_avx512_tune",'
   echo '  "roofline":'
   sed 's/^/  /' "${log_dir}/gemm_roofline.json"
+  echo '  ,'
+  echo '  "tune":'
+  sed 's/^/  /' "${log_dir}/tune_report.json"
   echo '  ,'
   echo '  "fig5_sweep":'
   sed 's/^/  /' "${log_dir}/fig5.json"
