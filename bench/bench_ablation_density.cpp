@@ -6,10 +6,12 @@
 /// heap-free arena execution, and the crossover is a kernel comparison
 /// rather than an allocation-strategy artifact. The bench sweeps the
 /// density of a fixed-shape tensor and reports where the dense kernel
-/// overtakes each sparse one; --json writes the BENCH_pr4.json record and
-/// --check turns the run into a CSF/COO/dense equivalence gate (CI's
-/// bench-smoke uses it).
+/// overtakes each sparse one, with an fp32-storage CSF column showing the
+/// bandwidth headroom of the float instantiation; --json writes the
+/// BENCH_*.json record and --check turns the run into a CSF/COO/dense
+/// (plus f32-vs-f64) equivalence gate (CI's bench-smoke uses it).
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -30,6 +32,7 @@ struct Case {
   double dense_s = 0.0;
   double coo_s = 0.0;
   double csf_s = 0.0;
+  double csf32_s = 0.0;  ///< fp32-storage CSF plan (fp64 accumulators)
 };
 
 }  // namespace
@@ -43,7 +46,8 @@ int main(int argc, char** argv) {
         std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "bench-specific: --json <path>  write the BENCH_*.json record\n"
-          "                --check        verify CSF == COO == dense and\n"
+          "                --check        verify CSF == COO == dense (and\n"
+          "                               f32 CSF vs f64 to fp32 rounding),\n"
           "                               fail on divergence\n");
     } else if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
   const index_t C = 25;
   std::vector<Matrix> fs;
   for (int n = 0; n < 3; ++n) fs.push_back(Matrix::random_uniform(d, C, rng));
+  std::vector<MatrixF> fsf;
+  for (const Matrix& U : fs) fsf.push_back(matrix_cast<float>(U));
   const int t = args.threads.back();
   // Pinned dense kernel (override with --method); the shape is fixed, so
   // one plan serves every density point.
@@ -76,9 +82,10 @@ int main(int argc, char** argv) {
   std::printf("tensor %lld^3, C = %lld, threads = %d, dense method = %s\n",
               static_cast<long long>(d), static_cast<long long>(C), t,
               std::string(to_string(dense_plan.resolved_method())).c_str());
-  std::printf("%-10s %-12s %-13s %-13s %-13s %-11s\n", "density", "nnz",
-              "dense(s)", "coo-plan(s)", "csf-plan(s)", "dense-wins");
-  bench::print_rule(76);
+  std::printf("%-10s %-12s %-13s %-13s %-13s %-13s %-11s\n", "density", "nnz",
+              "dense(s)", "coo-plan(s)", "csf-plan(s)", "csf-f32(s)",
+              "dense-wins");
+  bench::print_rule(90);
 
   std::vector<Case> cases;
   int failures = 0;
@@ -91,21 +98,26 @@ int main(int argc, char** argv) {
       if (fill.uniform() < density) X[l] = fill.uniform(-1.0, 1.0);
     }
     const sparse::SparseTensor S = sparse::SparseTensor::from_dense(X);
+    const sparse::SparseTensorF Sf = sparse::sparse_cast<float>(S);
     // Plan construction (CSF build included) is amortized setup, outside
     // the timed region — the ALS steady state this bench models.
     SparseMttkrpPlan coo_plan(ctx, S, C, SparseMttkrpKernel::Coo);
     SparseMttkrpPlan csf_plan(ctx, S, C, SparseMttkrpKernel::Csf);
+    SparseMttkrpPlanF csf32_plan(ctx, Sf, C, SparseMttkrpKernel::Csf);
 
     Matrix M(d, C);
+    MatrixF M32(d, C);
     Case c;
     c.density = density;
     c.nnz = static_cast<long long>(S.nnz());
     c.dense_s = time_median(args.trials, [&] { dense_plan.execute(X, fs, M); });
     c.coo_s = time_median(args.trials, [&] { coo_plan.execute(1, fs, M); });
     c.csf_s = time_median(args.trials, [&] { csf_plan.execute(1, fs, M); });
+    c.csf32_s =
+        time_median(args.trials, [&] { csf32_plan.execute(1, fsf, M32); });
     cases.push_back(c);
-    std::printf("%-10.3f %-12lld %-13.4f %-13.4f %-13.4f %-11s\n", density,
-                c.nnz, c.dense_s, c.coo_s, c.csf_s,
+    std::printf("%-10.3f %-12lld %-13.4f %-13.4f %-13.4f %-13.4f %-11s\n",
+                density, c.nnz, c.dense_s, c.coo_s, c.csf_s, c.csf32_s,
                 c.dense_s < c.csf_s ? "yes" : "no");
 
     if (check) {
@@ -115,6 +127,7 @@ int main(int argc, char** argv) {
       csf_plan.execute(1, fs, Mcsf);
       coo_plan.execute(1, fs, Mcoo);
       dense_plan.execute(X, fs, M);
+      csf32_plan.execute(1, fsf, M32);
       const double csf_vs_coo = Mcsf.max_abs_diff(Mcoo);
       const double csf_vs_dense = Mcsf.max_abs_diff(M);
       const double tol = 1e-8 * static_cast<double>(S.nnz() + 1);
@@ -125,13 +138,31 @@ int main(int argc, char** argv) {
                      density, csf_vs_coo, csf_vs_dense, tol);
         ++failures;
       }
+      // The fp32 plan accumulates in fp64, so it tracks the double CSF to
+      // input/output rounding — a loose fp32-scaled bound is enough to
+      // catch a broken float instantiation.
+      double f32_vs_csf = 0.0;
+      for (index_t l = 0; l < Mcsf.rows() * Mcsf.cols(); ++l) {
+        const double diff =
+            std::abs(static_cast<double>(M32.data()[l]) - Mcsf.data()[l]);
+        if (diff > f32_vs_csf) f32_vs_csf = diff;
+      }
+      const double tol32 = 1e-4 * static_cast<double>(S.nnz() + 1);
+      if (f32_vs_csf > tol32) {
+        std::fprintf(stderr,
+                     "CHECK FAILED at density %.3f: |csf32-csf| = %.3e "
+                     "(tol %.3e)\n",
+                     density, f32_vs_csf, tol32);
+        ++failures;
+      }
     }
   }
   std::printf(
       "\nexpected: sparse wins at very low density; the CSF plan beats the\n"
       "COO plan wherever fibers repeat; dense takes over well below full\n"
       "density — the regime the paper targets (dense data, e.g. fMRI\n"
-      "correlations, has density 1.0).\n");
+      "correlations, has density 1.0). The fp32 CSF column streams half\n"
+      "the value bytes per nonzero (accumulators stay fp64 either way).\n");
   if (check) {
     std::printf("equivalence check: %s\n", failures == 0 ? "PASS" : "FAIL");
   }
@@ -161,8 +192,9 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"density\": %g, \"nnz\": %lld, \"dense_s\": %.6g, "
                    "\"coo_plan_s\": %.6g, \"csf_plan_s\": %.6g, "
+                   "\"csf_f32_plan_s\": %.6g, "
                    "\"dense_wins_vs_csf\": %s}%s\n",
-                   c.density, c.nnz, c.dense_s, c.coo_s, c.csf_s,
+                   c.density, c.nnz, c.dense_s, c.coo_s, c.csf_s, c.csf32_s,
                    c.dense_s < c.csf_s ? "true" : "false",
                    i + 1 < cases.size() ? "," : "");
     }

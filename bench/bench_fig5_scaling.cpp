@@ -14,7 +14,9 @@
 ///    baseline; baseline within -25%/+3% of 2-step);
 ///  - 1-step and 2-step scale better than the baseline with threads;
 ///  - fp32 approaches 2x the fp64 throughput on the bandwidth-bound
-///    shapes (the motivating economy of the scalar-templated core).
+///    shapes (the motivating economy of the scalar-templated core);
+///  - the mixed-precision `acc64` rows (fp32 storage, fp64 accumulators
+///    via mttkrp_acc64) price the fp64-fit-floor recovery.
 
 #include <cstdio>
 #include <cstring>
@@ -90,6 +92,18 @@ void run_precision(const TensorT<T>& X, const std::vector<MatrixT<T>>& fs,
       std::printf("%-12s %-5s %-6lld %-9d %-12.4f\n", "2-step", prec,
                   static_cast<long long>(mode), t, s2);
       g_rows.push_back({N, "2-step", prec, mode, t, s2});
+    }
+    // The mixed-precision path: fp32 streams, fp64 accumulators. Sits
+    // between the f32 and f64 rows — it moves the f32 bytes but loses
+    // the f32 FLOP-rate doubling inside its (unblocked) inner loop.
+    if constexpr (std::is_same_v<T, float>) {
+      if (args.runs(MttkrpMethod::OneStep)) {
+        const double sa =
+            time_median(args.trials, [&] { mttkrp_acc64(X, fs, mode, M, t); });
+        std::printf("%-12s %-5s %-6lld %-9d %-12.4f\n", "acc64",
+                    "f32", static_cast<long long>(mode), t, sa);
+        g_rows.push_back({N, "acc64", "f32", mode, t, sa});
+      }
     }
   }
 }

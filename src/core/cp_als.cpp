@@ -104,6 +104,13 @@ CpAlsResultT<T> cp_als(const TensorT<T>& X, const CpAlsOptionsT<T>& opts,
   return run_standard(X, opts, plan.context(), &plan);
 }
 
+CpAlsOptionsF::MttkrpFn mttkrp_acc64_override() {
+  return [](const TensorF& X, std::span<const MatrixF> factors, index_t mode,
+            MatrixF& M, const ExecContext& ctx) {
+    mttkrp_acc64(X, factors, mode, M, ctx.threads());
+  };
+}
+
 template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&);
 template CpAlsResultF cp_als<float>(const TensorF&, const CpAlsOptionsF&);
 template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&,

@@ -166,6 +166,18 @@ extern template CpAlsResult cp_als<double>(const Tensor&, const CpAlsOptions&,
 extern template CpAlsResultF cp_als<float>(const TensorF&, const CpAlsOptionsF&,
                                            CpAlsSweepPlanF&);
 
+/// An mttkrp_override running mttkrp_acc64 (the fp64-accumulate fp32
+/// MTTKRP): `opts.mttkrp_override = mttkrp_acc64_override();` turns a
+/// float cp_als into the mixed-precision run — fp32 storage, Gram, and
+/// solve, fp64 MTTKRP sums — which recovers the fp64 fit floor on
+/// fit-limited problems while keeping the fp32 memory footprint. The
+/// kernel's fp64 inner loop bypasses the blocked micro-kernels, so the
+/// sweeps run slower than the planned fp32 methods (BENCH_pr9's acc64
+/// rows) — it is the accuracy end of the precision/speed trade.
+/// Checkpoints written with the override set are bound to it (the
+/// options hash mixes its presence).
+CpAlsOptionsF::MttkrpFn mttkrp_acc64_override();
+
 /// The Hadamard product of all Gram matrices except `skip`:
 /// H = (*)_{k != skip} grams[k]. Pass skip = -1 to include all modes.
 /// Exposed for tests and the baseline implementation.

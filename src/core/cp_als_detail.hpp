@@ -135,6 +135,10 @@ std::uint64_t cp_als_options_hash(const XT& X, const CpAlsOptionsT<T>& opts,
   mix(static_cast<std::uint64_t>(opts.method));
   mix(static_cast<std::uint64_t>(opts.dimtree_levels));
   mix(static_cast<std::uint64_t>(threads));
+  // A custom MTTKRP kernel changes the sweep's arithmetic (e.g. the fp64-
+  // accumulate fp32 path); bind checkpoints to its presence so an override
+  // run never resumes a built-in-kernel checkpoint or vice versa.
+  if (opts.mttkrp_override) mix(0xACCu);
   return h;
 }
 

@@ -12,6 +12,10 @@
 /// component column is updated in turn:
 ///   U_n(:, c) <- max(0, U_n(:, c) + (M(:, c) - U_n H(:, c)) / H(c, c)).
 /// This is exact coordinate descent on the convex per-column subproblem.
+///
+/// Templated on the scalar like cp_als: `cp_nnhals(TensorF, CpAlsOptionsF)`
+/// runs the whole pipeline in fp32 (the pivot guard widens to the scalar's
+/// epsilon scale); the unsuffixed double call sites compile unchanged.
 
 #include "core/cp_als.hpp"
 
@@ -21,6 +25,12 @@ namespace dmtk {
 /// max_iters/tol/compute_fit/initial_guess; a nonnegative initial guess is
 /// required (the default random initialization is uniform [0,1), which is).
 /// The returned factors are entrywise nonnegative.
-CpAlsResult cp_nnhals(const Tensor& X, const CpAlsOptions& opts);
+template <typename T>
+CpAlsResultT<T> cp_nnhals(const TensorT<T>& X, const CpAlsOptionsT<T>& opts);
+
+extern template CpAlsResult cp_nnhals<double>(const Tensor&,
+                                              const CpAlsOptions&);
+extern template CpAlsResultF cp_nnhals<float>(const TensorF&,
+                                              const CpAlsOptionsF&);
 
 }  // namespace dmtk

@@ -112,6 +112,18 @@ extern template MatrixF mttkrp<float>(const TensorF&, std::span<const MatrixF>,
                                       index_t, MttkrpMethod, int,
                                       MttkrpTimings*);
 
+/// Mixed-precision dense MTTKRP for fp32 storage: streams X and the
+/// factors in float (the bandwidth-bound part) but keeps every per-entry
+/// sum in an fp64 accumulator, rounding once on the output store — the
+/// dense analogue of what the sparse CSF/COO kernels always do. One-shot
+/// (forms the full transposed fp32 KRP per call) and deterministic across
+/// thread counts: threads own disjoint output rows, so each entry's
+/// accumulation order is fixed. Opt in from CP-ALS via
+/// `opts.mttkrp_override = mttkrp_acc64_override()` (cp_als.hpp) or the
+/// CLI's `--accumulate double`.
+void mttkrp_acc64(const TensorF& X, std::span<const MatrixF> factors,
+                  index_t mode, MatrixF& M, int threads = 0);
+
 /// True when the 2-step algorithm is distinct from the 1-step one for this
 /// mode (internal modes of tensors with N >= 3).
 bool twostep_is_defined(index_t order, index_t mode);

@@ -17,7 +17,7 @@
 ///    With the target mode at the root each root node owns one output row,
 ///    so the precomputed per-thread root tiles write disjoint rows of M
 ///    and no private outputs are needed; per-thread scratch is just
-///    order x rank doubles from the arena.
+///    order x rank fp64 accumulators from the arena.
 ///
 ///  - Coo: the SPLATT-style per-nonzero kernel (one fused Hadamard-
 ///    accumulate per nonzero), with the thread-private I_n x C
@@ -25,6 +25,13 @@
 ///    instead of heap-allocated per call. Bitwise-identical arithmetic to
 ///    the free sparse::mttkrp at equal thread counts — the anchor that
 ///    ties the plan layer to the retired ad-hoc driver.
+///
+/// The plan is templated on the storage scalar like the dense MttkrpPlanT;
+/// `SparseMttkrpPlan` / `SparseMttkrpPlanF` alias the double and float
+/// instantiations. Both kernels keep their accumulators in fp64 regardless
+/// of T — the fp32 plan halves the value/factor bytes streamed per nonzero
+/// (the bandwidth-bound part) while the per-row sums stay at the fp64
+/// floor, rounding once on the output store.
 ///
 /// The plan BINDS the tensor at construction: the CSF copies snapshot X's
 /// values then, and the COO kernel reads the bound tensor live, so X must
@@ -47,18 +54,20 @@ namespace dmtk {
 /// original per-nonzero kernel for ablations and equivalence anchors.
 enum class SparseMttkrpKernel { Auto, Csf, Coo };
 
-class SparseMttkrpPlan {
+template <typename T>
+class SparseMttkrpPlanT {
  public:
   /// Plan all N per-mode MTTKRPs of X at rank `rank`. Context and tensor
   /// references are retained; both must outlive the plan.
-  SparseMttkrpPlan(const ExecContext& ctx, const sparse::SparseTensor& X,
-                   index_t rank,
-                   SparseMttkrpKernel kernel = SparseMttkrpKernel::Auto);
+  SparseMttkrpPlanT(const ExecContext& ctx, const sparse::SparseTensorT<T>& X,
+                    index_t rank,
+                    SparseMttkrpKernel kernel = SparseMttkrpKernel::Auto);
 
   /// Run the planned mode-`mode` MTTKRP of the bound tensor against
   /// `factors` into M (resized on shape mismatch; allocation-free when the
   /// caller keeps M across calls, the ALS pattern).
-  void execute(index_t mode, std::span<const Matrix> factors, Matrix& M);
+  void execute(index_t mode, std::span<const MatrixT<T>> factors,
+               MatrixT<T>& M);
 
   [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
   [[nodiscard]] index_t rank() const { return rank_; }
@@ -72,27 +81,28 @@ class SparseMttkrpPlan {
   /// What execute() actually runs (never Auto).
   [[nodiscard]] SparseMttkrpKernel kernel() const { return kernel_; }
   /// Arena bytes one execute() draws (already reserved in the context).
+  /// The workspace holds fp64 accumulators for either scalar.
   [[nodiscard]] std::size_t workspace_bytes() const {
     return ws_doubles_ * sizeof(double);
   }
   /// The tensor the plan was built against.
-  [[nodiscard]] const sparse::SparseTensor& tensor() const { return *X_; }
+  [[nodiscard]] const sparse::SparseTensorT<T>& tensor() const { return *X_; }
   /// Csf kernel only: the mode-rooted CSF built for `mode` (tests and
   /// structure inspection).
-  [[nodiscard]] const sparse::CsfTensor& csf(index_t mode) const;
+  [[nodiscard]] const sparse::CsfTensorT<T>& csf(index_t mode) const;
 
   /// Wall seconds accumulated over every execute() since construction.
   [[nodiscard]] double total_seconds() const { return total_seconds_; }
   void reset_timings() { total_seconds_ = 0.0; }
 
  private:
-  void exec_csf(index_t mode, std::span<const Matrix> factors, Matrix& M,
-                double* base);
-  void exec_coo(index_t mode, std::span<const Matrix> factors, Matrix& M,
-                double* base);
+  void exec_csf(index_t mode, std::span<const MatrixT<T>> factors,
+                MatrixT<T>& M, double* base);
+  void exec_coo(index_t mode, std::span<const MatrixT<T>> factors,
+                MatrixT<T>& M, double* base);
 
   const ExecContext* ctx_;
-  const sparse::SparseTensor* X_;
+  const sparse::SparseTensorT<T>* X_;
   std::vector<index_t> dims_;
   index_t rank_ = 0;
   index_t nnz_ = 0;
@@ -101,7 +111,7 @@ class SparseMttkrpPlan {
   SparseMttkrpKernel kernel_ = SparseMttkrpKernel::Csf;
 
   // Csf state: per-mode trees and the per-thread root tiles.
-  std::vector<sparse::CsfTensor> csf_;
+  std::vector<sparse::CsfTensorT<T>> csf_;
   std::vector<std::vector<Range>> tiles_;  // [mode][thread]
   std::size_t stride_scratch_ = 0;         // per-thread CSF scratch
 
@@ -110,8 +120,15 @@ class SparseMttkrpPlan {
   std::size_t off_row_ = 0;         // nt Hadamard rows after the partials
   std::size_t stride_row_ = 0;
 
-  std::size_t ws_doubles_ = 0;
+  std::size_t ws_doubles_ = 0;  // fp64 accumulator slots, either scalar
   double total_seconds_ = 0.0;
 };
+
+extern template class SparseMttkrpPlanT<double>;
+extern template class SparseMttkrpPlanT<float>;
+
+/// The default (double) sparse plan and its fp32 sibling.
+using SparseMttkrpPlan = SparseMttkrpPlanT<double>;
+using SparseMttkrpPlanF = SparseMttkrpPlanT<float>;
 
 }  // namespace dmtk

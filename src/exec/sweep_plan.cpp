@@ -136,42 +136,35 @@ CpAlsSweepPlanT<T>::CpAlsSweepPlanT(const ExecContext& ctx,
 
 template <typename T>
 CpAlsSweepPlanT<T>::CpAlsSweepPlanT(const ExecContext& ctx,
-                                    const sparse::SparseTensor& X,
+                                    const sparse::SparseTensorT<T>& X,
                                     index_t rank, SweepScheme scheme)
     : ctx_(&ctx), rank_(rank), requested_(scheme) {
-  if constexpr (!std::is_same_v<T, double>) {
-    (void)X;
-    DMTK_CHECK(false,
-               "sweep plan: the sparse schemes are double-only — build a "
-               "CpAlsSweepPlan (not CpAlsSweepPlanF) for sparse input");
-  } else {
-    dims_.assign(X.dims().begin(), X.dims().end());
-    const index_t N = static_cast<index_t>(dims_.size());
-    DMTK_CHECK(N >= 2, "sweep plan: tensor must have at least 2 modes");
-    DMTK_CHECK(rank >= 1, "sweep plan: rank must be positive");
-    nt_ = ctx.threads();
-    // Sparse input resolves Auto to the CSF kernel; the dense heuristic of
-    // resolve_sweep_scheme never applies here (and dense schemes are
-    // rejected — a sparse tensor has no dense matricization to sweep).
-    scheme_ = resolve_sparse_sweep_scheme(scheme);
-    DMTK_CHECK(
-        scheme_ == SweepScheme::SparseCsf || scheme_ == SweepScheme::SparseCoo,
-        "sweep plan: dense scheme requested for a sparse tensor — use "
-        "SweepScheme::SparseCsf / SparseCoo (or Auto)");
-    levels_ = 0;
-    sparse_plan_ = std::make_unique<SparseMttkrpPlan>(
-        ctx, X, rank,
-        scheme_ == SweepScheme::SparseCsf ? SparseMttkrpKernel::Csf
-                                          : SparseMttkrpKernel::Coo);
-    sparse_ws_bytes_ = sparse_plan_->workspace_bytes();
-    timings_.nodes.reserve(static_cast<std::size_t>(N));
-    for (index_t n = 0; n < N; ++n) {
-      SweepNodeTimings tm;
-      tm.first = n;
-      tm.last = n + 1;
-      tm.leaf = true;
-      timings_.nodes.push_back(tm);
-    }
+  dims_.assign(X.dims().begin(), X.dims().end());
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(N >= 2, "sweep plan: tensor must have at least 2 modes");
+  DMTK_CHECK(rank >= 1, "sweep plan: rank must be positive");
+  nt_ = ctx.threads();
+  // Sparse input resolves Auto to the CSF kernel; the dense heuristic of
+  // resolve_sweep_scheme never applies here (and dense schemes are
+  // rejected — a sparse tensor has no dense matricization to sweep).
+  scheme_ = resolve_sparse_sweep_scheme(scheme);
+  DMTK_CHECK(
+      scheme_ == SweepScheme::SparseCsf || scheme_ == SweepScheme::SparseCoo,
+      "sweep plan: dense scheme requested for a sparse tensor — use "
+      "SweepScheme::SparseCsf / SparseCoo (or Auto)");
+  levels_ = 0;
+  sparse_plan_ = std::make_unique<SparseMttkrpPlanT<T>>(
+      ctx, X, rank,
+      scheme_ == SweepScheme::SparseCsf ? SparseMttkrpKernel::Csf
+                                        : SparseMttkrpKernel::Coo);
+  sparse_ws_bytes_ = sparse_plan_->workspace_bytes();
+  timings_.nodes.reserve(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    SweepNodeTimings tm;
+    tm.first = n;
+    tm.last = n + 1;
+    tm.leaf = true;
+    timings_.nodes.push_back(tm);
   }
 }
 
@@ -179,7 +172,7 @@ template <typename T>
 CpAlsSweepPlanT<T>::~CpAlsSweepPlanT() = default;
 
 template <typename T>
-const SparseMttkrpPlan& CpAlsSweepPlanT<T>::sparse_plan() const {
+const SparseMttkrpPlanT<T>& CpAlsSweepPlanT<T>::sparse_plan() const {
   DMTK_CHECK(sparse_plan_ != nullptr,
              "sweep plan: sparse_plan() requires a sparse scheme");
   return *sparse_plan_;
@@ -355,27 +348,22 @@ void CpAlsSweepPlanT<T>::begin_sweep(const TensorT<T>& X) {
 }
 
 template <typename T>
-void CpAlsSweepPlanT<T>::begin_sweep(const sparse::SparseTensor& X) {
-  if constexpr (!std::is_same_v<T, double>) {
-    (void)X;
-    DMTK_CHECK(false, "sweep plan: sparse sweeps are double-only");
-  } else {
-    const index_t N = static_cast<index_t>(dims_.size());
-    DMTK_CHECK(is_sparse(),
-               "sweep plan: sparse begin_sweep on a dense-scheme plan");
-    DMTK_CHECK(X.order() == N, "sweep plan: tensor order mismatch");
-    for (index_t n = 0; n < N; ++n) {
-      DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
-                 "sweep plan: tensor extents differ from the planned shape");
-    }
-    // The sparse plan bound its tensor at construction; a different nonzero
-    // count here means the caller swapped tensors under the plan.
-    DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
-               "sweep plan: sparse tensor differs from the one planned for");
-    next_mode_ = 0;
-    sweep_active_ = true;
-    sweep_seconds_ = 0.0;
+void CpAlsSweepPlanT<T>::begin_sweep(const sparse::SparseTensorT<T>& X) {
+  const index_t N = static_cast<index_t>(dims_.size());
+  DMTK_CHECK(is_sparse(),
+             "sweep plan: sparse begin_sweep on a dense-scheme plan");
+  DMTK_CHECK(X.order() == N, "sweep plan: tensor order mismatch");
+  for (index_t n = 0; n < N; ++n) {
+    DMTK_CHECK(X.dim(n) == dims_[static_cast<std::size_t>(n)],
+               "sweep plan: tensor extents differ from the planned shape");
   }
+  // The sparse plan bound its tensor at construction; a different nonzero
+  // count here means the caller swapped tensors under the plan.
+  DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
+             "sweep plan: sparse tensor differs from the one planned for");
+  next_mode_ = 0;
+  sweep_active_ = true;
+  sweep_seconds_ = 0.0;
 }
 
 template <typename T>
@@ -434,29 +422,22 @@ void CpAlsSweepPlanT<T>::mode_mttkrp(index_t n, const TensorT<T>& X,
 }
 
 template <typename T>
-void CpAlsSweepPlanT<T>::mode_mttkrp(index_t n, const sparse::SparseTensor& X,
+void CpAlsSweepPlanT<T>::mode_mttkrp(index_t n,
+                                     const sparse::SparseTensorT<T>& X,
                                      std::span<const MatrixT<T>> factors,
                                      MatrixT<T>& M) {
-  if constexpr (!std::is_same_v<T, double>) {
-    (void)n;
-    (void)X;
-    (void)factors;
-    (void)M;
-    DMTK_CHECK(false, "sweep plan: sparse sweeps are double-only");
-  } else {
-    DMTK_CHECK(is_sparse(),
-               "sweep plan: sparse mode_mttkrp on a dense-scheme plan");
-    DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
-               "sweep plan: sparse tensor differs from the one planned for");
-    check_mode_request(n, factors, M);
+  DMTK_CHECK(is_sparse(),
+             "sweep plan: sparse mode_mttkrp on a dense-scheme plan");
+  DMTK_CHECK(X.nnz() == sparse_plan_->nnz(),
+             "sweep plan: sparse tensor differs from the one planned for");
+  check_mode_request(n, factors, M);
 
-    WallTimer t;
-    sparse_plan_->execute(n, factors, M);
-    SweepNodeTimings& tm = timings_.nodes[static_cast<std::size_t>(n)];
-    tm.contract_seconds += t.seconds();
-    ++tm.evals;
-    finish_mode(t.seconds());
-  }
+  WallTimer t;
+  sparse_plan_->execute(n, factors, M);
+  SweepNodeTimings& tm = timings_.nodes[static_cast<std::size_t>(n)];
+  tm.contract_seconds += t.seconds();
+  ++tm.evals;
+  finish_mode(t.seconds());
 }
 
 template <typename T>

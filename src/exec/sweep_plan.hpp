@@ -56,9 +56,9 @@
 /// in the middle of a sweep (reserve() would invalidate the frame).
 ///
 /// Templated on the scalar type like MttkrpPlan (`CpAlsSweepPlan` = the
-/// double instantiation). The sparse schemes are double-only for now (the
-/// CSF/COO kernels hold double values); requesting them from the float
-/// instantiation throws.
+/// double instantiation). The sparse schemes follow the scalar too: a
+/// CpAlsSweepPlanF built on a SparseTensorF runs the fp32 CSF/COO kernels
+/// (fp64 accumulators, half the streamed bytes per nonzero).
 
 #include <cstdint>
 #include <memory>
@@ -77,9 +77,11 @@
 namespace dmtk {
 
 namespace sparse {
-class SparseTensor;
+template <typename U>
+class SparseTensorT;
 }  // namespace sparse
-class SparseMttkrpPlan;
+template <typename U>
+class SparseMttkrpPlanT;
 
 namespace tune {
 /// Wisdom consult (tune/wisdom.hpp): the measured order at which the
@@ -183,10 +185,10 @@ class CpAlsSweepPlanT {
   /// SparseCoo are accepted (a dense scheme on sparse input throws, like a
   /// sparse scheme on the dense constructor). The SparseMttkrpPlan built
   /// here BINDS X — CSF construction happens now — so X must outlive the
-  /// plan and keep its values (see exec/sparse_mttkrp_plan.hpp). The
-  /// sparse kernels are double-only: the float instantiation throws
-  /// (ROADMAP records the fp32 sparse path as a follow-on).
-  CpAlsSweepPlanT(const ExecContext& ctx, const sparse::SparseTensor& X,
+  /// plan and keep its values (see exec/sparse_mttkrp_plan.hpp). Both
+  /// scalars are supported: the float instantiation takes a SparseTensorF
+  /// and runs the fp32 kernels with fp64 accumulation.
+  CpAlsSweepPlanT(const ExecContext& ctx, const sparse::SparseTensorT<T>& X,
                   index_t rank, SweepScheme scheme = SweepScheme::Auto);
 
   ~CpAlsSweepPlanT();
@@ -197,7 +199,7 @@ class CpAlsSweepPlanT {
 
   /// Start a sweep over the bound sparse tensor; X must match the planned
   /// shape and nonzero count (sparse schemes only).
-  void begin_sweep(const sparse::SparseTensor& X);
+  void begin_sweep(const sparse::SparseTensorT<T>& X);
 
   /// Produce the mode-`n` MTTKRP into M (resized to I_n x C on mismatch).
   /// Modes must be requested in order 0..N-1, each exactly once per sweep
@@ -208,7 +210,7 @@ class CpAlsSweepPlanT {
                    std::span<const MatrixT<T>> factors, MatrixT<T>& M);
 
   /// Sparse-scheme form of mode_mttkrp (same in-order protocol).
-  void mode_mttkrp(index_t n, const sparse::SparseTensor& X,
+  void mode_mttkrp(index_t n, const sparse::SparseTensorT<T>& X,
                    std::span<const MatrixT<T>> factors, MatrixT<T>& M);
 
   [[nodiscard]] std::span<const index_t> dims() const { return dims_; }
@@ -236,7 +238,7 @@ class CpAlsSweepPlanT {
            scheme_ == SweepScheme::SparseCoo;
   }
   /// Sparse schemes only: the underlying per-mode sparse plan.
-  [[nodiscard]] const SparseMttkrpPlan& sparse_plan() const;
+  [[nodiscard]] const SparseMttkrpPlanT<T>& sparse_plan() const;
 
   /// MTTKRP seconds of the current (or most recently completed) sweep.
   [[nodiscard]] double last_sweep_seconds() const { return sweep_seconds_; }
@@ -317,8 +319,8 @@ class CpAlsSweepPlanT {
   // PerMode state.
   std::vector<MttkrpPlanT<T>> mode_plans_;
 
-  // Sparse state (SparseCsf / SparseCoo; double-only).
-  std::unique_ptr<SparseMttkrpPlan> sparse_plan_;
+  // Sparse state (SparseCsf / SparseCoo; scalar follows the plan's T).
+  std::unique_ptr<SparseMttkrpPlanT<T>> sparse_plan_;
   std::size_t sparse_ws_bytes_ = 0;
 
   // DimTree state.

@@ -28,6 +28,9 @@ constexpr std::array<char, 8> kMatrixMagic{'D', 'M', 'T', 'K',
                                            'M', 'A', 'T', '1'};
 constexpr std::array<char, 8> kKtensorMagic{'D', 'M', 'T', 'K',
                                             'K', 'T', 'N', '1'};
+// fp32 model payload kind: same header layout, floats in the body.
+constexpr std::array<char, 8> kKtensorMagicF32{'D', 'M', 'T', 'K',
+                                               'K', 'T', 'N', 'f'};
 
 void write_magic(FileWriter& w, const std::array<char, 8>& magic) {
   w.write_bytes(magic.data(), magic.size());
@@ -67,13 +70,21 @@ void read_scalars(FileReader& r, T* p, std::size_t n) {
   r.read_bytes(p, n * sizeof(T));
 }
 
-void write_matrix_body(FileWriter& w, const Matrix& M) {
+template <typename T>
+void write_matrix_body(FileWriter& w, const MatrixT<T>& M) {
   w.write_u64(static_cast<std::uint64_t>(M.rows()));
   w.write_u64(static_cast<std::uint64_t>(M.cols()));
   write_scalars(w, M.data(), static_cast<std::size_t>(M.size()));
 }
 
-Matrix read_matrix_body(FileReader& r) {
+template <typename From, typename To>
+void read_converting(FileReader& r, To* dst, std::size_t n);
+
+/// Matrix body whose payload scalar is `From`, converted entrywise to the
+/// requested scalar `To`. The size guard checks against the STORED width —
+/// a truncated fp32 body must fail before the allocation, not after.
+template <typename From, typename To>
+MatrixT<To> read_matrix_body_as(FileReader& r) {
   const std::uint64_t rows64 = r.read_u64();
   const std::uint64_t cols64 = r.read_u64();
   const auto rows = static_cast<index_t>(rows64);
@@ -85,11 +96,19 @@ Matrix read_matrix_body(FileReader& r) {
   if (cols64 != 0) {
     if (rows64 > (std::uint64_t{1} << 62) / cols64)
       throw IoError("implausible matrix extents");
-    check_payload_has(r, rows64 * cols64, sizeof(double), "matrix body");
+    check_payload_has(r, rows64 * cols64, sizeof(From), "matrix body");
   }
-  Matrix M(rows, cols);
-  read_scalars(r, M.data(), static_cast<std::size_t>(M.size()));
+  MatrixT<To> M(rows, cols);
+  if constexpr (std::is_same_v<From, To>) {
+    read_scalars(r, M.data(), static_cast<std::size_t>(M.size()));
+  } else {
+    read_converting<From>(r, M.data(), static_cast<std::size_t>(M.size()));
+  }
   return M;
+}
+
+Matrix read_matrix_body(FileReader& r) {
+  return read_matrix_body_as<double, double>(r);
 }
 
 /// Consume the tensor magic (either payload kind), returning the stored
@@ -218,24 +237,24 @@ Matrix read_matrix(const std::filesystem::path& path) {
   return M;
 }
 
-void write_ktensor(const std::filesystem::path& path, const Ktensor& K) {
-  K.validate();
-  FileWriter w(path, FileWriter::Footer::Crc32);
-  write_magic(w, kKtensorMagic);
-  w.write_u64(static_cast<std::uint64_t>(K.order()));
-  w.write_u64(static_cast<std::uint64_t>(K.rank()));
-  // Lambda (stored explicitly; all-ones if the model had none).
-  for (index_t c = 0; c < K.rank(); ++c) {
-    const double l = K.lambda_or_one(c);
-    w.write_bytes(&l, sizeof l);
-  }
-  for (const Matrix& U : K.factors) write_matrix_body(w, U);
-  w.commit();
+namespace {
+
+/// Consume the ktensor magic (either payload kind), returning the stored
+/// scalar kind; throws for non-ktensor files.
+ScalarKind read_ktensor_magic(FileReader& r) {
+  if (r.payload_size() < 8)
+    throw IoError("bad magic: not a dmtk ktensor file");
+  std::array<char, 8> got{};
+  r.read_bytes(got.data(), got.size());
+  if (got == kKtensorMagic) return ScalarKind::F64;
+  if (got == kKtensorMagicF32) return ScalarKind::F32;
+  throw IoError("bad magic: not a dmtk ktensor file");
 }
 
-Ktensor read_ktensor(const std::filesystem::path& path) {
-  FileReader r(path);
-  check_magic(r, kKtensorMagic, "ktensor");
+/// Body shared by both payload kinds: `From` is the stored scalar, `To`
+/// the requested one.
+template <typename From, typename To>
+KtensorT<To> read_ktensor_body(FileReader& r) {
   const std::uint64_t order64 = r.read_u64();
   const std::uint64_t rank64 = r.read_u64();
   const auto order = static_cast<index_t>(order64);
@@ -243,13 +262,17 @@ Ktensor read_ktensor(const std::filesystem::path& path) {
   if (order < 1 || order > 64 || rank < 1 || rank > (index_t{1} << 32)) {
     throw IoError("implausible ktensor header");
   }
-  check_payload_has(r, rank64, sizeof(double), "ktensor lambda");
-  Ktensor K;
+  check_payload_has(r, rank64, sizeof(From), "ktensor lambda");
+  KtensorT<To> K;
   K.lambda.resize(static_cast<std::size_t>(rank));
-  read_scalars(r, K.lambda.data(), K.lambda.size());
+  if constexpr (std::is_same_v<From, To>) {
+    read_scalars(r, K.lambda.data(), K.lambda.size());
+  } else {
+    read_converting<From>(r, K.lambda.data(), K.lambda.size());
+  }
   K.factors.reserve(static_cast<std::size_t>(order));
   for (index_t n = 0; n < order; ++n) {
-    K.factors.push_back(read_matrix_body(r));
+    K.factors.push_back(read_matrix_body_as<From, To>(r));
     if (K.factors.back().cols() != rank) {
       throw IoError("ktensor factor rank mismatch");
     }
@@ -258,6 +281,49 @@ Ktensor read_ktensor(const std::filesystem::path& path) {
   K.validate();
   return K;
 }
+
+}  // namespace
+
+template <typename T>
+void write_ktensor(const std::filesystem::path& path, const KtensorT<T>& K) {
+  K.validate();
+  FileWriter w(path, FileWriter::Footer::Crc32);
+  write_magic(w, std::is_same_v<T, float> ? kKtensorMagicF32 : kKtensorMagic);
+  w.write_u64(static_cast<std::uint64_t>(K.order()));
+  w.write_u64(static_cast<std::uint64_t>(K.rank()));
+  // Lambda (stored explicitly, in the payload scalar; all-ones if the
+  // model had none).
+  for (index_t c = 0; c < K.rank(); ++c) {
+    const T l = K.lambda_or_one(c);
+    w.write_bytes(&l, sizeof l);
+  }
+  for (const MatrixT<T>& U : K.factors) write_matrix_body(w, U);
+  w.commit();
+}
+
+template <typename T>
+KtensorT<T> read_ktensor_as(const std::filesystem::path& path) {
+  FileReader r(path);
+  const ScalarKind kind = read_ktensor_magic(r);
+  return kind == ScalarKind::F32 ? read_ktensor_body<float, T>(r)
+                                 : read_ktensor_body<double, T>(r);
+}
+
+Ktensor read_ktensor(const std::filesystem::path& path) {
+  return read_ktensor_as<double>(path);
+}
+
+ScalarKind ktensor_scalar_kind(const std::filesystem::path& path) {
+  FileReader r(path);
+  return read_ktensor_magic(r);
+}
+
+template void write_ktensor<double>(const std::filesystem::path&,
+                                    const Ktensor&);
+template void write_ktensor<float>(const std::filesystem::path&,
+                                   const KtensorF&);
+template Ktensor read_ktensor_as<double>(const std::filesystem::path&);
+template KtensorF read_ktensor_as<float>(const std::filesystem::path&);
 
 void export_csv(const std::filesystem::path& path, const Matrix& M) {
   // Same atomic-replace discipline as the binary writers (a crash

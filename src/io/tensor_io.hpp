@@ -68,11 +68,33 @@ void write_matrix(const std::filesystem::path& path, const Matrix& M);
 /// Read a matrix written by write_matrix.
 Matrix read_matrix(const std::filesystem::path& path);
 
-/// Write a CP model (lambda + factors) to a single file.
-void write_ktensor(const std::filesystem::path& path, const Ktensor& K);
+/// Write a CP model (lambda + factors) to a single file. The payload
+/// scalar kind follows the model's scalar type: a KtensorF writes an fp32
+/// payload ('DMTKKTNf' magic) at half the bytes — fp32 runs round-trip
+/// natively instead of widening through f64.
+template <typename T>
+void write_ktensor(const std::filesystem::path& path, const KtensorT<T>& K);
 
-/// Read a CP model written by write_ktensor.
+extern template void write_ktensor<double>(const std::filesystem::path&,
+                                           const Ktensor&);
+extern template void write_ktensor<float>(const std::filesystem::path&,
+                                          const KtensorF&);
+
+/// Read a CP model written by write_ktensor, converting the payload (f64
+/// or f32) to the requested scalar type entrywise (lambda and factors).
+template <typename T>
+KtensorT<T> read_ktensor_as(const std::filesystem::path& path);
+
+extern template Ktensor read_ktensor_as<double>(const std::filesystem::path&);
+extern template KtensorF read_ktensor_as<float>(const std::filesystem::path&);
+
+/// Read a CP model as double (accepts both payload kinds) — the
+/// historical entry point.
 Ktensor read_ktensor(const std::filesystem::path& path);
+
+/// Payload scalar kind of a ktensor file (throws IoError when the file is
+/// not a dmtk ktensor file).
+ScalarKind ktensor_scalar_kind(const std::filesystem::path& path);
 
 /// Export a matrix as CSV (one row per line, %.17g precision — lossless
 /// for doubles), e.g. for plotting factor time courses.

@@ -350,10 +350,6 @@ Server::Job Server::make_job(Request r, const std::shared_ptr<Conn>& conn) {
     if (r.type == RequestType::Mttkrp) {
       invalid("mttkrp requests need a dense tensor (.dten input)");
     }
-    if (r.f32) {
-      invalid("sparse sweep schemes are double-only; use \"precision\": "
-              "\"double\" for .tns input");
-    }
     if (r.sweep == SweepScheme::PerMode || r.sweep == SweepScheme::DimTree) {
       invalid("sweep scheme \"" + std::string(dmtk::to_string(r.sweep)) +
               "\" is dense-only; .tns input takes auto/csf/coo");
@@ -602,11 +598,9 @@ void Server::decompose_one(const Queue::Item& item,
   resp.set("plan", Json(plan_tag));
   resp.set("batch", batch_json(batch_size, batch_index));
   if (!r.out.empty()) {
-    if constexpr (std::is_same_v<T, double>) {
-      io::write_ktensor(r.out, res.model);
-    } else {
-      io::write_ktensor(r.out, ktensor_cast<double>(res.model));
-    }
+    // Native payload for either scalar ('DMTKKTNf' for fp32) — identical
+    // bytes to what the CLI writes for the same run.
+    io::write_ktensor(r.out, res.model);
     resp.set("out", Json(r.out));
   }
   if (r.inline_model) resp.set("model", ktensor_to_json(res.model));
@@ -625,42 +619,55 @@ void Server::decompose_sparse(Worker& ws, const Queue::Item& item) {
   const sparse::SparseTensor S = io::read_tns(r.tensor);
   const double read_ms = read_t.seconds() * 1e3;
 
-  CpAlsOptions o;
-  o.rank = r.rank;
-  o.max_iters = r.iters;
-  o.tol = r.tol;
-  o.seed = r.seed;
-  o.compute_fit = true;
-  o.sweep_scheme = r.sweep;
-  o.exec = &ws.ctx;  // warm context; the plan itself binds S, so no cache
-  ws.cache.note_bypass();
+  // One templated body for both precisions: .tns text parses as double
+  // (the format's natural scalar); an fp32 job narrows the coordinates'
+  // values once, then runs the same plan-bypassing sparse sweep with the
+  // kernels' fp64 accumulators.
+  const auto run = [&]<typename T>(const sparse::SparseTensorT<T>& X) {
+    CpAlsOptionsT<T> o;
+    o.rank = r.rank;
+    o.max_iters = r.iters;
+    o.tol = r.tol;
+    o.seed = r.seed;
+    o.compute_fit = true;
+    o.sweep_scheme = r.sweep;
+    o.exec = &ws.ctx;  // warm context; the plan itself binds X, so no cache
+    ws.cache.note_bypass();
 
-  WallTimer exec_t;
-  const CpAlsResult res = sparse::cp_als(S, o);
-  const double exec_ms = exec_t.seconds() * 1e3;
+    WallTimer exec_t;
+    const CpAlsResultT<T> res = sparse::cp_als(X, o);
+    const double exec_ms = exec_t.seconds() * 1e3;
 
-  Json resp;
-  resp.set("ok", Json(true));
-  resp.set("type", Json("decompose"));
-  if (!r.id.is_null()) resp.set("id", r.id);
-  resp.set("iterations", Json(res.iterations));
-  resp.set("final_fit", Json(res.final_fit));
-  resp.set("converged", Json(res.converged));
-  resp.set("scheme",
-           Json(std::string(dmtk::to_string(
-               resolve_sparse_sweep_scheme(r.sweep)))));
-  resp.set("precision", Json("double"));
-  resp.set("plan", Json("bypass"));
-  resp.set("batch", batch_json(1, 0));
-  if (!r.out.empty()) {
-    io::write_ktensor(r.out, res.model);
-    resp.set("out", Json(r.out));
+    Json resp;
+    resp.set("ok", Json(true));
+    resp.set("type", Json("decompose"));
+    if (!r.id.is_null()) resp.set("id", r.id);
+    resp.set("iterations", Json(res.iterations));
+    resp.set("final_fit", Json(res.final_fit));
+    resp.set("converged", Json(res.converged));
+    resp.set("scheme",
+             Json(std::string(dmtk::to_string(
+                 resolve_sparse_sweep_scheme(r.sweep)))));
+    resp.set("precision", Json(r.f32 ? "float" : "double"));
+    resp.set("plan", Json("bypass"));
+    resp.set("batch", batch_json(1, 0));
+    if (!r.out.empty()) {
+      // Native payload for either scalar — identical bytes to the CLI's
+      // model file for the same run configuration.
+      io::write_ktensor(r.out, res.model);
+      resp.set("out", Json(r.out));
+    }
+    if (r.inline_model) resp.set("model", ktensor_to_json(res.model));
+    resp.set("timings_ms",
+             timings_json(queue_ms, read_ms, 0.0, exec_ms,
+                          ms_since(job.received)));
+    send_line(job.conn, resp);
+  };
+  if (r.f32) {
+    run(sparse::sparse_cast<float>(S));
+  } else {
+    run(S);
   }
-  if (r.inline_model) resp.set("model", ktensor_to_json(res.model));
-  resp.set("timings_ms",
-           timings_json(queue_ms, read_ms, 0.0, exec_ms,
-                        ms_since(job.received)));
-  send_line(job.conn, resp);
 }
 
 void Server::run_mttkrp_batch(Worker& ws, std::vector<Queue::Item>& jobs) {

@@ -19,8 +19,9 @@ std::size_t level_stride(index_t rank) {
 
 }  // namespace
 
-std::vector<index_t> CsfTensor::root_first_perm(std::span<const index_t> dims,
-                                                index_t root) {
+template <typename T>
+std::vector<index_t> CsfTensorT<T>::root_first_perm(
+    std::span<const index_t> dims, index_t root) {
   const index_t N = static_cast<index_t>(dims.size());
   DMTK_CHECK(root >= 0 && root < N, "csf: root mode out of range");
   std::vector<index_t> perm;
@@ -35,7 +36,9 @@ std::vector<index_t> CsfTensor::root_first_perm(std::span<const index_t> dims,
   return perm;
 }
 
-CsfTensor CsfTensor::build(const SparseTensor& X, std::vector<index_t> perm) {
+template <typename T>
+CsfTensorT<T> CsfTensorT<T>::build(const SparseTensorT<T>& X,
+                                   std::vector<index_t> perm) {
   const index_t N = X.order();
   DMTK_CHECK(N >= 2, "csf: tensor must have at least 2 modes");
   DMTK_CHECK(static_cast<index_t>(perm.size()) == N,
@@ -49,18 +52,18 @@ CsfTensor CsfTensor::build(const SparseTensor& X, std::vector<index_t> perm) {
     }
   }
 
-  CsfTensor T;
-  T.dims_.assign(X.dims().begin(), X.dims().end());
-  T.perm_ = std::move(perm);
-  T.fids_.resize(static_cast<std::size_t>(N));
-  T.ptr_.resize(static_cast<std::size_t>(N - 1));
+  CsfTensorT<T> T_;
+  T_.dims_.assign(X.dims().begin(), X.dims().end());
+  T_.perm_ = std::move(perm);
+  T_.fids_.resize(static_cast<std::size_t>(N));
+  T_.ptr_.resize(static_cast<std::size_t>(N - 1));
 
   const index_t nnz = X.nnz();
   std::vector<index_t> order_idx(static_cast<std::size_t>(nnz));
   std::iota(order_idx.begin(), order_idx.end(), index_t{0});
   std::sort(order_idx.begin(), order_idx.end(), [&](index_t a, index_t b) {
     for (index_t l = 0; l < N; ++l) {
-      const index_t m = T.perm_[static_cast<std::size_t>(l)];
+      const index_t m = T_.perm_[static_cast<std::size_t>(l)];
       const index_t ca = X.coord(m, a);
       const index_t cb = X.coord(m, b);
       if (ca != cb) return ca < cb;
@@ -71,42 +74,45 @@ CsfTensor CsfTensor::build(const SparseTensor& X, std::vector<index_t> perm) {
   // One pass over the sorted entries: the first level whose coordinate
   // differs from the previous entry opens new nodes there and below; a
   // fully-equal coordinate is a duplicate and merges additively into the
-  // current leaf (push_back/to_dense semantics — a merged 0.0 is kept).
+  // current leaf (push_back/to_dense semantics — a merged 0 is kept).
   std::vector<index_t> prev(static_cast<std::size_t>(N), -1);
   for (index_t k : order_idx) {
     index_t l0 = 0;
     while (l0 < N &&
-           X.coord(T.perm_[static_cast<std::size_t>(l0)], k) ==
+           X.coord(T_.perm_[static_cast<std::size_t>(l0)], k) ==
                prev[static_cast<std::size_t>(l0)]) {
       ++l0;
     }
-    if (l0 == N && !T.values_.empty()) {
-      T.values_.back() += X.value(k);
+    if (l0 == N && !T_.values_.empty()) {
+      T_.values_.back() += X.value(k);
       continue;
     }
     if (l0 == N) l0 = 0;  // unreachable guard (first entry never matches -1)
     for (index_t l = l0; l < N; ++l) {
-      const index_t c = X.coord(T.perm_[static_cast<std::size_t>(l)], k);
+      const index_t c = X.coord(T_.perm_[static_cast<std::size_t>(l)], k);
       prev[static_cast<std::size_t>(l)] = c;
-      T.fids_[static_cast<std::size_t>(l)].push_back(c);
+      T_.fids_[static_cast<std::size_t>(l)].push_back(c);
       if (l < N - 1) {
         // Child range of the new node starts at the current size of the
         // next level; the terminating offset is appended after the pass.
-        T.ptr_[static_cast<std::size_t>(l)].push_back(
-            static_cast<index_t>(T.fids_[static_cast<std::size_t>(l + 1)].size()));
+        T_.ptr_[static_cast<std::size_t>(l)].push_back(
+            static_cast<index_t>(T_.fids_[static_cast<std::size_t>(l + 1)].size()));
       } else {
-        T.values_.push_back(X.value(k));
+        T_.values_.push_back(X.value(k));
       }
     }
   }
   for (index_t l = 0; l < N - 1; ++l) {
-    T.ptr_[static_cast<std::size_t>(l)].push_back(
-        static_cast<index_t>(T.fids_[static_cast<std::size_t>(l + 1)].size()));
+    T_.ptr_[static_cast<std::size_t>(l)].push_back(
+        static_cast<index_t>(T_.fids_[static_cast<std::size_t>(l + 1)].size()));
   }
-  return T;
+  return T_;
 }
 
-std::size_t csf_mttkrp_scratch_doubles(index_t order, index_t rank) {
+template class CsfTensorT<double>;
+template class CsfTensorT<float>;
+
+std::size_t csf_mttkrp_scratch_accums(index_t order, index_t rank) {
   // One rank-sized buffer per level: slot 0 accumulates the output row,
   // slots 1..order-1 hold the subtree results of the recursion.
   return static_cast<std::size_t>(order) * level_stride(rank);
@@ -117,50 +123,66 @@ namespace {
 /// Contribution of node `j` at level `l` (>= 1) into `out` (size C,
 /// overwritten):  U_{perm[l]}(fid, :) (*) sum over children of their
 /// contributions  — at the leaf level, value * U_{perm[N-1]}(fid, :).
-void eval_subtree(const CsfTensor& T, std::span<const Matrix> factors,
+/// `out` and `scratch` are fp64 for either scalar: the storage loads widen
+/// on read and the accumulation never narrows mid-tree.
+template <typename T>
+void eval_subtree(const CsfTensorT<T>& T_, std::span<const MatrixT<T>> factors,
                   index_t l, index_t j, index_t C, double* scratch,
                   std::size_t stride, double* out) {
-  const index_t N = T.order();
-  const Matrix& U = factors[static_cast<std::size_t>(T.perm()[l])];
-  const double* base = U.data() + T.fids(l)[static_cast<std::size_t>(j)];
+  const index_t N = T_.order();
+  const MatrixT<T>& U = factors[static_cast<std::size_t>(T_.perm()[l])];
+  const T* base = U.data() + T_.fids(l)[static_cast<std::size_t>(j)];
   const index_t ld = U.ld();
   if (l == N - 1) {
-    const double v = T.values()[static_cast<std::size_t>(j)];
-    for (index_t c = 0; c < C; ++c) out[c] = v * base[c * ld];
+    const double v =
+        static_cast<double>(T_.values()[static_cast<std::size_t>(j)]);
+    for (index_t c = 0; c < C; ++c) {
+      out[c] = v * static_cast<double>(base[c * ld]);
+    }
     return;
   }
   std::fill(out, out + C, 0.0);
-  const std::span<const index_t> ptr = T.ptr(l);
+  const std::span<const index_t> ptr = T_.ptr(l);
   double* child = scratch + static_cast<std::size_t>(l + 1) * stride;
   for (index_t q = ptr[static_cast<std::size_t>(j)];
        q < ptr[static_cast<std::size_t>(j) + 1]; ++q) {
-    eval_subtree(T, factors, l + 1, q, C, scratch, stride, child);
+    eval_subtree(T_, factors, l + 1, q, C, scratch, stride, child);
     for (index_t c = 0; c < C; ++c) out[c] += child[c];
   }
-  for (index_t c = 0; c < C; ++c) out[c] *= base[c * ld];
+  for (index_t c = 0; c < C; ++c) out[c] *= static_cast<double>(base[c * ld]);
 }
 
 }  // namespace
 
-void csf_mttkrp_root_range(const CsfTensor& T, std::span<const Matrix> factors,
-                           Matrix& M, Range range, double* scratch) {
+template <typename T>
+void csf_mttkrp_root_range(const CsfTensorT<T>& T_,
+                           std::span<const MatrixT<T>> factors, MatrixT<T>& M,
+                           Range range, double* scratch) {
   const index_t C = M.cols();
   const std::size_t stride = level_stride(C);
-  const std::span<const index_t> root_fids = T.fids(0);
-  const std::span<const index_t> root_ptr = T.ptr(0);
+  const std::span<const index_t> root_fids = T_.fids(0);
+  const std::span<const index_t> root_ptr = T_.ptr(0);
   double* row = scratch;  // level-0 slot: the output-row accumulator
   double* child = scratch + stride;
   for (index_t r = range.begin; r < range.end; ++r) {
     std::fill(row, row + C, 0.0);
     for (index_t q = root_ptr[static_cast<std::size_t>(r)];
          q < root_ptr[static_cast<std::size_t>(r) + 1]; ++q) {
-      eval_subtree(T, factors, 1, q, C, scratch, stride, child);
+      eval_subtree(T_, factors, 1, q, C, scratch, stride, child);
       for (index_t c = 0; c < C; ++c) row[c] += child[c];
     }
     // The root level's factor is the mode being solved for — excluded.
+    // One rounding per output entry: fp64 accumulator -> storage scalar.
     const index_t i = root_fids[static_cast<std::size_t>(r)];
-    for (index_t c = 0; c < C; ++c) M(i, c) = row[c];
+    for (index_t c = 0; c < C; ++c) M(i, c) = static_cast<T>(row[c]);
   }
 }
+
+template void csf_mttkrp_root_range<double>(const CsfTensorT<double>&,
+                                            std::span<const MatrixT<double>>,
+                                            MatrixT<double>&, Range, double*);
+template void csf_mttkrp_root_range<float>(const CsfTensorT<float>&,
+                                           std::span<const MatrixT<float>>,
+                                           MatrixT<float>&, Range, double*);
 
 }  // namespace dmtk::sparse

@@ -16,7 +16,15 @@
 /// The `bench_ablation_density` benchmark then measures the density
 /// crossover where the paper's dense kernels overtake the sparse one —
 /// the quantitative version of the paper's motivation.
+///
+/// Like the dense core, the container is templated on the scalar type:
+/// `SparseTensorT<float>` halves the bytes per nonzero the COO/CSF kernels
+/// stream, which is exactly where a bandwidth-bound MTTKRP spends its time.
+/// Both kernels accumulate in double regardless of the storage scalar, so
+/// the fp32 path keeps the fp64 accumulation floor while moving half the
+/// data. `SparseTensor` / `SparseTensorF` alias the two instantiations.
 
+#include <type_traits>
 #include <vector>
 
 #include "core/cp_als.hpp"
@@ -29,12 +37,15 @@ namespace dmtk::sparse {
 /// COO sparse tensor, struct-of-arrays: coordinate list per mode plus a
 /// value array. Duplicate coordinates are permitted and act additively
 /// (as in most COO toolchains).
-class SparseTensor {
+template <typename T>
+class SparseTensorT {
  public:
-  SparseTensor() = default;
+  using value_type = T;
+
+  SparseTensorT() = default;
 
   /// Empty tensor with the given mode sizes.
-  explicit SparseTensor(std::vector<index_t> dims);
+  explicit SparseTensorT(std::vector<index_t> dims);
 
   [[nodiscard]] index_t order() const {
     return static_cast<index_t>(dims_.size());
@@ -55,18 +66,19 @@ class SparseTensor {
   void reserve(index_t nnz);
 
   /// Append a nonzero. Coordinates are bounds-checked.
-  void push_back(std::span<const index_t> idx, double value);
+  void push_back(std::span<const index_t> idx, T value);
 
   /// Coordinate of nonzero k in mode n.
   [[nodiscard]] index_t coord(index_t n, index_t k) const {
     return coords_[static_cast<std::size_t>(n)][static_cast<std::size_t>(k)];
   }
-  [[nodiscard]] double value(index_t k) const {
+  [[nodiscard]] T value(index_t k) const {
     return values_[static_cast<std::size_t>(k)];
   }
-  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
 
   /// Sum of squared values (== ||X||_F^2 since zeros contribute nothing).
+  /// Accumulated in double for either scalar type, like TensorT::norm.
   [[nodiscard]] double norm_squared() const;
   /// Thread-count-taking overload so the shared ALS sweep loop can call
   /// X.norm_squared(nt) on dense and sparse tensors alike (the sparse sum
@@ -76,29 +88,64 @@ class SparseTensor {
   }
 
   /// Drop every entry of a dense tensor with |x| <= threshold.
-  static SparseTensor from_dense(const Tensor& X, double threshold = 0.0);
+  static SparseTensorT from_dense(const TensorT<T>& X, double threshold = 0.0);
 
   /// Materialize densely (duplicates accumulate).
-  [[nodiscard]] Tensor to_dense() const;
+  [[nodiscard]] TensorT<T> to_dense() const;
 
   /// Uniform-random sparse tensor with `nnz` draws (coordinates i.i.d.,
   /// values uniform [0, 1)); duplicates possible and harmless.
-  static SparseTensor random(std::vector<index_t> dims, index_t nnz,
-                             Rng& rng);
+  static SparseTensorT random(std::vector<index_t> dims, index_t nnz,
+                              Rng& rng);
 
  private:
   std::vector<index_t> dims_;
   std::vector<std::vector<index_t>> coords_;  // [mode][nnz]
-  std::vector<double> values_;
+  std::vector<T> values_;
 };
+
+extern template class SparseTensorT<double>;
+extern template class SparseTensorT<float>;
+
+/// The library's default (double) sparse tensor and its fp32 sibling.
+using SparseTensor = SparseTensorT<double>;
+using SparseTensorF = SparseTensorT<float>;
+
+/// Entrywise conversion between scalar types (fp64 -> fp32 rounds values;
+/// coordinates are preserved exactly). The fp32 ingest path reads a .tns
+/// (text values parse as double) and narrows with this.
+template <typename To, typename From>
+SparseTensorT<To> sparse_cast(const SparseTensorT<From>& X) {
+  SparseTensorT<To> Y(std::vector<index_t>(X.dims().begin(), X.dims().end()));
+  const index_t N = X.order();
+  Y.reserve(X.nnz());
+  std::vector<index_t> idx(static_cast<std::size_t>(N));
+  for (index_t k = 0; k < X.nnz(); ++k) {
+    for (index_t n = 0; n < N; ++n) {
+      idx[static_cast<std::size_t>(n)] = X.coord(n, k);
+    }
+    Y.push_back(idx, static_cast<To>(X.value(k)));
+  }
+  return Y;
+}
 
 /// Sparse MTTKRP (SPLATT-style COO kernel): for each nonzero x at
 /// (i_0,...,i_{N-1}),  M(i_mode, :) += x * (*)_{k != mode} U_k(i_k, :).
-/// Parallelized over nonzeros with thread-private outputs + reduction.
-/// One-shot reference implementation — hot loops should hold a
-/// SparseMttkrpPlan (or drive CP-ALS through SweepScheme::SparseCsf).
-void mttkrp(const SparseTensor& X, std::span<const Matrix> factors,
-            index_t mode, Matrix& M, int threads = 0);
+/// Parallelized over nonzeros with thread-private outputs + reduction; the
+/// accumulators are double for either scalar. One-shot reference
+/// implementation — hot loops should hold a SparseMttkrpPlan (or drive
+/// CP-ALS through SweepScheme::SparseCsf).
+template <typename T>
+void mttkrp(const SparseTensorT<T>& X,
+            std::span<const MatrixT<std::type_identity_t<T>>> factors,
+            index_t mode, MatrixT<T>& M, int threads = 0);
+
+extern template void mttkrp<double>(const SparseTensorT<double>&,
+                                    std::span<const MatrixT<double>>, index_t,
+                                    MatrixT<double>&, int);
+extern template void mttkrp<float>(const SparseTensorT<float>&,
+                                   std::span<const MatrixT<float>>, index_t,
+                                   MatrixT<float>&, int);
 
 /// CP-ALS over a sparse tensor; identical driver semantics to the dense
 /// dmtk::cp_als (initialization, normalization, solve, fit, stopping —
@@ -106,8 +153,16 @@ void mttkrp(const SparseTensor& X, std::span<const Matrix> factors,
 /// come from a CpAlsSweepPlan built on opts.sweep_scheme: Auto resolves
 /// to SparseCsf; SparseCoo runs the plan-layer COO kernel (bitwise-equal
 /// to the historical ad-hoc driver at equal thread counts); the dense
-/// schemes are rejected. opts.method and opts.mttkrp_override are
-/// dense-only (the latter throws here); opts.exec shares the arena.
-CpAlsResult cp_als(const SparseTensor& X, const CpAlsOptions& opts);
+/// schemes are rejected. Both scalars are supported (the fp32 sweep keeps
+/// fp64 accumulation in the kernels). opts.method and opts.mttkrp_override
+/// are dense-only (the latter throws here); opts.exec shares the arena.
+template <typename T>
+CpAlsResultT<T> cp_als(const SparseTensorT<T>& X,
+                       const CpAlsOptionsT<T>& opts);
+
+extern template CpAlsResultT<double> cp_als<double>(
+    const SparseTensorT<double>&, const CpAlsOptionsT<double>&);
+extern template CpAlsResultT<float> cp_als<float>(const SparseTensorT<float>&,
+                                                  const CpAlsOptionsT<float>&);
 
 }  // namespace dmtk::sparse

@@ -3,10 +3,11 @@
 #
 #   usage: cli_roundtrip.sh <path-to-dmtk-binary>
 #
-# Covers: generate -> info -> decompose -> export in both precisions, the
-# fp32 payload surfacing in `info`, and the strict-argument audit (every
-# malformed numeric flag must exit 1 with a usage message, never an
-# uncaught exception, which exits 2).
+# Covers: generate -> info -> decompose -> export in both precisions (dense
+# AND sparse), fp32 HALS, the fp64-accumulate fp32 path, the fp32 payload
+# surfacing in `info`, and the strict-argument audit (every malformed
+# numeric flag must exit 1 with a usage message, never an uncaught
+# exception, which exits 2).
 
 set -u
 dmtk="$1"
@@ -65,6 +66,16 @@ expect_grep "fp32" "${dmtk}" decompose "${work}/x32.dten" --rank 3 \
 expect_ok "${dmtk}" export "${work}/m32.dktn" --out-prefix "${work}/f32"
 # Cross-precision: an f32 payload decomposes fine in double too.
 expect_ok "${dmtk}" decompose "${work}/x32.dten" --rank 3 --iters 5
+# fp32 HALS: the nonnegative driver runs in float too.
+expect_grep "cp_nnhals\[.*fp32" "${dmtk}" decompose "${work}/x32.dten" \
+  --rank 3 --iters 5 --precision float --nn
+# Mixed-precision accumulate: fp32 storage, fp64 MTTKRP sums.
+expect_grep "fp32+acc64" "${dmtk}" decompose "${work}/x32.dten" --rank 3 \
+  --iters 5 --precision float --accumulate double --out "${work}/macc.dktn"
+expect_ok "${dmtk}" export "${work}/macc.dktn" --out-prefix "${work}/facc"
+# ... but it is an fp32-only knob: the double pipeline already sums in fp64.
+expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank 3 --iters 5 \
+  --accumulate double
 
 # The f32 payload should be roughly half the f64 size.
 s64=$(stat -c %s "${work}/x64.dten")
@@ -77,15 +88,21 @@ fi
 # --- sparse precision handling ---------------------------------------------
 expect_ok "${dmtk}" generate --dims 20x18x16 --nnz 200 --seed 5 \
   --out "${work}/s.tns"
-# The sparse sweep schemes are double-only: float must be refused with a
-# usage error that names the flag and the fix, not a silent fallback.
-expect_usage_error "${dmtk}" decompose "${work}/s.tns" --rank 2 --iters 3 \
-  --precision float
-expect_grep "double-only" "${dmtk}" decompose "${work}/s.tns" --rank 2 \
-  --iters 3 --precision float
+# Sparse fp32 runs through both plan-layer kernels and writes a native f32
+# model (the kernels keep fp64 accumulators either way).
+expect_grep "fp32" "${dmtk}" decompose "${work}/s.tns" --rank 2 --iters 3 \
+  --precision float --sweep csf --out "${work}/ms32.dktn"
+expect_grep "coo sweep, fp32" "${dmtk}" decompose "${work}/s.tns" --rank 2 \
+  --iters 3 --precision float --sweep coo
+expect_ok "${dmtk}" export "${work}/ms32.dktn" --out-prefix "${work}/s32"
+[[ -f "${work}/s32_mode0.csv" ]] || { echo "FAIL: missing sparse f32 CSV"; fails=$((fails + 1)); }
 # Spelling out the default is harmless.
 expect_ok "${dmtk}" decompose "${work}/s.tns" --rank 2 --iters 3 \
   --precision double
+# The sparse kernels accumulate in fp64 unconditionally, so the dense
+# accumulate knob is refused rather than silently accepted.
+expect_usage_error "${dmtk}" decompose "${work}/s.tns" --rank 2 --iters 3 \
+  --precision float --accumulate double
 
 # --- strict numeric argument audit ----------------------------------------
 expect_usage_error "${dmtk}" decompose "${work}/x64.dten" --rank abc

@@ -138,6 +138,22 @@ TEST_F(IoCorruptTest, KtensorSurvivesCorruptionWithStructuredErrors) {
   });
 }
 
+TEST_F(IoCorruptTest, KtensorF32SurvivesCorruptionWithStructuredErrors) {
+  const std::string p = path("k32.dktn");
+  Rng rng(19);
+  const std::vector<index_t> dims{6, 5, 4};
+  const KtensorF K = KtensorF::random(dims, 3, rng);
+  io::write_ktensor(p, K);
+  // Both the native-float read and the widening double read must fail
+  // structurally, never by reading garbage, under the same attacks.
+  attack("ktensor/f32", p, [](const std::string& f) {
+    (void)io::read_ktensor_as<float>(f);
+  });
+  attack("ktensor/f32-as-f64", p, [](const std::string& f) {
+    (void)io::read_ktensor_as<double>(f);
+  });
+}
+
 TEST_F(IoCorruptTest, CheckpointSurvivesCorruptionWithStructuredErrors) {
   const std::string p = path("c.dckp");
   Rng rng(17);

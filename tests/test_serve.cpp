@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -312,18 +313,19 @@ TEST_F(ServeTest, MalformedRequestTable) {
   EXPECT_TRUE(ok.find("ok")->as_bool()) << ok.dump();
 }
 
-TEST_F(ServeTest, SparseRejectsFloatWithAPointerToTheFix) {
+TEST_F(ServeTest, SparseFloatDecomposeRunsThroughTheBypassPath) {
   ServeOptions so;
   start(so);
   const std::string tns = make_sparse("s.tns", {8, 7, 6}, 30);
   Json req = decompose_req(tns, 2, 2, 1);
   req.set("precision", Json("float"));
   const Json resp = roundtrip(req);
-  EXPECT_FALSE(resp.find("ok")->as_bool());
-  EXPECT_EQ(resp.find("error")->find("code")->as_string(), "invalid_request");
-  EXPECT_NE(resp.find("error")->find("message")->as_string().find(
-                "double-only"),
-            std::string::npos);
+  ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+  EXPECT_EQ(resp.find("precision")->as_string(), "float");
+  EXPECT_EQ(resp.find("plan")->as_string(), "bypass");
+  EXPECT_EQ(resp.find("scheme")->as_string(), "csf");
+  EXPECT_TRUE(std::isfinite(resp.find("final_fit")->as_number()))
+      << resp.dump();
 }
 
 TEST_F(ServeTest, IdIsEchoedVerbatim) {

@@ -67,7 +67,7 @@ using namespace dmtk;
       "             --quick shrinks every probe to a seconds-long smoke,\n"
       "             --json prints the full measurement report)\n"
       "  decompose <tensor.dten> --rank R [--nn] [--wisdom F]\n"
-      "            [--precision double|float]\n"
+      "            [--precision double|float] [--accumulate double|float]\n"
       "            [--sweep permode|dimtree|auto] [--levels n] [--dimtree]\n"
       "            [--method reference|reorder|1-step-seq|1-step|2-step|auto]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
@@ -80,14 +80,21 @@ using namespace dmtk;
       "             is the legacy alias for --sweep dimtree; auto picks\n"
       "             dimtree for 4-way-and-up tensors; --precision float\n"
       "             runs the whole ALS pipeline in fp32 — half the memory\n"
-      "             bandwidth, fit accurate to ~1e-4)\n"
+      "             bandwidth, fit accurate to ~1e-4; --accumulate double\n"
+      "             keeps fp32 storage but sums every MTTKRP entry in fp64,\n"
+      "             recovering the fp64 fit floor at fp32 storage cost —\n"
+      "             slower per sweep: the fp64 loop skips the blocked\n"
+      "             kernels)\n"
       "            (--wisdom loads a tuned profile STRICTLY: a missing,\n"
       "             corrupt, or other-CPU profile aborts the run; the\n"
       "             DMTK_WISDOM env autoloads leniently instead)\n"
       "  decompose <tensor.tns> --rank R [--sweep csf|coo|auto] [--wisdom F]\n"
+      "            [--precision double|float]\n"
       "            [--iters n] [--tol f] [--threads t] [--out model.dktn]\n"
       "            [--checkpoint F [--checkpoint-every n] [--resume]]\n"
-      "            (sparse CP-ALS through the plan layer; auto = csf)\n"
+      "            (sparse CP-ALS through the plan layer; auto = csf; both\n"
+      "             precisions accumulate in fp64 — fp32 halves the bytes\n"
+      "             streamed per nonzero and rounds once per output)\n"
       "  tucker    <tensor.dten> --ranks AxBxC [--out-prefix P]\n"
       "  export    <model.dktn> --out-prefix P\n"
       "  serve     --socket S [--workers n] [--threads t] [--queue-depth n]\n"
@@ -208,6 +215,16 @@ bool flag_wants_f32(const Flags& f) {
   if (p == "double" || p == "fp64" || p == "f64") return false;
   if (p == "float" || p == "fp32" || p == "f32" || p == "single") return true;
   usage_error("--precision expects double|float, got '" + p + "'");
+}
+
+/// --accumulate: float (the storage scalar; default) or double (the
+/// fp64-accumulate fp32 MTTKRP kernel); usage error otherwise. Only
+/// meaningful with --precision float — callers gate on flag presence.
+bool flag_wants_acc64(const Flags& f) {
+  const std::string a = flag_str(f, "accumulate", "float");
+  if (a == "float" || a == "fp32" || a == "f32") return false;
+  if (a == "double" || a == "fp64" || a == "f64") return true;
+  usage_error("--accumulate expects double|float, got '" + a + "'");
 }
 
 /// The .tns extension selects the sparse (FROSTT text) path.
@@ -462,15 +479,16 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
       return 1;
     }
   }
-  // --precision double is a harmless no-op here (sparse always computes in
-  // double); float is refused with the real reason, not a generic
-  // dense-only message — the CSF/COO kernels hold double values.
-  if (flag_wants_f32(flags)) {
+  // Both sparse kernels accumulate in fp64 for either storage scalar, so
+  // --accumulate has nothing to select here; rejecting beats silently
+  // accepting a knob that cannot change the arithmetic.
+  if (flags.count("accumulate") != 0) {
     std::fprintf(stderr,
-                 "--precision float: sparse sweep schemes are double-only; "
-                 "drop the flag or use --precision double\n");
+                 "--accumulate is dense-only: the sparse CSF/COO kernels "
+                 "always accumulate in fp64\n");
     return 1;
   }
+  const bool f32 = flag_wants_f32(flags);
   flag_load_wisdom(flags);
   const sparse::SparseTensor S = io::read_tns(pos);
   // Advisory only: a .tns input explicitly asked for the sparse path, but
@@ -516,6 +534,40 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
     opts.sweep_scheme = *s;
   }
   const SweepScheme resolved = resolve_sparse_sweep_scheme(opts.sweep_scheme);
+  const std::string out = flag_str(flags, "out");
+
+  if (f32) {
+    // .tns text is parsed as double (the format's natural scalar) and
+    // narrowed once; the fp32 sweep then streams half the value/factor
+    // bytes per nonzero while the kernels keep their fp64 accumulators.
+    const sparse::SparseTensorF Sf = sparse::sparse_cast<float>(S);
+    CpAlsOptionsF fopts;
+    fopts.rank = opts.rank;
+    fopts.max_iters = opts.max_iters;
+    fopts.tol = opts.tol;
+    fopts.exec = opts.exec;
+    fopts.seed = opts.seed;
+    fopts.sweep_scheme = opts.sweep_scheme;
+    fopts.checkpoint_path = opts.checkpoint_path;
+    fopts.checkpoint_every = opts.checkpoint_every;
+    fopts.resume = opts.resume;
+    WallTimer t;
+    const CpAlsResultF r = sparse::cp_als(Sf, fopts);
+    std::printf(
+        "sparse cp_als[%s sweep, fp32]: rank %lld, nnz %lld, fit %.6f, "
+        "%d sweeps (%s), %.2f s\n",
+        std::string(to_string(resolved)).c_str(),
+        static_cast<long long>(opts.rank), static_cast<long long>(S.nnz()),
+        r.final_fit, r.iterations, to_string(r.status), t.seconds());
+    if (r.resumed_sweeps > 0) {
+      std::printf("resumed from checkpoint at sweep %d\n", r.resumed_sweeps);
+    }
+    if (!out.empty()) {
+      io::write_ktensor(out, r.model);
+      std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+  }
 
   WallTimer t;
   const CpAlsResult r = sparse::cp_als(S, opts);
@@ -528,7 +580,6 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
   if (r.resumed_sweeps > 0) {
     std::printf("resumed from checkpoint at sweep %d\n", r.resumed_sweeps);
   }
-  const std::string out = flag_str(flags, "out");
   if (!out.empty()) {
     io::write_ktensor(out, r.model);
     std::printf("wrote %s\n", out.c_str());
@@ -538,10 +589,12 @@ int cmd_decompose_sparse(const std::string& pos, Flags& flags) {
 
 /// Dense fp32 decompose: the tensor is read (or converted) straight into
 /// fp32 — never staged as a second full double copy — and the whole ALS
-/// pipeline (plans, kernels, solve, fit) runs in float; the model is
-/// widened to f64 only for output.
+/// pipeline (plans, kernels, solve, fit) runs in float. With `acc64` the
+/// MTTKRPs route through the fp64-accumulate kernel instead of the fp32
+/// plans. The model is written as a native f32 payload.
 int cmd_decompose_f32(const std::string& pos, const CpAlsOptions& dopts,
-                      SweepScheme resolved, const std::string& out) {
+                      SweepScheme resolved, const std::string& out, bool nn,
+                      bool acc64) {
   const TensorF X = io::read_tensor_as<float>(pos);
   ExecContext ctx(dopts.exec != nullptr ? dopts.exec->threads() : 0);
   CpAlsOptionsF opts;
@@ -556,19 +609,20 @@ int cmd_decompose_f32(const std::string& pos, const CpAlsOptions& dopts,
   opts.checkpoint_path = dopts.checkpoint_path;
   opts.checkpoint_every = dopts.checkpoint_every;
   opts.resume = dopts.resume;
+  if (acc64) opts.mttkrp_override = mttkrp_acc64_override();
 
   WallTimer t;
-  const CpAlsResultF r = cp_als(X, opts);
+  const CpAlsResultF r = nn ? cp_nnhals(X, opts) : cp_als(X, opts);
   std::printf(
-      "cp_als[%s sweep, fp32]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
-      std::string(to_string(resolved)).c_str(),
-      static_cast<long long>(opts.rank), r.final_fit, r.iterations,
-      to_string(r.status), t.seconds());
+      "%s[%s sweep, %s]: rank %lld, fit %.6f, %d sweeps (%s), %.2f s\n",
+      nn ? "cp_nnhals" : "cp_als", std::string(to_string(resolved)).c_str(),
+      acc64 ? "fp32+acc64" : "fp32", static_cast<long long>(opts.rank),
+      r.final_fit, r.iterations, to_string(r.status), t.seconds());
   if (r.resumed_sweeps > 0) {
     std::printf("resumed from checkpoint at sweep %d\n", r.resumed_sweeps);
   }
   if (!out.empty()) {
-    io::write_ktensor(out, ktensor_cast<double>(r.model));
+    io::write_ktensor(out, r.model);
     std::printf("wrote %s\n", out.c_str());
   }
   return 0;
@@ -657,13 +711,15 @@ int cmd_decompose(int argc, char** argv) {
     std::fprintf(stderr, "--levels requires the dimtree sweep\n");
     return 1;
   }
+  if (flags.count("accumulate") != 0 && !f32) {
+    std::fprintf(stderr,
+                 "--accumulate requires --precision float (the double "
+                 "pipeline already accumulates in fp64)\n");
+    return 1;
+  }
   if (f32) {
-    if (flags.count("nn") != 0) {
-      std::fprintf(stderr,
-                   "--nn (HALS) is double-only; drop --precision float\n");
-      return 1;
-    }
-    return cmd_decompose_f32(pos, opts, resolved, flag_str(flags, "out"));
+    return cmd_decompose_f32(pos, opts, resolved, flag_str(flags, "out"),
+                             flags.count("nn") != 0, flag_wants_acc64(flags));
   }
   const Tensor X = io::read_tensor(pos);
 

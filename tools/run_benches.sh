@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Run the perf-trajectory benches and write BENCH_pr8.json at the repo root.
+# Run the perf-trajectory benches and write BENCH_pr9.json at the repo root.
 #
 # usage: tools/run_benches.sh [build_dir] [out_json] [scale]
 #   build_dir  CMake build tree with the bench binaries (default: build)
-#   out_json   output JSON path (default: BENCH_pr8.json)
+#   out_json   output JSON path (default: BENCH_pr9.json)
 #   scale      --scale for the figure benches (default: 0.001)
 #
 # The GEMM roofline (every level the host supports — on AVX-512 hardware
@@ -11,15 +11,16 @@
 # with the equivalence check armed in both precisions) emits the headline
 # per-level GFLOP/s record up to 1024^3; `dmtk tune` contributes its full
 # report, so the tuned-vs-default blocking deltas and the per-level probe
-# travel in the same JSON. The fig5 MTTKRP scaling log, the
-# density-ablation JSON of PR 4, and the dimension-tree ablation JSON of
-# PR 3 land in bench_logs/. Subsequent PRs compare their BENCH_*.json
-# against this one.
+# travel in the same JSON, as does the density ablation with its
+# fp32-storage CSF column (the mixed-precision measurement of PR 9). The
+# fig5 MTTKRP scaling log and the dimension-tree ablation JSON of PR 3
+# land in bench_logs/. Subsequent PRs compare their BENCH_*.json against
+# this one.
 
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-BENCH_pr8.json}"
+out_json="${2:-BENCH_pr9.json}"
 scale="${3:-0.001}"
 
 # Drop the conda activation warning some login shells emit on stderr; it
@@ -51,12 +52,18 @@ echo "== fig5 (MTTKRP scaling, f64 vs f32) =="
 "${build_dir}/bench_fig5_scaling" --scale "${scale}" --threads 1,2,4 \
   --trials 3 --json "${log_dir}/fig5.json" | tee "${log_dir}/fig5.log"
 
+echo "== density ablation (dense vs COO vs CSF f64/f32, plan layer) =="
+"${build_dir}/bench_ablation_density" --scale "${scale}" --threads 1 \
+  --trials 3 --check --json "${log_dir}/ablation_density.json" \
+  | tee "${log_dir}/ablation_density.log"
+
 # The headline record: the per-level roofline (avx512 rows included on
 # AVX-512 hardware), the autotuner's report with its tuned-vs-default
-# blocking numbers, and the fig5 sweep timings, merged into one object.
+# blocking numbers, the fig5 sweep timings, and the density ablation with
+# its fp32-storage CSF column, merged into one object.
 {
   echo '{'
-  echo '  "bench": "pr8_avx512_tune",'
+  echo '  "bench": "pr9_precision_matrix",'
   echo '  "roofline":'
   sed 's/^/  /' "${log_dir}/gemm_roofline.json"
   echo '  ,'
@@ -65,6 +72,9 @@ echo "== fig5 (MTTKRP scaling, f64 vs f32) =="
   echo '  ,'
   echo '  "fig5_sweep":'
   sed 's/^/  /' "${log_dir}/fig5.json"
+  echo '  ,'
+  echo '  "density_ablation":'
+  sed 's/^/  /' "${log_dir}/ablation_density.json"
   echo '}'
 } > "${out_json}"
 
@@ -76,11 +86,6 @@ echo "== dimension-tree sweep ablation =="
 "${build_dir}/bench_ablation_dimtree" --scale "${scale}" --threads 1 \
   --trials 3 --json "${log_dir}/ablation_dimtree.json" \
   | tee "${log_dir}/ablation_dimtree.log"
-
-echo "== density ablation (dense vs COO vs CSF, plan layer) =="
-"${build_dir}/bench_ablation_density" --scale "${scale}" --threads 1 \
-  --trials 3 --check --json "${log_dir}/ablation_density.json" \
-  | tee "${log_dir}/ablation_density.log"
 
 echo "== serve (warm plan cache vs cold start, over a Unix socket) =="
 serve_json="$(dirname "${out_json}")/BENCH_serve.json"
