@@ -117,6 +117,8 @@ void mttkrp_acc64(const TensorF& X, std::span<const MatrixF> factors,
   // rows across every natural block of X(mode) in a private slice of one
   // shared fp64 buffer (row-major In x C). No reduction, and each entry's
   // summation order never depends on the team size.
+  // dmtk-lint: allow(hot-alloc): the one-shot mixed-precision kernel has
+  // no plan/arena to draw from — per-call sweeps use MttkrpPlan instead.
   std::vector<double> acc(static_cast<std::size_t>(In) *
                           static_cast<std::size_t>(C));
   parallel_region(nt, [&](int t, int nteam) {

@@ -9,7 +9,8 @@ ExecContext::ExecContext(int threads) : threads_(resolve_threads(threads)) {
   // First-context construction triggers the lenient DMTK_WISDOM autoload,
   // so library users get their profile without a CLI flag. No-op (cheap
   // flag check) afterwards; DMTK_SIMD still wins the level decision.
-  (void)tune::wisdom();
+  // wisdom_loaded() rather than wisdom(): same autoload, no profile copy.
+  (void)tune::wisdom_loaded();
 }
 
 }  // namespace dmtk

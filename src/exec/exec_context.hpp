@@ -30,6 +30,25 @@
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
 
+// DMTK_ASAN: 1 when AddressSanitizer instrumentation is active in this
+// translation unit. Clang reports it via __has_feature, GCC via
+// __SANITIZE_ADDRESS__ — probe both, as the CI matrix builds ASan with
+// either compiler.
+#if defined(__SANITIZE_ADDRESS__)
+#define DMTK_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DMTK_ASAN 1
+#endif
+#endif
+#ifndef DMTK_ASAN
+#define DMTK_ASAN 0
+#endif
+
+#if DMTK_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace dmtk {
 
 /// Bump-allocated scratch arena backed by one cache-line-aligned buffer.
@@ -50,6 +69,20 @@ namespace dmtk {
 /// lifetime. Plans reserve their worst-case footprint at construction and
 /// then execute allocation-free: the grow_count() instrumentation is how the
 /// test suite verifies that no heap traffic happens after plan construction.
+///
+/// ASan poisoning (DMTK_ASAN builds only; zero cost otherwise): a bump
+/// arena hides buffer-overflow bugs from AddressSanitizer — every byte of
+/// the backing vector is "valid" heap memory, so an overrun of one
+/// carve-out into the next, or a read past the frame top, is invisible.
+/// The arena therefore maintains the shadow state itself: bytes between
+/// top_ and capacity are poisoned, Frame::alloc unpoisons exactly the
+/// payload it hands out (the cache-line round-up padding after each block
+/// stays poisoned, acting as a per-block redzone), and ~Frame re-poisons
+/// everything the frame covered — so touching freed-frame memory or
+/// overrunning a carve-out aborts under ASan with a use-after-poison
+/// report. The protocol never changes sizing: reservation math, offsets,
+/// and grow_count() are byte-for-byte identical in poisoned and plain
+/// builds (tests/test_arena_poison.cpp locks this in).
 class WorkspaceArena {
  public:
   /// Block granularity: one x86 cache line.
@@ -79,8 +112,13 @@ class WorkspaceArena {
       // std::bad_alloc on workspace growth — how the serve plan cache's
       // degrade-to-bypass path is exercised (see util/fault.hpp).
       DMTK_FAULT_POINT("arena.alloc");
+      // The resize copies the old block into the new one and frees it —
+      // both require the old bytes addressable, so lift the poison first
+      // and re-poison everything past the live allocations afterwards.
+      unpoison_shadow(0, buf_.size());
       buf_.resize(bytes);
       ++grow_count_;
+      poison_shadow(top_, buf_.size());
     }
   }
 
@@ -103,7 +141,13 @@ class WorkspaceArena {
   class Frame {
    public:
     explicit Frame(WorkspaceArena& arena) : arena_(arena), base_(arena.top_) {}
-    ~Frame() { arena_.top_ = base_; }
+    ~Frame() {
+      // Re-poison everything this frame handed out: a pointer that
+      // outlives its frame now faults under ASan instead of silently
+      // reading whatever the next frame wrote there.
+      arena_.poison_shadow(base_, arena_.top_);
+      arena_.top_ = base_;
+    }
     Frame(const Frame&) = delete;
     Frame& operator=(const Frame&) = delete;
 
@@ -118,10 +162,15 @@ class WorkspaceArena {
     /// to std::start_lifetime_as_array when C++23 is available.)
     template <typename T>
     [[nodiscard]] T* alloc(std::size_t elems) {
-      const std::size_t need = aligned_bytes(elems * sizeof(T));
+      const std::size_t payload = elems * sizeof(T);
+      const std::size_t need = aligned_bytes(payload);
       DMTK_CHECK(arena_.top_ + need <= arena_.buf_.size(),
                  "WorkspaceArena: frame exceeds reserved capacity");
       std::byte* p = arena_.buf_.data() + arena_.top_;
+      // Unpoison exactly the payload; the line round-up tail stays
+      // poisoned and is this block's redzone against the next carve-out.
+      // (p is line-aligned, hence ASan-granule-aligned, by construction.)
+      arena_.unpoison_shadow(arena_.top_, arena_.top_ + payload);
       arena_.top_ += need;
       arena_.high_water_ = std::max(arena_.high_water_, arena_.top_);
       return static_cast<T*>(static_cast<void*>(p));
@@ -132,7 +181,37 @@ class WorkspaceArena {
     std::size_t base_;
   };
 
+  WorkspaceArena() = default;
+  ~WorkspaceArena() {
+    // The allocator is about to free the block; hand it back clean (ASan
+    // dislikes manually-poisoned bytes reaching the deallocator).
+    unpoison_shadow(0, buf_.size());
+  }
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+
  private:
+  /// Shadow-memory helpers: no-ops outside DMTK_ASAN builds. `begin`/
+  /// `end` are byte offsets into buf_.
+  void poison_shadow(std::size_t begin, std::size_t end) const {
+#if DMTK_ASAN
+    if (end > begin)
+      __asan_poison_memory_region(buf_.data() + begin, end - begin);
+#else
+    (void)begin;
+    (void)end;
+#endif
+  }
+  void unpoison_shadow(std::size_t begin, std::size_t end) const {
+#if DMTK_ASAN
+    if (end > begin)
+      __asan_unpoison_memory_region(buf_.data() + begin, end - begin);
+#else
+    (void)begin;
+    (void)end;
+#endif
+  }
+
   std::vector<std::byte, AlignedAllocator<std::byte>> buf_;
   std::size_t top_ = 0;
   std::size_t grow_count_ = 0;

@@ -245,6 +245,8 @@ void CpAlsSweepPlanT<T>::plan_node_layout() {
   // depth alive, so same-depth nodes share a slot.
   int max_depth = 0;
   for (const Node& nd : nodes_) max_depth = std::max(max_depth, nd.depth);
+  // dmtk-lint: allow(hot-alloc): plan CONSTRUCTION, runs once per plan —
+  // the allocation-free guarantee covers execute(), not this layout pass.
   std::vector<std::size_t> slot(static_cast<std::size_t>(max_depth) + 1, 0);
   for (const Node& nd : nodes_) {
     if (nd.leaf) continue;  // leaves write the caller's M
@@ -253,6 +255,7 @@ void CpAlsSweepPlanT<T>::plan_node_layout() {
                  WorkspaceArena::aligned_count<T>(
                      static_cast<std::size_t>(nd.out_rows * C)));
   }
+  // dmtk-lint: allow(hot-alloc): plan construction (see above).
   std::vector<std::size_t> level_base(slot.size(), 0);
   std::size_t top = 0;
   for (std::size_t d = 0; d < slot.size(); ++d) {

@@ -117,9 +117,17 @@ void FileWriter::commit() {
     const std::uint32_t reserved = 0;
     std::string footer;
     footer.append(kFooterMagic.data(), kFooterMagic.size());
-    footer.append(reinterpret_cast<const char*>(&payload), sizeof payload);
-    footer.append(reinterpret_cast<const char*>(&crc), sizeof crc);
-    footer.append(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+    // memcpy through a char buffer, not reinterpret_cast of &field: the
+    // object representation is what the footer format stores, and memcpy
+    // is the aliasing-clean way to read it.
+    const auto append_raw = [&footer](const auto& v) {
+      char raw[sizeof v];
+      std::memcpy(raw, &v, sizeof v);
+      footer.append(raw, sizeof v);
+    };
+    append_raw(payload);
+    append_raw(crc);
+    append_raw(reserved);
     // Bypass write_bytes: the footer must not fold into its own CRC.
     const std::size_t room = kWriteBufBytes - buf_.size();
     if (footer.size() > room) flush_buffer();

@@ -54,6 +54,8 @@ void Client::connect(const std::string& socket_path, int timeout_ms) {
       throw ClientError(std::string("client: socket(): ") +
                         std::strerror(errno));
     }
+    // dmtk-lint: allow(reinterpret-cast): POSIX sockaddr_un -> sockaddr is
+    // the API's own type-erasure idiom; the kernel only reads sun_family.
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
       fd_ = fd;

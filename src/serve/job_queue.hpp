@@ -26,13 +26,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace dmtk::serve {
 
@@ -61,7 +61,7 @@ class JobQueue {
   /// the queue has been stopped (shutdown in progress reads as busy).
   [[nodiscard]] bool try_push(Job job, std::string key) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       if (stopped_ || q_.size() >= capacity_) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
@@ -77,8 +77,10 @@ class JobQueue {
   /// stop(), remaining jobs are still handed out (graceful drain);
   /// nullopt means stopped AND empty — the worker's exit signal.
   [[nodiscard]] std::optional<Item> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return stopped_ || !q_.empty(); });
+    UniqueLock lock(mu_);
+    cv_.wait(lock, [&]() DMTK_REQUIRES(mu_) {
+      return stopped_ || !q_.empty();
+    });
     if (q_.empty()) return std::nullopt;
     Item it = std::move(q_.front());
     q_.pop_front();
@@ -91,7 +93,7 @@ class JobQueue {
   std::size_t extract_matching(const std::string& key, std::size_t max,
                                std::vector<Item>& out) {
     if (key.empty() || max == 0) return 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     std::size_t taken = 0;
     for (auto it = q_.begin(); it != q_.end() && taken < max;) {
       if (it->key == key) {
@@ -109,7 +111,7 @@ class JobQueue {
   /// poppable (drain); push attempts fail as busy.
   void stop() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       stopped_ = true;
     }
     cv_.notify_all();
@@ -120,7 +122,7 @@ class JobQueue {
     s.admitted = admitted_.load(std::memory_order_relaxed);
     s.rejected_busy = rejected_.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       s.depth = q_.size();
     }
     s.capacity = capacity_;
@@ -129,10 +131,10 @@ class JobQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Item> q_;
-  bool stopped_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Item> q_ DMTK_GUARDED_BY(mu_);
+  bool stopped_ DMTK_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
 };

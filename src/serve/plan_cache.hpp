@@ -20,6 +20,14 @@
 /// atomic, so a stats request served on another thread can snapshot them
 /// without touching the cache structure itself.
 ///
+/// Deliberately NOT annotated with thread-safety attributes: there is no
+/// mutex here to be a capability, by design. The confinement invariant
+/// ("structure touched only by its owning worker") is the alternative to
+/// locking, not an omission of it — adding a Mutex to satisfy the
+/// analysis would put a lock on the server's hot path exactly where the
+/// architecture exists to avoid one. The cross-thread surface is the
+/// atomic counters below and nothing else.
+///
 /// Byte accounting is an estimate (workspace reservation + factor-sized
 /// working set + fixed overhead), monotone in shape and rank — good
 /// enough to bound resident memory and to make eviction order testable,

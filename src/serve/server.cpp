@@ -105,6 +105,8 @@ void Server::start() {
   ::unlink(opts_.socket.c_str());
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, opts_.socket.c_str(), sizeof(addr.sun_path) - 1);
+  // dmtk-lint: allow(reinterpret-cast): POSIX sockaddr_un -> sockaddr is
+  // the API's own type-erasure idiom; the kernel only reads sun_family.
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
@@ -166,11 +168,11 @@ void Server::stop() {
   // the accept loop.
   std::vector<ReaderSlot> slots;
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    LockGuard lk(conns_mu_);
     slots.swap(readers_);
   }
   for (ReaderSlot& s : slots) {
-    std::lock_guard<std::mutex> lk(s.conn->write_mu);
+    LockGuard lk(s.conn->write_mu);
     if (s.conn->fd >= 0) ::shutdown(s.conn->fd, SHUT_RDWR);
   }
   for (ReaderSlot& s : slots) s.thread.join();
@@ -222,9 +224,15 @@ void Server::accept_loop() {
     tv.tv_usec = static_cast<suseconds_t>(kSendTimeoutMs % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
+    {
+      // Nothing can contend yet (the reader thread starts below), but fd
+      // is guarded state: take the lock so the handoff to the reader is
+      // inside the annotated discipline rather than an exception to it.
+      LockGuard lk(conn->write_mu);
+      conn->fd = fd;
+    }
     connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    LockGuard lk(conns_mu_);
     readers_.push_back(
         ReaderSlot{conn, std::thread(&Server::reader_loop, this, conn)});
   }
@@ -233,7 +241,7 @@ void Server::accept_loop() {
 void Server::reap_readers() {
   std::vector<std::thread> finished;
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    LockGuard lk(conns_mu_);
     for (auto it = readers_.begin(); it != readers_.end();) {
       if (it->conn->done.load(std::memory_order_acquire)) {
         finished.push_back(std::move(it->thread));
@@ -248,6 +256,17 @@ void Server::reap_readers() {
 
 void Server::reader_loop(std::shared_ptr<Conn> conn) {
   constexpr std::size_t kMaxLine = 1u << 20;
+  // Snapshot the fd once, under its lock. The old code read conn->fd
+  // unlocked in every recv() call below — -Wthread-safety rightly flags
+  // that as an access to write_mu-guarded state, and the fix is a local:
+  // the value cannot change for the lifetime of this loop because this
+  // reader is the only code that closes or reassigns the fd, and it only
+  // does so after the loop exits.
+  int fd = -1;
+  {
+    LockGuard lk(conn->write_mu);
+    fd = conn->fd;
+  }
   std::string buf;
   char tmp[1 << 16];
   while (true) {
@@ -264,7 +283,7 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
                                  "request line exceeds 1 MiB", Json()));
       break;
     }
-    const ssize_t n = ::recv(conn->fd, tmp, sizeof tmp, 0);
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
     if (n <= 0) break;  // peer closed, error, or stop()'s shutdown()
     buf.append(tmp, static_cast<std::size_t>(n));
   }
@@ -273,7 +292,7 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
   // jobs see fd == -1 under write_mu and drop their responses — the peer
   // is gone anyway. done flags the slot for the accept loop's reaper.
   {
-    std::lock_guard<std::mutex> lk(conn->write_mu);
+    LockGuard lk(conn->write_mu);
     if (conn->fd >= 0) ::close(conn->fd);
     conn->fd = -1;
   }
@@ -915,7 +934,7 @@ Json Server::health_json() const {
 void Server::send_line(const std::shared_ptr<Conn>& conn, const Json& j) {
   std::string s = j.dump();
   s += '\n';
-  std::lock_guard<std::mutex> lk(conn->write_mu);
+  LockGuard lk(conn->write_mu);
   if (conn->fd < 0) return;
   const char* p = s.data();
   std::size_t left = s.size();

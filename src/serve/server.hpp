@@ -54,10 +54,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,6 +65,7 @@
 #include "serve/json.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/protocol.hpp"
+#include "util/mutex.hpp"
 
 namespace dmtk::serve {
 
@@ -133,8 +132,12 @@ class Server {
 
  private:
   struct Conn {
-    int fd = -1;              ///< -1 once closed; guarded by write_mu
-    std::mutex write_mu;      ///< one response line at a time
+    Mutex write_mu;  ///< one response line at a time; guards fd
+    /// -1 once closed. Written by the accept loop (before the reader
+    /// exists) and by the reader's close; read by every sender. The
+    /// reader additionally snapshots it once under the lock for its recv
+    /// loop — see reader_loop.
+    int fd DMTK_GUARDED_BY(write_mu) = -1;
     std::atomic<bool> done{false};  ///< reader exited; slot is reapable
   };
 
@@ -211,8 +214,9 @@ class Server {
   std::thread accept_thread_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> worker_threads_;
-  std::mutex conns_mu_;
-  std::vector<ReaderSlot> readers_;  ///< live (unreaped) connections
+  Mutex conns_mu_;
+  /// Live (unreaped) connections.
+  std::vector<ReaderSlot> readers_ DMTK_GUARDED_BY(conns_mu_);
 
   std::chrono::steady_clock::time_point started_at_;
   std::atomic<std::uint64_t> requests_{0};

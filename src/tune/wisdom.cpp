@@ -4,23 +4,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "io/checked_io.hpp"
 #include "serve/json.hpp"
+#include "util/mutex.hpp"
 
 namespace dmtk::tune {
 
 namespace {
 
 struct Registry {
-  std::mutex mu;
-  std::optional<WisdomProfile> profile;
-  std::string source;
-  bool env_checked = false;
+  Mutex mu;
+  std::optional<WisdomProfile> profile DMTK_GUARDED_BY(mu);
+  std::string source DMTK_GUARDED_BY(mu);
+  bool env_checked DMTK_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -30,7 +30,7 @@ Registry& registry() {
 
 /// Apply the profile's process-global side effects. Caller holds the lock.
 void install_locked(Registry& r, const WisdomProfile& p,
-                    const std::string& source) {
+                    const std::string& source) DMTK_REQUIRES(r.mu) {
   r.profile = p;
   r.source = source;
   blas::set_gemm_blocking(p.blocking);
@@ -43,7 +43,7 @@ void install_locked(Registry& r, const WisdomProfile& p,
 /// DMTK_WISDOM autoload, once. Lenient: a bad path or mismatched profile
 /// warns and is ignored (the explicit --wisdom flag path is strict).
 /// Caller holds the lock.
-void env_autoload_locked(Registry& r) {
+void env_autoload_locked(Registry& r) DMTK_REQUIRES(r.mu) {
   if (r.env_checked) return;
   r.env_checked = true;
   const char* env = std::getenv("DMTK_WISDOM");
@@ -270,7 +270,7 @@ bool load_wisdom(const std::string& path, std::string* error) {
       return false;
     }
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    LockGuard lock(r.mu);
     r.env_checked = true;  // explicit load supersedes the env autoload
     install_locked(r, p, path);
     return true;
@@ -282,14 +282,14 @@ bool load_wisdom(const std::string& path, std::string* error) {
 
 void apply_wisdom(const WisdomProfile& p, const std::string& source) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   r.env_checked = true;
   install_locked(r, p, source);
 }
 
 void clear_wisdom() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   r.profile.reset();
   r.source.clear();
   r.env_checked = true;  // do not resurrect the env profile after a clear
@@ -299,40 +299,59 @@ void clear_wisdom() {
   }
 }
 
-const WisdomProfile* wisdom() {
+std::optional<WisdomProfile> wisdom() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   env_autoload_locked(r);
-  return r.profile.has_value() ? &*r.profile : nullptr;
+  // Snapshot, never a pointer: the guarded optional may be reset or
+  // reassigned the instant the lock drops (see the header comment).
+  return r.profile;
 }
 
-bool wisdom_loaded() { return wisdom() != nullptr; }
+bool wisdom_loaded() {
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  env_autoload_locked(r);
+  return r.profile.has_value();
+}
 
 std::string wisdom_source() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   env_autoload_locked(r);
   return r.source;
 }
 
+// The consult functions read their single field under the lock instead of
+// going through wisdom() — one field copied, not the whole profile (these
+// run at plan construction, sometimes per plan per request in the server).
+
 index_t auto_dimtree_min_order() {
-  const WisdomProfile* p = wisdom();
-  return p != nullptr ? p->dimtree_min_order : kDefaultDimtreeMinOrder;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  env_autoload_locked(r);
+  return r.profile ? r.profile->dimtree_min_order : kDefaultDimtreeMinOrder;
 }
 
 int wisdom_dimtree_levels() {
-  const WisdomProfile* p = wisdom();
-  return p != nullptr ? p->dimtree_levels : kDefaultDimtreeLevels;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  env_autoload_locked(r);
+  return r.profile ? r.profile->dimtree_levels : kDefaultDimtreeLevels;
 }
 
 TwoStepPref wisdom_twostep() {
-  const WisdomProfile* p = wisdom();
-  return p != nullptr ? p->twostep : TwoStepPref::Heuristic;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  env_autoload_locked(r);
+  return r.profile ? r.profile->twostep : TwoStepPref::Heuristic;
 }
 
 double wisdom_sparse_crossover() {
-  const WisdomProfile* p = wisdom();
-  return p != nullptr ? p->sparse_crossover : kDefaultSparseCrossover;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  env_autoload_locked(r);
+  return r.profile ? r.profile->sparse_crossover : kDefaultSparseCrossover;
 }
 
 }  // namespace dmtk::tune

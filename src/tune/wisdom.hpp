@@ -127,10 +127,20 @@ void apply_wisdom(const WisdomProfile& p, const std::string& source = "");
 /// blocking; default_simd_level() unless DMTK_SIMD is set).
 void clear_wisdom();
 
-/// The active profile, or nullptr. First call performs the DMTK_WISDOM
-/// autoload (a failed autoload warns on stderr once and is ignored — env
-/// autoload is lenient where the explicit --wisdom flag is strict).
-[[nodiscard]] const WisdomProfile* wisdom();
+/// A SNAPSHOT of the active profile, or nullopt. First call performs the
+/// DMTK_WISDOM autoload (a failed autoload warns on stderr once and is
+/// ignored — env autoload is lenient where the explicit --wisdom flag is
+/// strict).
+///
+/// This returns by value on purpose. The previous signature returned
+/// `const WisdomProfile*` into the registry's mutex-guarded storage, a
+/// pointer that outlived the lock — a concurrent clear_wisdom() or
+/// load_wisdom() destroyed/overwrote the pointee under the caller
+/// (use-after-free). `-Wthread-safety` flags exactly this escape once the
+/// storage is DMTK_GUARDED_BY the registry mutex; the value snapshot is
+/// the fix, not a suppression. Callers needing only one field should use
+/// the consult functions below, which read under the lock without copying.
+[[nodiscard]] std::optional<WisdomProfile> wisdom();
 [[nodiscard]] bool wisdom_loaded();
 /// Path the active profile came from ("" when none or applied in-memory).
 [[nodiscard]] std::string wisdom_source();

@@ -1,10 +1,14 @@
 #include "util/fault.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <map>
 #include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace dmtk::fault {
 namespace {
@@ -34,8 +38,9 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Site, std::less<>> sites;  ///< name-sorted
+  Mutex mu;
+  std::map<std::string, Site, std::less<>> sites
+      DMTK_GUARDED_BY(mu);  ///< name-sorted
 };
 
 Registry& registry() {
@@ -43,7 +48,42 @@ Registry& registry() {
   return r;
 }
 
+/// The compiled-in site table. Every DMTK_FAULT_POINT / should_fail site
+/// name in the dmtk sources MUST be listed here, name-sorted;
+/// tools/dmtk_lint.py parses this array (rule `fault-site`) and fails CI
+/// on any call site whose name is absent, so the fault.hpp "sites
+/// compiled into dmtk today" doc and this table cannot drift from the
+/// code. Test-only sites (the "t.*" names arm()ed by the unit tests) are
+/// deliberately not known: arming is open-world, compiling a point in is
+/// not.
+constexpr std::string_view kKnownSites[] = {
+    "arena.alloc",    // exec/exec_context.hpp WorkspaceArena::reserve_bytes
+    "io.read.short",  // io/checked_io.cpp     FileReader::refill
+    "io.write",       // io/checked_io.cpp     FileWriter::flush_buffer
+    "serve.accept",   // serve/server.cpp      accept loop
+    "serve.worker",   // serve/server.cpp      worker batch
+};
+
 /// Armed-site count, mirrored outside the lock for the fast path.
+///
+/// Memory-ordering contract (audited under TSan; the TSan CI job covers
+/// the fault suite): every access to this counter is RELAXED, and that is
+/// sufficient because the counter is strictly advisory. any_armed() is a
+/// hint that lets unarmed processes skip the registry lock — the
+/// authoritative armed/unarmed decision is always made by should_fail()
+/// under r.mu, so a stale read here can only cause (a) one extra lock
+/// acquisition, or (b) a *just*-armed site being skipped by a concurrently
+/// running fault point, which is indistinguishable from the fault point
+/// having run a moment before arm() and therefore not an ordering bug.
+/// Nothing is published THROUGH this atomic: all site state (rates, RNGs,
+/// trigger counts) is transferred via r.mu's acquire/release, never via
+/// g_armed. Relaxed is exactly as strong as the protocol needs — promoting
+/// these to acq_rel would document an edge (data published through the
+/// counter) that does not exist.
+///
+/// The per-site trigger counters are NOT atomics: they are mutated and
+/// read only under r.mu (should_fail, trigger_count, counters), so their
+/// ordering comes from the mutex.
 std::atomic<int> g_armed{0};
 
 /// arm() without the env-load hook — callable from inside the env load
@@ -51,7 +91,7 @@ std::atomic<int> g_armed{0};
 void arm_impl(std::string_view site, double rate, std::uint64_t seed,
               std::uint64_t max_triggers) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   auto [it, inserted] = r.sites.insert_or_assign(
       std::string(site), Site{rate, SplitMix64{seed}, max_triggers, 0});
   (void)it;
@@ -149,7 +189,7 @@ bool any_armed() noexcept {
 bool should_fail(std::string_view site) {
   if (!any_armed()) return false;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   auto it = r.sites.find(site);
   if (it == r.sites.end()) return false;
   Site& s = it->second;
@@ -172,7 +212,7 @@ void arm(std::string_view site, double rate, std::uint64_t seed,
 void disarm(std::string_view site) {
   ensure_env_loaded();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   auto it = r.sites.find(site);
   if (it == r.sites.end()) return;
   r.sites.erase(it);
@@ -182,7 +222,7 @@ void disarm(std::string_view site) {
 void disarm_all() {
   ensure_env_loaded();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   g_armed.fetch_sub(static_cast<int>(r.sites.size()),
                     std::memory_order_relaxed);
   r.sites.clear();
@@ -191,7 +231,7 @@ void disarm_all() {
 std::uint64_t trigger_count(std::string_view site) {
   if (!any_armed()) return 0;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.triggers;
 }
@@ -199,7 +239,7 @@ std::uint64_t trigger_count(std::string_view site) {
 std::vector<std::pair<std::string, std::uint64_t>> counters() {
   ensure_env_loaded();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(r.sites.size());
   for (const auto& [name, site] : r.sites) out.emplace_back(name, site.triggers);
@@ -209,6 +249,17 @@ std::vector<std::pair<std::string, std::uint64_t>> counters() {
 void arm_from_spec(std::string_view spec) {
   ensure_env_loaded();
   arm_spec_impl(spec);
+}
+
+const std::vector<std::string_view>& known_sites() {
+  static const std::vector<std::string_view> sites(std::begin(kKnownSites),
+                                                   std::end(kKnownSites));
+  return sites;
+}
+
+bool is_known_site(std::string_view site) noexcept {
+  return std::binary_search(std::begin(kKnownSites), std::end(kKnownSites),
+                            site);
 }
 
 }  // namespace dmtk::fault

@@ -91,6 +91,17 @@ void disarm_all();
 /// std::invalid_argument on a malformed spec.
 void arm_from_spec(std::string_view spec);
 
+/// The compiled-in site table (kKnownSites in fault.cpp): every site name
+/// that appears at a DMTK_FAULT_POINT / should_fail call site in the dmtk
+/// sources, name-sorted. `tools/dmtk_lint.py` cross-checks the tree
+/// against the same table, so a fault point whose name is missing here
+/// fails CI — the table cannot silently drift from the code.
+[[nodiscard]] const std::vector<std::string_view>& known_sites();
+
+/// True iff `site` is in the compiled-in table. Test-only sites (the
+/// "t.*" names the fault unit tests arm) are intentionally NOT known.
+[[nodiscard]] bool is_known_site(std::string_view site) noexcept;
+
 }  // namespace dmtk::fault
 
 /// Compiled-in fault site: no-op (one atomic load) unless armed, throws

@@ -1,0 +1,100 @@
+#pragma once
+/// \file mutex.hpp
+/// \brief Annotated mutex primitives: std::mutex & friends wrapped with the
+/// Clang thread-safety attributes of util/thread_annotations.hpp.
+///
+/// libstdc++'s std::mutex carries no capability attributes, so code locking
+/// it is invisible to `-Wthread-safety`. These wrappers are byte-for-byte
+/// the standard primitives (no added state, all methods inline) with the
+/// attributes attached, which is what lets `DMTK_GUARDED_BY(mu_)` members
+/// be enforced at compile time. Every mutex in dmtk should be a
+/// dmtk::Mutex; the std types remain only inside these wrappers.
+///
+/// CondVar exists because std::condition_variable::wait demands a
+/// std::unique_lock<std::mutex> — it re-wraps wait() around UniqueLock so
+/// waiting code keeps its annotations (the analysis treats the capability
+/// as held across the wait, matching the lock's actual state on return).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace dmtk {
+
+/// std::mutex as a Clang capability.
+class DMTK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DMTK_ACQUIRE() { mu_.lock(); }
+  void unlock() DMTK_RELEASE() { mu_.unlock(); }
+  bool try_lock() DMTK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle — for CondVar only.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over dmtk::Mutex, visible to the analysis.
+class DMTK_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) DMTK_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() DMTK_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over dmtk::Mutex — the CondVar-compatible guard.
+/// Unlike std::unique_lock it is always owning between construction and
+/// destruction (dmtk has no deferred/adopted locking), which keeps the
+/// static analysis exact.
+class DMTK_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DMTK_ACQUIRE(mu)
+      : mu_(mu), lk_(mu.native()) {}
+  ~UniqueLock() DMTK_RELEASE() {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// For CondVar::wait only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lk_; }
+  [[nodiscard]] Mutex& mutex() DMTK_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable bound to the annotated lock types. wait()
+/// requires the caller to hold the lock (as the runtime does), and the
+/// analysis knows the lock is held again when wait returns — the
+/// release/reacquire inside the wait is invisible by design, matching the
+/// standard's own contract that the predicate runs under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lk, Predicate&& pred)
+      DMTK_REQUIRES(lk.mutex()) {
+    cv_.wait(lk.native(), std::forward<Predicate>(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dmtk

@@ -51,6 +51,15 @@ void parallel_region(int nthreads, F&& fn) {
 /// parallel region (a team of one; no-op), which is what makes kernels
 /// written against parallel_region degrade gracefully when the caller runs
 /// them with nthreads <= 1.
+///
+/// Lock-discipline rule (not expressible to -Wthread-safety, so stated
+/// here and enforced by review): never reach a team_barrier() while
+/// holding a dmtk::Mutex. A thread parked at the barrier cannot release a
+/// lock, so one teammate blocking on that lock deadlocks the whole team.
+/// dmtk's kernels honor this by construction — the data-parallel phases
+/// between barriers are lock-free (disjoint block_range partitions), and
+/// every Mutex in the tree guards control-plane state (server, fault
+/// registry, wisdom), none of which is touched inside parallel_region.
 inline void team_barrier() {
 #pragma omp barrier
 }

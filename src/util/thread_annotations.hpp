@@ -1,0 +1,76 @@
+#pragma once
+/// \file thread_annotations.hpp
+/// \brief Clang thread-safety-analysis attribute macros — the compiler-
+/// checked spelling of dmtk's locking contracts.
+///
+/// The concurrency invariants the server and the util registries rely on
+/// (which mutex guards which member, which functions must — or must NOT —
+/// hold a lock) were previously prose: header comments like "guarded by
+/// write_mu". Clang's `-Wthread-safety` analysis turns that prose into a
+/// build error when code touches a guarded member without its lock. These
+/// macros expand to the Clang attributes under Clang and to nothing under
+/// every other compiler, so GCC builds are unaffected and the clang CI leg
+/// (-Wthread-safety -Werror) is where violations die.
+///
+/// Usage pattern (see util/mutex.hpp for the annotated mutex types):
+///
+///   dmtk::Mutex mu_;
+///   int shared_ DMTK_GUARDED_BY(mu_);
+///   void touch() DMTK_REQUIRES(mu_);
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DMTK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DMTK_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (a mutex-like type).
+#define DMTK_CAPABILITY(x) DMTK_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define DMTK_SCOPED_CAPABILITY DMTK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define DMTK_GUARDED_BY(x) DMTK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE is guarded by `x` (the pointer itself may
+/// be read freely).
+#define DMTK_PT_GUARDED_BY(x) DMTK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define DMTK_REQUIRES(...) \
+  DMTK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities NOT held on entry — the
+/// deadlock-prevention half of the contract (e.g. a callback that itself
+/// takes the lock).
+#define DMTK_EXCLUDES(...) DMTK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define DMTK_ACQUIRE(...) \
+  DMTK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define DMTK_RELEASE(...) \
+  DMTK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define DMTK_TRY_ACQUIRE(b, ...) \
+  DMTK_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for call paths the
+/// static analysis cannot see through — document WHY at each use site).
+#define DMTK_ASSERT_CAPABILITY(x) \
+  DMTK_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define DMTK_RETURN_CAPABILITY(x) DMTK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use must
+/// carry a comment justifying it — `tools/dmtk_lint.py` treats a bare use
+/// as a smell, and the PR rule is "fix, don't suppress".
+#define DMTK_NO_THREAD_SAFETY_ANALYSIS \
+  DMTK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -381,8 +381,10 @@ int cmd_info_cpu(const Flags& flags) {
   std::printf("active level: %s%s\n",
               std::string(blas::to_string(blas::simd_level())).c_str(),
               env ? " (DMTK_SIMD)" : "");
-  if (tune::wisdom_loaded()) {
-    const tune::WisdomProfile* p = tune::wisdom();
+  // One snapshot, branched on directly — wisdom() copies the profile out
+  // under the registry lock, so `p` stays valid whatever happens to the
+  // registry afterwards.
+  if (const std::optional<tune::WisdomProfile> p = tune::wisdom()) {
     const std::string src = tune::wisdom_source();
     std::printf(
         "wisdom: loaded%s%s\n", src.empty() ? "" : " from ", src.c_str());
